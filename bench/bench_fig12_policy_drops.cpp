@@ -1,0 +1,59 @@
+// Figure 12 — Permille of SGACL drops over all hits, 5 days, for a branch
+// router, a campus edge, and a VPN gateway serving ~11,000 endpoints
+// combined (paper §5.3).
+//
+// Reproduces the operational finding that egress enforcement wastes almost
+// no bandwidth: worst case around 0.2 permille, the VPN gateway distinctly
+// higher than office devices, and a transient spike after a policy update
+// that decays as humans stop retrying.
+#include <cstdio>
+
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+#include "workload/policy_drops.hpp"
+
+int main() {
+  using namespace sda;
+  std::printf("=== Figure 12: permille hits on drop rules over all hits (5 days) ===\n\n");
+
+  workload::PolicyDropSpec spec;  // defaults: branch 1500 / campus 8000 / vpn 1500 users
+  const workload::PolicyDropResult result = run_policy_drops(spec);
+
+  std::vector<stats::LabelledSeries> plots;
+  const char glyphs[] = {'b', 'c', 'v'};
+  std::size_t gi = 0;
+  for (const auto& device : result.devices) {
+    stats::LabelledSeries series;
+    series.label = device.name;
+    series.glyph = glyphs[gi++ % 3];
+    for (const auto& p : device.drop_permille.points()) {
+      series.points.emplace_back(p.time.hours() / 24.0, p.value);
+    }
+    plots.push_back(std::move(series));
+  }
+  std::printf("%s\n",
+              stats::ascii_multiplot(plots, 96, 16, "drop permille vs time (days)").c_str());
+
+  stats::Table table{{"device", "users", "overall permille", "worst hour permille",
+                      "packets", "drops"}};
+  std::size_t di = 0;
+  for (const auto& device : result.devices) {
+    table.add_row({device.name, stats::Table::num(std::size_t{spec.devices[di++].users}),
+                   stats::Table::num(device.overall_permille(), 3),
+                   stats::Table::num(device.worst_hour_permille(), 2),
+                   stats::Table::num(std::size_t{device.total_packets}),
+                   stats::Table::num(std::size_t{device.total_drops})});
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (const auto dir = stats::results_dir()) {
+    for (const auto& device : result.devices) {
+      stats::write_timeseries_csv(*dir, "fig12_" + device.name, "drop_permille",
+                                  device.drop_permille);
+    }
+  }
+  std::printf("policy update lands at hour %d; watch the transient spike then decay.\n",
+              spec.policy_update_hour);
+  std::printf("paper reference: worst case ~0.2 permille (2 drops per 10k packets);\n");
+  std::printf("VPN gateway highest due to remote-usage pattern.\n");
+  return 0;
+}

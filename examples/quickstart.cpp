@@ -1,0 +1,86 @@
+// Quickstart: the smallest useful SDA fabric.
+//
+// Builds one border + two edges, declares a VN and a group policy, onboards
+// two endpoints, and sends traffic — showing the reactive resolution on the
+// first packet and the direct encapsulated path afterwards.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "fabric/fabric.hpp"
+
+using namespace sda;
+
+int main() {
+  // Every fabric runs on a deterministic discrete-event simulator.
+  sim::Simulator sim;
+  fabric::SdaFabric fabric{sim, fabric::FabricConfig{}};
+
+  // 1. Physical build-out: routers and underlay links.
+  fabric.add_border("border");
+  fabric.add_edge("edge-west");
+  fabric.add_edge("edge-east");
+  fabric.link("edge-west", "border", std::chrono::microseconds{50});
+  fabric.link("edge-east", "border", std::chrono::microseconds{50});
+  fabric.finalize();
+
+  // 2. Declarative intent: one VN, its address pool, one deny rule.
+  const net::VnId corp{100};
+  const net::GroupId employees{10};
+  const net::GroupId printers{20};
+  fabric.define_vn({corp, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  fabric.set_rule({corp, printers, employees, policy::Action::Deny});  // printers can't probe laptops
+  fabric.add_external_prefix(corp, *net::Ipv4Prefix::parse("0.0.0.0/0"));
+
+  // 3. Endpoint identities (credential -> VN + group).
+  const auto alice_mac = net::MacAddress::from_u64(0x020000000001);
+  const auto printer_mac = net::MacAddress::from_u64(0x020000000002);
+  fabric.provision_endpoint({"alice", "pw", alice_mac, corp, employees});
+  fabric.provision_endpoint({"printer", "pw", printer_mac, corp, printers});
+
+  // 4. Plug them in: detection, RADIUS auth, rule download, DHCP, and
+  //    location registration all run on the simulator (paper Fig. 3).
+  net::Ipv4Address alice_ip, printer_ip;
+  fabric.connect_endpoint("alice", "edge-west", 1, [&](const fabric::OnboardResult& r) {
+    alice_ip = r.ip;
+    std::printf("onboarded %-8s ip=%-12s group=%u edge=%s in %.2f ms\n", r.credential.c_str(),
+                r.ip.to_string().c_str(), r.group.value(), r.edge.c_str(),
+                static_cast<double>(r.elapsed.count()) / 1e6);
+  });
+  fabric.connect_endpoint("printer", "edge-east", 1, [&](const fabric::OnboardResult& r) {
+    printer_ip = r.ip;
+    std::printf("onboarded %-8s ip=%-12s group=%u edge=%s in %.2f ms\n", r.credential.c_str(),
+                r.ip.to_string().c_str(), r.group.value(), r.edge.c_str(),
+                static_cast<double>(r.elapsed.count()) / 1e6);
+  });
+  sim.run();
+
+  fabric.set_delivery_listener([&](const dataplane::AttachedEndpoint& to,
+                                   const net::OverlayFrame& f, sim::SimTime at) {
+    std::printf("[%s] delivered %u bytes to %s\n", at.to_string().c_str(),
+                f.ip().payload_size, to.credential.c_str());
+  });
+
+  // 5. Traffic. First packet: map-cache miss -> default route through the
+  //    border while the routing server answers; second packet: direct.
+  std::printf("\nalice -> printer (first packet: reactive resolution)\n");
+  fabric.endpoint_send_udp(alice_mac, printer_ip, 9100, 1200);
+  sim.run();
+  std::printf("edge-west FIB entries: %zu, default-routed so far: %llu\n",
+              fabric.edge("edge-west").fib_size(),
+              static_cast<unsigned long long>(
+                  fabric.edge("edge-west").counters().default_routed));
+
+  std::printf("\nalice -> printer (second packet: cached, direct encapsulation)\n");
+  fabric.endpoint_send_udp(alice_mac, printer_ip, 9100, 1200);
+  sim.run();
+
+  // 6. Micro-segmentation: the printer cannot initiate towards alice.
+  std::printf("\nprinter -> alice (denied by group policy on egress)\n");
+  fabric.endpoint_send_udp(printer_mac, alice_ip, 631, 100);
+  sim.run();
+  std::printf("policy drops at edge-west: %llu\n",
+              static_cast<unsigned long long>(
+                  fabric.edge("edge-west").counters().policy_drops));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+#
+#   scripts/run_all.sh [results-dir]
+#
+# With a results-dir argument, benches additionally dump raw CSV series
+# there (SDA_RESULTS_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ $# -ge 1 ]]; then
+  mkdir -p "$1"
+  export SDA_RESULTS_DIR="$(cd "$1" && pwd)"
+  echo "CSV results -> $SDA_RESULTS_DIR"
+fi
+
+for b in build/bench/bench_*; do
+  echo
+  echo "######## $b"
+  "$b"
+done

@@ -1,0 +1,26 @@
+#include "bgp/rib.hpp"
+
+namespace sda::bgp {
+
+bool Rib::install(const net::VnEid& eid, net::Ipv4Address next_hop, sim::SimTime now,
+                  std::uint64_t version) {
+  auto [it, inserted] = routes_.try_emplace(eid, RibEntry{next_hop, now, version});
+  if (inserted) return true;
+  if (it->second.version >= version) return false;  // stale update, ignore
+  const bool changed = it->second.next_hop != next_hop;
+  it->second = RibEntry{next_hop, now, version};
+  return changed;
+}
+
+bool Rib::withdraw(const net::VnEid& eid) { return routes_.erase(eid) > 0; }
+
+const RibEntry* Rib::lookup(const net::VnEid& eid) const {
+  const auto it = routes_.find(eid);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+void Rib::walk(const std::function<void(const net::VnEid&, const RibEntry&)>& visit) const {
+  for (const auto& [eid, entry] : routes_) visit(eid, entry);
+}
+
+}  // namespace sda::bgp

@@ -1,0 +1,44 @@
+// Routing information base for the proactive (BGP) baseline.
+//
+// Every peer carries the full overlay routing table — this is precisely the
+// state the paper's reactive design avoids (Fig. 9 compares these FIB
+// footprints), and the full-mesh update fan-out is what Fig. 11 measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/eid.hpp"
+#include "sim/time.hpp"
+
+namespace sda::bgp {
+
+struct RibEntry {
+  net::Ipv4Address next_hop;  // the edge router currently serving the EID
+  sim::SimTime installed_at;
+  std::uint64_t version = 0;  // monotonically increasing per-EID update counter
+};
+
+/// A per-router overlay RIB: host route per EID, proactively populated.
+class Rib {
+ public:
+  /// Installs or replaces a host route. Returns true if this changed state.
+  bool install(const net::VnEid& eid, net::Ipv4Address next_hop, sim::SimTime now,
+               std::uint64_t version);
+
+  /// Removes a route. Returns true if present.
+  bool withdraw(const net::VnEid& eid);
+
+  [[nodiscard]] const RibEntry* lookup(const net::VnEid& eid) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+  void walk(const std::function<void(const net::VnEid&, const RibEntry&)>& visit) const;
+
+ private:
+  std::unordered_map<net::VnEid, RibEntry> routes_;
+};
+
+}  // namespace sda::bgp

@@ -1,0 +1,83 @@
+#include "bgp/route_reflector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sda::bgp {
+
+RouteReflector::RouteReflector(sim::Simulator& simulator, ReflectorConfig config,
+                               std::uint64_t seed)
+    : simulator_(simulator), config_(config), rng_(seed) {}
+
+void RouteReflector::add_client(BgpPeer& peer) {
+  assert(std::none_of(peers_.begin(), peers_.end(),
+                      [&](const BgpPeer* p) { return p->rloc() == peer.rloc(); }));
+  peers_.push_back(&peer);
+}
+
+void RouteReflector::announce(net::Ipv4Address from_rloc, const net::VnEid& eid,
+                              net::Ipv4Address next_hop) {
+  ++stats_.announcements;
+  pending_.push_back(PendingUpdate{eid, next_hop, from_rloc, next_version_++});
+  if (!batch_scheduled_) {
+    batch_scheduled_ = true;
+    simulator_.schedule_after(config_.batch_interval, [this] {
+      batch_scheduled_ = false;
+      flush_batch();
+    });
+  }
+}
+
+void RouteReflector::flush_batch() {
+  if (pending_.empty()) return;
+  ++stats_.batches;
+  std::vector<PendingUpdate> batch;
+  batch.swap(pending_);
+
+  // Shuffled peer order per batch: replication serves peers without regard
+  // to who actually needs the routes.
+  std::vector<BgpPeer*> order = peers_;
+  rng_.shuffle(order);
+
+  for (BgpPeer* peer : order) {
+    // Routes originated by this peer are not reflected back to it.
+    std::vector<const PendingUpdate*> relevant;
+    relevant.reserve(batch.size());
+    for (const auto& u : batch) {
+      if (u.origin != peer->rloc()) relevant.push_back(&u);
+    }
+    if (relevant.empty()) continue;
+
+    // Reflector output queue: serialize this peer's UPDATE after the
+    // previous peers' transmissions complete.
+    const sim::SimTime start = std::max(output_free_at_, simulator_.now());
+    const sim::Duration send_cost =
+        config_.per_peer_send + config_.per_route_marginal * relevant.size();
+    const sim::SimTime sent_at = start + send_cost;
+    output_free_at_ = sent_at;
+    ++stats_.peer_updates_sent;
+
+    const sim::SimTime arrival = sent_at + config_.network_delay;
+    std::vector<PendingUpdate> routes;
+    routes.reserve(relevant.size());
+    for (const auto* u : relevant) routes.push_back(*u);
+    stats_.routes_replicated += routes.size();
+
+    simulator_.schedule_at(arrival, [this, peer, routes = std::move(routes)] {
+      // Peer CPU: installs routes one after another.
+      sim::SimTime free_at = std::max(peer->free_at_, simulator_.now());
+      for (const auto& u : routes) {
+        free_at = free_at + config_.peer_install;
+        simulator_.schedule_at(free_at, [this, peer, u] {
+          if (peer->rib_.install(u.eid, u.next_hop, simulator_.now(), u.version) &&
+              peer->on_install_) {
+            peer->on_install_(u.eid, u.next_hop);
+          }
+        });
+      }
+      peer->free_at_ = free_at;
+    });
+  }
+}
+
+}  // namespace sda::bgp

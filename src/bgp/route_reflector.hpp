@@ -1,0 +1,101 @@
+// BGP route reflector: the proactive control plane of the Fig. 11 baseline.
+//
+// Clients (edge routers) announce host-route changes; the reflector batches
+// pending updates (MRAI-style) and replicates each batch to *every* other
+// client. Replication is modeled as a single-server output queue: the
+// reflector CPU serializes one UPDATE per peer per batch, so a peer's
+// position in the (shuffled) fan-out order directly adds to its convergence
+// delay. This is the mechanism behind the paper's observation that the
+// proactive approach is ~10x slower and far more variable under massive
+// mobility: updates reach edge routers "randomly, i.e. not by their need".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace sda::bgp {
+
+struct ReflectorConfig {
+  /// Batch window: announcements arriving within it coalesce into one
+  /// UPDATE per peer (BGP MRAI / send-delay analogue).
+  sim::Duration batch_interval = std::chrono::milliseconds{10};
+  /// Reflector CPU time to build+send one batched UPDATE to one peer.
+  sim::Duration per_peer_send = std::chrono::microseconds{20};
+  /// Marginal reflector CPU per route inside a batched UPDATE.
+  sim::Duration per_route_marginal = std::chrono::microseconds{2};
+  /// Control-plane network latency reflector -> peer.
+  sim::Duration network_delay = std::chrono::microseconds{150};
+  /// Peer CPU time to parse an UPDATE and install one route in the FIB.
+  sim::Duration peer_install = std::chrono::microseconds{30};
+};
+
+/// A route-reflector client: owns a RIB and learns every update.
+class BgpPeer {
+ public:
+  /// Fired when a route is installed into this peer's RIB.
+  using InstallCallback = std::function<void(const net::VnEid&, net::Ipv4Address next_hop)>;
+
+  explicit BgpPeer(net::Ipv4Address rloc) : rloc_(rloc) {}
+
+  [[nodiscard]] net::Ipv4Address rloc() const { return rloc_; }
+  [[nodiscard]] Rib& rib() { return rib_; }
+  [[nodiscard]] const Rib& rib() const { return rib_; }
+
+  void set_install_callback(InstallCallback cb) { on_install_ = std::move(cb); }
+
+ private:
+  friend class RouteReflector;
+  net::Ipv4Address rloc_;
+  Rib rib_;
+  InstallCallback on_install_;
+  sim::SimTime free_at_{};  // peer CPU availability for UPDATE processing
+};
+
+class RouteReflector {
+ public:
+  RouteReflector(sim::Simulator& simulator, ReflectorConfig config, std::uint64_t seed = 7);
+
+  /// Registers a client. The peer must outlive the reflector.
+  void add_client(BgpPeer& peer);
+
+  /// A client announces that `eid` is now reachable via `next_hop` (its own
+  /// RLOC). Queued into the current batch and reflected to all other peers.
+  void announce(net::Ipv4Address from_rloc, const net::VnEid& eid, net::Ipv4Address next_hop);
+
+  struct Stats {
+    std::uint64_t announcements = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t peer_updates_sent = 0;  // batch-to-peer transmissions
+    std::uint64_t routes_replicated = 0;  // route * peer installs scheduled
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t client_count() const { return peers_.size(); }
+
+ private:
+  struct PendingUpdate {
+    net::VnEid eid;
+    net::Ipv4Address next_hop;
+    net::Ipv4Address origin;
+    std::uint64_t version;
+  };
+
+  void flush_batch();
+
+  sim::Simulator& simulator_;
+  ReflectorConfig config_;
+  sim::Rng rng_;
+  std::vector<BgpPeer*> peers_;
+  std::vector<PendingUpdate> pending_;
+  bool batch_scheduled_ = false;
+  sim::SimTime output_free_at_{};  // reflector CPU (single-server queue)
+  std::uint64_t next_version_ = 1;
+  Stats stats_;
+};
+
+}  // namespace sda::bgp

@@ -1,0 +1,140 @@
+#include "dataplane/border_router.hpp"
+
+namespace sda::dataplane {
+
+BorderRouter::BorderRouter(sim::Simulator& simulator, BorderRouterConfig config)
+    : simulator_(simulator), config_(std::move(config)), sgacl_(config_.default_action) {}
+
+void BorderRouter::receive_publish(const lisp::Publish& publish) {
+  if (publish.withdrawal()) {
+    if (synced_.erase(publish.eid) > 0) ++counters_.withdrawals_applied;
+    return;
+  }
+  lisp::MappingRecord record;
+  record.rlocs = publish.rlocs;
+  record.ttl_seconds = publish.ttl_seconds;
+  synced_[publish.eid] = std::move(record);
+  ++counters_.publishes_applied;
+}
+
+void BorderRouter::bootstrap_sync(const lisp::MapServer& server) {
+  synced_.clear();
+  server.walk([this](const net::VnEid& eid, const lisp::MappingRecord& record) {
+    synced_[eid] = record;
+  });
+}
+
+void BorderRouter::add_external_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
+                                       net::GroupId group) {
+  external_[vn.value()].insert(trie::BitKey::from_ipv4_prefix(prefix), ExternalRoute{group});
+}
+
+const BorderRouter::ExternalRoute* BorderRouter::external_route(
+    const net::VnEid& destination) const {
+  if (destination.eid.is_ipv4()) {
+    const auto it = external_.find(destination.vn.value());
+    if (it == external_.end()) return nullptr;
+    const auto match =
+        it->second.longest_match(trie::BitKey::from_ipv4(destination.eid.ipv4()));
+    return match ? match->second : nullptr;
+  }
+  if (destination.eid.is_ipv6()) {
+    const auto it = external_v6_.find(destination.vn.value());
+    if (it == external_v6_.end()) return nullptr;
+    const auto match =
+        it->second.longest_match(trie::BitKey::from_ipv6(destination.eid.ipv6()));
+    return match ? match->second : nullptr;
+  }
+  return nullptr;
+}
+
+void BorderRouter::add_external_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
+                                       net::GroupId group) {
+  external_v6_[vn.value()].insert(trie::BitKey::from_ipv6_prefix(prefix), ExternalRoute{group});
+}
+
+void BorderRouter::external_receive(net::VnId vn, net::GroupId source_group,
+                                    const net::OverlayFrame& frame) {
+  ++counters_.external_in;
+  const net::VnEid destination{vn, frame.destination_eid()};
+  const auto it = synced_.find(destination);
+  if (it == synced_.end() || it->second.rlocs.empty()) {
+    ++counters_.no_route_drops;
+    return;
+  }
+  encap_to(it->second.primary_rloc(), vn, source_group, false, frame);
+}
+
+net::GroupId BorderRouter::rewritten_group(net::VnId vn, net::GroupId group) {
+  const auto it = group_rewrites_.find((std::uint64_t{vn.value()} << 16) | group.value());
+  if (it == group_rewrites_.end()) return group;
+  ++counters_.group_rewrites;
+  return it->second;
+}
+
+void BorderRouter::add_group_rewrite(net::VnId vn, net::GroupId from, net::GroupId to) {
+  group_rewrites_[(std::uint64_t{vn.value()} << 16) | from.value()] = to;
+}
+
+bool BorderRouter::remove_group_rewrite(net::VnId vn, net::GroupId from) {
+  return group_rewrites_.erase((std::uint64_t{vn.value()} << 16) | from.value()) > 0;
+}
+
+void BorderRouter::receive_fabric_frame(const net::FabricFrame& frame_in) {
+  net::FabricFrame frame = frame_in;
+  // Service insertion (§5.4): transit traffic may be re-tagged so the rest
+  // of the chain applies a different policy.
+  frame.source_group = rewritten_group(frame.vn, frame.source_group);
+  if (frame.inner.is_arp()) {
+    ++counters_.no_route_drops;  // ARP never crosses the border
+    return;
+  }
+  const net::VnEid destination{frame.vn, frame.inner.destination_eid()};
+
+  // Overlay endpoint known via the synchronized table? Hairpin to its edge.
+  const auto it = synced_.find(destination);
+  if (it != synced_.end() && !it->second.rlocs.empty()) {
+    const net::Ipv4Address target = it->second.primary_rloc();
+    if (target == config_.rloc) {
+      ++counters_.no_route_drops;  // registered to us but not external: stale
+      return;
+    }
+    net::OverlayFrame inner = frame.inner;
+    if (inner.hop_limit() <= 1) {
+      ++counters_.ttl_drops;  // edge<->border transient loop guard (§5.2)
+      return;
+    }
+    inner.set_hop_limit(static_cast<std::uint8_t>(inner.hop_limit() - 1));
+    ++counters_.hairpinned;
+    encap_to(target, frame.vn, frame.source_group, frame.policy_applied, inner);
+    return;
+  }
+
+  // External destination (Internet / DC).
+  if (const ExternalRoute* route = external_route(destination)) {
+    if (!frame.policy_applied && !route->group.is_unknown() &&
+        sgacl_.evaluate(frame.vn, frame.source_group, route->group) == policy::Action::Deny) {
+      ++counters_.policy_drops;
+      return;
+    }
+    ++counters_.external_out;
+    if (deliver_external_) deliver_external_(destination, frame.inner);
+    return;
+  }
+
+  ++counters_.no_route_drops;
+}
+
+void BorderRouter::encap_to(net::Ipv4Address rloc, net::VnId vn, net::GroupId source_group,
+                            bool policy_applied, const net::OverlayFrame& frame) {
+  net::FabricFrame out;
+  out.outer_source = config_.rloc;
+  out.outer_destination = rloc;
+  out.vn = vn;
+  out.source_group = source_group;
+  out.policy_applied = policy_applied;
+  out.inner = frame;
+  if (send_data_) send_data_(out);
+}
+
+}  // namespace sda::dataplane

@@ -1,0 +1,133 @@
+// The SDA border router.
+//
+// Performs the edge functions plus two differences (paper §3.3): its FIB is
+// pub/sub-synchronized with the routing server instead of reactive, and it
+// holds routes to external networks. It owns the fabric default route, so
+// it absorbs and hairpins the traffic edges send during map-cache misses
+// (§3.2.2) — which is why the paper provisions it with a larger FIB and CPU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "dataplane/sgacl.hpp"
+#include "lisp/map_server.hpp"
+#include "lisp/messages.hpp"
+#include "net/packet.hpp"
+#include "net/prefix.hpp"
+#include "sim/simulator.hpp"
+#include "trie/patricia.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::dataplane {
+
+struct BorderRouterConfig {
+  std::string name;
+  net::Ipv4Address rloc;
+  underlay::NodeId node = 0;
+  policy::Action default_action = policy::Action::Allow;
+};
+
+class BorderRouter {
+ public:
+  using SendData = std::function<void(const net::FabricFrame&)>;
+  /// Delivery of traffic leaving the fabric (Internet / data center).
+  using DeliverExternal = std::function<void(const net::VnEid& destination,
+                                             const net::OverlayFrame&)>;
+
+  BorderRouter(sim::Simulator& simulator, BorderRouterConfig config);
+
+  void set_send_data(SendData fn) { send_data_ = std::move(fn); }
+  void set_deliver_external(DeliverExternal fn) { deliver_external_ = std::move(fn); }
+
+  [[nodiscard]] const BorderRouterConfig& config() const { return config_; }
+  [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  // --- Pub/sub FIB synchronization (Fig. 1 "sync" arrow) ------------------
+
+  /// Applies one published update (install or withdrawal).
+  void receive_publish(const lisp::Publish& publish);
+
+  /// Full-table bootstrap when (re)subscribing to the routing server.
+  void bootstrap_sync(const lisp::MapServer& server);
+
+  // --- External connectivity ----------------------------------------------
+
+  /// Declares an external destination prefix (e.g. 0.0.0.0/0 = Internet)
+  /// optionally classified into a group for egress policy at the border.
+  void add_external_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
+                           net::GroupId group = net::GroupId::unknown());
+  void add_external_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
+                           net::GroupId group = net::GroupId::unknown());
+
+  /// Injects a packet arriving *from* an external network toward an overlay
+  /// destination; the border encapsulates it to the serving edge.
+  void external_receive(net::VnId vn, net::GroupId source_group,
+                        const net::OverlayFrame& frame);
+
+  // --- Service insertion (§5.4) -------------------------------------------
+  // Operators can rewrite the group tag of traffic passing through this
+  // router so that downstream devices in a service chain apply different
+  // policies — "instead of applying different policies across the path for
+  // the same group, they change the group along the way".
+
+  /// Rewrites `from` -> `to` for traffic in `vn` transiting this border.
+  void add_group_rewrite(net::VnId vn, net::GroupId from, net::GroupId to);
+  /// Removes a rewrite; true if present.
+  bool remove_group_rewrite(net::VnId vn, net::GroupId from);
+
+  // --- Data plane ----------------------------------------------------------
+
+  void receive_fabric_frame(const net::FabricFrame& frame);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Synchronized overlay mappings (the Fig. 9 border FIB metric).
+  [[nodiscard]] std::size_t fib_size() const { return synced_.size(); }
+
+  [[nodiscard]] Sgacl& sgacl() { return sgacl_; }
+
+  struct Counters {
+    std::uint64_t publishes_applied = 0;
+    std::uint64_t withdrawals_applied = 0;
+    std::uint64_t hairpinned = 0;         // default-routed traffic re-encapped
+    std::uint64_t external_out = 0;       // fabric -> external
+    std::uint64_t external_in = 0;        // external -> fabric
+    std::uint64_t policy_drops = 0;
+    std::uint64_t no_route_drops = 0;
+    std::uint64_t ttl_drops = 0;
+    std::uint64_t group_rewrites = 0;  // service-insertion tag changes (§5.4)
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct ExternalRoute {
+    net::GroupId group;
+  };
+
+  void encap_to(net::Ipv4Address rloc, net::VnId vn, net::GroupId source_group,
+                bool policy_applied, const net::OverlayFrame& frame);
+
+  /// Looks up an external route covering `destination` in the VN.
+  [[nodiscard]] const ExternalRoute* external_route(const net::VnEid& destination) const;
+
+  /// Applies any configured service-insertion rewrite to `group`.
+  [[nodiscard]] net::GroupId rewritten_group(net::VnId vn, net::GroupId group);
+
+  sim::Simulator& simulator_;
+  BorderRouterConfig config_;
+  SendData send_data_;
+  DeliverExternal deliver_external_;
+
+  std::unordered_map<net::VnEid, lisp::MappingRecord> synced_;
+  std::unordered_map<std::uint32_t, trie::PatriciaTrie<ExternalRoute>> external_;     // by VN
+  std::unordered_map<std::uint32_t, trie::PatriciaTrie<ExternalRoute>> external_v6_;  // by VN
+  /// (vn << 16 | from-group) -> replacement group.
+  std::unordered_map<std::uint64_t, net::GroupId> group_rewrites_;
+  Sgacl sgacl_;
+  Counters counters_;
+};
+
+}  // namespace sda::dataplane

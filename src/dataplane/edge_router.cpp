@@ -1,0 +1,552 @@
+#include "dataplane/edge_router.hpp"
+
+#include <cassert>
+
+namespace sda::dataplane {
+
+namespace {
+
+std::uint64_t group_key(net::VnId vn, net::GroupId group) {
+  return (std::uint64_t{vn.value()} << 16) | group.value();
+}
+
+}  // namespace
+
+EdgeRouter::EdgeRouter(sim::Simulator& simulator, EdgeRouterConfig config)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      cache_(config_.map_cache_capacity),
+      sgacl_(config_.default_action) {}
+
+// ---------------------------------------------------------------------------
+// Endpoint lifecycle
+// ---------------------------------------------------------------------------
+
+void EdgeRouter::attach_endpoint(const AttachedEndpoint& endpoint) {
+  assert(!endpoint.ip.is_unspecified());
+  // Replace any stale attachment of the same MAC.
+  detach_endpoint(endpoint.mac, /*deregister=*/false);
+
+  endpoints_[endpoint.mac] = endpoint;
+  const net::VnEid ip_eid{endpoint.vn, net::Eid{endpoint.ip}};
+  eid_to_mac_[ip_eid] = endpoint.mac;
+  local_.install(ip_eid, LocalEntry{endpoint.port, endpoint.group, endpoint.mac});
+
+  if (endpoint.ipv6) {
+    const net::VnEid v6_eid{endpoint.vn, net::Eid{*endpoint.ipv6}};
+    eid_to_mac_[v6_eid] = endpoint.mac;
+    local_.install(v6_eid, LocalEntry{endpoint.port, endpoint.group, endpoint.mac});
+  }
+  if (endpoint.register_mac) {
+    const net::VnEid mac_eid{endpoint.vn, net::Eid{endpoint.mac}};
+    eid_to_mac_[mac_eid] = endpoint.mac;
+    local_.install(mac_eid, LocalEntry{endpoint.port, endpoint.group, endpoint.mac});
+  }
+
+  // Download the SGACL rules where this endpoint's group is the destination
+  // (Fig. 3 step 2; egress enforcement needs only these, §5.3).
+  if (++group_refcounts_[group_key(endpoint.vn, endpoint.group)] == 1 && download_rules_) {
+    sgacl_.install_destination_rules(endpoint.vn, endpoint.group,
+                                     download_rules_(endpoint.vn, endpoint.group));
+  }
+
+  // Publish the endpoint's location (Fig. 3 step 4) — one route per
+  // identity (IPv4, IPv6, MAC): the paper's "3 routes per endpoint" (§4.1).
+  register_eid(ip_eid, endpoint.group);
+  if (endpoint.ipv6) {
+    register_eid(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}}, endpoint.group);
+  }
+  if (endpoint.register_mac) {
+    register_eid(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}}, endpoint.group);
+  }
+  maybe_schedule_register_refresh();
+}
+
+void EdgeRouter::maybe_schedule_register_refresh() {
+  if (config_.register_refresh_interval.count() == 0 || register_refresh_armed_) return;
+  if (endpoints_.empty()) return;
+  register_refresh_armed_ = true;
+  simulator_.schedule_after(config_.register_refresh_interval, [this] {
+    register_refresh_armed_ = false;
+    // Soft-state refresh: re-register every identity of every endpoint.
+    for (const auto& [mac, endpoint] : endpoints_) {
+      register_eid(net::VnEid{endpoint.vn, net::Eid{endpoint.ip}}, endpoint.group);
+      if (endpoint.ipv6) {
+        register_eid(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}}, endpoint.group);
+      }
+      if (endpoint.register_mac) {
+        register_eid(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}}, endpoint.group);
+      }
+    }
+    maybe_schedule_register_refresh();
+  });
+}
+
+void EdgeRouter::detach_endpoint(const net::MacAddress& mac, bool deregister) {
+  const auto it = endpoints_.find(mac);
+  if (it == endpoints_.end()) return;
+  const AttachedEndpoint endpoint = it->second;
+  endpoints_.erase(it);
+
+  const net::VnEid ip_eid{endpoint.vn, net::Eid{endpoint.ip}};
+  eid_to_mac_.erase(ip_eid);
+  local_.remove(ip_eid);
+  if (endpoint.ipv6) {
+    const net::VnEid v6_eid{endpoint.vn, net::Eid{*endpoint.ipv6}};
+    eid_to_mac_.erase(v6_eid);
+    local_.remove(v6_eid);
+  }
+  if (endpoint.register_mac) {
+    const net::VnEid mac_eid{endpoint.vn, net::Eid{endpoint.mac}};
+    eid_to_mac_.erase(mac_eid);
+    local_.remove(mac_eid);
+  }
+
+  const auto ref = group_refcounts_.find(group_key(endpoint.vn, endpoint.group));
+  if (ref != group_refcounts_.end() && --ref->second == 0) {
+    group_refcounts_.erase(ref);
+    sgacl_.remove_destination_rules(endpoint.vn, endpoint.group);
+    if (release_group_) release_group_(endpoint.vn, endpoint.group);
+  }
+
+  if (deregister && send_map_register_) {
+    // Withdrawal is modeled as a zero-TTL register; roaming departures
+    // skip this (the new edge overwrites the mapping). Every registered
+    // identity (IPv4/IPv6/MAC) is withdrawn.
+    auto withdraw_eid = [this](const net::VnEid& eid) {
+      lisp::MapRegister withdraw;
+      withdraw.nonce = next_nonce_++;
+      withdraw.eid = eid;
+      withdraw.rlocs = {net::Rloc{config_.rloc}};
+      withdraw.ttl_seconds = 0;
+      send_map_register_(withdraw);
+    };
+    withdraw_eid(ip_eid);
+    if (endpoint.ipv6) withdraw_eid(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}});
+    if (endpoint.register_mac) withdraw_eid(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}});
+  }
+}
+
+bool EdgeRouter::retag_endpoint(const net::MacAddress& mac, net::GroupId new_group) {
+  const auto it = endpoints_.find(mac);
+  if (it == endpoints_.end()) return false;
+  AttachedEndpoint& endpoint = it->second;
+  if (endpoint.group == new_group) return true;
+
+  const auto old_key = group_key(endpoint.vn, endpoint.group);
+  const auto ref = group_refcounts_.find(old_key);
+  if (ref != group_refcounts_.end() && --ref->second == 0) {
+    group_refcounts_.erase(ref);
+    sgacl_.remove_destination_rules(endpoint.vn, endpoint.group);
+    if (release_group_) release_group_(endpoint.vn, endpoint.group);
+  }
+
+  endpoint.group = new_group;
+  const net::VnEid ip_eid{endpoint.vn, net::Eid{endpoint.ip}};
+  local_.retag(ip_eid, new_group);
+  if (endpoint.ipv6) {
+    local_.retag(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}}, new_group);
+  }
+  if (endpoint.register_mac) {
+    local_.retag(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}}, new_group);
+  }
+
+  if (++group_refcounts_[group_key(endpoint.vn, new_group)] == 1 && download_rules_) {
+    sgacl_.install_destination_rules(endpoint.vn, new_group,
+                                     download_rules_(endpoint.vn, new_group));
+  }
+  register_eid(ip_eid, new_group);  // refresh the mapping's group tag
+  return true;
+}
+
+const AttachedEndpoint* EdgeRouter::find_endpoint(const net::MacAddress& mac) const {
+  const auto it = endpoints_.find(mac);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+const AttachedEndpoint* EdgeRouter::find_endpoint(const net::VnEid& eid) const {
+  const auto it = eid_to_mac_.find(eid);
+  if (it == eid_to_mac_.end()) return nullptr;
+  return find_endpoint(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Ingress pipeline
+// ---------------------------------------------------------------------------
+
+void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
+                                   const net::OverlayFrame& tagged_frame) {
+  ++counters_.frames_from_endpoints;
+  const AttachedEndpoint* source = find_endpoint(source_mac);
+  if (!source) {
+    ++counters_.no_route_drops;  // unauthenticated port: drop
+    return;
+  }
+
+  // Access-VLAN check (§3.5 element i): the frame's tag must match the
+  // port's VLAN (both absent counts as matching). The tag is then stripped
+  // — VLANs are local to edge ports and never enter the overlay.
+  if (tagged_frame.vlan_id != source->vlan) {
+    ++counters_.vlan_drops;
+    return;
+  }
+  net::OverlayFrame frame = tagged_frame;
+  frame.vlan_id.reset();
+
+  // Broadcast traffic is absorbed by the L2 gateway (§3.5): it never floods
+  // the fabric.
+  if (frame.destination_mac.is_broadcast()) {
+    if (broadcast_handler_) broadcast_handler_(*this, *source, frame);
+    return;
+  }
+
+  // Unicast ARP (gateway-converted requests, and replies) rides the L2
+  // MAC-keyed pipeline.
+  if (frame.is_arp()) {
+    forward_by_mac(*source, frame);
+    return;
+  }
+
+  const net::VnEid destination{source->vn, frame.destination_eid()};
+
+  // Same-edge destination: run the egress pipeline directly.
+  if (local_.lookup(destination) != nullptr) {
+    ++counters_.locally_switched;
+    egress_deliver(destination, source->group, false, frame);
+    return;
+  }
+
+  const lisp::MapCacheEntry* entry = cache_.lookup(destination, simulator_.now());
+  if (entry != nullptr && !entry->negative() && !rloc_usable(entry->primary_rloc())) {
+    // Mapping points at an RLOC the IGP says is gone (§5.1): bypass it and
+    // ride the border default until the endpoint re-registers elsewhere.
+    ++counters_.default_routed;
+    encap_to(config_.border_rloc, destination, source->group, false, frame);
+    return;
+  }
+  if (entry != nullptr && !entry->negative()) {
+    if (config_.enforce_on_ingress) {
+      // §5.3 ablation: enforce here using the (possibly stale) cached group.
+      if (sgacl_.evaluate(source->vn, source->group, entry->group) == policy::Action::Deny) {
+        ++counters_.policy_drops;
+        return;
+      }
+      encap_to(entry->primary_rloc(), destination, source->group, true, frame);
+      return;
+    }
+    encap_to(entry->primary_rloc(), destination, source->group, false, frame);
+    return;
+  }
+
+  if (entry == nullptr) resolve(destination, false);
+  if (!config_.default_route_fallback) {
+    // Classic LISP (§3.2.2 ablation): nothing to do with the packet until
+    // the Map-Reply installs a mapping — the flow's first packets are lost.
+    ++counters_.resolution_drops;
+    return;
+  }
+  // Miss (or negative): default route to the border while resolution runs.
+  ++counters_.default_routed;
+  encap_to(config_.border_rloc, destination, source->group, false, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Egress pipeline
+// ---------------------------------------------------------------------------
+
+void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
+  ++counters_.decapsulated;
+  if (frame.inner.is_arp()) {
+    // Unicast-converted ARP from an L2 gateway: deliver to the target MAC.
+    const net::VnEid mac_eid{frame.vn, net::Eid{frame.inner.destination_mac}};
+    if (const AttachedEndpoint* target = find_endpoint(mac_eid)) {
+      ++counters_.frames_delivered;
+      if (deliver_local_) deliver_local_(*target, frame.inner);
+    } else {
+      ++counters_.no_route_drops;
+    }
+    return;
+  }
+
+  const net::VnEid destination{frame.vn, frame.inner.destination_eid()};
+
+  if (local_.lookup(destination) != nullptr) {
+    egress_deliver(destination, frame.source_group, frame.policy_applied, frame.inner);
+    return;
+  }
+
+  // Not local: the endpoint roamed away (or never was here). Tell the
+  // sender to refresh (Fig. 6 step 2) and forward the traffic onward so it
+  // is not lost (step 3).
+  solicit(destination, frame.outer_source);
+
+  net::OverlayFrame inner = frame.inner;
+  if (inner.hop_limit() <= 1) {
+    ++counters_.ttl_drops;  // transient edge<->border loop protection (§5.2)
+    return;
+  }
+  inner.set_hop_limit(static_cast<std::uint8_t>(inner.hop_limit() - 1));
+
+  const lisp::MapCacheEntry* entry = cache_.lookup(destination, simulator_.now());
+  if (entry != nullptr && !entry->negative() && entry->primary_rloc() != config_.rloc) {
+    ++counters_.stale_forwards;
+    encap_to(entry->primary_rloc(), destination, frame.source_group, frame.policy_applied,
+             inner);
+    return;
+  }
+  if (entry == nullptr) resolve(destination, false);
+  if (frame.outer_source == config_.border_rloc) {
+    // Came *from* the border and we have no better idea: bouncing it back
+    // would loop (§5.2); hold the line and drop after resolution kicks in.
+    ++counters_.no_route_drops;
+    return;
+  }
+  ++counters_.default_routed;
+  encap_to(config_.border_rloc, destination, frame.source_group, frame.policy_applied, inner);
+}
+
+void EdgeRouter::egress_deliver(const net::VnEid& destination, net::GroupId source_group,
+                                bool policy_already_applied, const net::OverlayFrame& frame) {
+  // Stage 1: VRF lookup -> (port, destination GroupId).
+  const LocalEntry* entry = local_.lookup(destination);
+  assert(entry != nullptr);
+
+  // Stage 2: exact-match group ACL, unless already enforced upstream.
+  if (!policy_already_applied &&
+      sgacl_.evaluate(destination.vn, source_group, entry->group) == policy::Action::Deny) {
+    ++counters_.policy_drops;
+    return;
+  }
+
+  const AttachedEndpoint* endpoint = find_endpoint(destination);
+  assert(endpoint != nullptr);
+  ++counters_.frames_delivered;
+  if (deliver_local_) {
+    if (endpoint->vlan) {
+      // Re-apply the destination port's access VLAN (§3.5 element i).
+      net::OverlayFrame tagged = frame;
+      tagged.vlan_id = endpoint->vlan;
+      deliver_local_(*endpoint, tagged);
+    } else {
+      deliver_local_(*endpoint, frame);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encapsulation and control plane
+// ---------------------------------------------------------------------------
+
+void EdgeRouter::encap_to(net::Ipv4Address rloc, const net::VnEid& destination,
+                          net::GroupId source_group, bool policy_applied,
+                          const net::OverlayFrame& frame) {
+  (void)destination;
+  net::FabricFrame out;
+  out.outer_source = config_.rloc;
+  out.outer_destination = rloc;
+  out.vn = destination.vn;
+  out.source_group = source_group;
+  out.policy_applied = policy_applied;
+  out.inner = frame;
+  ++counters_.encapsulated;
+  if (send_data_) send_data_(out);
+}
+
+void EdgeRouter::resolve(const net::VnEid& eid, bool smr_invoked) {
+  if (!send_map_request_) return;
+  if (pending_requests_.contains(eid)) return;
+  pending_requests_[eid] =
+      PendingRequest{next_nonce_++, config_.map_request_retries, smr_invoked};
+  transmit_map_request(eid);
+}
+
+void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
+  const auto it = pending_requests_.find(eid);
+  if (it == pending_requests_.end()) return;  // answered meanwhile
+
+  lisp::MapRequest request;
+  request.nonce = it->second.nonce;
+  request.eid = eid;
+  request.itr_rloc = config_.rloc;
+  request.smr_invoked = it->second.smr_invoked;
+  ++counters_.map_requests_sent;
+  send_map_request_(request);
+
+  // Arm the retransmission timer: fires only if still unanswered. When no
+  // retries remain, the timer's job is to clear the pending entry so a
+  // later packet can retrigger resolution.
+  simulator_.schedule_after(config_.map_request_timeout, [this, eid] {
+    const auto pending = pending_requests_.find(eid);
+    if (pending == pending_requests_.end()) return;
+    if (pending->second.retries_left == 0) {
+      // Out of retries: give up so a later packet can retrigger resolution.
+      pending_requests_.erase(pending);
+      return;
+    }
+    --pending->second.retries_left;
+    pending->second.nonce = next_nonce_++;
+    ++counters_.map_request_retries;
+    transmit_map_request(eid);
+  });
+}
+
+void EdgeRouter::solicit(const net::VnEid& eid, net::Ipv4Address sender_rloc) {
+  if (!send_smr_ || sender_rloc == config_.rloc) return;
+  const sim::SimTime now = simulator_.now();
+  auto& per_sender = last_smr_[eid];
+  const auto it = per_sender.find(sender_rloc);
+  if (it != per_sender.end() && now - it->second < config_.smr_min_interval) return;
+  per_sender[sender_rloc] = now;
+  ++counters_.smr_sent;
+  send_smr_(sender_rloc, lisp::SolicitMapRequest{eid, config_.rloc});
+}
+
+void EdgeRouter::register_eid(const net::VnEid& eid, net::GroupId group) {
+  if (!send_map_register_) return;
+  lisp::MapRegister reg;
+  reg.nonce = next_nonce_++;
+  reg.eid = eid;
+  reg.rlocs = {net::Rloc{config_.rloc}};
+  reg.ttl_seconds = config_.register_ttl_seconds;
+  reg.group = group.value();
+  ++counters_.registers_sent;
+  send_map_register_(reg);
+}
+
+void EdgeRouter::maybe_schedule_probe_sweep() {
+  if (!config_.rloc_probing || !send_probe_ || probe_sweep_armed_) return;
+  if (cache_.positive_size() == 0) return;
+  probe_sweep_armed_ = true;
+  simulator_.schedule_after(config_.probe_interval, [this] {
+    probe_sweep_armed_ = false;
+    run_probe_sweep();
+    maybe_schedule_probe_sweep();  // re-arm while positive entries remain
+  });
+}
+
+void EdgeRouter::run_probe_sweep() {
+  // Collect the distinct RLOCs the cache currently points at.
+  std::unordered_set<net::Ipv4Address> rlocs;
+  cache_.walk([&rlocs](const net::VnEid&, const lisp::MapCacheEntry& entry) {
+    if (!entry.negative()) rlocs.insert(entry.primary_rloc());
+  });
+  for (const net::Ipv4Address rloc : rlocs) {
+    ++counters_.probes_sent;
+    send_probe_(rloc, [this, rloc](bool alive) {
+      if (alive) {
+        down_rlocs_.erase(rloc);
+        return;
+      }
+      ++counters_.probes_failed;
+      down_rlocs_.insert(rloc);
+      counters_.rloc_fallbacks += cache_.invalidate_rloc(rloc);
+    });
+  }
+}
+
+void EdgeRouter::receive_map_reply(const lisp::MapReply& reply) {
+  pending_requests_.erase(reply.eid);
+  cache_.install(reply.eid, reply, simulator_.now());
+  maybe_schedule_probe_sweep();
+
+  // Flush any L2 frames parked on this EID.
+  const auto parked = pending_l2_.find(reply.eid);
+  if (parked == pending_l2_.end()) return;
+  auto frames = std::move(parked->second);
+  pending_l2_.erase(parked);
+  if (reply.negative()) return;  // target unknown: parked frames are dropped
+  for (const auto& [source_mac, frame] : frames) {
+    if (const AttachedEndpoint* source = find_endpoint(source_mac)) {
+      forward_by_mac(*source, frame);
+    }
+  }
+}
+
+void EdgeRouter::forward_by_mac(const AttachedEndpoint& source, const net::OverlayFrame& frame) {
+  const net::VnEid destination{source.vn, net::Eid{frame.destination_mac}};
+
+  if (const LocalEntry* entry = local_.lookup(destination)) {
+    // Local L2 delivery still passes micro-segmentation.
+    if (sgacl_.evaluate(source.vn, source.group, entry->group) == policy::Action::Deny) {
+      ++counters_.policy_drops;
+      return;
+    }
+    if (const AttachedEndpoint* target = find_endpoint(destination)) {
+      ++counters_.frames_delivered;
+      ++counters_.locally_switched;
+      if (deliver_local_) deliver_local_(*target, frame);
+    }
+    return;
+  }
+
+  const lisp::MapCacheEntry* entry = cache_.lookup(destination, simulator_.now());
+  if (entry != nullptr && !entry->negative()) {
+    encap_to(entry->primary_rloc(), destination, source.group, false, frame);
+    return;
+  }
+  if (entry != nullptr) {
+    ++counters_.no_route_drops;  // negative-cached MAC: nothing to do
+    return;
+  }
+  resolve(destination, false);
+  auto& queue = pending_l2_[destination];
+  constexpr std::size_t kMaxParkedPerEid = 8;
+  if (queue.size() < kMaxParkedPerEid) {
+    queue.emplace_back(source.mac, frame);
+  } else {
+    ++counters_.no_route_drops;
+  }
+}
+
+void EdgeRouter::transmit_l2(const AttachedEndpoint& source, const net::OverlayFrame& frame,
+                             net::Ipv4Address target_rloc) {
+  const net::VnEid destination{source.vn, net::Eid{frame.destination_mac}};
+  encap_to(target_rloc, destination, source.group, false, frame);
+}
+
+void EdgeRouter::receive_map_notify(const lisp::MapNotify& notify) {
+  // Fig. 5 steps 2-3: the mapping moved; cache the new location so in-flight
+  // traffic for the roamed endpoint is forwarded to its new edge.
+  if (notify.rlocs.empty()) {
+    cache_.invalidate(notify.eid);
+    return;
+  }
+  cache_.install(notify.eid, notify.rlocs, config_.register_ttl_seconds, simulator_.now());
+  maybe_schedule_probe_sweep();
+}
+
+void EdgeRouter::receive_smr(const lisp::SolicitMapRequest& smr) {
+  // Our cached mapping for this EID is stale: drop it and re-resolve now.
+  ++counters_.smr_received;
+  cache_.invalidate(smr.eid);
+  resolve(smr.eid, true);
+}
+
+void EdgeRouter::on_rloc_reachability(net::Ipv4Address rloc, bool reachable) {
+  if (reachable) {
+    down_rlocs_.erase(rloc);
+    return;
+  }
+  down_rlocs_.insert(rloc);
+  // §5.1: fall back to the border default route until the EIDs re-register.
+  counters_.rloc_fallbacks += cache_.invalidate_rloc(rloc);
+}
+
+void EdgeRouter::install_rules(net::VnId vn, net::GroupId destination,
+                               const std::vector<policy::Rule>& rules) {
+  sgacl_.install_destination_rules(vn, destination, rules);
+}
+
+void EdgeRouter::reboot() {
+  cache_.clear();
+  local_.clear();
+  sgacl_.clear();
+  endpoints_.clear();
+  eid_to_mac_.clear();
+  group_refcounts_.clear();
+  pending_requests_.clear();
+  last_smr_.clear();
+  pending_l2_.clear();
+}
+
+}  // namespace sda::dataplane

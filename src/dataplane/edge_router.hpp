@@ -1,0 +1,293 @@
+// The SDA edge router (fabric edge node).
+//
+// Implements the four functions of paper §3.3: encap/decap of endpoint
+// traffic, inter-VN isolation via VRFs, roaming detection with location
+// update, and group-rule enforcement. The ingress and egress pipelines
+// follow Fig. 4; the default route to the border absorbs map-cache misses
+// (§3.2.2); data-triggered SMRs refresh stale senders (Fig. 6); underlay
+// reachability tracking falls traffic back to the border on outages (§5.1);
+// reboot semantics reproduce §5.2.
+//
+// The router is environment-agnostic: all I/O goes through injected hooks,
+// so unit tests can drive it with plain lambdas and the fabric layer wires
+// it to the simulator, the underlay, and the control-plane nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/sgacl.hpp"
+#include "dataplane/vrf.hpp"
+#include "lisp/map_cache.hpp"
+#include "lisp/messages.hpp"
+#include "net/packet.hpp"
+#include "policy/matrix.hpp"
+#include "sim/simulator.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::dataplane {
+
+struct EdgeRouterConfig {
+  std::string name;
+  net::Ipv4Address rloc;
+  underlay::NodeId node = 0;
+  net::Ipv4Address border_rloc;  // default-route target
+  std::size_t map_cache_capacity = 0;
+  /// Map-cache entry TTL requested on registration (paper default 1440 min).
+  std::uint32_t register_ttl_seconds = 1440 * 60;
+  /// Minimum spacing between SMRs for the same EID (rate limiting).
+  sim::Duration smr_min_interval = std::chrono::seconds{1};
+  /// §5.3 ablation: enforce SGACL on ingress instead of egress.
+  bool enforce_on_ingress = false;
+  policy::Action default_action = policy::Action::Allow;
+  /// LISP RLOC probing (§5.1's "explicit probing" alternative to watching
+  /// the IGP): periodically probe every RLOC the map-cache points at;
+  /// unanswered probes purge the affected entries. The probe timer only
+  /// runs while positive cache entries exist, so an idle simulator drains.
+  bool rloc_probing = false;
+  sim::Duration probe_interval = std::chrono::seconds{10};
+  /// Map-Requests are retransmitted until answered (control messages can
+  /// be lost to underlay outages); 0 retries = fire-and-forget.
+  sim::Duration map_request_timeout = std::chrono::seconds{1};
+  unsigned map_request_retries = 3;
+  /// Periodic re-registration of every attached endpoint (LISP soft-state
+  /// refresh; pairs with MapServer::expire_registrations). 0 = disabled.
+  /// The timer runs only while endpoints are attached.
+  sim::Duration register_refresh_interval{0};
+  /// §3.2.2 design decision: with the border default route, packets are
+  /// forwarded (and hairpinned by the synchronized border) while the
+  /// routing server answers. false models classic LISP behaviour — the
+  /// first packets of a flow are dropped until the Map-Reply arrives.
+  bool default_route_fallback = true;
+};
+
+/// A fully onboarded endpoint as the edge sees it.
+struct AttachedEndpoint {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  std::optional<net::Ipv6Address> ipv6;  // SLAAC identity, when the VN has one
+  net::VnId vn;
+  net::GroupId group;
+  PortId port = 0;
+  std::string credential;
+  bool register_mac = false;  // also index by MAC for L2 services (§3.5)
+  /// Access VLAN on the edge port, if the port is tagged. VLANs never
+  /// stretch across the fabric (§3.5 element i): the tag is validated and
+  /// stripped at ingress and re-applied at egress.
+  std::optional<std::uint16_t> vlan;
+};
+
+class EdgeRouter {
+ public:
+  // --- Environment hooks (wired by the fabric layer or by tests) ---------
+  /// Data plane: transmit an encapsulated frame into the underlay.
+  using SendData = std::function<void(const net::FabricFrame&)>;
+  /// Control plane: send a Map-Request to the routing server.
+  using SendMapRequest = std::function<void(const lisp::MapRequest&)>;
+  /// Control plane: send a Map-Register to the routing server.
+  using SendMapRegister = std::function<void(const lisp::MapRegister&)>;
+  /// Control plane: send an SMR to another edge's RLOC.
+  using SendSmr = std::function<void(net::Ipv4Address to, const lisp::SolicitMapRequest&)>;
+  /// Local delivery: the frame reached its destination endpoint.
+  using DeliverLocal = std::function<void(const AttachedEndpoint&, const net::OverlayFrame&)>;
+  /// Rule download from the policy server (onboarding step 2).
+  using DownloadRules =
+      std::function<std::vector<policy::Rule>(net::VnId, net::GroupId destination)>;
+  /// Tell the policy server this edge no longer hosts a group.
+  using ReleaseGroup = std::function<void(net::VnId, net::GroupId)>;
+  /// L2 service hook: an ARP (or other broadcast) frame needs gateway help.
+  using BroadcastHandler =
+      std::function<void(EdgeRouter&, const AttachedEndpoint&, const net::OverlayFrame&)>;
+  /// RLOC-probe hook: probe `rloc`, answer asynchronously with liveness.
+  using SendProbe = std::function<void(net::Ipv4Address rloc, std::function<void(bool)>)>;
+
+  EdgeRouter(sim::Simulator& simulator, EdgeRouterConfig config);
+
+  void set_send_data(SendData fn) { send_data_ = std::move(fn); }
+  void set_send_map_request(SendMapRequest fn) { send_map_request_ = std::move(fn); }
+  void set_send_map_register(SendMapRegister fn) { send_map_register_ = std::move(fn); }
+  void set_send_smr(SendSmr fn) { send_smr_ = std::move(fn); }
+  void set_deliver_local(DeliverLocal fn) { deliver_local_ = std::move(fn); }
+  void set_download_rules(DownloadRules fn) { download_rules_ = std::move(fn); }
+  void set_release_group(ReleaseGroup fn) { release_group_ = std::move(fn); }
+  void set_broadcast_handler(BroadcastHandler fn) { broadcast_handler_ = std::move(fn); }
+  void set_send_probe(SendProbe fn) { send_probe_ = std::move(fn); }
+
+  [[nodiscard]] const EdgeRouterConfig& config() const { return config_; }
+  [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  /// Points the default route at a border (set late, once borders exist).
+  void set_border_rloc(net::Ipv4Address rloc) { config_.border_rloc = rloc; }
+
+  // --- Endpoint lifecycle (driven by the onboarding state machine) -------
+
+  /// Installs a fully authenticated endpoint: VRF entry, SGACL destination
+  /// rules, and a Map-Register for its IP (and MAC if register_mac).
+  void attach_endpoint(const AttachedEndpoint& endpoint);
+
+  /// Removes an endpoint. `deregister` withdraws its mapping from the
+  /// routing server (clean departure); roaming leaves the registration to
+  /// be overwritten by the new edge.
+  void detach_endpoint(const net::MacAddress& mac, bool deregister = false);
+
+  /// Re-tags an attached endpoint after a policy-server group change
+  /// (egress enforcement keeps the (IP, GroupId) pair fresh, §5.3).
+  bool retag_endpoint(const net::MacAddress& mac, net::GroupId new_group);
+
+  [[nodiscard]] const AttachedEndpoint* find_endpoint(const net::MacAddress& mac) const;
+  [[nodiscard]] const AttachedEndpoint* find_endpoint(const net::VnEid& eid) const;
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  // --- Data plane entry points -------------------------------------------
+
+  /// A locally attached endpoint transmits a frame (ingress pipeline).
+  void endpoint_transmit(const net::MacAddress& source_mac, const net::OverlayFrame& frame);
+
+  /// An encapsulated frame arrives from the underlay (egress pipeline).
+  void receive_fabric_frame(const net::FabricFrame& frame);
+
+  /// Transmits an L2 frame straight to a known RLOC — used by the L2
+  /// gateway after it resolved broadcast ARP into a unicast target (§3.5).
+  void transmit_l2(const AttachedEndpoint& source, const net::OverlayFrame& frame,
+                   net::Ipv4Address target_rloc);
+
+  /// L2 (MAC-keyed) forwarding with resolve-and-buffer on cache miss: MAC
+  /// EIDs have no border default route, so frames wait for the Map-Reply.
+  void forward_by_mac(const AttachedEndpoint& source, const net::OverlayFrame& frame);
+
+  // --- Control plane entry points ----------------------------------------
+
+  void receive_map_reply(const lisp::MapReply& reply);
+  void receive_map_notify(const lisp::MapNotify& notify);
+  void receive_smr(const lisp::SolicitMapRequest& smr);
+
+  /// Underlay reachability transition for a remote RLOC (§5.1).
+  void on_rloc_reachability(net::Ipv4Address rloc, bool reachable);
+
+  /// Installs pushed rules (policy-server rule update fan-out).
+  void install_rules(net::VnId vn, net::GroupId destination,
+                     const std::vector<policy::Rule>& rules);
+
+  // --- Operational events --------------------------------------------------
+
+  /// Cold reboot (§5.2): all caches, VRFs, endpoints and rules are lost.
+  void reboot();
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Overlay-to-underlay mappings currently held (the Fig. 9 FIB metric).
+  [[nodiscard]] std::size_t fib_size() const { return cache_.positive_size(); }
+  [[nodiscard]] lisp::MapCache& map_cache() { return cache_; }
+  [[nodiscard]] const lisp::MapCache& map_cache() const { return cache_; }
+  [[nodiscard]] VrfSet& vrf() { return local_; }
+  [[nodiscard]] Sgacl& sgacl() { return sgacl_; }
+  [[nodiscard]] const Sgacl& sgacl() const { return sgacl_; }
+
+  struct Counters {
+    std::uint64_t frames_from_endpoints = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t encapsulated = 0;
+    std::uint64_t decapsulated = 0;
+    std::uint64_t locally_switched = 0;   // src and dst on this edge
+    std::uint64_t default_routed = 0;     // sent to border on cache miss
+    std::uint64_t map_requests_sent = 0;
+    std::uint64_t registers_sent = 0;
+    std::uint64_t smr_sent = 0;
+    std::uint64_t smr_received = 0;
+    std::uint64_t stale_forwards = 0;     // old-edge forwarding (Fig. 6 step 3)
+    std::uint64_t policy_drops = 0;
+    std::uint64_t ttl_drops = 0;          // transient-loop protection (§5.2)
+    std::uint64_t no_route_drops = 0;
+    std::uint64_t rloc_fallbacks = 0;     // cache entries purged on outage (§5.1)
+    std::uint64_t probes_sent = 0;
+    std::uint64_t probes_failed = 0;
+    std::uint64_t map_request_retries = 0;
+    std::uint64_t resolution_drops = 0;  // miss drops when no default route
+    std::uint64_t vlan_drops = 0;        // access-VLAN mismatch at ingress (§3.5)
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  /// Egress pipeline stage 1+2 for a frame that is local here.
+  void egress_deliver(const net::VnEid& destination, net::GroupId source_group,
+                      bool policy_already_applied, const net::OverlayFrame& frame);
+
+  /// Encapsulates towards `rloc` and transmits.
+  void encap_to(net::Ipv4Address rloc, const net::VnEid& destination, net::GroupId source_group,
+                bool policy_applied, const net::OverlayFrame& frame);
+
+  /// Issues a Map-Request for `eid` unless one is already pending.
+  void resolve(const net::VnEid& eid, bool smr_invoked);
+
+  /// Sends (or resends) the Map-Request for a pending resolution and arms
+  /// the retransmission timer.
+  void transmit_map_request(const net::VnEid& eid);
+
+  /// Data-triggered SMR to a sender holding a stale mapping (rate-limited).
+  void solicit(const net::VnEid& eid, net::Ipv4Address sender_rloc);
+
+  /// (Re)arms the RLOC-probe timer if probing is enabled and the cache
+  /// holds positive entries; self-disarms when the cache empties.
+  void maybe_schedule_probe_sweep();
+  void run_probe_sweep();
+
+  /// (Re)arms the registration-refresh timer while endpoints are attached.
+  void maybe_schedule_register_refresh();
+
+  void register_eid(const net::VnEid& eid, net::GroupId group);
+
+  sim::Simulator& simulator_;
+  EdgeRouterConfig config_;
+
+  VrfSet local_;
+  lisp::MapCache cache_;
+  Sgacl sgacl_;
+
+  /// RLOCs currently unreachable per the IGP (LISP RLOC liveness, §5.1):
+  /// mappings towards them are bypassed in favour of the border default.
+  [[nodiscard]] bool rloc_usable(net::Ipv4Address rloc) const {
+    return !down_rlocs_.contains(rloc);
+  }
+
+  std::unordered_map<net::MacAddress, AttachedEndpoint> endpoints_;
+  std::unordered_set<net::Ipv4Address> down_rlocs_;
+  std::unordered_map<net::VnEid, net::MacAddress> eid_to_mac_;
+  // (vn, group) -> number of attached endpoints with that group.
+  std::unordered_map<std::uint64_t, std::size_t> group_refcounts_;
+  struct PendingRequest {
+    std::uint64_t nonce = 0;
+    unsigned retries_left = 0;
+    bool smr_invoked = false;
+  };
+  std::unordered_map<net::VnEid, PendingRequest> pending_requests_;
+  /// SMR rate limiting per (EID, soliciting sender): every stale sender
+  /// must be refreshed, but each at most once per interval.
+  std::unordered_map<net::VnEid, std::unordered_map<net::Ipv4Address, sim::SimTime>> last_smr_;
+  /// Frames parked while a MAC EID resolves (bounded per EID).
+  std::unordered_map<net::VnEid, std::vector<std::pair<net::MacAddress, net::OverlayFrame>>>
+      pending_l2_;
+  std::uint64_t next_nonce_ = 1;
+
+  bool probe_sweep_armed_ = false;
+  bool register_refresh_armed_ = false;
+
+  SendData send_data_;
+  SendProbe send_probe_;
+  SendMapRequest send_map_request_;
+  SendMapRegister send_map_register_;
+  SendSmr send_smr_;
+  DeliverLocal deliver_local_;
+  DownloadRules download_rules_;
+  ReleaseGroup release_group_;
+  BroadcastHandler broadcast_handler_;
+
+  Counters counters_;
+};
+
+}  // namespace sda::dataplane

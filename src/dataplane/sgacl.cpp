@@ -1,0 +1,48 @@
+#include "dataplane/sgacl.hpp"
+
+#include <vector>
+
+namespace sda::dataplane {
+
+void Sgacl::install_destination_rules(net::VnId vn, net::GroupId destination,
+                                      const std::vector<policy::Rule>& rules) {
+  remove_destination_rules(vn, destination);
+  for (const auto& rule : rules) {
+    rules_[Key{vn.value(), rule.pair.source.value(), rule.pair.destination.value()}] =
+        rule.action;
+  }
+}
+
+void Sgacl::remove_destination_rules(net::VnId vn, net::GroupId destination) {
+  std::vector<Key> doomed;
+  for (const auto& [key, action] : rules_) {
+    if (key.vn == vn.value() && key.dst == destination.value()) doomed.push_back(key);
+  }
+  for (const auto& key : doomed) rules_.erase(key);
+}
+
+void Sgacl::install_rule(net::VnId vn, const policy::Rule& rule) {
+  rules_[Key{vn.value(), rule.pair.source.value(), rule.pair.destination.value()}] = rule.action;
+}
+
+policy::Action Sgacl::evaluate(net::VnId vn, net::GroupId source, net::GroupId destination) {
+  policy::Action action = default_action_;
+  if (source.is_unknown() || destination.is_unknown()) {
+    action = policy::Action::Allow;
+  } else {
+    const auto it = rules_.find(Key{vn.value(), source.value(), destination.value()});
+    if (it != rules_.end()) action = it->second;
+  }
+  if (action == policy::Action::Allow) {
+    ++counters_.permits;
+  } else {
+    ++counters_.drops;
+  }
+  return action;
+}
+
+std::size_t Sgacl::rule_count() const { return rules_.size(); }
+
+void Sgacl::clear() { rules_.clear(); }
+
+}  // namespace sda::dataplane

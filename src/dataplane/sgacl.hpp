@@ -1,0 +1,77 @@
+// Group-based ACL (SGACL): the second stage of the egress pipeline.
+//
+// An exact-match table on (source GroupId, destination GroupId) enforcing
+// the connectivity matrix (paper Fig. 4). Per-rule hit counters feed the
+// Fig. 12 drop-rate analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "policy/matrix.hpp"
+
+namespace sda::dataplane {
+
+/// The SGACL of one router. Rules are installed per destination group as
+/// endpoints onboard (egress enforcement) or per source group (ingress
+/// ablation); lookup falls back to the configured default action.
+class Sgacl {
+ public:
+  explicit Sgacl(policy::Action default_action = policy::Action::Allow)
+      : default_action_(default_action) {}
+
+  /// Replaces all rules for `destination` with `rules` (the onboarding
+  /// download / policy-push path).
+  void install_destination_rules(net::VnId vn, net::GroupId destination,
+                                 const std::vector<policy::Rule>& rules);
+
+  /// Removes all rules whose destination is `destination` (last endpoint of
+  /// that group detached).
+  void remove_destination_rules(net::VnId vn, net::GroupId destination);
+
+  /// Installs one rule directly (ingress ablation path).
+  void install_rule(net::VnId vn, const policy::Rule& rule);
+
+  /// Evaluates the pipeline stage and bumps counters. Unknown groups pass.
+  [[nodiscard]] policy::Action evaluate(net::VnId vn, net::GroupId source,
+                                        net::GroupId destination);
+
+  [[nodiscard]] std::size_t rule_count() const;
+
+  struct Counters {
+    std::uint64_t permits = 0;
+    std::uint64_t drops = 0;
+    [[nodiscard]] std::uint64_t total() const { return permits + drops; }
+    /// Drops per thousand evaluations (Fig. 12's permille metric).
+    [[nodiscard]] double drop_permille() const {
+      return total() == 0 ? 0.0 : 1000.0 * static_cast<double>(drops) /
+                                      static_cast<double>(total());
+    }
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  void clear();
+
+ private:
+  struct Key {
+    std::uint32_t vn;
+    std::uint16_t src;
+    std::uint16_t dst;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (std::size_t{k.vn} << 32) ^ (std::size_t{k.src} << 16) ^ k.dst;
+    }
+  };
+
+  policy::Action default_action_;
+  std::unordered_map<Key, policy::Action, KeyHash> rules_;
+  Counters counters_;
+};
+
+}  // namespace sda::dataplane

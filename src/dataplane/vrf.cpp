@@ -1,0 +1,71 @@
+#include "dataplane/vrf.hpp"
+
+namespace sda::dataplane {
+
+void VrfSet::install(const net::VnEid& eid, const LocalEntry& entry) {
+  vrfs_[eid.vn].family(eid.eid.family()).insert(trie::BitKey::from_eid(eid.eid), entry);
+}
+
+bool VrfSet::remove(const net::VnEid& eid) {
+  const auto it = vrfs_.find(eid.vn);
+  if (it == vrfs_.end()) return false;
+  return it->second.family(eid.eid.family()).erase(trie::BitKey::from_eid(eid.eid));
+}
+
+const LocalEntry* VrfSet::lookup(const net::VnEid& eid) const {
+  const auto it = vrfs_.find(eid.vn);
+  if (it == vrfs_.end()) return nullptr;
+  auto& tables = const_cast<Tables&>(it->second);
+  return tables.family(eid.eid.family()).find_exact(trie::BitKey::from_eid(eid.eid));
+}
+
+bool VrfSet::retag(const net::VnEid& eid, net::GroupId group) {
+  const auto it = vrfs_.find(eid.vn);
+  if (it == vrfs_.end()) return false;
+  LocalEntry* entry =
+      it->second.family(eid.eid.family()).find_exact(trie::BitKey::from_eid(eid.eid));
+  if (!entry) return false;
+  entry->group = group;
+  return true;
+}
+
+std::size_t VrfSet::size() const {
+  std::size_t total = 0;
+  for (const auto& [vn, tables] : vrfs_) {
+    total += tables.v4.size() + tables.v6.size() + tables.mac.size();
+  }
+  return total;
+}
+
+std::size_t VrfSet::size(net::VnId vn) const {
+  const auto it = vrfs_.find(vn);
+  if (it == vrfs_.end()) return 0;
+  return it->second.v4.size() + it->second.v6.size() + it->second.mac.size();
+}
+
+void VrfSet::walk(
+    const std::function<void(const net::VnEid&, const LocalEntry&)>& visit) const {
+  for (const auto& [vn, tables] : vrfs_) {
+    const net::VnId vn_id = vn;
+    tables.v4.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
+      net::Ipv4Address a{(std::uint32_t{key.bytes()[0]} << 24) |
+                         (std::uint32_t{key.bytes()[1]} << 16) |
+                         (std::uint32_t{key.bytes()[2]} << 8) | key.bytes()[3]};
+      visit(net::VnEid{vn_id, net::Eid{a}}, entry);
+    });
+    tables.v6.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
+      net::Ipv6Address::Bytes b{};
+      std::copy_n(key.bytes().begin(), 16, b.begin());
+      visit(net::VnEid{vn_id, net::Eid{net::Ipv6Address{b}}}, entry);
+    });
+    tables.mac.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
+      net::MacAddress::Bytes b{};
+      std::copy_n(key.bytes().begin(), 6, b.begin());
+      visit(net::VnEid{vn_id, net::Eid{net::MacAddress{b}}}, entry);
+    });
+  }
+}
+
+void VrfSet::clear() { vrfs_.clear(); }
+
+}  // namespace sda::dataplane

@@ -1,0 +1,73 @@
+// Per-VN virtual routing and forwarding table for locally attached
+// endpoints.
+//
+// Each entry maps an overlay EID to the switch port it lives behind plus
+// the endpoint's GroupId — the (Overlay IP, GroupId) association the egress
+// pipeline's first stage resolves (paper Fig. 4). Entries are created by
+// host onboarding and removed on detach, which is what keeps the GroupId
+// fresh under egress enforcement (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/eid.hpp"
+#include "net/types.hpp"
+#include "trie/patricia.hpp"
+
+namespace sda::dataplane {
+
+using PortId = std::uint16_t;
+
+struct LocalEntry {
+  PortId port = 0;
+  net::GroupId group;
+  net::MacAddress mac;  // for L2 delivery / ARP answers
+  friend bool operator==(const LocalEntry&, const LocalEntry&) = default;
+};
+
+/// All VRFs of one router, keyed by VN. IPv4/IPv6/MAC EIDs share a VRF.
+class VrfSet {
+ public:
+  /// Installs (or replaces) a local endpoint entry.
+  void install(const net::VnEid& eid, const LocalEntry& entry);
+
+  /// Removes an entry; true if present.
+  bool remove(const net::VnEid& eid);
+
+  /// Exact host lookup within the VN.
+  [[nodiscard]] const LocalEntry* lookup(const net::VnEid& eid) const;
+
+  /// Updates just the GroupId of an existing entry (re-authentication after
+  /// a policy change); true if the entry exists.
+  bool retag(const net::VnEid& eid, net::GroupId group);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size(net::VnId vn) const;
+
+  void walk(const std::function<void(const net::VnEid&, const LocalEntry&)>& visit) const;
+
+  void clear();
+
+ private:
+  struct Tables {
+    trie::PatriciaTrie<LocalEntry> v4;
+    trie::PatriciaTrie<LocalEntry> v6;
+    trie::PatriciaTrie<LocalEntry> mac;
+
+    [[nodiscard]] trie::PatriciaTrie<LocalEntry>& family(net::EidFamily f) {
+      switch (f) {
+        case net::EidFamily::Ipv4: return v4;
+        case net::EidFamily::Ipv6: return v6;
+        case net::EidFamily::Mac: return mac;
+      }
+      return v4;
+    }
+  };
+
+  std::map<net::VnId, Tables> vrfs_;
+};
+
+}  // namespace sda::dataplane

@@ -1,0 +1,120 @@
+// Declarative fabric configuration: the operator-facing northbound of Fig. 1.
+//
+// Operators declare VNs, groups, the connectivity matrix, and endpoint
+// identities; everything else (addressing, route state, rule placement) is
+// derived by the fabric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lisp/map_server_node.hpp"
+#include "net/prefix.hpp"
+#include "net/types.hpp"
+#include "policy/matrix.hpp"
+#include "sim/time.hpp"
+#include "underlay/network.hpp"
+
+namespace sda::fabric {
+
+/// Onboarding / control-plane timing model (paper Fig. 3 flow).
+struct FabricTimings {
+  /// Edge detects a newly connected endpoint on a port.
+  sim::Duration detection = std::chrono::milliseconds{2};
+  /// Policy-server CPU per authentication round.
+  sim::Duration auth_processing = std::chrono::milliseconds{2};
+  /// RADIUS/EAP round trips for a fresh authentication.
+  unsigned auth_round_trips = 2;
+  /// Round trips for a fast re-authentication while roaming (cached keys).
+  unsigned roam_auth_round_trips = 1;
+  /// Policy-server CPU to assemble a destination-group rule download.
+  sim::Duration rule_download_processing = std::chrono::microseconds{500};
+  /// DHCP server processing (fresh lease; renewals are half this).
+  sim::Duration dhcp_processing = std::chrono::milliseconds{1};
+  /// Lognormal sigma applied to the onboarding delays (radio detection and
+  /// server processing are never deterministic in the field).
+  double jitter_sigma = 0.15;
+  /// Policy-server CPU capacity: authentication work queues on this many
+  /// workers, so onboarding storms (mass arrivals, §Conclusion's "large
+  /// gatherings") exhibit realistic queueing delay.
+  unsigned policy_workers = 8;
+};
+
+struct FabricConfig {
+  FabricTimings timings;
+  /// Edge map-cache capacity (0 = unbounded; small values model small FIBs).
+  std::size_t edge_map_cache_capacity = 0;
+  /// Enable LISP RLOC probing on edges (§5.1's explicit-probing alternative
+  /// to IGP watching). The probe timer keeps the event queue non-empty
+  /// while positive cache entries exist — drive such simulations with
+  /// run_until(), not run().
+  bool rloc_probing = false;
+  sim::Duration probe_interval = std::chrono::seconds{10};
+  /// §3.2.2 ablation: disable the border default route so cache misses
+  /// drop packets until resolution completes (classic LISP behaviour).
+  bool default_route_fallback = true;
+  /// TTL requested in Map-Registers (the paper's default is 1440 minutes).
+  std::uint32_t register_ttl_seconds = 1440 * 60;
+  /// Periodic soft-state re-registration of attached endpoints (keeps
+  /// registrations alive across MapServer::expire_registrations sweeps).
+  /// 0 = disabled; real xTRs refresh well inside the TTL.
+  sim::Duration register_refresh_interval{0};
+  /// §5.3 ablation: enforce group policy on ingress instead of egress.
+  bool enforce_on_ingress = false;
+  /// Enable per-edge L2 gateways (ARP unicast conversion, §3.5).
+  bool l2_gateway = true;
+  /// Routing-server front-end sizing (workers, service times).
+  lisp::MapServerNodeConfig map_server;
+  /// Horizontal scale-out (§4.1): edges are grouped and each group sends
+  /// Map-Requests to its own routing server; Map-Registers fan out to all
+  /// servers so every replica stays complete.
+  unsigned routing_servers = 1;
+  /// Underlay timing model (per-hop processing, IGP convergence, §5.1).
+  underlay::UnderlayConfig underlay;
+  /// Per-VN default action for micro-segmentation.
+  policy::Action default_action = policy::Action::Allow;
+  /// Deterministic seed for all fabric-internal randomness.
+  std::uint64_t seed = 42;
+  /// Debug validation: serialize every data-plane frame to real wire bytes
+  /// and decode it back, asserting equality — keeps the structured packet
+  /// model honest with the VXLAN-GPO wire format. Costly; tests only.
+  bool validate_wire_format = false;
+};
+
+/// Declarative VN definition.
+struct VnDefinition {
+  net::VnId id;
+  std::string name;
+  net::Ipv4Prefix dhcp_pool;
+  /// When set, endpoints also get a SLAAC IPv6 identity from this /64 and
+  /// register it as a third route (paper §4.1).
+  std::optional<net::Ipv6Prefix> slaac_prefix;
+};
+
+struct GroupDefinition {
+  net::GroupId id;
+  std::string name;
+};
+
+struct RuleDefinition {
+  net::VnId vn;
+  net::GroupId source;
+  net::GroupId destination;
+  policy::Action action = policy::Action::Deny;
+};
+
+struct EndpointDefinition {
+  std::string credential;
+  std::string secret;
+  net::MacAddress mac;
+  net::VnId vn;
+  net::GroupId group;
+  bool l2_services = false;  // also register the MAC EID (§3.5)
+  /// Access VLAN assigned to the endpoint's port (validated/stripped at
+  /// ingress, re-applied at egress; never stretched across the fabric).
+  std::optional<std::uint16_t> access_vlan;
+};
+
+}  // namespace sda::fabric

@@ -1,0 +1,810 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "l2/slaac.hpp"
+
+namespace sda::fabric {
+
+namespace {
+
+/// Virtual gateway MAC endpoints address their off-link traffic to.
+const net::MacAddress kGatewayMac = net::MacAddress::from_u64(0x02'00'00'00'00'01ull);
+
+std::uint64_t frame_flow_hash(const net::FabricFrame& frame) {
+  std::size_t h = std::hash<net::MacAddress>{}(frame.inner.source_mac);
+  h ^= std::hash<net::MacAddress>{}(frame.inner.destination_mac) << 1;
+  h ^= std::hash<net::VnId>{}(frame.vn) << 2;
+  return h;
+}
+
+}  // namespace
+
+SdaFabric::SdaFabric(sim::Simulator& simulator, FabricConfig config)
+    : simulator_(simulator), config_(std::move(config)), rng_(config_.seed) {
+  underlay_ = std::make_unique<underlay::UnderlayNetwork>(simulator_, topology_,
+                                                          config_.underlay);
+  policy_cpu_free_.assign(std::max(1u, config_.timings.policy_workers), sim::SimTime::zero());
+}
+
+sim::SimTime SdaFabric::reserve_policy_cpu(sim::Duration service) {
+  auto it = std::min_element(policy_cpu_free_.begin(), policy_cpu_free_.end());
+  const sim::SimTime start = std::max(*it, simulator_.now());
+  const sim::SimTime finish = start + service;
+  *it = finish;
+  return finish;
+}
+
+SdaFabric::~SdaFabric() = default;
+
+// ---------------------------------------------------------------------------
+// Topology construction
+// ---------------------------------------------------------------------------
+
+net::Ipv4Address SdaFabric::next_rloc() {
+  const std::uint32_t suffix = next_rloc_suffix_++;
+  return net::Ipv4Address{(10u << 24) | (suffix & 0xFFFF)};
+}
+
+void SdaFabric::add_border(const std::string& name) {
+  assert(!finalized_);
+  const net::Ipv4Address rloc = next_rloc();
+  const underlay::NodeId node = topology_.add_node(name, rloc);
+  nodes_by_name_[name] = node;
+
+  dataplane::BorderRouterConfig cfg;
+  cfg.name = name;
+  cfg.rloc = rloc;
+  cfg.node = node;
+  cfg.default_action = config_.default_action;
+  borders_[name] = std::make_unique<dataplane::BorderRouter>(simulator_, cfg);
+  border_order_.push_back(name);
+  border_by_rloc_[rloc] = name;
+}
+
+void SdaFabric::add_edge(const std::string& name) {
+  assert(!finalized_);
+  const net::Ipv4Address rloc = next_rloc();
+  const underlay::NodeId node = topology_.add_node(name, rloc);
+  nodes_by_name_[name] = node;
+
+  dataplane::EdgeRouterConfig cfg;
+  cfg.name = name;
+  cfg.rloc = rloc;
+  cfg.node = node;
+  cfg.map_cache_capacity = config_.edge_map_cache_capacity;
+  cfg.register_ttl_seconds = config_.register_ttl_seconds;
+  cfg.register_refresh_interval = config_.register_refresh_interval;
+  cfg.enforce_on_ingress = config_.enforce_on_ingress;
+  cfg.default_action = config_.default_action;
+  cfg.rloc_probing = config_.rloc_probing;
+  cfg.probe_interval = config_.probe_interval;
+  cfg.default_route_fallback = config_.default_route_fallback;
+  // border_rloc is filled in finalize() once the borders exist.
+  edges_[name] = std::make_unique<dataplane::EdgeRouter>(simulator_, cfg);
+  edge_order_.push_back(name);
+  edge_by_rloc_[rloc] = name;
+}
+
+void SdaFabric::add_underlay_node(const std::string& name) {
+  assert(!finalized_);
+  nodes_by_name_[name] = topology_.add_node(name, next_rloc());
+}
+
+void SdaFabric::link(const std::string& a, const std::string& b, sim::Duration latency,
+                     std::uint32_t cost) {
+  topology_.add_link(nodes_by_name_.at(a), nodes_by_name_.at(b), latency, cost);
+}
+
+void SdaFabric::finalize() {
+  assert(!finalized_);
+  if (border_order_.empty()) throw std::runtime_error("fabric needs at least one border");
+  finalized_ = true;
+
+  // The first border embeds the primary routing server and the policy
+  // server (as in the paper's warehouse deployment). Additional routing
+  // servers (§4.1 horizontal scale-out) are placed round-robin on borders.
+  dataplane::BorderRouter& primary = *borders_.at(border_order_.front());
+  map_server_rloc_ = primary.rloc();
+  policy_server_rloc_ = primary.rloc();
+
+  const unsigned server_count = std::max(1u, config_.routing_servers);
+  for (unsigned i = 0; i < server_count; ++i) {
+    lisp::MapServerNodeConfig ms_cfg = config_.map_server;
+    ms_cfg.rloc = borders_.at(border_order_[i % border_order_.size()])->rloc();
+    lisp::MapServer* database = &map_server_;
+    if (i > 0) {
+      replica_dbs_.push_back(std::make_unique<lisp::MapServer>());
+      database = replica_dbs_.back().get();
+    }
+    server_nodes_.push_back(std::make_unique<lisp::MapServerNode>(
+        simulator_, *database, ms_cfg, config_.seed ^ (0x5D + i)));
+  }
+  // Edge groups: round-robin assignment of Map-Request traffic.
+  for (std::size_t e = 0; e < edge_order_.size(); ++e) {
+    request_server_of_[edges_.at(edge_order_[e])->rloc()] = e % server_nodes_.size();
+  }
+
+  // Pub/sub: every border subscribes to the full feed (Fig. 1 "sync").
+  map_server_.set_publish_callback([this](const net::VnEid& eid,
+                                          const lisp::MappingRecord* record) {
+    lisp::Publish publish;
+    publish.eid = eid;
+    if (record) {
+      publish.rlocs = record->rlocs;
+      publish.ttl_seconds = record->ttl_seconds;
+    }
+    for (const auto& name : border_order_) {
+      dataplane::BorderRouter& border = *borders_.at(name);
+      control_send(map_server_rloc_, border.rloc(),
+                   lisp::message_wire_size(lisp::Message{publish}),
+                   [this, name, publish, &border] {
+                     border.receive_publish(publish);
+                     if (border_sync_listener_) {
+                       const lisp::MappingRecord* rec = nullptr;
+                       lisp::MappingRecord tmp;
+                       if (!publish.withdrawal()) {
+                         tmp.rlocs = publish.rlocs;
+                         tmp.ttl_seconds = publish.ttl_seconds;
+                         rec = &tmp;
+                       }
+                       border_sync_listener_(name, publish.eid, rec);
+                     }
+                   });
+    }
+  });
+
+  // Mobility: Map-Notify the previous edge so it forwards in-flight traffic
+  // to the new location (Fig. 5 steps 2-3).
+  map_server_.set_move_callback([this](const net::VnEid& eid, net::Ipv4Address previous,
+                                       const lisp::MappingRecord& record) {
+    const auto it = edge_by_rloc_.find(previous);
+    if (it == edge_by_rloc_.end()) return;
+    lisp::MapNotify notify{0, eid, record.rlocs};
+    const std::string edge_name = it->second;
+    control_send(map_server_rloc_, previous, lisp::message_wire_size(lisp::Message{notify}),
+                 [this, edge_name, notify] { edges_.at(edge_name)->receive_map_notify(notify); });
+  });
+
+  // Policy-server callbacks: group reassignment re-authenticates at the
+  // hosting edge (§5.3); rule updates push to hosting edges (§5.4).
+  policy_server_.set_endpoint_changed_callback(
+      [this](const std::string& credential, const policy::EndpointPolicy& policy) {
+        const auto it = endpoints_by_credential_.find(credential);
+        if (it == endpoints_by_credential_.end() || it->second.edge.empty()) return;
+        EndpointState& state = it->second;
+        state.definition.group = policy.group;
+        dataplane::EdgeRouter& hosting = *edges_.at(state.edge);
+        const net::MacAddress mac = state.definition.mac;
+        // CoA-style signal: one control message to the hosting edge.
+        policy_server_.record_group_host(hosting.rloc(), policy.vn, policy.group);
+        control_send(policy_server_rloc_, hosting.rloc(), 64,
+                     [&hosting, mac, group = policy.group] {
+                       hosting.retag_endpoint(mac, group);
+                     });
+      });
+  policy_server_.set_rules_push_callback([this](net::Ipv4Address edge_rloc, net::VnId vn,
+                                                const std::vector<policy::Rule>& rules) {
+    const auto it = edge_by_rloc_.find(edge_rloc);
+    if (it == edge_by_rloc_.end()) return;
+    if (rules.empty()) return;
+    const net::GroupId destination = rules.front().pair.destination;
+    const std::string edge_name = it->second;
+    control_send(policy_server_rloc_, edge_rloc, 64 + 8 * rules.size(),
+                 [this, edge_name, vn, destination, rules] {
+                   edges_.at(edge_name)->install_rules(vn, destination, rules);
+                 });
+  });
+
+  // L2 gateway shared by all edges (stateless apart from counters).
+  if (config_.l2_gateway) {
+    l2_gateway_ = std::make_unique<l2::L2Gateway>(
+        // IP -> MAC lookup at the routing server (§3.5).
+        [this](const net::VnEid& ip_eid,
+               std::function<void(std::optional<net::MacAddress>)> done) {
+          control_send(map_server_rloc_, map_server_rloc_, 64,
+                       [this, ip_eid, done = std::move(done)] {
+                         done(map_server_.lookup_mac(ip_eid));
+                       });
+        },
+        // MAC EID -> RLOC lookup.
+        [this](const net::VnEid& mac_eid,
+               std::function<void(std::optional<net::Ipv4Address>)> done) {
+          lisp::MapRequest request;
+          request.nonce = 0;
+          request.eid = mac_eid;
+          request.itr_rloc = map_server_rloc_;
+          server_nodes_.front()->submit_request(
+              request, [done = std::move(done)](const lisp::MapReply& reply, sim::Duration) {
+                if (reply.negative()) {
+                  done(std::nullopt);
+                } else {
+                  done(reply.rlocs.front().address);
+                }
+              });
+        });
+  }
+
+  for (auto& [name, edge] : edges_) wire_edge(*edge);
+  for (auto& [name, border] : borders_) wire_border(*border);
+
+  // Underlay reachability watchers (§5.1) for every edge.
+  for (const auto& name : edge_order_) {
+    dataplane::EdgeRouter& edge = *edges_.at(name);
+    underlay_->watch(edge.config().node, [&edge](net::Ipv4Address rloc, bool reachable) {
+      edge.on_rloc_reachability(rloc, reachable);
+    });
+  }
+}
+
+void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
+  // Point the default route at the first border.
+  edge.set_border_rloc(borders_.at(border_order_.front())->rloc());
+
+  edge.set_send_data([this](const net::FabricFrame& frame) { dispatch_fabric_frame(frame); });
+
+  edge.set_send_map_request([this, &edge](const lisp::MapRequest& request) {
+    // Each edge group queries its assigned routing server (§4.1).
+    lisp::MapServerNode& node = *server_nodes_[request_server_of_.at(edge.rloc())];
+    const net::Ipv4Address server_rloc = node.rloc();
+    control_send(edge.rloc(), server_rloc, lisp::message_wire_size(lisp::Message{request}),
+                 [this, &edge, &node, server_rloc, request] {
+                   node.submit_request(
+                       request,
+                       [this, &edge, server_rloc](const lisp::MapReply& reply, sim::Duration) {
+                         control_send(server_rloc, edge.rloc(),
+                                      lisp::message_wire_size(lisp::Message{reply}),
+                                      [&edge, reply] { edge.receive_map_reply(reply); });
+                       });
+                 });
+  });
+
+  edge.set_send_map_register([this, &edge](const lisp::MapRegister& registration) {
+    // Route updates go to *all* routing servers so replicas stay complete
+    // (§4.1). Onboarding completion is tied to the primary's ack.
+    for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
+      lisp::MapServerNode& node = *server_nodes_[i];
+      const bool is_primary = i == 0;
+      control_send(edge.rloc(), node.rloc(),
+                   lisp::message_wire_size(lisp::Message{registration}),
+                   [this, &node, registration, is_primary] {
+                     node.submit_register(
+                         registration,
+                         [this, is_primary, eid = registration.eid](
+                             const lisp::RegisterOutcome&, const lisp::MapNotify&,
+                             sim::Duration) {
+                           if (!is_primary) return;
+                           // Complete any onboarding waiting on this EID.
+                           const auto it = pending_onboards_.find(eid);
+                           if (it == pending_onboards_.end()) return;
+                           auto waiters = std::move(it->second);
+                           pending_onboards_.erase(it);
+                           for (auto& fire : waiters) fire();
+                         });
+                   });
+    }
+  });
+
+  edge.set_send_smr([this](net::Ipv4Address to, const lisp::SolicitMapRequest& smr) {
+    const auto it = edge_by_rloc_.find(to);
+    if (it == edge_by_rloc_.end()) return;  // borders are pub/sub-fresh: no SMR needed
+    const std::string target = it->second;
+    control_send(smr.source_rloc, to, lisp::message_wire_size(lisp::Message{smr}),
+                 [this, target, smr] { edges_.at(target)->receive_smr(smr); });
+  });
+
+  edge.set_deliver_local([this](const dataplane::AttachedEndpoint& endpoint,
+                                const net::OverlayFrame& frame) {
+    if (delivery_listener_) delivery_listener_(endpoint, frame, simulator_.now());
+  });
+
+  edge.set_download_rules([this](net::VnId vn, net::GroupId destination) {
+    return policy_server_.download_rules(vn, destination);
+  });
+  edge.set_release_group([this, &edge](net::VnId vn, net::GroupId group) {
+    policy_server_.release_group(edge.rloc(), vn, group);
+  });
+
+  if (l2_gateway_) {
+    edge.set_broadcast_handler([this](dataplane::EdgeRouter& router,
+                                      const dataplane::AttachedEndpoint& source,
+                                      const net::OverlayFrame& frame) {
+      l2_gateway_->handle_broadcast(router, source, frame);
+    });
+  }
+
+  // RLOC probing (§5.1 "explicit probing"): a probe round-trips through the
+  // underlay; if the target is unreachable at send time the reply never
+  // comes and the timeout reports the RLOC dead.
+  edge.set_send_probe([this, &edge](net::Ipv4Address rloc, std::function<void(bool)> done) {
+    const underlay::NodeId from = edge.config().node;
+    const auto rtt_half = underlay_->transit_delay(from, rloc, rloc.value(), 64);
+    if (!rtt_half) {
+      // No path: report failure after a probe timeout.
+      simulator_.schedule_after(std::chrono::milliseconds{500},
+                                [done = std::move(done)] { done(false); });
+      return;
+    }
+    simulator_.schedule_after(*rtt_half * 2, [done = std::move(done)] { done(true); });
+  });
+}
+
+void SdaFabric::wire_border(dataplane::BorderRouter& border) {
+  border.set_send_data([this](const net::FabricFrame& frame) { dispatch_fabric_frame(frame); });
+}
+
+// ---------------------------------------------------------------------------
+// Declarative configuration
+// ---------------------------------------------------------------------------
+
+void SdaFabric::define_vn(const VnDefinition& vn) {
+  dhcp_.add_pool(vn.id, vn.dhcp_pool);
+  if (vn.slaac_prefix) slaac_prefixes_.emplace(vn.id.value(), *vn.slaac_prefix);
+  (void)policy_server_.matrix(vn.id);  // create the VN's matrix eagerly
+}
+
+void SdaFabric::define_group(const GroupDefinition& group) {
+  (void)group;  // groups are implicit in rules/endpoints; names are cosmetic
+}
+
+void SdaFabric::set_rule(const RuleDefinition& rule) {
+  policy_server_.matrix(rule.vn).set_rule(rule.source, rule.destination, rule.action);
+}
+
+void SdaFabric::update_rule(const RuleDefinition& rule) {
+  policy_server_.update_rule(rule.vn, rule.source, rule.destination, rule.action);
+}
+
+void SdaFabric::provision_endpoint(const EndpointDefinition& endpoint) {
+  policy_server_.provision_endpoint(endpoint.credential, endpoint.secret,
+                                    policy::EndpointPolicy{endpoint.vn, endpoint.group});
+  EndpointState state;
+  state.definition = endpoint;
+  endpoints_by_credential_[endpoint.credential] = std::move(state);
+  credential_by_mac_[endpoint.mac] = endpoint.credential;
+}
+
+void SdaFabric::add_external_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
+                                    net::GroupId group, std::uint32_t ttl_seconds) {
+  for (const auto& name : border_order_) {
+    borders_.at(name)->add_external_prefix(vn, prefix, group);
+  }
+  // The routing server answers external prefixes with the border RLOC so
+  // edges cache a positive mapping instead of default-routing forever.
+  lisp::MappingRecord record;
+  record.rlocs = {net::Rloc{borders_.at(border_order_.front())->rloc()}};
+  record.group = group;
+  record.ttl_seconds = ttl_seconds;
+  map_server_.register_prefix(vn, prefix, record);
+}
+
+// ---------------------------------------------------------------------------
+// Onboarding (Fig. 3) and mobility (Fig. 5)
+// ---------------------------------------------------------------------------
+
+void SdaFabric::connect_endpoint(const std::string& credential, const std::string& edge,
+                                 dataplane::PortId port, OnboardCallback callback) {
+  const auto it = endpoints_by_credential_.find(credential);
+  if (it == endpoints_by_credential_.end())
+    throw std::invalid_argument("unknown credential: " + credential);
+  onboard(it->second, edge, port, /*fast_reauth=*/false, std::move(callback));
+}
+
+void SdaFabric::roam_endpoint(const net::MacAddress& mac, const std::string& new_edge,
+                              dataplane::PortId port, OnboardCallback callback) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) throw std::invalid_argument("unknown endpoint MAC");
+  EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (!state.edge.empty() && state.edge != new_edge) {
+    // Detach from the previous edge; its registration stays until the new
+    // edge overwrites it (the old edge keeps forwarding via Map-Notify).
+    edges_.at(state.edge)->detach_endpoint(mac, /*deregister=*/false);
+    state.edge.clear();
+  }
+  onboard(state, new_edge, port, /*fast_reauth=*/true, std::move(callback));
+}
+
+void SdaFabric::disconnect_endpoint(const net::MacAddress& mac) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return;
+  EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return;
+  services_.withdraw_provider(state.definition.vn, mac);  // mDNS goodbye
+  edges_.at(state.edge)->detach_endpoint(mac, /*deregister=*/true);
+  state.edge.clear();
+}
+
+void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
+                        dataplane::PortId port, bool fast_reauth, OnboardCallback callback) {
+  assert(finalized_);
+  // An endpoint can only be attached in one place: a fresh connect while
+  // attached elsewhere behaves like an unplug + replug.
+  if (!state.edge.empty() && state.edge != edge_name) {
+    edges_.at(state.edge)->detach_endpoint(state.definition.mac, /*deregister=*/false);
+    state.edge.clear();
+  }
+  dataplane::EdgeRouter& edge = *edges_.at(edge_name);
+  const sim::SimTime started = simulator_.now();
+  const EndpointDefinition def = state.definition;
+  state.onboarding = true;
+
+  auto fail = [this, &state, def, edge_name, started, callback](const char*) {
+    state.onboarding = false;
+    if (!callback) return;
+    OnboardResult result;
+    result.success = false;
+    result.credential = def.credential;
+    result.mac = def.mac;
+    result.edge = edge_name;
+    result.elapsed = simulator_.now() - started;
+    callback(result);
+  };
+
+  // Control-plane RTT between the edge and the (co-located) policy/DHCP
+  // servers. If the underlay is partitioned, onboarding fails outright.
+  const auto one_way = underlay_->transit_delay(edge.config().node, policy_server_rloc_, 0, 256);
+  if (!one_way) {
+    fail("underlay unreachable");
+    return;
+  }
+  const sim::Duration rtt = *one_way * 2;
+  const FabricTimings& t = config_.timings;
+
+  const unsigned rounds = fast_reauth ? t.roam_auth_round_trips : t.auth_round_trips;
+  // Radio detection and server processing jitter (lognormal multiplier).
+  const double jitter = t.jitter_sigma > 0 ? rng_.lognormal(0.0, t.jitter_sigma) : 1.0;
+  const auto jittered = [jitter](sim::Duration d) {
+    return sim::Duration{static_cast<std::int64_t>(static_cast<double>(d.count()) * jitter)};
+  };
+  // Client-side path cost (detection + EAP round trips). The policy
+  // server's CPU work is reserved separately so onboarding storms queue.
+  const sim::Duration auth_client_delay = jittered(t.detection + rtt * rounds);
+  const sim::Duration auth_cpu = jittered(t.auth_processing * rounds);
+  // Roaming endpoints keep their sticky lease: no DHCP round trip (802.11r
+  // style fast transition; the address must survive the move for L3
+  // mobility to be seamless).
+  const sim::Duration dhcp_delay =
+      fast_reauth ? sim::Duration{0} : jittered(rtt + t.dhcp_processing);
+  const sim::Duration rules_delay = jittered(rtt + t.rule_download_processing);
+
+  // Reserve the auth CPU up front: requests hit the RADIUS queue in
+  // arrival order regardless of their radio-side latency.
+  const sim::SimTime cpu_done = reserve_policy_cpu(auth_cpu);
+  const sim::SimTime auth_done = std::max(cpu_done, simulator_.now() + auth_client_delay);
+
+  simulator_.schedule_at(auth_done, [this, &state, &edge, def, edge_name, port, started,
+                                     dhcp_delay, rules_delay, fail, callback] {
+    // Step 1-2: authenticate and fetch (VN, GroupId).
+    policy::AccessRequest request;
+    request.credential = def.credential;
+    request.secret = def.secret;
+    request.calling_mac = def.mac;
+    request.nas_port = port;
+    const auto policy = policy_server_.authenticate(request, edge.rloc());
+    if (!policy) {
+      fail("authentication rejected");
+      return;
+    }
+
+    simulator_.schedule_after(rules_delay + dhcp_delay, [this, &state, &edge, def, edge_name,
+                                                         port, started, policy, callback,
+                                                         fail] {
+      // Step 3: DHCP address (sticky lease).
+      const auto ip = dhcp_.acquire(policy->vn, def.mac);
+      if (!ip) {
+        fail("address pool exhausted");
+        return;
+      }
+
+      // Step 4: attach + register location (IPv4 + optional IPv6 + MAC).
+      dataplane::AttachedEndpoint attached;
+      attached.mac = def.mac;
+      attached.ip = *ip;
+      attached.vn = policy->vn;
+      attached.group = policy->group;
+      attached.port = port;
+      attached.credential = def.credential;
+      attached.register_mac = def.l2_services;
+      attached.vlan = def.access_vlan;
+      if (const auto slaac = slaac_prefixes_.find(policy->vn.value());
+          slaac != slaac_prefixes_.end()) {
+        attached.ipv6 = l2::slaac_address(slaac->second, def.mac);
+      }
+
+      state.edge = edge_name;
+      state.port = port;
+      state.onboarding = false;
+      state.definition.group = policy->group;
+
+      if (def.l2_services) {
+        map_server_.bind_l2(net::VnEid{policy->vn, net::Eid{*ip}}, def.mac);
+      }
+
+      if (callback) {
+        // Fire once the Map-Register completes at the routing server.
+        const net::VnEid ip_eid{policy->vn, net::Eid{*ip}};
+        pending_onboards_[ip_eid].push_back(
+            [this, def, edge_name, started, policy, ip = *ip, ipv6 = attached.ipv6, callback] {
+              OnboardResult result;
+              result.success = true;
+              result.credential = def.credential;
+              result.mac = def.mac;
+              result.ip = ip;
+              result.ipv6 = ipv6;
+              result.vn = policy->vn;
+              result.group = policy->group;
+              result.edge = edge_name;
+              result.elapsed = simulator_.now() - started;
+              callback(result);
+            });
+      }
+      edge.attach_endpoint(attached);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Traffic injection
+// ---------------------------------------------------------------------------
+
+bool SdaFabric::endpoint_send_udp(const net::MacAddress& mac, net::Ipv4Address destination,
+                                  std::uint16_t dport, std::uint16_t payload_bytes) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return false;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return false;
+  dataplane::EdgeRouter& edge = *edges_.at(state.edge);
+  const dataplane::AttachedEndpoint* attached = edge.find_endpoint(mac);
+  if (!attached) return false;
+
+  net::OverlayFrame frame;
+  frame.source_mac = mac;
+  frame.destination_mac = kGatewayMac;
+  frame.vlan_id = attached->vlan;  // hosts on tagged ports send tagged frames
+  net::Ipv4Datagram dgram;
+  dgram.source = attached->ip;
+  dgram.destination = destination;
+  dgram.protocol = net::IpProtocol::Udp;
+  dgram.source_port = static_cast<std::uint16_t>(0x8000 | (mac.to_u64() & 0x7FFF));
+  dgram.destination_port = dport;
+  dgram.payload_size = payload_bytes;
+  frame.l3 = dgram;
+  edge.endpoint_transmit(mac, frame);
+  return true;
+}
+
+bool SdaFabric::endpoint_send_udp6(const net::MacAddress& mac,
+                                   const net::Ipv6Address& destination, std::uint16_t dport,
+                                   std::uint16_t payload_bytes) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return false;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return false;
+  dataplane::EdgeRouter& edge = *edges_.at(state.edge);
+  const dataplane::AttachedEndpoint* attached = edge.find_endpoint(mac);
+  if (!attached || !attached->ipv6) return false;
+
+  net::OverlayFrame frame;
+  frame.source_mac = mac;
+  frame.destination_mac = kGatewayMac;
+  frame.vlan_id = attached->vlan;  // hosts on tagged ports send tagged frames
+  net::Ipv6Datagram dgram;
+  dgram.source = *attached->ipv6;
+  dgram.destination = destination;
+  dgram.protocol = net::IpProtocol::Udp;
+  dgram.source_port = static_cast<std::uint16_t>(0x8000 | (mac.to_u64() & 0x7FFF));
+  dgram.destination_port = dport;
+  dgram.payload_size = payload_bytes;
+  frame.l3 = dgram;
+  edge.endpoint_transmit(mac, frame);
+  return true;
+}
+
+void SdaFabric::add_external_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
+                                    net::GroupId group, std::uint32_t ttl_seconds) {
+  for (const auto& name : border_order_) {
+    borders_.at(name)->add_external_prefix(vn, prefix, group);
+  }
+  lisp::MappingRecord record;
+  record.rlocs = {net::Rloc{borders_.at(border_order_.front())->rloc()}};
+  record.group = group;
+  record.ttl_seconds = ttl_seconds;
+  map_server_.register_prefix(vn, prefix, record);
+}
+
+bool SdaFabric::endpoint_send_arp(const net::MacAddress& mac, net::Ipv4Address target) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return false;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return false;
+  dataplane::EdgeRouter& edge = *edges_.at(state.edge);
+  const dataplane::AttachedEndpoint* attached = edge.find_endpoint(mac);
+  if (!attached) return false;
+
+  net::OverlayFrame frame;
+  frame.source_mac = mac;
+  frame.destination_mac = net::MacAddress::broadcast();
+  frame.vlan_id = attached->vlan;  // hosts on tagged ports send tagged frames
+  net::ArpPacket arp;
+  arp.op = net::ArpPacket::Op::Request;
+  arp.sender_mac = mac;
+  arp.sender_ip = attached->ip;
+  arp.target_mac = net::MacAddress{};
+  arp.target_ip = target;
+  frame.l3 = arp;
+  edge.endpoint_transmit(mac, frame);
+  return true;
+}
+
+bool SdaFabric::advertise_service(const net::MacAddress& mac, const std::string& type,
+                                  const std::string& name, std::uint16_t port) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return false;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return false;
+  const dataplane::AttachedEndpoint* attached = edges_.at(state.edge)->find_endpoint(mac);
+  if (!attached) return false;
+
+  l2::ServiceInstance instance{type, name, attached->ip, port, mac};
+  const net::VnId vn = attached->vn;
+  // The advertisement rides the control plane to the registry.
+  control_send(edges_.at(state.edge)->rloc(), map_server_rloc_, 96,
+               [this, vn, instance = std::move(instance)] {
+                 services_.advertise(vn, instance);
+               });
+  return true;
+}
+
+bool SdaFabric::endpoint_query_service(const net::MacAddress& mac, const std::string& type,
+                                       ServiceQueryCallback callback) {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return false;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return false;
+  dataplane::EdgeRouter& edge = *edges_.at(state.edge);
+  const dataplane::AttachedEndpoint* attached = edge.find_endpoint(mac);
+  if (!attached) return false;
+
+  // The "broadcast" query is absorbed at the edge and proxied: one control
+  // round trip to the registry, then a unicast answer back to the querier.
+  const net::VnId vn = attached->vn;
+  const net::Ipv4Address edge_rloc = edge.rloc();
+  control_send(edge_rloc, map_server_rloc_, 64,
+               [this, vn, type, edge_rloc, callback = std::move(callback)] {
+                 auto instances = services_.query(vn, type);
+                 control_send(map_server_rloc_, edge_rloc, 64 + 32 * instances.size(),
+                              [callback, instances = std::move(instances)] {
+                                if (callback) callback(instances);
+                              });
+               });
+  return true;
+}
+
+void SdaFabric::external_send_udp(const std::string& border, net::VnId vn,
+                                  net::Ipv4Address source, net::Ipv4Address destination,
+                                  std::uint16_t payload_bytes, net::GroupId source_group) {
+  net::OverlayFrame frame;
+  frame.source_mac = kGatewayMac;
+  frame.destination_mac = kGatewayMac;
+  net::Ipv4Datagram dgram;
+  dgram.source = source;
+  dgram.destination = destination;
+  dgram.protocol = net::IpProtocol::Udp;
+  dgram.payload_size = payload_bytes;
+  frame.l3 = dgram;
+  borders_.at(border)->external_receive(vn, source_group, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Operational events
+// ---------------------------------------------------------------------------
+
+void SdaFabric::set_link_state(const std::string& a, const std::string& b, bool up) {
+  const underlay::NodeId na = nodes_by_name_.at(a);
+  const underlay::NodeId nb = nodes_by_name_.at(b);
+  for (const underlay::LinkId id : topology_.links_of(na)) {
+    const underlay::Link& l = topology_.link(id);
+    if (l.other(na) == nb) {
+      topology_.set_link_state(id, up);
+      underlay_->topology_changed();
+      return;
+    }
+  }
+  throw std::invalid_argument("no link between " + a + " and " + b);
+}
+
+void SdaFabric::reboot_edge(const std::string& name, sim::Duration downtime) {
+  dataplane::EdgeRouter& edge = *edges_.at(name);
+  edge.reboot();
+  topology_.set_node_state(edge.config().node, false);
+  underlay_->topology_changed();
+
+  // Collect the endpoints that were attached here; they re-onboard when the
+  // router returns.
+  std::vector<std::string> stranded;
+  for (auto& [credential, state] : endpoints_by_credential_) {
+    if (state.edge == name) {
+      state.edge.clear();
+      stranded.push_back(credential);
+    }
+  }
+
+  simulator_.schedule_after(downtime, [this, name, stranded] {
+    dataplane::EdgeRouter& rebooted = *edges_.at(name);
+    topology_.set_node_state(rebooted.config().node, true);
+    underlay_->topology_changed();
+    for (const auto& credential : stranded) {
+      EndpointState& state = endpoints_by_credential_.at(credential);
+      onboard(state, name, state.port, /*fast_reauth=*/false, {});
+    }
+  });
+}
+
+bool SdaFabric::reassign_endpoint_group(const std::string& credential, net::GroupId new_group) {
+  return policy_server_.reassign_group(credential, new_group);
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+void SdaFabric::dispatch_fabric_frame(const net::FabricFrame& frame) {
+  if (config_.validate_wire_format) {
+    // Round-trip through the real VXLAN-GPO wire format; any asymmetry
+    // between the structured model and the codecs is a bug.
+    const auto decoded = net::FabricFrame::decode(frame.encode());
+    if (!decoded || *decoded != frame) {
+      throw std::logic_error("fabric frame failed wire-format round-trip");
+    }
+  }
+  const underlay::NodeId from = node_of_rloc(frame.outer_source);
+  underlay_->deliver(from, frame.outer_destination, frame_flow_hash(frame), frame.wire_size(),
+                     [this, frame] {
+                       if (const auto e = edge_by_rloc_.find(frame.outer_destination);
+                           e != edge_by_rloc_.end()) {
+                         edges_.at(e->second)->receive_fabric_frame(frame);
+                         return;
+                       }
+                       if (const auto b = border_by_rloc_.find(frame.outer_destination);
+                           b != border_by_rloc_.end()) {
+                         borders_.at(b->second)->receive_fabric_frame(frame);
+                       }
+                     });
+}
+
+void SdaFabric::control_send(net::Ipv4Address from, net::Ipv4Address to, std::size_t bytes,
+                             std::function<void()> action) {
+  if (from == to) {
+    simulator_.schedule_after(sim::Duration{0}, std::move(action));
+    return;
+  }
+  underlay_->deliver(node_of_rloc(from), to, std::hash<std::uint32_t>{}(from.value()), bytes,
+                     std::move(action));
+}
+
+underlay::NodeId SdaFabric::node_of_rloc(net::Ipv4Address rloc) const {
+  const auto node = topology_.node_by_loopback(rloc);
+  assert(node.has_value());
+  return *node;
+}
+
+dataplane::EdgeRouter& SdaFabric::edge(const std::string& name) { return *edges_.at(name); }
+
+dataplane::BorderRouter& SdaFabric::border(const std::string& name) {
+  return *borders_.at(name);
+}
+
+std::vector<std::string> SdaFabric::edge_names() const { return edge_order_; }
+std::vector<std::string> SdaFabric::border_names() const { return border_order_; }
+
+std::optional<std::string> SdaFabric::location_of(const net::MacAddress& mac) const {
+  const auto cred = credential_by_mac_.find(mac);
+  if (cred == credential_by_mac_.end()) return std::nullopt;
+  const EndpointState& state = endpoints_by_credential_.at(cred->second);
+  if (state.edge.empty()) return std::nullopt;
+  return state.edge;
+}
+
+}  // namespace sda::fabric

@@ -1,0 +1,278 @@
+// SdaFabric: the public facade tying every subsystem together.
+//
+// Owns the underlay, the routing server (LISP map server + queueing node),
+// the policy server, the DHCP server, the edge/border routers, and the L2
+// gateways, and wires the hooks between them:
+//
+//   endpoint --(detect/auth/dhcp/register: Fig. 3)--> edge --(VXLAN-GPO)-->
+//   underlay --> egress edge --(VRF + SGACL: Fig. 4)--> endpoint
+//
+//   mobility: re-register -> Map-Notify old edge (Fig. 5) + pub/sub to the
+//   border; stale senders refreshed by data-triggered SMR (Fig. 6).
+//
+// All interactions run on the shared discrete-event simulator with modeled
+// underlay latencies, so every experiment in the paper's evaluation can be
+// replayed against this one object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/border_router.hpp"
+#include "dataplane/edge_router.hpp"
+#include "fabric/config.hpp"
+#include "l2/dhcp.hpp"
+#include "l2/l2_gateway.hpp"
+#include "l2/service_discovery.hpp"
+#include "lisp/map_server.hpp"
+#include "lisp/map_server_node.hpp"
+#include "policy/policy_server.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "underlay/network.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::fabric {
+
+/// Result handed to the onboarding-complete callback.
+struct OnboardResult {
+  bool success = false;
+  std::string credential;
+  net::MacAddress mac;
+  net::Ipv4Address ip;                   // assigned overlay address
+  std::optional<net::Ipv6Address> ipv6;  // SLAAC identity, if the VN has one
+  net::VnId vn;
+  net::GroupId group;
+  std::string edge;        // edge router name
+  sim::Duration elapsed{};  // detection -> location registered
+};
+
+class SdaFabric {
+ public:
+  using OnboardCallback = std::function<void(const OnboardResult&)>;
+  /// (endpoint, frame, time) — every successful local delivery fabric-wide.
+  using DeliveryListener = std::function<void(const dataplane::AttachedEndpoint&,
+                                              const net::OverlayFrame&, sim::SimTime)>;
+  /// (eid, record) — border installed a mapping via pub/sub (nullptr =
+  /// withdrawal). Used by the mobility experiment to timestamp convergence.
+  using BorderSyncListener =
+      std::function<void(const std::string& border, const net::VnEid&,
+                         const lisp::MappingRecord*)>;
+
+  explicit SdaFabric(sim::Simulator& simulator, FabricConfig config = {});
+  ~SdaFabric();
+  SdaFabric(const SdaFabric&) = delete;
+  SdaFabric& operator=(const SdaFabric&) = delete;
+
+  // --- Topology construction (call before finalize()) ---------------------
+
+  /// Adds a border router; the first border hosts the routing server and
+  /// receives the fabric default route.
+  void add_border(const std::string& name);
+  void add_edge(const std::string& name);
+  /// Adds a pure underlay router (no fabric function).
+  void add_underlay_node(const std::string& name);
+  /// Connects two named nodes with a link.
+  void link(const std::string& a, const std::string& b,
+            sim::Duration latency = std::chrono::microseconds{50}, std::uint32_t cost = 1);
+
+  /// Wires every hook; must be called once after topology construction and
+  /// before any endpoint activity.
+  void finalize();
+
+  // --- Declarative configuration ------------------------------------------
+
+  void define_vn(const VnDefinition& vn);
+  void define_group(const GroupDefinition& group);
+  void set_rule(const RuleDefinition& rule);
+  void provision_endpoint(const EndpointDefinition& endpoint);
+
+  /// Declares an external prefix reachable via the borders (Internet/DC).
+  /// `ttl_seconds` bounds how long edges cache resolutions under it —
+  /// external mappings typically use shorter TTLs than endpoint routes.
+  void add_external_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
+                           net::GroupId group = net::GroupId::unknown(),
+                           std::uint32_t ttl_seconds = 4 * 3600);
+  void add_external_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
+                           net::GroupId group = net::GroupId::unknown(),
+                           std::uint32_t ttl_seconds = 4 * 3600);
+
+  // --- Endpoint runtime -----------------------------------------------------
+
+  /// Plugs a provisioned endpoint into an edge port and runs the Fig. 3
+  /// onboarding flow. The callback fires when the location is registered.
+  void connect_endpoint(const std::string& credential, const std::string& edge,
+                        dataplane::PortId port, OnboardCallback callback = {});
+
+  /// Roams a connected endpoint to another edge (Fig. 5): detach, fast
+  /// re-auth, re-register; Map-Notify flows to the previous edge.
+  void roam_endpoint(const net::MacAddress& mac, const std::string& new_edge,
+                     dataplane::PortId port, OnboardCallback callback = {});
+
+  /// Cleanly disconnects an endpoint (deregisters its mapping).
+  void disconnect_endpoint(const net::MacAddress& mac);
+
+  /// Sends a UDP datagram from a connected endpoint. Returns false if the
+  /// endpoint is not attached anywhere.
+  bool endpoint_send_udp(const net::MacAddress& mac, net::Ipv4Address destination,
+                         std::uint16_t dport, std::uint16_t payload_bytes);
+
+  /// Sends an IPv6 UDP datagram from a connected endpoint (requires the
+  /// VN to have a SLAAC prefix).
+  bool endpoint_send_udp6(const net::MacAddress& mac, const net::Ipv6Address& destination,
+                          std::uint16_t dport, std::uint16_t payload_bytes);
+
+  /// Sends a broadcast ARP request from a connected endpoint.
+  bool endpoint_send_arp(const net::MacAddress& mac, net::Ipv4Address target);
+
+  // --- Service discovery (§3.5: broadcast-free Bonjour) --------------------
+
+  /// Advertises a service from a connected endpoint; the registry entry is
+  /// withdrawn automatically when the endpoint disconnects. Returns false
+  /// if the endpoint is not attached.
+  bool advertise_service(const net::MacAddress& mac, const std::string& type,
+                         const std::string& name, std::uint16_t port);
+
+  /// A connected endpoint "broadcasts" an mDNS-style query; the edge
+  /// absorbs it and the central registry answers as unicast after the
+  /// control-plane round trip. Returns false if the endpoint is detached.
+  using ServiceQueryCallback = std::function<void(std::vector<l2::ServiceInstance>)>;
+  bool endpoint_query_service(const net::MacAddress& mac, const std::string& type,
+                              ServiceQueryCallback callback);
+
+  [[nodiscard]] l2::ServiceRegistry& service_registry() { return services_; }
+
+  /// Injects a packet from an external network toward an overlay endpoint
+  /// through a named border.
+  void external_send_udp(const std::string& border, net::VnId vn, net::Ipv4Address source,
+                         net::Ipv4Address destination, std::uint16_t payload_bytes,
+                         net::GroupId source_group = net::GroupId::unknown());
+
+  // --- Operational events ---------------------------------------------------
+
+  /// Takes a link down / up; IGP reconvergence and §5.1 fallback follow.
+  void set_link_state(const std::string& a, const std::string& b, bool up);
+
+  /// Reboots an edge (§5.2): state lost, node down for `downtime`, then its
+  /// endpoints re-onboard automatically.
+  void reboot_edge(const std::string& name, sim::Duration downtime);
+
+  /// Moves an endpoint to a new group at the policy server; the hosting
+  /// edge re-tags and re-registers it (§5.3 freshness, §5.4 strategy A).
+  bool reassign_endpoint_group(const std::string& credential, net::GroupId new_group);
+
+  /// Updates a matrix rule; pushes to hosting edges (§5.4 strategy B).
+  void update_rule(const RuleDefinition& rule);
+
+  // --- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] underlay::Topology& topology() { return topology_; }
+  [[nodiscard]] underlay::UnderlayNetwork& underlay() { return *underlay_; }
+  [[nodiscard]] lisp::MapServer& map_server() { return map_server_; }
+  [[nodiscard]] lisp::MapServerNode& map_server_node() { return *server_nodes_.front(); }
+
+  /// Horizontal scale-out introspection (§4.1).
+  [[nodiscard]] std::size_t routing_server_count() const { return server_nodes_.size(); }
+  [[nodiscard]] lisp::MapServerNode& map_server_node(std::size_t i) { return *server_nodes_[i]; }
+  /// The replica database behind server `i` (0 = the primary map_server()).
+  [[nodiscard]] const lisp::MapServer& map_server_replica(std::size_t i) const {
+    return i == 0 ? map_server_ : *replica_dbs_[i - 1];
+  }
+  [[nodiscard]] policy::PolicyServer& policy_server() { return policy_server_; }
+  [[nodiscard]] l2::DhcpServer& dhcp_server() { return dhcp_; }
+
+  [[nodiscard]] dataplane::EdgeRouter& edge(const std::string& name);
+  [[nodiscard]] dataplane::BorderRouter& border(const std::string& name);
+  [[nodiscard]] std::vector<std::string> edge_names() const;
+  [[nodiscard]] std::vector<std::string> border_names() const;
+
+  /// Where an endpoint is currently attached (edge name), if anywhere.
+  [[nodiscard]] std::optional<std::string> location_of(const net::MacAddress& mac) const;
+
+  void set_delivery_listener(DeliveryListener listener) {
+    delivery_listener_ = std::move(listener);
+  }
+  void set_border_sync_listener(BorderSyncListener listener) {
+    border_sync_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+ private:
+  struct EndpointState {
+    EndpointDefinition definition;
+    std::string edge;  // empty = not attached
+    dataplane::PortId port = 0;
+    bool onboarding = false;
+  };
+
+  void wire_edge(dataplane::EdgeRouter& edge);
+  void wire_border(dataplane::BorderRouter& border);
+
+  /// Underlay control-plane delivery: edge/border RLOC -> action at dest.
+  void control_send(net::Ipv4Address from, net::Ipv4Address to, std::size_t bytes,
+                    std::function<void()> action);
+
+  [[nodiscard]] underlay::NodeId node_of_rloc(net::Ipv4Address rloc) const;
+  [[nodiscard]] net::Ipv4Address next_rloc();
+
+  /// The shared Fig. 3 onboarding flow. `fast_reauth` selects the roaming
+  /// round-trip count.
+  void onboard(EndpointState& state, const std::string& edge_name, dataplane::PortId port,
+               bool fast_reauth, OnboardCallback callback);
+
+  /// Reserves policy-server CPU; returns when the work completes.
+  sim::SimTime reserve_policy_cpu(sim::Duration service);
+
+  void dispatch_fabric_frame(const net::FabricFrame& frame);
+
+  sim::Simulator& simulator_;
+  FabricConfig config_;
+  sim::Rng rng_;
+
+  underlay::Topology topology_;
+  std::unique_ptr<underlay::UnderlayNetwork> underlay_;
+
+  lisp::MapServer map_server_;
+  /// Additional replica databases (index i backs server node i+1).
+  std::vector<std::unique_ptr<lisp::MapServer>> replica_dbs_;
+  /// Queueing front ends; node 0 serves the primary database.
+  std::vector<std::unique_ptr<lisp::MapServerNode>> server_nodes_;
+  /// Which server node an edge's Map-Requests go to (by edge RLOC).
+  std::unordered_map<net::Ipv4Address, std::size_t> request_server_of_;
+  net::Ipv4Address map_server_rloc_;  // where the primary routing server lives
+  policy::PolicyServer policy_server_;
+  net::Ipv4Address policy_server_rloc_;
+  std::vector<sim::SimTime> policy_cpu_free_;  // auth worker availability
+  l2::DhcpServer dhcp_;
+  l2::ServiceRegistry services_;  // co-located with the routing server
+  std::unordered_map<std::uint32_t, net::Ipv6Prefix> slaac_prefixes_;  // by VN
+
+  std::unordered_map<std::string, underlay::NodeId> nodes_by_name_;
+  std::unordered_map<std::string, std::unique_ptr<dataplane::EdgeRouter>> edges_;
+  std::unordered_map<std::string, std::unique_ptr<dataplane::BorderRouter>> borders_;
+  std::vector<std::string> edge_order_;
+  std::vector<std::string> border_order_;
+  std::unordered_map<net::Ipv4Address, std::string> edge_by_rloc_;
+  std::unordered_map<net::Ipv4Address, std::string> border_by_rloc_;
+  std::unique_ptr<l2::L2Gateway> l2_gateway_;
+
+  std::unordered_map<std::string, EndpointState> endpoints_by_credential_;
+  std::unordered_map<net::MacAddress, std::string> credential_by_mac_;
+  /// Onboard callbacks waiting for an EID's Map-Register to complete.
+  std::unordered_map<net::VnEid, std::vector<std::function<void()>>> pending_onboards_;
+
+  std::uint32_t next_rloc_suffix_ = 1;
+  bool finalized_ = false;
+
+  DeliveryListener delivery_listener_;
+  BorderSyncListener border_sync_listener_;
+};
+
+}  // namespace sda::fabric

@@ -1,0 +1,79 @@
+#include "fabric/inspect.hpp"
+
+#include "stats/table.hpp"
+
+namespace sda::fabric {
+
+std::string inspect(SdaFabric& fabric, const InspectOptions& options) {
+  std::string out;
+  out += "=== SDA fabric @ " + fabric.simulator().now().to_string() + " ===\n";
+
+  if (options.include_routers) {
+    stats::Table borders{{"border", "synced FIB", "hairpinned", "ext out", "ext in",
+                          "policy drops", "no-route drops"}};
+    for (const auto& name : fabric.border_names()) {
+      auto& border = fabric.border(name);
+      const auto& c = border.counters();
+      borders.add_row({name, stats::Table::num(border.fib_size()),
+                       stats::Table::num(std::size_t{c.hairpinned}),
+                       stats::Table::num(std::size_t{c.external_out}),
+                       stats::Table::num(std::size_t{c.external_in}),
+                       stats::Table::num(std::size_t{c.policy_drops}),
+                       stats::Table::num(std::size_t{c.no_route_drops})});
+    }
+    out += borders.render();
+    out += "\n";
+
+    stats::Table edges{{"edge", "endpoints", "map-cache", "VRF", "SGACL rules",
+                        "encap", "default-routed", "policy drops", "SMR tx/rx"}};
+    for (const auto& name : fabric.edge_names()) {
+      auto& edge = fabric.edge(name);
+      const auto& c = edge.counters();
+      edges.add_row({name, stats::Table::num(edge.endpoint_count()),
+                     stats::Table::num(edge.map_cache().size()),
+                     stats::Table::num(edge.vrf().size()),
+                     stats::Table::num(edge.sgacl().rule_count()),
+                     stats::Table::num(std::size_t{c.encapsulated}),
+                     stats::Table::num(std::size_t{c.default_routed}),
+                     stats::Table::num(std::size_t{c.policy_drops}),
+                     stats::Table::num(std::size_t{c.smr_sent}) + "/" +
+                         stats::Table::num(std::size_t{c.smr_received})});
+    }
+    out += edges.render();
+    out += "\n";
+  }
+
+  const auto& ms = fabric.map_server();
+  out += "routing server: " + std::to_string(ms.mapping_count()) + " endpoint mappings (" +
+         std::to_string(ms.total_entries()) + " entries incl. prefixes), " +
+         std::to_string(ms.stats().requests) + " requests (" +
+         std::to_string(ms.stats().negative_replies) + " negative), " +
+         std::to_string(ms.stats().registers) + " registers, " +
+         std::to_string(ms.stats().moves) + " moves";
+  if (fabric.routing_server_count() > 1) {
+    out += " [+" + std::to_string(fabric.routing_server_count() - 1) + " replicas]";
+  }
+  out += "\n";
+
+  if (options.include_policy) {
+    const auto& ps = fabric.policy_server().stats();
+    out += "policy server: " + std::to_string(fabric.policy_server().endpoint_count()) +
+           " endpoints, " + std::to_string(ps.auth_accepts) + " accepts / " +
+           std::to_string(ps.auth_rejects) + " rejects, " +
+           std::to_string(ps.rule_downloads) + " rule downloads, " +
+           std::to_string(ps.rule_push_messages) + " rule pushes, " +
+           std::to_string(ps.endpoint_change_signals) + " group-change signals\n";
+  }
+
+  if (options.include_mappings) {
+    out += "mappings:\n";
+    fabric.map_server().walk([&out](const net::VnEid& eid, const lisp::MappingRecord& record) {
+      out += "  " + eid.to_string() + " -> " + record.primary_rloc().to_string();
+      if (!record.group.is_unknown()) out += " " + record.group.to_string();
+      out += "\n";
+    });
+  }
+  return out;
+}
+
+}  // namespace sda::fabric

@@ -1,0 +1,22 @@
+// Operational introspection: renders a human-readable state report of a
+// fabric (what `show fabric` would print on a real controller).
+#pragma once
+
+#include <string>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+
+struct InspectOptions {
+  bool include_routers = true;    // per-router FIB/VRF/counter lines
+  bool include_mappings = false;  // full routing-server dump (can be large)
+  bool include_policy = true;     // per-VN rule counts
+};
+
+/// A multi-line text report of the fabric's current state: routers with
+/// endpoint/FIB/drop counters, routing-server occupancy, policy-server
+/// statistics, and (optionally) the full mapping table.
+[[nodiscard]] std::string inspect(SdaFabric& fabric, const InspectOptions& options = {});
+
+}  // namespace sda::fabric

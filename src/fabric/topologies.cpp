@@ -1,0 +1,61 @@
+#include "fabric/topologies.hpp"
+
+#include <stdexcept>
+
+namespace sda::fabric {
+
+TieredCampus build_tiered_campus(SdaFabric& fabric, const TieredCampusSpec& spec) {
+  if (spec.borders == 0 || spec.edges == 0) {
+    throw std::invalid_argument("tiered campus needs at least one border and one edge");
+  }
+  TieredCampus out;
+
+  for (unsigned b = 0; b < spec.borders; ++b) {
+    out.borders.push_back(spec.prefix + "border-" + std::to_string(b));
+    fabric.add_border(out.borders.back());
+  }
+  for (unsigned d = 0; d < spec.distribution; ++d) {
+    out.distribution.push_back(spec.prefix + "dist-" + std::to_string(d));
+    fabric.add_underlay_node(out.distribution.back());
+  }
+  for (unsigned e = 0; e < spec.edges; ++e) {
+    out.edges.push_back(spec.prefix + "edge-" + std::to_string(e));
+    fabric.add_edge(out.edges.back());
+  }
+
+  // Borders interconnect (redundant exit tier).
+  for (unsigned a = 0; a < spec.borders; ++a) {
+    for (unsigned b = a + 1; b < spec.borders; ++b) {
+      fabric.link(out.borders[a], out.borders[b], spec.border_to_border);
+    }
+  }
+
+  if (spec.distribution == 0) {
+    // Collapsed core: edges connect straight to every border.
+    for (const auto& edge : out.edges) {
+      for (const auto& border : out.borders) {
+        fabric.link(edge, border, spec.distribution_to_border);
+      }
+    }
+    return out;
+  }
+
+  // Distribution full-meshes to the borders.
+  for (const auto& dist : out.distribution) {
+    for (const auto& border : out.borders) {
+      fabric.link(dist, border, spec.distribution_to_border);
+    }
+  }
+  // Edges dual-home to two distribution switches (or one, if only one).
+  for (unsigned e = 0; e < spec.edges; ++e) {
+    const unsigned d0 = e % spec.distribution;
+    fabric.link(out.edges[e], out.distribution[d0], spec.edge_to_distribution);
+    if (spec.distribution > 1) {
+      const unsigned d1 = (e + 1) % spec.distribution;
+      fabric.link(out.edges[e], out.distribution[d1], spec.edge_to_distribution);
+    }
+  }
+  return out;
+}
+
+}  // namespace sda::fabric

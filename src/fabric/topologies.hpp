@@ -1,0 +1,40 @@
+// Canned fabric topologies.
+//
+// The paper's campus deployments (Fig. 8) are classic three-tier networks:
+// access (edge) switches dual-homed to distribution switches, distribution
+// meshed to the borders, borders interconnected — with ECMP everywhere.
+// This builder stamps that shape onto a fabric; the warehouse's flat star
+// (Fig. 10) is trivial enough to build inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+
+struct TieredCampusSpec {
+  unsigned borders = 2;
+  unsigned distribution = 2;  // distribution switches (pure underlay)
+  unsigned edges = 6;
+  sim::Duration edge_to_distribution = std::chrono::microseconds{30};
+  sim::Duration distribution_to_border = std::chrono::microseconds{50};
+  sim::Duration border_to_border = std::chrono::microseconds{20};
+  std::string prefix;  // optional name prefix, e.g. "bldgA-"
+};
+
+struct TieredCampus {
+  std::vector<std::string> borders;
+  std::vector<std::string> distribution;
+  std::vector<std::string> edges;
+};
+
+/// Adds the three-tier campus to `fabric` (before finalize()): every edge
+/// dual-homes to two distribution switches, every distribution switch
+/// connects to every border, and borders interconnect. With ≥2
+/// distribution switches every edge-to-border path has an equal-cost
+/// alternate (ECMP, §3.3).
+[[nodiscard]] TieredCampus build_tiered_campus(SdaFabric& fabric, const TieredCampusSpec& spec);
+
+}  // namespace sda::fabric

@@ -1,0 +1,65 @@
+#include "l2/dhcp.hpp"
+
+namespace sda::l2 {
+
+void DhcpServer::add_pool(net::VnId vn, const net::Ipv4Prefix& prefix,
+                          std::uint32_t reserved_low) {
+  Pool pool;
+  pool.prefix = prefix;
+  pool.reserved_low = reserved_low;
+  pools_[vn.value()] = std::move(pool);
+}
+
+std::optional<net::Ipv4Address> DhcpServer::acquire(net::VnId vn, const net::MacAddress& mac) {
+  const auto it = pools_.find(vn.value());
+  if (it == pools_.end()) return std::nullopt;
+  Pool& pool = it->second;
+
+  const auto lease = pool.leases.find(mac);
+  if (lease != pool.leases.end()) return lease->second;  // sticky renewal
+
+  net::Ipv4Address address;
+  if (!pool.free_list.empty()) {
+    address = pool.free_list.back();
+    pool.free_list.pop_back();
+  } else {
+    if (pool.next_offset >= pool.capacity()) return std::nullopt;  // exhausted
+    // Host addresses start after network address + reserved slots.
+    address = pool.prefix.host(1 + pool.reserved_low + pool.next_offset);
+    ++pool.next_offset;
+  }
+  pool.leases.emplace(mac, address);
+  return address;
+}
+
+bool DhcpServer::release(net::VnId vn, const net::MacAddress& mac) {
+  const auto it = pools_.find(vn.value());
+  if (it == pools_.end()) return false;
+  Pool& pool = it->second;
+  const auto lease = pool.leases.find(mac);
+  if (lease == pool.leases.end()) return false;
+  pool.free_list.push_back(lease->second);
+  pool.leases.erase(lease);
+  return true;
+}
+
+std::size_t DhcpServer::active_leases(net::VnId vn) const {
+  const auto it = pools_.find(vn.value());
+  return it == pools_.end() ? 0 : it->second.leases.size();
+}
+
+std::optional<net::Ipv4Address> DhcpServer::lease_of(net::VnId vn,
+                                                     const net::MacAddress& mac) const {
+  const auto it = pools_.find(vn.value());
+  if (it == pools_.end()) return std::nullopt;
+  const auto lease = it->second.leases.find(mac);
+  if (lease == it->second.leases.end()) return std::nullopt;
+  return lease->second;
+}
+
+std::size_t DhcpServer::pool_capacity(net::VnId vn) const {
+  const auto it = pools_.find(vn.value());
+  return it == pools_.end() ? 0 : it->second.capacity();
+}
+
+}  // namespace sda::l2

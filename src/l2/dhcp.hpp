@@ -1,0 +1,57 @@
+// DHCP server model: per-VN address pools with stable per-MAC leases.
+//
+// Host onboarding (paper Fig. 3 step 3) asks this server for the endpoint's
+// overlay address. Leases are sticky: the same MAC gets the same address on
+// re-onboarding (matching real DHCP behaviour and keeping roaming endpoints'
+// IPs stable, which L3 mobility relies on).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/prefix.hpp"
+#include "net/types.hpp"
+
+namespace sda::l2 {
+
+class DhcpServer {
+ public:
+  /// Adds an address pool for a VN. `reserved_low` host slots are skipped
+  /// (network address, gateway, etc.).
+  void add_pool(net::VnId vn, const net::Ipv4Prefix& prefix, std::uint32_t reserved_low = 2);
+
+  /// Acquires (or renews) the lease for `mac` in `vn`. Returns nullopt when
+  /// the VN has no pool or the pool is exhausted.
+  [[nodiscard]] std::optional<net::Ipv4Address> acquire(net::VnId vn, const net::MacAddress& mac);
+
+  /// Releases `mac`'s lease; the address becomes reusable. True if held.
+  bool release(net::VnId vn, const net::MacAddress& mac);
+
+  [[nodiscard]] std::size_t active_leases(net::VnId vn) const;
+  [[nodiscard]] std::optional<net::Ipv4Address> lease_of(net::VnId vn,
+                                                         const net::MacAddress& mac) const;
+  [[nodiscard]] std::size_t pool_capacity(net::VnId vn) const;
+
+ private:
+  struct Pool {
+    net::Ipv4Prefix prefix;
+    std::uint32_t reserved_low = 2;
+    std::uint32_t next_offset = 0;  // high-water mark
+    std::vector<net::Ipv4Address> free_list;  // released addresses, reused LIFO
+    std::unordered_map<net::MacAddress, net::Ipv4Address> leases;
+
+    [[nodiscard]] std::uint32_t capacity() const {
+      const std::uint32_t hosts =
+          prefix.length() >= 31 ? 0 : (1u << (32 - prefix.length())) - 2;
+      return hosts > reserved_low ? hosts - reserved_low : 0;
+    }
+  };
+
+  std::unordered_map<std::uint32_t, Pool> pools_;  // by VN id
+};
+
+}  // namespace sda::l2

@@ -1,0 +1,63 @@
+#include "l2/dhcp_wire.hpp"
+
+#include "l2/dhcp.hpp"
+
+namespace sda::l2 {
+
+void DhcpMessage::encode(net::ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(op));
+  w.write_u32(transaction_id);
+  w.write_array(client_mac.bytes());
+  w.write_array(your_ip.bytes());
+  w.write_array(requested_ip.bytes());
+  w.write_u32(lease_seconds);
+}
+
+std::optional<DhcpMessage> DhcpMessage::decode(net::ByteReader& r) {
+  const auto op = r.read_u8();
+  if (!op || *op < 1 || *op > 6) return std::nullopt;
+  const auto xid = r.read_u32();
+  const auto mac = r.read_array<6>();
+  const auto your_ip = r.read_array<4>();
+  const auto requested = r.read_array<4>();
+  const auto lease = r.read_u32();
+  if (!xid || !mac || !your_ip || !requested || !lease) return std::nullopt;
+  DhcpMessage m;
+  m.op = static_cast<DhcpOp>(*op);
+  m.transaction_id = *xid;
+  m.client_mac = net::MacAddress{*mac};
+  m.your_ip = net::Ipv4Address::from_bytes(*your_ip);
+  m.requested_ip = net::Ipv4Address::from_bytes(*requested);
+  m.lease_seconds = *lease;
+  return m;
+}
+
+std::optional<DoraResult> run_dora(DhcpServer& server, net::VnId vn,
+                                   const net::MacAddress& mac, std::uint32_t transaction_id,
+                                   std::uint32_t lease_seconds) {
+  DoraResult result;
+  result.discover = DhcpMessage{DhcpOp::Discover, transaction_id, mac, {}, {}, 0};
+
+  const auto offered = server.acquire(vn, mac);
+  if (!offered) return std::nullopt;  // pool exhausted: would be a Nak
+  result.offer =
+      DhcpMessage{DhcpOp::Offer, transaction_id, mac, *offered, {}, lease_seconds};
+  result.request =
+      DhcpMessage{DhcpOp::Request, transaction_id, mac, {}, *offered, lease_seconds};
+  result.ack = DhcpMessage{DhcpOp::Ack, transaction_id, mac, *offered, *offered,
+                           lease_seconds};
+  result.address = *offered;
+
+  // Every message must survive its own wire round trip; the exchange is
+  // only "real" if the codecs agree.
+  for (const DhcpMessage* m : {&result.discover, &result.offer, &result.request, &result.ack}) {
+    net::ByteWriter w;
+    m->encode(w);
+    net::ByteReader r{w.data()};
+    const auto decoded = DhcpMessage::decode(r);
+    if (!decoded || *decoded != *m) return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace sda::l2

@@ -1,0 +1,57 @@
+// DHCP wire messages (RFC 2131, reduced to the DORA exchange the Fig. 3
+// onboarding flow uses). The DhcpServer's lease logic stays in dhcp.hpp;
+// these codecs give the exchange a real byte format, mirroring how the
+// LISP/RADIUS/SXP planes are modeled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/buffer.hpp"
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/types.hpp"
+
+namespace sda::l2 {
+
+enum class DhcpOp : std::uint8_t {
+  Discover = 1,
+  Offer = 2,
+  Request = 3,
+  Ack = 4,
+  Nak = 5,
+  Release = 6,
+};
+
+struct DhcpMessage {
+  DhcpOp op = DhcpOp::Discover;
+  std::uint32_t transaction_id = 0;
+  net::MacAddress client_mac;
+  net::Ipv4Address your_ip;       // offered/acked address (server -> client)
+  net::Ipv4Address requested_ip;  // client's request (Request/Release)
+  std::uint32_t lease_seconds = 0;
+
+  void encode(net::ByteWriter& w) const;
+  /// nullopt on truncation or an unknown op code.
+  [[nodiscard]] static std::optional<DhcpMessage> decode(net::ByteReader& r);
+
+  friend bool operator==(const DhcpMessage&, const DhcpMessage&) = default;
+};
+
+/// Runs a full DORA exchange against a lease allocator, producing the four
+/// messages as they would appear on the wire. Returns nullopt when the
+/// pool has no address (the server answers Nak instead of Offer).
+class DhcpServer;  // from dhcp.hpp
+struct DoraResult {
+  DhcpMessage discover;
+  DhcpMessage offer;
+  DhcpMessage request;
+  DhcpMessage ack;
+  net::Ipv4Address address;
+};
+[[nodiscard]] std::optional<DoraResult> run_dora(DhcpServer& server, net::VnId vn,
+                                                 const net::MacAddress& mac,
+                                                 std::uint32_t transaction_id,
+                                                 std::uint32_t lease_seconds = 86400);
+
+}  // namespace sda::l2

@@ -1,0 +1,57 @@
+#include "l2/l2_gateway.hpp"
+
+namespace sda::l2 {
+
+void L2Gateway::handle_broadcast(dataplane::EdgeRouter& router,
+                                 const dataplane::AttachedEndpoint& source,
+                                 const net::OverlayFrame& frame) {
+  if (!frame.is_arp() || frame.arp().op != net::ArpPacket::Op::Request) {
+    ++counters_.non_arp_broadcast;  // absorbed: broadcast never enters the fabric
+    return;
+  }
+  ++counters_.arp_requests;
+
+  const net::VnEid target_ip_eid{source.vn, net::Eid{frame.arp().target_ip}};
+
+  // Fast path: target attached to the same edge — answer via local pipeline.
+  if (const dataplane::AttachedEndpoint* local = router.find_endpoint(target_ip_eid)) {
+    ++counters_.answered_locally;
+    net::OverlayFrame unicast = frame;
+    unicast.destination_mac = local->mac;
+    auto& arp = std::get<net::ArpPacket>(unicast.l3);
+    arp.target_mac = local->mac;
+    router.endpoint_transmit(source.mac, unicast);
+    return;
+  }
+
+  const net::MacAddress source_mac = source.mac;
+  lookup_mac_(target_ip_eid, [this, &router, source_mac, frame,
+                              vn = source.vn](std::optional<net::MacAddress> mac) {
+    if (!mac) {
+      ++counters_.unknown_target;  // no binding: silently absorbed
+      return;
+    }
+    // Unicast conversion (§3.5): replace the broadcast MAC with the bound
+    // one and push the frame through the L2 pipeline toward its edge.
+    net::OverlayFrame unicast = frame;
+    unicast.destination_mac = *mac;
+    auto& arp = std::get<net::ArpPacket>(unicast.l3);
+    arp.target_mac = *mac;
+    ++counters_.converted_unicast;
+
+    const net::VnEid mac_eid{vn, net::Eid{*mac}};
+    lookup_rloc_(mac_eid, [this, &router, source_mac,
+                           unicast](std::optional<net::Ipv4Address> rloc) {
+      const dataplane::AttachedEndpoint* src = router.find_endpoint(source_mac);
+      if (!src) return;  // source detached while resolving
+      if (rloc) {
+        router.transmit_l2(*src, unicast, *rloc);
+      } else {
+        // RLOC unknown: let the router's resolve-and-buffer L2 path try.
+        router.forward_by_mac(*src, unicast);
+      }
+    });
+  });
+}
+
+}  // namespace sda::l2

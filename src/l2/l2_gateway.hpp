@@ -1,0 +1,55 @@
+// The L2 gateway (paper §3.5): absorbs broadcast at the edge and converts
+// it to unicast using the routing server's IP->MAC bindings.
+//
+// Installed as an EdgeRouter's broadcast handler. For an ARP request it:
+//   1. asks the routing server for the MAC bound to the requested IP,
+//   2. rewrites the broadcast destination to that MAC (unicast conversion),
+//   3. resolves the MAC EID's RLOC and injects the frame into the L2
+//      pipeline toward the owning edge router.
+// Non-ARP broadcast is counted and dropped (broadcast never crosses the
+// fabric). The target endpoint answers with a normal unicast ARP reply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "dataplane/edge_router.hpp"
+#include "net/packet.hpp"
+
+namespace sda::l2 {
+
+class L2Gateway {
+ public:
+  /// Control-plane hook: resolve the MAC bound to an overlay IP. The
+  /// callback may fire asynchronously (after control-plane latency).
+  using LookupMac = std::function<void(const net::VnEid& ip_eid,
+                                       std::function<void(std::optional<net::MacAddress>)>)>;
+  /// Control-plane hook: resolve the RLOC serving a MAC EID.
+  using LookupRloc = std::function<void(const net::VnEid& mac_eid,
+                                        std::function<void(std::optional<net::Ipv4Address>)>)>;
+
+  L2Gateway(LookupMac lookup_mac, LookupRloc lookup_rloc)
+      : lookup_mac_(std::move(lookup_mac)), lookup_rloc_(std::move(lookup_rloc)) {}
+
+  /// The EdgeRouter::BroadcastHandler entry point.
+  void handle_broadcast(dataplane::EdgeRouter& router,
+                        const dataplane::AttachedEndpoint& source,
+                        const net::OverlayFrame& frame);
+
+  struct Counters {
+    std::uint64_t arp_requests = 0;
+    std::uint64_t converted_unicast = 0;
+    std::uint64_t answered_locally = 0;  // target on the same edge
+    std::uint64_t unknown_target = 0;    // no IP->MAC binding: dropped
+    std::uint64_t non_arp_broadcast = 0; // absorbed, never forwarded
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  LookupMac lookup_mac_;
+  LookupRloc lookup_rloc_;
+  Counters counters_;
+};
+
+}  // namespace sda::l2

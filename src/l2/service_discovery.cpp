@@ -1,0 +1,112 @@
+#include "l2/service_discovery.hpp"
+
+namespace sda::l2 {
+
+void ServiceInstance::encode(net::ByteWriter& w) const {
+  w.write_string(type);
+  w.write_string(name);
+  w.write_array(address.bytes());
+  w.write_u16(port);
+  w.write_array(provider.bytes());
+}
+
+std::optional<ServiceInstance> ServiceInstance::decode(net::ByteReader& r) {
+  auto type = r.read_string();
+  auto name = r.read_string();
+  const auto address = r.read_array<4>();
+  const auto port = r.read_u16();
+  const auto provider = r.read_array<6>();
+  if (!type || !name || !address || !port || !provider) return std::nullopt;
+  return ServiceInstance{std::move(*type), std::move(*name),
+                         net::Ipv4Address::from_bytes(*address), *port,
+                         net::MacAddress{*provider}};
+}
+
+void ServiceQuery::encode(net::ByteWriter& w) const {
+  w.write_u24(vn.value());
+  w.write_string(type);
+}
+
+std::optional<ServiceQuery> ServiceQuery::decode(net::ByteReader& r) {
+  const auto vn = r.read_u24();
+  auto type = r.read_string();
+  if (!vn || !type) return std::nullopt;
+  return ServiceQuery{net::VnId{*vn}, std::move(*type)};
+}
+
+void ServiceResponse::encode(net::ByteWriter& w) const {
+  w.write_u16(static_cast<std::uint16_t>(instances.size()));
+  for (const auto& instance : instances) instance.encode(w);
+}
+
+std::optional<ServiceResponse> ServiceResponse::decode(net::ByteReader& r) {
+  const auto count = r.read_u16();
+  if (!count) return std::nullopt;
+  ServiceResponse response;
+  response.instances.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto instance = ServiceInstance::decode(r);
+    if (!instance) return std::nullopt;
+    response.instances.push_back(std::move(*instance));
+  }
+  return response;
+}
+
+void ServiceRegistry::advertise(net::VnId vn, const ServiceInstance& instance) {
+  ++stats_.advertisements;
+  registry_[vn.value()][instance.type][instance.name] = instance;
+}
+
+bool ServiceRegistry::withdraw(net::VnId vn, const std::string& type,
+                               const std::string& name) {
+  const auto by_vn = registry_.find(vn.value());
+  if (by_vn == registry_.end()) return false;
+  const auto by_type = by_vn->second.find(type);
+  if (by_type == by_vn->second.end()) return false;
+  if (by_type->second.erase(name) == 0) return false;
+  ++stats_.withdrawals;
+  if (by_type->second.empty()) by_vn->second.erase(by_type);
+  return true;
+}
+
+std::size_t ServiceRegistry::withdraw_provider(net::VnId vn, const net::MacAddress& provider) {
+  const auto by_vn = registry_.find(vn.value());
+  if (by_vn == registry_.end()) return 0;
+  std::size_t removed = 0;
+  for (auto type_it = by_vn->second.begin(); type_it != by_vn->second.end();) {
+    for (auto name_it = type_it->second.begin(); name_it != type_it->second.end();) {
+      if (name_it->second.provider == provider) {
+        name_it = type_it->second.erase(name_it);
+        ++removed;
+        ++stats_.withdrawals;
+      } else {
+        ++name_it;
+      }
+    }
+    type_it = type_it->second.empty() ? by_vn->second.erase(type_it) : std::next(type_it);
+  }
+  return removed;
+}
+
+std::vector<ServiceInstance> ServiceRegistry::query(net::VnId vn,
+                                                    const std::string& type) const {
+  ++stats_.queries;
+  std::vector<ServiceInstance> out;
+  const auto by_vn = registry_.find(vn.value());
+  if (by_vn == registry_.end()) return out;
+  const auto by_type = by_vn->second.find(type);
+  if (by_type == by_vn->second.end()) return out;
+  out.reserve(by_type->second.size());
+  for (const auto& [name, instance] : by_type->second) out.push_back(instance);
+  return out;
+}
+
+std::size_t ServiceRegistry::size() const {
+  std::size_t total = 0;
+  for (const auto& [vn, by_type] : registry_) {
+    for (const auto& [type, by_name] : by_type) total += by_name.size();
+  }
+  return total;
+}
+
+}  // namespace sda::l2

@@ -1,0 +1,89 @@
+// Broadcast-free service discovery (paper §3.5, footnote: "a significant
+// amount of applications rely on broadcast domains, e.g. Apple Bonjour").
+//
+// Instead of flooding mDNS queries across the fabric, edges absorb them
+// and consult a central service registry (co-located with the routing
+// server); answers return as unicast. Same pattern as the ARP gateway:
+// broadcast semantics preserved for endpoints, zero broadcast in the
+// overlay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/types.hpp"
+
+namespace sda::l2 {
+
+/// One advertised service instance ("Alice's printer" offering _ipp._tcp).
+struct ServiceInstance {
+  std::string type;  // e.g. "_ipp._tcp"
+  std::string name;  // instance name
+  net::Ipv4Address address;
+  std::uint16_t port = 0;
+  net::MacAddress provider;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<ServiceInstance> decode(net::ByteReader& r);
+  friend bool operator==(const ServiceInstance&, const ServiceInstance&) = default;
+};
+
+/// mDNS-style query/response, with wire codecs like every other plane.
+struct ServiceQuery {
+  net::VnId vn;
+  std::string type;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<ServiceQuery> decode(net::ByteReader& r);
+  friend bool operator==(const ServiceQuery&, const ServiceQuery&) = default;
+};
+
+struct ServiceResponse {
+  std::vector<ServiceInstance> instances;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<ServiceResponse> decode(net::ByteReader& r);
+  friend bool operator==(const ServiceResponse&, const ServiceResponse&) = default;
+};
+
+/// The central registry: VN-scoped, like everything else in the fabric.
+class ServiceRegistry {
+ public:
+  /// Registers (or refreshes) an instance; keyed by (vn, type, name).
+  void advertise(net::VnId vn, const ServiceInstance& instance);
+
+  /// Removes an instance. True if present.
+  bool withdraw(net::VnId vn, const std::string& type, const std::string& name);
+
+  /// Removes every instance advertised by `provider` in `vn` (endpoint
+  /// departure). Returns the number removed.
+  std::size_t withdraw_provider(net::VnId vn, const net::MacAddress& provider);
+
+  /// All instances of `type` within `vn`, name-ordered.
+  [[nodiscard]] std::vector<ServiceInstance> query(net::VnId vn, const std::string& type) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t advertisements = 0;
+    std::uint64_t withdrawals = 0;
+    std::uint64_t queries = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // vn -> (type -> (name -> instance)); std::map keeps answers ordered.
+  using ByName = std::map<std::string, ServiceInstance>;
+  using ByType = std::map<std::string, ByName>;
+  std::unordered_map<std::uint32_t, ByType> registry_;
+  mutable Stats stats_;
+};
+
+}  // namespace sda::l2

@@ -1,0 +1,18 @@
+#include "l2/slaac.hpp"
+
+namespace sda::l2 {
+
+std::array<std::uint8_t, 8> eui64_interface_id(const net::MacAddress& mac) {
+  const auto& m = mac.bytes();
+  // OUI | FF:FE | NIC, with the universal/local bit inverted (RFC 4291).
+  return {static_cast<std::uint8_t>(m[0] ^ 0x02), m[1], m[2], 0xFF, 0xFE, m[3], m[4], m[5]};
+}
+
+net::Ipv6Address slaac_address(const net::Ipv6Prefix& prefix, const net::MacAddress& mac) {
+  net::Ipv6Address::Bytes bytes = prefix.address().bytes();
+  const auto iid = eui64_interface_id(mac);
+  for (std::size_t i = 0; i < 8; ++i) bytes[8 + i] = iid[i];
+  return net::Ipv6Address{bytes};
+}
+
+}  // namespace sda::l2

@@ -1,0 +1,22 @@
+// SLAAC (RFC 4862 / RFC 4291 modified EUI-64) address derivation.
+//
+// VNs with an IPv6 prefix give every endpoint a stateless address derived
+// from its MAC, so each endpoint registers an IPv6 identity alongside IPv4
+// and MAC (paper §4.1: three routes per endpoint).
+#pragma once
+
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/prefix.hpp"
+
+namespace sda::l2 {
+
+/// The modified-EUI-64 interface identifier of a MAC address.
+[[nodiscard]] std::array<std::uint8_t, 8> eui64_interface_id(const net::MacAddress& mac);
+
+/// The SLAAC address of `mac` inside `prefix` (must be a /64 or shorter;
+/// the interface identifier occupies the low 64 bits).
+[[nodiscard]] net::Ipv6Address slaac_address(const net::Ipv6Prefix& prefix,
+                                             const net::MacAddress& mac);
+
+}  // namespace sda::l2

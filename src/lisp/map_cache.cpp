@@ -1,0 +1,108 @@
+#include "lisp/map_cache.hpp"
+
+#include <vector>
+
+namespace sda::lisp {
+
+const MapCacheEntry* MapCache::lookup(const net::VnEid& eid, sim::SimTime now) {
+  const auto it = index_.find(eid);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->second.expires_at <= now) {
+    erase_iter(it->second);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Refresh LRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return &lru_.front().second;
+}
+
+void MapCache::install(const net::VnEid& eid, const MapReply& reply, sim::SimTime now) {
+  MapCacheEntry entry;
+  entry.rlocs = reply.rlocs;
+  entry.inserted_at = now;
+  entry.expires_at = now + std::chrono::seconds{reply.ttl_seconds};
+  entry.group = net::GroupId{reply.group};
+  ++stats_.installs;
+
+  const auto it = index_.find(eid);
+  if (it != index_.end()) {
+    if (!it->second->second.negative()) --positive_count_;
+    it->second->second = std::move(entry);
+    if (!it->second->second.negative()) ++positive_count_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(eid, std::move(entry));
+  index_.emplace(eid, lru_.begin());
+  if (!lru_.front().second.negative()) ++positive_count_;
+  evict_if_needed();
+}
+
+void MapCache::install(const net::VnEid& eid, std::vector<net::Rloc> rlocs,
+                       std::uint32_t ttl_seconds, sim::SimTime now) {
+  MapReply synthetic;
+  synthetic.eid = eid;
+  synthetic.rlocs = std::move(rlocs);
+  synthetic.ttl_seconds = ttl_seconds;
+  install(eid, synthetic, now);
+}
+
+bool MapCache::invalidate(const net::VnEid& eid) {
+  const auto it = index_.find(eid);
+  if (it == index_.end()) return false;
+  erase_iter(it->second);
+  return true;
+}
+
+std::size_t MapCache::invalidate_rloc(net::Ipv4Address rloc) {
+  std::vector<LruList::iterator> doomed;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (!it->second.negative() && it->second.primary_rloc() == rloc) doomed.push_back(it);
+  }
+  for (auto it : doomed) erase_iter(it);
+  return doomed.size();
+}
+
+std::size_t MapCache::sweep(sim::SimTime now) {
+  std::vector<LruList::iterator> doomed;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->second.expires_at <= now) doomed.push_back(it);
+  }
+  for (auto it : doomed) {
+    erase_iter(it);
+    ++stats_.expirations;
+  }
+  return doomed.size();
+}
+
+void MapCache::clear() {
+  lru_.clear();
+  index_.clear();
+  positive_count_ = 0;
+}
+
+void MapCache::walk(
+    const std::function<void(const net::VnEid&, const MapCacheEntry&)>& visit) const {
+  for (const auto& [eid, entry] : lru_) visit(eid, entry);
+}
+
+void MapCache::erase_iter(LruList::iterator it) {
+  if (!it->second.negative()) --positive_count_;
+  index_.erase(it->first);
+  lru_.erase(it);
+}
+
+void MapCache::evict_if_needed() {
+  while (capacity_ != 0 && lru_.size() > capacity_) {
+    erase_iter(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace sda::lisp

@@ -1,0 +1,93 @@
+// The edge router's map cache: on-demand overlay-to-underlay mappings.
+//
+// This is where the paper's reactive state saving materializes: an edge
+// router only holds entries for destinations its attached endpoints are
+// actively talking to (Fig. 9 counts exactly these entries). Entries carry
+// the Map-Reply TTL; negative replies are cached briefly; capacity is
+// bounded with LRU eviction to model small-FIB devices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lisp/messages.hpp"
+#include "net/eid.hpp"
+#include "sim/time.hpp"
+
+namespace sda::lisp {
+
+struct MapCacheEntry {
+  std::vector<net::Rloc> rlocs;  // empty = negative entry
+  sim::SimTime expires_at;
+  sim::SimTime inserted_at;
+  net::GroupId group;  // destination SGT, when distributed (§5.3 ablation)
+
+  [[nodiscard]] bool negative() const { return rlocs.empty(); }
+  [[nodiscard]] net::Ipv4Address primary_rloc() const {
+    return rlocs.empty() ? net::Ipv4Address{} : rlocs.front().address;
+  }
+};
+
+class MapCache {
+ public:
+  /// `capacity` bounds the number of entries (models FIB size); 0 = unbounded.
+  explicit MapCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Looks up `eid` at time `now`. Expired entries are removed and count as
+  /// misses. Hits refresh LRU position.
+  [[nodiscard]] const MapCacheEntry* lookup(const net::VnEid& eid, sim::SimTime now);
+
+  /// Installs or replaces an entry from a Map-Reply.
+  void install(const net::VnEid& eid, const MapReply& reply, sim::SimTime now);
+
+  /// Installs a positive entry directly (used by Map-Notify handling).
+  void install(const net::VnEid& eid, std::vector<net::Rloc> rlocs, std::uint32_t ttl_seconds,
+               sim::SimTime now);
+
+  /// Removes one entry; returns true if present.
+  bool invalidate(const net::VnEid& eid);
+
+  /// Removes every entry whose primary RLOC is `rloc` (underlay outage
+  /// fallback, paper §5.1). Returns the number removed.
+  std::size_t invalidate_rloc(net::Ipv4Address rloc);
+
+  /// Drops expired entries (periodic sweep; Fig. 9's weekend cache clear).
+  std::size_t sweep(sim::SimTime now);
+
+  /// Drops everything (router reboot, §5.2).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+
+  /// Number of non-negative (i.e. FIB-occupying) entries.
+  [[nodiscard]] std::size_t positive_size() const { return positive_count_; }
+
+  void walk(const std::function<void(const net::VnEid&, const MapCacheEntry&)>& visit) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t expirations = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t installs = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  using LruList = std::list<std::pair<net::VnEid, MapCacheEntry>>;
+
+  void erase_iter(LruList::iterator it);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::size_t positive_count_ = 0;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<net::VnEid, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sda::lisp

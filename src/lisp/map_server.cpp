@@ -1,0 +1,178 @@
+#include "lisp/map_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sda::lisp {
+
+RegisterOutcome MapServer::register_mapping(const net::VnEid& eid, const MappingRecord& record) {
+  assert(!record.rlocs.empty());
+  ++stats_.registers;
+  auto& db = databases_[eid.vn].family(eid.eid.family());
+  const trie::BitKey key = trie::BitKey::from_eid(eid.eid);
+
+  RegisterOutcome outcome;
+  if (MappingRecord* existing = db.find_exact(key)) {
+    if (existing->rlocs != record.rlocs) {
+      outcome.moved = true;
+      outcome.previous_rloc = existing->primary_rloc();
+      ++stats_.moves;
+    }
+    *existing = record;
+    if (outcome.moved) {
+      if (on_move_) on_move_(eid, outcome.previous_rloc, record);
+      publish(eid, &record);
+    }
+    return outcome;
+  }
+
+  db.insert(key, record);
+  outcome.created = true;
+  publish(eid, &record);
+  return outcome;
+}
+
+void MapServer::register_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
+                                const MappingRecord& record) {
+  databases_[vn].v4.insert(trie::BitKey::from_ipv4_prefix(prefix), record);
+}
+
+void MapServer::register_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
+                                const MappingRecord& record) {
+  databases_[vn].v6.insert(trie::BitKey::from_ipv6_prefix(prefix), record);
+}
+
+bool MapServer::deregister(const net::VnEid& eid, net::Ipv4Address owner) {
+  const auto it = databases_.find(eid.vn);
+  if (it == databases_.end()) return false;
+  auto& db = it->second.family(eid.eid.family());
+  const trie::BitKey key = trie::BitKey::from_eid(eid.eid);
+  const MappingRecord* existing = db.find_exact(key);
+  if (!existing || existing->primary_rloc() != owner) return false;
+  db.erase(key);
+  ++stats_.deregisters;
+  publish(eid, nullptr);
+  return true;
+}
+
+std::size_t MapServer::expire_registrations(sim::SimTime now) {
+  std::vector<net::VnEid> doomed;
+  walk([&](const net::VnEid& eid, const MappingRecord& record) {
+    if (now - record.refreshed_at >= std::chrono::seconds{record.ttl_seconds}) {
+      doomed.push_back(eid);
+    }
+  });
+  for (const auto& eid : doomed) {
+    auto& db = databases_[eid.vn].family(eid.eid.family());
+    db.erase(trie::BitKey::from_eid(eid.eid));
+    ++stats_.expirations;
+    publish(eid, nullptr);
+  }
+  return doomed.size();
+}
+
+std::optional<MappingRecord> MapServer::resolve(const net::VnEid& eid) const {
+  const auto it = databases_.find(eid.vn);
+  if (it == databases_.end()) return std::nullopt;
+  const auto& db = it->second.family(eid.eid.family());
+  const auto match = db.longest_match(trie::BitKey::from_eid(eid.eid));
+  if (!match) return std::nullopt;
+  return *match->second;
+}
+
+const MappingRecord* MapServer::find_host(const net::VnEid& eid) const {
+  const auto it = databases_.find(eid.vn);
+  if (it == databases_.end()) return nullptr;
+  return it->second.family(eid.eid.family()).find_exact(trie::BitKey::from_eid(eid.eid));
+}
+
+MapReply MapServer::answer(const MapRequest& request) const {
+  ++stats_.requests;
+  MapReply reply;
+  reply.nonce = request.nonce;
+  reply.eid = request.eid;
+  if (const auto record = resolve(request.eid)) {
+    reply.rlocs = record->rlocs;
+    reply.ttl_seconds = record->ttl_seconds;
+    reply.group = record->group.value();
+    reply.action = MapReplyAction::NoAction;
+  } else {
+    ++stats_.negative_replies;
+    reply.action = MapReplyAction::NativelyForward;
+    reply.ttl_seconds = 60;  // short negative-cache TTL
+  }
+  return reply;
+}
+
+void MapServer::bind_l2(const net::VnEid& ip_eid, const net::MacAddress& mac) {
+  l2_bindings_[ip_eid] = mac;
+}
+
+bool MapServer::unbind_l2(const net::VnEid& ip_eid) { return l2_bindings_.erase(ip_eid) > 0; }
+
+std::optional<net::MacAddress> MapServer::lookup_mac(const net::VnEid& ip_eid) const {
+  const auto it = l2_bindings_.find(ip_eid);
+  if (it == l2_bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+std::size_t host_entries(const trie::PatriciaTrie<MappingRecord>& trie) {
+  std::size_t n = 0;
+  trie.walk([&n](const trie::BitKey& key, const MappingRecord&) {
+    if (key.is_host()) ++n;
+  });
+  return n;
+}
+
+}  // namespace
+
+std::size_t MapServer::mapping_count() const {
+  std::size_t total = 0;
+  for (const auto& [vn, db] : databases_) {
+    total += host_entries(db.v4) + host_entries(db.v6) + db.mac.size();
+  }
+  return total;
+}
+
+std::size_t MapServer::mapping_count(net::VnId vn) const {
+  const auto it = databases_.find(vn);
+  if (it == databases_.end()) return 0;
+  return host_entries(it->second.v4) + host_entries(it->second.v6) + it->second.mac.size();
+}
+
+std::size_t MapServer::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& [vn, db] : databases_) {
+    total += db.v4.size() + db.v6.size() + db.mac.size();
+  }
+  return total;
+}
+
+void MapServer::walk(
+    const std::function<void(const net::VnEid&, const MappingRecord&)>& visit) const {
+  for (const auto& [vn, db] : databases_) {
+    const net::VnId vn_id = vn;
+    db.v4.walk([&](const trie::BitKey& key, const MappingRecord& record) {
+      if (!key.is_host()) return;  // prefixes are infrastructure, not endpoints
+      net::Ipv4Address a{(std::uint32_t{key.bytes()[0]} << 24) |
+                         (std::uint32_t{key.bytes()[1]} << 16) |
+                         (std::uint32_t{key.bytes()[2]} << 8) | key.bytes()[3]};
+      visit(net::VnEid{vn_id, net::Eid{a}}, record);
+    });
+    db.v6.walk([&](const trie::BitKey& key, const MappingRecord& record) {
+      if (!key.is_host()) return;
+      net::Ipv6Address::Bytes b{};
+      std::copy_n(key.bytes().begin(), 16, b.begin());
+      visit(net::VnEid{vn_id, net::Eid{net::Ipv6Address{b}}}, record);
+    });
+    db.mac.walk([&](const trie::BitKey& key, const MappingRecord& record) {
+      net::MacAddress::Bytes b{};
+      std::copy_n(key.bytes().begin(), 6, b.begin());
+      visit(net::VnEid{vn_id, net::Eid{net::MacAddress{b}}}, record);
+    });
+  }
+}
+
+}  // namespace sda::lisp

@@ -1,0 +1,162 @@
+// The SDA routing server (LISP map server / map resolver).
+//
+// Stores endpoint location — (VN, EID) -> RLOC set — in per-VN, per-family
+// Patricia tries (paper §4.1 credits the trie for load-independent lookup
+// latency). Supports host and prefix registrations, longest-prefix
+// resolution, mobility move detection with previous-RLOC notification
+// (Fig. 5), and a pub/sub feed that keeps border routers synchronized
+// (Fig. 1 "sync" arrow).
+//
+// The MapServer itself is a passive, synchronous data structure so it can
+// be measured directly (Fig. 7a/7b). MapServerNode (map_server_node.hpp)
+// wraps it with the queueing/service-time front end used in simulations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lisp/messages.hpp"
+#include "net/eid.hpp"
+#include "net/prefix.hpp"
+#include "trie/patricia.hpp"
+
+namespace sda::lisp {
+
+/// A stored mapping: the locator set serving an EID (or EID prefix).
+struct MappingRecord {
+  std::vector<net::Rloc> rlocs;
+  std::uint32_t ttl_seconds = 1440 * 60;
+  /// The endpoint's group tag, when known. Only consumed by the
+  /// ingress-enforcement ablation (§5.3) — egress enforcement deliberately
+  /// avoids distributing groups through the routing server.
+  net::GroupId group{};
+  /// When this registration was last (re)registered. Registrations are
+  /// soft state: expire_registrations() ages them out past their TTL, and
+  /// edges periodically re-register to keep them alive.
+  sim::SimTime refreshed_at{};
+
+  [[nodiscard]] net::Ipv4Address primary_rloc() const {
+    return rlocs.empty() ? net::Ipv4Address{} : rlocs.front().address;
+  }
+  friend bool operator==(const MappingRecord&, const MappingRecord&) = default;
+};
+
+/// Outcome of a registration, including mobility detection.
+struct RegisterOutcome {
+  bool created = false;  // first registration of this EID
+  bool moved = false;    // RLOC set changed (mobility event)
+  net::Ipv4Address previous_rloc;  // valid when moved
+};
+
+class MapServer {
+ public:
+  /// (eid, old primary rloc, new record) — fired when an EID's locator set
+  /// changes; the fabric uses it to Map-Notify the previous edge router.
+  using MoveCallback =
+      std::function<void(const net::VnEid&, net::Ipv4Address, const MappingRecord&)>;
+  /// (eid, record-or-withdrawal) — fired on every database change; feeds
+  /// pub/sub subscribers (border routers).
+  using PublishCallback = std::function<void(const net::VnEid&, const MappingRecord*)>;
+
+  MapServer() = default;
+
+  /// Registers (or refreshes) a host EID mapping.
+  RegisterOutcome register_mapping(const net::VnEid& eid, const MappingRecord& record);
+
+  /// Registers a covering prefix (e.g. the border's external /0, or a
+  /// DC-subnet route). Resolution prefers more-specific host entries.
+  void register_prefix(net::VnId vn, const net::Ipv4Prefix& prefix, const MappingRecord& record);
+  void register_prefix(net::VnId vn, const net::Ipv6Prefix& prefix, const MappingRecord& record);
+
+  /// Removes a host mapping, but only if `owner` still owns it (guards
+  /// against a stale deregistration racing a re-registration elsewhere).
+  bool deregister(const net::VnEid& eid, net::Ipv4Address owner);
+
+  /// Soft-state aging: removes (and publishes withdrawals for) every host
+  /// registration whose TTL elapsed since its last refresh. Prefix
+  /// registrations are operator state and never expire. Returns the
+  /// number removed.
+  std::size_t expire_registrations(sim::SimTime now);
+
+  /// Longest-prefix resolution. nullopt = no covering mapping (negative).
+  [[nodiscard]] std::optional<MappingRecord> resolve(const net::VnEid& eid) const;
+
+  /// Exact-match host lookup (no prefix fallback).
+  [[nodiscard]] const MappingRecord* find_host(const net::VnEid& eid) const;
+
+  /// Builds the MapReply for a request (positive, or negative with
+  /// NativelyForward so the ITR keeps using the border default).
+  [[nodiscard]] MapReply answer(const MapRequest& request) const;
+
+  void set_move_callback(MoveCallback cb) { on_move_ = std::move(cb); }
+  void set_publish_callback(PublishCallback cb) { on_publish_ = std::move(cb); }
+
+  /// Endpoint (host) mappings across all VNs and families; infrastructure
+  /// prefixes are not counted.
+  [[nodiscard]] std::size_t mapping_count() const;
+
+  /// Endpoint mappings stored for one VN.
+  [[nodiscard]] std::size_t mapping_count(net::VnId vn) const;
+
+  /// Raw entry count including prefix registrations (database footprint).
+  [[nodiscard]] std::size_t total_entries() const;
+
+  /// Visits every mapping (used to bootstrap a new pub/sub subscriber).
+  void walk(const std::function<void(const net::VnEid&, const MappingRecord&)>& visit) const;
+
+  // --- L2 service support (§3.5): overlay IP -> MAC bindings --------------
+
+  /// Stores the IP->MAC pair for an endpoint (element iii of §3.5).
+  void bind_l2(const net::VnEid& ip_eid, const net::MacAddress& mac);
+  /// Removes the binding; true if present.
+  bool unbind_l2(const net::VnEid& ip_eid);
+  /// The MAC bound to an overlay IP, if any (used by L2 gateways to convert
+  /// broadcast ARP into unicast).
+  [[nodiscard]] std::optional<net::MacAddress> lookup_mac(const net::VnEid& ip_eid) const;
+
+  struct Stats {
+    std::uint64_t registers = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t deregisters = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t negative_replies = 0;
+    std::uint64_t expirations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct VnDatabase {
+    trie::PatriciaTrie<MappingRecord> v4;
+    trie::PatriciaTrie<MappingRecord> v6;
+    trie::PatriciaTrie<MappingRecord> mac;
+
+    [[nodiscard]] trie::PatriciaTrie<MappingRecord>& family(net::EidFamily f) {
+      switch (f) {
+        case net::EidFamily::Ipv4: return v4;
+        case net::EidFamily::Ipv6: return v6;
+        case net::EidFamily::Mac: return mac;
+      }
+      return v4;
+    }
+    [[nodiscard]] const trie::PatriciaTrie<MappingRecord>& family(net::EidFamily f) const {
+      return const_cast<VnDatabase*>(this)->family(f);
+    }
+  };
+
+  void publish(const net::VnEid& eid, const MappingRecord* record) const {
+    if (on_publish_) on_publish_(eid, record);
+  }
+
+  // std::map keeps VN iteration order deterministic for walk().
+  std::map<net::VnId, VnDatabase> databases_;
+  std::unordered_map<net::VnEid, net::MacAddress> l2_bindings_;
+  MoveCallback on_move_;
+  PublishCallback on_publish_;
+  mutable Stats stats_;
+};
+
+}  // namespace sda::lisp

@@ -1,0 +1,73 @@
+#include "lisp/map_server_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sda::lisp {
+
+MapServerNode::MapServerNode(sim::Simulator& simulator, MapServer& server,
+                             MapServerNodeConfig config, std::uint64_t seed)
+    : simulator_(simulator),
+      server_(server),
+      config_(config),
+      rng_(seed),
+      worker_free_at_(std::max(1u, config.workers), sim::SimTime::zero()) {}
+
+sim::Duration MapServerNode::jittered(sim::Duration base) {
+  const double factor = rng_.lognormal(0.0, config_.jitter_sigma);
+  return sim::Duration{static_cast<std::int64_t>(static_cast<double>(base.count()) * factor)};
+}
+
+sim::SimTime MapServerNode::reserve_worker(sim::Duration service) {
+  auto it = std::min_element(worker_free_at_.begin(), worker_free_at_.end());
+  const sim::SimTime start = std::max(*it, simulator_.now());
+  const sim::SimTime finish = start + service;
+  *it = finish;
+  return finish;
+}
+
+void MapServerNode::track_backlog() {
+  ++in_flight_;
+  peak_backlog_ = std::max(peak_backlog_, in_flight_);
+}
+
+void MapServerNode::submit_request(const MapRequest& request, RequestCallback callback) {
+  track_backlog();
+  const sim::SimTime arrival = simulator_.now();
+  const sim::SimTime done = reserve_worker(jittered(config_.request_service));
+  simulator_.schedule_at(done, [this, request, arrival, cb = std::move(callback)] {
+    --in_flight_;
+    const MapReply reply = server_.answer(request);
+    const sim::Duration sojourn = simulator_.now() - arrival;
+    request_sojourns_.add(static_cast<double>(sojourn.count()) / 1e9);
+    if (cb) cb(reply, sojourn);
+  });
+}
+
+void MapServerNode::submit_register(const MapRegister& registration, RegisterCallback callback) {
+  track_backlog();
+  assert(!registration.rlocs.empty());
+  const sim::SimTime arrival = simulator_.now();
+  const sim::SimTime done = reserve_worker(jittered(config_.register_service));
+  simulator_.schedule_at(done, [this, registration, arrival, cb = std::move(callback)] {
+    --in_flight_;
+    RegisterOutcome outcome;
+    if (registration.ttl_seconds == 0) {
+      // Zero-TTL register is a withdrawal (clean endpoint departure).
+      server_.deregister(registration.eid, registration.rlocs.front().address);
+    } else {
+      MappingRecord record;
+      record.rlocs = registration.rlocs;
+      record.ttl_seconds = registration.ttl_seconds;
+      record.group = net::GroupId{registration.group};
+      record.refreshed_at = simulator_.now();  // soft-state refresh stamp
+      outcome = server_.register_mapping(registration.eid, record);
+    }
+    const sim::Duration sojourn = simulator_.now() - arrival;
+    register_sojourns_.add(static_cast<double>(sojourn.count()) / 1e9);
+    MapNotify notify{registration.nonce, registration.eid, registration.rlocs};
+    if (cb) cb(outcome, notify, sojourn);
+  });
+}
+
+}  // namespace sda::lisp

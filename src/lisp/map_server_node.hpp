@@ -1,0 +1,74 @@
+// A routing server as a simulated node: the passive MapServer database
+// behind a multi-worker service queue.
+//
+// The paper's routing server ran on an 8-vCPU virtual router (§4.1); this
+// node models it as a G/G/k queue — k worker threads, per-operation service
+// time with lognormal jitter. The sojourn time (queue wait + service) is
+// what Fig. 7c measures as "delay to answer route requests" under load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lisp/map_server.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace sda::lisp {
+
+struct MapServerNodeConfig {
+  net::Ipv4Address rloc;
+  unsigned workers = 8;  // vCPUs of the paper's VM
+  sim::Duration request_service = std::chrono::microseconds{25};
+  sim::Duration register_service = std::chrono::microseconds{30};
+  double jitter_sigma = 0.12;  // lognormal sigma on service time
+};
+
+class MapServerNode {
+ public:
+  using RequestCallback = std::function<void(const MapReply&, sim::Duration sojourn)>;
+  using RegisterCallback =
+      std::function<void(const RegisterOutcome&, const MapNotify&, sim::Duration sojourn)>;
+
+  MapServerNode(sim::Simulator& simulator, MapServer& server, MapServerNodeConfig config,
+                std::uint64_t seed = 1);
+
+  [[nodiscard]] MapServer& server() { return server_; }
+  [[nodiscard]] const MapServerNodeConfig& config() const { return config_; }
+  [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
+
+  /// Enqueues a Map-Request; the callback fires when the server answers.
+  void submit_request(const MapRequest& request, RequestCallback callback);
+
+  /// Enqueues a Map-Register; the callback fires with the outcome and the
+  /// acknowledging Map-Notify.
+  void submit_register(const MapRegister& registration, RegisterCallback callback);
+
+  /// Sojourn-time samples (seconds) collected since construction.
+  [[nodiscard]] const stats::Summary& request_sojourns() const { return request_sojourns_; }
+  [[nodiscard]] const stats::Summary& register_sojourns() const { return register_sojourns_; }
+
+  /// Highest backlog observed (requests waiting or in service).
+  [[nodiscard]] std::size_t peak_backlog() const { return peak_backlog_; }
+
+ private:
+  /// Reserves the earliest-available worker from `now`, returning the
+  /// completion time of a job with the given service time.
+  sim::SimTime reserve_worker(sim::Duration service);
+  sim::Duration jittered(sim::Duration base);
+  void track_backlog();
+
+  sim::Simulator& simulator_;
+  MapServer& server_;
+  MapServerNodeConfig config_;
+  sim::Rng rng_;
+  std::vector<sim::SimTime> worker_free_at_;
+  std::size_t in_flight_ = 0;
+  std::size_t peak_backlog_ = 0;
+  stats::Summary request_sojourns_;
+  stats::Summary register_sojourns_;
+};
+
+}  // namespace sda::lisp

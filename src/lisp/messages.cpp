@@ -1,0 +1,214 @@
+#include "lisp/messages.hpp"
+
+namespace sda::lisp {
+
+namespace {
+
+void encode_rlocs(net::ByteWriter& w, const std::vector<net::Rloc>& rlocs) {
+  w.write_u8(static_cast<std::uint8_t>(rlocs.size()));
+  for (const auto& r : rlocs) r.encode(w);
+}
+
+std::optional<std::vector<net::Rloc>> decode_rlocs(net::ByteReader& r) {
+  const auto count = r.read_u8();
+  if (!count) return std::nullopt;
+  std::vector<net::Rloc> rlocs;
+  rlocs.reserve(*count);
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    const auto rloc = net::Rloc::decode(r);
+    if (!rloc) return std::nullopt;
+    rlocs.push_back(*rloc);
+  }
+  return rlocs;
+}
+
+}  // namespace
+
+void MapRequest::encode(net::ByteWriter& w) const {
+  w.write_u64(nonce);
+  eid.encode(w);
+  w.write_array(itr_rloc.bytes());
+  w.write_u8(smr_invoked ? 1 : 0);
+}
+
+std::optional<MapRequest> MapRequest::decode(net::ByteReader& r) {
+  const auto nonce = r.read_u64();
+  if (!nonce) return std::nullopt;
+  const auto eid = net::VnEid::decode(r);
+  const auto itr = r.read_array<4>();
+  const auto smr = r.read_u8();
+  if (!eid || !itr || !smr) return std::nullopt;
+  return MapRequest{*nonce, *eid, net::Ipv4Address::from_bytes(*itr), *smr != 0};
+}
+
+void MapReply::encode(net::ByteWriter& w) const {
+  w.write_u64(nonce);
+  eid.encode(w);
+  encode_rlocs(w, rlocs);
+  w.write_u8(static_cast<std::uint8_t>(action));
+  w.write_u32(ttl_seconds);
+  w.write_u16(group);
+}
+
+std::optional<MapReply> MapReply::decode(net::ByteReader& r) {
+  const auto nonce = r.read_u64();
+  if (!nonce) return std::nullopt;
+  const auto eid = net::VnEid::decode(r);
+  if (!eid) return std::nullopt;
+  auto rlocs = decode_rlocs(r);
+  const auto action = r.read_u8();
+  const auto ttl = r.read_u32();
+  const auto group = r.read_u16();
+  if (!rlocs || !action || !ttl || !group || *action > 2) return std::nullopt;
+  return MapReply{*nonce,        *eid, std::move(*rlocs), static_cast<MapReplyAction>(*action),
+                  *ttl,          *group};
+}
+
+void MapRegister::encode(net::ByteWriter& w) const {
+  w.write_u64(nonce);
+  eid.encode(w);
+  encode_rlocs(w, rlocs);
+  w.write_u32(ttl_seconds);
+  w.write_u8(want_notify ? 1 : 0);
+  w.write_u16(group);
+}
+
+std::optional<MapRegister> MapRegister::decode(net::ByteReader& r) {
+  const auto nonce = r.read_u64();
+  if (!nonce) return std::nullopt;
+  const auto eid = net::VnEid::decode(r);
+  if (!eid) return std::nullopt;
+  auto rlocs = decode_rlocs(r);
+  const auto ttl = r.read_u32();
+  const auto notify = r.read_u8();
+  const auto group = r.read_u16();
+  if (!rlocs || !ttl || !notify || !group) return std::nullopt;
+  return MapRegister{*nonce, *eid, std::move(*rlocs), *ttl, *notify != 0, *group};
+}
+
+void MapNotify::encode(net::ByteWriter& w) const {
+  w.write_u64(nonce);
+  eid.encode(w);
+  encode_rlocs(w, rlocs);
+}
+
+std::optional<MapNotify> MapNotify::decode(net::ByteReader& r) {
+  const auto nonce = r.read_u64();
+  if (!nonce) return std::nullopt;
+  const auto eid = net::VnEid::decode(r);
+  if (!eid) return std::nullopt;
+  auto rlocs = decode_rlocs(r);
+  if (!rlocs) return std::nullopt;
+  return MapNotify{*nonce, *eid, std::move(*rlocs)};
+}
+
+void SolicitMapRequest::encode(net::ByteWriter& w) const {
+  eid.encode(w);
+  w.write_array(source_rloc.bytes());
+}
+
+std::optional<SolicitMapRequest> SolicitMapRequest::decode(net::ByteReader& r) {
+  const auto eid = net::VnEid::decode(r);
+  const auto src = r.read_array<4>();
+  if (!eid || !src) return std::nullopt;
+  return SolicitMapRequest{*eid, net::Ipv4Address::from_bytes(*src)};
+}
+
+void Subscribe::encode(net::ByteWriter& w) const {
+  w.write_array(subscriber_rloc.bytes());
+  w.write_u24(vn);
+}
+
+std::optional<Subscribe> Subscribe::decode(net::ByteReader& r) {
+  const auto rloc = r.read_array<4>();
+  const auto vn = r.read_u24();
+  if (!rloc || !vn) return std::nullopt;
+  return Subscribe{net::Ipv4Address::from_bytes(*rloc), *vn};
+}
+
+void Publish::encode(net::ByteWriter& w) const {
+  eid.encode(w);
+  encode_rlocs(w, rlocs);
+  w.write_u32(ttl_seconds);
+}
+
+std::optional<Publish> Publish::decode(net::ByteReader& r) {
+  const auto eid = net::VnEid::decode(r);
+  if (!eid) return std::nullopt;
+  auto rlocs = decode_rlocs(r);
+  const auto ttl = r.read_u32();
+  if (!rlocs || !ttl) return std::nullopt;
+  return Publish{*eid, std::move(*rlocs), *ttl};
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  net::ByteWriter w{64};
+  w.write_u8(static_cast<std::uint8_t>(message.index() + 1));  // MessageType tag
+  std::visit([&w](const auto& m) { m.encode(w); }, message);
+  return std::move(w).take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
+  net::ByteReader r{bytes};
+  const auto type = r.read_u8();
+  if (!type) return std::nullopt;
+  switch (static_cast<MessageType>(*type)) {
+    case MessageType::MapRequest: {
+      const auto m = MapRequest::decode(r);
+      if (m) return Message{*m};
+      break;
+    }
+    case MessageType::MapReply: {
+      auto m = MapReply::decode(r);
+      if (m) return Message{std::move(*m)};
+      break;
+    }
+    case MessageType::MapRegister: {
+      auto m = MapRegister::decode(r);
+      if (m) return Message{std::move(*m)};
+      break;
+    }
+    case MessageType::MapNotify: {
+      auto m = MapNotify::decode(r);
+      if (m) return Message{std::move(*m)};
+      break;
+    }
+    case MessageType::SolicitMapRequest: {
+      const auto m = SolicitMapRequest::decode(r);
+      if (m) return Message{*m};
+      break;
+    }
+    case MessageType::Subscribe: {
+      const auto m = Subscribe::decode(r);
+      if (m) return Message{*m};
+      break;
+    }
+    case MessageType::Publish: {
+      auto m = Publish::decode(r);
+      if (m) return Message{std::move(*m)};
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t message_wire_size(const Message& message) {
+  // Exact: serialize into a scratch writer. Control messages are small and
+  // infrequent relative to data traffic, so this stays cheap.
+  return encode_message(message).size();
+}
+
+std::string message_type_name(const Message& message) {
+  switch (static_cast<MessageType>(message.index() + 1)) {
+    case MessageType::MapRequest: return "map-request";
+    case MessageType::MapReply: return "map-reply";
+    case MessageType::MapRegister: return "map-register";
+    case MessageType::MapNotify: return "map-notify";
+    case MessageType::SolicitMapRequest: return "smr";
+    case MessageType::Subscribe: return "subscribe";
+    case MessageType::Publish: return "publish";
+  }
+  return "unknown";
+}
+
+}  // namespace sda::lisp

@@ -1,0 +1,151 @@
+// Bounds-checked binary readers/writers for wire serialization.
+//
+// All multi-byte integers are written in network (big-endian) order, as on
+// the wire. Readers never read past the end: every accessor returns an
+// optional, and codecs propagate failure instead of throwing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sda::net {
+
+/// Appends big-endian fields to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void write_u16(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void write_u24(std::uint32_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void write_u32(std::uint32_t v) {
+    write_u16(static_cast<std::uint16_t>(v >> 16));
+    write_u16(static_cast<std::uint16_t>(v));
+  }
+
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+    write_u32(static_cast<std::uint32_t>(v));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  template <std::size_t N>
+  void write_array(const std::array<std::uint8_t, N>& bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Writes a length-prefixed (u16) UTF-8 string.
+  void write_string(std::string_view s) {
+    write_u16(static_cast<std::uint16_t>(s.size()));
+    const auto* data = reinterpret_cast<const std::uint8_t*>(s.data());
+    write_bytes({data, s.size()});
+  }
+
+  /// Overwrites a previously written u16 at `offset` (e.g. a length field
+  /// backfilled once the payload size is known).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buffer_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+    buffer_.at(offset + 1) = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads big-endian fields from a byte span; never reads out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> read_u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::optional<std::uint16_t> read_u16() {
+    if (remaining() < 2) return std::nullopt;
+    const auto v = static_cast<std::uint16_t>((std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> read_u24() {
+    if (remaining() < 3) return std::nullopt;
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 16) |
+                            (std::uint32_t{data_[pos_ + 1]} << 8) | data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> read_u32() {
+    const auto hi = read_u16();
+    const auto lo = read_u16();
+    if (!hi || !lo) return std::nullopt;
+    return (std::uint32_t{*hi} << 16) | *lo;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> read_u64() {
+    const auto hi = read_u32();
+    const auto lo = read_u32();
+    if (!hi || !lo) return std::nullopt;
+    return (std::uint64_t{*hi} << 32) | *lo;
+  }
+
+  template <std::size_t N>
+  [[nodiscard]] std::optional<std::array<std::uint8_t, N>> read_array() {
+    if (remaining() < N) return std::nullopt;
+    std::array<std::uint8_t, N> out{};
+    std::memcpy(out.data(), data_.data() + pos_, N);
+    pos_ += N;
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> read_bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads a u16-length-prefixed string written by ByteWriter::write_string.
+  [[nodiscard]] std::optional<std::string> read_string() {
+    const auto len = read_u16();
+    if (!len) return std::nullopt;
+    const auto bytes = read_bytes(*len);
+    if (!bytes) return std::nullopt;
+    return std::string(reinterpret_cast<const char*>(bytes->data()), bytes->size());
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sda::net

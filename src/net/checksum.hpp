@@ -1,0 +1,16 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sda::net {
+
+/// Computes the 16-bit one's-complement Internet checksum over `data`.
+/// Odd-length input is padded with a virtual zero byte, per RFC 1071.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Folds an intermediate 32-bit sum and returns the complemented checksum.
+[[nodiscard]] std::uint16_t fold_checksum(std::uint32_t sum);
+
+}  // namespace sda::net

@@ -1,0 +1,46 @@
+#include "net/eid.hpp"
+
+namespace sda::net {
+
+std::string Eid::to_string() const {
+  switch (family()) {
+    case EidFamily::Ipv4: return ipv4().to_string();
+    case EidFamily::Ipv6: return ipv6().to_string();
+    case EidFamily::Mac: return mac().to_string();
+  }
+  return {};
+}
+
+void Eid::encode(ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(family()));
+  switch (family()) {
+    case EidFamily::Ipv4: w.write_array(ipv4().bytes()); break;
+    case EidFamily::Ipv6: w.write_array(ipv6().bytes()); break;
+    case EidFamily::Mac: w.write_array(mac().bytes()); break;
+  }
+}
+
+std::optional<Eid> Eid::decode(ByteReader& r) {
+  const auto family = r.read_u8();
+  if (!family) return std::nullopt;
+  switch (static_cast<EidFamily>(*family)) {
+    case EidFamily::Ipv4: {
+      const auto b = r.read_array<4>();
+      if (!b) return std::nullopt;
+      return Eid{Ipv4Address::from_bytes(*b)};
+    }
+    case EidFamily::Ipv6: {
+      const auto b = r.read_array<16>();
+      if (!b) return std::nullopt;
+      return Eid{Ipv6Address{*b}};
+    }
+    case EidFamily::Mac: {
+      const auto b = r.read_array<6>();
+      if (!b) return std::nullopt;
+      return Eid{MacAddress{*b}};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sda::net

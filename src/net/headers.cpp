@@ -1,0 +1,184 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+
+namespace sda::net {
+
+void EthernetHeader::encode(ByteWriter& w) const {
+  w.write_array(destination.bytes());
+  w.write_array(source.bytes());
+  w.write_u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(ByteReader& r) {
+  const auto dst = r.read_array<6>();
+  const auto src = r.read_array<6>();
+  const auto type = r.read_u16();
+  if (!dst || !src || !type) return std::nullopt;
+  return EthernetHeader{MacAddress{*dst}, MacAddress{*src}, *type};
+}
+
+void VlanTag::encode(ByteWriter& w) const {
+  w.write_u16(static_cast<std::uint16_t>((std::uint16_t{pcp} << 13) | (vlan_id & 0x0FFF)));
+  w.write_u16(ether_type);
+}
+
+std::optional<VlanTag> VlanTag::decode(ByteReader& r) {
+  const auto tci = r.read_u16();
+  const auto type = r.read_u16();
+  if (!tci || !type) return std::nullopt;
+  VlanTag tag;
+  tag.vlan_id = *tci & 0x0FFF;
+  tag.pcp = static_cast<std::uint8_t>(*tci >> 13);
+  tag.ether_type = *type;
+  return tag;
+}
+
+void Ipv4Header::encode(ByteWriter& w) const {
+  ByteWriter h{kWireSize};
+  h.write_u8(0x45);  // version 4, IHL 5
+  h.write_u8(static_cast<std::uint8_t>(dscp << 2));
+  h.write_u16(total_length);
+  h.write_u16(identification);
+  h.write_u16(0);  // flags + fragment offset: never fragmented in the fabric
+  h.write_u8(ttl);
+  h.write_u8(protocol);
+  h.write_u16(0);  // checksum placeholder
+  h.write_array(source.bytes());
+  h.write_array(destination.bytes());
+  auto bytes = std::move(h).take();
+  const std::uint16_t sum = internet_checksum(bytes);
+  bytes[10] = static_cast<std::uint8_t>(sum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(sum);
+  w.write_bytes(bytes);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(ByteReader& r) {
+  const auto raw = r.read_bytes(kWireSize);
+  if (!raw) return std::nullopt;
+  const auto& b = *raw;
+  if (b[0] != 0x45) return std::nullopt;  // require version 4, no options
+  if (internet_checksum(b) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(b[1] >> 2);
+  h.total_length = static_cast<std::uint16_t>((std::uint16_t{b[2]} << 8) | b[3]);
+  h.identification = static_cast<std::uint16_t>((std::uint16_t{b[4]} << 8) | b[5]);
+  h.ttl = b[8];
+  h.protocol = b[9];
+  h.source = Ipv4Address{b[12], b[13], b[14], b[15]};
+  h.destination = Ipv4Address{b[16], b[17], b[18], b[19]};
+  return h;
+}
+
+void Ipv6Header::encode(ByteWriter& w) const {
+  w.write_u32((6u << 28) | (std::uint32_t{traffic_class} << 20) | (flow_label & 0xFFFFF));
+  w.write_u16(payload_length);
+  w.write_u8(next_header);
+  w.write_u8(hop_limit);
+  w.write_array(source.bytes());
+  w.write_array(destination.bytes());
+}
+
+std::optional<Ipv6Header> Ipv6Header::decode(ByteReader& r) {
+  const auto word = r.read_u32();
+  if (!word || (*word >> 28) != 6) return std::nullopt;
+  const auto payload_length = r.read_u16();
+  const auto next_header = r.read_u8();
+  const auto hop_limit = r.read_u8();
+  const auto source = r.read_array<16>();
+  const auto destination = r.read_array<16>();
+  if (!payload_length || !next_header || !hop_limit || !source || !destination) {
+    return std::nullopt;
+  }
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>(*word >> 20);
+  h.flow_label = *word & 0xFFFFF;
+  h.payload_length = *payload_length;
+  h.next_header = *next_header;
+  h.hop_limit = *hop_limit;
+  h.source = Ipv6Address{*source};
+  h.destination = Ipv6Address{*destination};
+  return h;
+}
+
+void UdpHeader::encode(ByteWriter& w) const {
+  w.write_u16(source_port);
+  w.write_u16(destination_port);
+  w.write_u16(length);
+  w.write_u16(0);  // checksum optional over IPv4
+}
+
+std::optional<UdpHeader> UdpHeader::decode(ByteReader& r) {
+  const auto sport = r.read_u16();
+  const auto dport = r.read_u16();
+  const auto length = r.read_u16();
+  const auto checksum = r.read_u16();
+  if (!sport || !dport || !length || !checksum) return std::nullopt;
+  return UdpHeader{*sport, *dport, *length};
+}
+
+void VxlanGpoHeader::encode(ByteWriter& w) const {
+  std::uint8_t flags = 0x08;  // I bit
+  if (group_policy_id != 0 || group_policy_applied) flags |= 0x80;  // G bit
+  std::uint8_t policy_flags = 0;
+  if (dont_learn) policy_flags |= 0x40;            // D bit
+  if (group_policy_applied) policy_flags |= 0x08;  // A bit
+  w.write_u8(flags);
+  w.write_u8(policy_flags);
+  w.write_u16(group_policy_id);
+  w.write_u24(vni & 0xFFFFFF);
+  w.write_u8(0);  // reserved
+}
+
+std::optional<VxlanGpoHeader> VxlanGpoHeader::decode(ByteReader& r) {
+  const auto flags = r.read_u8();
+  const auto policy_flags = r.read_u8();
+  const auto group = r.read_u16();
+  const auto vni = r.read_u24();
+  const auto reserved = r.read_u8();
+  if (!flags || !policy_flags || !group || !vni || !reserved) return std::nullopt;
+  if ((*flags & 0x08) == 0) return std::nullopt;  // I bit must be set
+  VxlanGpoHeader h;
+  h.dont_learn = (*policy_flags & 0x40) != 0;
+  h.group_policy_applied = (*policy_flags & 0x08) != 0;
+  h.group_policy_id = (*flags & 0x80) != 0 ? *group : std::uint16_t{0};
+  h.vni = *vni;
+  return h;
+}
+
+void ArpPacket::encode(ByteWriter& w) const {
+  w.write_u16(1);       // hardware type: Ethernet
+  w.write_u16(0x0800);  // protocol type: IPv4
+  w.write_u8(6);        // hardware size
+  w.write_u8(4);        // protocol size
+  w.write_u16(static_cast<std::uint16_t>(op));
+  w.write_array(sender_mac.bytes());
+  w.write_array(sender_ip.bytes());
+  w.write_array(target_mac.bytes());
+  w.write_array(target_ip.bytes());
+}
+
+std::optional<ArpPacket> ArpPacket::decode(ByteReader& r) {
+  const auto htype = r.read_u16();
+  const auto ptype = r.read_u16();
+  const auto hsize = r.read_u8();
+  const auto psize = r.read_u8();
+  const auto op = r.read_u16();
+  if (!htype || !ptype || !hsize || !psize || !op) return std::nullopt;
+  if (*htype != 1 || *ptype != 0x0800 || *hsize != 6 || *psize != 4) return std::nullopt;
+  if (*op != 1 && *op != 2) return std::nullopt;
+  const auto smac = r.read_array<6>();
+  const auto sip = r.read_array<4>();
+  const auto tmac = r.read_array<6>();
+  const auto tip = r.read_array<4>();
+  if (!smac || !sip || !tmac || !tip) return std::nullopt;
+  ArpPacket p;
+  p.op = static_cast<Op>(*op);
+  p.sender_mac = MacAddress{*smac};
+  p.sender_ip = Ipv4Address::from_bytes(*sip);
+  p.target_mac = MacAddress{*tmac};
+  p.target_ip = Ipv4Address::from_bytes(*tip);
+  return p;
+}
+
+}  // namespace sda::net

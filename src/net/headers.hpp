@@ -1,0 +1,158 @@
+// Wire headers used by the SDA data plane.
+//
+// The fabric encapsulation is VXLAN with the Group Policy Option
+// (draft-smith-vxlan-group-policy): the outer stack is
+// Ethernet / IPv4 / UDP(dport 4789) / VXLAN-GPO / inner frame.
+// Each header encodes/decodes itself through ByteWriter/ByteReader; decode
+// returns nullopt on truncated or malformed input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/buffer.hpp"
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+
+namespace sda::net {
+
+/// Well-known EtherTypes used by the fabric.
+enum class EtherType : std::uint16_t {
+  Ipv4 = 0x0800,
+  Arp = 0x0806,
+  Dot1Q = 0x8100,
+  Ipv6 = 0x86DD,
+};
+
+/// Standard VXLAN UDP port (RFC 7348).
+inline constexpr std::uint16_t kVxlanUdpPort = 4789;
+
+struct EthernetHeader {
+  MacAddress destination;
+  MacAddress source;
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kWireSize = 14;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<EthernetHeader> decode(ByteReader& r);
+
+  friend bool operator==(const EthernetHeader&, const EthernetHeader&) = default;
+};
+
+/// IEEE 802.1Q VLAN tag (follows the Ethernet source MAC when present).
+struct VlanTag {
+  std::uint16_t vlan_id = 0;  // 12 bits
+  std::uint8_t pcp = 0;       // 3 bits priority
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kWireSize = 4;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<VlanTag> decode(ByteReader& r);
+
+  friend bool operator==(const VlanTag&, const VlanTag&) = default;
+};
+
+/// IP protocol numbers used by the fabric.
+enum class IpProtocol : std::uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  static constexpr std::size_t kWireSize = 20;  // no options
+
+  /// Encodes with a freshly computed header checksum.
+  void encode(ByteWriter& w) const;
+
+  /// Decodes and verifies the header checksum; nullopt on mismatch,
+  /// truncation, version != 4, or IHL != 5 (options are not supported).
+  [[nodiscard]] static std::optional<Ipv4Header> decode(ByteReader& r);
+
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address source;
+  Ipv6Address destination;
+
+  static constexpr std::size_t kWireSize = 40;
+
+  void encode(ByteWriter& w) const;
+  /// nullopt on truncation or version != 6.
+  [[nodiscard]] static std::optional<Ipv6Header> decode(ByteReader& r);
+
+  friend bool operator==(const Ipv6Header&, const Ipv6Header&) = default;
+};
+
+struct UdpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kWireSize = 8;
+
+  void encode(ByteWriter& w) const;  // checksum 0 (legal for IPv4)
+  [[nodiscard]] static std::optional<UdpHeader> decode(ByteReader& r);
+
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+/// VXLAN header with the Group Policy Option extension.
+///
+///  0                   1                   2                   3
+///  |G|R|R|R|I|R|R|R|R|D|R|R|A|R|R|R|        Group Policy ID        |
+///  |                VXLAN Network Identifier (VNI) |   Reserved    |
+///
+/// G=1 means the Group Policy ID carries the source GroupId (SGT);
+/// I=1 means the VNI is valid. We always set I and set G when a group
+/// tag is carried.
+struct VxlanGpoHeader {
+  bool group_policy_applied = false;  // A bit: policy already enforced upstream
+  bool dont_learn = false;            // D bit
+  std::uint16_t group_policy_id = 0;  // source GroupId (SGT), 0 = none
+  std::uint32_t vni = 0;              // 24-bit VN identifier
+
+  static constexpr std::size_t kWireSize = 8;
+
+  void encode(ByteWriter& w) const;
+  /// nullopt on truncation or if the I (valid-VNI) flag is clear.
+  [[nodiscard]] static std::optional<VxlanGpoHeader> decode(ByteReader& r);
+
+  friend bool operator==(const VxlanGpoHeader&, const VxlanGpoHeader&) = default;
+};
+
+/// ARP packet (IPv4-over-Ethernet flavour only).
+struct ArpPacket {
+  enum class Op : std::uint16_t { Request = 1, Reply = 2 };
+
+  Op op = Op::Request;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  static constexpr std::size_t kWireSize = 28;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<ArpPacket> decode(ByteReader& r);
+
+  friend bool operator==(const ArpPacket&, const ArpPacket&) = default;
+};
+
+}  // namespace sda::net

@@ -1,0 +1,133 @@
+#include "net/ip_address.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace sda::net {
+
+namespace {
+
+// Parses a decimal octet in [0, 255]; advances `text` past it.
+std::optional<std::uint8_t> parse_octet(std::string_view& text) {
+  unsigned value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  // Reject leading zeros like "01" (ambiguous octal in many tools).
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_octet(text);
+    if (!octet) return std::nullopt;
+    octets[i] = *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return from_bytes(octets);
+}
+
+std::string Ipv4Address::to_string() const {
+  const auto b = bytes();
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", b[0], b[1], b[2], b[3]);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+
+  auto parse_group = [](std::string_view& t) -> std::optional<std::uint16_t> {
+    unsigned value = 0;
+    const auto* begin = t.data();
+    const auto* end = t.data() + t.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+    if (ec != std::errc{} || ptr == begin || ptr - begin > 4) return std::nullopt;
+    t.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return static_cast<std::uint16_t>(value);
+  };
+
+  // Leading "::".
+  if (text.starts_with("::")) {
+    seen_gap = true;
+    text.remove_prefix(2);
+  }
+
+  while (!text.empty()) {
+    auto group = parse_group(text);
+    if (!group) return std::nullopt;
+    (seen_gap ? tail : head).push_back(*group);
+    if (text.empty()) break;
+    if (text.starts_with("::")) {
+      if (seen_gap) return std::nullopt;  // only one gap allowed
+      seen_gap = true;
+      text.remove_prefix(2);
+    } else if (text.front() == ':') {
+      text.remove_prefix(1);
+      if (text.empty()) return std::nullopt;  // trailing single colon
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (seen_gap ? total > 7 : total != 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) groups[8 - tail.size() + i] = tail[i];
+  return from_groups(groups);
+}
+
+std::string Ipv6Address::to_string() const {
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(static_cast<std::size_t>(i)) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(static_cast<std::size_t>(j)) == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  int i = 0;
+  while (i < 8) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    const int n = std::snprintf(buf, sizeof(buf), "%x", group(static_cast<std::size_t>(i)));
+    out.append(buf, static_cast<std::size_t>(n));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace sda::net

@@ -1,0 +1,122 @@
+// IPv4 / IPv6 address value types.
+//
+// Addresses are small, trivially copyable value types with total ordering,
+// hashing, text parsing/formatting, and access to their raw big-endian bytes
+// for wire serialization and for Patricia-trie keying.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sda::net {
+
+/// An IPv4 address. Stored in host byte order; `bytes()` yields network order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.1.2.3"). Returns nullopt on any
+  /// malformed input (empty octets, values > 255, trailing junk...).
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// The address as a host-byte-order integer.
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// The address as 4 bytes in network (big-endian) order.
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> bytes() const {
+    return {static_cast<std::uint8_t>(value_ >> 24),
+            static_cast<std::uint8_t>(value_ >> 16),
+            static_cast<std::uint8_t>(value_ >> 8),
+            static_cast<std::uint8_t>(value_)};
+  }
+
+  [[nodiscard]] static constexpr Ipv4Address from_bytes(const std::array<std::uint8_t, 4>& b) {
+    return Ipv4Address{b[0], b[1], b[2], b[3]};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+  [[nodiscard]] constexpr bool is_loopback() const { return (value_ >> 24) == 127; }
+  [[nodiscard]] constexpr bool is_multicast() const { return (value_ >> 28) == 0xE; }
+  [[nodiscard]] constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFFu; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv6 address, stored as 16 bytes in network order.
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() = default;
+  constexpr explicit Ipv6Address(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Builds an address from 8 host-order 16-bit groups (RFC 4291 notation).
+  [[nodiscard]] static constexpr Ipv6Address from_groups(const std::array<std::uint16_t, 8>& g) {
+    Bytes b{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      b[2 * i] = static_cast<std::uint8_t>(g[i] >> 8);
+      b[2 * i + 1] = static_cast<std::uint8_t>(g[i] & 0xFF);
+    }
+    return Ipv6Address{b};
+  }
+
+  /// Parses RFC 4291 text (full or `::`-compressed; no embedded IPv4 form).
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const Bytes& bytes() const { return bytes_; }
+
+  [[nodiscard]] constexpr std::uint16_t group(std::size_t i) const {
+    return static_cast<std::uint16_t>((std::uint16_t{bytes_[2 * i]} << 8) | bytes_[2 * i + 1]);
+  }
+
+  /// Formats with `::` compression of the longest zero run (RFC 5952).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_unspecified() const {
+    for (auto b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const { return bytes_[0] == 0xFF; }
+  [[nodiscard]] constexpr bool is_link_local() const {
+    return bytes_[0] == 0xFE && (bytes_[1] & 0xC0) == 0x80;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+}  // namespace sda::net
+
+template <>
+struct std::hash<sda::net::Ipv4Address> {
+  std::size_t operator()(sda::net::Ipv4Address a) const noexcept {
+    // Fibonacci scrambling; the raw value is often sequential in tests.
+    return static_cast<std::size_t>(a.value()) * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+template <>
+struct std::hash<sda::net::Ipv6Address> {
+  std::size_t operator()(const sda::net::Ipv6Address& a) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (auto b : a.bytes()) h = (h ^ b) * 0x100000001b3ull;
+    return h;
+  }
+};

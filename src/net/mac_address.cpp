@@ -1,0 +1,40 @@
+#include "net/mac_address.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sda::net {
+
+namespace {
+
+std::optional<std::uint8_t> hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  Bytes bytes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t pos = i * 3;
+    if (i > 0 && text[pos - 1] != ':' && text[pos - 1] != '-') return std::nullopt;
+    const auto hi = hex_nibble(text[pos]);
+    const auto lo = hex_nibble(text[pos + 1]);
+    if (!hi || !lo) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+  }
+  return MacAddress{bytes};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  const int n = std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                              bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace sda::net

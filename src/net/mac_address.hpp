@@ -1,0 +1,63 @@
+// Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sda::net {
+
+/// A 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  using Bytes = std::array<std::uint8_t, 6>;
+
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Builds a MAC from its 48-bit integer value (lower 48 bits used).
+  [[nodiscard]] static constexpr MacAddress from_u64(std::uint64_t v) {
+    return MacAddress{Bytes{
+        static_cast<std::uint8_t>(v >> 40), static_cast<std::uint8_t>(v >> 32),
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)}};
+  }
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (also accepts '-' separators, upper case).
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{Bytes{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+
+  [[nodiscard]] constexpr const Bytes& bytes() const { return bytes_; }
+
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes_) v = (v << 8) | b;
+    return v;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_broadcast() const { return to_u64() == 0xFFFFFFFFFFFFull; }
+  [[nodiscard]] constexpr bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+  [[nodiscard]] constexpr bool is_unicast() const { return !is_multicast(); }
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+}  // namespace sda::net
+
+template <>
+struct std::hash<sda::net::MacAddress> {
+  std::size_t operator()(const sda::net::MacAddress& m) const noexcept {
+    return static_cast<std::size_t>(m.to_u64()) * 0x9E3779B97F4A7C15ull;
+  }
+};

@@ -1,0 +1,211 @@
+#include "net/packet.hpp"
+
+namespace sda::net {
+
+std::size_t OverlayFrame::wire_size() const {
+  std::size_t size = EthernetHeader::kWireSize;
+  if (vlan_id) size += VlanTag::kWireSize;
+  if (is_arp()) {
+    size += ArpPacket::kWireSize;
+  } else if (is_ipv6()) {
+    const auto& dgram = ip6();
+    size += Ipv6Header::kWireSize + dgram.payload_size;
+    if (dgram.protocol == IpProtocol::Udp) size += UdpHeader::kWireSize;
+  } else {
+    const auto& dgram = ip();
+    size += Ipv4Header::kWireSize + dgram.payload_size;
+    if (dgram.protocol == IpProtocol::Udp) size += UdpHeader::kWireSize;
+  }
+  return size;
+}
+
+std::vector<std::uint8_t> OverlayFrame::encode() const {
+  ByteWriter w{wire_size()};
+  EthernetHeader eth;
+  eth.destination = destination_mac;
+  eth.source = source_mac;
+  const std::uint16_t inner_type = static_cast<std::uint16_t>(
+      is_arp() ? EtherType::Arp : (is_ipv6() ? EtherType::Ipv6 : EtherType::Ipv4));
+  if (vlan_id) {
+    eth.ether_type = static_cast<std::uint16_t>(EtherType::Dot1Q);
+    eth.encode(w);
+    VlanTag tag;
+    tag.vlan_id = *vlan_id;
+    tag.ether_type = inner_type;
+    tag.encode(w);
+  } else {
+    eth.ether_type = inner_type;
+    eth.encode(w);
+  }
+
+  if (is_arp()) {
+    arp().encode(w);
+  } else if (is_ipv6()) {
+    const auto& dgram = ip6();
+    const bool udp = dgram.protocol == IpProtocol::Udp;
+    Ipv6Header ip6h;
+    ip6h.payload_length =
+        static_cast<std::uint16_t>((udp ? UdpHeader::kWireSize : 0) + dgram.payload_size);
+    ip6h.next_header = static_cast<std::uint8_t>(dgram.protocol);
+    ip6h.hop_limit = dgram.hop_limit;
+    ip6h.source = dgram.source;
+    ip6h.destination = dgram.destination;
+    ip6h.encode(w);
+    if (udp) {
+      UdpHeader udph;
+      udph.source_port = dgram.source_port;
+      udph.destination_port = dgram.destination_port;
+      udph.length = static_cast<std::uint16_t>(UdpHeader::kWireSize + dgram.payload_size);
+      udph.encode(w);
+    }
+    for (std::uint16_t i = 0; i < dgram.payload_size; ++i) w.write_u8(0);
+  } else {
+    const auto& dgram = ip();
+    const bool udp = dgram.protocol == IpProtocol::Udp;
+    Ipv4Header iph;
+    iph.total_length = static_cast<std::uint16_t>(
+        Ipv4Header::kWireSize + (udp ? UdpHeader::kWireSize : 0) + dgram.payload_size);
+    iph.ttl = dgram.ttl;
+    iph.protocol = static_cast<std::uint8_t>(dgram.protocol);
+    iph.source = dgram.source;
+    iph.destination = dgram.destination;
+    iph.encode(w);
+    if (udp) {
+      UdpHeader udph;
+      udph.source_port = dgram.source_port;
+      udph.destination_port = dgram.destination_port;
+      udph.length = static_cast<std::uint16_t>(UdpHeader::kWireSize + dgram.payload_size);
+      udph.encode(w);
+    }
+    // Payload bytes are zero-filled; only their size is semantically relevant.
+    for (std::uint16_t i = 0; i < dgram.payload_size; ++i) w.write_u8(0);
+  }
+  return std::move(w).take();
+}
+
+std::optional<OverlayFrame> OverlayFrame::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+
+  OverlayFrame frame;
+  frame.source_mac = eth->source;
+  frame.destination_mac = eth->destination;
+
+  std::uint16_t ether_type = eth->ether_type;
+  if (ether_type == static_cast<std::uint16_t>(EtherType::Dot1Q)) {
+    const auto tag = VlanTag::decode(r);
+    if (!tag) return std::nullopt;
+    frame.vlan_id = tag->vlan_id;
+    ether_type = tag->ether_type;
+  }
+
+  if (ether_type == static_cast<std::uint16_t>(EtherType::Arp)) {
+    const auto arp = ArpPacket::decode(r);
+    if (!arp) return std::nullopt;
+    frame.l3 = *arp;
+    return frame;
+  }
+  if (ether_type == static_cast<std::uint16_t>(EtherType::Ipv6)) {
+    const auto ip6h = Ipv6Header::decode(r);
+    if (!ip6h) return std::nullopt;
+    Ipv6Datagram dgram;
+    dgram.source = ip6h->source;
+    dgram.destination = ip6h->destination;
+    dgram.protocol = static_cast<IpProtocol>(ip6h->next_header);
+    dgram.hop_limit = ip6h->hop_limit;
+    std::uint16_t header_bytes = 0;
+    if (dgram.protocol == IpProtocol::Udp) {
+      const auto udph = UdpHeader::decode(r);
+      if (!udph) return std::nullopt;
+      dgram.source_port = udph->source_port;
+      dgram.destination_port = udph->destination_port;
+      header_bytes = UdpHeader::kWireSize;
+    }
+    if (ip6h->payload_length < header_bytes) return std::nullopt;
+    dgram.payload_size = static_cast<std::uint16_t>(ip6h->payload_length - header_bytes);
+    if (r.remaining() < dgram.payload_size) return std::nullopt;
+    frame.l3 = dgram;
+    return frame;
+  }
+  if (ether_type != static_cast<std::uint16_t>(EtherType::Ipv4)) return std::nullopt;
+
+  const auto iph = Ipv4Header::decode(r);
+  if (!iph) return std::nullopt;
+  Ipv4Datagram dgram;
+  dgram.source = iph->source;
+  dgram.destination = iph->destination;
+  dgram.protocol = static_cast<IpProtocol>(iph->protocol);
+  dgram.ttl = iph->ttl;
+  std::uint16_t header_bytes = Ipv4Header::kWireSize;
+  if (dgram.protocol == IpProtocol::Udp) {
+    const auto udph = UdpHeader::decode(r);
+    if (!udph) return std::nullopt;
+    dgram.source_port = udph->source_port;
+    dgram.destination_port = udph->destination_port;
+    header_bytes += UdpHeader::kWireSize;
+  }
+  if (iph->total_length < header_bytes) return std::nullopt;
+  dgram.payload_size = static_cast<std::uint16_t>(iph->total_length - header_bytes);
+  if (r.remaining() < dgram.payload_size) return std::nullopt;
+  frame.l3 = dgram;
+  return frame;
+}
+
+std::vector<std::uint8_t> FabricFrame::encode() const {
+  const auto inner_bytes = inner.encode();
+  ByteWriter w{wire_size()};
+
+  Ipv4Header outer;
+  outer.total_length = static_cast<std::uint16_t>(Ipv4Header::kWireSize + UdpHeader::kWireSize +
+                                                  VxlanGpoHeader::kWireSize + inner_bytes.size());
+  outer.ttl = 64;
+  outer.protocol = static_cast<std::uint8_t>(IpProtocol::Udp);
+  outer.source = outer_source;
+  outer.destination = outer_destination;
+  outer.encode(w);
+
+  UdpHeader udph;
+  // Source port derived from an inner-flow hash for underlay ECMP entropy.
+  std::size_t entropy = std::hash<MacAddress>{}(inner.source_mac) ^
+                        (std::hash<MacAddress>{}(inner.destination_mac) << 1);
+  udph.source_port = static_cast<std::uint16_t>(0xC000 | (entropy & 0x3FFF));
+  udph.destination_port = kVxlanUdpPort;
+  udph.length = static_cast<std::uint16_t>(UdpHeader::kWireSize + VxlanGpoHeader::kWireSize +
+                                           inner_bytes.size());
+  udph.encode(w);
+
+  VxlanGpoHeader vxlan;
+  vxlan.vni = vn.value();
+  vxlan.group_policy_id = source_group.value();
+  vxlan.group_policy_applied = policy_applied;
+  vxlan.encode(w);
+
+  w.write_bytes(inner_bytes);
+  return std::move(w).take();
+}
+
+std::optional<FabricFrame> FabricFrame::decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto outer = Ipv4Header::decode(r);
+  if (!outer || outer->protocol != static_cast<std::uint8_t>(IpProtocol::Udp)) return std::nullopt;
+  const auto udph = UdpHeader::decode(r);
+  if (!udph || udph->destination_port != kVxlanUdpPort) return std::nullopt;
+  const auto vxlan = VxlanGpoHeader::decode(r);
+  if (!vxlan) return std::nullopt;
+  const auto inner_bytes = r.read_bytes(r.remaining());
+  if (!inner_bytes) return std::nullopt;
+  auto inner = OverlayFrame::decode(*inner_bytes);
+  if (!inner) return std::nullopt;
+
+  FabricFrame frame;
+  frame.outer_source = outer->source;
+  frame.outer_destination = outer->destination;
+  frame.vn = VnId{vxlan->vni};
+  frame.source_group = GroupId{vxlan->group_policy_id};
+  frame.policy_applied = vxlan->group_policy_applied;
+  frame.inner = std::move(*inner);
+  return frame;
+}
+
+}  // namespace sda::net

@@ -1,0 +1,125 @@
+// Structured packet model used by the simulated data plane.
+//
+// The simulator moves packets as structured values (cheap to copy, no
+// per-hop reserialization); the same types can be rendered to and parsed
+// from real wire bytes, which tests and micro-benchmarks exercise to keep
+// the structured model honest with the on-the-wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/eid.hpp"
+#include "net/headers.hpp"
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/types.hpp"
+
+namespace sda::net {
+
+/// An overlay IPv4 datagram (the common case for endpoint traffic). The
+/// payload is represented by its size only; contents never matter to the
+/// fabric.
+struct Ipv4Datagram {
+  Ipv4Address source;
+  Ipv4Address destination;
+  IpProtocol protocol = IpProtocol::Udp;
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t payload_size = 0;
+  std::uint8_t ttl = 64;
+
+  friend bool operator==(const Ipv4Datagram&, const Ipv4Datagram&) = default;
+};
+
+/// An overlay IPv6 datagram (each endpoint also carries an IPv6 identity —
+/// the paper's "3 routes per endpoint" sizing in §4.1).
+struct Ipv6Datagram {
+  Ipv6Address source;
+  Ipv6Address destination;
+  IpProtocol protocol = IpProtocol::Udp;
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t payload_size = 0;
+  std::uint8_t hop_limit = 64;
+
+  friend bool operator==(const Ipv6Datagram&, const Ipv6Datagram&) = default;
+};
+
+/// An L2 frame as emitted by an endpoint: Ethernet addressing plus an IPv4
+/// or IPv6 datagram or an ARP packet, optionally 802.1Q tagged at the edge
+/// port.
+struct OverlayFrame {
+  MacAddress source_mac;
+  MacAddress destination_mac;
+  std::optional<std::uint16_t> vlan_id;
+  std::variant<Ipv4Datagram, Ipv6Datagram, ArpPacket> l3;
+
+  [[nodiscard]] bool is_arp() const { return std::holds_alternative<ArpPacket>(l3); }
+  [[nodiscard]] bool is_ipv4() const { return std::holds_alternative<Ipv4Datagram>(l3); }
+  [[nodiscard]] bool is_ipv6() const { return std::holds_alternative<Ipv6Datagram>(l3); }
+  [[nodiscard]] const Ipv4Datagram& ip() const { return std::get<Ipv4Datagram>(l3); }
+  [[nodiscard]] Ipv4Datagram& ip() { return std::get<Ipv4Datagram>(l3); }
+  [[nodiscard]] const Ipv6Datagram& ip6() const { return std::get<Ipv6Datagram>(l3); }
+  [[nodiscard]] Ipv6Datagram& ip6() { return std::get<Ipv6Datagram>(l3); }
+  [[nodiscard]] const ArpPacket& arp() const { return std::get<ArpPacket>(l3); }
+
+  /// The L3 destination as an EID (IPv4 or IPv6); must not be ARP.
+  [[nodiscard]] Eid destination_eid() const {
+    return is_ipv6() ? Eid{ip6().destination} : Eid{ip().destination};
+  }
+  [[nodiscard]] Eid source_eid() const {
+    return is_ipv6() ? Eid{ip6().source} : Eid{ip().source};
+  }
+
+  /// TTL / hop-limit access across families (loop protection in the fabric).
+  [[nodiscard]] std::uint8_t hop_limit() const {
+    return is_ipv6() ? ip6().hop_limit : ip().ttl;
+  }
+  void set_hop_limit(std::uint8_t v) {
+    if (is_ipv6()) {
+      ip6().hop_limit = v;
+    } else {
+      ip().ttl = v;
+    }
+  }
+
+  /// Total frame size on the wire in bytes (without FCS).
+  [[nodiscard]] std::size_t wire_size() const;
+
+  /// Serializes the frame as real wire bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<OverlayFrame> decode(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const OverlayFrame&, const OverlayFrame&) = default;
+};
+
+/// A fabric-encapsulated frame: outer IPv4/UDP/VXLAN-GPO around an overlay
+/// frame, traveling between edge/border RLOCs across the underlay.
+struct FabricFrame {
+  Ipv4Address outer_source;       // ingress router RLOC
+  Ipv4Address outer_destination;  // egress router RLOC
+  VnId vn;
+  GroupId source_group;
+  bool policy_applied = false;  // GPO A-bit: set once an SGACL allowed it
+  OverlayFrame inner;
+
+  /// Total encapsulated size on the wire (outer Ethernet not counted; the
+  /// underlay model accounts for per-hop L2 framing separately).
+  [[nodiscard]] std::size_t wire_size() const {
+    return Ipv4Header::kWireSize + UdpHeader::kWireSize + VxlanGpoHeader::kWireSize +
+           inner.wire_size();
+  }
+
+  /// Serializes outer IPv4 + UDP + VXLAN-GPO + inner frame to wire bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<FabricFrame> decode(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const FabricFrame&, const FabricFrame&) = default;
+};
+
+}  // namespace sda::net

@@ -1,0 +1,79 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+namespace sda::net {
+
+namespace {
+
+// Parses the "/len" suffix if present; returns the length or `max_len` for a
+// bare address, nullopt on malformed input.
+std::optional<std::uint8_t> split_length(std::string_view& text, std::uint8_t max_len) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return max_len;
+  const std::string_view len_text = text.substr(slash + 1);
+  text = text.substr(0, slash);
+  unsigned len = 0;
+  const auto* begin = len_text.data();
+  const auto* end = len_text.data() + len_text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, len, 10);
+  if (ec != std::errc{} || ptr != end || ptr == begin || len > max_len) return std::nullopt;
+  return static_cast<std::uint8_t>(len);
+}
+
+}  // namespace
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto length = split_length(text, 32);
+  if (!length) return std::nullopt;
+  const auto address = Ipv4Address::parse(text);
+  if (!address) return std::nullopt;
+  return Ipv4Prefix{*address, *length};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+Ipv6Prefix::Ipv6Prefix(const Ipv6Address& address, std::uint8_t length)
+    : length_(length > 128 ? 128 : length) {
+  Ipv6Address::Bytes bytes = address.bytes();
+  const std::size_t full = length_ / 8;
+  const std::uint8_t rem = length_ % 8;
+  if (full < bytes.size()) {
+    if (rem != 0) {
+      bytes[full] &= static_cast<std::uint8_t>(0xFF << (8 - rem));
+      for (std::size_t i = full + 1; i < bytes.size(); ++i) bytes[i] = 0;
+    } else {
+      for (std::size_t i = full; i < bytes.size(); ++i) bytes[i] = 0;
+    }
+  }
+  address_ = Ipv6Address{bytes};
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  const auto length = split_length(text, 128);
+  if (!length) return std::nullopt;
+  const auto address = Ipv6Address::parse(text);
+  if (!address) return std::nullopt;
+  return Ipv6Prefix{*address, *length};
+}
+
+bool Ipv6Prefix::contains(const Ipv6Address& a) const {
+  const auto& pb = address_.bytes();
+  const auto& ab = a.bytes();
+  const std::size_t full = length_ / 8;
+  for (std::size_t i = 0; i < full; ++i) {
+    if (pb[i] != ab[i]) return false;
+  }
+  const std::uint8_t rem = length_ % 8;
+  if (rem == 0) return true;
+  const auto mask = static_cast<std::uint8_t>(0xFF << (8 - rem));
+  return (pb[full] & mask) == (ab[full] & mask);
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace sda::net

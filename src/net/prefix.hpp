@@ -1,0 +1,84 @@
+// CIDR prefixes over IPv4 / IPv6 addresses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip_address.hpp"
+
+namespace sda::net {
+
+/// An IPv4 CIDR prefix. The stored address is always canonicalized (host
+/// bits zeroed), so two prefixes compare equal iff they denote the same set.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Builds a prefix, masking host bits away. `length` is clamped to 32.
+  constexpr Ipv4Prefix(Ipv4Address address, std::uint8_t length)
+      : length_(length > 32 ? 32 : length),
+        address_(Ipv4Address{address.value() & mask(length_)}) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32.
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask(length_)) == address_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// The network mask for a given prefix length as a host-order integer.
+  [[nodiscard]] static constexpr std::uint32_t mask(std::uint8_t length) {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+  /// The i-th host address inside the prefix (no broadcast-awareness; the
+  /// caller is responsible for staying inside the host range).
+  [[nodiscard]] constexpr Ipv4Address host(std::uint32_t i) const {
+    return Ipv4Address{address_.value() + i};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  std::uint8_t length_ = 0;
+  Ipv4Address address_{};
+};
+
+/// An IPv6 CIDR prefix, canonicalized like Ipv4Prefix.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+  Ipv6Prefix(const Ipv6Address& address, std::uint8_t length);
+
+  /// Parses "hhhh::/len". A bare address parses as a /128.
+  [[nodiscard]] static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  [[nodiscard]] const Ipv6Address& address() const { return address_; }
+  [[nodiscard]] std::uint8_t length() const { return length_; }
+
+  [[nodiscard]] bool contains(const Ipv6Address& a) const;
+  [[nodiscard]] bool contains(const Ipv6Prefix& other) const {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+
+ private:
+  std::uint8_t length_ = 0;
+  Ipv6Address address_{};
+};
+
+}  // namespace sda::net

@@ -1,0 +1,62 @@
+// Fundamental fabric identifier types shared across planes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sda::net {
+
+/// A Virtual Network identifier (24 bits on the wire, carried in the VXLAN
+/// VNI field). VNs provide "macro" segmentation: traffic never crosses VNs.
+class VnId {
+ public:
+  constexpr VnId() = default;
+  constexpr explicit VnId(std::uint32_t value) : value_(value & 0xFFFFFF) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const { return "vn:" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(VnId, VnId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A scalable group tag (16 bits on the wire, carried in the VXLAN-GPO group
+/// field). Groups provide "micro" segmentation inside a VN.
+class GroupId {
+ public:
+  constexpr GroupId() = default;
+  constexpr explicit GroupId(std::uint16_t value) : value_(value) {}
+
+  /// Group 0 means "unknown / untagged"; SGACLs treat it permissively so
+  /// infrastructure traffic is never dropped by micro-segmentation.
+  [[nodiscard]] static constexpr GroupId unknown() { return GroupId{0}; }
+
+  [[nodiscard]] constexpr std::uint16_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unknown() const { return value_ == 0; }
+  [[nodiscard]] std::string to_string() const { return "sgt:" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(GroupId, GroupId) = default;
+
+ private:
+  std::uint16_t value_ = 0;
+};
+
+}  // namespace sda::net
+
+template <>
+struct std::hash<sda::net::VnId> {
+  std::size_t operator()(sda::net::VnId v) const noexcept {
+    return std::size_t{v.value()} * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+template <>
+struct std::hash<sda::net::GroupId> {
+  std::size_t operator()(sda::net::GroupId g) const noexcept {
+    return std::size_t{g.value()} * 0x9E3779B97F4A7C15ull;
+  }
+};

@@ -1,0 +1,54 @@
+#include "policy/matrix.hpp"
+
+#include <algorithm>
+
+namespace sda::policy {
+
+bool ConnectivityMatrix::set_rule(net::GroupId source, net::GroupId destination, Action action) {
+  const GroupPair pair{source, destination};
+  const auto it = rules_.find(pair);
+  if (it != rules_.end() && it->second == action) return false;
+  rules_[pair] = action;
+  ++version_;
+  return true;
+}
+
+bool ConnectivityMatrix::clear_rule(net::GroupId source, net::GroupId destination) {
+  const bool erased = rules_.erase(GroupPair{source, destination}) > 0;
+  if (erased) ++version_;
+  return erased;
+}
+
+Action ConnectivityMatrix::lookup(net::GroupId source, net::GroupId destination) const {
+  if (source.is_unknown() || destination.is_unknown()) return Action::Allow;
+  const auto it = rules_.find(GroupPair{source, destination});
+  return it == rules_.end() ? default_action_ : it->second;
+}
+
+std::vector<Rule> ConnectivityMatrix::rules_for_destination(net::GroupId destination) const {
+  std::vector<Rule> out;
+  for (const auto& [pair, action] : rules_) {
+    if (pair.destination == destination) out.push_back(Rule{pair, action});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Rule> ConnectivityMatrix::rules_for_source(net::GroupId source) const {
+  std::vector<Rule> out;
+  for (const auto& [pair, action] : rules_) {
+    if (pair.source == source) out.push_back(Rule{pair, action});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ConnectivityMatrix::walk(const std::function<void(const Rule&)>& visit) const {
+  std::vector<Rule> all;
+  all.reserve(rules_.size());
+  for (const auto& [pair, action] : rules_) all.push_back(Rule{pair, action});
+  std::sort(all.begin(), all.end());
+  for (const auto& rule : all) visit(rule);
+}
+
+}  // namespace sda::policy

@@ -1,0 +1,81 @@
+// The group connectivity matrix: SDA's "micro" segmentation policy.
+//
+// Operators express intent as (source group, destination group) -> action,
+// independently per VN (paper §3.2.1). Edge routers download only the rules
+// whose *destination* group is locally attached (§3.3.1, §5.3) and enforce
+// them on egress as an exact-match group ACL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace sda::policy {
+
+enum class Action : std::uint8_t { Allow = 0, Deny = 1 };
+
+struct GroupPair {
+  net::GroupId source;
+  net::GroupId destination;
+  friend constexpr auto operator<=>(const GroupPair&, const GroupPair&) = default;
+};
+
+struct Rule {
+  GroupPair pair;
+  Action action = Action::Allow;
+  friend constexpr auto operator<=>(const Rule&, const Rule&) = default;
+};
+
+/// One VN's group connectivity matrix.
+class ConnectivityMatrix {
+ public:
+  /// The action applied when no explicit rule matches. Enterprise default
+  /// in the paper's deployments is allow-by-default inside a VN, with deny
+  /// rules carving out restrictions.
+  explicit ConnectivityMatrix(Action default_action = Action::Allow)
+      : default_action_(default_action) {}
+
+  /// Sets (or replaces) a rule. Returns true if anything changed.
+  bool set_rule(net::GroupId source, net::GroupId destination, Action action);
+
+  /// Removes an explicit rule (falls back to the default). True if present.
+  bool clear_rule(net::GroupId source, net::GroupId destination);
+
+  /// The effective action for a (source, destination) pair. Unknown (0)
+  /// groups are always allowed: infrastructure traffic must never be
+  /// dropped by micro-segmentation.
+  [[nodiscard]] Action lookup(net::GroupId source, net::GroupId destination) const;
+
+  /// All explicit rules whose destination is `destination` — the rule set
+  /// an edge router downloads when an endpoint of that group onboards.
+  [[nodiscard]] std::vector<Rule> rules_for_destination(net::GroupId destination) const;
+
+  /// All explicit rules whose source is `source` (ingress-enforcement
+  /// ablation, §5.3 — needs *all* destination groups' rules instead).
+  [[nodiscard]] std::vector<Rule> rules_for_source(net::GroupId source) const;
+
+  [[nodiscard]] Action default_action() const { return default_action_; }
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+
+  /// Bumped on every mutation; consumers use it to detect staleness.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  void walk(const std::function<void(const Rule&)>& visit) const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const GroupPair& p) const noexcept {
+      return (std::size_t{p.source.value()} << 16) ^ p.destination.value();
+    }
+  };
+
+  Action default_action_;
+  std::unordered_map<GroupPair, Action, PairHash> rules_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace sda::policy

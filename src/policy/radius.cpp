@@ -1,0 +1,61 @@
+#include "policy/radius.hpp"
+
+namespace sda::policy {
+
+void AccessRequest::encode(net::ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(RadiusCode::AccessRequest));
+  w.write_u32(request_id);
+  w.write_string(credential);
+  w.write_string(secret);
+  w.write_array(calling_mac.bytes());
+  w.write_u16(nas_port);
+}
+
+std::optional<AccessRequest> AccessRequest::decode(net::ByteReader& r) {
+  const auto code = r.read_u8();
+  if (!code || *code != static_cast<std::uint8_t>(RadiusCode::AccessRequest)) return std::nullopt;
+  const auto id = r.read_u32();
+  if (!id) return std::nullopt;
+  auto credential = r.read_string();
+  auto secret = r.read_string();
+  const auto mac = r.read_array<6>();
+  const auto port = r.read_u16();
+  if (!credential || !secret || !mac || !port) return std::nullopt;
+  return AccessRequest{*id, std::move(*credential), std::move(*secret), net::MacAddress{*mac},
+                       *port};
+}
+
+void AccessAccept::encode(net::ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(RadiusCode::AccessAccept));
+  w.write_u32(request_id);
+  w.write_u24(vn.value());
+  w.write_u16(group.value());
+}
+
+std::optional<AccessAccept> AccessAccept::decode(net::ByteReader& r) {
+  const auto code = r.read_u8();
+  if (!code || *code != static_cast<std::uint8_t>(RadiusCode::AccessAccept)) return std::nullopt;
+  const auto id = r.read_u32();
+  const auto vn = r.read_u24();
+  const auto group = r.read_u16();
+  if (!id || !vn || !group) return std::nullopt;
+  return AccessAccept{*id, net::VnId{*vn}, net::GroupId{*group}};
+}
+
+void AccessReject::encode(net::ByteWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(RadiusCode::AccessReject));
+  w.write_u32(request_id);
+  w.write_string(reason);
+}
+
+std::optional<AccessReject> AccessReject::decode(net::ByteReader& r) {
+  const auto code = r.read_u8();
+  if (!code || *code != static_cast<std::uint8_t>(RadiusCode::AccessReject)) return std::nullopt;
+  const auto id = r.read_u32();
+  if (!id) return std::nullopt;
+  auto reason = r.read_string();
+  if (!reason) return std::nullopt;
+  return AccessReject{*id, std::move(*reason)};
+}
+
+}  // namespace sda::policy

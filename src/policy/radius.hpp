@@ -1,0 +1,57 @@
+// RADIUS-style authentication exchange (RFC 2865, reduced to the attributes
+// the SDA onboarding flow uses).
+//
+// The policy server authenticates an endpoint by credential and answers
+// with its VN and GroupId assignment (paper Fig. 3 steps 1-2). Both EAP and
+// MAC-authentication-bypass flows collapse to the same request/accept shape
+// at this level of modeling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/buffer.hpp"
+#include "net/mac_address.hpp"
+#include "net/types.hpp"
+
+namespace sda::policy {
+
+enum class RadiusCode : std::uint8_t {
+  AccessRequest = 1,
+  AccessAccept = 2,
+  AccessReject = 3,
+};
+
+struct AccessRequest {
+  std::uint32_t request_id = 0;
+  std::string credential;       // EAP identity or MAB username
+  std::string secret;           // password / shared credential proof
+  net::MacAddress calling_mac;  // the endpoint's MAC
+  std::uint16_t nas_port = 0;   // edge switch port
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<AccessRequest> decode(net::ByteReader& r);
+  friend bool operator==(const AccessRequest&, const AccessRequest&) = default;
+};
+
+struct AccessAccept {
+  std::uint32_t request_id = 0;
+  net::VnId vn;
+  net::GroupId group;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<AccessAccept> decode(net::ByteReader& r);
+  friend bool operator==(const AccessAccept&, const AccessAccept&) = default;
+};
+
+struct AccessReject {
+  std::uint32_t request_id = 0;
+  std::string reason;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<AccessReject> decode(net::ByteReader& r);
+  friend bool operator==(const AccessReject&, const AccessReject&) = default;
+};
+
+}  // namespace sda::policy

@@ -1,0 +1,79 @@
+// SXP-style policy-plane messages (draft-smith-kandula-sxp, reduced to
+// what SDA uses, §3.2.1): distributing group bindings and group-ACL rules
+// from the policy server to edge routers.
+//
+// Like the LISP codecs, these exist so the policy plane has a real wire
+// format; the simulator passes structured values but tests keep the two
+// representations in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "net/buffer.hpp"
+#include "net/ip_address.hpp"
+#include "net/mac_address.hpp"
+#include "net/types.hpp"
+#include "policy/matrix.hpp"
+
+namespace sda::policy {
+
+enum class SxpMessageType : std::uint8_t {
+  BindingUpdate = 1,   // (overlay IP -> GroupId) additions/deletions
+  RuleInstall = 2,     // group-ACL rules for one destination group
+  GroupReassign = 3,   // CoA-style: endpoint moved to another group
+};
+
+/// One IP-to-SGT binding (the SXP payload unit).
+struct SxpBinding {
+  net::VnId vn;
+  net::Ipv4Address ip;
+  net::GroupId group;
+  bool withdraw = false;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<SxpBinding> decode(net::ByteReader& r);
+  friend bool operator==(const SxpBinding&, const SxpBinding&) = default;
+};
+
+struct SxpBindingUpdate {
+  std::uint32_t sequence = 0;
+  std::vector<SxpBinding> bindings;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<SxpBindingUpdate> decode(net::ByteReader& r);
+  friend bool operator==(const SxpBindingUpdate&, const SxpBindingUpdate&) = default;
+};
+
+/// The rule set an edge installs for one locally hosted destination group.
+struct SxpRuleInstall {
+  std::uint32_t sequence = 0;
+  net::VnId vn;
+  net::GroupId destination;
+  std::vector<Rule> rules;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<SxpRuleInstall> decode(net::ByteReader& r);
+  friend bool operator==(const SxpRuleInstall&, const SxpRuleInstall&) = default;
+};
+
+/// CoA-style notification that an endpoint's group changed (§5.4).
+struct SxpGroupReassign {
+  std::uint32_t sequence = 0;
+  net::VnId vn;
+  net::MacAddress endpoint;
+  net::GroupId new_group;
+
+  void encode(net::ByteWriter& w) const;
+  [[nodiscard]] static std::optional<SxpGroupReassign> decode(net::ByteReader& r);
+  friend bool operator==(const SxpGroupReassign&, const SxpGroupReassign&) = default;
+};
+
+/// Serializes any SXP message with a one-byte type tag.
+using SxpMessage = std::variant<SxpBindingUpdate, SxpRuleInstall, SxpGroupReassign>;
+[[nodiscard]] std::vector<std::uint8_t> encode_sxp(const SxpMessage& message);
+[[nodiscard]] std::optional<SxpMessage> decode_sxp(std::span<const std::uint8_t> bytes);
+
+}  // namespace sda::policy

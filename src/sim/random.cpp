@@ -1,0 +1,29 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+
+namespace sda::sim {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  ZipfSampler sampler{n, s};
+  return sampler.sample(*this);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace sda::sim

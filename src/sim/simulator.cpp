@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sda::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Action action) {
+  assert(action);
+  if (when < now_) when = now_;  // no scheduling into the past
+  const std::uint64_t sequence = next_sequence_++;
+  queue_.push(Event{when, sequence, std::move(action)});
+  return EventHandle{sequence};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid() || handle.sequence_ >= next_sequence_) return false;
+  const bool inserted = cancelled_sequences_.insert(handle.sequence_).second;
+  if (inserted) ++cancelled_;
+  return inserted;
+}
+
+void Simulator::skip_cancelled() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_sequences_.find(queue_.top().sequence);
+    if (it == cancelled_sequences_.end()) return;
+    cancelled_sequences_.erase(it);
+    --cancelled_;
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the Event must be moved out via a
+  // const_cast-free copy of the action. Extract by re-popping.
+  Event event{queue_.top().when, queue_.top().sequence,
+              std::move(const_cast<Event&>(queue_.top()).action)};
+  queue_.pop();
+  assert(event.when >= now_);
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (true) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().when > until) break;
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace sda::sim

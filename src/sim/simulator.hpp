@@ -1,0 +1,94 @@
+// Single-threaded discrete-event simulator.
+//
+// Events are closures scheduled at absolute sim-times. Execution order is
+// fully deterministic: ties on time break by insertion sequence number.
+// Events can be cancelled through the handle returned by schedule().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sda::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return sequence_ != 0; }
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventHandle(std::uint64_t sequence) : sequence_(sequence) {}
+  std::uint64_t sequence_ = 0;
+};
+
+/// The event loop. All fabric components hold a reference to one Simulator
+/// and schedule their work through it.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `when` (clamped to now()).
+  EventHandle schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` to run `delay` after now().
+  EventHandle schedule_after(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  /// Returns true if the event was still pending.
+  bool cancel(EventHandle handle);
+
+  /// Runs events until the queue drains. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= `until` (inclusive). Remaining events stay
+  /// queued; now() advances to `until` even if the queue drained earlier.
+  std::size_t run_until(SimTime until);
+
+  /// Runs at most one event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_; }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops cancelled events off the head of the queue.
+  void skip_cancelled();
+
+  SimTime now_{};
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_sequences_;
+};
+
+}  // namespace sda::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace sda::sim {
+
+std::string SimTime::to_string() const {
+  const std::int64_t ns = nanoseconds();
+  const std::int64_t total_seconds = ns / 1'000'000'000;
+  const std::int64_t sub_ms = (ns % 1'000'000'000) / 1'000'000;
+  const std::int64_t hours = total_seconds / 3600;
+  const std::int64_t minutes = (total_seconds % 3600) / 60;
+  const std::int64_t seconds = total_seconds % 60;
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld.%03lld",
+                              static_cast<long long>(hours), static_cast<long long>(minutes),
+                              static_cast<long long>(seconds), static_cast<long long>(sub_ms));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace sda::sim

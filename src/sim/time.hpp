@@ -1,0 +1,59 @@
+// Simulated time.
+//
+// SimTime is a nanosecond tick count since simulation start. It is a strong
+// type (not interchangeable with durations) so that "when" and "how long"
+// cannot be mixed up at call sites.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sda::sim {
+
+using Duration = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;  // NOLINT: intended for sim-time literals
+
+/// An absolute instant on the simulation clock.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(Duration since_start) : since_start_(since_start) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{}; }
+
+  [[nodiscard]] constexpr Duration since_start() const { return since_start_; }
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return since_start_.count(); }
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(since_start_.count()) / 1e9;
+  }
+
+  /// Hours since simulation start (useful for diurnal workload models).
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.since_start_ + d};
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.since_start_ - d};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return a.since_start_ - b.since_start_;
+  }
+  constexpr SimTime& operator+=(Duration d) {
+    since_start_ += d;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  Duration since_start_{0};
+};
+
+}  // namespace sda::sim

@@ -1,0 +1,50 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sda::stats {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  if (sorted_.empty()) return 0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double fraction) const {
+  assert(!sorted_.empty());
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(f * static_cast<double>(sorted_.size())));
+  return sorted_[idx == 0 ? 0 : std::min(idx - 1, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::series(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi
+                    : lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+Cdf Cdf::normalized_to(double base) const {
+  assert(base != 0.0);
+  std::vector<double> scaled = sorted_;
+  for (auto& v : scaled) v /= base;
+  return Cdf{std::move(scaled)};
+}
+
+}  // namespace sda::stats

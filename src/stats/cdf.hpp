@@ -1,0 +1,39 @@
+// Empirical cumulative distribution functions.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sda::stats {
+
+/// An empirical CDF built from raw samples. Supports evaluation in both
+/// directions and rendering as the (x, F(x)) series the paper's Fig. 11
+/// plots.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample value v with F(v) >= fraction (inverse CDF).
+  [[nodiscard]] double quantile(double fraction) const;
+
+  /// Evaluates the CDF at `points` evenly spaced sample values between
+  /// min and max; returns (x, F(x)) pairs suitable for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+  /// All samples divided by `base` (the paper normalizes Fig. 11 to the
+  /// minimum observed handover delay).
+  [[nodiscard]] Cdf normalized_to(double base) const;
+
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] double min() const { return sorted_.empty() ? 0 : sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.empty() ? 0 : sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace sda::stats

@@ -1,0 +1,71 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sda::stats {
+
+std::optional<std::string> results_dir() {
+  const char* dir = std::getenv("SDA_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string{dir};
+}
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool write_csv(const std::string& dir, const std::string& name,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  const std::string path = dir + "/" + name + ".csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  auto write_row = [file](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::fputc(',', file);
+      std::fputs(escape(row[i]).c_str(), file);
+    }
+    std::fputc('\n', file);
+  };
+  write_row(header);
+  for (const auto& row : rows) write_row(row);
+  std::fclose(file);
+  return true;
+}
+
+bool write_series_csv(const std::string& dir, const std::string& name,
+                      const std::string& x_label, const std::string& y_label,
+                      const std::vector<std::pair<double, double>>& series) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(series.size());
+  char buf[64];
+  for (const auto& [x, y] : series) {
+    std::snprintf(buf, sizeof(buf), "%.9g", x);
+    std::string xs = buf;
+    std::snprintf(buf, sizeof(buf), "%.9g", y);
+    rows.push_back({std::move(xs), std::string{buf}});
+  }
+  return write_csv(dir, name, {x_label, y_label}, rows);
+}
+
+bool write_timeseries_csv(const std::string& dir, const std::string& name,
+                          const std::string& y_label, const TimeSeries& series) {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(series.size());
+  for (const auto& p : series.points()) points.emplace_back(p.time.hours(), p.value);
+  return write_series_csv(dir, name, "hours", y_label, points);
+}
+
+}  // namespace sda::stats

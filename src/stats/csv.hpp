@@ -1,0 +1,35 @@
+// CSV export of bench results.
+//
+// Benches print human-readable tables/plots to stdout; when the
+// SDA_RESULTS_DIR environment variable is set they additionally dump raw
+// series as CSV so figures can be re-plotted with external tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace sda::stats {
+
+/// The results directory from $SDA_RESULTS_DIR; nullopt when unset/empty.
+[[nodiscard]] std::optional<std::string> results_dir();
+
+/// Writes rows to `<dir>/<name>.csv` with a header line. Returns false on
+/// any I/O failure (benches treat CSV export as best-effort).
+bool write_csv(const std::string& dir, const std::string& name,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Convenience: (x, y) series -> two-column CSV.
+bool write_series_csv(const std::string& dir, const std::string& name,
+                      const std::string& x_label, const std::string& y_label,
+                      const std::vector<std::pair<double, double>>& series);
+
+/// Convenience: a TimeSeries -> (hours, value) CSV.
+bool write_timeseries_csv(const std::string& dir, const std::string& name,
+                          const std::string& y_label, const TimeSeries& series);
+
+}  // namespace sda::stats

@@ -1,0 +1,58 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+
+namespace sda::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double sample, std::uint64_t count) {
+  total_ += count;
+  if (sample < lo_) {
+    underflow_ += count;
+    return;
+  }
+  if (sample >= hi_) {
+    overflow_ += count;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((sample - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  counts_[std::min(idx, counts_.size() - 1)] += count;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%12.4g | ", bucket_lo(i));
+    out += buf;
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(bar_width));
+    out.append(bar, '#');
+    std::snprintf(buf, sizeof(buf), " %llu\n", static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    std::snprintf(buf, sizeof(buf), "   (underflow %llu, overflow %llu)\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sda::stats

@@ -1,0 +1,39 @@
+// Fixed-bucket histogram for counting events by magnitude.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sda::stats {
+
+/// A histogram with `buckets` equal-width bins over [lo, hi); out-of-range
+/// samples land in saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Lower edge of bucket i.
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+
+  /// Renders bucket bars, e.g. for bench output.
+  [[nodiscard]] std::string render(std::size_t bar_width = 48) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sda::stats

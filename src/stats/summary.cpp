@@ -1,0 +1,96 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace sda::stats {
+
+BoxStats BoxStats::relative_to(double base) const {
+  assert(base != 0.0);
+  BoxStats r = *this;
+  r.whisker_low /= base;
+  r.q1 /= base;
+  r.median /= base;
+  r.q3 /= base;
+  r.whisker_high /= base;
+  r.mean /= base;
+  r.min /= base;
+  r.max /= base;
+  return r;
+}
+
+std::string BoxStats::to_string() const {
+  char buf[160];
+  const int n = std::snprintf(
+      buf, sizeof(buf), "[w- %.3f | q1 %.3f | med %.3f | q3 %.3f | w+ %.3f] mean %.3f n=%zu",
+      whisker_low, q1, median, q3, whisker_high, mean, count);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Summary::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+BoxStats Summary::box_stats() const {
+  BoxStats b;
+  if (samples_.empty()) return b;
+  b.whisker_low = percentile(2.5);
+  b.q1 = percentile(25);
+  b.median = percentile(50);
+  b.q3 = percentile(75);
+  b.whisker_high = percentile(97.5);
+  b.mean = mean();
+  b.min = min();
+  b.max = max();
+  b.count = count();
+  return b;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_.clear();
+}
+
+}  // namespace sda::stats

@@ -1,0 +1,64 @@
+// Sample accumulation and distribution summaries (boxplot statistics).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sda::stats {
+
+/// Five-number-plus boxplot summary matching the paper's "boxplot (95%)"
+/// figures: median, quartiles, and 2.5th/97.5th percentile whiskers.
+struct BoxStats {
+  double whisker_low = 0;   // p2.5
+  double q1 = 0;            // p25
+  double median = 0;        // p50
+  double q3 = 0;            // p75
+  double whisker_high = 0;  // p97.5
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+
+  /// All fields divided by `base` (for the paper's "relative to minimum"
+  /// normalization). `base` must be nonzero.
+  [[nodiscard]] BoxStats relative_to(double base) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects double-valued samples and computes summary statistics.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+  void add(double sample) { samples_.push_back(sample); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  // sample (n-1) stddev; 0 if count < 2
+
+  /// Interpolated percentile, p in [0, 100]. Sorts lazily (amortized).
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50); }
+
+  [[nodiscard]] BoxStats box_stats() const;
+
+  /// Merges another summary's samples into this one.
+  void merge(const Summary& other);
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache; invalidated by add()
+};
+
+}  // namespace sda::stats

@@ -1,0 +1,135 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sda::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) line += " | ";
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+namespace {
+
+struct Bounds {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  void absorb(const std::vector<std::pair<double, double>>& points) {
+    for (const auto& [x, y] : points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  [[nodiscard]] bool valid() const { return xmin <= xmax && ymin <= ymax; }
+};
+
+void plot_into(std::vector<std::string>& canvas, const Bounds& b,
+               const std::vector<std::pair<double, double>>& points, char glyph) {
+  const std::size_t height = canvas.size();
+  if (height == 0) return;
+  const std::size_t width = canvas[0].size();
+  const double xspan = b.xmax > b.xmin ? b.xmax - b.xmin : 1.0;
+  const double yspan = b.ymax > b.ymin ? b.ymax - b.ymin : 1.0;
+  for (const auto& [x, y] : points) {
+    const auto col = static_cast<std::size_t>(
+        std::round((x - b.xmin) / xspan * static_cast<double>(width - 1)));
+    const auto row = static_cast<std::size_t>(
+        std::round((y - b.ymin) / yspan * static_cast<double>(height - 1)));
+    canvas[height - 1 - row][col] = glyph;
+  }
+}
+
+std::string frame(const std::vector<std::string>& canvas, const Bounds& b,
+                  const std::string& title, const std::string& legend) {
+  std::string out;
+  if (!title.empty()) out += title + '\n';
+  if (!legend.empty()) out += legend + '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3g +", b.ymax);
+  out += buf;
+  out.append(canvas.empty() ? 0 : canvas[0].size(), '-');
+  out += '\n';
+  for (const auto& line : canvas) out += "           |" + line + '\n';
+  std::snprintf(buf, sizeof(buf), "%10.3g +", b.ymin);
+  out += buf;
+  out.append(canvas.empty() ? 0 : canvas[0].size(), '-');
+  out += '\n';
+  std::snprintf(buf, sizeof(buf), "            x: [%.3g, %.3g]\n", b.xmin, b.xmax);
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<std::pair<double, double>>& series, std::size_t width,
+                       std::size_t height, const std::string& title) {
+  return ascii_multiplot({LabelledSeries{"", '*', series}}, width, height, title);
+}
+
+std::string ascii_multiplot(const std::vector<LabelledSeries>& series, std::size_t width,
+                            std::size_t height, const std::string& title) {
+  Bounds b;
+  for (const auto& s : series) b.absorb(s.points);
+  if (!b.valid() || width == 0 || height == 0) return title + " (no data)\n";
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  std::string legend;
+  for (const auto& s : series) {
+    plot_into(canvas, b, s.points, s.glyph);
+    if (!s.label.empty()) {
+      if (!legend.empty()) legend += "   ";
+      legend += s.glyph;
+      legend += " = " + s.label;
+    }
+  }
+  return frame(canvas, b, title, legend);
+}
+
+}  // namespace sda::stats

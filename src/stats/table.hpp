@@ -1,0 +1,50 @@
+// ASCII rendering of result tables and simple plots for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sda::stats {
+
+/// Builds a column-aligned ASCII table. Rows are added as string cells;
+/// numeric helpers format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string num(std::size_t v);
+
+  /// Renders with a header separator, e.g.:
+  ///   name   | col
+  ///   -------+----
+  ///   value  | 1.0
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII line chart of a (x, y) series (used to eyeball CDFs and
+/// time series in bench output). `height` terminal rows, `width` columns.
+[[nodiscard]] std::string ascii_plot(const std::vector<std::pair<double, double>>& series,
+                                     std::size_t width = 72, std::size_t height = 16,
+                                     const std::string& title = {});
+
+/// Renders several labelled series on one canvas, each with its own glyph.
+struct LabelledSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+[[nodiscard]] std::string ascii_multiplot(const std::vector<LabelledSeries>& series,
+                                          std::size_t width = 72, std::size_t height = 16,
+                                          const std::string& title = {});
+
+}  // namespace sda::stats

@@ -1,0 +1,49 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sda::stats {
+
+double TimeSeries::mean() const {
+  if (points_.empty()) return 0;
+  double acc = 0;
+  for (const auto& p : points_) acc += p.value;
+  return acc / static_cast<double>(points_.size());
+}
+
+double TimeSeries::mean_where(const std::function<bool(sim::SimTime)>& keep) const {
+  double acc = 0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (keep(p.time)) {
+      acc += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : acc / static_cast<double>(n);
+}
+
+double TimeSeries::max() const {
+  double best = 0;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+TimeSeries TimeSeries::average(const std::vector<const TimeSeries*>& series) {
+  TimeSeries out;
+  if (series.empty()) return out;
+  const std::size_t n = series.front()->size();
+  for (const auto* s : series) {
+    assert(s->size() == n);
+    (void)s;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (const auto* s : series) acc += s->points()[i].value;
+    out.add(series.front()->points()[i].time, acc / static_cast<double>(series.size()));
+  }
+  return out;
+}
+
+}  // namespace sda::stats

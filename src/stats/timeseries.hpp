@@ -1,0 +1,43 @@
+// Time-stamped measurement series (e.g. hourly FIB occupancy samples).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sda::stats {
+
+/// An append-only series of (sim-time, value) samples.
+class TimeSeries {
+ public:
+  struct Point {
+    sim::SimTime time;
+    double value = 0;
+  };
+
+  void add(sim::SimTime time, double value) { points_.push_back({time, value}); }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Mean of all values; 0 if empty.
+  [[nodiscard]] double mean() const;
+
+  /// Mean over points where `keep(time)` is true (e.g. working hours only);
+  /// 0 if no point matches.
+  [[nodiscard]] double mean_where(const std::function<bool(sim::SimTime)>& keep) const;
+
+  [[nodiscard]] double max() const;
+
+  /// Element-wise sum of several series sampled at identical times (used to
+  /// average per-router series). All series must have equal length.
+  [[nodiscard]] static TimeSeries average(const std::vector<const TimeSeries*>& series);
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace sda::stats

@@ -1,0 +1,220 @@
+// Path-compressed binary radix trie (Patricia trie / PATRICIA, Morrison'68).
+//
+// This is the data structure the paper's routing server is built on (§4.1):
+// lookup/insert/erase cost depends on key width, not on the number of
+// stored routes — which is why the measured Map-Request latency is flat in
+// the number of configured routes (Fig. 7a/7b).
+//
+// Keys are BitKeys (prefixes); values are arbitrary. Supports exact-match,
+// longest-prefix-match, erase with node merging, and ordered traversal.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "trie/bitkey.hpp"
+
+namespace sda::trie {
+
+template <typename V>
+class PatriciaTrie {
+ public:
+  PatriciaTrie() = default;
+
+  /// Inserts or replaces the value at `key`. Returns true if the key was new.
+  bool insert(const BitKey& key, V value) {
+    assert(root_ == nullptr || key.width() == root_->key.width());
+    if (!root_) {
+      root_ = std::make_unique<Node>(key, std::move(value));
+      ++size_;
+      return true;
+    }
+    return insert_at(root_, key, std::move(value));
+  }
+
+  /// Exact-match lookup; nullptr if `key` (same prefix and length) is absent.
+  [[nodiscard]] const V* find_exact(const BitKey& key) const {
+    const Node* node = root_.get();
+    while (node) {
+      const std::uint16_t common = node->key.common_prefix_len(key);
+      if (common < node->key.prefix_len()) return nullptr;  // diverged
+      if (node->key.prefix_len() == key.prefix_len()) {
+        return node->value ? &*node->value : nullptr;
+      }
+      node = node->child(key.bit(node->key.prefix_len()));
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] V* find_exact(const BitKey& key) {
+    return const_cast<V*>(std::as_const(*this).find_exact(key));
+  }
+
+  /// Longest-prefix match: the most specific stored prefix covering `key`.
+  /// Returns {covering prefix, value} or nullopt.
+  [[nodiscard]] std::optional<std::pair<BitKey, const V*>> longest_match(
+      const BitKey& key) const {
+    std::optional<std::pair<BitKey, const V*>> best;
+    const Node* node = root_.get();
+    while (node) {
+      const std::uint16_t common = node->key.common_prefix_len(key);
+      if (common < node->key.prefix_len()) break;  // node prefix no longer covers key
+      if (node->value) best = {node->key, &*node->value};
+      if (node->key.prefix_len() >= key.prefix_len()) break;
+      node = node->child(key.bit(node->key.prefix_len()));
+    }
+    return best;
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool erase(const BitKey& key) {
+    std::unique_ptr<Node>* link = &root_;
+    std::unique_ptr<Node>* parent_link = nullptr;
+    while (*link) {
+      Node* node = link->get();
+      const std::uint16_t common = node->key.common_prefix_len(key);
+      if (common < node->key.prefix_len()) return false;
+      if (node->key.prefix_len() == key.prefix_len()) {
+        if (!node->value) return false;
+        node->value.reset();
+        --size_;
+        collapse(*link);
+        if (parent_link) collapse(*parent_link);
+        return true;
+      }
+      parent_link = link;
+      link = &node->children[key.bit(node->key.prefix_len())];
+    }
+    return false;
+  }
+
+  /// Visits every (key, value) pair in lexicographic key order.
+  void walk(const std::function<void(const BitKey&, const V&)>& visit) const {
+    walk_node(root_.get(), visit);
+  }
+
+  /// Removes entries for which `predicate(key, value)` is true; returns the
+  /// number removed.
+  std::size_t erase_if(const std::function<bool(const BitKey&, const V&)>& predicate) {
+    std::vector<BitKey> doomed;
+    walk([&](const BitKey& k, const V& v) {
+      if (predicate(k, v)) doomed.push_back(k);
+    });
+    for (const auto& k : doomed) erase(k);
+    return doomed.size();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    // Iterative teardown: the default recursive unique_ptr destruction can
+    // overflow the stack on deep (uncompressed host-route) chains.
+    std::vector<std::unique_ptr<Node>> stack;
+    if (root_) stack.push_back(std::move(root_));
+    while (!stack.empty()) {
+      auto node = std::move(stack.back());
+      stack.pop_back();
+      for (auto& child : node->children) {
+        if (child) stack.push_back(std::move(child));
+      }
+    }
+    size_ = 0;
+  }
+
+  ~PatriciaTrie() { clear(); }
+  PatriciaTrie(PatriciaTrie&&) noexcept = default;
+  PatriciaTrie& operator=(PatriciaTrie&& other) noexcept {
+    if (this != &other) {
+      clear();
+      root_ = std::move(other.root_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  PatriciaTrie(const PatriciaTrie&) = delete;
+  PatriciaTrie& operator=(const PatriciaTrie&) = delete;
+
+ private:
+  struct Node {
+    Node(BitKey k, V v) : key(std::move(k)), value(std::move(v)) {}
+    explicit Node(BitKey k) : key(std::move(k)) {}
+
+    [[nodiscard]] const Node* child(bool bit) const { return children[bit].get(); }
+
+    BitKey key;
+    std::optional<V> value;
+    std::array<std::unique_ptr<Node>, 2> children{};
+  };
+
+  bool insert_at(std::unique_ptr<Node>& link, const BitKey& key, V value) {
+    Node* node = link.get();
+    const std::uint16_t common = node->key.common_prefix_len(key);
+
+    if (common < node->key.prefix_len()) {
+      // Diverges inside this node's compressed path: split.
+      auto fork = std::make_unique<Node>(node->key.truncated(common));
+      const bool node_bit = node->key.bit(common);
+      fork->children[node_bit] = std::move(link);
+      if (common == key.prefix_len()) {
+        // The new key *is* the fork point.
+        fork->value = std::move(value);
+      } else {
+        fork->children[!node_bit] = std::make_unique<Node>(key, std::move(value));
+      }
+      link = std::move(fork);
+      ++size_;
+      return true;
+    }
+
+    if (node->key.prefix_len() == key.prefix_len()) {
+      const bool was_new = !node->value;
+      node->value = std::move(value);
+      if (was_new) ++size_;
+      return was_new;
+    }
+
+    // key is longer and covered by node's prefix: descend.
+    auto& child = node->children[key.bit(node->key.prefix_len())];
+    if (!child) {
+      child = std::make_unique<Node>(key, std::move(value));
+      ++size_;
+      return true;
+    }
+    return insert_at(child, key, std::move(value));
+  }
+
+  /// Merges away a valueless node with zero or one children.
+  static void collapse(std::unique_ptr<Node>& link) {
+    Node* node = link.get();
+    if (!node || node->value) return;
+    const bool has0 = node->children[0] != nullptr;
+    const bool has1 = node->children[1] != nullptr;
+    if (has0 && has1) return;
+    if (!has0 && !has1) {
+      link.reset();
+    } else {
+      link = std::move(node->children[has1 ? 1 : 0]);
+    }
+  }
+
+  static void walk_node(const Node* node,
+                        const std::function<void(const BitKey&, const V&)>& visit) {
+    if (!node) return;
+    if (node->value) visit(node->key, *node->value);
+    walk_node(node->children[0].get(), visit);
+    walk_node(node->children[1].get(), visit);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sda::trie

@@ -1,0 +1,103 @@
+#include "underlay/network.hpp"
+
+#include <cassert>
+
+namespace sda::underlay {
+
+UnderlayNetwork::UnderlayNetwork(sim::Simulator& simulator, Topology& topology,
+                                 UnderlayConfig config)
+    : simulator_(simulator), topology_(topology), config_(config) {}
+
+void UnderlayNetwork::refresh(NodeId node) {
+  if (tables_.size() < topology_.node_count()) {
+    tables_.resize(topology_.node_count());
+    table_versions_.resize(topology_.node_count(), 0);
+  }
+  if (!tables_[node] || table_versions_[node] != topology_.version()) {
+    tables_[node] = compute_spf(topology_, node);
+    table_versions_[node] = topology_.version();
+  }
+}
+
+const SpfTable& UnderlayNetwork::table(NodeId node) {
+  assert(node < topology_.node_count());
+  refresh(node);
+  return *tables_[node];
+}
+
+bool UnderlayNetwork::reachable(NodeId node, net::Ipv4Address rloc) {
+  const auto dest = topology_.node_by_loopback(rloc);
+  if (!dest) return false;
+  if (*dest == node) return topology_.node(node).up;
+  return table(node).reachable(*dest);
+}
+
+std::optional<sim::Duration> UnderlayNetwork::transit_delay(NodeId from,
+                                                            net::Ipv4Address to_rloc,
+                                                            std::uint64_t flow_hash,
+                                                            std::size_t bytes) {
+  const auto dest = topology_.node_by_loopback(to_rloc);
+  if (!dest) return std::nullopt;
+  if (*dest == from) return sim::Duration{0};
+  const SpfRoute* route = table(from).route(*dest);
+  if (!route) return std::nullopt;
+  (void)flow_hash;  // ECMP member choice does not change modeled latency
+                    // (equal-cost paths share the metric); the hash is kept
+                    // in the signature for per-flow pinning extensions.
+  sim::Duration delay = route->latency;
+  delay += config_.per_hop_processing * route->hop_count;
+  if (config_.model_serialization && bytes > 0) {
+    // Serialize once per hop at 10 Gbps nominal: bytes * 8 / 10e9 seconds.
+    const auto per_hop_ns = static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 / 10.0);
+    delay += sim::Duration{per_hop_ns * route->hop_count};
+  }
+  return delay;
+}
+
+bool UnderlayNetwork::deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash,
+                              std::size_t bytes, std::function<void()> on_arrival) {
+  const auto delay = transit_delay(from, to_rloc, flow_hash, bytes);
+  if (!delay) {
+    ++unreachable_drops_;
+    return false;
+  }
+  simulator_.schedule_after(*delay, std::move(on_arrival));
+  return true;
+}
+
+void UnderlayNetwork::watch(NodeId node, WatchCallback callback) {
+  Watcher w{node, std::move(callback), {}};
+  // Seed the initial view so only *transitions* are reported.
+  for (NodeId other = 0; other < topology_.node_count(); ++other) {
+    if (other == node) continue;
+    w.last_view[topology_.node(other).loopback] = table(node).reachable(other);
+  }
+  watchers_.push_back(std::move(w));
+}
+
+void UnderlayNetwork::topology_changed() {
+  if (notify_pending_ || watchers_.empty()) return;
+  notify_pending_ = true;
+  simulator_.schedule_after(config_.igp_convergence, [this] {
+    notify_pending_ = false;
+    notify_watchers();
+  });
+}
+
+void UnderlayNetwork::notify_watchers() {
+  for (auto& w : watchers_) {
+    for (NodeId other = 0; other < topology_.node_count(); ++other) {
+      if (other == w.node) continue;
+      const net::Ipv4Address rloc = topology_.node(other).loopback;
+      const bool now = table(w.node).reachable(other);
+      auto [it, inserted] = w.last_view.try_emplace(rloc, now);
+      if (inserted) continue;  // node added since watch(): treat as baseline
+      if (it->second != now) {
+        it->second = now;
+        w.callback(rloc, now);
+      }
+    }
+  }
+}
+
+}  // namespace sda::underlay

@@ -1,0 +1,96 @@
+// Underlay network facade: routing tables, packet transit, and the
+// IGP-reachability monitoring that edge routers rely on (paper §5.1).
+//
+// Per-node SPF tables are recomputed lazily when the topology version
+// changes. Packet delivery schedules a simulator event after the path's
+// propagation latency plus per-hop processing and serialization delay.
+//
+// Reachability watching models the paper's "monitor the address
+// announcements of the underlay routing protocol": after a topology
+// mutation the IGP needs a convergence delay (failure detection + LSA
+// flooding + SPF) before watchers hear about reachability transitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "sim/simulator.hpp"
+#include "underlay/spf.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::underlay {
+
+struct UnderlayConfig {
+  /// Per-hop packet processing (lookup + queueing headroom).
+  sim::Duration per_hop_processing = std::chrono::microseconds{5};
+  /// IGP convergence after a topology change (detection + flood + SPF).
+  sim::Duration igp_convergence = std::chrono::milliseconds{200};
+  /// Per-byte serialization delay divisor: bytes / (gbps * this) — applied
+  /// per hop using the slowest link's bandwidth on the path.
+  bool model_serialization = true;
+};
+
+class UnderlayNetwork {
+ public:
+  using WatchCallback = std::function<void(net::Ipv4Address rloc, bool reachable)>;
+
+  UnderlayNetwork(sim::Simulator& simulator, Topology& topology,
+                  UnderlayConfig config = {});
+
+  [[nodiscard]] Topology& topology() { return topology_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+  /// The SPF table of `node`, recomputed if the topology changed.
+  [[nodiscard]] const SpfTable& table(NodeId node);
+
+  /// True if `node` can currently reach `rloc` (per its own SPF view).
+  [[nodiscard]] bool reachable(NodeId node, net::Ipv4Address rloc);
+
+  /// One-way transit delay from `from` to the node owning `to_rloc` for a
+  /// flow with the given hash; nullopt when unreachable.
+  [[nodiscard]] std::optional<sim::Duration> transit_delay(NodeId from, net::Ipv4Address to_rloc,
+                                                           std::uint64_t flow_hash,
+                                                           std::size_t bytes);
+
+  /// Delivers after the transit delay; returns false (and drops) when the
+  /// destination is unreachable at send time.
+  bool deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash, std::size_t bytes,
+               std::function<void()> on_arrival);
+
+  /// Registers `node` as watching underlay reachability; `callback` fires
+  /// (after IGP convergence) once per RLOC whose reachability flipped.
+  void watch(NodeId node, WatchCallback callback);
+
+  /// Must be called after mutating the topology. Schedules watcher
+  /// notifications after the IGP convergence delay.
+  void topology_changed();
+
+  /// Total packets dropped at send time due to unreachability.
+  [[nodiscard]] std::uint64_t unreachable_drops() const { return unreachable_drops_; }
+
+ private:
+  struct Watcher {
+    NodeId node;
+    WatchCallback callback;
+    std::unordered_map<net::Ipv4Address, bool> last_view;
+  };
+
+  void refresh(NodeId node);
+  void notify_watchers();
+
+  sim::Simulator& simulator_;
+  Topology& topology_;
+  UnderlayConfig config_;
+  std::vector<std::optional<SpfTable>> tables_;
+  std::vector<std::uint64_t> table_versions_;
+  std::vector<Watcher> watchers_;
+  std::uint64_t unreachable_drops_ = 0;
+  bool notify_pending_ = false;
+};
+
+}  // namespace sda::underlay

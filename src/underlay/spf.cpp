@@ -1,0 +1,79 @@
+#include "underlay/spf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace sda::underlay {
+
+namespace {
+
+struct QueueEntry {
+  std::uint64_t cost;
+  NodeId node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) { return a.cost > b.cost; }
+};
+
+}  // namespace
+
+SpfTable compute_spf(const Topology& topology, NodeId source) {
+  const std::size_t n = topology.node_count();
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+  std::vector<std::uint64_t> dist(n, kInf);
+  std::vector<SpfRoute> routes(n);
+  std::vector<char> done(n, 0);
+
+  if (source >= n || !topology.node(source).up) return SpfTable{source, std::move(routes)};
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier;
+  dist[source] = 0;
+  routes[source].latency = sim::Duration{0};
+  frontier.push({0, source});
+
+  while (!frontier.empty()) {
+    const auto [cost, u] = frontier.top();
+    frontier.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+
+    for (const LinkId link_id : topology.links_of(u)) {
+      if (!topology.link_usable(link_id)) continue;
+      const Link& link = topology.link(link_id);
+      const NodeId v = link.other(u);
+      const std::uint64_t next_cost = cost + link.cost;
+      if (next_cost > dist[v]) continue;
+
+      // First hop inheritance: direct neighbors of the source get themselves;
+      // everyone else inherits the ECMP set from the relaxing node.
+      const std::vector<NodeId>& candidate_hops =
+          (u == source) ? std::vector<NodeId>{v} : routes[u].next_hops;
+      const sim::Duration candidate_latency = routes[u].latency + link.latency;
+      const std::uint32_t candidate_hop_count = routes[u].hop_count + 1;
+
+      if (next_cost < dist[v]) {
+        dist[v] = next_cost;
+        routes[v].cost = next_cost;
+        routes[v].next_hops = candidate_hops;
+        routes[v].latency = candidate_latency;
+        routes[v].hop_count = candidate_hop_count;
+        frontier.push({next_cost, v});
+      } else {  // equal cost: merge ECMP sets, keep lowest-latency path metrics
+        auto& hops = routes[v].next_hops;
+        for (const NodeId h : candidate_hops) {
+          if (std::find(hops.begin(), hops.end(), h) == hops.end()) hops.push_back(h);
+        }
+        if (candidate_latency < routes[v].latency) {
+          routes[v].latency = candidate_latency;
+          routes[v].hop_count = candidate_hop_count;
+        }
+      }
+    }
+  }
+
+  for (auto& r : routes) std::sort(r.next_hops.begin(), r.next_hops.end());
+  routes[source].next_hops.clear();  // self-route is not a route
+  return SpfTable{source, std::move(routes)};
+}
+
+}  // namespace sda::underlay

@@ -1,0 +1,48 @@
+#include "underlay/topology.hpp"
+
+#include <cassert>
+
+namespace sda::underlay {
+
+NodeId Topology::add_node(std::string name, net::Ipv4Address loopback) {
+  assert(by_loopback_.find(loopback) == by_loopback_.end() && "duplicate loopback");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), loopback, true});
+  adjacency_.emplace_back();
+  by_loopback_.emplace(loopback, id);
+  ++version_;
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, sim::Duration latency, std::uint32_t cost,
+                          double bandwidth_gbps) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, latency, cost, bandwidth_gbps, true});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  ++version_;
+  return id;
+}
+
+void Topology::set_link_state(LinkId link, bool up) {
+  Link& l = links_.at(link);
+  if (l.up == up) return;
+  l.up = up;
+  ++version_;
+}
+
+void Topology::set_node_state(NodeId node, bool up) {
+  Node& n = nodes_.at(node);
+  if (n.up == up) return;
+  n.up = up;
+  ++version_;
+}
+
+std::optional<NodeId> Topology::node_by_loopback(net::Ipv4Address rloc) const {
+  const auto it = by_loopback_.find(rloc);
+  if (it == by_loopback_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sda::underlay

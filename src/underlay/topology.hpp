@@ -1,0 +1,86 @@
+// Underlay topology: routers (nodes) and point-to-point links.
+//
+// The underlay is a plain-IP network (paper §3.3): edge/border routers plus
+// optional intermediate switches, running a link-state IGP. Each fabric
+// node owns a loopback address that serves as its RLOC.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip_address.hpp"
+#include "sim/time.hpp"
+
+namespace sda::underlay {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+struct Node {
+  std::string name;
+  net::Ipv4Address loopback;  // the node's RLOC
+  bool up = true;
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  sim::Duration latency{0};
+  std::uint32_t cost = 1;
+  double bandwidth_gbps = 10.0;
+  bool up = true;
+
+  [[nodiscard]] NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// A mutable graph of nodes and links. Mutations bump a version counter so
+/// routing layers know when to recompute.
+class Topology {
+ public:
+  NodeId add_node(std::string name, net::Ipv4Address loopback);
+  LinkId add_link(NodeId a, NodeId b, sim::Duration latency, std::uint32_t cost = 1,
+                  double bandwidth_gbps = 10.0);
+
+  /// Marks a link up/down (models fiber cut / restore).
+  void set_link_state(LinkId link, bool up);
+  /// Marks a node up/down (models router reboot); its links stay configured
+  /// but are treated as unusable while the node is down.
+  void set_node_state(NodeId node, bool up);
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Link IDs incident to `node` (regardless of up/down state).
+  [[nodiscard]] const std::vector<LinkId>& links_of(NodeId node) const {
+    return adjacency_.at(node);
+  }
+
+  /// Resolves an RLOC (loopback) back to its node; nullopt if unknown.
+  [[nodiscard]] std::optional<NodeId> node_by_loopback(net::Ipv4Address rloc) const;
+
+  /// True when both endpoints and the link itself are up.
+  [[nodiscard]] bool link_usable(LinkId id) const {
+    const Link& l = links_.at(id);
+    return l.up && nodes_.at(l.a).up && nodes_.at(l.b).up;
+  }
+
+  /// Bumped on every state mutation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::unordered_map<net::Ipv4Address, NodeId> by_loopback_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace sda::underlay

@@ -1,0 +1,225 @@
+#include "workload/campus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fabric/topologies.hpp"
+
+namespace sda::workload {
+
+namespace {
+
+constexpr auto kHour = std::chrono::hours{1};
+constexpr auto kDay = std::chrono::hours{24};
+
+sim::Duration hours_d(double h) {
+  return sim::Duration{static_cast<std::int64_t>(h * 3600.0 * 1e9)};
+}
+
+}  // namespace
+
+bool is_work_hours(sim::SimTime t) {
+  const double hour_of_day = std::fmod(t.hours(), 24.0);
+  return hour_of_day >= 9.0 && hour_of_day < 19.0;
+}
+
+bool is_weekday(sim::SimTime t) {
+  const auto day = static_cast<long>(t.hours() / 24.0);
+  return (day % 7) < 5;
+}
+
+CampusWorkload::CampusWorkload(CampusSpec spec) : spec_(std::move(spec)), rng_(spec_.seed) {
+  fabric::FabricConfig config;
+  config.register_ttl_seconds = spec_.register_ttl_seconds;
+  config.seed = spec_.seed ^ 0xCA;
+  config.l2_gateway = false;  // ARP churn is not part of the Fig. 9 metric
+  fabric_ = std::make_unique<fabric::SdaFabric>(simulator_, config);
+  build_topology();
+  provision_hosts();
+
+  // Fixed per-host contact sets (who this host actually talks to).
+  sim::ZipfSampler internal_zipf{hosts_.size(), spec_.internal_zipf};
+  sim::ZipfSampler external_zipf{spec_.external_destinations, spec_.external_zipf};
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    Host& host = hosts_[h];
+    while (host.internal_contacts.size() < spec_.internal_contacts) {
+      const std::size_t peer = internal_zipf.sample(rng_);
+      if (peer == h) continue;
+      if (std::find(host.internal_contacts.begin(), host.internal_contacts.end(), peer) ==
+          host.internal_contacts.end()) {
+        host.internal_contacts.push_back(peer);
+      }
+    }
+    while (host.external_contacts.size() < spec_.external_contacts &&
+           host.external_contacts.size() < spec_.external_destinations) {
+      const auto svc = static_cast<std::uint32_t>(external_zipf.sample(rng_));
+      if (std::find(host.external_contacts.begin(), host.external_contacts.end(), svc) ==
+          host.external_contacts.end()) {
+        host.external_contacts.push_back(svc);
+      }
+    }
+  }
+}
+
+CampusWorkload::~CampusWorkload() = default;
+
+void CampusWorkload::build_topology() {
+  // Fig. 8 three-tier shape: edges dual-homed to distribution switches,
+  // distribution meshed to the borders. FIB occupancy is what the Fig. 9 /
+  // Table 5 experiments measure, so only connectivity (not path length)
+  // matters here — but the tiered underlay also exercises ECMP.
+  fabric::TieredCampusSpec topo;
+  topo.borders = spec_.borders;
+  topo.distribution = 2;
+  topo.edges = spec_.edges;
+  (void)fabric::build_tiered_campus(*fabric_, topo);
+  fabric_->finalize();
+
+  fabric_->define_vn({vn_, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  fabric_->add_external_prefix(vn_, *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                               net::GroupId::unknown(), spec_.external_ttl_seconds);
+}
+
+void CampusWorkload::provision_hosts() {
+  const net::GroupId employees{10};
+  const net::GroupId devices{20};
+  const unsigned total = spec_.users + spec_.permanent;
+  hosts_.reserve(total);
+  for (unsigned i = 0; i < total; ++i) {
+    Host host;
+    host.permanent = i >= spec_.users;
+    host.credential = (host.permanent ? "dev-" : "user-") + spec_.name + std::to_string(i);
+    host.mac = net::MacAddress::from_u64(0x0200'0000'0000ull | (spec_.seed << 20) | i);
+    host.home_edge = "edge-" + std::to_string(i % spec_.edges);
+    fabric::EndpointDefinition def;
+    def.credential = host.credential;
+    def.secret = "s3cret";
+    def.mac = host.mac;
+    def.vn = vn_;
+    def.group = host.permanent ? devices : employees;
+    fabric_->provision_endpoint(def);
+    hosts_.push_back(std::move(host));
+  }
+}
+
+void CampusWorkload::schedule_presence(Host& host, sim::SimTime arrive, sim::SimTime depart) {
+  simulator_.schedule_at(arrive, [this, &host] {
+    if (host.present) return;
+    host.present = true;
+    fabric_->connect_endpoint(host.credential, host.home_edge, 1,
+                              [this, &host](const fabric::OnboardResult& result) {
+                                if (result.success) {
+                                  host.ip = result.ip;
+                                  start_flow_process(host);
+                                }
+                              });
+  });
+  simulator_.schedule_at(depart, [this, &host] {
+    if (!host.present) return;
+    host.present = false;
+    fabric_->disconnect_endpoint(host.mac);
+  });
+}
+
+void CampusWorkload::schedule_day(unsigned day_index) {
+  const sim::SimTime midnight{kDay * day_index};
+  const bool weekday = (day_index % 7) < 5;
+
+  for (auto& host : hosts_) {
+    if (host.permanent) continue;  // handled once at t=0
+    const double attend_p = weekday ? (1.0 - spec_.weekday_absence) : spec_.weekend_presence;
+    if (!rng_.chance(attend_p)) continue;
+    const double arrive_h = std::clamp(rng_.normal(9.0, 0.75), 6.5, 12.0);
+    const double depart_h = std::clamp(rng_.normal(19.0, 1.0), arrive_h + 1.0, 23.5);
+    schedule_presence(host, midnight + hours_d(arrive_h), midnight + hours_d(depart_h));
+  }
+}
+
+void CampusWorkload::start_flow_process(Host& host) {
+  const double rate_per_s =
+      (host.permanent ? spec_.permanent_flows_per_hour : spec_.flows_per_hour) / 3600.0;
+  const sim::Duration wait = rng_.exp_interarrival(rate_per_s);
+  simulator_.schedule_after(wait, [this, &host] {
+    if (!host.present) return;  // flow process dies on departure
+    send_one_flow(host);
+    start_flow_process(host);
+  });
+}
+
+void CampusWorkload::send_one_flow(Host& host) {
+  net::Ipv4Address destination;
+  if (rng_.chance(spec_.external_share)) {
+    // One of this host's external services (SaaS, DC workloads).
+    const auto svc =
+        host.external_contacts[rng_.next_below(host.external_contacts.size())];
+    destination = net::Ipv4Address{0xC6336400u + svc};  // 198.51.100.x
+  } else {
+    // One of this host's peers — possibly one that already went home,
+    // which is exactly what triggers the §4.2 negative-resolution cleanup.
+    const Host& peer =
+        hosts_[host.internal_contacts[rng_.next_below(host.internal_contacts.size())]];
+    if (peer.ip.is_unspecified() || peer.mac == host.mac) return;
+    destination = peer.ip;
+  }
+  fabric_->endpoint_send_udp(host.mac, destination, 443, 400);
+}
+
+void CampusWorkload::sample_hourly(CampusResult& result, sim::SimTime at) {
+  double border_total = 0;
+  for (const auto& name : fabric_->border_names()) {
+    border_total += static_cast<double>(fabric_->border(name).fib_size());
+  }
+  result.border_fib.add(at, border_total / static_cast<double>(spec_.borders));
+
+  double edge_total = 0;
+  std::size_t i = 0;
+  for (const auto& name : fabric_->edge_names()) {
+    auto& edge = fabric_->edge(name);
+    // Sweep TTL-expired entries so the FIB count reflects live state.
+    edge.map_cache().sweep(at);
+    const double fib = static_cast<double>(edge.fib_size());
+    edge_total += fib;
+    result.per_edge_fib[i++].add(at, fib);
+  }
+  result.edge_fib.add(at, edge_total / static_cast<double>(spec_.edges));
+}
+
+CampusResult CampusWorkload::run(unsigned weeks) {
+  CampusResult result;
+  result.per_edge_fib.resize(spec_.edges);
+
+  // Permanent endpoints connect at t=0 and never leave.
+  for (auto& host : hosts_) {
+    if (!host.permanent) continue;
+    host.present = true;
+    fabric_->connect_endpoint(host.credential, host.home_edge, 1,
+                              [this, &host](const fabric::OnboardResult& r) {
+                                if (r.success) {
+                                  host.ip = r.ip;
+                                  start_flow_process(host);
+                                }
+                              });
+  }
+
+  const unsigned days = weeks * 7;
+  for (unsigned day = 0; day < days; ++day) schedule_day(day);
+
+  for (unsigned hour = 1; hour <= days * 24; ++hour) {
+    const sim::SimTime at = sim::SimTime{kHour * hour};
+    simulator_.schedule_at(at, [this, &result, at] { sample_hourly(result, at); });
+  }
+
+  simulator_.run_until(sim::SimTime{kDay * days});
+
+  auto day_filter = [](sim::SimTime t) { return is_weekday(t) && is_work_hours(t); };
+  auto night_filter = [](sim::SimTime t) { return !(is_weekday(t) && is_work_hours(t)); };
+  result.border_all = result.border_fib.mean();
+  result.border_day = result.border_fib.mean_where(day_filter);
+  result.border_night = result.border_fib.mean_where(night_filter);
+  result.edge_all = result.edge_fib.mean();
+  result.edge_day = result.edge_fib.mean_where(day_filter);
+  result.edge_night = result.edge_fib.mean_where(night_filter);
+  return result;
+}
+
+}  // namespace sda::workload

@@ -1,0 +1,118 @@
+// Campus workload: the diurnal presence + traffic model behind Fig. 9 and
+// Table 5.
+//
+// Reproduces the paper's two office buildings (Table 4): users arrive on
+// weekday mornings, work, and leave in the evening; a population of
+// permanent endpoints (desktops, VoIP phones, cameras) never leaves. While
+// present, endpoints open flows to external services and to each other;
+// flows populate edge map-caches reactively, while the border's pub/sub FIB
+// tracks exactly the authenticated-endpoint population. Night traffic from
+// permanent endpoints towards departed hosts triggers negative resolutions
+// that clean stale edge cache entries — the §4.2 mechanism that makes
+// building B's edges follow the day/night routine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+
+namespace sda::workload {
+
+struct CampusSpec {
+  std::string name = "A";
+  unsigned borders = 1;
+  unsigned edges = 7;
+  unsigned users = 150;      // humans following the diurnal routine
+  unsigned permanent = 25;   // always-on endpoints (IoT, desktops)
+  /// Probability a user skips the office on a given weekday.
+  double weekday_absence = 0.15;
+  /// Probability a user shows up on a weekend day.
+  double weekend_presence = 0.05;
+  /// Mean flow initiations per present endpoint per hour.
+  double flows_per_hour = 6.0;
+  /// Mean flow initiations per permanent endpoint per hour (day and night).
+  double permanent_flows_per_hour = 2.0;
+  /// Share of flows towards external (Internet/DC) destinations.
+  double external_share = 0.75;
+  /// Number of distinct external destinations (Zipf-popular).
+  unsigned external_destinations = 40;
+  /// Each endpoint talks to a fixed contact set (hosts don't pick random
+  /// peers): `internal_contacts` peers sampled Zipf(`internal_zipf`) over
+  /// the population, and `external_contacts` services sampled
+  /// Zipf(`external_zipf`) over the external set. The per-edge union of
+  /// these sets is what bounds edge map-cache occupancy (Fig. 9).
+  unsigned internal_contacts = 6;
+  double internal_zipf = 0.6;
+  unsigned external_contacts = 10;
+  double external_zipf = 0.8;
+  /// Map-cache TTL requested by edges, seconds (paper default: 1440 min).
+  std::uint32_t register_ttl_seconds = 1440 * 60;
+  /// TTL on external-prefix resolutions (shorter than endpoint routes).
+  std::uint32_t external_ttl_seconds = 4 * 3600;
+  std::uint64_t seed = 1;
+};
+
+struct CampusResult {
+  stats::TimeSeries border_fib;  // hourly, averaged across border routers
+  stats::TimeSeries edge_fib;    // hourly, averaged across edge routers
+  std::vector<stats::TimeSeries> per_edge_fib;
+
+  double border_all = 0, border_day = 0, border_night = 0;  // Table 5 rows
+  double edge_all = 0, edge_day = 0, edge_night = 0;
+  /// 1 - edge_all / border_all (the paper's "Decrease" row).
+  [[nodiscard]] double state_reduction() const {
+    return border_all == 0 ? 0 : 1.0 - edge_all / border_all;
+  }
+};
+
+class CampusWorkload {
+ public:
+  explicit CampusWorkload(CampusSpec spec);
+  ~CampusWorkload();
+
+  /// Runs `weeks` simulated weeks (sampling hourly) and returns the series.
+  CampusResult run(unsigned weeks);
+
+  [[nodiscard]] fabric::SdaFabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  struct Host {
+    std::string credential;
+    net::MacAddress mac;
+    std::string home_edge;
+    bool permanent = false;
+    bool present = false;
+    net::Ipv4Address ip;  // known after first onboarding
+    std::vector<std::size_t> internal_contacts;  // peer indices
+    std::vector<std::uint32_t> external_contacts;  // external service ids
+  };
+
+  void build_topology();
+  void provision_hosts();
+  void schedule_day(unsigned day_index);
+  void schedule_presence(Host& host, sim::SimTime arrive, sim::SimTime depart);
+  void start_flow_process(Host& host);
+  void send_one_flow(Host& host);
+  void sample_hourly(CampusResult& result, sim::SimTime at);
+
+  CampusSpec spec_;
+  sim::Simulator simulator_;
+  std::unique_ptr<fabric::SdaFabric> fabric_;
+  sim::Rng rng_;
+  std::vector<Host> hosts_;
+  net::VnId vn_{100};
+};
+
+/// True during the paper's "day" window: 9:00-19:00 (§4.2, Table 5).
+[[nodiscard]] bool is_work_hours(sim::SimTime t);
+/// True Monday-Friday, with day 0 = Monday.
+[[nodiscard]] bool is_weekday(sim::SimTime t);
+
+}  // namespace sda::workload

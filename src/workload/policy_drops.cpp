@@ -1,0 +1,128 @@
+#include "workload/policy_drops.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace sda::workload {
+
+namespace {
+
+constexpr net::VnId kVn{200};
+constexpr net::GroupId kUserGroup{40};
+constexpr net::GroupId kAllowedServices{50};
+constexpr net::GroupId kRestrictedServices{60};
+constexpr net::GroupId kNewlyRestricted{61};
+
+/// Office presence factor by hour-of-day (fraction of users active).
+double office_presence(unsigned hour_of_day) {
+  if (hour_of_day < 7 || hour_of_day >= 21) return 0.03;
+  if (hour_of_day < 9) return 0.3;
+  if (hour_of_day < 18) return 0.9;
+  return 0.25;
+}
+
+/// Remote/VPN users keep flatter hours.
+double remote_presence(unsigned hour_of_day) {
+  if (hour_of_day < 6) return 0.10;
+  if (hour_of_day < 9) return 0.35;
+  if (hour_of_day < 22) return 0.65;
+  return 0.2;
+}
+
+}  // namespace
+
+PolicyDropResult run_policy_drops(const PolicyDropSpec& spec) {
+  sim::Rng rng{spec.seed};
+  PolicyDropResult result;
+
+  for (const DeviceProfile& profile : spec.devices) {
+    // Each monitored device owns a real SGACL programmed from a matrix with
+    // deny rules towards the restricted service groups.
+    policy::ConnectivityMatrix matrix{policy::Action::Allow};
+    matrix.set_rule(kUserGroup, kRestrictedServices, policy::Action::Deny);
+    matrix.set_rule(kUserGroup, kNewlyRestricted, policy::Action::Deny);
+    dataplane::Sgacl sgacl{policy::Action::Allow};
+    sgacl.install_destination_rules(kVn, kRestrictedServices,
+                                    matrix.rules_for_destination(kRestrictedServices));
+
+    DeviceDropSeries series;
+    series.name = profile.name;
+
+    // Per-user denial memory: how often this user has been denied towards
+    // each restricted group (humans give up).
+    std::vector<std::array<unsigned, 2>> denial_counts(profile.users, {0, 0});
+    bool update_applied = false;
+
+    for (unsigned hour = 0; hour < spec.days * 24; ++hour) {
+      const unsigned hod = hour % 24;
+      const double presence =
+          profile.remote_usage ? remote_presence(hod) : office_presence(hod);
+
+      // The policy rollout lands: the new deny rule reaches this device.
+      if (spec.policy_update_hour >= 0 &&
+          hour >= static_cast<unsigned>(spec.policy_update_hour) && !update_applied) {
+        sgacl.install_destination_rules(kVn, kNewlyRestricted,
+                                        matrix.rules_for_destination(kNewlyRestricted));
+        update_applied = true;
+      }
+
+      const auto before = sgacl.counters();
+      for (unsigned u = 0; u < profile.users; ++u) {
+        if (!rng.chance(presence)) continue;
+        const double attempts = rng.exponential(profile.attempts_per_hour);
+        const auto n = static_cast<unsigned>(attempts);
+        for (unsigned a = 0; a < n; ++a) {
+          // Pick a destination group for this new connection.
+          double denied_share = profile.denied_pick_share;
+          int restricted_idx = 0;
+          net::GroupId destination = kAllowedServices;
+          if (update_applied && spec.policy_update_hour >= 0) {
+            // Transient: users still request the newly restricted
+            // destination until they learn it is gone (exponential decay
+            // over ~6 hours after the rollout).
+            const double since =
+                static_cast<double>(hour) - static_cast<double>(spec.policy_update_hour);
+            const double transient =
+                spec.update_transient_share * std::exp(-since / 6.0);
+            if (rng.chance(transient)) {
+              destination = kNewlyRestricted;
+              restricted_idx = 1;
+            }
+          }
+          if (destination == kAllowedServices && rng.chance(denied_share)) {
+            destination = kRestrictedServices;
+            restricted_idx = 0;
+          }
+
+          if (destination != kAllowedServices) {
+            // Human give-up behaviour: retry probability decays with the
+            // number of denials already experienced for this destination.
+            const unsigned prior =
+                denial_counts[u][static_cast<std::size_t>(restricted_idx)];
+            const double retry_p = std::exp(-profile.give_up_rate * prior);
+            if (!rng.chance(retry_p)) {
+              destination = kAllowedServices;  // user redirected their work
+            }
+          }
+
+          const policy::Action action = sgacl.evaluate(kVn, kUserGroup, destination);
+          if (action == policy::Action::Deny) {
+            ++denial_counts[u][destination == kNewlyRestricted ? 1 : 0];
+          }
+        }
+      }
+      const auto after = sgacl.counters();
+      const std::uint64_t packets = after.total() - before.total();
+      const std::uint64_t drops = after.drops - before.drops;
+      series.total_packets += packets;
+      series.total_drops += drops;
+      const double permille =
+          packets == 0 ? 0 : 1000.0 * static_cast<double>(drops) / static_cast<double>(packets);
+      series.drop_permille.add(sim::SimTime{std::chrono::hours{hour}}, permille);
+    }
+    result.devices.push_back(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace sda::workload

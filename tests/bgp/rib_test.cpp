@@ -1,0 +1,60 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::bgp {
+namespace {
+
+using net::Eid;
+using net::Ipv4Address;
+using net::VnEid;
+using net::VnId;
+
+VnEid eid(const char* ip) { return VnEid{VnId{1}, Eid{*Ipv4Address::parse(ip)}}; }
+sim::SimTime at_s(int s) { return sim::SimTime{std::chrono::seconds{s}}; }
+
+TEST(Rib, InstallAndLookup) {
+  Rib rib;
+  EXPECT_TRUE(rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.2"), at_s(0), 1));
+  const RibEntry* entry = rib.lookup(eid("10.1.0.5"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->next_hop, *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(Rib, ReinstallSameNexthopReportsNoChange) {
+  Rib rib;
+  rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.2"), at_s(0), 1);
+  EXPECT_FALSE(rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.2"), at_s(1), 2));
+  EXPECT_TRUE(rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.3"), at_s(2), 3));
+}
+
+TEST(Rib, StaleVersionsIgnored) {
+  Rib rib;
+  rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.3"), at_s(0), 10);
+  // An older (reordered) update must not regress the RIB.
+  EXPECT_FALSE(rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.2"), at_s(1), 5));
+  EXPECT_EQ(rib.lookup(eid("10.1.0.5"))->next_hop, *Ipv4Address::parse("10.0.0.3"));
+}
+
+TEST(Rib, Withdraw) {
+  Rib rib;
+  rib.install(eid("10.1.0.5"), *Ipv4Address::parse("10.0.0.2"), at_s(0), 1);
+  EXPECT_TRUE(rib.withdraw(eid("10.1.0.5")));
+  EXPECT_FALSE(rib.withdraw(eid("10.1.0.5")));
+  EXPECT_EQ(rib.lookup(eid("10.1.0.5")), nullptr);
+}
+
+TEST(Rib, WalkVisitsAllRoutes) {
+  Rib rib;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    rib.install(VnEid{VnId{1}, Eid{Ipv4Address{0x0A010000u + i}}},
+                *Ipv4Address::parse("10.0.0.2"), at_s(0), i + 1);
+  }
+  std::size_t count = 0;
+  rib.walk([&](const VnEid&, const RibEntry&) { ++count; });
+  EXPECT_EQ(count, 50u);
+}
+
+}  // namespace
+}  // namespace sda::bgp

@@ -1,0 +1,218 @@
+#include "dataplane/border_router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::dataplane {
+namespace {
+
+using net::Eid;
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::OverlayFrame;
+using net::VnEid;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+struct BorderFixture : ::testing::Test {
+  BorderFixture() : border(sim, make_config()) {
+    border.set_send_data([this](const net::FabricFrame& f) { sent.push_back(f); });
+    border.set_deliver_external([this](const VnEid& d, const OverlayFrame& f) {
+      external.emplace_back(d, f);
+    });
+  }
+
+  static BorderRouterConfig make_config() {
+    BorderRouterConfig cfg;
+    cfg.name = "border-0";
+    cfg.rloc = *Ipv4Address::parse("10.0.0.1");
+    return cfg;
+  }
+
+  static OverlayFrame udp(const char* src, const char* dst, std::uint8_t ttl = 64) {
+    OverlayFrame frame;
+    frame.source_mac = MacAddress::from_u64(0x02AA);
+    frame.destination_mac = MacAddress::from_u64(0x02BB);
+    net::Ipv4Datagram dgram;
+    dgram.source = *Ipv4Address::parse(src);
+    dgram.destination = *Ipv4Address::parse(dst);
+    dgram.payload_size = 64;
+    dgram.ttl = ttl;
+    frame.l3 = dgram;
+    return frame;
+  }
+
+  static net::FabricFrame fabric(const char* from_rloc, const OverlayFrame& inner) {
+    net::FabricFrame f;
+    f.outer_source = *Ipv4Address::parse(from_rloc);
+    f.outer_destination = *Ipv4Address::parse("10.0.0.1");
+    f.vn = kVn;
+    f.source_group = GroupId{10};
+    f.inner = inner;
+    return f;
+  }
+
+  void publish(const char* ip, const char* rloc) {
+    lisp::Publish p;
+    p.eid = VnEid{kVn, Eid{*Ipv4Address::parse(ip)}};
+    p.rlocs = {net::Rloc{*Ipv4Address::parse(rloc)}};
+    border.receive_publish(p);
+  }
+
+  sim::Simulator sim;
+  BorderRouter border;
+  std::vector<net::FabricFrame> sent;
+  std::vector<std::pair<VnEid, OverlayFrame>> external;
+};
+
+TEST_F(BorderFixture, PublishInstallsAndWithdrawRemoves) {
+  publish("10.1.0.5", "10.0.0.20");
+  EXPECT_EQ(border.fib_size(), 1u);
+  EXPECT_EQ(border.counters().publishes_applied, 1u);
+
+  lisp::Publish withdrawal;
+  withdrawal.eid = VnEid{kVn, Eid{*Ipv4Address::parse("10.1.0.5")}};
+  border.receive_publish(withdrawal);
+  EXPECT_EQ(border.fib_size(), 0u);
+  EXPECT_EQ(border.counters().withdrawals_applied, 1u);
+}
+
+TEST_F(BorderFixture, HairpinsDefaultRoutedTraffic) {
+  publish("10.1.0.5", "10.0.0.20");
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].outer_destination, *Ipv4Address::parse("10.0.0.20"));
+  EXPECT_EQ(sent[0].outer_source, border.rloc());
+  EXPECT_EQ(sent[0].vn, kVn);
+  EXPECT_EQ(border.counters().hairpinned, 1u);
+  EXPECT_EQ(sent[0].inner.ip().ttl, 63);  // decremented on hairpin
+}
+
+TEST_F(BorderFixture, TtlGuardStopsLoops) {
+  publish("10.1.0.5", "10.0.0.20");
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5", 1)));
+  EXPECT_TRUE(sent.empty());
+  EXPECT_EQ(border.counters().ttl_drops, 1u);
+}
+
+TEST_F(BorderFixture, ExternalTrafficLeavesFabric) {
+  border.add_external_prefix(kVn, *net::Ipv4Prefix::parse("0.0.0.0/0"));
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "8.8.8.8")));
+  ASSERT_EQ(external.size(), 1u);
+  EXPECT_EQ(external[0].first.eid.ipv4(), *Ipv4Address::parse("8.8.8.8"));
+  EXPECT_EQ(border.counters().external_out, 1u);
+}
+
+TEST_F(BorderFixture, OverlayRouteBeatsExternalPrefix) {
+  border.add_external_prefix(kVn, *net::Ipv4Prefix::parse("0.0.0.0/0"));
+  publish("10.1.0.5", "10.0.0.20");
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  EXPECT_TRUE(external.empty());
+  EXPECT_EQ(sent.size(), 1u);
+}
+
+TEST_F(BorderFixture, UnroutableTrafficDropped) {
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  EXPECT_TRUE(sent.empty());
+  EXPECT_TRUE(external.empty());
+  EXPECT_EQ(border.counters().no_route_drops, 1u);
+}
+
+TEST_F(BorderFixture, ExternalInboundEncapsulatesToServingEdge) {
+  publish("10.1.0.5", "10.0.0.20");
+  border.external_receive(kVn, GroupId{50}, udp("8.8.8.8", "10.1.0.5"));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].outer_destination, *Ipv4Address::parse("10.0.0.20"));
+  EXPECT_EQ(sent[0].source_group, GroupId{50});
+  EXPECT_EQ(border.counters().external_in, 1u);
+}
+
+TEST_F(BorderFixture, ExternalInboundUnknownDestinationDropped) {
+  border.external_receive(kVn, GroupId{50}, udp("8.8.8.8", "10.1.0.5"));
+  EXPECT_TRUE(sent.empty());
+  EXPECT_EQ(border.counters().no_route_drops, 1u);
+}
+
+TEST_F(BorderFixture, EgressPolicyAtExternalBoundary) {
+  border.add_external_prefix(kVn, *net::Ipv4Prefix::parse("0.0.0.0/0"), GroupId{60});
+  border.sgacl().install_rule(kVn, {{GroupId{10}, GroupId{60}}, policy::Action::Deny});
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "8.8.8.8")));
+  EXPECT_TRUE(external.empty());
+  EXPECT_EQ(border.counters().policy_drops, 1u);
+}
+
+TEST_F(BorderFixture, BootstrapSyncCopiesServerState) {
+  lisp::MapServer server;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    lisp::MappingRecord record;
+    record.rlocs = {net::Rloc{*Ipv4Address::parse("10.0.0.20")}};
+    server.register_mapping(VnEid{kVn, Eid{Ipv4Address{0x0A010000u + i}}}, record);
+  }
+  border.bootstrap_sync(server);
+  EXPECT_EQ(border.fib_size(), 10u);
+}
+
+TEST_F(BorderFixture, ArpNeverCrossesBorder) {
+  OverlayFrame arp_frame;
+  arp_frame.source_mac = MacAddress::from_u64(0x02AA);
+  arp_frame.destination_mac = MacAddress::broadcast();
+  arp_frame.l3 = net::ArpPacket{};
+  border.receive_fabric_frame(fabric("10.0.0.30", arp_frame));
+  EXPECT_TRUE(sent.empty());
+  EXPECT_EQ(border.counters().no_route_drops, 1u);
+}
+
+TEST_F(BorderFixture, ServiceInsertionRewritesGroupOnTransit) {
+  publish("10.1.0.5", "10.0.0.20");
+  // §5.4 service insertion: re-tag group 10 as group 99 through this hop
+  // so downstream devices apply the service-chain policy.
+  border.add_group_rewrite(kVn, GroupId{10}, GroupId{99});
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].source_group, GroupId{99});
+  EXPECT_EQ(border.counters().group_rewrites, 1u);
+}
+
+TEST_F(BorderFixture, ServiceInsertionScopedToVnAndGroup) {
+  publish("10.1.0.5", "10.0.0.20");
+  border.add_group_rewrite(net::VnId{999}, GroupId{10}, GroupId{99});  // other VN
+  border.add_group_rewrite(kVn, GroupId{55}, GroupId{99});             // other group
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].source_group, GroupId{10});  // untouched
+  EXPECT_EQ(border.counters().group_rewrites, 0u);
+}
+
+TEST_F(BorderFixture, ServiceInsertionRemovable) {
+  border.add_group_rewrite(kVn, GroupId{10}, GroupId{99});
+  EXPECT_TRUE(border.remove_group_rewrite(kVn, GroupId{10}));
+  EXPECT_FALSE(border.remove_group_rewrite(kVn, GroupId{10}));
+  publish("10.1.0.5", "10.0.0.20");
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].source_group, GroupId{10});
+}
+
+TEST_F(BorderFixture, RewrittenGroupDrivesBorderEgressPolicy) {
+  // Traffic re-tagged into a group that the border's own external SGACL
+  // denies: the service chain decides the policy, as §5.4 describes.
+  border.add_external_prefix(kVn, *net::Ipv4Prefix::parse("0.0.0.0/0"), GroupId{60});
+  border.add_group_rewrite(kVn, GroupId{10}, GroupId{77});
+  border.sgacl().install_rule(kVn, {{GroupId{77}, GroupId{60}}, policy::Action::Deny});
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "8.8.8.8")));
+  EXPECT_TRUE(external.empty());
+  EXPECT_EQ(border.counters().policy_drops, 1u);
+}
+
+TEST_F(BorderFixture, StaleSelfRouteDropped) {
+  // The synced table claims the EID is behind this very border (e.g. a
+  // stale registration after an external prefix removal): do not loop.
+  publish("10.1.0.5", "10.0.0.1");
+  border.receive_fabric_frame(fabric("10.0.0.30", udp("10.1.9.9", "10.1.0.5")));
+  EXPECT_TRUE(sent.empty());
+  EXPECT_EQ(border.counters().no_route_drops, 1u);
+}
+
+}  // namespace
+}  // namespace sda::dataplane

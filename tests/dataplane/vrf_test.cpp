@@ -1,0 +1,95 @@
+#include "dataplane/vrf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::dataplane {
+namespace {
+
+using net::Eid;
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::VnEid;
+using net::VnId;
+
+VnEid ip_eid(std::uint32_t vn, const char* ip) {
+  return VnEid{VnId{vn}, Eid{*Ipv4Address::parse(ip)}};
+}
+
+LocalEntry entry(PortId port, std::uint16_t group) {
+  return LocalEntry{port, GroupId{group}, MacAddress::from_u64(0x02AA00 + port)};
+}
+
+TEST(VrfSet, InstallLookupRemove) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(3, 10));
+  const LocalEntry* found = vrf.lookup(ip_eid(1, "10.1.0.5"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->port, 3);
+  EXPECT_EQ(found->group, GroupId{10});
+  EXPECT_TRUE(vrf.remove(ip_eid(1, "10.1.0.5")));
+  EXPECT_FALSE(vrf.remove(ip_eid(1, "10.1.0.5")));
+  EXPECT_EQ(vrf.lookup(ip_eid(1, "10.1.0.5")), nullptr);
+}
+
+TEST(VrfSet, VnIsolation) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  vrf.install(ip_eid(2, "10.1.0.5"), entry(2, 20));
+  EXPECT_EQ(vrf.lookup(ip_eid(1, "10.1.0.5"))->port, 1);
+  EXPECT_EQ(vrf.lookup(ip_eid(2, "10.1.0.5"))->port, 2);
+  EXPECT_EQ(vrf.lookup(ip_eid(3, "10.1.0.5")), nullptr);
+  EXPECT_EQ(vrf.size(VnId{1}), 1u);
+  EXPECT_EQ(vrf.size(), 2u);
+}
+
+TEST(VrfSet, MacAndIpEidsCoexist) {
+  VrfSet vrf;
+  const VnEid mac_eid{VnId{1}, Eid{MacAddress::from_u64(0x02AB)}};
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  vrf.install(mac_eid, entry(1, 10));
+  EXPECT_EQ(vrf.size(VnId{1}), 2u);
+  EXPECT_NE(vrf.lookup(mac_eid), nullptr);
+}
+
+TEST(VrfSet, RetagUpdatesGroupInPlace) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  EXPECT_TRUE(vrf.retag(ip_eid(1, "10.1.0.5"), GroupId{15}));
+  EXPECT_EQ(vrf.lookup(ip_eid(1, "10.1.0.5"))->group, GroupId{15});
+  EXPECT_FALSE(vrf.retag(ip_eid(1, "10.9.9.9"), GroupId{15}));
+  EXPECT_FALSE(vrf.retag(ip_eid(9, "10.1.0.5"), GroupId{15}));
+}
+
+TEST(VrfSet, InstallReplacesExisting) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(7, 12));
+  EXPECT_EQ(vrf.size(), 1u);
+  EXPECT_EQ(vrf.lookup(ip_eid(1, "10.1.0.5"))->port, 7);
+}
+
+TEST(VrfSet, WalkCoversAllFamilies) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  vrf.install(VnEid{VnId{1}, Eid{MacAddress::from_u64(0x02AB)}}, entry(1, 10));
+  vrf.install(VnEid{VnId{2}, Eid{*net::Ipv6Address::parse("2001:db8::1")}}, entry(2, 20));
+  std::size_t count = 0;
+  vrf.walk([&](const VnEid& eid, const LocalEntry&) {
+    ++count;
+    EXPECT_TRUE(eid.vn == VnId{1} || eid.vn == VnId{2});
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(VrfSet, ClearEmptiesEverything) {
+  VrfSet vrf;
+  vrf.install(ip_eid(1, "10.1.0.5"), entry(1, 10));
+  vrf.install(ip_eid(2, "10.1.0.6"), entry(2, 20));
+  vrf.clear();
+  EXPECT_EQ(vrf.size(), 0u);
+  EXPECT_EQ(vrf.lookup(ip_eid(1, "10.1.0.5")), nullptr);
+}
+
+}  // namespace
+}  // namespace sda::dataplane

@@ -1,0 +1,54 @@
+#include "fabric/inspect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+TEST(Inspect, ReportsRoutersServersAndMappings) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.link("e0", "b0");
+  fabric.finalize();
+  fabric.define_vn({VnId{100}, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  fabric.provision_endpoint(
+      {"alice", "pw", MacAddress::from_u64(0x02AA), VnId{100}, GroupId{10}});
+  net::Ipv4Address ip;
+  fabric.connect_endpoint("alice", "e0", 1, [&](const OnboardResult& r) { ip = r.ip; });
+  sim.run();
+
+  const std::string report = inspect(fabric);
+  EXPECT_NE(report.find("b0"), std::string::npos);
+  EXPECT_NE(report.find("e0"), std::string::npos);
+  EXPECT_NE(report.find("routing server: 1 endpoint mappings"), std::string::npos);
+  EXPECT_NE(report.find("policy server: 1 endpoints"), std::string::npos);
+  EXPECT_NE(report.find("1 accepts"), std::string::npos);
+  // Full mapping dump only on request.
+  EXPECT_EQ(report.find(ip.to_string() + " ->"), std::string::npos);
+
+  InspectOptions options;
+  options.include_mappings = true;
+  const std::string full = inspect(fabric, options);
+  EXPECT_NE(full.find(ip.to_string()), std::string::npos);
+}
+
+TEST(Inspect, MentionsReplicasWhenScaledOut) {
+  sim::Simulator sim;
+  FabricConfig config;
+  config.routing_servers = 3;
+  SdaFabric fabric{sim, config};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.link("e0", "b0");
+  fabric.finalize();
+  EXPECT_NE(inspect(fabric).find("[+2 replicas]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sda::fabric

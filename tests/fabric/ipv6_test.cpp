@@ -1,0 +1,147 @@
+// IPv6 endpoint identity (§4.1: each endpoint registers IPv4 + IPv6 + MAC
+// routes) and IPv6 forwarding through the fabric.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "l2/slaac.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct Ipv6Fixture : ::testing::Test {
+  void SetUp() override {
+    fabric = std::make_unique<SdaFabric>(sim, FabricConfig{});
+    fabric->add_border("b0");
+    fabric->add_edge("e0");
+    fabric->add_edge("e1");
+    fabric->link("e0", "b0");
+    fabric->link("e1", "b0");
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16"),
+                       *net::Ipv6Prefix::parse("2001:db8:100::/64")});
+    fabric->set_rule({kVn, GroupId{10}, GroupId{20}, policy::Action::Deny});
+
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      EndpointDefinition def;
+      def.credential = "h" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = i == 3 ? GroupId{20} : GroupId{10};
+      def.l2_services = i == 1;  // h1 registers its MAC too
+      fabric->provision_endpoint(def);
+    }
+    fabric->set_delivery_listener([this](const dataplane::AttachedEndpoint& e,
+                                         const net::OverlayFrame& f, sim::SimTime) {
+      deliveries.emplace_back(e.credential, f.is_ipv6());
+    });
+  }
+
+  OnboardResult connect(const std::string& credential, const std::string& edge) {
+    OnboardResult result;
+    fabric->connect_endpoint(credential, edge, 1,
+                             [&](const OnboardResult& r) { result = r; });
+    sim.run();
+    return result;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  std::vector<std::pair<std::string, bool>> deliveries;
+};
+
+TEST_F(Ipv6Fixture, OnboardingAssignsSlaacAddress) {
+  const auto r = connect("h2", "e0");
+  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ipv6.has_value());
+  EXPECT_TRUE(net::Ipv6Prefix::parse("2001:db8:100::/64")->contains(*r.ipv6));
+  EXPECT_EQ(*r.ipv6, l2::slaac_address(*net::Ipv6Prefix::parse("2001:db8:100::/64"), mac(2)));
+}
+
+TEST_F(Ipv6Fixture, ThreeRoutesPerL2Endpoint) {
+  connect("h1", "e0");  // l2_services=true: IPv4 + IPv6 + MAC
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 3u);
+  connect("h2", "e1");  // no MAC registration: IPv4 + IPv6
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 5u);
+}
+
+TEST_F(Ipv6Fixture, Ipv6TrafficFlowsCrossEdge) {
+  connect("h1", "e0");
+  const auto h2 = connect("h2", "e1");
+  ASSERT_TRUE(fabric->endpoint_send_udp6(mac(1), *h2.ipv6, 443, 256));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].first, "h2");
+  EXPECT_TRUE(deliveries[0].second);  // delivered as IPv6
+
+  // Second packet rides the cached IPv6 mapping.
+  const auto misses_before = fabric->edge("e0").map_cache().stats().misses;
+  fabric->endpoint_send_udp6(mac(1), *h2.ipv6, 443, 256);
+  sim.run();
+  EXPECT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(fabric->edge("e0").map_cache().stats().misses, misses_before);
+}
+
+TEST_F(Ipv6Fixture, SegmentationAppliesToIpv6Too) {
+  connect("h1", "e0");                    // group 10
+  const auto h3 = connect("h3", "e1");    // group 20: 10 -> 20 denied
+  ASSERT_TRUE(h3.ipv6.has_value());
+  fabric->endpoint_send_udp6(mac(1), *h3.ipv6, 443, 256);
+  sim.run();
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(fabric->edge("e1").counters().policy_drops, 1u);
+}
+
+TEST_F(Ipv6Fixture, RoamMovesAllIdentities) {
+  const auto h1 = connect("h1", "e0");
+  fabric->roam_endpoint(mac(1), "e1", 2);
+  sim.run();
+  const net::VnEid v6_eid{kVn, net::Eid{*h1.ipv6}};
+  const auto record = fabric->map_server().resolve(v6_eid);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->primary_rloc(), fabric->edge("e1").rloc());
+}
+
+TEST_F(Ipv6Fixture, DisconnectWithdrawsAllIdentities) {
+  connect("h1", "e0");
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 3u);
+  fabric->disconnect_endpoint(mac(1));
+  sim.run();
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 0u);
+}
+
+TEST_F(Ipv6Fixture, SendWithoutSlaacVnFails) {
+  sim::Simulator sim2;
+  SdaFabric no6{sim2, FabricConfig{}};
+  no6.add_border("b0");
+  no6.add_edge("e0");
+  no6.link("e0", "b0");
+  no6.finalize();
+  no6.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});  // no v6
+  EndpointDefinition def;
+  def.credential = "h";
+  def.secret = "pw";
+  def.mac = mac(9);
+  def.vn = kVn;
+  def.group = GroupId{10};
+  no6.provision_endpoint(def);
+  bool onboarded = false;
+  no6.connect_endpoint("h", "e0", 1, [&](const OnboardResult& r) {
+    onboarded = r.success;
+    EXPECT_FALSE(r.ipv6.has_value());
+  });
+  sim2.run();
+  ASSERT_TRUE(onboarded);
+  EXPECT_FALSE(no6.endpoint_send_udp6(mac(9), *net::Ipv6Address::parse("2001:db8::1"), 1, 1));
+}
+
+}  // namespace
+}  // namespace sda::fabric

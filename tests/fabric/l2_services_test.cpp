@@ -1,0 +1,167 @@
+// L2 services (§3.5): MAC-keyed mappings, ARP broadcast absorption and
+// unicast conversion through the L2 gateway, and DHCP-backed onboarding.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+constexpr GroupId kGroup{10};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct L2Fixture : ::testing::Test {
+  void SetUp() override {
+    FabricConfig config;
+    config.l2_gateway = true;
+    fabric = std::make_unique<SdaFabric>(sim, config);
+    fabric->add_border("b0");
+    fabric->add_edge("e0");
+    fabric->add_edge("e1");
+    fabric->link("e0", "b0");
+    fabric->link("e1", "b0");
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+    for (std::uint64_t i = 1; i <= 2; ++i) {
+      EndpointDefinition def;
+      def.credential = "host-" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = kGroup;
+      def.l2_services = true;  // register MAC EIDs + IP->MAC bindings
+      fabric->provision_endpoint(def);
+    }
+
+    fabric->set_delivery_listener([this](const dataplane::AttachedEndpoint& e,
+                                         const net::OverlayFrame& f, sim::SimTime) {
+      if (f.is_arp()) {
+        arp_deliveries.emplace_back(e.credential, f.arp());
+      } else {
+        deliveries.push_back(e.credential);
+      }
+    });
+  }
+
+  OnboardResult connect(const std::string& credential, const std::string& edge) {
+    OnboardResult result;
+    fabric->connect_endpoint(credential, edge, 1,
+                             [&](const OnboardResult& r) { result = r; });
+    sim.run();
+    return result;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  std::vector<std::string> deliveries;
+  std::vector<std::pair<std::string, net::ArpPacket>> arp_deliveries;
+};
+
+TEST_F(L2Fixture, OnboardingRegistersMacEidAndL2Binding) {
+  const auto r = connect("host-1", "e0");
+  ASSERT_TRUE(r.success);
+  // IP + MAC mappings in the routing server.
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 2u);
+  EXPECT_EQ(fabric->map_server().lookup_mac(net::VnEid{kVn, net::Eid{r.ip}}), mac(1));
+  // MAC EID resolvable.
+  EXPECT_TRUE(
+      fabric->map_server().resolve(net::VnEid{kVn, net::Eid{mac(1)}}).has_value());
+}
+
+TEST_F(L2Fixture, ArpRequestConvertedToUnicastAcrossEdges) {
+  connect("host-1", "e0");
+  const auto h2 = connect("host-2", "e1");
+
+  // host-1 ARPs for host-2's IP: broadcast absorbed at e0, converted to a
+  // unicast frame towards e1, delivered to host-2 only.
+  EXPECT_TRUE(fabric->endpoint_send_arp(mac(1), h2.ip));
+  sim.run();
+  ASSERT_EQ(arp_deliveries.size(), 1u);
+  EXPECT_EQ(arp_deliveries[0].first, "host-2");
+  EXPECT_EQ(arp_deliveries[0].second.target_mac, mac(2));
+  EXPECT_EQ(arp_deliveries[0].second.op, net::ArpPacket::Op::Request);
+  // No broadcast flooding: exactly one delivery fabric-wide.
+  EXPECT_TRUE(deliveries.empty());
+}
+
+TEST_F(L2Fixture, ArpForSameEdgeNeighbourAnsweredLocally) {
+  connect("host-1", "e0");
+  const auto h2 = connect("host-2", "e0");
+  fabric->endpoint_send_arp(mac(1), h2.ip);
+  sim.run();
+  ASSERT_EQ(arp_deliveries.size(), 1u);
+  EXPECT_EQ(arp_deliveries[0].first, "host-2");
+  // Stays on the edge: nothing was encapsulated for this ARP.
+  EXPECT_EQ(fabric->edge("e0").counters().encapsulated, 0u);
+}
+
+TEST_F(L2Fixture, ArpForUnknownIpSilentlyAbsorbed) {
+  connect("host-1", "e0");
+  fabric->endpoint_send_arp(mac(1), *Ipv4Address::parse("10.100.9.9"));
+  sim.run();
+  EXPECT_TRUE(arp_deliveries.empty());
+  // Absorbed, not flooded, not defaulted to border.
+  EXPECT_EQ(fabric->edge("e0").counters().default_routed, 0u);
+}
+
+TEST_F(L2Fixture, ArpReplyRidesL2PipelineBack) {
+  const auto h1 = connect("host-1", "e0");
+  const auto h2 = connect("host-2", "e1");
+  fabric->endpoint_send_arp(mac(1), h2.ip);
+  sim.run();
+  ASSERT_EQ(arp_deliveries.size(), 1u);
+
+  // host-2 answers with a unicast ARP reply to host-1's MAC.
+  net::OverlayFrame reply;
+  reply.source_mac = mac(2);
+  reply.destination_mac = mac(1);
+  net::ArpPacket arp;
+  arp.op = net::ArpPacket::Op::Reply;
+  arp.sender_mac = mac(2);
+  arp.sender_ip = h2.ip;
+  arp.target_mac = mac(1);
+  arp.target_ip = h1.ip;
+  reply.l3 = arp;
+  fabric->edge("e1").endpoint_transmit(mac(2), reply);
+  sim.run();
+  ASSERT_EQ(arp_deliveries.size(), 2u);
+  EXPECT_EQ(arp_deliveries[1].first, "host-1");
+  EXPECT_EQ(arp_deliveries[1].second.op, net::ArpPacket::Op::Reply);
+}
+
+TEST_F(L2Fixture, GatewayDisabledAbsorbsBroadcastEntirely) {
+  sim::Simulator sim2;
+  FabricConfig config;
+  config.l2_gateway = false;
+  SdaFabric no_gw{sim2, config};
+  no_gw.add_border("b0");
+  no_gw.add_edge("e0");
+  no_gw.link("e0", "b0");
+  no_gw.finalize();
+  no_gw.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  EndpointDefinition def;
+  def.credential = "h";
+  def.secret = "pw";
+  def.mac = mac(5);
+  def.vn = kVn;
+  def.group = kGroup;
+  no_gw.provision_endpoint(def);
+  bool done = false;
+  no_gw.connect_endpoint("h", "e0", 1, [&](const OnboardResult&) { done = true; });
+  sim2.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(no_gw.endpoint_send_arp(mac(5), *Ipv4Address::parse("10.100.0.9")));
+  sim2.run();
+  EXPECT_EQ(no_gw.edge("e0").counters().encapsulated, 0u);
+}
+
+}  // namespace
+}  // namespace sda::fabric

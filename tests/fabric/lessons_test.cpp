@@ -1,0 +1,221 @@
+// Integration tests for the paper's "Lessons Learnt" behaviours (§5):
+// underlay outage fallback (5.1), edge reboot recovery (5.2), enforcement
+// point trade-offs (5.3), and policy-update signaling (5.4).
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+constexpr GroupId kUsers{10};
+constexpr GroupId kServers{20};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct LessonsFixture : ::testing::Test {
+  void SetUp() override {
+    fabric = std::make_unique<SdaFabric>(sim, FabricConfig{});
+    fabric->add_border("b0");
+    fabric->add_edge("e0");
+    fabric->add_edge("e1");
+    // Redundant triangle so a single link loss does not partition: e0 and
+    // e1 each have a direct link plus a path through each other? No —
+    // paper's fallback is about losing the *direct* path to a peer edge
+    // while the border stays reachable. Build: e0-b0, e1-b0, e0-e1.
+    fabric->link("e0", "b0");
+    fabric->link("e1", "b0");
+    fabric->link("e0", "e1");
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      EndpointDefinition def;
+      def.credential = "h" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = i == 3 ? kServers : kUsers;
+      fabric->provision_endpoint(def);
+    }
+    fabric->set_delivery_listener([this](const dataplane::AttachedEndpoint& e,
+                                         const net::OverlayFrame&, sim::SimTime) {
+      deliveries.push_back(e.credential);
+    });
+  }
+
+  OnboardResult connect(const std::string& credential, const std::string& edge) {
+    OnboardResult result;
+    fabric->connect_endpoint(credential, edge, 1,
+                             [&](const OnboardResult& r) { result = r; });
+    sim.run();
+    return result;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  std::vector<std::string> deliveries;
+};
+
+// §5.1: when an edge router becomes unreachable in the underlay, peers
+// watching the IGP purge their map-cache entries towards it and fall back
+// to the border default route.
+TEST_F(LessonsFixture, UnderlayOutagePurgesCacheEntries) {
+  connect("h1", "e0");
+  const auto h2 = connect("h2", "e1");
+
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+  EXPECT_EQ(fabric->edge("e0").fib_size(), 1u);
+
+  // e1 loses both links: unreachable from e0's IGP view.
+  fabric->set_link_state("e1", "b0", false);
+  fabric->set_link_state("e0", "e1", false);
+  sim.run();  // IGP convergence + watcher notification
+  EXPECT_EQ(fabric->edge("e0").fib_size(), 0u);
+  EXPECT_GE(fabric->edge("e0").counters().rloc_fallbacks, 1u);
+
+  // Traffic now default-routes to the border instead of blackholing into
+  // the dead RLOC.
+  const auto before = fabric->edge("e0").counters().default_routed;
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+  EXPECT_GT(fabric->edge("e0").counters().default_routed, before);
+}
+
+// §5.1 continued: restoring the links re-enables direct forwarding after
+// re-resolution.
+TEST_F(LessonsFixture, RecoveryAfterOutage) {
+  connect("h1", "e0");
+  const auto h2 = connect("h2", "e1");
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+
+  fabric->set_link_state("e1", "b0", false);
+  fabric->set_link_state("e0", "e1", false);
+  sim.run();
+  fabric->set_link_state("e1", "b0", true);
+  fabric->set_link_state("e0", "e1", true);
+  sim.run();
+
+  deliveries.clear();
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+  EXPECT_EQ(deliveries, std::vector<std::string>{"h2"});
+  EXPECT_EQ(fabric->edge("e0").fib_size(), 1u);  // re-resolved
+}
+
+// §5.2: a rebooting edge loses its FIB; the transient border<->edge loop is
+// broken by TTL decrement plus the border's stale-route guard, and the
+// data-triggered SMR refreshes senders once endpoints re-onboard.
+TEST_F(LessonsFixture, EdgeRebootRecoversEndpoints) {
+  connect("h1", "e0");
+  const auto h2 = connect("h2", "e1");
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+  deliveries.clear();
+
+  fabric->reboot_edge("e1", std::chrono::seconds{5});
+  EXPECT_EQ(fabric->edge("e1").endpoint_count(), 0u);
+
+  // Traffic sent while e1 is down is lost but must not loop forever.
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run_until(sim.now() + std::chrono::seconds{1});
+  EXPECT_TRUE(deliveries.empty());
+
+  // After the downtime the endpoint re-onboards automatically.
+  sim.run();
+  EXPECT_EQ(fabric->edge("e1").endpoint_count(), 1u);
+  EXPECT_EQ(fabric->location_of(mac(2)), "e1");
+
+  deliveries.clear();
+  fabric->endpoint_send_udp(mac(1), h2.ip, 443, 100);
+  sim.run();
+  EXPECT_EQ(deliveries, std::vector<std::string>{"h2"});
+}
+
+// §5.3: egress enforcement stores rules only where destination groups
+// live; ingress enforcement must hold rules for remote destination groups
+// too, trading state for bandwidth.
+TEST_F(LessonsFixture, EgressKeepsRuleStateLocalToDestinationGroups) {
+  fabric->set_rule({kVn, kUsers, kServers, policy::Action::Deny});
+  connect("h1", "e0");  // user on e0
+  connect("h3", "e1");  // server on e1
+
+  // Egress: only e1 (hosting the destination group) holds the rule.
+  EXPECT_EQ(fabric->edge("e0").sgacl().rule_count(), 0u);
+  EXPECT_EQ(fabric->edge("e1").sgacl().rule_count(), 1u);
+}
+
+TEST_F(LessonsFixture, EgressEnforcementWastesFabricBandwidthOnDrops) {
+  fabric->set_rule({kVn, kUsers, kServers, policy::Action::Deny});
+  connect("h1", "e0");
+  const auto h3 = connect("h3", "e1");
+
+  fabric->endpoint_send_udp(mac(1), h3.ip, 443, 100);
+  sim.run();
+  EXPECT_TRUE(deliveries.empty());
+  // The frame crossed the fabric before dying at the egress SGACL.
+  EXPECT_GE(fabric->edge("e0").counters().encapsulated, 1u);
+  EXPECT_EQ(fabric->edge("e1").counters().policy_drops, 1u);
+}
+
+// §5.4: moving one endpoint between groups costs a single CoA-style signal,
+// while updating a rule costs one push per hosting edge.
+TEST_F(LessonsFixture, PolicyUpdateSignalingCosts) {
+  fabric->set_rule({kVn, kUsers, kServers, policy::Action::Deny});
+  connect("h1", "e0");
+  connect("h2", "e1");
+  connect("h3", "e1");
+
+  const auto& stats = fabric->policy_server().stats();
+  const auto pushes_before = stats.rule_push_messages;
+  const auto signals_before = stats.endpoint_change_signals;
+
+  // Strategy A: move h1 to the servers group -> exactly one signal.
+  fabric->reassign_endpoint_group("h1", kServers);
+  sim.run();
+  EXPECT_EQ(stats.endpoint_change_signals, signals_before + 1);
+
+  // Strategy B: update a rule towards kServers (hosted on e0 and e1 now)
+  // -> one push per hosting edge.
+  fabric->update_rule({kVn, GroupId{77}, kServers, policy::Action::Deny});
+  sim.run();
+  EXPECT_EQ(stats.rule_push_messages, pushes_before + 2);
+}
+
+// §3.2.2 redundancy note: multiple borders all stay synchronized.
+TEST_F(LessonsFixture, SecondBorderStaysSynced) {
+  sim::Simulator sim2;
+  SdaFabric dual{sim2, FabricConfig{}};
+  dual.add_border("b0");
+  dual.add_border("b1");
+  dual.add_edge("e0");
+  dual.link("e0", "b0");
+  dual.link("e0", "b1");
+  dual.link("b0", "b1");
+  dual.finalize();
+  dual.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  EndpointDefinition def;
+  def.credential = "h";
+  def.secret = "pw";
+  def.mac = mac(9);
+  def.vn = kVn;
+  def.group = kUsers;
+  dual.provision_endpoint(def);
+  bool ok = false;
+  dual.connect_endpoint("h", "e0", 1, [&](const OnboardResult& r) { ok = r.success; });
+  sim2.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(dual.border("b0").fib_size(), 1u);
+  EXPECT_EQ(dual.border("b1").fib_size(), 1u);
+}
+
+}  // namespace
+}  // namespace sda::fabric

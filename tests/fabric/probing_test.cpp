@@ -1,0 +1,111 @@
+// RLOC probing (§5.1's "explicit probing"): edges detect dead RLOCs by
+// probing instead of (or in addition to) watching the IGP.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct ProbingFixture : ::testing::Test {
+  void SetUp() override {
+    FabricConfig config;
+    config.rloc_probing = true;
+    config.probe_interval = std::chrono::seconds{5};
+    config.l2_gateway = false;
+    // Cripple the IGP watcher path so only probing can detect the outage.
+    config.underlay.igp_convergence = std::chrono::hours{10};
+    fabric = std::make_unique<SdaFabric>(sim, config);
+    fabric->add_border("b0");
+    for (const char* e : {"e0", "e1", "e2"}) {
+      fabric->add_edge(e);
+      fabric->link(e, "b0");
+    }
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      EndpointDefinition def;
+      def.credential = "h" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = GroupId{10};
+      fabric->provision_endpoint(def);
+    }
+    fabric->connect_endpoint("h0", "e0", 1);
+    fabric->connect_endpoint("h1", "e1", 1,
+                             [this](const OnboardResult& r) { dst_ip = r.ip; });
+    run_for(std::chrono::seconds{1});
+  }
+
+  void run_for(sim::Duration d) { sim.run_until(sim.now() + d); }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  net::Ipv4Address dst_ip;
+};
+
+TEST_F(ProbingFixture, ProbesRunOnlyWhileCacheIsPopulated) {
+  auto& e0 = fabric->edge("e0");
+  EXPECT_EQ(e0.counters().probes_sent, 0u);  // cache empty: no probes yet
+
+  fabric->endpoint_send_udp(mac(0), dst_ip, 443, 100);
+  run_for(std::chrono::seconds{12});
+  EXPECT_GE(e0.counters().probes_sent, 2u);  // ~2 sweeps in 12 s at 5 s interval
+  EXPECT_EQ(e0.counters().probes_failed, 0u);
+}
+
+TEST_F(ProbingFixture, ProbeFailurePurgesAndFallsBack) {
+  fabric->endpoint_send_udp(mac(0), dst_ip, 443, 100);
+  run_for(std::chrono::seconds{1});
+  auto& e0 = fabric->edge("e0");
+  ASSERT_EQ(e0.fib_size(), 1u);
+
+  // e1 dies; the IGP watcher is effectively disabled in this fixture, so
+  // only probes can notice.
+  fabric->topology().set_node_state(fabric->edge("e1").config().node, false);
+  fabric->underlay().topology_changed();
+  run_for(std::chrono::seconds{12});
+  EXPECT_GE(e0.counters().probes_failed, 1u);
+  EXPECT_EQ(e0.fib_size(), 0u);
+  EXPECT_GE(e0.counters().rloc_fallbacks, 1u);
+}
+
+TEST_F(ProbingFixture, ProbeRecoveryReenablesMappings) {
+  fabric->endpoint_send_udp(mac(0), dst_ip, 443, 100);
+  run_for(std::chrono::seconds{1});
+  auto& e0 = fabric->edge("e0");
+
+  const auto e1_node = fabric->edge("e1").config().node;
+  fabric->topology().set_node_state(e1_node, false);
+  fabric->underlay().topology_changed();
+  run_for(std::chrono::seconds{12});
+  ASSERT_EQ(e0.fib_size(), 0u);
+
+  fabric->topology().set_node_state(e1_node, true);
+  fabric->underlay().topology_changed();
+  // Re-resolution happens on demand; the mapping is usable again because a
+  // successful probe (or simply reachability) clears the down mark.
+  int delivered = 0;
+  fabric->set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++delivered;
+      });
+  fabric->endpoint_send_udp(mac(0), dst_ip, 443, 100);  // resolves again
+  run_for(std::chrono::seconds{2});
+  fabric->endpoint_send_udp(mac(0), dst_ip, 443, 100);
+  run_for(std::chrono::seconds{2});
+  EXPECT_GE(delivered, 1);
+  EXPECT_EQ(e0.fib_size(), 1u);
+}
+
+}  // namespace
+}  // namespace sda::fabric

@@ -1,0 +1,139 @@
+// Scale/soak test: a mid-sized fabric under mass onboarding, full-mesh-ish
+// traffic, and a mass-roam wave — asserting global invariants rather than
+// single behaviours.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{7};
+constexpr unsigned kEdges = 50;
+constexpr unsigned kHosts = 1000;
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0600'0000'0000ull | i); }
+
+struct ScaleFixture : ::testing::Test {
+  void SetUp() override {
+    FabricConfig config;
+    config.l2_gateway = false;
+    config.seed = 77;
+    fabric = std::make_unique<SdaFabric>(sim, config);
+    fabric->add_border("b0");
+    for (unsigned e = 0; e < kEdges; ++e) {
+      fabric->add_edge("e" + std::to_string(e));
+      fabric->link("e" + std::to_string(e), "b0");
+    }
+    fabric->finalize();
+    fabric->define_vn({kVn, "fleet", *net::Ipv4Prefix::parse("10.64.0.0/14")});
+
+    ips.resize(kHosts);
+    unsigned onboarded = 0;
+    for (unsigned i = 0; i < kHosts; ++i) {
+      EndpointDefinition def;
+      def.credential = "h" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = GroupId{10};
+      fabric->provision_endpoint(def);
+      fabric->connect_endpoint(def.credential, "e" + std::to_string(i % kEdges), 1,
+                               [this, i, &onboarded](const OnboardResult& r) {
+                                 ASSERT_TRUE(r.success);
+                                 ips[i] = r.ip;
+                                 ++onboarded;
+                               });
+    }
+    sim.run();
+    ASSERT_EQ(onboarded, kHosts);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  std::vector<net::Ipv4Address> ips;
+};
+
+TEST_F(ScaleFixture, OnboardingInvariants) {
+  // One mapping per host; every IP unique; border fully synchronized.
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), kHosts);
+  EXPECT_EQ(fabric->border("b0").fib_size(), kHosts);
+  std::unordered_set<std::uint32_t> unique;
+  for (const auto ip : ips) EXPECT_TRUE(unique.insert(ip.value()).second);
+  std::size_t endpoints = 0;
+  for (const auto& name : fabric->edge_names()) {
+    endpoints += fabric->edge(name).endpoint_count();
+  }
+  EXPECT_EQ(endpoints, kHosts);
+}
+
+TEST_F(ScaleFixture, AllPairsSampleTrafficDelivered) {
+  std::uint64_t delivered = 0;
+  fabric->set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++delivered;
+      });
+  sim::Rng rng{5};
+  constexpr unsigned kFlows = 3000;
+  for (unsigned f = 0; f < kFlows; ++f) {
+    const auto src = rng.next_below(kHosts);
+    auto dst = rng.next_below(kHosts);
+    if (dst == src) dst = (dst + 1) % kHosts;
+    ASSERT_TRUE(fabric->endpoint_send_udp(mac(src), ips[dst], 443, 200));
+  }
+  sim.run();
+  // Allow-by-default policy and a healthy underlay: zero loss.
+  EXPECT_EQ(delivered, kFlows);
+  // Reactive state: every edge's cache holds at most the destinations its
+  // hosts touched, never the full host table.
+  for (const auto& name : fabric->edge_names()) {
+    EXPECT_LT(fabric->edge(name).fib_size(), kHosts / 2) << name;
+  }
+}
+
+TEST_F(ScaleFixture, MassRoamKeepsEverythingConsistent) {
+  sim::Rng rng{9};
+  unsigned roams_done = 0;
+  constexpr unsigned kRoams = 200;
+  std::unordered_set<unsigned> moving;
+  for (unsigned r = 0; r < kRoams; ++r) {
+    unsigned host = static_cast<unsigned>(rng.next_below(kHosts));
+    while (!moving.insert(host).second) host = (host + 1) % kHosts;
+    const auto target = "e" + std::to_string(rng.next_below(kEdges));
+    fabric->roam_endpoint(mac(host), target, 2, [&roams_done](const OnboardResult& res) {
+      ASSERT_TRUE(res.success);
+      ++roams_done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(roams_done, kRoams);
+
+  // Global invariants hold after the wave.
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), kHosts);
+  EXPECT_EQ(fabric->border("b0").fib_size(), kHosts);
+  std::size_t endpoints = 0;
+  for (const auto& name : fabric->edge_names()) {
+    endpoints += fabric->edge(name).endpoint_count();
+  }
+  EXPECT_EQ(endpoints, kHosts);
+
+  // The routing server and the edges agree on every location.
+  for (unsigned i = 0; i < kHosts; ++i) {
+    const auto location = fabric->location_of(mac(i));
+    ASSERT_TRUE(location.has_value()) << i;
+    const auto record =
+        fabric->map_server().resolve(net::VnEid{kVn, net::Eid{ips[i]}});
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(record->primary_rloc(), fabric->edge(*location).rloc()) << i;
+    EXPECT_NE(fabric->edge(*location).find_endpoint(mac(i)), nullptr) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sda::fabric

@@ -1,0 +1,120 @@
+// Horizontal routing-server scale-out (§4.1): edges are grouped and each
+// group queries its own routing server; registrations fan out to every
+// server so all replicas stay complete.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct ScaleoutFixture : ::testing::Test {
+  void SetUp() override {
+    FabricConfig config;
+    config.routing_servers = 2;
+    fabric = std::make_unique<SdaFabric>(sim, config);
+    fabric->add_border("b0");
+    fabric->add_border("b1");
+    for (int e = 0; e < 4; ++e) {
+      const std::string name = "e" + std::to_string(e);
+      fabric->add_edge(name);
+      fabric->link(name, "b0");
+      fabric->link(name, "b1");
+    }
+    fabric->link("b0", "b1");
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      EndpointDefinition def;
+      def.credential = "h" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = GroupId{10};
+      fabric->provision_endpoint(def);
+      fabric->connect_endpoint(def.credential, "e" + std::to_string(i % 4), 1,
+                               [this, i](const OnboardResult& r) {
+                                 if (r.success) ips[i] = r.ip;
+                               });
+    }
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SdaFabric> fabric;
+  std::array<net::Ipv4Address, 8> ips{};
+};
+
+TEST_F(ScaleoutFixture, TwoServersInstantiated) {
+  EXPECT_EQ(fabric->routing_server_count(), 2u);
+}
+
+TEST_F(ScaleoutFixture, RegistrationsReplicateToAllServers) {
+  for (const auto ip : ips) ASSERT_FALSE(ip.is_unspecified());
+  EXPECT_EQ(fabric->map_server_replica(0).mapping_count(kVn), 8u);
+  EXPECT_EQ(fabric->map_server_replica(1).mapping_count(kVn), 8u);
+  // Replicas agree on every mapping.
+  for (const auto ip : ips) {
+    const net::VnEid eid{kVn, net::Eid{ip}};
+    const auto a = fabric->map_server_replica(0).resolve(eid);
+    const auto b = fabric->map_server_replica(1).resolve(eid);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->primary_rloc(), b->primary_rloc());
+  }
+}
+
+TEST_F(ScaleoutFixture, RequestLoadSplitsAcrossServers) {
+  // Every edge resolves every remote destination once.
+  for (std::uint64_t src = 0; src < 8; ++src) {
+    for (const auto dst : ips) {
+      fabric->endpoint_send_udp(mac(src), dst, 443, 64);
+    }
+  }
+  sim.run();
+  const auto& s0 = fabric->map_server_replica(0).stats();
+  const auto& s1 = fabric->map_server_replica(1).stats();
+  EXPECT_GT(s0.requests, 0u);
+  EXPECT_GT(s1.requests, 0u);
+  // Round-robin edge grouping: the two halves see similar load.
+  const double ratio = static_cast<double>(s0.requests) /
+                       static_cast<double>(std::max<std::uint64_t>(s1.requests, 1));
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST_F(ScaleoutFixture, TrafficStillFlowsEndToEnd) {
+  int delivered = 0;
+  fabric->set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++delivered;
+      });
+  fabric->endpoint_send_udp(mac(0), ips[5], 443, 64);  // h0 (e0) -> h5 (e1)
+  fabric->endpoint_send_udp(mac(1), ips[6], 443, 64);  // h1 (e1) -> h6 (e2)
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(ScaleoutFixture, MobilityUpdatesBothReplicas) {
+  fabric->roam_endpoint(mac(0), "e3", 2);
+  sim.run();
+  const net::VnEid eid{kVn, net::Eid{ips[0]}};
+  EXPECT_EQ(fabric->map_server_replica(0).resolve(eid)->primary_rloc(),
+            fabric->edge("e3").rloc());
+  EXPECT_EQ(fabric->map_server_replica(1).resolve(eid)->primary_rloc(),
+            fabric->edge("e3").rloc());
+}
+
+}  // namespace
+}  // namespace sda::fabric

@@ -1,0 +1,101 @@
+// LISP soft-state registrations: server-side TTL expiry and edge-side
+// periodic refresh keeping live endpoints registered.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::fabric {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+std::unique_ptr<SdaFabric> make_fabric(sim::Simulator& sim, std::uint32_t ttl_seconds) {
+  FabricConfig config;
+  config.register_ttl_seconds = ttl_seconds;
+  config.l2_gateway = false;
+  auto fabric = std::make_unique<SdaFabric>(sim, config);
+  fabric->add_border("b0");
+  fabric->add_edge("e0");
+  fabric->link("e0", "b0");
+  fabric->finalize();
+  fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  EndpointDefinition def;
+  def.credential = "h0";
+  def.secret = "pw";
+  def.mac = mac(0);
+  def.vn = kVn;
+  def.group = GroupId{10};
+  fabric->provision_endpoint(def);
+  return fabric;
+}
+
+TEST(SoftState, StaleRegistrationsExpireAndPublishWithdrawals) {
+  sim::Simulator sim;
+  auto fabric = make_fabric(sim, 60);  // 1-minute TTL
+  fabric->connect_endpoint("h0", "e0", 1);
+  sim.run();
+  ASSERT_EQ(fabric->map_server().mapping_count(kVn), 1u);
+  ASSERT_EQ(fabric->border("b0").fib_size(), 1u);
+
+  // No refresh configured: past the TTL the registration ages out and the
+  // border hears the withdrawal via pub/sub.
+  sim.run_until(sim.now() + std::chrono::seconds{90});
+  EXPECT_EQ(fabric->map_server().expire_registrations(sim.now()), 1u);
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 0u);
+  EXPECT_EQ(fabric->map_server().stats().expirations, 1u);
+  sim.run();
+  EXPECT_EQ(fabric->border("b0").fib_size(), 0u);
+}
+
+TEST(SoftState, FreshRegistrationsSurviveSweep) {
+  sim::Simulator sim;
+  auto fabric = make_fabric(sim, 3600);
+  fabric->connect_endpoint("h0", "e0", 1);
+  sim.run();
+  sim.run_until(sim.now() + std::chrono::seconds{90});
+  EXPECT_EQ(fabric->map_server().expire_registrations(sim.now()), 0u);
+  EXPECT_EQ(fabric->map_server().mapping_count(kVn), 1u);
+}
+
+TEST(SoftState, EdgeRefreshKeepsRegistrationAlive) {
+  sim::Simulator sim;
+  FabricConfig config;
+  config.register_ttl_seconds = 60;
+  config.register_refresh_interval = std::chrono::seconds{30};  // TTL/2, like a real xTR
+  config.l2_gateway = false;
+  SdaFabric fabric{sim, config};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.link("e0", "b0");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  EndpointDefinition def;
+  def.credential = "h0";
+  def.secret = "pw";
+  def.mac = mac(0);
+  def.vn = kVn;
+  def.group = GroupId{10};
+  fabric.provision_endpoint(def);
+  fabric.connect_endpoint("h0", "e0", 1);
+  sim.run_until(sim.now() + std::chrono::seconds{200});
+
+  // Several refresh rounds have passed; the registration never ages out.
+  EXPECT_EQ(fabric.map_server().expire_registrations(sim.now()), 0u);
+  EXPECT_EQ(fabric.map_server().mapping_count(kVn), 1u);
+  EXPECT_GT(fabric.edge("e0").counters().registers_sent, 3u);
+
+  // Once the endpoint leaves, the refresh timer disarms and the stale
+  // registration (if any remained) would age out.
+  fabric.disconnect_endpoint(mac(0));
+  sim.run_until(sim.now() + std::chrono::seconds{120});
+  EXPECT_EQ(fabric.map_server().mapping_count(kVn), 0u);
+}
+
+}  // namespace
+}  // namespace sda::fabric

@@ -1,0 +1,144 @@
+#include "fabric/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "underlay/spf.hpp"
+
+namespace sda::fabric {
+namespace {
+
+TEST(TieredCampus, BuildsAllTiersAndConnectivity) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.borders = 2;
+  spec.distribution = 2;
+  spec.edges = 6;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  fabric.finalize();
+
+  EXPECT_EQ(campus.borders.size(), 2u);
+  EXPECT_EQ(campus.distribution.size(), 2u);
+  EXPECT_EQ(campus.edges.size(), 6u);
+  EXPECT_EQ(fabric.edge_names().size(), 6u);
+  EXPECT_EQ(fabric.border_names().size(), 2u);
+
+  // Every edge reaches every border and every other edge.
+  for (const auto& edge : campus.edges) {
+    const auto node = fabric.edge(edge).config().node;
+    for (const auto& border : campus.borders) {
+      EXPECT_TRUE(fabric.underlay().reachable(node, fabric.border(border).rloc()));
+    }
+    for (const auto& other : campus.edges) {
+      if (other == edge) continue;
+      EXPECT_TRUE(fabric.underlay().reachable(node, fabric.edge(other).rloc()));
+    }
+  }
+}
+
+TEST(TieredCampus, DualHomingGivesEcmpTowardsBorders) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.borders = 1;
+  spec.distribution = 2;
+  spec.edges = 4;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  fabric.finalize();
+
+  const auto edge_node = fabric.edge(campus.edges[0]).config().node;
+  const auto border_node =
+      *fabric.topology().node_by_loopback(fabric.border(campus.borders[0]).rloc());
+  const auto& table = fabric.underlay().table(edge_node);
+  const underlay::SpfRoute* route = table.route(border_node);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->next_hops.size(), 2u);  // both distribution switches
+}
+
+TEST(TieredCampus, SurvivesDistributionSwitchLoss) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.borders = 2;
+  spec.distribution = 2;
+  spec.edges = 4;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  fabric.finalize();
+
+  // Fail edge-0's primary uplink; the dual-homed alternate must carry on.
+  fabric.set_link_state(campus.edges[0], campus.distribution[0], false);
+  sim.run();
+  const auto edge_node = fabric.edge(campus.edges[0]).config().node;
+  for (const auto& border : campus.borders) {
+    EXPECT_TRUE(fabric.underlay().reachable(edge_node, fabric.border(border).rloc()));
+  }
+}
+
+TEST(TieredCampus, CollapsedCoreWithoutDistribution) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.borders = 2;
+  spec.distribution = 0;
+  spec.edges = 3;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  fabric.finalize();
+  const auto edge_node = fabric.edge(campus.edges[0]).config().node;
+  for (const auto& border : campus.borders) {
+    EXPECT_TRUE(fabric.underlay().reachable(edge_node, fabric.border(border).rloc()));
+  }
+}
+
+TEST(TieredCampus, PrefixNamespacesNodes) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.prefix = "bldgA-";
+  spec.borders = 1;
+  spec.edges = 2;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  EXPECT_EQ(campus.borders[0], "bldgA-border-0");
+  EXPECT_EQ(campus.edges[1], "bldgA-edge-1");
+}
+
+TEST(TieredCampus, RejectsEmptySpecs) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  spec.borders = 0;
+  EXPECT_THROW(build_tiered_campus(fabric, spec), std::invalid_argument);
+}
+
+TEST(TieredCampus, EndToEndTrafficWorks) {
+  sim::Simulator sim;
+  SdaFabric fabric{sim, FabricConfig{}};
+  TieredCampusSpec spec;
+  const TieredCampus campus = build_tiered_campus(fabric, spec);
+  fabric.finalize();
+  fabric.define_vn({net::VnId{100}, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  for (int i = 0; i < 2; ++i) {
+    EndpointDefinition def;
+    def.credential = "h" + std::to_string(i);
+    def.secret = "pw";
+    def.mac = net::MacAddress::from_u64(0x02A0 + static_cast<unsigned>(i));
+    def.vn = net::VnId{100};
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+  }
+  net::Ipv4Address dst;
+  fabric.connect_endpoint("h0", campus.edges[0], 1);
+  fabric.connect_endpoint("h1", campus.edges[3], 1,
+                          [&](const OnboardResult& r) { dst = r.ip; });
+  sim.run();
+  int delivered = 0;
+  fabric.set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++delivered;
+      });
+  fabric.endpoint_send_udp(net::MacAddress::from_u64(0x02A0), dst, 443, 100);
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace sda::fabric

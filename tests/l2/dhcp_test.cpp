@@ -1,0 +1,93 @@
+#include "l2/dhcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sda::l2 {
+namespace {
+
+using net::Ipv4Prefix;
+using net::MacAddress;
+using net::VnId;
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct DhcpFixture : ::testing::Test {
+  void SetUp() override { server.add_pool(VnId{1}, *Ipv4Prefix::parse("10.1.0.0/24")); }
+  DhcpServer server;
+};
+
+TEST_F(DhcpFixture, AcquiresAddressInsidePool) {
+  const auto ip = server.acquire(VnId{1}, mac(1));
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(Ipv4Prefix::parse("10.1.0.0/24")->contains(*ip));
+  EXPECT_EQ(server.active_leases(VnId{1}), 1u);
+}
+
+TEST_F(DhcpFixture, LeasesAreStickyPerMac) {
+  const auto first = server.acquire(VnId{1}, mac(1));
+  const auto second = server.acquire(VnId{1}, mac(1));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(server.active_leases(VnId{1}), 1u);
+}
+
+TEST_F(DhcpFixture, DistinctMacsGetDistinctAddresses) {
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto ip = server.acquire(VnId{1}, mac(i));
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_TRUE(seen.insert(ip->value()).second) << ip->to_string();
+  }
+}
+
+TEST_F(DhcpFixture, UnknownVnRefused) {
+  EXPECT_FALSE(server.acquire(VnId{9}, mac(1)).has_value());
+}
+
+TEST_F(DhcpFixture, ReleaseRecyclesAddress) {
+  const auto ip = server.acquire(VnId{1}, mac(1));
+  EXPECT_TRUE(server.release(VnId{1}, mac(1)));
+  EXPECT_FALSE(server.release(VnId{1}, mac(1)));
+  EXPECT_EQ(server.active_leases(VnId{1}), 0u);
+  const auto reused = server.acquire(VnId{1}, mac(2));
+  EXPECT_EQ(ip, reused);
+}
+
+TEST_F(DhcpFixture, PoolExhaustion) {
+  server.add_pool(VnId{2}, *Ipv4Prefix::parse("10.2.0.0/29"), 1);  // 6 hosts - 1 reserved = 5
+  EXPECT_EQ(server.pool_capacity(VnId{2}), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(server.acquire(VnId{2}, mac(100 + i)).has_value()) << i;
+  }
+  EXPECT_FALSE(server.acquire(VnId{2}, mac(200)).has_value());
+  // Releasing one frees a slot.
+  EXPECT_TRUE(server.release(VnId{2}, mac(100)));
+  EXPECT_TRUE(server.acquire(VnId{2}, mac(200)).has_value());
+}
+
+TEST_F(DhcpFixture, ReservedSlotsSkipped) {
+  server.add_pool(VnId{3}, *Ipv4Prefix::parse("10.3.0.0/24"), 10);
+  const auto ip = server.acquire(VnId{3}, mac(1));
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "10.3.0.11");
+}
+
+TEST_F(DhcpFixture, LeaseOfQueriesWithoutAllocating) {
+  EXPECT_FALSE(server.lease_of(VnId{1}, mac(1)).has_value());
+  const auto ip = server.acquire(VnId{1}, mac(1));
+  EXPECT_EQ(server.lease_of(VnId{1}, mac(1)), ip);
+  EXPECT_EQ(server.active_leases(VnId{1}), 1u);
+}
+
+TEST_F(DhcpFixture, LargePoolCapacity) {
+  server.add_pool(VnId{4}, *Ipv4Prefix::parse("10.64.0.0/14"), 2);
+  EXPECT_GT(server.pool_capacity(VnId{4}), 200000u);
+  // 16k robots fit comfortably (warehouse scenario).
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(server.acquire(VnId{4}, mac(5000 + i)).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace sda::l2

@@ -1,0 +1,92 @@
+#include "l2/dhcp_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "l2/dhcp.hpp"
+
+namespace sda::l2 {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::MacAddress;
+using net::VnId;
+
+TEST(DhcpWire, MessageRoundTripAllOps) {
+  for (const auto op : {DhcpOp::Discover, DhcpOp::Offer, DhcpOp::Request, DhcpOp::Ack,
+                        DhcpOp::Nak, DhcpOp::Release}) {
+    DhcpMessage m;
+    m.op = op;
+    m.transaction_id = 0xDEAD0001;
+    m.client_mac = MacAddress::from_u64(0x02AB);
+    m.your_ip = *Ipv4Address::parse("10.1.0.5");
+    m.requested_ip = *Ipv4Address::parse("10.1.0.5");
+    m.lease_seconds = 86400;
+    net::ByteWriter w;
+    m.encode(w);
+    net::ByteReader r{w.data()};
+    EXPECT_EQ(DhcpMessage::decode(r), m);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(DhcpWire, DecodeRejectsBadOpAndTruncation) {
+  DhcpMessage m;
+  net::ByteWriter w;
+  m.encode(w);
+  auto bytes = w.data();
+  bytes[0] = 0;  // invalid op
+  net::ByteReader r{bytes};
+  EXPECT_FALSE(DhcpMessage::decode(r).has_value());
+  bytes[0] = 9;
+  net::ByteReader r2{bytes};
+  EXPECT_FALSE(DhcpMessage::decode(r2).has_value());
+
+  net::ByteWriter w2;
+  m.encode(w2);
+  const auto& full = w2.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader rr{std::span<const std::uint8_t>{full.data(), len}};
+    EXPECT_FALSE(DhcpMessage::decode(rr).has_value());
+  }
+}
+
+TEST(DhcpWire, DoraExchangeAllocatesAndRoundTrips) {
+  DhcpServer server;
+  server.add_pool(VnId{1}, *Ipv4Prefix::parse("10.1.0.0/24"));
+  const auto mac = MacAddress::from_u64(0x02CD);
+  const auto result = run_dora(server, VnId{1}, mac, 42);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->offer.your_ip, result->address);
+  EXPECT_EQ(result->request.requested_ip, result->address);
+  EXPECT_EQ(result->ack.your_ip, result->address);
+  EXPECT_EQ(result->discover.op, DhcpOp::Discover);
+  EXPECT_EQ(result->ack.op, DhcpOp::Ack);
+  for (const DhcpMessage* m :
+       {&result->discover, &result->offer, &result->request, &result->ack}) {
+    EXPECT_EQ(m->transaction_id, 42u);
+    EXPECT_EQ(m->client_mac, mac);
+  }
+  EXPECT_EQ(server.lease_of(VnId{1}, mac), result->address);
+}
+
+TEST(DhcpWire, DoraIsStickyAcrossRuns) {
+  DhcpServer server;
+  server.add_pool(VnId{1}, *Ipv4Prefix::parse("10.1.0.0/24"));
+  const auto mac = MacAddress::from_u64(0x02CD);
+  const auto first = run_dora(server, VnId{1}, mac, 1);
+  const auto second = run_dora(server, VnId{1}, mac, 2);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->address, second->address);
+}
+
+TEST(DhcpWire, DoraFailsOnExhaustedPool) {
+  DhcpServer server;
+  server.add_pool(VnId{1}, *Ipv4Prefix::parse("10.1.0.0/30"), 1);  // capacity 1
+  EXPECT_TRUE(run_dora(server, VnId{1}, MacAddress::from_u64(1), 1).has_value());
+  EXPECT_FALSE(run_dora(server, VnId{1}, MacAddress::from_u64(2), 2).has_value());
+}
+
+}  // namespace
+}  // namespace sda::l2

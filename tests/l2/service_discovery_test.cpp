@@ -1,0 +1,173 @@
+#include "l2/service_discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+
+namespace sda::l2 {
+namespace {
+
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::VnId;
+
+ServiceInstance printer(const char* name, std::uint64_t mac_suffix) {
+  return ServiceInstance{"_ipp._tcp", name, *Ipv4Address::parse("10.100.0.5"), 631,
+                         MacAddress::from_u64(0x0200'0000'0000ull | mac_suffix)};
+}
+
+TEST(ServiceRegistry, AdvertiseQueryWithdraw) {
+  ServiceRegistry registry;
+  registry.advertise(VnId{1}, printer("alice-printer", 1));
+  registry.advertise(VnId{1}, printer("bob-printer", 2));
+  registry.advertise(VnId{1}, {"_airplay._tcp", "tv", *Ipv4Address::parse("10.100.0.9"), 7000,
+                               MacAddress::from_u64(3)});
+
+  const auto printers = registry.query(VnId{1}, "_ipp._tcp");
+  ASSERT_EQ(printers.size(), 2u);
+  EXPECT_EQ(printers[0].name, "alice-printer");  // name-ordered
+  EXPECT_EQ(printers[1].name, "bob-printer");
+  EXPECT_EQ(registry.query(VnId{1}, "_airplay._tcp").size(), 1u);
+  EXPECT_TRUE(registry.query(VnId{1}, "_ssh._tcp").empty());
+
+  EXPECT_TRUE(registry.withdraw(VnId{1}, "_ipp._tcp", "alice-printer"));
+  EXPECT_FALSE(registry.withdraw(VnId{1}, "_ipp._tcp", "alice-printer"));
+  EXPECT_EQ(registry.query(VnId{1}, "_ipp._tcp").size(), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ServiceRegistry, VnIsolation) {
+  ServiceRegistry registry;
+  registry.advertise(VnId{1}, printer("p", 1));
+  EXPECT_TRUE(registry.query(VnId{2}, "_ipp._tcp").empty());
+}
+
+TEST(ServiceRegistry, ReAdvertiseReplaces) {
+  ServiceRegistry registry;
+  registry.advertise(VnId{1}, printer("p", 1));
+  ServiceInstance moved = printer("p", 1);
+  moved.address = *Ipv4Address::parse("10.100.0.77");
+  registry.advertise(VnId{1}, moved);
+  const auto found = registry.query(VnId{1}, "_ipp._tcp");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].address, *Ipv4Address::parse("10.100.0.77"));
+}
+
+TEST(ServiceRegistry, WithdrawProviderRemovesAllItsServices) {
+  ServiceRegistry registry;
+  registry.advertise(VnId{1}, printer("p1", 1));
+  registry.advertise(VnId{1}, {"_http._tcp", "web", *Ipv4Address::parse("10.100.0.5"), 80,
+                               MacAddress::from_u64(0x0200'0000'0001ull)});
+  registry.advertise(VnId{1}, printer("p2", 2));
+  EXPECT_EQ(registry.withdraw_provider(VnId{1}, MacAddress::from_u64(0x0200'0000'0001ull)), 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ServiceDiscoveryWire, QueryAndResponseRoundTrip) {
+  const ServiceQuery query{VnId{100}, "_ipp._tcp"};
+  net::ByteWriter w;
+  query.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_EQ(ServiceQuery::decode(r), query);
+
+  ServiceResponse response;
+  response.instances = {printer("a", 1), printer("b", 2)};
+  net::ByteWriter w2;
+  response.encode(w2);
+  net::ByteReader r2{w2.data()};
+  EXPECT_EQ(ServiceResponse::decode(r2), response);
+
+  // Truncation safety.
+  const auto& full = w2.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader rr{std::span<const std::uint8_t>{full.data(), len}};
+    EXPECT_FALSE(ServiceResponse::decode(rr).has_value()) << len;
+  }
+}
+
+// --- Fabric integration ----------------------------------------------------
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct DiscoveryFixture : ::testing::Test {
+  void SetUp() override {
+    fabric = std::make_unique<fabric::SdaFabric>(sim, fabric::FabricConfig{});
+    fabric->add_border("b0");
+    fabric->add_edge("e0");
+    fabric->add_edge("e1");
+    fabric->link("e0", "b0");
+    fabric->link("e1", "b0");
+    fabric->finalize();
+    fabric->define_vn({VnId{100}, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+    fabric->define_vn({VnId{200}, "guest", *net::Ipv4Prefix::parse("10.200.0.0/16")});
+    provision("printer-host", mac(1), VnId{100});
+    provision("laptop", mac(2), VnId{100});
+    provision("guest", mac(3), VnId{200});
+    connect("printer-host", "e0");
+    connect("laptop", "e1");
+    connect("guest", "e1");
+  }
+
+  void provision(const std::string& credential, MacAddress m, VnId vn) {
+    fabric->provision_endpoint({credential, "pw", m, vn, GroupId{10}});
+  }
+  void connect(const std::string& credential, const std::string& edge) {
+    fabric->connect_endpoint(credential, edge, 1);
+    sim.run();
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<fabric::SdaFabric> fabric;
+};
+
+TEST_F(DiscoveryFixture, CrossEdgeDiscoveryWithoutBroadcast) {
+  ASSERT_TRUE(fabric->advertise_service(mac(1), "_ipp._tcp", "hall-printer", 631));
+  sim.run();
+
+  std::vector<ServiceInstance> found;
+  ASSERT_TRUE(fabric->endpoint_query_service(mac(2), "_ipp._tcp",
+                                             [&](std::vector<ServiceInstance> r) {
+                                               found = std::move(r);
+                                             }));
+  EXPECT_TRUE(found.empty());  // answer arrives only after the control RTT
+  sim.run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "hall-printer");
+  EXPECT_EQ(found[0].port, 631);
+  EXPECT_EQ(found[0].provider, mac(1));
+  // No data-plane broadcast was involved at all.
+  EXPECT_EQ(fabric->edge("e0").counters().encapsulated, 0u);
+  EXPECT_EQ(fabric->edge("e1").counters().encapsulated, 0u);
+}
+
+TEST_F(DiscoveryFixture, QueriesAreVnScoped) {
+  ASSERT_TRUE(fabric->advertise_service(mac(1), "_ipp._tcp", "hall-printer", 631));
+  sim.run();
+  std::vector<ServiceInstance> found{printer("sentinel", 9)};
+  ASSERT_TRUE(fabric->endpoint_query_service(mac(3), "_ipp._tcp",
+                                             [&](std::vector<ServiceInstance> r) {
+                                               found = std::move(r);
+                                             }));
+  sim.run();
+  EXPECT_TRUE(found.empty());  // guest VN sees nothing from corp
+}
+
+TEST_F(DiscoveryFixture, DisconnectWithdrawsServices) {
+  ASSERT_TRUE(fabric->advertise_service(mac(1), "_ipp._tcp", "hall-printer", 631));
+  sim.run();
+  EXPECT_EQ(fabric->service_registry().size(), 1u);
+  fabric->disconnect_endpoint(mac(1));
+  sim.run();
+  EXPECT_EQ(fabric->service_registry().size(), 0u);
+}
+
+TEST_F(DiscoveryFixture, DetachedEndpointCannotUseDiscovery) {
+  fabric->disconnect_endpoint(mac(2));
+  sim.run();
+  EXPECT_FALSE(fabric->advertise_service(mac(2), "_x._tcp", "x", 1));
+  EXPECT_FALSE(fabric->endpoint_query_service(mac(2), "_x._tcp", {}));
+}
+
+}  // namespace
+}  // namespace sda::l2

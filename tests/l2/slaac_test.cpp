@@ -1,0 +1,41 @@
+#include "l2/slaac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::l2 {
+namespace {
+
+TEST(Slaac, Eui64FlipsUniversalBitAndInsertsFffe) {
+  // Classic RFC 4291 example: 00:11:22:33:44:55 -> 0211:22ff:fe33:4455.
+  const auto iid = eui64_interface_id(*net::MacAddress::parse("00:11:22:33:44:55"));
+  const std::array<std::uint8_t, 8> expected = {0x02, 0x11, 0x22, 0xFF, 0xFE, 0x33, 0x44, 0x55};
+  EXPECT_EQ(iid, expected);
+}
+
+TEST(Slaac, LocallyAdministeredMacClearsBit) {
+  const auto iid = eui64_interface_id(*net::MacAddress::parse("02:00:00:00:00:01"));
+  EXPECT_EQ(iid[0], 0x00);  // U/L bit inverted back
+}
+
+TEST(Slaac, AddressCombinesPrefixAndIid) {
+  const auto prefix = *net::Ipv6Prefix::parse("2001:db8:1:2::/64");
+  const auto addr = slaac_address(prefix, *net::MacAddress::parse("00:11:22:33:44:55"));
+  EXPECT_EQ(addr.to_string(), "2001:db8:1:2:211:22ff:fe33:4455");
+  EXPECT_TRUE(prefix.contains(addr));
+}
+
+TEST(Slaac, DistinctMacsDistinctAddresses) {
+  const auto prefix = *net::Ipv6Prefix::parse("fd00::/64");
+  const auto a = slaac_address(prefix, net::MacAddress::from_u64(1));
+  const auto b = slaac_address(prefix, net::MacAddress::from_u64(2));
+  EXPECT_NE(a, b);
+}
+
+TEST(Slaac, DeterministicDerivation) {
+  const auto prefix = *net::Ipv6Prefix::parse("fd00::/64");
+  const auto mac = net::MacAddress::from_u64(0x02ABCDEF0123ull);
+  EXPECT_EQ(slaac_address(prefix, mac), slaac_address(prefix, mac));
+}
+
+}  // namespace
+}  // namespace sda::l2

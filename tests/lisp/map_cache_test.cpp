@@ -1,0 +1,154 @@
+#include "lisp/map_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::lisp {
+namespace {
+
+using net::Eid;
+using net::Ipv4Address;
+using net::Rloc;
+using net::VnEid;
+using net::VnId;
+
+VnEid eid(const char* ip) { return VnEid{VnId{1}, Eid{*Ipv4Address::parse(ip)}}; }
+
+MapReply reply(const char* rloc_ip, std::uint32_t ttl = 3600) {
+  MapReply r;
+  r.rlocs = {Rloc{*Ipv4Address::parse(rloc_ip)}};
+  r.ttl_seconds = ttl;
+  return r;
+}
+
+MapReply negative_reply(std::uint32_t ttl = 60) {
+  MapReply r;
+  r.action = MapReplyAction::NativelyForward;
+  r.ttl_seconds = ttl;
+  return r;
+}
+
+sim::SimTime at_s(int s) { return sim::SimTime{std::chrono::seconds{s}}; }
+
+TEST(MapCache, InstallAndLookup) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), reply("10.0.0.2"), at_s(0));
+  const auto* entry = cache.lookup(eid("10.1.0.5"), at_s(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->primary_rloc(), *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.positive_size(), 1u);
+}
+
+TEST(MapCache, MissCounts) {
+  MapCache cache;
+  EXPECT_EQ(cache.lookup(eid("10.1.0.5"), at_s(0)), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MapCache, EntriesExpireByTtl) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), reply("10.0.0.2", 100), at_s(0));
+  EXPECT_NE(cache.lookup(eid("10.1.0.5"), at_s(99)), nullptr);
+  EXPECT_EQ(cache.lookup(eid("10.1.0.5"), at_s(100)), nullptr);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MapCache, NegativeEntriesCachedButNotCountedPositive) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), negative_reply(), at_s(0));
+  const auto* entry = cache.lookup(eid("10.1.0.5"), at_s(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->negative());
+  EXPECT_EQ(cache.positive_size(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MapCache, PositiveReplacesNegative) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), negative_reply(), at_s(0));
+  cache.install(eid("10.1.0.5"), reply("10.0.0.2"), at_s(1));
+  EXPECT_EQ(cache.positive_size(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup(eid("10.1.0.5"), at_s(2))->negative());
+}
+
+TEST(MapCache, LruEvictionAtCapacity) {
+  MapCache cache{3};
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.3"), reply("10.0.0.2"), at_s(0));
+  // Touch .1 so .2 becomes the LRU victim.
+  EXPECT_NE(cache.lookup(eid("10.1.0.1"), at_s(1)), nullptr);
+  cache.install(eid("10.1.0.4"), reply("10.0.0.2"), at_s(2));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup(eid("10.1.0.2"), at_s(3)), nullptr);
+  EXPECT_NE(cache.lookup(eid("10.1.0.1"), at_s(3)), nullptr);
+  EXPECT_NE(cache.lookup(eid("10.1.0.4"), at_s(3)), nullptr);
+}
+
+TEST(MapCache, InvalidateSingleEntry) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), reply("10.0.0.2"), at_s(0));
+  EXPECT_TRUE(cache.invalidate(eid("10.1.0.5")));
+  EXPECT_FALSE(cache.invalidate(eid("10.1.0.5")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MapCache, InvalidateRlocPurgesOnlyThatRloc) {
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.3"), reply("10.0.0.9"), at_s(0));
+  cache.install(eid("10.1.0.4"), negative_reply(), at_s(0));
+  EXPECT_EQ(cache.invalidate_rloc(*Ipv4Address::parse("10.0.0.2")), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup(eid("10.1.0.3"), at_s(1)), nullptr);
+}
+
+TEST(MapCache, SweepRemovesExpired) {
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2", 10), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.2", 1000), at_s(0));
+  EXPECT_EQ(cache.sweep(at_s(100)), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MapCache, InstallFromNotifyUpdatesLocation) {
+  MapCache cache;
+  cache.install(eid("10.1.0.5"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.5"), {Rloc{*Ipv4Address::parse("10.0.0.7")}}, 600, at_s(5));
+  const auto* entry = cache.lookup(eid("10.1.0.5"), at_s(6));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->primary_rloc(), *Ipv4Address::parse("10.0.0.7"));
+}
+
+TEST(MapCache, ClearDropsEverything) {
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), negative_reply(), at_s(0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.positive_size(), 0u);
+}
+
+TEST(MapCache, WalkVisitsAll) {
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.3"), at_s(0));
+  int count = 0;
+  cache.walk([&](const VnEid&, const MapCacheEntry&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MapCache, GroupTagCarriedFromReply) {
+  MapCache cache;
+  MapReply r = reply("10.0.0.2");
+  r.group = 77;
+  cache.install(eid("10.1.0.5"), r, at_s(0));
+  EXPECT_EQ(cache.lookup(eid("10.1.0.5"), at_s(1))->group, net::GroupId{77});
+}
+
+}  // namespace
+}  // namespace sda::lisp

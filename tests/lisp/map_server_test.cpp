@@ -1,0 +1,188 @@
+#include "lisp/map_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::lisp {
+namespace {
+
+using net::Eid;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::Rloc;
+using net::VnEid;
+using net::VnId;
+
+VnEid eid(std::uint32_t vn, const char* ip) {
+  return VnEid{VnId{vn}, Eid{*Ipv4Address::parse(ip)}};
+}
+
+MappingRecord record(const char* rloc_ip, std::uint32_t ttl = 3600) {
+  MappingRecord r;
+  r.rlocs = {Rloc{*Ipv4Address::parse(rloc_ip)}};
+  r.ttl_seconds = ttl;
+  return r;
+}
+
+TEST(MapServer, RegisterAndResolve) {
+  MapServer server;
+  const auto outcome = server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  EXPECT_TRUE(outcome.created);
+  EXPECT_FALSE(outcome.moved);
+  const auto resolved = server.resolve(eid(1, "10.1.0.5"));
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->primary_rloc(), *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(server.mapping_count(), 1u);
+}
+
+TEST(MapServer, ResolveUnknownIsNegative) {
+  MapServer server;
+  EXPECT_FALSE(server.resolve(eid(1, "10.1.0.9")).has_value());
+}
+
+TEST(MapServer, VnsAreIsolated) {
+  MapServer server;
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  EXPECT_FALSE(server.resolve(eid(2, "10.1.0.5")).has_value());
+  EXPECT_EQ(server.mapping_count(VnId{1}), 1u);
+  EXPECT_EQ(server.mapping_count(VnId{2}), 0u);
+}
+
+TEST(MapServer, ReRegisterSameRlocIsRefreshNotMove) {
+  MapServer server;
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  const auto outcome = server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  EXPECT_FALSE(outcome.created);
+  EXPECT_FALSE(outcome.moved);
+  EXPECT_EQ(server.stats().moves, 0u);
+}
+
+TEST(MapServer, MoveDetectedAndCallbackFired) {
+  MapServer server;
+  VnEid moved_eid{};
+  Ipv4Address old_rloc{};
+  server.set_move_callback([&](const VnEid& e, Ipv4Address prev, const MappingRecord&) {
+    moved_eid = e;
+    old_rloc = prev;
+  });
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  const auto outcome = server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.3"));
+  EXPECT_TRUE(outcome.moved);
+  EXPECT_EQ(outcome.previous_rloc, *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(moved_eid, eid(1, "10.1.0.5"));
+  EXPECT_EQ(old_rloc, *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_EQ(server.stats().moves, 1u);
+}
+
+TEST(MapServer, PublishFiredOnCreateMoveAndWithdraw) {
+  MapServer server;
+  int installs = 0, withdrawals = 0;
+  server.set_publish_callback([&](const VnEid&, const MappingRecord* r) {
+    if (r) {
+      ++installs;
+    } else {
+      ++withdrawals;
+    }
+  });
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));  // refresh: no publish
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.3"));  // move
+  server.deregister(eid(1, "10.1.0.5"), *Ipv4Address::parse("10.0.0.3"));
+  EXPECT_EQ(installs, 2);
+  EXPECT_EQ(withdrawals, 1);
+}
+
+TEST(MapServer, DeregisterRequiresOwnership) {
+  MapServer server;
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  EXPECT_FALSE(server.deregister(eid(1, "10.1.0.5"), *Ipv4Address::parse("10.0.0.9")));
+  EXPECT_EQ(server.mapping_count(), 1u);
+  EXPECT_TRUE(server.deregister(eid(1, "10.1.0.5"), *Ipv4Address::parse("10.0.0.2")));
+  EXPECT_EQ(server.mapping_count(), 0u);
+}
+
+TEST(MapServer, PrefixResolutionPrefersHostRoutes) {
+  MapServer server;
+  server.register_prefix(VnId{1}, *Ipv4Prefix::parse("0.0.0.0/0"), record("10.0.0.1"));
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.7"));
+  EXPECT_EQ(server.resolve(eid(1, "10.1.0.5"))->primary_rloc(), *Ipv4Address::parse("10.0.0.7"));
+  EXPECT_EQ(server.resolve(eid(1, "8.8.8.8"))->primary_rloc(), *Ipv4Address::parse("10.0.0.1"));
+}
+
+TEST(MapServer, AnswerBuildsPositiveAndNegativeReplies) {
+  MapServer server;
+  MappingRecord rec = record("10.0.0.2", 7200);
+  rec.group = net::GroupId{33};
+  server.register_mapping(eid(1, "10.1.0.5"), rec);
+
+  MapRequest hit;
+  hit.nonce = 5;
+  hit.eid = eid(1, "10.1.0.5");
+  const MapReply positive = server.answer(hit);
+  EXPECT_EQ(positive.nonce, 5u);
+  EXPECT_FALSE(positive.negative());
+  EXPECT_EQ(positive.ttl_seconds, 7200u);
+  EXPECT_EQ(positive.group, 33);
+
+  MapRequest miss;
+  miss.nonce = 6;
+  miss.eid = eid(1, "10.9.9.9");
+  const MapReply negative = server.answer(miss);
+  EXPECT_TRUE(negative.negative());
+  EXPECT_EQ(negative.action, MapReplyAction::NativelyForward);
+  EXPECT_EQ(negative.ttl_seconds, 60u);
+  EXPECT_EQ(server.stats().negative_replies, 1u);
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+TEST(MapServer, MacEidsSupported) {
+  MapServer server;
+  const VnEid mac_eid{VnId{1}, Eid{net::MacAddress::from_u64(0x02AB)}};
+  server.register_mapping(mac_eid, record("10.0.0.4"));
+  EXPECT_EQ(server.resolve(mac_eid)->primary_rloc(), *Ipv4Address::parse("10.0.0.4"));
+}
+
+TEST(MapServer, Ipv6EidsSupported) {
+  MapServer server;
+  const VnEid v6{VnId{1}, Eid{*net::Ipv6Address::parse("2001:db8::42")}};
+  server.register_mapping(v6, record("10.0.0.4"));
+  EXPECT_TRUE(server.resolve(v6).has_value());
+  EXPECT_FALSE(
+      server.resolve(VnEid{VnId{1}, Eid{*net::Ipv6Address::parse("2001:db8::43")}}).has_value());
+}
+
+TEST(MapServer, WalkVisitsHostMappingsOnly) {
+  MapServer server;
+  server.register_prefix(VnId{1}, *Ipv4Prefix::parse("0.0.0.0/0"), record("10.0.0.1"));
+  server.register_mapping(eid(1, "10.1.0.5"), record("10.0.0.2"));
+  server.register_mapping(eid(2, "10.1.0.6"), record("10.0.0.3"));
+  std::vector<VnEid> seen;
+  server.walk([&](const VnEid& e, const MappingRecord&) { seen.push_back(e); });
+  ASSERT_EQ(seen.size(), 2u);  // the /0 prefix is infrastructure, not walked
+  EXPECT_EQ(seen[0], eid(1, "10.1.0.5"));
+  EXPECT_EQ(seen[1], eid(2, "10.1.0.6"));
+}
+
+TEST(MapServer, L2Bindings) {
+  MapServer server;
+  const auto ip_eid = eid(1, "10.1.0.5");
+  const auto mac = net::MacAddress::from_u64(0x02CD);
+  EXPECT_FALSE(server.lookup_mac(ip_eid).has_value());
+  server.bind_l2(ip_eid, mac);
+  EXPECT_EQ(server.lookup_mac(ip_eid), mac);
+  EXPECT_TRUE(server.unbind_l2(ip_eid));
+  EXPECT_FALSE(server.lookup_mac(ip_eid).has_value());
+  EXPECT_FALSE(server.unbind_l2(ip_eid));
+}
+
+TEST(MapServer, ScalesToManyMappings) {
+  MapServer server;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    server.register_mapping(VnEid{VnId{1}, Eid{Ipv4Address{0x0A010000u + i}}},
+                            record(i % 2 ? "10.0.0.2" : "10.0.0.3"));
+  }
+  EXPECT_EQ(server.mapping_count(), 10000u);
+  EXPECT_TRUE(server.resolve(VnEid{VnId{1}, Eid{Ipv4Address{0x0A010000u + 9999}}}).has_value());
+}
+
+}  // namespace
+}  // namespace sda::lisp

@@ -1,0 +1,158 @@
+#include "lisp/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::lisp {
+namespace {
+
+using net::Eid;
+using net::Ipv4Address;
+using net::Rloc;
+using net::VnEid;
+using net::VnId;
+
+VnEid sample_eid() { return VnEid{VnId{100}, Eid{Ipv4Address{10, 1, 2, 3}}}; }
+
+TEST(Messages, MapRequestRoundTrip) {
+  const MapRequest m{0xDEADBEEF12345678ull, sample_eid(), Ipv4Address{10, 0, 0, 5}, true};
+  const auto bytes = encode_message(Message{m});
+  const auto decoded = decode_message(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MapRequest>(*decoded), m);
+}
+
+TEST(Messages, MapReplyPositiveRoundTrip) {
+  MapReply m;
+  m.nonce = 7;
+  m.eid = sample_eid();
+  m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 2}, 1, 50}, Rloc{Ipv4Address{10, 0, 0, 3}, 2, 50}};
+  m.action = MapReplyAction::NoAction;
+  m.ttl_seconds = 3600;
+  m.group = 42;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MapReply>(*decoded), m);
+  EXPECT_FALSE(std::get<MapReply>(*decoded).negative());
+}
+
+TEST(Messages, MapReplyNegativeRoundTrip) {
+  MapReply m;
+  m.nonce = 9;
+  m.eid = sample_eid();
+  m.action = MapReplyAction::NativelyForward;
+  m.ttl_seconds = 60;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<MapReply>(*decoded).negative());
+  EXPECT_EQ(std::get<MapReply>(*decoded).action, MapReplyAction::NativelyForward);
+}
+
+TEST(Messages, MapRegisterRoundTrip) {
+  MapRegister m;
+  m.nonce = 11;
+  m.eid = VnEid{VnId{5}, Eid{net::MacAddress::from_u64(0x02AB)}};  // MAC EID (§3.5)
+  m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 9}}};
+  m.ttl_seconds = 86400;
+  m.want_notify = false;
+  m.group = 30;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MapRegister>(*decoded), m);
+}
+
+TEST(Messages, MapNotifyRoundTrip) {
+  const MapNotify m{3, sample_eid(), {Rloc{Ipv4Address{10, 0, 0, 4}}}};
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MapNotify>(*decoded), m);
+}
+
+TEST(Messages, SmrRoundTrip) {
+  const SolicitMapRequest m{sample_eid(), Ipv4Address{10, 0, 0, 6}};
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SolicitMapRequest>(*decoded), m);
+}
+
+TEST(Messages, SubscribeAndPublishRoundTrip) {
+  const Subscribe s{Ipv4Address{10, 0, 0, 1}, 0};
+  const auto ds = decode_message(encode_message(Message{s}));
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(std::get<Subscribe>(*ds), s);
+
+  Publish p;
+  p.eid = sample_eid();
+  p.rlocs = {Rloc{Ipv4Address{10, 0, 0, 2}}};
+  p.ttl_seconds = 100;
+  const auto dp = decode_message(encode_message(Message{p}));
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(std::get<Publish>(*dp), p);
+  EXPECT_FALSE(std::get<Publish>(*dp).withdrawal());
+
+  Publish withdrawal;
+  withdrawal.eid = sample_eid();
+  const auto dw = decode_message(encode_message(Message{withdrawal}));
+  ASSERT_TRUE(dw.has_value());
+  EXPECT_TRUE(std::get<Publish>(*dw).withdrawal());
+}
+
+TEST(Messages, Ipv6EidRoundTrip) {
+  MapRequest m;
+  m.eid = VnEid{VnId{2}, Eid{*net::Ipv6Address::parse("2001:db8::42")}};
+  m.itr_rloc = Ipv4Address{10, 0, 0, 1};
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<MapRequest>(*decoded).eid, m.eid);
+}
+
+TEST(Messages, UnknownTypeTagRejected) {
+  std::vector<std::uint8_t> bytes = {99, 0, 0, 0};
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, EmptyInputRejected) {
+  EXPECT_FALSE(decode_message({}).has_value());
+}
+
+TEST(Messages, EveryTruncationRejected) {
+  MapReply m;
+  m.nonce = 7;
+  m.eid = sample_eid();
+  m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 2}}};
+  const auto full = encode_message(Message{m});
+  for (std::size_t len = 1; len < full.size(); ++len) {
+    EXPECT_FALSE(decode_message({full.data(), len}).has_value()) << len;
+  }
+}
+
+TEST(Messages, InvalidActionRejected) {
+  MapReply m;
+  m.eid = sample_eid();
+  auto bytes = encode_message(Message{m});
+  // action byte sits right after nonce(8) + vn(3) + family(1) + addr(4) +
+  // rloc count(1); tag(1) first.
+  const std::size_t action_offset = 1 + 8 + 3 + 1 + 4 + 1;
+  bytes[action_offset] = 7;
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Messages, WireSizeMatchesEncoding) {
+  MapRegister m;
+  m.eid = sample_eid();
+  m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 9}}};
+  const Message msg{m};
+  EXPECT_EQ(message_wire_size(msg), encode_message(msg).size());
+}
+
+TEST(Messages, TypeNames) {
+  EXPECT_EQ(message_type_name(Message{MapRequest{}}), "map-request");
+  EXPECT_EQ(message_type_name(Message{MapReply{}}), "map-reply");
+  EXPECT_EQ(message_type_name(Message{MapRegister{}}), "map-register");
+  EXPECT_EQ(message_type_name(Message{MapNotify{}}), "map-notify");
+  EXPECT_EQ(message_type_name(Message{SolicitMapRequest{}}), "smr");
+  EXPECT_EQ(message_type_name(Message{Subscribe{}}), "subscribe");
+  EXPECT_EQ(message_type_name(Message{Publish{}}), "publish");
+}
+
+}  // namespace
+}  // namespace sda::lisp

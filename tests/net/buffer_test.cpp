@@ -1,0 +1,115 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::net {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+  ByteWriter w;
+  w.write_u8(0x01);
+  w.write_u16(0x0203);
+  w.write_u24(0x040506);
+  w.write_u32(0x0708090A);
+  w.write_u64(0x0B0C0D0E0F101112ull);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 1u + 2 + 3 + 4 + 8);
+  const std::vector<std::uint8_t> expected = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                              0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                                              0x0D, 0x0E, 0x0F, 0x10, 0x11, 0x12};
+  EXPECT_EQ(d, expected);
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0xCDEF);
+  w.write_u24(0x123456);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFull);
+  w.write_string("hello sda");
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0xCDEF);
+  EXPECT_EQ(r.read_u24(), 0x123456u);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.read_string(), "hello sda");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, RefusesToReadPastEnd) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  ByteReader r{three};
+  EXPECT_FALSE(r.read_u32().has_value());
+  // Failed reads of composite types may consume partial data; a fresh
+  // reader still reads what exists.
+  ByteReader r2{three};
+  EXPECT_TRUE(r2.read_u16().has_value());
+  EXPECT_FALSE(r2.read_u16().has_value());
+  EXPECT_TRUE(r2.read_u8().has_value());
+  EXPECT_FALSE(r2.read_u8().has_value());
+}
+
+TEST(ByteReader, EmptyInput) {
+  ByteReader r{std::span<const std::uint8_t>{}};
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.read_u8().has_value());
+  EXPECT_FALSE(r.read_string().has_value());
+  EXPECT_FALSE(r.read_array<4>().has_value());
+}
+
+TEST(ByteReader, ReadBytesAndArrays) {
+  ByteWriter w;
+  w.write_array<4>({9, 8, 7, 6});
+  w.write_u8(42);
+  ByteReader r{w.data()};
+  const auto arr = r.read_array<4>();
+  ASSERT_TRUE(arr.has_value());
+  EXPECT_EQ((*arr)[0], 9);
+  EXPECT_EQ((*arr)[3], 6);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, StringWithTruncatedBody) {
+  ByteWriter w;
+  w.write_u16(10);  // claims 10 bytes
+  w.write_u8('x');  // only 1 present
+  ByteReader r{w.data()};
+  EXPECT_FALSE(r.read_string().has_value());
+}
+
+TEST(ByteWriter, PatchU16BackfillsLength) {
+  ByteWriter w;
+  w.write_u16(0);  // placeholder
+  w.write_u32(0x11223344);
+  w.patch_u16(0, static_cast<std::uint16_t>(w.size()));
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u16(), 6);
+}
+
+TEST(ByteWriter, EmptyStringRoundTrip) {
+  ByteWriter w;
+  w.write_string("");
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+struct IntWidth : ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntWidth, U64RoundTrip) {
+  ByteWriter w;
+  w.write_u64(GetParam());
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u64(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, IntWidth,
+                         ::testing::Values(0ull, 1ull, 0xFFull, 0x100ull, 0xFFFFull,
+                                           0xFFFFFFFFull, 0x100000000ull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,53 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sda::net {
+namespace {
+
+TEST(Checksum, Rfc1071ReferenceVector) {
+  // Classic example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2,
+  // checksum = ~0xddf2 = 0x220d.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Checksum, EmptyInputIsAllOnesComplement) {
+  EXPECT_EQ(internet_checksum({}), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd = {0xAB};
+  // Sum = 0xAB00, checksum = ~0xAB00.
+  EXPECT_EQ(internet_checksum(odd), static_cast<std::uint16_t>(~0xAB00));
+}
+
+TEST(Checksum, VerificationYieldsZero) {
+  // A header with its checksum field filled in must re-checksum to 0.
+  std::vector<std::uint8_t> header = {0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00,
+                                      0x40, 0x06, 0x00, 0x00, 0xac, 0x10, 0x0a, 0x63,
+                                      0xac, 0x10, 0x0a, 0x0c};
+  const std::uint16_t sum = internet_checksum(header);
+  header[10] = static_cast<std::uint8_t>(sum >> 8);
+  header[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  const std::uint16_t before = internet_checksum(data);
+  data[13] ^= 0x20;
+  EXPECT_NE(internet_checksum(data), before);
+}
+
+TEST(Checksum, FoldHandlesLargeCarries) {
+  EXPECT_EQ(fold_checksum(0x0001FFFFu), static_cast<std::uint16_t>(~0x0001u));
+  // 0xFFFF + 0xFFFF folds to 0x1FFFE -> 0xFFFF; complement is 0.
+  EXPECT_EQ(fold_checksum(0xFFFFFFFFu), 0);
+}
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,106 @@
+#include "net/eid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sda::net {
+namespace {
+
+TEST(Eid, FamiliesAndAccessors) {
+  const Eid v4{Ipv4Address{10, 0, 0, 1}};
+  const Eid v6{*Ipv6Address::parse("2001:db8::1")};
+  const Eid mac{MacAddress::from_u64(0x02AB)};
+  EXPECT_TRUE(v4.is_ipv4());
+  EXPECT_TRUE(v6.is_ipv6());
+  EXPECT_TRUE(mac.is_mac());
+  EXPECT_EQ(v4.bit_width(), 32);
+  EXPECT_EQ(v6.bit_width(), 128);
+  EXPECT_EQ(mac.bit_width(), 48);
+}
+
+TEST(Eid, ToStringMatchesUnderlyingType) {
+  EXPECT_EQ((Eid{Ipv4Address{10, 0, 0, 1}}.to_string()), "10.0.0.1");
+  EXPECT_EQ(Eid{MacAddress::from_u64(0xAABBCCDDEEFFull)}.to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(Eid, WireRoundTripAllFamilies) {
+  for (const Eid& eid : {Eid{Ipv4Address{1, 2, 3, 4}}, Eid{*Ipv6Address::parse("fe80::9")},
+                         Eid{MacAddress::from_u64(0x020011223344ull)}}) {
+    ByteWriter w;
+    eid.encode(w);
+    ByteReader r{w.data()};
+    const auto decoded = Eid::decode(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, eid);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Eid, DecodeRejectsBadFamilyAndTruncation) {
+  ByteWriter w;
+  w.write_u8(99);  // unknown family
+  w.write_u32(0);
+  ByteReader r{w.data()};
+  EXPECT_FALSE(Eid::decode(r).has_value());
+
+  ByteWriter w2;
+  w2.write_u8(2);  // IPv6 but only 3 bytes follow
+  w2.write_u24(0);
+  ByteReader r2{w2.data()};
+  EXPECT_FALSE(Eid::decode(r2).has_value());
+}
+
+TEST(Eid, CrossFamilyOrderingIsStable) {
+  const Eid v4{Ipv4Address{1, 1, 1, 1}};
+  const Eid v6{*Ipv6Address::parse("::1")};
+  // variant index order: v4 < v6 < mac.
+  EXPECT_LT(v4, v6);
+}
+
+TEST(Eid, HashSeparatesFamilies) {
+  // Same leading bytes, different family, must hash differently almost
+  // always; at minimum they must not compare equal.
+  const Eid v4{Ipv4Address{0, 0, 0, 1}};
+  const Eid mac{MacAddress::from_u64(1)};
+  EXPECT_NE(v4, mac);
+  std::unordered_set<Eid> set{v4, mac};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rloc, WireRoundTrip) {
+  const Rloc rloc{Ipv4Address{10, 0, 0, 3}, 2, 50};
+  ByteWriter w;
+  rloc.encode(w);
+  ByteReader r{w.data()};
+  EXPECT_EQ(Rloc::decode(r), rloc);
+}
+
+TEST(VnEid, WireRoundTrip) {
+  const VnEid ve{VnId{0xABCDEF}, Eid{Ipv4Address{10, 9, 8, 7}}};
+  ByteWriter w;
+  ve.encode(w);
+  ByteReader r{w.data()};
+  EXPECT_EQ(VnEid::decode(r), ve);
+}
+
+TEST(VnEid, SameEidDifferentVnAreDistinct) {
+  const Eid eid{Ipv4Address{10, 0, 0, 1}};
+  const VnEid a{VnId{1}, eid};
+  const VnEid b{VnId{2}, eid};
+  EXPECT_NE(a, b);
+  std::unordered_set<VnEid> set{a, b};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(VnId, MaskedTo24Bits) {
+  EXPECT_EQ(VnId{0xFF123456u}.value(), 0x123456u);
+}
+
+TEST(GroupId, UnknownSemantics) {
+  EXPECT_TRUE(GroupId::unknown().is_unknown());
+  EXPECT_FALSE(GroupId{7}.is_unknown());
+}
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,232 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::net {
+namespace {
+
+template <typename H>
+H round_trip(const H& header) {
+  ByteWriter w;
+  header.encode(w);
+  ByteReader r{w.data()};
+  const auto decoded = H::decode(r);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(r.exhausted());
+  return decoded.value_or(H{});
+}
+
+TEST(EthernetHeader, RoundTrip) {
+  EthernetHeader h;
+  h.destination = MacAddress::from_u64(0x112233445566ull);
+  h.source = MacAddress::from_u64(0xAABBCCDDEEFFull);
+  h.ether_type = static_cast<std::uint16_t>(EtherType::Ipv4);
+  EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(EthernetHeader, WireSizeIs14) {
+  ByteWriter w;
+  EthernetHeader{}.encode(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kWireSize);
+}
+
+TEST(VlanTag, RoundTripAndFieldPacking) {
+  VlanTag tag;
+  tag.vlan_id = 0x0ABC;
+  tag.pcp = 5;
+  tag.ether_type = static_cast<std::uint16_t>(EtherType::Arp);
+  const VlanTag decoded = round_trip(tag);
+  EXPECT_EQ(decoded.vlan_id, 0x0ABC);
+  EXPECT_EQ(decoded.pcp, 5);
+}
+
+TEST(Ipv4Header, RoundTripWithChecksum) {
+  Ipv4Header h;
+  h.dscp = 10;
+  h.total_length = 1500;
+  h.identification = 0x4242;
+  h.ttl = 17;
+  h.protocol = static_cast<std::uint8_t>(IpProtocol::Udp);
+  h.source = Ipv4Address{10, 0, 0, 1};
+  h.destination = Ipv4Address{10, 0, 0, 2};
+  EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(Ipv4Header, RejectsCorruptedChecksum) {
+  Ipv4Header h;
+  h.total_length = 100;
+  h.source = Ipv4Address{1, 2, 3, 4};
+  h.destination = Ipv4Address{5, 6, 7, 8};
+  ByteWriter w;
+  h.encode(w);
+  auto bytes = w.data();
+  bytes[8] ^= 0xFF;  // corrupt TTL
+  ByteReader r{bytes};
+  EXPECT_FALSE(Ipv4Header::decode(r).has_value());
+}
+
+TEST(Ipv4Header, RejectsWrongVersionOrOptions) {
+  ByteWriter w;
+  Ipv4Header{}.encode(w);
+  auto bytes = w.data();
+  bytes[0] = 0x46;  // IHL 6 (options) unsupported
+  ByteReader r{bytes};
+  EXPECT_FALSE(Ipv4Header::decode(r).has_value());
+  bytes[0] = 0x65;  // version 6
+  ByteReader r2{bytes};
+  EXPECT_FALSE(Ipv4Header::decode(r2).has_value());
+}
+
+TEST(Ipv4Header, RejectsTruncated) {
+  ByteWriter w;
+  Ipv4Header{}.encode(w);
+  auto bytes = w.data();
+  bytes.resize(10);
+  ByteReader r{bytes};
+  EXPECT_FALSE(Ipv4Header::decode(r).has_value());
+}
+
+TEST(Ipv6Header, RoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0x2E;
+  h.flow_label = 0xABCDE;
+  h.payload_length = 1400;
+  h.next_header = static_cast<std::uint8_t>(IpProtocol::Udp);
+  h.hop_limit = 33;
+  h.source = *Ipv6Address::parse("2001:db8::1");
+  h.destination = *Ipv6Address::parse("2001:db8::2");
+  EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(Ipv6Header, FlowLabelMaskedTo20Bits) {
+  Ipv6Header h;
+  h.flow_label = 0xFFFFFFFF;
+  ByteWriter w;
+  h.encode(w);
+  ByteReader r{w.data()};
+  const auto decoded = Ipv6Header::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flow_label, 0xFFFFFu);
+}
+
+TEST(Ipv6Header, RejectsWrongVersion) {
+  ByteWriter w;
+  Ipv6Header{}.encode(w);
+  auto bytes = w.data();
+  bytes[0] = 0x45;  // version 4
+  ByteReader r{bytes};
+  EXPECT_FALSE(Ipv6Header::decode(r).has_value());
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader h{40000, kVxlanUdpPort, 1466};
+  EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(VxlanGpoHeader, RoundTripWithGroup) {
+  VxlanGpoHeader h;
+  h.vni = 0xABCDEF;
+  h.group_policy_id = 0x1234;
+  h.group_policy_applied = true;
+  h.dont_learn = true;
+  EXPECT_EQ(round_trip(h), h);
+}
+
+TEST(VxlanGpoHeader, GroupZeroWithoutGBitDecodesAsUntagged) {
+  VxlanGpoHeader h;
+  h.vni = 42;
+  h.group_policy_id = 0;
+  const VxlanGpoHeader decoded = round_trip(h);
+  EXPECT_EQ(decoded.group_policy_id, 0);
+  EXPECT_EQ(decoded.vni, 42u);
+}
+
+TEST(VxlanGpoHeader, VniIsMaskedTo24Bits) {
+  VxlanGpoHeader h;
+  h.vni = 0xFF123456;
+  ByteWriter w;
+  h.encode(w);
+  ByteReader r{w.data()};
+  const auto decoded = VxlanGpoHeader::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vni, 0x123456u);
+}
+
+TEST(VxlanGpoHeader, RejectsMissingIBit) {
+  ByteWriter w;
+  VxlanGpoHeader{}.encode(w);
+  auto bytes = w.data();
+  bytes[0] = 0x00;  // clear flags including I
+  ByteReader r{bytes};
+  EXPECT_FALSE(VxlanGpoHeader::decode(r).has_value());
+}
+
+TEST(ArpPacket, RequestRoundTrip) {
+  ArpPacket p;
+  p.op = ArpPacket::Op::Request;
+  p.sender_mac = MacAddress::from_u64(0x020000000001ull);
+  p.sender_ip = Ipv4Address{10, 0, 0, 1};
+  p.target_mac = MacAddress{};
+  p.target_ip = Ipv4Address{10, 0, 0, 2};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(ArpPacket, ReplyRoundTrip) {
+  ArpPacket p;
+  p.op = ArpPacket::Op::Reply;
+  p.sender_mac = MacAddress::from_u64(0x020000000002ull);
+  p.sender_ip = Ipv4Address{10, 0, 0, 2};
+  p.target_mac = MacAddress::from_u64(0x020000000001ull);
+  p.target_ip = Ipv4Address{10, 0, 0, 1};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(ArpPacket, RejectsNonEthernetIpv4) {
+  ByteWriter w;
+  ArpPacket{}.encode(w);
+  auto bytes = w.data();
+  bytes[1] = 2;  // hardware type != Ethernet
+  ByteReader r{bytes};
+  EXPECT_FALSE(ArpPacket::decode(r).has_value());
+}
+
+TEST(ArpPacket, RejectsUnknownOpcode) {
+  ByteWriter w;
+  ArpPacket{}.encode(w);
+  auto bytes = w.data();
+  bytes[7] = 9;
+  ByteReader r{bytes};
+  EXPECT_FALSE(ArpPacket::decode(r).has_value());
+}
+
+// Truncation sweep: every strict prefix of a valid header must fail decode
+// cleanly (no partial successes).
+template <typename H>
+void expect_truncation_safe(const H& header) {
+  ByteWriter w;
+  header.encode(w);
+  const auto& full = w.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteReader r{std::span<const std::uint8_t>{full.data(), len}};
+    EXPECT_FALSE(H::decode(r).has_value()) << "accepted truncated length " << len;
+  }
+}
+
+TEST(HeaderTruncation, AllHeadersRejectEveryTruncation) {
+  expect_truncation_safe(EthernetHeader{MacAddress::from_u64(1), MacAddress::from_u64(2), 0x800});
+  expect_truncation_safe(VlanTag{100, 3, 0x800});
+  Ipv4Header ip;
+  ip.source = Ipv4Address{1, 1, 1, 1};
+  expect_truncation_safe(ip);
+  Ipv6Header ip6;
+  ip6.source = *Ipv6Address::parse("2001:db8::1");
+  expect_truncation_safe(ip6);
+  expect_truncation_safe(UdpHeader{1, 2, 8});
+  VxlanGpoHeader vx;
+  vx.vni = 7;
+  expect_truncation_safe(vx);
+  expect_truncation_safe(ArpPacket{});
+}
+
+}  // namespace
+}  // namespace sda::net

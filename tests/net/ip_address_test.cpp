@@ -1,0 +1,131 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sda::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto a = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0A8012Au);
+}
+
+TEST(Ipv4Address, ParsesExtremes) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+struct BadV4 : ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadV4, Rejected) { EXPECT_FALSE(Ipv4Address::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(MalformedInputs, BadV4,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.256",
+                                           "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4",
+                                           "1.2.3.-4", "01.2.3.4", "1.2.3.04", "1,2,3,4",
+                                           "1.2.3.4/24"));
+
+TEST(Ipv4Address, RoundTripsToString) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "172.16.254.1", "255.255.255.255"}) {
+    const auto a = Ipv4Address::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(a->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, BytesAreNetworkOrder) {
+  const Ipv4Address a{10, 20, 30, 40};
+  const auto b = a.bytes();
+  EXPECT_EQ(b[0], 10);
+  EXPECT_EQ(b[1], 20);
+  EXPECT_EQ(b[2], 30);
+  EXPECT_EQ(b[3], 40);
+  EXPECT_EQ(Ipv4Address::from_bytes(b), a);
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address{}.is_unspecified());
+  EXPECT_TRUE(Ipv4Address::parse("127.0.0.1")->is_loopback());
+  EXPECT_TRUE(Ipv4Address::parse("224.0.0.1")->is_multicast());
+  EXPECT_TRUE(Ipv4Address::parse("239.255.255.255")->is_multicast());
+  EXPECT_FALSE(Ipv4Address::parse("240.0.0.1")->is_multicast());
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255")->is_broadcast());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.1")->is_loopback());
+}
+
+TEST(Ipv4Address, OrderingMatchesNumericValue) {
+  EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.1.0"));
+}
+
+TEST(Ipv4Address, HashDistinguishesSequentialAddresses) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Ipv4Address>{}(Ipv4Address{0x0A000000u + i}));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ipv6Address, ParsesFullForm) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 0x0001);
+}
+
+TEST(Ipv6Address, ParsesCompressedForms) {
+  EXPECT_TRUE(Ipv6Address::parse("::")->is_unspecified());
+  EXPECT_EQ(Ipv6Address::parse("::1")->group(7), 1);
+  EXPECT_EQ(Ipv6Address::parse("fe80::1")->group(0), 0xfe80);
+  const auto mid = Ipv6Address::parse("2001:db8::8:800:200c:417a");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->group(2), 0);
+  EXPECT_EQ(mid->group(4), 0x8);
+}
+
+struct BadV6 : ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadV6, Rejected) { EXPECT_FALSE(Ipv6Address::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(MalformedInputs, BadV6,
+                         ::testing::Values("", ":", ":::", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9",
+                                           "2001::db8::1", "12345::", "g::1", "1:2:3:4:5:6:7:",
+                                           "::1::"));
+
+TEST(Ipv6Address, FormatsWithRfc5952Compression) {
+  EXPECT_EQ(Ipv6Address::parse("2001:db8:0:0:0:0:0:1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::parse("::")->to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::")->to_string(), "fe80::");
+  // Longest zero run wins; single zero group is not compressed.
+  EXPECT_EQ(Ipv6Address::parse("2001:0:0:1:0:0:0:1")->to_string(), "2001:0:0:1::1");
+}
+
+TEST(Ipv6Address, ParseFormatsRoundTrip) {
+  for (const char* text : {"2001:db8::1", "::", "fe80::aaaa:bbbb", "1:2:3:4:5:6:7:8"}) {
+    const auto a = Ipv6Address::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    const auto reparsed = Ipv6Address::parse(a->to_string());
+    ASSERT_TRUE(reparsed.has_value()) << a->to_string();
+    EXPECT_EQ(*a, *reparsed);
+  }
+}
+
+TEST(Ipv6Address, Classification) {
+  EXPECT_TRUE(Ipv6Address::parse("ff02::1")->is_multicast());
+  EXPECT_TRUE(Ipv6Address::parse("fe80::1")->is_link_local());
+  EXPECT_FALSE(Ipv6Address::parse("2001:db8::1")->is_link_local());
+}
+
+TEST(Ipv6Address, GroupsRoundTripThroughBytes) {
+  const auto a = Ipv6Address::from_groups({1, 2, 3, 4, 5, 6, 7, 8});
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a.group(i), i + 1);
+  EXPECT_EQ(Ipv6Address{a.bytes()}, a);
+}
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,56 @@
+#include "net/mac_address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::net {
+namespace {
+
+TEST(MacAddress, ParsesColonSeparated) {
+  const auto m = MacAddress::parse("aa:bb:cc:dd:ee:ff");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_u64(), 0xAABBCCDDEEFFull);
+}
+
+TEST(MacAddress, ParsesDashSeparatedAndUppercase) {
+  EXPECT_EQ(MacAddress::parse("AA-BB-CC-00-11-22")->to_u64(), 0xAABBCC001122ull);
+  EXPECT_EQ(MacAddress::parse("Aa:bB:cC:Dd:Ee:fF")->to_u64(), 0xAABBCCDDEEFFull);
+}
+
+struct BadMac : ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadMac, Rejected) { EXPECT_FALSE(MacAddress::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(MalformedInputs, BadMac,
+                         ::testing::Values("", "aa:bb:cc:dd:ee", "aa:bb:cc:dd:ee:ff:00",
+                                           "aabbccddeeff", "aa:bb:cc:dd:ee:fg",
+                                           "aa bb cc dd ee ff", "aa:bb:cc:dd:ee:f"));
+
+TEST(MacAddress, FormatsLowercaseColon) {
+  EXPECT_EQ(MacAddress::from_u64(0xAABBCCDDEEFFull).to_string(), "aa:bb:cc:dd:ee:ff");
+  EXPECT_EQ(MacAddress{}.to_string(), "00:00:00:00:00:00");
+}
+
+TEST(MacAddress, FromU64MasksTo48Bits) {
+  EXPECT_EQ(MacAddress::from_u64(0xFFFF'AABBCCDDEEFFull).to_u64(), 0xAABBCCDDEEFFull);
+}
+
+TEST(MacAddress, BroadcastAndMulticastBits) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddress::from_u64(0x0100'5E00'0001ull).is_multicast());
+  EXPECT_TRUE(MacAddress::from_u64(0x0200'0000'0001ull).is_unicast());
+  EXPECT_FALSE(MacAddress::from_u64(0x0200'0000'0001ull).is_broadcast());
+}
+
+TEST(MacAddress, RoundTripParseFormat) {
+  const auto m = MacAddress::from_u64(0x02DEADBEEF42ull);
+  EXPECT_EQ(MacAddress::parse(m.to_string()), m);
+}
+
+TEST(MacAddress, OrderingIsBytewise) {
+  EXPECT_LT(MacAddress::from_u64(1), MacAddress::from_u64(2));
+  EXPECT_LT(MacAddress::from_u64(0x00FFFFFFFFFFull), MacAddress::from_u64(0x010000000000ull));
+}
+
+}  // namespace
+}  // namespace sda::net

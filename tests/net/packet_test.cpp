@@ -1,0 +1,210 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::net {
+namespace {
+
+OverlayFrame udp_frame(std::uint16_t payload, std::optional<std::uint16_t> vlan = {}) {
+  OverlayFrame frame;
+  frame.source_mac = MacAddress::from_u64(0x020000000001ull);
+  frame.destination_mac = MacAddress::from_u64(0x020000000002ull);
+  frame.vlan_id = vlan;
+  Ipv4Datagram dgram;
+  dgram.source = Ipv4Address{10, 1, 0, 5};
+  dgram.destination = Ipv4Address{10, 1, 0, 9};
+  dgram.protocol = IpProtocol::Udp;
+  dgram.source_port = 40001;
+  dgram.destination_port = 443;
+  dgram.payload_size = payload;
+  frame.l3 = dgram;
+  return frame;
+}
+
+TEST(OverlayFrame, UdpWireRoundTrip) {
+  const OverlayFrame frame = udp_frame(100);
+  const auto bytes = frame.encode();
+  EXPECT_EQ(bytes.size(), frame.wire_size());
+  const auto decoded = OverlayFrame::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+}
+
+TEST(OverlayFrame, VlanTaggedRoundTrip) {
+  const OverlayFrame frame = udp_frame(64, 120);
+  const auto decoded = OverlayFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vlan_id, 120);
+  EXPECT_EQ(*decoded, frame);
+}
+
+OverlayFrame udp6_frame(std::uint16_t payload) {
+  OverlayFrame frame;
+  frame.source_mac = MacAddress::from_u64(0x020000000001ull);
+  frame.destination_mac = MacAddress::from_u64(0x020000000002ull);
+  Ipv6Datagram dgram;
+  dgram.source = *Ipv6Address::parse("2001:db8::5");
+  dgram.destination = *Ipv6Address::parse("2001:db8::9");
+  dgram.protocol = IpProtocol::Udp;
+  dgram.source_port = 40001;
+  dgram.destination_port = 443;
+  dgram.payload_size = payload;
+  dgram.hop_limit = 61;
+  frame.l3 = dgram;
+  return frame;
+}
+
+TEST(OverlayFrame, Ipv6WireRoundTrip) {
+  const OverlayFrame frame = udp6_frame(200);
+  const auto bytes = frame.encode();
+  EXPECT_EQ(bytes.size(), frame.wire_size());
+  const auto decoded = OverlayFrame::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+  EXPECT_TRUE(decoded->is_ipv6());
+}
+
+TEST(OverlayFrame, Ipv6WireSize) {
+  EXPECT_EQ(udp6_frame(100).wire_size(), 14u + 40 + 8 + 100);
+}
+
+TEST(OverlayFrame, DestinationEidDispatchesByFamily) {
+  EXPECT_TRUE(udp_frame(1).destination_eid().is_ipv4());
+  EXPECT_TRUE(udp6_frame(1).destination_eid().is_ipv6());
+  EXPECT_EQ(udp6_frame(1).destination_eid().ipv6(), *Ipv6Address::parse("2001:db8::9"));
+  EXPECT_EQ(udp6_frame(1).source_eid().ipv6(), *Ipv6Address::parse("2001:db8::5"));
+}
+
+TEST(OverlayFrame, HopLimitAccessorsCrossFamily) {
+  OverlayFrame v4 = udp_frame(1);
+  OverlayFrame v6 = udp6_frame(1);
+  EXPECT_EQ(v4.hop_limit(), 64);
+  EXPECT_EQ(v6.hop_limit(), 61);
+  v4.set_hop_limit(5);
+  v6.set_hop_limit(6);
+  EXPECT_EQ(v4.ip().ttl, 5);
+  EXPECT_EQ(v6.ip6().hop_limit, 6);
+}
+
+TEST(FabricFrame, Ipv6InnerRoundTrip) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 7};
+  frame.vn = VnId{0x99};
+  frame.source_group = GroupId{7};
+  frame.inner = udp6_frame(128);
+  const auto decoded = FabricFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+}
+
+TEST(OverlayFrame, ArpRoundTrip) {
+  OverlayFrame frame;
+  frame.source_mac = MacAddress::from_u64(0x020000000001ull);
+  frame.destination_mac = MacAddress::broadcast();
+  ArpPacket arp;
+  arp.op = ArpPacket::Op::Request;
+  arp.sender_mac = frame.source_mac;
+  arp.sender_ip = Ipv4Address{10, 1, 0, 5};
+  arp.target_ip = Ipv4Address{10, 1, 0, 9};
+  frame.l3 = arp;
+  const auto decoded = OverlayFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+  EXPECT_TRUE(decoded->is_arp());
+}
+
+TEST(OverlayFrame, WireSizeAccountsForEverything) {
+  EXPECT_EQ(udp_frame(0).wire_size(), 14u + 20 + 8);
+  EXPECT_EQ(udp_frame(100).wire_size(), 14u + 20 + 8 + 100);
+  EXPECT_EQ(udp_frame(100, 5).wire_size(), 14u + 4 + 20 + 8 + 100);
+}
+
+TEST(OverlayFrame, DecodeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage(10, 0xEE);
+  EXPECT_FALSE(OverlayFrame::decode(garbage).has_value());
+}
+
+TEST(OverlayFrame, DecodeRejectsUnknownEtherType) {
+  OverlayFrame frame = udp_frame(10);
+  auto bytes = frame.encode();
+  bytes[12] = 0x88;  // mangle ethertype
+  bytes[13] = 0x88;
+  EXPECT_FALSE(OverlayFrame::decode(bytes).has_value());
+}
+
+TEST(FabricFrame, FullStackRoundTrip) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 7};
+  frame.vn = VnId{0x1234};
+  frame.source_group = GroupId{77};
+  frame.policy_applied = true;
+  frame.inner = udp_frame(200);
+
+  const auto bytes = frame.encode();
+  EXPECT_EQ(bytes.size(), frame.wire_size());
+  const auto decoded = FabricFrame::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+}
+
+TEST(FabricFrame, EncapsulationOverheadIs36Bytes) {
+  FabricFrame frame;
+  frame.inner = udp_frame(100);
+  EXPECT_EQ(frame.wire_size() - frame.inner.wire_size(), 20u + 8 + 8);
+}
+
+TEST(FabricFrame, OuterUdpUsesVxlanPort) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 2};
+  frame.vn = VnId{1};
+  frame.inner = udp_frame(10);
+  const auto bytes = frame.encode();
+  // Outer IPv4 is 20 bytes; UDP dport at offset 22-23.
+  EXPECT_EQ((bytes[22] << 8) | bytes[23], kVxlanUdpPort);
+}
+
+TEST(FabricFrame, DecodeRejectsNonVxlanPort) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 2};
+  frame.vn = VnId{1};
+  frame.inner = udp_frame(10);
+  auto bytes = frame.encode();
+  bytes[23] ^= 0x01;  // flip low bit of dport
+  EXPECT_FALSE(FabricFrame::decode(bytes).has_value());
+}
+
+TEST(FabricFrame, GroupZeroRoundTripsAsUnknown) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 2};
+  frame.vn = VnId{9};
+  frame.source_group = GroupId::unknown();
+  frame.inner = udp_frame(1);
+  const auto decoded = FabricFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->source_group.is_unknown());
+}
+
+TEST(FabricFrame, ArpInnerRoundTrip) {
+  FabricFrame frame;
+  frame.outer_source = Ipv4Address{10, 0, 0, 1};
+  frame.outer_destination = Ipv4Address{10, 0, 0, 2};
+  frame.vn = VnId{9};
+  OverlayFrame inner;
+  inner.source_mac = MacAddress::from_u64(0x02AA);
+  inner.destination_mac = MacAddress::from_u64(0x02BB);
+  ArpPacket arp;
+  arp.op = ArpPacket::Op::Reply;
+  inner.l3 = arp;
+  frame.inner = inner;
+  const auto decoded = FabricFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->inner.is_arp());
+}
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,100 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::net {
+namespace {
+
+TEST(Ipv4Prefix, ParsesCidr) {
+  const auto p = Ipv4Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->address().to_string(), "10.1.0.0");
+}
+
+TEST(Ipv4Prefix, BareAddressIsHostRoute) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p{*Ipv4Address::parse("10.1.2.3"), 16};
+  EXPECT_EQ(p.address().to_string(), "10.1.0.0");
+  EXPECT_EQ(p, *Ipv4Prefix::parse("10.1.0.0/16"));
+}
+
+struct BadV4Prefix : ::testing::TestWithParam<const char*> {};
+TEST_P(BadV4Prefix, Rejected) { EXPECT_FALSE(Ipv4Prefix::parse(GetParam()).has_value()); }
+INSTANTIATE_TEST_SUITE_P(MalformedInputs, BadV4Prefix,
+                         ::testing::Values("10.0.0.0/33", "10.0.0.0/", "10.0.0.0/-1",
+                                           "10.0.0/8", "/8", "10.0.0.0/8/8", "10.0.0.0/ 8"));
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+  const auto p = *Ipv4Prefix::parse("192.168.0.0/24");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.168.0.1")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.168.0.255")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("192.168.1.0")));
+}
+
+TEST(Ipv4Prefix, DefaultRouteContainsEverything) {
+  const auto p = *Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("1.2.3.4")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("255.255.255.255")));
+}
+
+TEST(Ipv4Prefix, ContainsSubPrefixes) {
+  const auto p16 = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p16.contains(*Ipv4Prefix::parse("10.1.2.0/24")));
+  EXPECT_TRUE(p16.contains(p16));
+  EXPECT_FALSE(p16.contains(*Ipv4Prefix::parse("10.0.0.0/8")));  // shorter
+  EXPECT_FALSE(p16.contains(*Ipv4Prefix::parse("10.2.0.0/24")));
+}
+
+TEST(Ipv4Prefix, HostEnumeration) {
+  const auto p = *Ipv4Prefix::parse("10.0.0.0/24");
+  EXPECT_EQ(p.host(1).to_string(), "10.0.0.1");
+  EXPECT_EQ(p.host(200).to_string(), "10.0.0.200");
+}
+
+TEST(Ipv4Prefix, MaskValues) {
+  EXPECT_EQ(Ipv4Prefix::mask(0), 0u);
+  EXPECT_EQ(Ipv4Prefix::mask(8), 0xFF000000u);
+  EXPECT_EQ(Ipv4Prefix::mask(32), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Prefix, ToStringRoundTrips) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"}) {
+    EXPECT_EQ(Ipv4Prefix::parse(text)->to_string(), text);
+  }
+}
+
+TEST(Ipv6Prefix, ParsesAndCanonicalizes) {
+  const auto p = Ipv6Prefix::parse("2001:db8:ffff::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->address().to_string(), "2001:db8::");
+}
+
+TEST(Ipv6Prefix, ContainsAddresses) {
+  const auto p = *Ipv6Prefix::parse("2001:db8::/32");
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("2001:db8::1")));
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(p.contains(*Ipv6Address::parse("2001:db9::1")));
+}
+
+TEST(Ipv6Prefix, NonByteAlignedLengths) {
+  const auto p = *Ipv6Prefix::parse("fe80::/10");
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("fe80::1")));
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("febf::1")));
+  EXPECT_FALSE(p.contains(*Ipv6Address::parse("fec0::1")));
+}
+
+TEST(Ipv6Prefix, ContainsSubPrefixes) {
+  const auto p = *Ipv6Prefix::parse("2001:db8::/32");
+  EXPECT_TRUE(p.contains(*Ipv6Prefix::parse("2001:db8:1::/48")));
+  EXPECT_FALSE(p.contains(*Ipv6Prefix::parse("2001::/16")));
+}
+
+}  // namespace
+}  // namespace sda::net

@@ -1,0 +1,84 @@
+#include "policy/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::policy {
+namespace {
+
+using net::GroupId;
+
+TEST(ConnectivityMatrix, DefaultActionApplies) {
+  ConnectivityMatrix allow{Action::Allow};
+  EXPECT_EQ(allow.lookup(GroupId{1}, GroupId{2}), Action::Allow);
+  ConnectivityMatrix deny{Action::Deny};
+  EXPECT_EQ(deny.lookup(GroupId{1}, GroupId{2}), Action::Deny);
+}
+
+TEST(ConnectivityMatrix, ExplicitRuleOverridesDefault) {
+  ConnectivityMatrix m{Action::Allow};
+  EXPECT_TRUE(m.set_rule(GroupId{1}, GroupId{2}, Action::Deny));
+  EXPECT_EQ(m.lookup(GroupId{1}, GroupId{2}), Action::Deny);
+  EXPECT_EQ(m.lookup(GroupId{2}, GroupId{1}), Action::Allow);  // direction matters
+}
+
+TEST(ConnectivityMatrix, SetRuleIdempotenceAndVersion) {
+  ConnectivityMatrix m;
+  const auto v0 = m.version();
+  EXPECT_TRUE(m.set_rule(GroupId{1}, GroupId{2}, Action::Deny));
+  const auto v1 = m.version();
+  EXPECT_GT(v1, v0);
+  EXPECT_FALSE(m.set_rule(GroupId{1}, GroupId{2}, Action::Deny));  // no change
+  EXPECT_EQ(m.version(), v1);
+  EXPECT_TRUE(m.set_rule(GroupId{1}, GroupId{2}, Action::Allow));
+  EXPECT_GT(m.version(), v1);
+}
+
+TEST(ConnectivityMatrix, ClearRuleRestoresDefault) {
+  ConnectivityMatrix m{Action::Allow};
+  m.set_rule(GroupId{1}, GroupId{2}, Action::Deny);
+  EXPECT_TRUE(m.clear_rule(GroupId{1}, GroupId{2}));
+  EXPECT_FALSE(m.clear_rule(GroupId{1}, GroupId{2}));
+  EXPECT_EQ(m.lookup(GroupId{1}, GroupId{2}), Action::Allow);
+}
+
+TEST(ConnectivityMatrix, UnknownGroupAlwaysAllowed) {
+  ConnectivityMatrix m{Action::Deny};
+  EXPECT_EQ(m.lookup(GroupId::unknown(), GroupId{2}), Action::Allow);
+  EXPECT_EQ(m.lookup(GroupId{2}, GroupId::unknown()), Action::Allow);
+}
+
+TEST(ConnectivityMatrix, RulesForDestination) {
+  ConnectivityMatrix m;
+  m.set_rule(GroupId{1}, GroupId{9}, Action::Deny);
+  m.set_rule(GroupId{2}, GroupId{9}, Action::Allow);
+  m.set_rule(GroupId{1}, GroupId{8}, Action::Deny);
+  const auto rules = m.rules_for_destination(GroupId{9});
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].pair.source, GroupId{1});
+  EXPECT_EQ(rules[1].pair.source, GroupId{2});
+  for (const auto& rule : rules) EXPECT_EQ(rule.pair.destination, GroupId{9});
+}
+
+TEST(ConnectivityMatrix, RulesForSource) {
+  ConnectivityMatrix m;
+  m.set_rule(GroupId{1}, GroupId{9}, Action::Deny);
+  m.set_rule(GroupId{1}, GroupId{8}, Action::Deny);
+  m.set_rule(GroupId{2}, GroupId{9}, Action::Allow);
+  EXPECT_EQ(m.rules_for_source(GroupId{1}).size(), 2u);
+  EXPECT_EQ(m.rules_for_source(GroupId{3}).size(), 0u);
+}
+
+TEST(ConnectivityMatrix, WalkVisitsSortedRules) {
+  ConnectivityMatrix m;
+  m.set_rule(GroupId{2}, GroupId{1}, Action::Deny);
+  m.set_rule(GroupId{1}, GroupId{1}, Action::Allow);
+  std::vector<Rule> seen;
+  m.walk([&](const Rule& r) { seen.push_back(r); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].pair.source, GroupId{1});
+  EXPECT_EQ(seen[1].pair.source, GroupId{2});
+  EXPECT_EQ(m.rule_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sda::policy

@@ -1,0 +1,126 @@
+#include "policy/policy_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::policy {
+namespace {
+
+using net::GroupId;
+using net::Ipv4Address;
+using net::VnId;
+
+AccessRequest request(const std::string& credential, const std::string& secret) {
+  AccessRequest r;
+  r.credential = credential;
+  r.secret = secret;
+  return r;
+}
+
+Ipv4Address edge(std::uint32_t i) { return Ipv4Address{0x0A000000u + i}; }
+
+struct PolicyServerFixture : ::testing::Test {
+  void SetUp() override {
+    server.provision_endpoint("alice", "pw-a", {VnId{100}, GroupId{10}});
+    server.provision_endpoint("camera-1", "pw-c", {VnId{100}, GroupId{20}});
+    server.matrix(VnId{100}).set_rule(GroupId{10}, GroupId{20}, Action::Deny);
+    server.matrix(VnId{100}).set_rule(GroupId{20}, GroupId{20}, Action::Allow);
+  }
+  PolicyServer server;
+};
+
+TEST_F(PolicyServerFixture, AuthenticateSuccess) {
+  const auto policy = server.authenticate(request("alice", "pw-a"), edge(1));
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->vn, VnId{100});
+  EXPECT_EQ(policy->group, GroupId{10});
+  EXPECT_EQ(server.stats().auth_accepts, 1u);
+}
+
+TEST_F(PolicyServerFixture, AuthenticateRejectsWrongSecretOrUnknown) {
+  EXPECT_FALSE(server.authenticate(request("alice", "wrong"), edge(1)).has_value());
+  EXPECT_FALSE(server.authenticate(request("mallory", "x"), edge(1)).has_value());
+  EXPECT_EQ(server.stats().auth_rejects, 2u);
+}
+
+TEST_F(PolicyServerFixture, DownloadRulesFiltersByDestination) {
+  const auto rules = server.download_rules(VnId{100}, GroupId{20});
+  ASSERT_EQ(rules.size(), 2u);
+  for (const auto& rule : rules) EXPECT_EQ(rule.pair.destination, GroupId{20});
+  EXPECT_TRUE(server.download_rules(VnId{100}, GroupId{99}).empty());
+  EXPECT_TRUE(server.download_rules(VnId{999}, GroupId{20}).empty());
+}
+
+TEST_F(PolicyServerFixture, ReassignGroupSignalsOnce) {
+  int signals = 0;
+  EndpointPolicy seen{};
+  server.set_endpoint_changed_callback([&](const std::string& cred, const EndpointPolicy& p) {
+    ++signals;
+    EXPECT_EQ(cred, "alice");
+    seen = p;
+  });
+  EXPECT_TRUE(server.reassign_group("alice", GroupId{15}));
+  EXPECT_FALSE(server.reassign_group("alice", GroupId{15}));  // no-op
+  EXPECT_FALSE(server.reassign_group("nobody", GroupId{15}));
+  EXPECT_EQ(signals, 1);
+  EXPECT_EQ(seen.group, GroupId{15});
+  EXPECT_EQ(server.stats().endpoint_change_signals, 1u);
+}
+
+TEST_F(PolicyServerFixture, RulePushGoesToHostingEdgesOnly) {
+  // camera-1's group (20) is hosted on edges 1 and 2 after authentication.
+  (void)server.authenticate(request("camera-1", "pw-c"), edge(1));
+  (void)server.authenticate(request("camera-1", "pw-c"), edge(2));
+
+  std::vector<Ipv4Address> pushed_to;
+  server.set_rules_push_callback(
+      [&](Ipv4Address rloc, VnId vn, const std::vector<Rule>& rules) {
+        pushed_to.push_back(rloc);
+        EXPECT_EQ(vn, VnId{100});
+        EXPECT_FALSE(rules.empty());
+      });
+  server.update_rule(VnId{100}, GroupId{11}, GroupId{20}, Action::Deny);
+  EXPECT_EQ(pushed_to.size(), 2u);
+  EXPECT_EQ(server.stats().rule_push_messages, 2u);
+
+  // A rule towards a group hosted nowhere generates no pushes.
+  pushed_to.clear();
+  server.update_rule(VnId{100}, GroupId{11}, GroupId{77}, Action::Deny);
+  EXPECT_TRUE(pushed_to.empty());
+}
+
+TEST_F(PolicyServerFixture, NoopRuleUpdateDoesNotPush) {
+  (void)server.authenticate(request("camera-1", "pw-c"), edge(1));
+  int pushes = 0;
+  server.set_rules_push_callback(
+      [&](Ipv4Address, VnId, const std::vector<Rule>&) { ++pushes; });
+  server.update_rule(VnId{100}, GroupId{10}, GroupId{20}, Action::Deny);  // already set
+  EXPECT_EQ(pushes, 0);
+}
+
+TEST_F(PolicyServerFixture, ReleaseGroupStopsPushes) {
+  (void)server.authenticate(request("camera-1", "pw-c"), edge(1));
+  server.release_group(edge(1), VnId{100}, GroupId{20});
+  int pushes = 0;
+  server.set_rules_push_callback(
+      [&](Ipv4Address, VnId, const std::vector<Rule>&) { ++pushes; });
+  server.update_rule(VnId{100}, GroupId{12}, GroupId{20}, Action::Deny);
+  EXPECT_EQ(pushes, 0);
+}
+
+TEST_F(PolicyServerFixture, DeprovisionRemovesEndpoint) {
+  EXPECT_TRUE(server.deprovision_endpoint("alice"));
+  EXPECT_FALSE(server.deprovision_endpoint("alice"));
+  EXPECT_FALSE(server.authenticate(request("alice", "pw-a"), edge(1)).has_value());
+  EXPECT_EQ(server.endpoint_count(), 1u);
+}
+
+TEST_F(PolicyServerFixture, ReprovisionChangesPolicy) {
+  server.provision_endpoint("alice", "pw-a2", {VnId{200}, GroupId{30}});
+  EXPECT_FALSE(server.authenticate(request("alice", "pw-a"), edge(1)).has_value());
+  const auto policy = server.authenticate(request("alice", "pw-a2"), edge(1));
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->vn, VnId{200});
+}
+
+}  // namespace
+}  // namespace sda::policy

@@ -1,0 +1,73 @@
+#include "policy/radius.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::policy {
+namespace {
+
+TEST(Radius, AccessRequestRoundTrip) {
+  AccessRequest req;
+  req.request_id = 42;
+  req.credential = "user@corp.example";
+  req.secret = "hunter2";
+  req.calling_mac = net::MacAddress::from_u64(0x02AB12);
+  req.nas_port = 7;
+  net::ByteWriter w;
+  req.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_EQ(AccessRequest::decode(r), req);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Radius, AccessAcceptRoundTrip) {
+  AccessAccept acc;
+  acc.request_id = 42;
+  acc.vn = net::VnId{0x123456};
+  acc.group = net::GroupId{77};
+  net::ByteWriter w;
+  acc.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_EQ(AccessAccept::decode(r), acc);
+}
+
+TEST(Radius, AccessRejectRoundTrip) {
+  AccessReject rej;
+  rej.request_id = 9;
+  rej.reason = "bad credentials";
+  net::ByteWriter w;
+  rej.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_EQ(AccessReject::decode(r), rej);
+}
+
+TEST(Radius, DecodeRejectsWrongCode) {
+  AccessAccept acc;
+  net::ByteWriter w;
+  acc.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_FALSE(AccessRequest::decode(r).has_value());  // code mismatch
+}
+
+TEST(Radius, DecodeRejectsTruncation) {
+  AccessRequest req;
+  req.credential = "abc";
+  req.secret = "s";
+  net::ByteWriter w;
+  req.encode(w);
+  const auto& full = w.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{full.data(), len}};
+    EXPECT_FALSE(AccessRequest::decode(r).has_value());
+  }
+}
+
+TEST(Radius, EmptyCredentialAllowedOnWire) {
+  AccessRequest req;  // MAB-style: empty strings, MAC identifies
+  net::ByteWriter w;
+  req.encode(w);
+  net::ByteReader r{w.data()};
+  EXPECT_EQ(AccessRequest::decode(r), req);
+}
+
+}  // namespace
+}  // namespace sda::policy

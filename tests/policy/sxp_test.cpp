@@ -1,0 +1,80 @@
+#include "policy/sxp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::policy {
+namespace {
+
+using net::GroupId;
+using net::Ipv4Address;
+using net::MacAddress;
+using net::VnId;
+
+TEST(Sxp, BindingUpdateRoundTrip) {
+  SxpBindingUpdate update;
+  update.sequence = 42;
+  update.bindings = {
+      {VnId{100}, *Ipv4Address::parse("10.1.0.5"), GroupId{10}, false},
+      {VnId{100}, *Ipv4Address::parse("10.1.0.6"), GroupId{20}, true},
+  };
+  const auto decoded = decode_sxp(encode_sxp(SxpMessage{update}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SxpBindingUpdate>(*decoded), update);
+}
+
+TEST(Sxp, EmptyBindingUpdateRoundTrip) {
+  SxpBindingUpdate update;
+  update.sequence = 1;
+  const auto decoded = decode_sxp(encode_sxp(SxpMessage{update}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<SxpBindingUpdate>(*decoded).bindings.empty());
+}
+
+TEST(Sxp, RuleInstallRoundTrip) {
+  SxpRuleInstall install;
+  install.sequence = 7;
+  install.vn = VnId{100};
+  install.destination = GroupId{20};
+  install.rules = {
+      {{GroupId{10}, GroupId{20}}, Action::Deny},
+      {{GroupId{11}, GroupId{20}}, Action::Allow},
+  };
+  const auto decoded = decode_sxp(encode_sxp(SxpMessage{install}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SxpRuleInstall>(*decoded), install);
+}
+
+TEST(Sxp, GroupReassignRoundTrip) {
+  const SxpGroupReassign reassign{9, VnId{100}, MacAddress::from_u64(0x02AB), GroupId{15}};
+  const auto decoded = decode_sxp(encode_sxp(SxpMessage{reassign}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SxpGroupReassign>(*decoded), reassign);
+}
+
+TEST(Sxp, RejectsUnknownTypeAndTruncation) {
+  std::vector<std::uint8_t> bad = {9, 0, 0};
+  EXPECT_FALSE(decode_sxp(bad).has_value());
+  EXPECT_FALSE(decode_sxp({}).has_value());
+
+  SxpRuleInstall install;
+  install.vn = VnId{1};
+  install.destination = GroupId{2};
+  install.rules = {{{GroupId{1}, GroupId{2}}, Action::Deny}};
+  const auto full = encode_sxp(SxpMessage{install});
+  for (std::size_t len = 1; len < full.size(); ++len) {
+    EXPECT_FALSE(decode_sxp({full.data(), len}).has_value()) << len;
+  }
+}
+
+TEST(Sxp, RejectsInvalidAction) {
+  SxpRuleInstall install;
+  install.vn = VnId{1};
+  install.destination = GroupId{2};
+  install.rules = {{{GroupId{1}, GroupId{2}}, Action::Deny}};
+  auto bytes = encode_sxp(SxpMessage{install});
+  bytes.back() = 7;  // action byte out of range
+  EXPECT_FALSE(decode_sxp(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace sda::policy

@@ -1,0 +1,156 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace sda::sim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng{9};
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[rng.next_below(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 800) << value;  // ~1000 expected each
+    EXPECT_LT(count, 1200) << value;
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{5};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{13};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExpInterarrivalMatchesRate) {
+  Rng rng{17};
+  const double rate_hz = 800.0;
+  std::int64_t total_ns = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total_ns += rng.exp_interarrival(rate_hz).count();
+  const double mean_s = static_cast<double>(total_ns) / n / 1e9;
+  EXPECT_NEAR(mean_s, 1.0 / rate_hz, 0.0001);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng{19};
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ChanceProbabilities) {
+  Rng rng{23};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(Rng{1}.chance(0.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{29};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng{31};
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular) {
+  Rng rng{37};
+  ZipfSampler zipf{100, 1.0};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Zipf(1.0): p(0)/p(9) == 10.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0, 3.0);
+}
+
+TEST(ZipfSampler, SingleItemAlwaysSampled) {
+  Rng rng{41};
+  ZipfSampler zipf{1, 1.2};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  Rng rng{43};
+  ZipfSampler zipf{4, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+}  // namespace
+}  // namespace sda::sim

@@ -1,0 +1,182 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sda::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{Duration{300}}, [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{Duration{100}}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{Duration{200}}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime{Duration{300}});
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime{Duration{50}}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime inner_seen;
+  sim.schedule_at(SimTime{Duration{1000}}, [&] {
+    sim.schedule_after(Duration{500}, [&] { inner_seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_seen, SimTime{Duration{1500}});
+}
+
+TEST(Simulator, SchedulingIntoThePastClampsToNow) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime{Duration{1000}}, [&] {
+    sim.schedule_at(SimTime{Duration{10}}, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime{Duration{1000}});
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle handle = sim.schedule_at(SimTime{Duration{100}}, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelDefaultHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{Duration{100}}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{Duration{200}}, [&] { order.push_back(2); });
+  sim.schedule_at(SimTime{Duration{201}}, [&] { order.push_back(3); });
+  sim.run_until(SimTime{Duration{200}});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime{Duration{200}});
+  sim.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(SimTime{Duration{5000}});
+  EXPECT_EQ(sim.now(), SimTime{Duration{5000}});
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime{Duration{1}}, [&] { ++count; });
+  sim.schedule_at(SimTime{Duration{2}}, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(Duration{10}, recurse);
+  };
+  sim.schedule_after(Duration{10}, recurse);
+  const std::size_t executed = sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(executed, 10u);
+}
+
+TEST(Simulator, ExecutedCounterTracks) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(Duration{i}, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, CancelledEventsDontAdvanceClock) {
+  Simulator sim;
+  const auto h = sim.schedule_at(SimTime{Duration{10'000}}, [] {});
+  sim.schedule_at(SimTime{Duration{5}}, [] {});
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(sim.now(), SimTime{Duration{5}});
+}
+
+TEST(Simulator, CancelFromInsideAnEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  EventHandle second;
+  sim.schedule_at(SimTime{Duration{10}}, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(SimTime{Duration{20}}, [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, CancelSameTimeLaterEvent) {
+  // Cancelling an event scheduled at the *same* timestamp as the currently
+  // executing one must still work (insertion order breaks the tie).
+  Simulator sim;
+  int ran = 0;
+  EventHandle peer;
+  sim.schedule_at(SimTime{Duration{10}}, [&] {
+    ++ran;
+    sim.cancel(peer);
+  });
+  peer = sim.schedule_at(SimTime{Duration{10}}, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, ManyCancellationsStayConsistent) {
+  Simulator sim;
+  int ran = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.schedule_at(SimTime{Duration{i}}, [&] { ++ran; }));
+  }
+  for (int i = 0; i < 1000; i += 2) sim.cancel(handles[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(ran, 500);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimTime, ArithmeticAndFormatting) {
+  const SimTime t{std::chrono::seconds{3723} + std::chrono::milliseconds{45}};
+  EXPECT_DOUBLE_EQ(t.seconds(), 3723.045);
+  EXPECT_EQ(t.to_string(), "1:02:03.045");
+  EXPECT_EQ((t + Duration{std::chrono::seconds{1}}) - t, Duration{std::chrono::seconds{1}});
+}
+
+TEST(SimTime, HoursHelper) {
+  const SimTime t{std::chrono::hours{30}};
+  EXPECT_DOUBLE_EQ(t.hours(), 30.0);
+}
+
+}  // namespace
+}  // namespace sda::sim

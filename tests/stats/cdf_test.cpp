@@ -1,0 +1,68 @@
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::stats {
+namespace {
+
+TEST(Cdf, AtEvaluatesFractionBelow) {
+  Cdf cdf{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+}
+
+TEST(Cdf, QuantileInverts) {
+  Cdf cdf{{10, 20, 30, 40, 50}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50);
+}
+
+TEST(Cdf, QuantileAtIsConsistent) {
+  Cdf cdf{{1, 5, 7, 9, 12, 20, 33}};
+  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_GE(cdf.at(cdf.quantile(f)), f);
+  }
+}
+
+TEST(Cdf, SeriesSpansMinToMax) {
+  Cdf cdf{{2, 4, 8, 16}};
+  const auto series = cdf.series(5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 2);
+  EXPECT_DOUBLE_EQ(series.back().first, 16);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(Cdf, NormalizedToBaseDividesSamples) {
+  Cdf cdf{{2, 4, 6}};
+  const Cdf norm = cdf.normalized_to(2.0);
+  EXPECT_DOUBLE_EQ(norm.min(), 1.0);
+  EXPECT_DOUBLE_EQ(norm.max(), 3.0);
+  EXPECT_DOUBLE_EQ(norm.at(2.0), cdf.at(4.0));
+}
+
+TEST(Cdf, EmptyIsInert) {
+  Cdf cdf{{}};
+  EXPECT_EQ(cdf.count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.series(3).empty());
+}
+
+TEST(Cdf, UnsortedInputHandled) {
+  Cdf cdf{{9, 1, 5}};
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 9);
+  EXPECT_DOUBLE_EQ(cdf.at(5), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace sda::stats

@@ -1,0 +1,66 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sda::stats {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct CsvFixture : ::testing::Test {
+  void SetUp() override {
+    dir = ::testing::TempDir() + "sda_csv_test";
+    std::system(("mkdir -p " + dir).c_str());
+  }
+  std::string dir;
+};
+
+TEST_F(CsvFixture, WritesHeaderAndRows) {
+  ASSERT_TRUE(write_csv(dir, "basic", {"a", "b"}, {{"1", "2"}, {"3", "4"}}));
+  EXPECT_EQ(read_file(dir + "/basic.csv"), "a,b\n1,2\n3,4\n");
+}
+
+TEST_F(CsvFixture, EscapesCommasAndQuotes) {
+  ASSERT_TRUE(write_csv(dir, "escaped", {"name"}, {{"hello, \"world\""}}));
+  EXPECT_EQ(read_file(dir + "/escaped.csv"), "name\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST_F(CsvFixture, SeriesCsv) {
+  ASSERT_TRUE(write_series_csv(dir, "series", "x", "y", {{1.5, 2.25}, {3, 4}}));
+  EXPECT_EQ(read_file(dir + "/series.csv"), "x,y\n1.5,2.25\n3,4\n");
+}
+
+TEST_F(CsvFixture, TimeSeriesCsv) {
+  TimeSeries ts;
+  ts.add(sim::SimTime{std::chrono::hours{2}}, 10);
+  ts.add(sim::SimTime{std::chrono::hours{3}}, 20);
+  ASSERT_TRUE(write_timeseries_csv(dir, "ts", "value", ts));
+  EXPECT_EQ(read_file(dir + "/ts.csv"), "hours,value\n2,10\n3,20\n");
+}
+
+TEST_F(CsvFixture, FailsCleanlyOnBadDirectory) {
+  EXPECT_FALSE(write_csv("/nonexistent-dir-xyz", "x", {"a"}, {}));
+}
+
+TEST(ResultsDir, ReflectsEnvironment) {
+  ::unsetenv("SDA_RESULTS_DIR");
+  EXPECT_FALSE(results_dir().has_value());
+  ::setenv("SDA_RESULTS_DIR", "/tmp/results", 1);
+  EXPECT_EQ(results_dir(), "/tmp/results");
+  ::setenv("SDA_RESULTS_DIR", "", 1);
+  EXPECT_FALSE(results_dir().has_value());
+  ::unsetenv("SDA_RESULTS_DIR");
+}
+
+}  // namespace
+}  // namespace sda::stats

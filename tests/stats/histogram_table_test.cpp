@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+
+namespace sda::stats {
+namespace {
+
+TEST(Histogram, BucketsCountCorrectly) {
+  Histogram h{0, 10, 10};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.99);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h{0, 10, 5};
+  h.add(-1);
+  h.add(10);   // hi is exclusive
+  h.add(100);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0, 1, 1};
+  h.add(0.5, 7);
+  EXPECT_EQ(h.counts()[0], 7u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h{0, 100, 4};
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 50);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h{0, 2, 2};
+  h.add(0.1, 4);
+  h.add(1.5, 2);
+  const std::string out = h.render(8);
+  EXPECT_NE(out.find("########"), std::string::npos);
+  EXPECT_NE(out.find("####"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", Table::num(1.5, 1)});
+  t.add_row({"b", Table::num(std::size_t{42})});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+  // Every line has the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"only"});
+  EXPECT_NO_THROW({ const auto s = t.render(); });
+}
+
+TEST(AsciiPlot, ProducesCanvasWithData) {
+  std::vector<std::pair<double, double>> series;
+  for (int i = 0; i <= 10; ++i) series.emplace_back(i, i * i);
+  const std::string out = ascii_plot(series, 40, 10, "parabola");
+  EXPECT_NE(out.find("parabola"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesSafe) {
+  const std::string out = ascii_plot({}, 40, 10, "empty");
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiMultiplot, LegendListsSeries) {
+  LabelledSeries a{"lisp", 'L', {{0, 0}, {1, 1}}};
+  LabelledSeries b{"bgp", 'B', {{0, 1}, {1, 2}}};
+  const std::string out = ascii_multiplot({a, b}, 30, 8, "handover");
+  EXPECT_NE(out.find("L = lisp"), std::string::npos);
+  EXPECT_NE(out.find("B = bgp"), std::string::npos);
+  EXPECT_NE(out.find('L'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sda::stats

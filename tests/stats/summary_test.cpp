@@ -1,0 +1,95 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s{{1, 2, 3, 4, 5}};
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s{{0, 10}};
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+  Summary t{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(t.median(), 2.5);
+}
+
+TEST(Summary, PercentileBoundsClamped) {
+  Summary s{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 3);
+}
+
+TEST(Summary, AddInvalidatesSortCache) {
+  Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5);
+}
+
+TEST(Summary, BoxStatsOrdering) {
+  Summary s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  const BoxStats b = s.box_stats();
+  EXPECT_LT(b.whisker_low, b.q1);
+  EXPECT_LT(b.q1, b.median);
+  EXPECT_LT(b.median, b.q3);
+  EXPECT_LT(b.q3, b.whisker_high);
+  EXPECT_NEAR(b.median, 500.5, 1.0);
+  EXPECT_NEAR(b.whisker_low, 25.975, 1.0);   // p2.5 of 1..1000
+  EXPECT_NEAR(b.whisker_high, 975.025, 1.0);  // p97.5
+  EXPECT_EQ(b.count, 1000u);
+}
+
+TEST(Summary, BoxStatsEmptyIsZeroed) {
+  const BoxStats b = Summary{}.box_stats();
+  EXPECT_EQ(b.count, 0u);
+  EXPECT_DOUBLE_EQ(b.median, 0);
+}
+
+TEST(BoxStats, RelativeToNormalizes) {
+  Summary s{{2, 4, 6, 8}};
+  const BoxStats rel = s.box_stats().relative_to(2.0);
+  EXPECT_DOUBLE_EQ(rel.min, 1.0);
+  EXPECT_DOUBLE_EQ(rel.max, 4.0);
+  EXPECT_DOUBLE_EQ(rel.mean, 2.5);
+}
+
+TEST(Summary, MergeCombinesSamples) {
+  Summary a{{1, 2}};
+  Summary b{{3, 4}};
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.max(), 4);
+}
+
+TEST(BoxStats, ToStringIsHumanReadable) {
+  Summary s{{1, 2, 3}};
+  const std::string text = s.box_stats().to_string();
+  EXPECT_NE(text.find("med"), std::string::npos);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sda::stats

@@ -1,0 +1,60 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::stats {
+namespace {
+
+sim::SimTime at_hours(int h) { return sim::SimTime{std::chrono::hours{h}}; }
+
+TEST(TimeSeries, MeanOfAll) {
+  TimeSeries ts;
+  ts.add(at_hours(0), 10);
+  ts.add(at_hours(1), 20);
+  ts.add(at_hours(2), 30);
+  EXPECT_DOUBLE_EQ(ts.mean(), 20);
+  EXPECT_DOUBLE_EQ(ts.max(), 30);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, EmptyMeansZero) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.mean(), 0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0);
+}
+
+TEST(TimeSeries, MeanWhereFilters) {
+  TimeSeries ts;
+  for (int h = 0; h < 24; ++h) ts.add(at_hours(h), h < 12 ? 100 : 200);
+  const double morning = ts.mean_where([](sim::SimTime t) { return t.hours() < 12; });
+  const double evening = ts.mean_where([](sim::SimTime t) { return t.hours() >= 12; });
+  EXPECT_DOUBLE_EQ(morning, 100);
+  EXPECT_DOUBLE_EQ(evening, 200);
+}
+
+TEST(TimeSeries, MeanWhereNoMatchIsZero) {
+  TimeSeries ts;
+  ts.add(at_hours(1), 5);
+  EXPECT_DOUBLE_EQ(ts.mean_where([](sim::SimTime) { return false; }), 0);
+}
+
+TEST(TimeSeries, AverageAcrossSeries) {
+  TimeSeries a, b;
+  for (int h = 0; h < 3; ++h) {
+    a.add(at_hours(h), 10 * h);
+    b.add(at_hours(h), 20 * h);
+  }
+  const TimeSeries avg = TimeSeries::average({&a, &b});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.points()[1].value, 15);
+  EXPECT_DOUBLE_EQ(avg.points()[2].value, 30);
+  EXPECT_EQ(avg.points()[2].time, at_hours(2));
+}
+
+TEST(TimeSeries, AverageOfNothingIsEmpty) {
+  EXPECT_TRUE(TimeSeries::average({}).empty());
+}
+
+}  // namespace
+}  // namespace sda::stats

@@ -1,0 +1,121 @@
+#include "trie/bitkey.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::trie {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::MacAddress;
+
+TEST(BitKey, Ipv4HostKeyBits) {
+  const BitKey key = BitKey::from_ipv4(Ipv4Address{0b10000000, 0, 0, 1});
+  EXPECT_EQ(key.width(), 32);
+  EXPECT_EQ(key.prefix_len(), 32);
+  EXPECT_TRUE(key.is_host());
+  EXPECT_TRUE(key.bit(0));
+  EXPECT_FALSE(key.bit(1));
+  EXPECT_TRUE(key.bit(31));
+}
+
+TEST(BitKey, PrefixZeroesHostBits) {
+  const BitKey a = BitKey::from_ipv4(*Ipv4Address::parse("10.1.2.3"), 16);
+  const BitKey b = BitKey::from_ipv4(*Ipv4Address::parse("10.1.9.9"), 16);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.is_host());
+}
+
+TEST(BitKey, NonByteAlignedPrefixCanonicalization) {
+  const BitKey a = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.0"), 10);
+  const BitKey b = BitKey::from_ipv4(*Ipv4Address::parse("10.63.255.255"), 10);
+  const BitKey c = BitKey::from_ipv4(*Ipv4Address::parse("10.64.0.0"), 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitKey, CommonPrefixLen) {
+  const BitKey a = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.0"), 32);
+  const BitKey b = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.1"), 32);
+  EXPECT_EQ(a.common_prefix_len(b), 31);
+  const BitKey c = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.0"), 32);
+  EXPECT_EQ(a.common_prefix_len(c), 32);
+  const BitKey d = BitKey::from_ipv4(*Ipv4Address::parse("192.0.0.0"), 32);
+  EXPECT_EQ(a.common_prefix_len(d), 0);
+}
+
+TEST(BitKey, CommonPrefixLenCappedByShorter) {
+  const BitKey p8 = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.0"), 8);
+  const BitKey host = BitKey::from_ipv4(*Ipv4Address::parse("10.1.2.3"), 32);
+  EXPECT_EQ(p8.common_prefix_len(host), 8);
+}
+
+TEST(BitKey, Contains) {
+  const BitKey p16 = BitKey::from_ipv4_prefix(*Ipv4Prefix::parse("10.1.0.0/16"));
+  EXPECT_TRUE(p16.contains(BitKey::from_ipv4(*Ipv4Address::parse("10.1.200.3"))));
+  EXPECT_FALSE(p16.contains(BitKey::from_ipv4(*Ipv4Address::parse("10.2.0.0"))));
+  EXPECT_TRUE(p16.contains(p16));
+  const BitKey p8 = BitKey::from_ipv4_prefix(*Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p16));
+}
+
+TEST(BitKey, DefaultRouteContainsEverything) {
+  const BitKey def = BitKey::from_ipv4_prefix(*Ipv4Prefix::parse("0.0.0.0/0"));
+  EXPECT_EQ(def.prefix_len(), 0);
+  EXPECT_TRUE(def.contains(BitKey::from_ipv4(*Ipv4Address::parse("255.255.255.255"))));
+}
+
+TEST(BitKey, ContainsRequiresSameFamily) {
+  const BitKey v4 = BitKey::from_ipv4(*Ipv4Address::parse("10.0.0.0"), 8);
+  const BitKey mac = BitKey::from_mac(MacAddress::from_u64(0x0A0000000000ull));
+  EXPECT_FALSE(v4.contains(mac));
+}
+
+TEST(BitKey, Truncated) {
+  const BitKey host = BitKey::from_ipv4(*Ipv4Address::parse("10.1.2.3"));
+  const BitKey t = host.truncated(16);
+  EXPECT_EQ(t.prefix_len(), 16);
+  EXPECT_EQ(t, BitKey::from_ipv4(*Ipv4Address::parse("10.1.0.0"), 16));
+  EXPECT_TRUE(t.contains(host));
+}
+
+TEST(BitKey, MacKeys) {
+  const BitKey key = BitKey::from_mac(MacAddress::from_u64(0x8000'0000'0001ull));
+  EXPECT_EQ(key.width(), 48);
+  EXPECT_TRUE(key.is_host());
+  EXPECT_TRUE(key.bit(0));
+  EXPECT_TRUE(key.bit(47));
+  EXPECT_FALSE(key.bit(1));
+}
+
+TEST(BitKey, Ipv6Keys) {
+  const BitKey key = BitKey::from_ipv6(*net::Ipv6Address::parse("8000::1"));
+  EXPECT_EQ(key.width(), 128);
+  EXPECT_TRUE(key.bit(0));
+  EXPECT_TRUE(key.bit(127));
+  const BitKey p64 = BitKey::from_ipv6(*net::Ipv6Address::parse("2001:db8::"), 64);
+  EXPECT_TRUE(p64.contains(BitKey::from_ipv6(*net::Ipv6Address::parse("2001:db8::42"))));
+  EXPECT_FALSE(p64.contains(BitKey::from_ipv6(*net::Ipv6Address::parse("2001:db9::42"))));
+}
+
+TEST(BitKey, FromEidDispatchesOnFamily) {
+  EXPECT_EQ(BitKey::from_eid(net::Eid{Ipv4Address{1, 2, 3, 4}}).width(), 32);
+  EXPECT_EQ(BitKey::from_eid(net::Eid{*net::Ipv6Address::parse("::1")}).width(), 128);
+  EXPECT_EQ(BitKey::from_eid(net::Eid{MacAddress::from_u64(5)}).width(), 48);
+}
+
+TEST(BitKey, CommonPrefixExhaustiveOnBytePattern) {
+  // For every split point, two keys differing exactly at bit i must report
+  // a common prefix of i.
+  const auto base = *Ipv4Address::parse("170.85.170.85");  // 10101010...
+  const BitKey a = BitKey::from_ipv4(base);
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    const std::uint32_t flipped = base.value() ^ (1u << (31 - i));
+    const BitKey b = BitKey::from_ipv4(Ipv4Address{flipped});
+    EXPECT_EQ(a.common_prefix_len(b), i) << "bit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sda::trie

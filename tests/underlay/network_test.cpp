@@ -1,0 +1,123 @@
+#include "underlay/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::underlay {
+namespace {
+
+net::Ipv4Address rloc(std::uint32_t i) { return net::Ipv4Address{0x0A000000u + i}; }
+constexpr auto us50 = std::chrono::microseconds{50};
+
+struct NetworkFixture : ::testing::Test {
+  void SetUp() override {
+    a = topo.add_node("a", rloc(1));
+    b = topo.add_node("b", rloc(2));
+    c = topo.add_node("c", rloc(3));
+    ab = topo.add_link(a, b, us50);
+    bc = topo.add_link(b, c, us50);
+    net = std::make_unique<UnderlayNetwork>(sim, topo);
+  }
+
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a{}, b{}, c{};
+  LinkId ab{}, bc{};
+  std::unique_ptr<UnderlayNetwork> net;
+};
+
+TEST_F(NetworkFixture, ReachabilityOverPath) {
+  EXPECT_TRUE(net->reachable(a, rloc(3)));
+  EXPECT_FALSE(net->reachable(a, rloc(99)));
+}
+
+TEST_F(NetworkFixture, TransitDelayIncludesHopsAndSerialization) {
+  const auto d = net->transit_delay(a, rloc(3), 0, 0);
+  ASSERT_TRUE(d.has_value());
+  // 2 links * 50us + 2 hops * 5us processing.
+  EXPECT_EQ(*d, us50 * 2 + std::chrono::microseconds{10});
+  const auto with_bytes = net->transit_delay(a, rloc(3), 0, 1500);
+  EXPECT_GT(*with_bytes, *d);
+}
+
+TEST_F(NetworkFixture, TransitDelayToSelfIsZero) {
+  EXPECT_EQ(net->transit_delay(a, rloc(1), 0, 100), sim::Duration{0});
+}
+
+TEST_F(NetworkFixture, DeliverSchedulesArrival) {
+  bool arrived = false;
+  EXPECT_TRUE(net->deliver(a, rloc(3), 0, 100, [&] { arrived = true; }));
+  EXPECT_FALSE(arrived);
+  sim.run();
+  EXPECT_TRUE(arrived);
+  EXPECT_GT(sim.now(), sim::SimTime::zero());
+}
+
+TEST_F(NetworkFixture, DeliverDropsWhenUnreachable) {
+  topo.set_link_state(ab, false);
+  bool arrived = false;
+  EXPECT_FALSE(net->deliver(a, rloc(3), 0, 100, [&] { arrived = true; }));
+  sim.run();
+  EXPECT_FALSE(arrived);
+  EXPECT_EQ(net->unreachable_drops(), 1u);
+}
+
+TEST_F(NetworkFixture, TablesRefreshAfterTopologyChange) {
+  EXPECT_TRUE(net->reachable(a, rloc(3)));
+  topo.set_link_state(bc, false);
+  EXPECT_FALSE(net->reachable(a, rloc(3)));
+  topo.set_link_state(bc, true);
+  EXPECT_TRUE(net->reachable(a, rloc(3)));
+}
+
+TEST_F(NetworkFixture, WatcherNotifiedAfterConvergenceDelay) {
+  std::vector<std::pair<net::Ipv4Address, bool>> events;
+  net->watch(a, [&](net::Ipv4Address r, bool up) { events.emplace_back(r, up); });
+
+  topo.set_link_state(bc, false);
+  net->topology_changed();
+  EXPECT_TRUE(events.empty());  // not yet: IGP needs to converge
+  sim.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, rloc(3));
+  EXPECT_FALSE(events[0].second);
+
+  topo.set_link_state(bc, true);
+  net->topology_changed();
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[1].second);
+}
+
+TEST_F(NetworkFixture, WatcherOnlySeesTransitions) {
+  int count = 0;
+  net->watch(a, [&](net::Ipv4Address, bool) { ++count; });
+  net->topology_changed();  // nothing actually changed
+  sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(NetworkFixture, MultipleChangesCoalesceIntoOneNotification) {
+  int count = 0;
+  net->watch(a, [&](net::Ipv4Address, bool) { ++count; });
+  topo.set_link_state(bc, false);
+  net->topology_changed();
+  net->topology_changed();
+  net->topology_changed();
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NetworkFixture, NodeDownReportsItsRlocUnreachable) {
+  std::vector<net::Ipv4Address> down;
+  net->watch(a, [&](net::Ipv4Address r, bool up) {
+    if (!up) down.push_back(r);
+  });
+  topo.set_node_state(c, false);
+  net->topology_changed();
+  sim.run();
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0], rloc(3));
+}
+
+}  // namespace
+}  // namespace sda::underlay

@@ -1,0 +1,145 @@
+#include "underlay/spf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::underlay {
+namespace {
+
+net::Ipv4Address rloc(std::uint32_t i) { return net::Ipv4Address{0x0A000000u + i}; }
+constexpr auto us10 = std::chrono::microseconds{10};
+
+TEST(Spf, LineTopologyCostsAndHops) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  topo.add_link(a, b, us10, 1);
+  topo.add_link(b, c, us10, 1);
+
+  const SpfTable table = compute_spf(topo, a);
+  ASSERT_NE(table.route(c), nullptr);
+  EXPECT_EQ(table.route(c)->cost, 2u);
+  EXPECT_EQ(table.route(c)->hop_count, 2u);
+  EXPECT_EQ(table.route(c)->latency, us10 * 2);
+  EXPECT_EQ(table.route(c)->next_hops, std::vector<NodeId>{b});
+  EXPECT_EQ(table.route(b)->next_hops, std::vector<NodeId>{b});
+}
+
+TEST(Spf, SelfRouteIsNull) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(a), nullptr);
+}
+
+TEST(Spf, PrefersLowerCostOverFewerHops) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  topo.add_link(a, c, us10, 10);  // direct but expensive
+  topo.add_link(a, b, us10, 1);
+  topo.add_link(b, c, us10, 1);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(c)->cost, 2u);
+  EXPECT_EQ(table.route(c)->next_hops, std::vector<NodeId>{b});
+}
+
+TEST(Spf, EcmpKeepsAllEqualCostNextHops) {
+  // a -> {b, c} -> d, equal costs: both first hops must survive.
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  const NodeId d = topo.add_node("d", rloc(4));
+  topo.add_link(a, b, us10);
+  topo.add_link(a, c, us10);
+  topo.add_link(b, d, us10);
+  topo.add_link(c, d, us10);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(d)->next_hops, (std::vector<NodeId>{b, c}));
+
+  // Flow hashing picks deterministically within the set.
+  const auto h1 = table.next_hop(d, 42);
+  const auto h2 = table.next_hop(d, 42);
+  EXPECT_EQ(h1, h2);
+  bool saw_b = false, saw_c = false;
+  for (std::uint64_t h = 0; h < 16; ++h) {
+    const auto hop = table.next_hop(d, h);
+    saw_b |= hop == b;
+    saw_c |= hop == c;
+  }
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_c);
+}
+
+TEST(Spf, DownLinkExcluded) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const LinkId l = topo.add_link(a, b, us10);
+  topo.set_link_state(l, false);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(b), nullptr);
+  EXPECT_FALSE(table.reachable(b));
+}
+
+TEST(Spf, DownNodeExcludedAsTransit) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  topo.add_link(a, b, us10);
+  topo.add_link(b, c, us10);
+  topo.set_node_state(b, false);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(b), nullptr);
+  EXPECT_EQ(table.route(c), nullptr);
+}
+
+TEST(Spf, DownSourceReachesNothing) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  topo.add_link(a, b, us10);
+  topo.set_node_state(a, false);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(b), nullptr);
+}
+
+TEST(Spf, EcmpInheritsThroughIntermediateNodes) {
+  // a - b - d and a - c - d (equal), then d - e: e inherits {b, c}.
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  const NodeId d = topo.add_node("d", rloc(4));
+  const NodeId e = topo.add_node("e", rloc(5));
+  topo.add_link(a, b, us10);
+  topo.add_link(a, c, us10);
+  topo.add_link(b, d, us10);
+  topo.add_link(c, d, us10);
+  topo.add_link(d, e, us10);
+  const SpfTable table = compute_spf(topo, a);
+  EXPECT_EQ(table.route(e)->next_hops, (std::vector<NodeId>{b, c}));
+  EXPECT_EQ(table.route(e)->cost, 3u);
+}
+
+TEST(Spf, StarTopologyScales) {
+  // Hub and 200 spokes, as in the warehouse: every spoke reaches every
+  // other spoke in 2 hops through the hub.
+  Topology topo;
+  const NodeId hub = topo.add_node("hub", rloc(1000));
+  std::vector<NodeId> spokes;
+  for (int i = 0; i < 200; ++i) {
+    spokes.push_back(topo.add_node("s" + std::to_string(i), rloc(static_cast<std::uint32_t>(i))));
+    topo.add_link(hub, spokes.back(), us10);
+  }
+  const SpfTable table = compute_spf(topo, spokes[0]);
+  EXPECT_EQ(table.route(spokes[199])->hop_count, 2u);
+  EXPECT_EQ(table.route(spokes[199])->next_hops, std::vector<NodeId>{hub});
+  EXPECT_EQ(table.route(hub)->hop_count, 1u);
+}
+
+}  // namespace
+}  // namespace sda::underlay

@@ -1,0 +1,73 @@
+#include "underlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::underlay {
+namespace {
+
+net::Ipv4Address rloc(std::uint32_t i) { return net::Ipv4Address{0x0A000000u + i}; }
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const LinkId l = topo.add_link(a, b, std::chrono::microseconds{10}, 5);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.node(a).name, "a");
+  EXPECT_EQ(topo.link(l).cost, 5u);
+  EXPECT_EQ(topo.link(l).other(a), b);
+  EXPECT_EQ(topo.link(l).other(b), a);
+}
+
+TEST(Topology, AdjacencyTracksBothEndpoints) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const NodeId c = topo.add_node("c", rloc(3));
+  topo.add_link(a, b, std::chrono::microseconds{1});
+  topo.add_link(a, c, std::chrono::microseconds{1});
+  EXPECT_EQ(topo.links_of(a).size(), 2u);
+  EXPECT_EQ(topo.links_of(b).size(), 1u);
+  EXPECT_EQ(topo.links_of(c).size(), 1u);
+}
+
+TEST(Topology, LoopbackLookup) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(7));
+  EXPECT_EQ(topo.node_by_loopback(rloc(7)), a);
+  EXPECT_FALSE(topo.node_by_loopback(rloc(9)).has_value());
+}
+
+TEST(Topology, LinkUsabilityFollowsStates) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const LinkId l = topo.add_link(a, b, std::chrono::microseconds{1});
+  EXPECT_TRUE(topo.link_usable(l));
+  topo.set_link_state(l, false);
+  EXPECT_FALSE(topo.link_usable(l));
+  topo.set_link_state(l, true);
+  EXPECT_TRUE(topo.link_usable(l));
+  topo.set_node_state(b, false);
+  EXPECT_FALSE(topo.link_usable(l));
+}
+
+TEST(Topology, VersionBumpsOnlyOnChange) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", rloc(1));
+  const NodeId b = topo.add_node("b", rloc(2));
+  const LinkId l = topo.add_link(a, b, std::chrono::microseconds{1});
+  const auto v = topo.version();
+  topo.set_link_state(l, true);  // already up: no change
+  EXPECT_EQ(topo.version(), v);
+  topo.set_link_state(l, false);
+  EXPECT_GT(topo.version(), v);
+  topo.set_node_state(a, true);  // already up
+  const auto v2 = topo.version();
+  topo.set_node_state(a, false);
+  EXPECT_GT(topo.version(), v2);
+}
+
+}  // namespace
+}  // namespace sda::underlay

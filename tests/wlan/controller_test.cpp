@@ -1,0 +1,221 @@
+// WLAN layer tests: centralized control plane with distributed vs
+// centralized data plane (paper §2 "Mobility", Table 1).
+#include "wlan/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::wlan {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+
+constexpr VnId kVn{100};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct WlanFixture : ::testing::Test {
+  void build(DataPlaneMode mode) {
+    fabric = std::make_unique<fabric::SdaFabric>(sim, fabric::FabricConfig{});
+    fabric->add_border("b0");
+    for (const char* e : {"e0", "e1", "e-anchor"}) {
+      fabric->add_edge(e);
+      fabric->link(e, "b0");
+    }
+    fabric->finalize();
+    fabric->define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+    WlanConfig config;
+    config.mode = mode;
+    config.controller_edge = "e-anchor";
+    wlc = std::make_unique<WlanController>(*fabric, config);
+    wlc->add_access_point({"ap-0", "e0", 1});
+    wlc->add_access_point({"ap-1", "e1", 1});
+
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      fabric::EndpointDefinition def;
+      def.credential = "sta" + std::to_string(i);
+      def.secret = "pw";
+      def.mac = mac(i);
+      def.vn = kVn;
+      def.group = GroupId{10};
+      fabric->provision_endpoint(def);
+    }
+    fabric->set_delivery_listener([this](const dataplane::AttachedEndpoint& e,
+                                         const net::OverlayFrame&, sim::SimTime at) {
+      deliveries.emplace_back(e.credential, at);
+    });
+  }
+
+  AssociationResult associate(const std::string& credential, const std::string& ap) {
+    AssociationResult result;
+    wlc->associate(credential, ap, [&](const AssociationResult& r) { result = r; });
+    sim.run();
+    return result;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<fabric::SdaFabric> fabric;
+  std::unique_ptr<WlanController> wlc;
+  std::vector<std::pair<std::string, sim::SimTime>> deliveries;
+};
+
+TEST_F(WlanFixture, DistributedAssociationOnboardsAtApEdge) {
+  build(DataPlaneMode::Distributed);
+  const auto r = associate("sta0", "ap-0");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(fabric->location_of(mac(0)), "e0");
+  EXPECT_EQ(wlc->ap_of(mac(0)), "ap-0");
+  EXPECT_EQ(wlc->station_count(), 1u);
+}
+
+TEST_F(WlanFixture, CentralizedAssociationAnchorsAtController) {
+  build(DataPlaneMode::Centralized);
+  const auto r = associate("sta0", "ap-0");
+  ASSERT_TRUE(r.success);
+  // Data-plane identity lives at the anchor, regardless of the AP's edge.
+  EXPECT_EQ(fabric->location_of(mac(0)), "e-anchor");
+  EXPECT_EQ(wlc->ap_of(mac(0)), "ap-0");
+}
+
+TEST_F(WlanFixture, DistributedTrafficGoesDirect) {
+  build(DataPlaneMode::Distributed);
+  associate("sta0", "ap-0");
+  const auto r1 = associate("sta1", "ap-1");
+  EXPECT_TRUE(wlc->station_send_udp(mac(0), r1.ip, 443, 256));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].first, "sta1");
+  EXPECT_EQ(wlc->stats().frames_tunneled, 0u);  // nothing through the WLC
+}
+
+TEST_F(WlanFixture, CentralizedTrafficTunnelsThroughController) {
+  build(DataPlaneMode::Centralized);
+  associate("sta0", "ap-0");
+  const auto r1 = associate("sta1", "ap-1");
+  EXPECT_TRUE(wlc->station_send_udp(mac(0), r1.ip, 443, 256));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(wlc->stats().frames_tunneled, 1u);
+  EXPECT_EQ(wlc->stats().bytes_tunneled, 256u);
+  EXPECT_GT(wlc->stats().busy_time.count(), 0);
+}
+
+TEST_F(WlanFixture, TriangularRoutingCostsLatency) {
+  // Same flow, both modes: centralized must be slower end-to-end because
+  // of the AP->controller tunnel detour (the paper's triangular routing).
+  build(DataPlaneMode::Distributed);
+  associate("sta0", "ap-0");
+  const auto dst_d = associate("sta1", "ap-1");
+  // Warm the map cache so we measure steady-state latency, not resolution.
+  wlc->station_send_udp(mac(0), dst_d.ip, 443, 256);
+  sim.run();
+  const sim::SimTime t0 = sim.now();
+  wlc->station_send_udp(mac(0), dst_d.ip, 443, 256);
+  sim.run();
+  const auto direct_latency = deliveries.back().second - t0;
+
+  build(DataPlaneMode::Centralized);  // fresh fabric + controller
+  deliveries.clear();
+  associate("sta0", "ap-0");
+  const auto dst_c = associate("sta1", "ap-1");
+  wlc->station_send_udp(mac(0), dst_c.ip, 443, 256);
+  sim.run();
+  const sim::SimTime t1 = sim.now();
+  wlc->station_send_udp(mac(0), dst_c.ip, 443, 256);
+  sim.run();
+  const auto tunneled_latency = deliveries.back().second - t1;
+
+  EXPECT_GT(tunneled_latency, direct_latency);
+}
+
+TEST_F(WlanFixture, DistributedRoamReRegisters) {
+  build(DataPlaneMode::Distributed);
+  associate("sta0", "ap-0");
+  AssociationResult roamed;
+  wlc->roam(mac(0), "ap-1", [&](const AssociationResult& r) { roamed = r; });
+  sim.run();
+  ASSERT_TRUE(roamed.success);
+  EXPECT_EQ(fabric->location_of(mac(0)), "e1");
+  EXPECT_EQ(wlc->ap_of(mac(0)), "ap-1");
+  EXPECT_EQ(wlc->stats().roams, 1u);
+}
+
+TEST_F(WlanFixture, CentralizedRoamKeepsAnchor) {
+  build(DataPlaneMode::Centralized);
+  associate("sta0", "ap-0");
+  AssociationResult roamed;
+  wlc->roam(mac(0), "ap-1", [&](const AssociationResult& r) { roamed = r; });
+  sim.run();
+  ASSERT_TRUE(roamed.success);
+  EXPECT_EQ(fabric->location_of(mac(0)), "e-anchor");  // unchanged
+  EXPECT_EQ(wlc->ap_of(mac(0)), "ap-1");
+}
+
+TEST_F(WlanFixture, CentralizedRoamIsFasterButPathStaysBent) {
+  // The legacy architecture's one advantage: a roam is only a key hand-off.
+  build(DataPlaneMode::Centralized);
+  associate("sta0", "ap-0");
+  AssociationResult central_roam;
+  wlc->roam(mac(0), "ap-1", [&](const AssociationResult& r) { central_roam = r; });
+  sim.run();
+
+  build(DataPlaneMode::Distributed);
+  associate("sta0", "ap-0");
+  AssociationResult distributed_roam;
+  wlc->roam(mac(0), "ap-1", [&](const AssociationResult& r) { distributed_roam = r; });
+  sim.run();
+
+  EXPECT_LT(central_roam.elapsed, distributed_roam.elapsed);
+}
+
+TEST_F(WlanFixture, StationDeliveryIncludesDownstreamTunnel) {
+  build(DataPlaneMode::Centralized);
+  associate("sta0", "ap-0");
+  const auto r1 = associate("sta1", "ap-1");
+
+  sim::SimTime fabric_delivery, station_delivery;
+  // Raw fabric listener first (times arrival at the anchor only)...
+  fabric->set_delivery_listener([&](const dataplane::AttachedEndpoint&,
+                                    const net::OverlayFrame&, sim::SimTime at) {
+    fabric_delivery = at;
+  });
+  const sim::SimTime t0 = sim.now();
+  wlc->station_send_udp(mac(0), r1.ip, 443, 128);
+  sim.run();
+  ASSERT_GT(fabric_delivery.nanoseconds(), 0);
+  const sim::Duration upstream_only = fabric_delivery - t0;
+
+  // ...then the station-level listener, which adds the anchor->AP leg.
+  wlc->set_station_delivery_listener([&](const dataplane::AttachedEndpoint&,
+                                         const net::OverlayFrame&, sim::SimTime at) {
+    station_delivery = at;
+  });
+  const sim::SimTime t1 = sim.now();
+  wlc->station_send_udp(mac(0), r1.ip, 443, 128);
+  sim.run();
+  ASSERT_GT(station_delivery.nanoseconds(), 0);
+  EXPECT_GT(station_delivery - t1, upstream_only);
+}
+
+TEST_F(WlanFixture, DisassociateWithdraws) {
+  build(DataPlaneMode::Distributed);
+  associate("sta0", "ap-0");
+  wlc->disassociate(mac(0));
+  sim.run();
+  EXPECT_EQ(wlc->station_count(), 0u);
+  EXPECT_EQ(fabric->location_of(mac(0)), std::nullopt);
+  EXPECT_FALSE(wlc->station_send_udp(mac(0), net::Ipv4Address{10, 100, 0, 9}, 443, 10));
+}
+
+TEST_F(WlanFixture, UnknownApThrows) {
+  build(DataPlaneMode::Distributed);
+  EXPECT_THROW(wlc->associate("sta0", "ap-9"), std::invalid_argument);
+  associate("sta0", "ap-0");
+  EXPECT_THROW(wlc->roam(mac(0), "ap-9"), std::invalid_argument);
+  EXPECT_THROW(wlc->roam(mac(2), "ap-1"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sda::wlan

@@ -1,0 +1,84 @@
+#include "workload/campus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::workload {
+namespace {
+
+CampusSpec tiny_spec() {
+  CampusSpec spec;
+  spec.name = "T";
+  spec.borders = 1;
+  spec.edges = 3;
+  spec.users = 30;
+  spec.permanent = 6;
+  spec.flows_per_hour = 4;
+  spec.permanent_flows_per_hour = 2;
+  // Few external destinations: at toy population sizes the edge caches
+  // would otherwise be dominated by the external set and dwarf the border.
+  spec.external_destinations = 12;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(CampusWorkload, TimeHelpers) {
+  using sim::SimTime;
+  EXPECT_TRUE(is_weekday(SimTime{std::chrono::hours{10}}));        // Monday 10:00
+  EXPECT_TRUE(is_weekday(SimTime{std::chrono::hours{4 * 24}}));    // Friday
+  EXPECT_FALSE(is_weekday(SimTime{std::chrono::hours{5 * 24}}));   // Saturday
+  EXPECT_FALSE(is_weekday(SimTime{std::chrono::hours{6 * 24}}));   // Sunday
+  EXPECT_TRUE(is_weekday(SimTime{std::chrono::hours{7 * 24}}));    // Monday again
+  EXPECT_TRUE(is_work_hours(SimTime{std::chrono::hours{10}}));
+  EXPECT_FALSE(is_work_hours(SimTime{std::chrono::hours{20}}));
+  EXPECT_FALSE(is_work_hours(SimTime{std::chrono::hours{8}}));
+  EXPECT_TRUE(is_work_hours(SimTime{std::chrono::hours{24 + 9}}));
+}
+
+TEST(CampusWorkload, OneWeekRunProducesSaneSeries) {
+  CampusWorkload campus{tiny_spec()};
+  const CampusResult result = campus.run(1);
+
+  // Hourly samples for 7 days.
+  EXPECT_EQ(result.border_fib.size(), 7u * 24);
+  EXPECT_EQ(result.edge_fib.size(), 7u * 24);
+  EXPECT_EQ(result.per_edge_fib.size(), 3u);
+
+  // The border tracks presence: day average must exceed night average.
+  EXPECT_GT(result.border_day, result.border_night);
+  // Permanent endpoints keep the border FIB nonzero at night.
+  EXPECT_GT(result.border_night, 0.0);
+  // Edge caches exist and hold fewer entries than the border by day
+  // (reactive state optimization, the Fig. 9 headline).
+  EXPECT_GT(result.edge_all, 0.0);
+  EXPECT_LT(result.edge_day, result.border_day);
+}
+
+TEST(CampusWorkload, StateReductionPositive) {
+  CampusSpec spec = tiny_spec();
+  spec.users = 60;       // more users -> bigger border table
+  spec.permanent = 30;
+  CampusWorkload campus{spec};
+  const CampusResult result = campus.run(1);
+  EXPECT_GT(result.state_reduction(), 0.0);
+  EXPECT_LT(result.state_reduction(), 1.0);
+}
+
+TEST(CampusWorkload, DeterministicForSameSeed) {
+  CampusWorkload a{tiny_spec()};
+  CampusWorkload b{tiny_spec()};
+  const CampusResult ra = a.run(1);
+  const CampusResult rb = b.run(1);
+  EXPECT_DOUBLE_EQ(ra.border_all, rb.border_all);
+  EXPECT_DOUBLE_EQ(ra.edge_all, rb.edge_all);
+}
+
+TEST(CampusWorkload, DifferentSeedsDiffer) {
+  CampusSpec other = tiny_spec();
+  other.seed = 77;
+  CampusWorkload a{tiny_spec()};
+  CampusWorkload b{other};
+  EXPECT_NE(a.run(1).border_all, b.run(1).border_all);
+}
+
+}  // namespace
+}  // namespace sda::workload

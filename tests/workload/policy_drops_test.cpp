@@ -1,0 +1,92 @@
+#include "workload/policy_drops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::workload {
+namespace {
+
+PolicyDropSpec tiny_spec() {
+  PolicyDropSpec spec;
+  spec.devices = {
+      {.name = "branch", .users = 200, .attempts_per_hour = 25, .denied_pick_share = 0.0025},
+      {.name = "vpn-gw", .users = 200, .attempts_per_hour = 35, .denied_pick_share = 0.009,
+       .give_up_rate = 1.1, .remote_usage = true},
+  };
+  spec.update_transient_share = 0.01;
+  spec.days = 3;
+  spec.policy_update_hour = 30;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(PolicyDrops, ProducesHourlySeriesPerDevice) {
+  const PolicyDropResult result = run_policy_drops(tiny_spec());
+  ASSERT_EQ(result.devices.size(), 2u);
+  for (const auto& device : result.devices) {
+    EXPECT_EQ(device.drop_permille.size(), 3u * 24);
+    EXPECT_GT(device.total_packets, 0u);
+  }
+}
+
+TEST(PolicyDrops, DropRatesAreTinyPermille) {
+  // The paper's Fig. 12 observation: worst case ~0.2 permille overall.
+  const PolicyDropResult result = run_policy_drops(tiny_spec());
+  for (const auto& device : result.devices) {
+    EXPECT_GT(device.overall_permille(), 0.0) << device.name;
+    EXPECT_LT(device.overall_permille(), 5.0) << device.name;
+  }
+}
+
+TEST(PolicyDrops, VpnGatewayDropsMoreThanBranch) {
+  const PolicyDropResult result = run_policy_drops(tiny_spec());
+  const auto& branch = result.devices[0];
+  const auto& vpn = result.devices[1];
+  EXPECT_GT(vpn.overall_permille(), branch.overall_permille());
+}
+
+TEST(PolicyDrops, PolicyUpdateCausesTransientSpikeThenDecay) {
+  PolicyDropSpec spec = tiny_spec();
+  spec.devices = {{.name = "campus", .users = 2000, .attempts_per_hour = 30,
+                   .denied_pick_share = 0.002}};
+  spec.days = 4;
+  spec.policy_update_hour = 34;  // mid-trace, during working hours
+  const PolicyDropResult result = run_policy_drops(spec);
+  const auto& series = result.devices[0].drop_permille.points();
+
+  auto window_mean = [&](unsigned lo, unsigned hi) {
+    double acc = 0;
+    unsigned n = 0;
+    for (unsigned h = lo; h < hi && h < series.size(); ++h) {
+      acc += series[h].value;
+      ++n;
+    }
+    return acc / n;
+  };
+  const double before = window_mean(24, 34);
+  const double during = window_mean(34, 40);
+  const double after = window_mean(60, 84);
+  EXPECT_GT(during, before);  // transient spike right after rollout
+  EXPECT_LT(after, during);   // humans stop retrying: decay
+}
+
+TEST(PolicyDrops, NoUpdateMeansNoSpike) {
+  PolicyDropSpec spec = tiny_spec();
+  spec.policy_update_hour = -1;
+  const PolicyDropResult result = run_policy_drops(spec);
+  for (const auto& device : result.devices) {
+    // Still some steady-state denied traffic, but bounded. Thin night
+    // hours make single drops weigh several permille, hence the margin.
+    EXPECT_LT(device.worst_hour_permille(), 60.0);
+    EXPECT_LT(device.overall_permille(), 5.0);
+  }
+}
+
+TEST(PolicyDrops, DeterministicForSeed) {
+  const PolicyDropResult a = run_policy_drops(tiny_spec());
+  const PolicyDropResult b = run_policy_drops(tiny_spec());
+  EXPECT_EQ(a.devices[0].total_drops, b.devices[0].total_drops);
+  EXPECT_EQ(a.devices[1].total_packets, b.devices[1].total_packets);
+}
+
+}  // namespace
+}  // namespace sda::workload
