@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_enforcement_point.dir/bench_ablation_enforcement_point.cpp.o"
+  "CMakeFiles/bench_ablation_enforcement_point.dir/bench_ablation_enforcement_point.cpp.o.d"
+  "bench_ablation_enforcement_point"
+  "bench_ablation_enforcement_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enforcement_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_underlay_outage.dir/bench_ablation_underlay_outage.cpp.o"
+  "CMakeFiles/bench_ablation_underlay_outage.dir/bench_ablation_underlay_outage.cpp.o.d"
+  "bench_ablation_underlay_outage"
+  "bench_ablation_underlay_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_underlay_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wlan_dataplane.dir/bench_ablation_wlan_dataplane.cpp.o"
+  "CMakeFiles/bench_ablation_wlan_dataplane.dir/bench_ablation_wlan_dataplane.cpp.o.d"
+  "bench_ablation_wlan_dataplane"
+  "bench_ablation_wlan_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wlan_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

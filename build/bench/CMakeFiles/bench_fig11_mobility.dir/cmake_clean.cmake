@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mobility.dir/bench_fig11_mobility.cpp.o"
+  "CMakeFiles/bench_fig11_mobility.dir/bench_fig11_mobility.cpp.o.d"
+  "bench_fig11_mobility"
+  "bench_fig11_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

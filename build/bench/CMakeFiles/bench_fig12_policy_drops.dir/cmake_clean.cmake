@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_policy_drops.dir/bench_fig12_policy_drops.cpp.o"
+  "CMakeFiles/bench_fig12_policy_drops.dir/bench_fig12_policy_drops.cpp.o.d"
+  "bench_fig12_policy_drops"
+  "bench_fig12_policy_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_policy_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

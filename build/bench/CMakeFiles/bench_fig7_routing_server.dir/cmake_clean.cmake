@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_routing_server.dir/bench_fig7_routing_server.cpp.o"
+  "CMakeFiles/bench_fig7_routing_server.dir/bench_fig7_routing_server.cpp.o.d"
+  "bench_fig7_routing_server"
+  "bench_fig7_routing_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_routing_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

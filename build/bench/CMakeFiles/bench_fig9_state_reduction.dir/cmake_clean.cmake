@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_state_reduction.dir/bench_fig9_state_reduction.cpp.o"
+  "CMakeFiles/bench_fig9_state_reduction.dir/bench_fig9_state_reduction.cpp.o.d"
+  "bench_fig9_state_reduction"
+  "bench_fig9_state_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_state_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

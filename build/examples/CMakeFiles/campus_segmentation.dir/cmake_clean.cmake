@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_segmentation.dir/campus_segmentation.cpp.o"
+  "CMakeFiles/campus_segmentation.dir/campus_segmentation.cpp.o.d"
+  "campus_segmentation"
+  "campus_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

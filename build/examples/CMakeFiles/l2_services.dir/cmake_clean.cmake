@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2_services.dir/l2_services.cpp.o"
+  "CMakeFiles/l2_services.dir/l2_services.cpp.o.d"
+  "l2_services"
+  "l2_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_mobility.dir/warehouse_mobility.cpp.o"
+  "CMakeFiles/warehouse_mobility.dir/warehouse_mobility.cpp.o.d"
+  "warehouse_mobility"
+  "warehouse_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_campus.dir/wireless_campus.cpp.o"
+  "CMakeFiles/wireless_campus.dir/wireless_campus.cpp.o.d"
+  "wireless_campus"
+  "wireless_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

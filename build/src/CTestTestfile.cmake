@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("sim")
+subdirs("trie")
+subdirs("stats")
+subdirs("underlay")
+subdirs("lisp")
+subdirs("bgp")
+subdirs("policy")
+subdirs("dataplane")
+subdirs("l2")
+subdirs("fabric")
+subdirs("wlan")
+subdirs("workload")

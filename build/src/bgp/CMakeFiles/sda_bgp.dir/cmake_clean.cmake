@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_bgp.dir/rib.cpp.o"
+  "CMakeFiles/sda_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/sda_bgp.dir/route_reflector.cpp.o"
+  "CMakeFiles/sda_bgp.dir/route_reflector.cpp.o.d"
+  "libsda_bgp.a"
+  "libsda_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

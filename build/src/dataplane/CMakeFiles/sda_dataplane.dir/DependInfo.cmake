@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/border_router.cpp" "src/dataplane/CMakeFiles/sda_dataplane.dir/border_router.cpp.o" "gcc" "src/dataplane/CMakeFiles/sda_dataplane.dir/border_router.cpp.o.d"
+  "/root/repo/src/dataplane/edge_router.cpp" "src/dataplane/CMakeFiles/sda_dataplane.dir/edge_router.cpp.o" "gcc" "src/dataplane/CMakeFiles/sda_dataplane.dir/edge_router.cpp.o.d"
+  "/root/repo/src/dataplane/sgacl.cpp" "src/dataplane/CMakeFiles/sda_dataplane.dir/sgacl.cpp.o" "gcc" "src/dataplane/CMakeFiles/sda_dataplane.dir/sgacl.cpp.o.d"
+  "/root/repo/src/dataplane/vrf.cpp" "src/dataplane/CMakeFiles/sda_dataplane.dir/vrf.cpp.o" "gcc" "src/dataplane/CMakeFiles/sda_dataplane.dir/vrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/sda_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/sda_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sda_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/sda_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sda_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_dataplane.dir/border_router.cpp.o"
+  "CMakeFiles/sda_dataplane.dir/border_router.cpp.o.d"
+  "CMakeFiles/sda_dataplane.dir/edge_router.cpp.o"
+  "CMakeFiles/sda_dataplane.dir/edge_router.cpp.o.d"
+  "CMakeFiles/sda_dataplane.dir/sgacl.cpp.o"
+  "CMakeFiles/sda_dataplane.dir/sgacl.cpp.o.d"
+  "CMakeFiles/sda_dataplane.dir/vrf.cpp.o"
+  "CMakeFiles/sda_dataplane.dir/vrf.cpp.o.d"
+  "libsda_dataplane.a"
+  "libsda_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

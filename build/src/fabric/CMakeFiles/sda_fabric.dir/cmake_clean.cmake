@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/sda_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/sda_fabric.dir/inspect.cpp.o"
+  "CMakeFiles/sda_fabric.dir/inspect.cpp.o.d"
+  "CMakeFiles/sda_fabric.dir/topologies.cpp.o"
+  "CMakeFiles/sda_fabric.dir/topologies.cpp.o.d"
+  "libsda_fabric.a"
+  "libsda_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/l2/dhcp.cpp" "src/l2/CMakeFiles/sda_l2.dir/dhcp.cpp.o" "gcc" "src/l2/CMakeFiles/sda_l2.dir/dhcp.cpp.o.d"
+  "/root/repo/src/l2/dhcp_wire.cpp" "src/l2/CMakeFiles/sda_l2.dir/dhcp_wire.cpp.o" "gcc" "src/l2/CMakeFiles/sda_l2.dir/dhcp_wire.cpp.o.d"
+  "/root/repo/src/l2/l2_gateway.cpp" "src/l2/CMakeFiles/sda_l2.dir/l2_gateway.cpp.o" "gcc" "src/l2/CMakeFiles/sda_l2.dir/l2_gateway.cpp.o.d"
+  "/root/repo/src/l2/service_discovery.cpp" "src/l2/CMakeFiles/sda_l2.dir/service_discovery.cpp.o" "gcc" "src/l2/CMakeFiles/sda_l2.dir/service_discovery.cpp.o.d"
+  "/root/repo/src/l2/slaac.cpp" "src/l2/CMakeFiles/sda_l2.dir/slaac.cpp.o" "gcc" "src/l2/CMakeFiles/sda_l2.dir/slaac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sda_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/sda_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/sda_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sda_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sda_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/sda_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

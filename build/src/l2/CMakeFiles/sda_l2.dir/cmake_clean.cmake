@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_l2.dir/dhcp.cpp.o"
+  "CMakeFiles/sda_l2.dir/dhcp.cpp.o.d"
+  "CMakeFiles/sda_l2.dir/dhcp_wire.cpp.o"
+  "CMakeFiles/sda_l2.dir/dhcp_wire.cpp.o.d"
+  "CMakeFiles/sda_l2.dir/l2_gateway.cpp.o"
+  "CMakeFiles/sda_l2.dir/l2_gateway.cpp.o.d"
+  "CMakeFiles/sda_l2.dir/service_discovery.cpp.o"
+  "CMakeFiles/sda_l2.dir/service_discovery.cpp.o.d"
+  "CMakeFiles/sda_l2.dir/slaac.cpp.o"
+  "CMakeFiles/sda_l2.dir/slaac.cpp.o.d"
+  "libsda_l2.a"
+  "libsda_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

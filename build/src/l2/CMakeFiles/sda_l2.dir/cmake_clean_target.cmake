@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsda_l2.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lisp/map_cache.cpp" "src/lisp/CMakeFiles/sda_lisp.dir/map_cache.cpp.o" "gcc" "src/lisp/CMakeFiles/sda_lisp.dir/map_cache.cpp.o.d"
+  "/root/repo/src/lisp/map_server.cpp" "src/lisp/CMakeFiles/sda_lisp.dir/map_server.cpp.o" "gcc" "src/lisp/CMakeFiles/sda_lisp.dir/map_server.cpp.o.d"
+  "/root/repo/src/lisp/map_server_node.cpp" "src/lisp/CMakeFiles/sda_lisp.dir/map_server_node.cpp.o" "gcc" "src/lisp/CMakeFiles/sda_lisp.dir/map_server_node.cpp.o.d"
+  "/root/repo/src/lisp/messages.cpp" "src/lisp/CMakeFiles/sda_lisp.dir/messages.cpp.o" "gcc" "src/lisp/CMakeFiles/sda_lisp.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/sda_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sda_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

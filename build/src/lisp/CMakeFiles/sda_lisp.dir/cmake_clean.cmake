@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_lisp.dir/map_cache.cpp.o"
+  "CMakeFiles/sda_lisp.dir/map_cache.cpp.o.d"
+  "CMakeFiles/sda_lisp.dir/map_server.cpp.o"
+  "CMakeFiles/sda_lisp.dir/map_server.cpp.o.d"
+  "CMakeFiles/sda_lisp.dir/map_server_node.cpp.o"
+  "CMakeFiles/sda_lisp.dir/map_server_node.cpp.o.d"
+  "CMakeFiles/sda_lisp.dir/messages.cpp.o"
+  "CMakeFiles/sda_lisp.dir/messages.cpp.o.d"
+  "libsda_lisp.a"
+  "libsda_lisp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_lisp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/sda_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/eid.cpp" "src/net/CMakeFiles/sda_net.dir/eid.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/eid.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/sda_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/ip_address.cpp" "src/net/CMakeFiles/sda_net.dir/ip_address.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/ip_address.cpp.o.d"
+  "/root/repo/src/net/mac_address.cpp" "src/net/CMakeFiles/sda_net.dir/mac_address.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/mac_address.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/sda_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/sda_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/sda_net.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_net.dir/checksum.cpp.o"
+  "CMakeFiles/sda_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/sda_net.dir/eid.cpp.o"
+  "CMakeFiles/sda_net.dir/eid.cpp.o.d"
+  "CMakeFiles/sda_net.dir/headers.cpp.o"
+  "CMakeFiles/sda_net.dir/headers.cpp.o.d"
+  "CMakeFiles/sda_net.dir/ip_address.cpp.o"
+  "CMakeFiles/sda_net.dir/ip_address.cpp.o.d"
+  "CMakeFiles/sda_net.dir/mac_address.cpp.o"
+  "CMakeFiles/sda_net.dir/mac_address.cpp.o.d"
+  "CMakeFiles/sda_net.dir/packet.cpp.o"
+  "CMakeFiles/sda_net.dir/packet.cpp.o.d"
+  "CMakeFiles/sda_net.dir/prefix.cpp.o"
+  "CMakeFiles/sda_net.dir/prefix.cpp.o.d"
+  "libsda_net.a"
+  "libsda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

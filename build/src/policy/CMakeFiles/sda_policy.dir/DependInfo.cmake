@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/matrix.cpp" "src/policy/CMakeFiles/sda_policy.dir/matrix.cpp.o" "gcc" "src/policy/CMakeFiles/sda_policy.dir/matrix.cpp.o.d"
+  "/root/repo/src/policy/policy_server.cpp" "src/policy/CMakeFiles/sda_policy.dir/policy_server.cpp.o" "gcc" "src/policy/CMakeFiles/sda_policy.dir/policy_server.cpp.o.d"
+  "/root/repo/src/policy/radius.cpp" "src/policy/CMakeFiles/sda_policy.dir/radius.cpp.o" "gcc" "src/policy/CMakeFiles/sda_policy.dir/radius.cpp.o.d"
+  "/root/repo/src/policy/sxp.cpp" "src/policy/CMakeFiles/sda_policy.dir/sxp.cpp.o" "gcc" "src/policy/CMakeFiles/sda_policy.dir/sxp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

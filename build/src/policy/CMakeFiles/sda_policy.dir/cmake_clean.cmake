@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_policy.dir/matrix.cpp.o"
+  "CMakeFiles/sda_policy.dir/matrix.cpp.o.d"
+  "CMakeFiles/sda_policy.dir/policy_server.cpp.o"
+  "CMakeFiles/sda_policy.dir/policy_server.cpp.o.d"
+  "CMakeFiles/sda_policy.dir/radius.cpp.o"
+  "CMakeFiles/sda_policy.dir/radius.cpp.o.d"
+  "CMakeFiles/sda_policy.dir/sxp.cpp.o"
+  "CMakeFiles/sda_policy.dir/sxp.cpp.o.d"
+  "libsda_policy.a"
+  "libsda_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

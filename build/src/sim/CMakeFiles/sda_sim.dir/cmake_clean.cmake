@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_sim.dir/random.cpp.o"
+  "CMakeFiles/sda_sim.dir/random.cpp.o.d"
+  "CMakeFiles/sda_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sda_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sda_sim.dir/time.cpp.o"
+  "CMakeFiles/sda_sim.dir/time.cpp.o.d"
+  "libsda_sim.a"
+  "libsda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

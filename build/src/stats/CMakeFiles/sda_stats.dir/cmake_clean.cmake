@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_stats.dir/cdf.cpp.o"
+  "CMakeFiles/sda_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/sda_stats.dir/csv.cpp.o"
+  "CMakeFiles/sda_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/sda_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sda_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sda_stats.dir/summary.cpp.o"
+  "CMakeFiles/sda_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/sda_stats.dir/table.cpp.o"
+  "CMakeFiles/sda_stats.dir/table.cpp.o.d"
+  "CMakeFiles/sda_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/sda_stats.dir/timeseries.cpp.o.d"
+  "libsda_stats.a"
+  "libsda_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

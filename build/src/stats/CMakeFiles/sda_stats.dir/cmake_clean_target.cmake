@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsda_stats.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_trie.dir/bitkey.cpp.o"
+  "CMakeFiles/sda_trie.dir/bitkey.cpp.o.d"
+  "libsda_trie.a"
+  "libsda_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

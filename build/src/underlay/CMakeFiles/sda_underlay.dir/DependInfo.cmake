@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/underlay/linkstate.cpp" "src/underlay/CMakeFiles/sda_underlay.dir/linkstate.cpp.o" "gcc" "src/underlay/CMakeFiles/sda_underlay.dir/linkstate.cpp.o.d"
+  "/root/repo/src/underlay/network.cpp" "src/underlay/CMakeFiles/sda_underlay.dir/network.cpp.o" "gcc" "src/underlay/CMakeFiles/sda_underlay.dir/network.cpp.o.d"
+  "/root/repo/src/underlay/spf.cpp" "src/underlay/CMakeFiles/sda_underlay.dir/spf.cpp.o" "gcc" "src/underlay/CMakeFiles/sda_underlay.dir/spf.cpp.o.d"
+  "/root/repo/src/underlay/topology.cpp" "src/underlay/CMakeFiles/sda_underlay.dir/topology.cpp.o" "gcc" "src/underlay/CMakeFiles/sda_underlay.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

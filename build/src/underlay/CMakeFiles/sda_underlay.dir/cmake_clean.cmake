@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_underlay.dir/linkstate.cpp.o"
+  "CMakeFiles/sda_underlay.dir/linkstate.cpp.o.d"
+  "CMakeFiles/sda_underlay.dir/network.cpp.o"
+  "CMakeFiles/sda_underlay.dir/network.cpp.o.d"
+  "CMakeFiles/sda_underlay.dir/spf.cpp.o"
+  "CMakeFiles/sda_underlay.dir/spf.cpp.o.d"
+  "CMakeFiles/sda_underlay.dir/topology.cpp.o"
+  "CMakeFiles/sda_underlay.dir/topology.cpp.o.d"
+  "libsda_underlay.a"
+  "libsda_underlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_underlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_wlan.dir/controller.cpp.o"
+  "CMakeFiles/sda_wlan.dir/controller.cpp.o.d"
+  "libsda_wlan.a"
+  "libsda_wlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

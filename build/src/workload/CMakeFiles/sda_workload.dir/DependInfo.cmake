@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campus.cpp" "src/workload/CMakeFiles/sda_workload.dir/campus.cpp.o" "gcc" "src/workload/CMakeFiles/sda_workload.dir/campus.cpp.o.d"
+  "/root/repo/src/workload/policy_drops.cpp" "src/workload/CMakeFiles/sda_workload.dir/policy_drops.cpp.o" "gcc" "src/workload/CMakeFiles/sda_workload.dir/policy_drops.cpp.o.d"
+  "/root/repo/src/workload/warehouse.cpp" "src/workload/CMakeFiles/sda_workload.dir/warehouse.cpp.o" "gcc" "src/workload/CMakeFiles/sda_workload.dir/warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/sda_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sda_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sda_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/l2/CMakeFiles/sda_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sda_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/sda_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/sda_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/sda_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sda_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

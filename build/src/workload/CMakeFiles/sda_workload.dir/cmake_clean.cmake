@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sda_workload.dir/campus.cpp.o"
+  "CMakeFiles/sda_workload.dir/campus.cpp.o.d"
+  "CMakeFiles/sda_workload.dir/policy_drops.cpp.o"
+  "CMakeFiles/sda_workload.dir/policy_drops.cpp.o.d"
+  "CMakeFiles/sda_workload.dir/warehouse.cpp.o"
+  "CMakeFiles/sda_workload.dir/warehouse.cpp.o.d"
+  "libsda_workload.a"
+  "libsda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

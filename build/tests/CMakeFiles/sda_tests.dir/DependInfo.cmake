@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/rib_test.cpp" "tests/CMakeFiles/sda_tests.dir/bgp/rib_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/bgp/rib_test.cpp.o.d"
+  "/root/repo/tests/bgp/route_reflector_test.cpp" "tests/CMakeFiles/sda_tests.dir/bgp/route_reflector_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/bgp/route_reflector_test.cpp.o.d"
+  "/root/repo/tests/dataplane/border_router_test.cpp" "tests/CMakeFiles/sda_tests.dir/dataplane/border_router_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/dataplane/border_router_test.cpp.o.d"
+  "/root/repo/tests/dataplane/edge_router_test.cpp" "tests/CMakeFiles/sda_tests.dir/dataplane/edge_router_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/dataplane/edge_router_test.cpp.o.d"
+  "/root/repo/tests/dataplane/sgacl_test.cpp" "tests/CMakeFiles/sda_tests.dir/dataplane/sgacl_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/dataplane/sgacl_test.cpp.o.d"
+  "/root/repo/tests/dataplane/vrf_test.cpp" "tests/CMakeFiles/sda_tests.dir/dataplane/vrf_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/dataplane/vrf_test.cpp.o.d"
+  "/root/repo/tests/fabric/fabric_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/fabric_test.cpp.o.d"
+  "/root/repo/tests/fabric/inspect_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/inspect_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/inspect_test.cpp.o.d"
+  "/root/repo/tests/fabric/ipv6_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/ipv6_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/ipv6_test.cpp.o.d"
+  "/root/repo/tests/fabric/l2_services_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/l2_services_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/l2_services_test.cpp.o.d"
+  "/root/repo/tests/fabric/lessons_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/lessons_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/lessons_test.cpp.o.d"
+  "/root/repo/tests/fabric/probing_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/probing_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/probing_test.cpp.o.d"
+  "/root/repo/tests/fabric/scale_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/scale_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/scale_test.cpp.o.d"
+  "/root/repo/tests/fabric/scaleout_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/scaleout_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/scaleout_test.cpp.o.d"
+  "/root/repo/tests/fabric/softstate_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/softstate_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/softstate_test.cpp.o.d"
+  "/root/repo/tests/fabric/topologies_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/topologies_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/topologies_test.cpp.o.d"
+  "/root/repo/tests/fabric/vlan_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/vlan_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/vlan_test.cpp.o.d"
+  "/root/repo/tests/fabric/wire_validation_test.cpp" "tests/CMakeFiles/sda_tests.dir/fabric/wire_validation_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/fabric/wire_validation_test.cpp.o.d"
+  "/root/repo/tests/l2/dhcp_test.cpp" "tests/CMakeFiles/sda_tests.dir/l2/dhcp_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/l2/dhcp_test.cpp.o.d"
+  "/root/repo/tests/l2/dhcp_wire_test.cpp" "tests/CMakeFiles/sda_tests.dir/l2/dhcp_wire_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/l2/dhcp_wire_test.cpp.o.d"
+  "/root/repo/tests/l2/service_discovery_test.cpp" "tests/CMakeFiles/sda_tests.dir/l2/service_discovery_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/l2/service_discovery_test.cpp.o.d"
+  "/root/repo/tests/l2/slaac_test.cpp" "tests/CMakeFiles/sda_tests.dir/l2/slaac_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/l2/slaac_test.cpp.o.d"
+  "/root/repo/tests/lisp/map_cache_property_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/map_cache_property_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/map_cache_property_test.cpp.o.d"
+  "/root/repo/tests/lisp/map_cache_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/map_cache_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/map_cache_test.cpp.o.d"
+  "/root/repo/tests/lisp/map_server_node_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/map_server_node_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/map_server_node_test.cpp.o.d"
+  "/root/repo/tests/lisp/map_server_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/map_server_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/map_server_test.cpp.o.d"
+  "/root/repo/tests/lisp/messages_fuzz_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/messages_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/messages_fuzz_test.cpp.o.d"
+  "/root/repo/tests/lisp/messages_test.cpp" "tests/CMakeFiles/sda_tests.dir/lisp/messages_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/lisp/messages_test.cpp.o.d"
+  "/root/repo/tests/net/buffer_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/buffer_test.cpp.o.d"
+  "/root/repo/tests/net/checksum_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/checksum_test.cpp.o.d"
+  "/root/repo/tests/net/eid_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/eid_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/eid_test.cpp.o.d"
+  "/root/repo/tests/net/headers_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/headers_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/headers_test.cpp.o.d"
+  "/root/repo/tests/net/ip_address_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/ip_address_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/ip_address_test.cpp.o.d"
+  "/root/repo/tests/net/mac_address_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/mac_address_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/mac_address_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/net/prefix_test.cpp" "tests/CMakeFiles/sda_tests.dir/net/prefix_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/net/prefix_test.cpp.o.d"
+  "/root/repo/tests/policy/matrix_test.cpp" "tests/CMakeFiles/sda_tests.dir/policy/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/policy/matrix_test.cpp.o.d"
+  "/root/repo/tests/policy/policy_server_test.cpp" "tests/CMakeFiles/sda_tests.dir/policy/policy_server_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/policy/policy_server_test.cpp.o.d"
+  "/root/repo/tests/policy/radius_test.cpp" "tests/CMakeFiles/sda_tests.dir/policy/radius_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/policy/radius_test.cpp.o.d"
+  "/root/repo/tests/policy/sxp_test.cpp" "tests/CMakeFiles/sda_tests.dir/policy/sxp_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/policy/sxp_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/sda_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/sda_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/stats/cdf_test.cpp" "tests/CMakeFiles/sda_tests.dir/stats/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/stats/cdf_test.cpp.o.d"
+  "/root/repo/tests/stats/csv_test.cpp" "tests/CMakeFiles/sda_tests.dir/stats/csv_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/stats/csv_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_table_test.cpp" "tests/CMakeFiles/sda_tests.dir/stats/histogram_table_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/stats/histogram_table_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/sda_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/sda_tests.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/stats/timeseries_test.cpp.o.d"
+  "/root/repo/tests/trie/bitkey_test.cpp" "tests/CMakeFiles/sda_tests.dir/trie/bitkey_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/trie/bitkey_test.cpp.o.d"
+  "/root/repo/tests/trie/patricia_test.cpp" "tests/CMakeFiles/sda_tests.dir/trie/patricia_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/trie/patricia_test.cpp.o.d"
+  "/root/repo/tests/underlay/linkstate_test.cpp" "tests/CMakeFiles/sda_tests.dir/underlay/linkstate_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/underlay/linkstate_test.cpp.o.d"
+  "/root/repo/tests/underlay/network_test.cpp" "tests/CMakeFiles/sda_tests.dir/underlay/network_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/underlay/network_test.cpp.o.d"
+  "/root/repo/tests/underlay/spf_property_test.cpp" "tests/CMakeFiles/sda_tests.dir/underlay/spf_property_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/underlay/spf_property_test.cpp.o.d"
+  "/root/repo/tests/underlay/spf_test.cpp" "tests/CMakeFiles/sda_tests.dir/underlay/spf_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/underlay/spf_test.cpp.o.d"
+  "/root/repo/tests/underlay/topology_test.cpp" "tests/CMakeFiles/sda_tests.dir/underlay/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/underlay/topology_test.cpp.o.d"
+  "/root/repo/tests/wlan/controller_test.cpp" "tests/CMakeFiles/sda_tests.dir/wlan/controller_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/wlan/controller_test.cpp.o.d"
+  "/root/repo/tests/workload/campus_test.cpp" "tests/CMakeFiles/sda_tests.dir/workload/campus_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/workload/campus_test.cpp.o.d"
+  "/root/repo/tests/workload/policy_drops_test.cpp" "tests/CMakeFiles/sda_tests.dir/workload/policy_drops_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/workload/policy_drops_test.cpp.o.d"
+  "/root/repo/tests/workload/warehouse_test.cpp" "tests/CMakeFiles/sda_tests.dir/workload/warehouse_test.cpp.o" "gcc" "tests/CMakeFiles/sda_tests.dir/workload/warehouse_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wlan/CMakeFiles/sda_wlan.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sda_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sda_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sda_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/l2/CMakeFiles/sda_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sda_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/underlay/CMakeFiles/sda_underlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/lisp/CMakeFiles/sda_lisp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/sda_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sda_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sda_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sda_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
