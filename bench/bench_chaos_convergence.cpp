@@ -1,0 +1,255 @@
+// Chaos convergence: delivered-traffic fraction under a seeded fault storm.
+//
+// A redundant campus fabric carries continuous flows while the fault plane
+// batters it: stochastic control- and data-plane loss, a staggered random
+// link-flap storm, a routing-server outage window, and a border pub/sub
+// feed disconnect with snapshot resync on reconnect. The bench reports the
+// fraction of sent packets that arrived, how long after the storm the
+// fabric took to return to loss-free delivery, and what the hardening
+// machinery (retransmits, register acks, resyncs) did to get there.
+//
+// Fully deterministic for a fixed seed: rerunning produces byte-identical
+// tables and CSV, so chaos results are comparable across code changes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "faults/fault_plane.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace sda;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+constexpr net::VnId kVn{100};
+constexpr std::uint64_t kSeed = 0x5DA;
+
+constexpr int kFlows = 12;                      // endpoint pairs sending from t=0
+constexpr int kLateFlows = 4;                   // endpoints that onboard mid-storm
+constexpr auto kSendGap = milliseconds{5};      // 200 Hz per flow
+constexpr auto kRunFor = seconds{10};
+constexpr auto kChaosStart = seconds{2};
+constexpr auto kChaosEnd = seconds{6};
+constexpr auto kBucket = milliseconds{100};
+
+net::MacAddress mac(std::uint64_t i) {
+  return net::MacAddress::from_u64(0x0200'0000'0000ull | i);
+}
+
+std::string host(int i) { return std::string{"h"} + std::to_string(i); }
+
+struct ChaosResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  double reconvergence_ms = -1;  // storm end -> last lossy bucket (-1 = never lossy)
+  std::uint64_t control_drops = 0;
+  std::uint64_t data_drops = 0;
+  std::uint64_t request_retries = 0;
+  std::uint64_t register_retries = 0;
+  std::uint64_t feed_dropped = 0;
+  std::uint64_t snapshots = 0;
+  std::vector<std::pair<double, double>> fraction_series;  // (seconds, fraction)
+
+  [[nodiscard]] double fraction() const {
+    return sent ? static_cast<double>(delivered) / static_cast<double>(sent) : 1.0;
+  }
+};
+
+ChaosResult run(double control_loss, double data_loss) {
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.map_request_retries = 8;
+  config.map_register_retries = 10;
+  fabric::SdaFabric fabric{sim, config};
+
+  // Redundant campus: every edge dual-homed to two distribution nodes, so
+  // a single flapped link degrades paths without partitioning anything.
+  fabric.add_border("b0");
+  fabric.add_underlay_node("d0");
+  fabric.add_underlay_node("d1");
+  fabric.link("d0", "b0");
+  fabric.link("d1", "b0");
+  fabric.link("d0", "d1");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 6; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "d0");
+    fabric.link(edges.back(), "d1");
+  }
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  std::vector<net::Ipv4Address> ips(kFlows + kLateFlows);
+  for (int i = 0; i < kFlows + kLateFlows; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < kFlows) {
+      fabric.connect_endpoint(
+          def.credential, edges[static_cast<std::size_t>(i) % edges.size()], 1,
+          [&ips, i](const fabric::OnboardResult& r) { ips[static_cast<std::size_t>(i)] = r.ip; });
+    }
+  }
+  sim.run();
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+
+  ChaosResult result;
+  const auto buckets = static_cast<std::size_t>(kRunFor / kBucket) + 1;
+  std::vector<std::uint64_t> sent_in(buckets, 0), arrived_in(buckets, 0);
+  const sim::SimTime t0 = sim.now();
+  const auto bucket_of = [&](sim::SimTime at) {
+    const auto idx = static_cast<std::size_t>((at - t0) / kBucket);
+    return idx < buckets ? idx : buckets - 1;
+  };
+  fabric.set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime at) {
+        ++result.delivered;
+        ++arrived_in[bucket_of(at)];
+      });
+
+  // Continuous traffic: flow i -> flow i+1 (different edge). Flows toward
+  // the late endpoints start only once their target has an address —
+  // before that, the "application" has nothing to talk to.
+  for (int i = 0; i < kFlows + kLateFlows; ++i) {
+    const auto peer = static_cast<std::size_t>((i + 1) % (kFlows + kLateFlows));
+    for (sim::Duration at = kSendGap * i / (kFlows + kLateFlows); at < kRunFor;
+         at += kSendGap) {
+      sim.schedule_at(t0 + at, [&, i, peer] {
+        if (ips[peer].is_unspecified()) return;  // target not onboarded yet
+        if (!fabric.endpoint_send_udp(mac(static_cast<std::uint64_t>(i)), ips[peer], 443,
+                                      200)) {
+          return;  // sender itself not attached yet
+        }
+        ++result.sent;
+        ++sent_in[bucket_of(sim.now())];
+      });
+    }
+  }
+
+  // --- The storm (all seeded, all inside [kChaosStart, kChaosEnd)) --------
+  sim.schedule_at(t0 + kChaosStart, [&] {
+    faults::LossModel control;
+    control.loss = control_loss;
+    plane.set_control_loss(control);
+    faults::LossModel data;
+    data.loss = data_loss;
+    data.extra_jitter_chance = 0.1;
+    data.extra_jitter_max = milliseconds{2};
+    plane.set_data_loss(data);
+  });
+  sim.schedule_at(t0 + kChaosEnd, [&] {
+    plane.set_control_loss({});
+    plane.set_data_loss({});
+  });
+  // Four random links flap 400ms each, staggered so the fabric never
+  // partitions; IGP reconvergence and border fallback cover the holes.
+  faults::FlapSchedule storm;
+  storm.first_down = kChaosStart + milliseconds{200};
+  storm.down_for = milliseconds{400};
+  plane.random_link_storm(4, storm, milliseconds{500});
+  // Routing server blacked out for 1.5s mid-storm.
+  plane.server_outage(fabric.map_server_node(), kChaosStart + seconds{1}, milliseconds{1500});
+  // Border feed cut during the storm; reconnect triggers snapshot resync.
+  sim.schedule_at(t0 + kChaosStart + milliseconds{500},
+                  [&] { fabric.set_border_feed_connected("b0", false); });
+  sim.schedule_at(t0 + kChaosEnd - seconds{1},
+                  [&] { fabric.set_border_feed_connected("b0", true); });
+
+  // --- Mid-storm churn: the control plane has to work while being hit ----
+  // Late endpoints onboard into the storm (registrations face loss, then
+  // the server outage; reliable Map-Register must carry them through).
+  sim.schedule_at(t0 + kChaosStart + milliseconds{600}, [&] {
+    for (int i = kFlows; i < kFlows + kLateFlows; ++i) {
+      fabric.connect_endpoint(
+          host(i), edges[static_cast<std::size_t>(i) % edges.size()], 2,
+          [&ips, i](const fabric::OnboardResult& r) { ips[static_cast<std::size_t>(i)] = r.ip; });
+    }
+  });
+  // One endpoint roams mid-storm: its sender holds a stale cache entry and
+  // must be refreshed by data-triggered SMR over the lossy control plane.
+  sim.schedule_at(t0 + kChaosStart + milliseconds{1200},
+                  [&] { fabric.roam_endpoint(mac(1), edges[4], 3); });
+
+  sim.run();
+
+  // Per-bucket delivered fraction and the re-convergence point: the last
+  // bucket that still lost traffic, measured from the end of the storm.
+  const auto chaos_end_bucket = static_cast<std::size_t>(kChaosEnd / kBucket);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (sent_in[b] == 0) continue;
+    const double fraction =
+        static_cast<double>(arrived_in[b]) / static_cast<double>(sent_in[b]);
+    result.fraction_series.emplace_back(
+        static_cast<double>(b) * std::chrono::duration<double>(kBucket).count(), fraction);
+    if (arrived_in[b] < sent_in[b]) {
+      result.reconvergence_ms =
+          (static_cast<double>(b + 1) - static_cast<double>(chaos_end_bucket)) *
+          std::chrono::duration<double>(kBucket).count() * 1e3;
+    }
+  }
+  if (result.reconvergence_ms < 0 && result.sent != result.delivered) {
+    result.reconvergence_ms = 0;  // losses happened but never bucketed (drained late)
+  }
+
+  result.control_drops = plane.counters().control_drops;
+  result.data_drops = plane.counters().data_drops;
+  for (const auto& name : edges) {
+    result.request_retries += fabric.edge(name).counters().map_request_retries;
+    result.register_retries += fabric.edge(name).counters().map_register_retries;
+  }
+  result.feed_dropped = fabric.border_publishes_dropped("b0");
+  result.snapshots = fabric.border("b0").counters().snapshots_applied;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Chaos convergence: delivered traffic under a seeded fault storm ===\n");
+  std::printf("%d flows at 200 Hz for 10s; storm in [2s, 6s): control/data loss,\n", kFlows);
+  std::printf("4-link flap storm, 1.5s routing-server outage, border feed cut+resync.\n");
+  std::printf("re-convergence = last lossy 100ms bucket, measured from storm end.\n\n");
+
+  stats::Table table{{"control loss", "data loss", "sent", "delivered", "fraction",
+                      "reconv (ms)", "ctl drops", "rq retries", "reg retries",
+                      "feed lost", "snapshots"}};
+  std::vector<std::pair<double, double>> reference_series;
+  for (const double loss : {0.0, 0.1, 0.2, 0.3}) {
+    const ChaosResult r = run(loss, 0.02);
+    if (loss == 0.2) reference_series = r.fraction_series;
+    table.add_row({stats::Table::num(100.0 * loss, 0) + " %", "2 %",
+                   stats::Table::num(std::size_t{r.sent}),
+                   stats::Table::num(std::size_t{r.delivered}),
+                   stats::Table::num(r.fraction(), 4),
+                   r.reconvergence_ms < 0 ? "none" : stats::Table::num(r.reconvergence_ms, 0),
+                   stats::Table::num(std::size_t{r.control_drops}),
+                   stats::Table::num(std::size_t{r.request_retries}),
+                   stats::Table::num(std::size_t{r.register_retries}),
+                   stats::Table::num(std::size_t{r.feed_dropped}),
+                   stats::Table::num(std::size_t{r.snapshots})});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("takeaway: data-plane loss bounds the in-storm fraction; the control-plane\n");
+  std::printf("hardening (backoff retransmits, reliable registers, feed resync) keeps the\n");
+  std::printf("post-storm fraction at 1.0 — nothing stays blackholed once faults clear.\n\n");
+
+  if (const auto dir = stats::results_dir()) {
+    if (stats::write_series_csv(*dir, "chaos_delivered_fraction", "time_s",
+                                "delivered_fraction", reference_series)) {
+      std::printf("CSV written to %s/chaos_delivered_fraction.csv\n", dir->c_str());
+    }
+  }
+  return 0;
+}

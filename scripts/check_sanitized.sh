@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+#
+#   scripts/check_sanitized.sh [extra ctest args...]
+#
+# Uses a separate build tree (build-asan/) so the regular build stays
+# untouched. Any sanitizer report fails the run (halt_on_error).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -G Ninja -DSDA_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan
+
+export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir build-asan --output-on-failure "$@"

@@ -6,6 +6,18 @@ BorderRouter::BorderRouter(sim::Simulator& simulator, BorderRouterConfig config)
     : simulator_(simulator), config_(std::move(config)), sgacl_(config_.default_action) {}
 
 void BorderRouter::receive_publish(const lisp::Publish& publish) {
+  if (publish.seq != 0) {
+    // While a snapshot is in flight, individual updates are discarded: the
+    // snapshot supersedes them, and any update it misses re-surfaces as a
+    // gap on the next sequenced publish.
+    if (resync_in_flight_) return;
+    if (publish.seq != next_publish_seq_) {
+      ++counters_.out_of_sequence;
+      request_resync();
+      return;
+    }
+    ++next_publish_seq_;
+  }
   if (publish.withdrawal()) {
     if (synced_.erase(publish.eid) > 0) ++counters_.withdrawals_applied;
     return;
@@ -21,6 +33,30 @@ void BorderRouter::bootstrap_sync(const lisp::MapServer& server) {
   synced_.clear();
   server.walk([this](const net::VnEid& eid, const lisp::MappingRecord& record) {
     synced_[eid] = record;
+  });
+}
+
+void BorderRouter::apply_snapshot(
+    const std::vector<std::pair<net::VnEid, lisp::MappingRecord>>& entries,
+    std::uint64_t next_seq) {
+  synced_.clear();
+  for (const auto& [eid, record] : entries) synced_[eid] = record;
+  next_publish_seq_ = next_seq;
+  resync_in_flight_ = false;
+  simulator_.cancel(resync_timer_);
+  resync_timer_ = {};
+  ++counters_.snapshots_applied;
+}
+
+void BorderRouter::request_resync() {
+  ++counters_.resyncs_requested;
+  resync_in_flight_ = true;
+  if (request_resync_) request_resync_();
+  // The snapshot request or reply can itself be lost; keep asking until a
+  // snapshot lands (apply_snapshot cancels the retry).
+  simulator_.cancel(resync_timer_);
+  resync_timer_ = simulator_.schedule_after(config_.resync_retry, [this] {
+    if (resync_in_flight_) request_resync();
   });
 }
 

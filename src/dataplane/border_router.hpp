@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "dataplane/sgacl.hpp"
 #include "lisp/map_server.hpp"
@@ -27,6 +29,9 @@ struct BorderRouterConfig {
   net::Ipv4Address rloc;
   underlay::NodeId node = 0;
   policy::Action default_action = policy::Action::Allow;
+  /// How long to wait for a requested snapshot before re-requesting it
+  /// (the snapshot itself can be lost to control-plane faults).
+  sim::Duration resync_retry = std::chrono::seconds{2};
 };
 
 class BorderRouter {
@@ -35,11 +40,14 @@ class BorderRouter {
   /// Delivery of traffic leaving the fabric (Internet / data center).
   using DeliverExternal = std::function<void(const net::VnEid& destination,
                                              const net::OverlayFrame&)>;
+  /// Asks the routing server for a full-state snapshot (re-subscribe).
+  using RequestResync = std::function<void()>;
 
   BorderRouter(sim::Simulator& simulator, BorderRouterConfig config);
 
   void set_send_data(SendData fn) { send_data_ = std::move(fn); }
   void set_deliver_external(DeliverExternal fn) { deliver_external_ = std::move(fn); }
+  void set_request_resync(RequestResync fn) { request_resync_ = std::move(fn); }
 
   [[nodiscard]] const BorderRouterConfig& config() const { return config_; }
   [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
@@ -47,11 +55,35 @@ class BorderRouter {
 
   // --- Pub/sub FIB synchronization (Fig. 1 "sync" arrow) ------------------
 
-  /// Applies one published update (install or withdrawal).
+  /// Applies one published update (install or withdrawal). Sequenced
+  /// publishes (seq != 0) are gap-checked: a missing update means the feed
+  /// lost a message, so the update is discarded and a snapshot resync is
+  /// requested instead of silently diverging from the server.
   void receive_publish(const lisp::Publish& publish);
 
   /// Full-table bootstrap when (re)subscribing to the routing server.
   void bootstrap_sync(const lisp::MapServer& server);
+
+  /// Applies a full-state snapshot captured at feed position `next_seq`
+  /// (the sequence number the *next* publish will carry). Replaces the
+  /// synced table wholesale and re-arms in-order delivery from there.
+  void apply_snapshot(const std::vector<std::pair<net::VnEid, lisp::MappingRecord>>& entries,
+                      std::uint64_t next_seq);
+
+  /// Triggers the resync protocol (gap detected, or an operator-driven
+  /// reconnect after a feed outage). Retries until a snapshot applies.
+  void request_resync();
+
+  /// True while a requested snapshot has not yet been applied.
+  [[nodiscard]] bool resync_in_flight() const { return resync_in_flight_; }
+
+  /// The feed sequence number expected on the next publish.
+  [[nodiscard]] std::uint64_t next_expected_seq() const { return next_publish_seq_; }
+
+  /// The synchronized table (for entry-by-entry verification in tests).
+  [[nodiscard]] const std::unordered_map<net::VnEid, lisp::MappingRecord>& synced() const {
+    return synced_;
+  }
 
   // --- External connectivity ----------------------------------------------
 
@@ -92,6 +124,9 @@ class BorderRouter {
   struct Counters {
     std::uint64_t publishes_applied = 0;
     std::uint64_t withdrawals_applied = 0;
+    std::uint64_t out_of_sequence = 0;   // feed gaps detected
+    std::uint64_t resyncs_requested = 0;  // snapshot pulls issued (incl. retries)
+    std::uint64_t snapshots_applied = 0;
     std::uint64_t hairpinned = 0;         // default-routed traffic re-encapped
     std::uint64_t external_out = 0;       // fabric -> external
     std::uint64_t external_in = 0;        // external -> fabric
@@ -120,8 +155,12 @@ class BorderRouter {
   BorderRouterConfig config_;
   SendData send_data_;
   DeliverExternal deliver_external_;
+  RequestResync request_resync_;
 
   std::unordered_map<net::VnEid, lisp::MappingRecord> synced_;
+  std::uint64_t next_publish_seq_ = 1;
+  bool resync_in_flight_ = false;
+  sim::EventHandle resync_timer_;
   std::unordered_map<std::uint32_t, trie::PatriciaTrie<ExternalRoute>> external_;     // by VN
   std::unordered_map<std::uint32_t, trie::PatriciaTrie<ExternalRoute>> external_v6_;  // by VN
   /// (vn << 16 | from-group) -> replacement group.

@@ -1,5 +1,6 @@
 #include "dataplane/edge_router.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sda::dataplane {
@@ -15,6 +16,7 @@ std::uint64_t group_key(net::VnId vn, net::GroupId group) {
 EdgeRouter::EdgeRouter(sim::Simulator& simulator, EdgeRouterConfig config)
     : simulator_(simulator),
       config_(std::move(config)),
+      rng_(config_.seed ^ config_.rloc.value()),
       cache_(config_.map_cache_capacity),
       sgacl_(config_.default_action) {}
 
@@ -109,21 +111,26 @@ void EdgeRouter::detach_endpoint(const net::MacAddress& mac, bool deregister) {
     if (release_group_) release_group_(endpoint.vn, endpoint.group);
   }
 
+  // Any in-flight registration retransmit for a departed identity must die
+  // with it: a stale resend could overwrite the EID's new home.
+  abandon_pending_register(ip_eid);
+  if (endpoint.ipv6) abandon_pending_register(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}});
+  if (endpoint.register_mac) {
+    abandon_pending_register(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}});
+  }
+
   if (deregister && send_map_register_) {
     // Withdrawal is modeled as a zero-TTL register; roaming departures
     // skip this (the new edge overwrites the mapping). Every registered
     // identity (IPv4/IPv6/MAC) is withdrawn.
-    auto withdraw_eid = [this](const net::VnEid& eid) {
-      lisp::MapRegister withdraw;
-      withdraw.nonce = next_nonce_++;
-      withdraw.eid = eid;
-      withdraw.rlocs = {net::Rloc{config_.rloc}};
-      withdraw.ttl_seconds = 0;
-      send_map_register_(withdraw);
-    };
-    withdraw_eid(ip_eid);
-    if (endpoint.ipv6) withdraw_eid(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}});
-    if (endpoint.register_mac) withdraw_eid(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}});
+    send_register(ip_eid, net::GroupId::unknown(), 0);
+    if (endpoint.ipv6) {
+      send_register(net::VnEid{endpoint.vn, net::Eid{*endpoint.ipv6}}, net::GroupId::unknown(),
+                    0);
+    }
+    if (endpoint.register_mac) {
+      send_register(net::VnEid{endpoint.vn, net::Eid{endpoint.mac}}, net::GroupId::unknown(), 0);
+    }
   }
 }
 
@@ -355,8 +362,8 @@ void EdgeRouter::encap_to(net::Ipv4Address rloc, const net::VnEid& destination,
 void EdgeRouter::resolve(const net::VnEid& eid, bool smr_invoked) {
   if (!send_map_request_) return;
   if (pending_requests_.contains(eid)) return;
-  pending_requests_[eid] =
-      PendingRequest{next_nonce_++, config_.map_request_retries, smr_invoked};
+  pending_requests_[eid] = PendingRequest{next_nonce_++, config_.map_request_retries,
+                                          smr_invoked, config_.map_request_timeout};
   transmit_map_request(eid);
 }
 
@@ -374,10 +381,13 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
 
   // Arm the retransmission timer: fires only if still unanswered. When no
   // retries remain, the timer's job is to clear the pending entry so a
-  // later packet can retrigger resolution.
-  simulator_.schedule_after(config_.map_request_timeout, [this, eid] {
+  // later packet can retrigger resolution. Each retransmit backs off with
+  // decorrelated jitter so loss-induced storms spread out.
+  const std::uint64_t nonce = it->second.nonce;
+  simulator_.schedule_after(it->second.timeout, [this, eid, nonce] {
     const auto pending = pending_requests_.find(eid);
     if (pending == pending_requests_.end()) return;
+    if (pending->second.nonce != nonce) return;  // superseded by a newer attempt
     if (pending->second.retries_left == 0) {
       // Out of retries: give up so a later packet can retrigger resolution.
       pending_requests_.erase(pending);
@@ -385,6 +395,8 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
     }
     --pending->second.retries_left;
     pending->second.nonce = next_nonce_++;
+    pending->second.timeout = next_backoff(pending->second.timeout, config_.map_request_timeout,
+                                           config_.map_request_timeout_cap);
     ++counters_.map_request_retries;
     transmit_map_request(eid);
   });
@@ -402,15 +414,90 @@ void EdgeRouter::solicit(const net::VnEid& eid, net::Ipv4Address sender_rloc) {
 }
 
 void EdgeRouter::register_eid(const net::VnEid& eid, net::GroupId group) {
+  send_register(eid, group, config_.register_ttl_seconds);
+}
+
+void EdgeRouter::send_register(const net::VnEid& eid, net::GroupId group,
+                               std::uint32_t ttl_seconds) {
   if (!send_map_register_) return;
+  if (ttl_seconds != 0) ++counters_.registers_sent;  // withdrawals not counted
+
+  if (config_.map_register_retries == 0) {
+    // Classic fire-and-forget registration.
+    lisp::MapRegister reg;
+    reg.nonce = next_nonce_++;
+    reg.eid = eid;
+    reg.rlocs = {net::Rloc{config_.rloc}};
+    reg.ttl_seconds = ttl_seconds;
+    if (ttl_seconds != 0) reg.group = group.value();
+    send_map_register_(reg);
+    return;
+  }
+
+  // Reliable registration: book (or replace) the pending entry and
+  // retransmit until the Map-Notify ack comes back. A fresh registration
+  // for an EID supersedes any pending one (latest intent wins).
+  auto [it, inserted] = pending_registers_.try_emplace(eid);
+  PendingRegister& pending = it->second;
+  if (!inserted) simulator_.cancel(pending.timer);
+  pending.nonce = next_nonce_++;
+  pending.group = group;
+  pending.ttl_seconds = ttl_seconds;
+  pending.retries_left = config_.map_register_retries;
+  pending.timeout = config_.map_register_timeout;
+  transmit_map_register(eid);
+}
+
+void EdgeRouter::transmit_map_register(const net::VnEid& eid) {
+  const auto it = pending_registers_.find(eid);
+  if (it == pending_registers_.end()) return;
+  PendingRegister& pending = it->second;
+
   lisp::MapRegister reg;
-  reg.nonce = next_nonce_++;
+  reg.nonce = pending.nonce;  // same nonce on every retransmit: acks match any copy
   reg.eid = eid;
   reg.rlocs = {net::Rloc{config_.rloc}};
-  reg.ttl_seconds = config_.register_ttl_seconds;
-  reg.group = group.value();
-  ++counters_.registers_sent;
+  reg.ttl_seconds = pending.ttl_seconds;
+  if (pending.ttl_seconds != 0) reg.group = pending.group.value();
   send_map_register_(reg);
+
+  pending.timer = simulator_.schedule_after(pending.timeout, [this, eid] {
+    const auto entry = pending_registers_.find(eid);
+    if (entry == pending_registers_.end()) return;
+    if (entry->second.retries_left == 0) {
+      // Out of retries. Keep nothing: the soft-state refresh timer (or the
+      // next attach) re-registers the EID.
+      pending_registers_.erase(entry);
+      return;
+    }
+    --entry->second.retries_left;
+    entry->second.timeout = next_backoff(entry->second.timeout, config_.map_register_timeout,
+                                         config_.map_register_timeout_cap);
+    ++counters_.map_register_retries;
+    transmit_map_register(eid);
+  });
+}
+
+void EdgeRouter::abandon_pending_register(const net::VnEid& eid) {
+  const auto it = pending_registers_.find(eid);
+  if (it == pending_registers_.end()) return;
+  simulator_.cancel(it->second.timer);
+  pending_registers_.erase(it);
+}
+
+sim::Duration EdgeRouter::next_backoff(sim::Duration current, sim::Duration initial,
+                                       sim::Duration cap) {
+  double next_ns;
+  if (config_.retransmit_jitter) {
+    // Decorrelated jitter: grows on average, never below the initial RTO,
+    // and desynchronizes retransmit storms across routers.
+    next_ns = rng_.uniform(static_cast<double>(initial.count()),
+                           3.0 * static_cast<double>(current.count()));
+  } else {
+    next_ns = static_cast<double>(current.count()) * config_.retransmit_backoff;
+  }
+  next_ns = std::min(next_ns, static_cast<double>(cap.count()));
+  return sim::Duration{static_cast<std::int64_t>(next_ns)};
 }
 
 void EdgeRouter::maybe_schedule_probe_sweep() {
@@ -505,6 +592,20 @@ void EdgeRouter::transmit_l2(const AttachedEndpoint& source, const net::OverlayF
 }
 
 void EdgeRouter::receive_map_notify(const lisp::MapNotify& notify) {
+  // Reliable-registration ack: a notify whose nonce matches a pending
+  // register acknowledges it — consume it, never install it as a mapping.
+  const auto pending = pending_registers_.find(notify.eid);
+  if (pending != pending_registers_.end() && pending->second.nonce == notify.nonce) {
+    simulator_.cancel(pending->second.timer);
+    pending_registers_.erase(pending);
+    ++counters_.registers_acked;
+    return;
+  }
+  // A duplicate ack for our *own* still-attached endpoint (retransmit
+  // crossed the first ack on the wire) must not masquerade as a mobility
+  // update either.
+  if (local_.lookup(notify.eid) != nullptr) return;
+
   // Fig. 5 steps 2-3: the mapping moved; cache the new location so in-flight
   // traffic for the roamed endpoint is forwarded to its new edge.
   if (notify.rlocs.empty()) {
@@ -545,6 +646,8 @@ void EdgeRouter::reboot() {
   eid_to_mac_.clear();
   group_refcounts_.clear();
   pending_requests_.clear();
+  for (auto& [eid, pending] : pending_registers_) simulator_.cancel(pending.timer);
+  pending_registers_.clear();
   last_smr_.clear();
   pending_l2_.clear();
 }

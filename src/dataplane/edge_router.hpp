@@ -27,6 +27,7 @@
 #include "lisp/messages.hpp"
 #include "net/packet.hpp"
 #include "policy/matrix.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "underlay/topology.hpp"
 
@@ -52,9 +53,27 @@ struct EdgeRouterConfig {
   bool rloc_probing = false;
   sim::Duration probe_interval = std::chrono::seconds{10};
   /// Map-Requests are retransmitted until answered (control messages can
-  /// be lost to underlay outages); 0 retries = fire-and-forget.
+  /// be lost to underlay outages); 0 retries = fire-and-forget. The timeout
+  /// is the *initial* RTO; each retransmit backs off (see below).
   sim::Duration map_request_timeout = std::chrono::seconds{1};
   unsigned map_request_retries = 3;
+  /// Retransmission backoff policy, shared by Map-Request and Map-Register
+  /// timers. With jitter (default), the next RTO is drawn uniformly from
+  /// [initial, 3 * previous] (decorrelated jitter) so retransmit storms
+  /// desynchronize across edges; without it, a plain exponential with this
+  /// multiplier. Both are capped.
+  bool retransmit_jitter = true;
+  double retransmit_backoff = 2.0;
+  sim::Duration map_request_timeout_cap = std::chrono::seconds{8};
+  /// Reliable Map-Register: keep retransmitting (with the same backoff
+  /// policy) until the routing server's Map-Notify ack arrives or retries
+  /// run out. 0 = classic fire-and-forget registration.
+  unsigned map_register_retries = 0;
+  sim::Duration map_register_timeout = std::chrono::seconds{1};
+  sim::Duration map_register_timeout_cap = std::chrono::seconds{16};
+  /// Seed for the retransmission-jitter RNG (mixed with the RLOC so edges
+  /// decorrelate even with identical config).
+  std::uint64_t seed = 0x5DA;
   /// Periodic re-registration of every attached endpoint (LISP soft-state
   /// refresh; pairs with MapServer::expire_registrations). 0 = disabled.
   /// The timer runs only while endpoints are attached.
@@ -208,6 +227,8 @@ class EdgeRouter {
     std::uint64_t probes_sent = 0;
     std::uint64_t probes_failed = 0;
     std::uint64_t map_request_retries = 0;
+    std::uint64_t map_register_retries = 0;  // reliable-registration resends
+    std::uint64_t registers_acked = 0;       // Map-Notify acks consumed
     std::uint64_t resolution_drops = 0;  // miss drops when no default route
     std::uint64_t vlan_drops = 0;        // access-VLAN mismatch at ingress (§3.5)
   };
@@ -242,8 +263,26 @@ class EdgeRouter {
 
   void register_eid(const net::VnEid& eid, net::GroupId group);
 
+  /// Sends a (re-)registration or withdrawal (ttl 0). With reliable
+  /// registration enabled this books a pending entry that retransmits
+  /// until the Map-Notify ack arrives.
+  void send_register(const net::VnEid& eid, net::GroupId group, std::uint32_t ttl_seconds);
+
+  /// Transmits the pending registration for `eid` and arms its timer.
+  void transmit_map_register(const net::VnEid& eid);
+
+  /// Drops (and disarms) any pending registration state for `eid` — used
+  /// when the endpoint detaches so a stale retransmit cannot overwrite the
+  /// EID's new home.
+  void abandon_pending_register(const net::VnEid& eid);
+
+  /// Next retransmission timeout under the configured backoff policy.
+  [[nodiscard]] sim::Duration next_backoff(sim::Duration current, sim::Duration initial,
+                                           sim::Duration cap);
+
   sim::Simulator& simulator_;
   EdgeRouterConfig config_;
+  sim::Rng rng_;
 
   VrfSet local_;
   lisp::MapCache cache_;
@@ -264,8 +303,20 @@ class EdgeRouter {
     std::uint64_t nonce = 0;
     unsigned retries_left = 0;
     bool smr_invoked = false;
+    sim::Duration timeout{0};  // current RTO (grows under backoff)
   };
   std::unordered_map<net::VnEid, PendingRequest> pending_requests_;
+  /// Registrations awaiting their Map-Notify ack (reliable Map-Register);
+  /// mirrors pending_requests_. ttl_seconds 0 marks a pending withdrawal.
+  struct PendingRegister {
+    std::uint64_t nonce = 0;
+    net::GroupId group;
+    std::uint32_t ttl_seconds = 0;
+    unsigned retries_left = 0;
+    sim::Duration timeout{0};
+    sim::EventHandle timer;
+  };
+  std::unordered_map<net::VnEid, PendingRegister> pending_registers_;
   /// SMR rate limiting per (EID, soliciting sender): every stale sender
   /// must be refreshed, but each at most once per interval.
   std::unordered_map<net::VnEid, std::unordered_map<net::Ipv4Address, sim::SimTime>> last_smr_;

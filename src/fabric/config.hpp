@@ -57,6 +57,14 @@ struct FabricConfig {
   bool default_route_fallback = true;
   /// TTL requested in Map-Registers (the paper's default is 1440 minutes).
   std::uint32_t register_ttl_seconds = 1440 * 60;
+  /// Control-plane hardening: retransmission with decorrelated-jitter
+  /// backoff for Map-Requests, and reliable Map-Register (retransmit until
+  /// the Map-Notify ack) so registrations survive lossy control paths and
+  /// map-server outage windows.
+  sim::Duration map_request_timeout = std::chrono::seconds{1};
+  unsigned map_request_retries = 3;
+  unsigned map_register_retries = 8;
+  sim::Duration map_register_timeout = std::chrono::seconds{1};
   /// Periodic soft-state re-registration of attached endpoints (keeps
   /// registrations alive across MapServer::expire_registrations sweeps).
   /// 0 = disabled; real xTRs refresh well inside the TTL.

@@ -82,6 +82,11 @@ void SdaFabric::add_edge(const std::string& name) {
   cfg.rloc_probing = config_.rloc_probing;
   cfg.probe_interval = config_.probe_interval;
   cfg.default_route_fallback = config_.default_route_fallback;
+  cfg.map_request_timeout = config_.map_request_timeout;
+  cfg.map_request_retries = config_.map_request_retries;
+  cfg.map_register_retries = config_.map_register_retries;
+  cfg.map_register_timeout = config_.map_register_timeout;
+  cfg.seed = config_.seed;  // mixed with the RLOC inside the router
   // border_rloc is filled in finalize() once the borders exist.
   edges_[name] = std::make_unique<dataplane::EdgeRouter>(simulator_, cfg);
   edge_order_.push_back(name);
@@ -128,6 +133,9 @@ void SdaFabric::finalize() {
   }
 
   // Pub/sub: every border subscribes to the full feed (Fig. 1 "sync").
+  // Publishes carry a feed sequence number so subscribers detect losses
+  // and pull a snapshot instead of silently diverging from the server.
+  for (const auto& name : border_order_) border_feeds_[name] = BorderFeedState{};
   map_server_.set_publish_callback([this](const net::VnEid& eid,
                                           const lisp::MappingRecord* record) {
     lisp::Publish publish;
@@ -136,11 +144,21 @@ void SdaFabric::finalize() {
       publish.rlocs = record->rlocs;
       publish.ttl_seconds = record->ttl_seconds;
     }
+    publish.seq = ++publish_seq_;
     for (const auto& name : border_order_) {
+      BorderFeedState& feed = border_feeds_.at(name);
+      if (!feed.connected) {
+        ++feed.dropped_publishes;  // surfaces as a gap after reconnect
+        continue;
+      }
       dataplane::BorderRouter& border = *borders_.at(name);
       control_send(map_server_rloc_, border.rloc(),
                    lisp::message_wire_size(lisp::Message{publish}),
                    [this, name, publish, &border] {
+                     if (!border_feeds_.at(name).connected) {
+                       ++border_feeds_.at(name).dropped_publishes;
+                       return;  // feed went down while the update was in flight
+                     }
                      border.receive_publish(publish);
                      if (border_sync_listener_) {
                        const lisp::MappingRecord* rec = nullptr;
@@ -263,19 +281,24 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
 
   edge.set_send_map_register([this, &edge](const lisp::MapRegister& registration) {
     // Route updates go to *all* routing servers so replicas stay complete
-    // (§4.1). Onboarding completion is tied to the primary's ack.
+    // (§4.1). Onboarding completion is tied to the primary's ack, which
+    // also rides back to the edge as the reliable-registration Map-Notify.
     for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
       lisp::MapServerNode& node = *server_nodes_[i];
       const bool is_primary = i == 0;
       control_send(edge.rloc(), node.rloc(),
                    lisp::message_wire_size(lisp::Message{registration}),
-                   [this, &node, registration, is_primary] {
+                   [this, &edge, &node, registration, is_primary] {
                      node.submit_register(
                          registration,
-                         [this, is_primary, eid = registration.eid](
-                             const lisp::RegisterOutcome&, const lisp::MapNotify&,
+                         [this, &edge, &node, is_primary, eid = registration.eid](
+                             const lisp::RegisterOutcome&, const lisp::MapNotify& notify,
                              sim::Duration) {
                            if (!is_primary) return;
+                           // Ack the registering edge (cancels its retransmit).
+                           control_send(node.rloc(), edge.rloc(),
+                                        lisp::message_wire_size(lisp::Message{notify}),
+                                        [&edge, notify] { edge.receive_map_notify(notify); });
                            // Complete any onboarding waiting on this EID.
                            const auto it = pending_onboards_.find(eid);
                            if (it == pending_onboards_.end()) return;
@@ -333,6 +356,7 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
 
 void SdaFabric::wire_border(dataplane::BorderRouter& border) {
   border.set_send_data([this](const net::FabricFrame& frame) { dispatch_fabric_frame(frame); });
+  border.set_request_resync([this, name = border.name()] { resync_border(name); });
 }
 
 // ---------------------------------------------------------------------------
@@ -746,6 +770,50 @@ bool SdaFabric::reassign_endpoint_group(const std::string& credential, net::Grou
   return policy_server_.reassign_group(credential, new_group);
 }
 
+void SdaFabric::set_border_feed_connected(const std::string& border, bool connected) {
+  BorderFeedState& feed = border_feeds_.at(border);
+  if (feed.connected == connected) return;
+  feed.connected = connected;
+  // Reconnect: the border cannot know how many updates it missed, so it
+  // always pulls a snapshot (gap detection would only catch the loss once
+  // the *next* publish arrives — possibly much later).
+  if (connected) borders_.at(border)->request_resync();
+}
+
+bool SdaFabric::border_feed_connected(const std::string& border) const {
+  return border_feeds_.at(border).connected;
+}
+
+std::uint64_t SdaFabric::border_publishes_dropped(const std::string& border) const {
+  return border_feeds_.at(border).dropped_publishes;
+}
+
+void SdaFabric::resync_border(const std::string& name) {
+  dataplane::BorderRouter& border = *borders_.at(name);
+  // Re-subscribe rides the control plane to the routing server; the
+  // snapshot is captured when the request *arrives* and is paired with the
+  // feed position the next publish will occupy, so replaying the sequenced
+  // feed from `next_seq` onward is gap-free by construction.
+  const lisp::Subscribe subscribe{border.rloc(), 0};
+  control_send(border.rloc(), map_server_rloc_,
+               lisp::message_wire_size(lisp::Message{subscribe}), [this, name] {
+    auto entries =
+        std::make_shared<std::vector<std::pair<net::VnEid, lisp::MappingRecord>>>();
+    map_server_.walk([&entries](const net::VnEid& eid, const lisp::MappingRecord& record) {
+      entries->emplace_back(eid, record);
+    });
+    const std::uint64_t next_seq = publish_seq_ + 1;
+    dataplane::BorderRouter& border = *borders_.at(name);
+    control_send(map_server_rloc_, border.rloc(), 64 + 48 * entries->size(),
+                 [this, name, entries, next_seq] {
+                   // A snapshot for a disconnected feed is lost like any
+                   // other update; the border's retry timer re-requests.
+                   if (!border_feeds_.at(name).connected) return;
+                   borders_.at(name)->apply_snapshot(*entries, next_seq);
+                 });
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Plumbing
 // ---------------------------------------------------------------------------
@@ -781,7 +849,7 @@ void SdaFabric::control_send(net::Ipv4Address from, net::Ipv4Address to, std::si
     return;
   }
   underlay_->deliver(node_of_rloc(from), to, std::hash<std::uint32_t>{}(from.value()), bytes,
-                     std::move(action));
+                     std::move(action), underlay::TrafficClass::Control);
 }
 
 underlay::NodeId SdaFabric::node_of_rloc(net::Ipv4Address rloc) const {

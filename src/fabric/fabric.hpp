@@ -166,6 +166,20 @@ class SdaFabric {
   /// edge re-tags and re-registers it (§5.3 freshness, §5.4 strategy A).
   bool reassign_endpoint_group(const std::string& credential, net::GroupId new_group);
 
+  /// Pub/sub session control for a border's feed (fault injection or
+  /// maintenance). While disconnected, published updates are silently
+  /// dropped; reconnecting triggers the snapshot-resync protocol so the
+  /// border converges back to the exact server state.
+  void set_border_feed_connected(const std::string& border, bool connected);
+  [[nodiscard]] bool border_feed_connected(const std::string& border) const;
+  /// Feed updates lost while the border's feed was disconnected.
+  [[nodiscard]] std::uint64_t border_publishes_dropped(const std::string& border) const;
+  /// Current feed position (sequence number of the last publish).
+  [[nodiscard]] std::uint64_t publish_seq() const { return publish_seq_; }
+  /// Runs the snapshot pull for a border (normally triggered by the border
+  /// itself on gap detection or by a feed reconnect).
+  void resync_border(const std::string& border);
+
   /// Updates a matrix rule; pushes to hosting edges (§5.4 strategy B).
   void update_rule(const RuleDefinition& rule);
 
@@ -261,6 +275,13 @@ class SdaFabric {
   std::vector<std::string> border_order_;
   std::unordered_map<net::Ipv4Address, std::string> edge_by_rloc_;
   std::unordered_map<net::Ipv4Address, std::string> border_by_rloc_;
+  /// Pub/sub feed session state per border (Fig. 1 "sync" hardening).
+  struct BorderFeedState {
+    bool connected = true;
+    std::uint64_t dropped_publishes = 0;
+  };
+  std::unordered_map<std::string, BorderFeedState> border_feeds_;
+  std::uint64_t publish_seq_ = 0;  // sequence stamped on the last publish
   std::unique_ptr<l2::L2Gateway> l2_gateway_;
 
   std::unordered_map<std::string, EndpointState> endpoints_by_credential_;

@@ -1,0 +1,113 @@
+#include "faults/fault_plane.hpp"
+
+#include <cmath>
+
+namespace sda::faults {
+
+FaultPlane::FaultPlane(sim::Simulator& simulator, underlay::UnderlayNetwork& network,
+                       std::uint64_t seed)
+    : simulator_(simulator), network_(network), rng_(seed) {
+  network_.set_fault_injector(
+      [this](underlay::NodeId, net::Ipv4Address, std::size_t, std::uint32_t hops,
+             underlay::TrafficClass cls) { return decide(hops, cls); });
+}
+
+void FaultPlane::disarm() { network_.set_fault_injector(nullptr); }
+
+underlay::FaultDecision FaultPlane::decide(std::uint32_t hops, underlay::TrafficClass cls) {
+  const LossModel& model = cls == underlay::TrafficClass::Control ? control_ : data_;
+  underlay::FaultDecision decision;
+
+  double drop_p = model.loss;
+  if (model.per_hop_loss > 0.0 && hops > 0) {
+    const double survive = std::pow(1.0 - model.per_hop_loss, static_cast<double>(hops));
+    drop_p = 1.0 - (1.0 - drop_p) * survive;
+  }
+  if (drop_p > 0.0 && rng_.chance(drop_p)) {
+    decision.drop = true;
+    if (cls == underlay::TrafficClass::Control) {
+      ++counters_.control_drops;
+    } else {
+      ++counters_.data_drops;
+    }
+    return decision;
+  }
+
+  if (model.extra_jitter_max.count() > 0 && rng_.chance(model.extra_jitter_chance)) {
+    decision.extra_delay = sim::Duration{rng_.uniform_int(0, model.extra_jitter_max.count())};
+    ++counters_.delays_injected;
+  }
+  return decision;
+}
+
+void FaultPlane::flap_link(underlay::LinkId link, const FlapSchedule& schedule) {
+  const sim::Duration period =
+      schedule.period.count() > 0 ? schedule.period : schedule.down_for * 2;
+  sim::Duration down_at = schedule.first_down;
+  for (unsigned cycle = 0; cycle < schedule.cycles; ++cycle) {
+    simulator_.schedule_after(down_at, [this, link] {
+      network_.topology().set_link_state(link, false);
+      network_.topology_changed();
+      ++counters_.link_transitions;
+    });
+    simulator_.schedule_after(down_at + schedule.down_for, [this, link] {
+      network_.topology().set_link_state(link, true);
+      network_.topology_changed();
+      ++counters_.link_transitions;
+    });
+    down_at += period;
+  }
+}
+
+void FaultPlane::flap_node(underlay::NodeId node, const FlapSchedule& schedule) {
+  const sim::Duration period =
+      schedule.period.count() > 0 ? schedule.period : schedule.down_for * 2;
+  sim::Duration down_at = schedule.first_down;
+  for (unsigned cycle = 0; cycle < schedule.cycles; ++cycle) {
+    simulator_.schedule_after(down_at, [this, node] {
+      network_.topology().set_node_state(node, false);
+      network_.topology_changed();
+      ++counters_.node_transitions;
+    });
+    simulator_.schedule_after(down_at + schedule.down_for, [this, node] {
+      network_.topology().set_node_state(node, true);
+      network_.topology_changed();
+      ++counters_.node_transitions;
+    });
+    down_at += period;
+  }
+}
+
+std::vector<underlay::LinkId> FaultPlane::random_link_storm(unsigned count,
+                                                            const FlapSchedule& schedule,
+                                                            sim::Duration stagger) {
+  const underlay::Topology& topology = network_.topology();
+  std::vector<underlay::LinkId> candidates;
+  candidates.reserve(topology.link_count());
+  for (underlay::LinkId id = 0; id < topology.link_count(); ++id) candidates.push_back(id);
+  rng_.shuffle(candidates);
+  if (candidates.size() > count) candidates.resize(count);
+
+  FlapSchedule staggered = schedule;
+  std::vector<underlay::LinkId> chosen;
+  for (const underlay::LinkId link : candidates) {
+    flap_link(link, staggered);
+    staggered.first_down += stagger;
+    chosen.push_back(link);
+  }
+  return chosen;
+}
+
+void FaultPlane::server_outage(lisp::MapServerNode& node, sim::Duration at,
+                               sim::Duration duration) {
+  simulator_.schedule_after(at, [&node] { node.set_online(false); });
+  simulator_.schedule_after(at + duration, [&node] { node.set_online(true); });
+}
+
+void FaultPlane::server_crash(lisp::MapServerNode& node, sim::Duration at,
+                              sim::Duration downtime, bool preserve_database) {
+  simulator_.schedule_after(at, [&node, preserve_database] { node.crash(preserve_database); });
+  simulator_.schedule_after(at + downtime, [&node] { node.set_online(true); });
+}
+
+}  // namespace sda::faults

@@ -71,6 +71,11 @@ std::size_t MapServer::expire_registrations(sim::SimTime now) {
   return doomed.size();
 }
 
+void MapServer::clear() {
+  databases_.clear();
+  l2_bindings_.clear();
+}
+
 std::optional<MappingRecord> MapServer::resolve(const net::VnEid& eid) const {
   const auto it = databases_.find(eid.vn);
   if (it == databases_.end()) return std::nullopt;

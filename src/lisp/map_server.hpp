@@ -82,6 +82,12 @@ class MapServer {
   /// number removed.
   std::size_t expire_registrations(sim::SimTime now);
 
+  /// Crash semantics: drops every mapping (host and prefix) and L2 binding
+  /// *without* publishing withdrawals — a dead server tells nobody.
+  /// Subscribers reconcile via snapshot resync; edges rebuild the database
+  /// through reliable re-registration.
+  void clear();
+
   /// Longest-prefix resolution. nullopt = no covering mapping (negative).
   [[nodiscard]] std::optional<MappingRecord> resolve(const net::VnEid& eid) const;
 

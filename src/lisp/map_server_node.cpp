@@ -31,7 +31,16 @@ void MapServerNode::track_backlog() {
   peak_backlog_ = std::max(peak_backlog_, in_flight_);
 }
 
+void MapServerNode::crash(bool preserve_database) {
+  online_ = false;
+  if (!preserve_database) server_.clear();
+}
+
 void MapServerNode::submit_request(const MapRequest& request, RequestCallback callback) {
+  if (!online_) {
+    ++dropped_submissions_;
+    return;
+  }
   track_backlog();
   const sim::SimTime arrival = simulator_.now();
   const sim::SimTime done = reserve_worker(jittered(config_.request_service));
@@ -45,6 +54,10 @@ void MapServerNode::submit_request(const MapRequest& request, RequestCallback ca
 }
 
 void MapServerNode::submit_register(const MapRegister& registration, RegisterCallback callback) {
+  if (!online_) {
+    ++dropped_submissions_;
+    return;
+  }
   track_backlog();
   assert(!registration.rlocs.empty());
   const sim::SimTime arrival = simulator_.now();
@@ -65,7 +78,12 @@ void MapServerNode::submit_register(const MapRegister& registration, RegisterCal
     }
     const sim::Duration sojourn = simulator_.now() - arrival;
     register_sojourns_.add(static_cast<double>(sojourn.count()) / 1e9);
-    MapNotify notify{registration.nonce, registration.eid, registration.rlocs};
+    // A withdrawal's ack carries an empty locator set so a receiver that
+    // treats an unmatched notify as a mapping update invalidates rather
+    // than resurrects the departed EID.
+    MapNotify notify{registration.nonce, registration.eid,
+                     registration.ttl_seconds == 0 ? std::vector<net::Rloc>{}
+                                                   : registration.rlocs};
     if (cb) cb(outcome, notify, sojourn);
   });
 }

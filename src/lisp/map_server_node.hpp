@@ -40,11 +40,28 @@ class MapServerNode {
   [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
 
   /// Enqueues a Map-Request; the callback fires when the server answers.
+  /// While the node is offline the submission is silently dropped — exactly
+  /// what a client of a crashed server observes (no error, no answer).
   void submit_request(const MapRequest& request, RequestCallback callback);
 
   /// Enqueues a Map-Register; the callback fires with the outcome and the
-  /// acknowledging Map-Notify.
+  /// acknowledging Map-Notify. Dropped silently while offline.
   void submit_register(const MapRegister& registration, RegisterCallback callback);
+
+  // --- Fault injection (outage windows, crash/restart) --------------------
+
+  /// Takes the node off the network: submissions are swallowed without a
+  /// callback until set_online(true). In-service jobs still complete (they
+  /// were accepted before the outage).
+  void set_online(bool online) { online_ = online; }
+  [[nodiscard]] bool online() const { return online_; }
+
+  /// Crash: go offline and optionally lose the registration database (a
+  /// restart from disk preserves it; a cold crash rebuilds from re-registers).
+  void crash(bool preserve_database);
+
+  /// Submissions swallowed while offline.
+  [[nodiscard]] std::uint64_t dropped_submissions() const { return dropped_submissions_; }
 
   /// Sojourn-time samples (seconds) collected since construction.
   [[nodiscard]] const stats::Summary& request_sojourns() const { return request_sojourns_; }
@@ -65,6 +82,8 @@ class MapServerNode {
   MapServerNodeConfig config_;
   sim::Rng rng_;
   std::vector<sim::SimTime> worker_free_at_;
+  bool online_ = true;
+  std::uint64_t dropped_submissions_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t peak_backlog_ = 0;
   stats::Summary request_sojourns_;

@@ -130,6 +130,7 @@ void Publish::encode(net::ByteWriter& w) const {
   eid.encode(w);
   encode_rlocs(w, rlocs);
   w.write_u32(ttl_seconds);
+  w.write_u64(seq);
 }
 
 std::optional<Publish> Publish::decode(net::ByteReader& r) {
@@ -137,8 +138,9 @@ std::optional<Publish> Publish::decode(net::ByteReader& r) {
   if (!eid) return std::nullopt;
   auto rlocs = decode_rlocs(r);
   const auto ttl = r.read_u32();
-  if (!rlocs || !ttl) return std::nullopt;
-  return Publish{*eid, std::move(*rlocs), *ttl};
+  const auto seq = r.read_u64();
+  if (!rlocs || !ttl || !seq) return std::nullopt;
+  return Publish{*eid, std::move(*rlocs), *ttl, *seq};
 }
 
 std::vector<std::uint8_t> encode_message(const Message& message) {

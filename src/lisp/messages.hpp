@@ -112,6 +112,10 @@ struct Publish {
   net::VnEid eid;
   std::vector<net::Rloc> rlocs;  // empty = withdrawal
   std::uint32_t ttl_seconds = 1440 * 60;
+  /// Feed sequence number (1-based, strictly increasing per feed). A
+  /// subscriber that observes a gap lost an update and must pull a
+  /// snapshot. 0 = unsequenced (direct injection in tests).
+  std::uint64_t seq = 0;
 
   [[nodiscard]] bool withdrawal() const { return rlocs.empty(); }
 

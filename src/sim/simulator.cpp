@@ -10,14 +10,18 @@ EventHandle Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;  // no scheduling into the past
   const std::uint64_t sequence = next_sequence_++;
   queue_.push(Event{when, sequence, std::move(action)});
+  live_sequences_.insert(sequence);
   return EventHandle{sequence};
 }
 
 bool Simulator::cancel(EventHandle handle) {
-  if (!handle.valid() || handle.sequence_ >= next_sequence_) return false;
-  const bool inserted = cancelled_sequences_.insert(handle.sequence_).second;
-  if (inserted) ++cancelled_;
-  return inserted;
+  if (!handle.valid()) return false;
+  // Only a still-pending event can be cancelled: a handle whose event
+  // already executed (or was already cancelled) is no longer live, and
+  // cancelling it must be a counted-for no-op.
+  if (live_sequences_.erase(handle.sequence_) == 0) return false;
+  cancelled_sequences_.insert(handle.sequence_);
+  return true;
 }
 
 void Simulator::skip_cancelled() {
@@ -25,7 +29,6 @@ void Simulator::skip_cancelled() {
     const auto it = cancelled_sequences_.find(queue_.top().sequence);
     if (it == cancelled_sequences_.end()) return;
     cancelled_sequences_.erase(it);
-    --cancelled_;
     queue_.pop();
   }
 }
@@ -38,6 +41,7 @@ bool Simulator::step() {
   Event event{queue_.top().when, queue_.top().sequence,
               std::move(const_cast<Event&>(queue_.top()).action)};
   queue_.pop();
+  live_sequences_.erase(event.sequence);
   assert(event.when >= now_);
   now_ = event.when;
   ++executed_;

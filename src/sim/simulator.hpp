@@ -64,7 +64,7 @@ class Simulator {
   /// Runs at most one event. Returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_; }
+  [[nodiscard]] std::size_t pending_events() const { return live_sequences_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
@@ -86,8 +86,13 @@ class Simulator {
   SimTime now_{};
   std::uint64_t next_sequence_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t cancelled_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Sequences scheduled but not yet executed or cancelled. Membership is
+  /// the ground truth for cancel(): a handle whose event already ran (or
+  /// was already cancelled) is absent, so a late cancel() can never corrupt
+  /// the pending-event accounting.
+  std::unordered_set<std::uint64_t> live_sequences_;
+  /// Cancelled events still physically sitting in the queue; lazily popped.
   std::unordered_set<std::uint64_t> cancelled_sequences_;
 };
 

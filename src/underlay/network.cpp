@@ -55,13 +55,27 @@ std::optional<sim::Duration> UnderlayNetwork::transit_delay(NodeId from,
 }
 
 bool UnderlayNetwork::deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash,
-                              std::size_t bytes, std::function<void()> on_arrival) {
+                              std::size_t bytes, std::function<void()> on_arrival,
+                              TrafficClass cls) {
   const auto delay = transit_delay(from, to_rloc, flow_hash, bytes);
   if (!delay) {
     ++unreachable_drops_;
     return false;
   }
-  simulator_.schedule_after(*delay, std::move(on_arrival));
+  sim::Duration jitter{0};
+  if (fault_injector_) {
+    std::uint32_t hops = 0;
+    if (const auto dest = topology_.node_by_loopback(to_rloc); dest && *dest != from) {
+      if (const SpfRoute* route = table(from).route(*dest)) hops = route->hop_count;
+    }
+    const FaultDecision decision = fault_injector_(from, to_rloc, bytes, hops, cls);
+    if (decision.drop) {
+      ++fault_drops_;
+      return false;
+    }
+    jitter = decision.extra_delay;
+  }
+  simulator_.schedule_after(*delay + jitter, std::move(on_arrival));
   return true;
 }
 

@@ -34,6 +34,17 @@ struct UnderlayConfig {
   bool model_serialization = true;
 };
 
+/// Coarse classification of a delivery, so fault models can treat the
+/// control plane (Map-Requests, pub/sub, RADIUS) differently from
+/// encapsulated endpoint traffic.
+enum class TrafficClass : std::uint8_t { Data = 0, Control = 1 };
+
+/// What a fault injector decided for one delivery.
+struct FaultDecision {
+  bool drop = false;
+  sim::Duration extra_delay{0};
+};
+
 class UnderlayNetwork {
  public:
   using WatchCallback = std::function<void(net::Ipv4Address rloc, bool reachable)>;
@@ -57,10 +68,21 @@ class UnderlayNetwork {
                                                            std::uint64_t flow_hash,
                                                            std::size_t bytes);
 
+  /// Consulted once per deliver() after routing succeeds; may drop the
+  /// packet or add jitter. `hops` is the path hop count so loss models can
+  /// compound per-link probabilities.
+  using FaultInjector = std::function<FaultDecision(NodeId from, net::Ipv4Address to_rloc,
+                                                    std::size_t bytes, std::uint32_t hops,
+                                                    TrafficClass cls)>;
+
   /// Delivers after the transit delay; returns false (and drops) when the
-  /// destination is unreachable at send time.
+  /// destination is unreachable at send time or a fault injector drops the
+  /// packet in transit.
   bool deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash, std::size_t bytes,
-               std::function<void()> on_arrival);
+               std::function<void()> on_arrival, TrafficClass cls = TrafficClass::Data);
+
+  /// Installs (or clears, with nullptr) the fault interposer.
+  void set_fault_injector(FaultInjector injector) { fault_injector_ = std::move(injector); }
 
   /// Registers `node` as watching underlay reachability; `callback` fires
   /// (after IGP convergence) once per RLOC whose reachability flipped.
@@ -72,6 +94,9 @@ class UnderlayNetwork {
 
   /// Total packets dropped at send time due to unreachability.
   [[nodiscard]] std::uint64_t unreachable_drops() const { return unreachable_drops_; }
+
+  /// Total packets dropped in transit by the fault injector.
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
 
  private:
   struct Watcher {
@@ -89,7 +114,9 @@ class UnderlayNetwork {
   std::vector<std::optional<SpfTable>> tables_;
   std::vector<std::uint64_t> table_versions_;
   std::vector<Watcher> watchers_;
+  FaultInjector fault_injector_;
   std::uint64_t unreachable_drops_ = 0;
+  std::uint64_t fault_drops_ = 0;
   bool notify_pending_ = false;
 };
 

@@ -107,6 +107,38 @@ TEST(MapCache, InvalidateRlocPurgesOnlyThatRloc) {
   EXPECT_NE(cache.lookup(eid("10.1.0.3"), at_s(1)), nullptr);
 }
 
+TEST(MapCache, InvalidateRlocIsIdempotentAndTracksPositiveSize) {
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.3"), negative_reply(), at_s(0));
+  EXPECT_EQ(cache.positive_size(), 2u);
+  EXPECT_EQ(cache.invalidate_rloc(*Ipv4Address::parse("10.0.0.2")), 2u);
+  EXPECT_EQ(cache.positive_size(), 0u);
+  EXPECT_EQ(cache.size(), 1u);  // the negative entry is not tied to any RLOC
+  // A second purge finds nothing: entries must not linger half-removed.
+  EXPECT_EQ(cache.invalidate_rloc(*Ipv4Address::parse("10.0.0.2")), 0u);
+  EXPECT_EQ(cache.lookup(eid("10.1.0.1"), at_s(1)), nullptr);
+  EXPECT_EQ(cache.lookup(eid("10.1.0.2"), at_s(1)), nullptr);
+}
+
+TEST(MapCache, InvalidateRlocSurvivesRepeatedFlapCycles) {
+  // Models an RLOC flapping repeatedly: purge, re-learn, purge again. Every
+  // cycle must behave identically — no stale entries reappear and counts
+  // stay exact.
+  MapCache cache;
+  const auto rloc_addr = *Ipv4Address::parse("10.0.0.2");
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(cycle * 10));
+    cache.install(eid("10.1.0.2"), reply("10.0.0.9"), at_s(cycle * 10));
+    EXPECT_EQ(cache.invalidate_rloc(rloc_addr), 1u) << "cycle " << cycle;
+    EXPECT_EQ(cache.lookup(eid("10.1.0.1"), at_s(cycle * 10 + 1)), nullptr);
+    ASSERT_NE(cache.lookup(eid("10.1.0.2"), at_s(cycle * 10 + 1)), nullptr);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.positive_size(), 1u);
+}
+
 TEST(MapCache, SweepRemovesExpired) {
   MapCache cache;
   cache.install(eid("10.1.0.1"), reply("10.0.0.2", 10), at_s(0));

@@ -96,6 +96,18 @@ TEST(Messages, SubscribeAndPublishRoundTrip) {
   EXPECT_TRUE(std::get<Publish>(*dw).withdrawal());
 }
 
+TEST(Messages, PublishSequenceNumberRoundTrip) {
+  Publish p;
+  p.eid = sample_eid();
+  p.rlocs = {Rloc{Ipv4Address{10, 0, 0, 2}}};
+  p.ttl_seconds = 100;
+  p.seq = 0x0123456789ABCDEFull;  // exercises all eight bytes on the wire
+  const auto decoded = decode_message(encode_message(Message{p}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Publish>(*decoded).seq, p.seq);
+  EXPECT_EQ(std::get<Publish>(*decoded), p);
+}
+
 TEST(Messages, Ipv6EidRoundTrip) {
   MapRequest m;
   m.eid = VnEid{VnId{2}, Eid{*net::Ipv6Address::parse("2001:db8::42")}};

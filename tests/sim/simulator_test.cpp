@@ -166,6 +166,50 @@ TEST(Simulator, ManyCancellationsStayConsistent) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(Simulator, CancelAfterExecutionIsRejected) {
+  // A handle whose event already ran must not be cancellable: accepting it
+  // used to corrupt the cancelled-event bookkeeping and underflow
+  // pending_events() on later runs.
+  Simulator sim;
+  const EventHandle ran = sim.schedule_at(SimTime{Duration{10}}, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(ran));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, PendingEventsAccurateAcrossCancelRunCancel) {
+  Simulator sim;
+  const EventHandle first = sim.schedule_at(SimTime{Duration{10}}, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(first));  // already executed
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  const EventHandle second = sim.schedule_at(SimTime{Duration{20}}, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.cancel(second));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(second));  // double cancel stays a no-op
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelExecutedHandleDoesNotEatPendingEvents) {
+  // Regression: cancel(executed-handle) + a live queue entry used to make
+  // pending_events() report one less than reality.
+  Simulator sim;
+  const EventHandle done = sim.schedule_at(SimTime{Duration{1}}, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule_at(SimTime{Duration{2}}, [&] { ran = true; });
+  EXPECT_FALSE(sim.cancel(done));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
 TEST(SimTime, ArithmeticAndFormatting) {
   const SimTime t{std::chrono::seconds{3723} + std::chrono::milliseconds{45}};
   EXPECT_DOUBLE_EQ(t.seconds(), 3723.045);

@@ -107,6 +107,71 @@ TEST_F(NetworkFixture, MultipleChangesCoalesceIntoOneNotification) {
   EXPECT_EQ(count, 1);
 }
 
+TEST_F(NetworkFixture, RapidFlapsEndingUpProduceNoStaleCallbacks) {
+  std::vector<std::pair<net::Ipv4Address, bool>> events;
+  net->watch(a, [&](net::Ipv4Address r, bool up) {
+    // Every callback must agree with the network's view at delivery time.
+    EXPECT_EQ(up, net->reachable(a, r));
+    events.emplace_back(r, up);
+  });
+
+  // Four transitions packed inside one igp_convergence window (200ms),
+  // ending back in the up state the watcher started from.
+  const auto step = std::chrono::milliseconds{10};
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(sim::SimTime{step * (i + 1)}, [this, i] {
+      topo.set_link_state(bc, i % 2 != 0);
+      net->topology_changed();
+    });
+  }
+  sim.run();
+  // Net-zero change: a watcher that reported anything saw a stale snapshot.
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(NetworkFixture, RapidFlapsEndingDownReportOneAccurateTransition) {
+  std::vector<std::pair<net::Ipv4Address, bool>> events;
+  net->watch(a, [&](net::Ipv4Address r, bool up) {
+    EXPECT_EQ(up, net->reachable(a, r));
+    events.emplace_back(r, up);
+  });
+
+  const auto step = std::chrono::milliseconds{10};
+  for (int i = 0; i < 5; ++i) {  // odd transition count: link ends down
+    sim.schedule_at(sim::SimTime{step * (i + 1)}, [this, i] {
+      topo.set_link_state(bc, i % 2 != 0);
+      net->topology_changed();
+    });
+  }
+  sim.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, rloc(3));
+  EXPECT_FALSE(events[0].second);
+  EXPECT_FALSE(net->reachable(a, rloc(3)));
+}
+
+TEST_F(NetworkFixture, NodeFlapsAcrossWindowsAlternateStrictly) {
+  std::vector<bool> states;
+  net->watch(a, [&](net::Ipv4Address r, bool up) {
+    if (r == rloc(3)) states.push_back(up);
+  });
+  // Down/up transitions spaced wider than igp_convergence so each lands in
+  // its own notification window: the reported sequence must alternate with
+  // no duplicated (stale) state.
+  const auto spacing = std::chrono::milliseconds{250};
+  for (int i = 0; i < 6; ++i) {
+    sim.schedule_at(sim::SimTime{spacing * (i + 1)}, [this, i] {
+      topo.set_node_state(c, i % 2 != 0);
+      net->topology_changed();
+    });
+  }
+  sim.run();
+  ASSERT_EQ(states.size(), 6u);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i], i % 2 != 0) << "callback " << i;
+  }
+}
+
 TEST_F(NetworkFixture, NodeDownReportsItsRlocUnreachable) {
   std::vector<net::Ipv4Address> down;
   net->watch(a, [&](net::Ipv4Address r, bool up) {
