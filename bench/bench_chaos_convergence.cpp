@@ -16,8 +16,8 @@
 
 #include "fabric/fabric.hpp"
 #include "faults/fault_plane.hpp"
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
+#include "telemetry_sink.hpp"
 
 namespace {
 
@@ -59,7 +59,7 @@ struct ChaosResult {
   }
 };
 
-ChaosResult run(double control_loss, double data_loss) {
+ChaosResult run(double control_loss, double data_loss, bool export_telemetry = false) {
   sim::Simulator sim;
   fabric::FabricConfig config;
   config.l2_gateway = false;
@@ -104,6 +104,9 @@ ChaosResult run(double control_loss, double data_loss) {
   sim.run();
 
   faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  // Injected faults land in the fabric's flight recorder next to the
+  // control-plane events they provoke — one merged timeline per run.
+  plane.set_recorder(&fabric.flight_recorder());
 
   ChaosResult result;
   const auto buckets = static_cast<std::size_t>(kRunFor / kBucket) + 1;
@@ -211,6 +214,10 @@ ChaosResult run(double control_loss, double data_loss) {
   }
   result.feed_dropped = fabric.border_publishes_dropped("b0");
   result.snapshots = fabric.border("b0").counters().snapshots_applied;
+  if (export_telemetry) {
+    bench::export_fabric_metrics(fabric, "chaos_convergence_metrics");
+    bench::export_flight_recorder(fabric, "chaos_convergence_events");
+  }
   return result;
 }
 
@@ -227,7 +234,9 @@ int main() {
                       "feed lost", "snapshots"}};
   std::vector<std::pair<double, double>> reference_series;
   for (const double loss : {0.0, 0.1, 0.2, 0.3}) {
-    const ChaosResult r = run(loss, 0.02);
+    // The 20%-loss run is the reference: its series goes to CSV and its
+    // telemetry snapshot + fault/event timeline are exported.
+    const ChaosResult r = run(loss, 0.02, /*export_telemetry=*/loss == 0.2);
     if (loss == 0.2) reference_series = r.fraction_series;
     table.add_row({stats::Table::num(100.0 * loss, 0) + " %", "2 %",
                    stats::Table::num(std::size_t{r.sent}),
@@ -245,11 +254,7 @@ int main() {
   std::printf("hardening (backoff retransmits, reliable registers, feed resync) keeps the\n");
   std::printf("post-storm fraction at 1.0 — nothing stays blackholed once faults clear.\n\n");
 
-  if (const auto dir = stats::results_dir()) {
-    if (stats::write_series_csv(*dir, "chaos_delivered_fraction", "time_s",
-                                "delivered_fraction", reference_series)) {
-      std::printf("CSV written to %s/chaos_delivered_fraction.csv\n", dir->c_str());
-    }
-  }
+  bench::write_timeseries("chaos_delivered_fraction", {"delivered_fraction"},
+                          bench::rows_from_series(reference_series), kSeed);
   return 0;
 }

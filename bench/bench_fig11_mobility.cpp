@@ -14,8 +14,8 @@
 #include <cstdio>
 
 #include "stats/cdf.hpp"
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
+#include "telemetry_sink.hpp"
 #include "workload/warehouse.hpp"
 
 int main() {
@@ -31,6 +31,31 @@ int main() {
   // keeps the output queue hot (utilization ~0.85) as in the overloaded
   // lab run the paper describes.
   spec.reflector.per_peer_send = std::chrono::microseconds{26};
+  // Telemetry: trace every flow's first packet in the reactive run and
+  // export the fabric's metrics snapshot (per-edge map-cache hits/misses,
+  // SMR counts, onboarding/roam/first-packet histograms) plus the traces
+  // that decompose the first-packet latency hop by hop.
+  spec.trace_first_packets = true;
+  spec.inspect_reactive = [](fabric::SdaFabric& f) {
+    const telemetry::Snapshot snap = bench::export_fabric_metrics(f, "fig11_mobility_metrics");
+    bench::export_path_traces(f, "fig11_mobility_traces");
+    std::uint64_t hits = 0, misses = 0, smr_sent = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.ends_with(".map_cache.hits")) hits += value;
+      if (name.ends_with(".map_cache.misses")) misses += value;
+      if (name.ends_with(".smr_sent")) smr_sent += value;
+    }
+    std::printf("telemetry: map-cache %llu hits / %llu misses, %llu SMRs sent\n",
+                static_cast<unsigned long long>(hits), static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(smr_sent));
+    const auto fp = snap.histograms.find("fabric.first_packet_us");
+    if (fp != snap.histograms.end() && fp->second.total > 0) {
+      std::printf("telemetry: first packet n=%llu p50=%.0fus p95=%.0fus (traced: %zu kept)\n",
+                  static_cast<unsigned long long>(fp->second.total),
+                  fp->second.quantile(0.5), fp->second.quantile(0.95),
+                  f.path_tracer().completed().size());
+    }
+  };
   workload::WarehouseWorkload warehouse{spec};
 
   std::printf("running reactive (LISP) control plane...\n");
@@ -63,12 +88,10 @@ int main() {
                                              "CDF of handover delay (normalized to min)")
                           .c_str());
 
-  if (const auto dir = stats::results_dir()) {
-    stats::write_series_csv(*dir, "fig11_lisp_cdf", "normalized_delay", "fraction",
-                            lisp_cdf.series(256));
-    stats::write_series_csv(*dir, "fig11_bgp_cdf", "normalized_delay", "fraction",
-                            bgp_cdf.series(256));
-  }
+  bench::write_xy("fig11_lisp_cdf", "normalized_delay", "fraction", lisp_cdf.series(256),
+                  spec.seed);
+  bench::write_xy("fig11_bgp_cdf", "normalized_delay", "fraction", bgp_cdf.series(256),
+                  spec.seed);
 
   std::printf("moves measured: LISP %zu, BGP %zu\n", lisp_moves, bgp_moves);
   std::printf("median handover: LISP %.2f ms, BGP %.2f ms  (ratio %.1fx)\n",

@@ -8,8 +8,8 @@
 // that decays as humans stop retrying.
 #include <cstdio>
 
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
+#include "telemetry_sink.hpp"
 #include "workload/policy_drops.hpp"
 
 int main() {
@@ -45,11 +45,9 @@ int main() {
                    stats::Table::num(std::size_t{device.total_drops})});
   }
   std::printf("%s\n", table.render().c_str());
-  if (const auto dir = stats::results_dir()) {
-    for (const auto& device : result.devices) {
-      stats::write_timeseries_csv(*dir, "fig12_" + device.name, "drop_permille",
-                                  device.drop_permille);
-    }
+  for (const auto& device : result.devices) {
+    bench::write_timeseries("fig12_" + device.name, {"drop_permille"},
+                            bench::rows_from_timeseries(device.drop_permille), spec.seed);
   }
   std::printf("policy update lands at hour %d; watch the transient spike then decay.\n",
               spec.policy_update_hour);

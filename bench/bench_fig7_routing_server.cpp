@@ -18,13 +18,15 @@
 #include "lisp/map_server_node.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-#include "stats/csv.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
+#include "telemetry_sink.hpp"
 
 namespace {
 
 using namespace sda;
+
+constexpr std::uint64_t kSeed = 99;  // rng seed of the 7c queueing front end
 
 net::VnEid eid_of(std::uint32_t i) {
   return net::VnEid{net::VnId{1}, net::Eid{net::Ipv4Address{0x0A000000u + i}}};
@@ -124,10 +126,8 @@ void print_boxplot_table(const char* title, const char* x_label,
   }
   std::printf("%s\n", table.render().c_str());
   if (csv_name != nullptr) {
-    if (const auto dir = stats::results_dir()) {
-      stats::write_csv(*dir, csv_name,
-                       {x_label, "w2.5", "q1", "median", "q3", "w97.5", "mean"}, csv_rows);
-    }
+    bench::write_table(csv_name, {x_label, "w2.5", "q1", "median", "q3", "w97.5", "mean"},
+                       std::move(csv_rows), kSeed);
   }
 }
 
@@ -138,7 +138,7 @@ stats::Summary simulate_load(double queries_per_second, std::uint32_t queries) {
   lisp::MapServerNodeConfig config;
   config.rloc = net::Ipv4Address{0xC0A80001u};
   lisp::MapServerNode node{sim, server, config, 7};
-  sim::Rng rng{99};
+  sim::Rng rng{kSeed};
 
   sim::SimTime at = sim::SimTime::zero();
   for (std::uint32_t q = 0; q < queries; ++q) {

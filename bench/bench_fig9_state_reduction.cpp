@@ -13,8 +13,8 @@
 #include <cstdio>
 
 #include "campus_specs.hpp"
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
+#include "telemetry_sink.hpp"
 
 namespace {
 
@@ -51,12 +51,10 @@ void run_building(const workload::CampusSpec& spec) {
   std::printf("edge/border state ratio: %.2f (reduction %.0f%%)\n\n",
               result.edge_all / result.border_all, 100.0 * result.state_reduction());
 
-  if (const auto dir = stats::results_dir()) {
-    stats::write_timeseries_csv(*dir, "fig9_building_" + spec.name + "_border", "fib_entries",
-                                result.border_fib);
-    stats::write_timeseries_csv(*dir, "fig9_building_" + spec.name + "_edge", "fib_entries",
-                                result.edge_fib);
-  }
+  bench::write_timeseries("fig9_building_" + spec.name + "_border", {"fib_entries"},
+                          bench::rows_from_timeseries(result.border_fib), spec.seed);
+  bench::write_timeseries("fig9_building_" + spec.name + "_edge", {"fib_entries"},
+                          bench::rows_from_timeseries(result.edge_fib), spec.seed);
 }
 
 }  // namespace

@@ -4,17 +4,34 @@
 //    is the root cause of Fig. 7a/7b;
 //  * wire codecs (VXLAN-GPO stack, LISP control messages);
 //  * map-cache hit path and SGACL evaluation (the per-packet pipeline);
-//  * SPF recomputation at campus and warehouse scale.
+//  * SPF recomputation at campus and warehouse scale;
+//  * telemetry hot paths (counter cells, recorder, idle tracer hooks) —
+//    the instrumentation tax must stay ~0 when idle, tiny when enabled.
+//
+// The custom main additionally builds a two-edge fabric, pushes a few
+// packets, and exports metrics snapshots so scripts/check_metrics.sh can
+// validate the JSON schema and counter monotonicity cheaply (run with
+// --benchmark_filter=NothingMatches to skip the timing loops).
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <string>
+#include <vector>
 
 #include "bgp/rib.hpp"
 #include "dataplane/sgacl.hpp"
+#include "fabric/fabric.hpp"
 #include "l2/slaac.hpp"
 #include "lisp/map_cache.hpp"
 #include "lisp/map_server.hpp"
 #include "lisp/messages.hpp"
 #include "net/packet.hpp"
 #include "policy/sxp.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/path_trace.hpp"
+#include "telemetry_sink.hpp"
 #include "trie/patricia.hpp"
 #include "underlay/spf.hpp"
 
@@ -218,4 +235,139 @@ void BM_SpfCompute(benchmark::State& state) {
 }
 BENCHMARK(BM_SpfCompute)->Arg(13)->Arg(200);
 
+// --- Telemetry hot paths --------------------------------------------------
+// Pull probes cost nothing until snapshot(); these measure the paths that
+// do run per event: owned cells, the flight-recorder ring, and the
+// compiled-in-but-idle tracer hooks every data-plane stage calls.
+
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& counter = registry.counter("edge[0].map_cache.hits");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  telemetry::LatencyHistogram& hist =
+      registry.histogram("fabric.first_packet_us", {0.0, 20'000.0, 50});
+  double sample = 0;
+  for (auto _ : state) {
+    hist.observe(sample);
+    sample = sample < 20'000.0 ? sample + 7.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(hist);
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void BM_TelemetryRecorderRecord(benchmark::State& state) {
+  telemetry::FlightRecorder recorder{2048};
+  recorder.set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    // The guard-then-build idiom every instrumented call site uses.
+    if (recorder.enabled()) {
+      recorder.record(sim::SimTime{}, telemetry::EventKind::MapRequest, "edge-0",
+                      "for 10.1.0.5");
+    }
+    benchmark::DoNotOptimize(recorder);
+  }
+}
+BENCHMARK(BM_TelemetryRecorderRecord)->Arg(1)->Arg(0);
+
+void BM_TelemetryTracerIdleNote(benchmark::State& state) {
+  // Nothing armed, nothing open: the per-packet cost of compiled-in hooks.
+  telemetry::PathTracer tracer;
+  net::OverlayFrame frame;
+  frame.source_mac = net::MacAddress::from_u64(0x02AA);
+  frame.destination_mac = net::MacAddress::from_u64(0x02BB);
+  net::Ipv4Datagram dgram;
+  dgram.source = net::Ipv4Address{10, 1, 0, 1};
+  dgram.destination = net::Ipv4Address{10, 1, 0, 2};
+  frame.l3 = dgram;
+  const std::string node = "edge-0";
+  for (auto _ : state) {
+    tracer.note(net::VnId{1}, frame, telemetry::HopKind::Transit, node, sim::SimTime{});
+    benchmark::DoNotOptimize(tracer);
+  }
+}
+BENCHMARK(BM_TelemetryTracerIdleNote);
+
+void BM_TelemetryRegistrySnapshot(benchmark::State& state) {
+  // A registry the size of a mid-size fabric: 40 nodes x 8 pull probes.
+  telemetry::MetricsRegistry registry;
+  std::vector<std::uint64_t> cells(320);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    registry.register_counter(
+        "edge[" + std::to_string(i / 8) + "].counter" + std::to_string(i % 8),
+        [&cells, i] { return cells[i]; });
+  }
+  for (auto _ : state) {
+    const telemetry::Snapshot snap = registry.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_TelemetryRegistrySnapshot);
+
+/// Builds a tiny two-edge fabric, pushes traffic, and exports two metrics
+/// snapshots (plus Prometheus text) for scripts/check_metrics.sh: the
+/// second snapshot must be schema-identical and counter-monotonic over the
+/// first. No-op unless $SDA_RESULTS_DIR is set.
+void export_schema_probe() {
+  const auto dir = bench::results_dir();
+  if (!dir) return;
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = 0x5DA;
+  config.trace_first_packets = true;
+  fabric::SdaFabric fabric{sim, config};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.add_edge("e1");
+  fabric.link("e0", "b0");
+  fabric.link("e1", "b0");
+  fabric.finalize();
+  fabric.define_vn({net::VnId{1}, "corp", *net::Ipv4Prefix::parse("10.1.0.0/16")});
+
+  std::array<net::Ipv4Address, 2> ips;
+  for (int i = 0; i < 2; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = "h" + std::to_string(i);
+    def.secret = "pw";
+    def.mac = net::MacAddress::from_u64(0x0400u + static_cast<std::uint64_t>(i));
+    def.vn = net::VnId{1};
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    fabric.connect_endpoint(def.credential, i == 0 ? "e0" : "e1", 1,
+                            [&ips, i](const fabric::OnboardResult& r) {
+                              ips[static_cast<std::size_t>(i)] = r.ip;
+                            });
+  }
+  sim.run();
+  fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0400u), ips[1], 443, 200);
+  sim.run();
+  const telemetry::Snapshot first = fabric.telemetry().metrics.snapshot();
+  telemetry::write_json(*dir, "bench_micro_metrics", first);
+  telemetry::write_prometheus(*dir, "bench_micro_metrics", first);
+  for (int i = 0; i < 8; ++i) {
+    fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0401u), ips[0], 443, 200);
+  }
+  sim.run();
+  telemetry::write_json(*dir, "bench_micro_metrics_2", fabric.telemetry().metrics.snapshot());
+  std::printf("telemetry schema probes written to %s/bench_micro_metrics{,_2}.json\n",
+              dir->c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  export_schema_probe();
+  return 0;
+}

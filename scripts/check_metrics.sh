@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Validate the telemetry JSON export schema end to end.
+#
+#   scripts/check_metrics.sh [path/to/bench_micro]
+#
+# Runs bench_micro's telemetry schema probe (the timing loops are skipped
+# via --benchmark_filter) with SDA_RESULTS_DIR pointed at a tmpdir, then
+# checks that:
+#   * both snapshots parse as JSON with the counters/gauges/histograms shape;
+#   * the expected hierarchical metric names are present;
+#   * every histogram carries a consistent bucket layout (total = counts
+#     + under/overflow);
+#   * counters are monotonic between the first and second snapshot;
+#   * the Prometheus rendering exists and exposes sda_-prefixed metrics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/bench_micro}"
+if [[ ! -x "$BENCH" ]]; then
+  echo "check_metrics: bench_micro binary not found at $BENCH" >&2
+  exit 1
+fi
+
+TMPDIR_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_RESULTS"' EXIT
+
+SDA_RESULTS_DIR="$TMPDIR_RESULTS" "$BENCH" --benchmark_filter='NothingMatchesThis' \
+  >/dev/null
+
+python3 - "$TMPDIR_RESULTS" <<'PY'
+import json
+import sys
+
+results = sys.argv[1]
+
+def load(name):
+    with open(f"{results}/{name}.json") as f:
+        snap = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        assert section in snap, f"{name}: missing section {section!r}"
+        assert isinstance(snap[section], dict), f"{name}: {section} is not an object"
+    for metric, value in snap["counters"].items():
+        assert isinstance(value, int) and value >= 0, f"{name}: counter {metric}={value!r}"
+    for metric, value in snap["gauges"].items():
+        assert isinstance(value, (int, float)), f"{name}: gauge {metric}={value!r}"
+    for metric, hist in snap["histograms"].items():
+        for field in ("lo", "hi", "counts", "underflow", "overflow", "total", "sum"):
+            assert field in hist, f"{name}: histogram {metric} missing {field!r}"
+        assert hist["lo"] < hist["hi"], f"{name}: histogram {metric} empty range"
+        in_range = sum(hist["counts"])
+        assert in_range + hist["underflow"] + hist["overflow"] == hist["total"], (
+            f"{name}: histogram {metric} bucket sum mismatch")
+    return snap
+
+first = load("bench_micro_metrics")
+second = load("bench_micro_metrics_2")
+
+# The probe fabric has two edges, a border, and the fabric-level histograms.
+for expected in ("edge[0].map_cache.misses", "edge[1].map_cache.hits",
+                 "edge[0].smr_sent", "map_server.requests", "border[0].hairpinned"):
+    assert expected in first["counters"], f"missing expected counter {expected!r}"
+for expected in ("fabric.first_packet_us", "fabric.onboard_ms"):
+    assert expected in first["histograms"], f"missing expected histogram {expected!r}"
+assert first["histograms"]["fabric.onboard_ms"]["total"] == 2, "probe onboarded 2 endpoints"
+
+# Same schema in both snapshots, and counters never go backwards.
+assert set(first["counters"]) == set(second["counters"]), "counter sets diverged"
+assert set(first["histograms"]) == set(second["histograms"]), "histogram sets diverged"
+regressed = [m for m in first["counters"] if second["counters"][m] < first["counters"][m]]
+assert not regressed, f"counters regressed between snapshots: {regressed}"
+moved = sum(second["counters"][m] - first["counters"][m] for m in first["counters"])
+assert moved > 0, "second snapshot shows no traffic progress"
+
+prom = open(f"{results}/bench_micro_metrics.prom").read()
+assert "# TYPE sda_edge_0_map_cache_misses counter" in prom, "prometheus counter missing"
+assert "sda_fabric_first_packet_us_bucket" in prom, "prometheus histogram missing"
+
+print(f"check_metrics: OK ({len(first['counters'])} counters, "
+      f"{len(first['gauges'])} gauges, {len(first['histograms'])} histograms)")
+PY

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::bgp {
 
@@ -78,6 +80,20 @@ void RouteReflector::flush_batch() {
       peer->free_at_ = free_at;
     });
   }
+}
+
+void RouteReflector::register_metrics(telemetry::MetricsRegistry& registry,
+                                      const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "announcements"),
+                            [this] { return stats_.announcements; });
+  registry.register_counter(telemetry::join(prefix, "batches"),
+                            [this] { return stats_.batches; });
+  registry.register_counter(telemetry::join(prefix, "peer_updates_sent"),
+                            [this] { return stats_.peer_updates_sent; });
+  registry.register_counter(telemetry::join(prefix, "routes_replicated"),
+                            [this] { return stats_.routes_replicated; });
+  registry.register_gauge(telemetry::join(prefix, "clients"),
+                          [this] { return static_cast<double>(client_count()); });
 }
 
 }  // namespace sda::bgp

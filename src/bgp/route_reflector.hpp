@@ -19,6 +19,10 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::bgp {
 
 struct ReflectorConfig {
@@ -76,6 +80,10 @@ class RouteReflector {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t client_count() const { return peers_.size(); }
+
+  /// Registers pull probes for the stats fields and a client-count gauge
+  /// under `prefix` (e.g. "bgp"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct PendingUpdate {

@@ -1,5 +1,7 @@
 #include "dataplane/border_router.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::dataplane {
 
 BorderRouter::BorderRouter(sim::Simulator& simulator, BorderRouterConfig config)
@@ -138,10 +140,20 @@ void BorderRouter::receive_fabric_frame(const net::FabricFrame& frame_in) {
     net::OverlayFrame inner = frame.inner;
     if (inner.hop_limit() <= 1) {
       ++counters_.ttl_drops;  // edge<->border transient loop guard (§5.2)
+      if (tracer_) {
+        tracer_->note(frame.vn, inner, telemetry::HopKind::Drop, config_.name, simulator_.now(),
+                      "ttl");
+      }
       return;
     }
     inner.set_hop_limit(static_cast<std::uint8_t>(inner.hop_limit() - 1));
     ++counters_.hairpinned;
+    if (tracer_) {
+      std::string detail = "to ";
+      detail += target.to_string();
+      tracer_->note(frame.vn, inner, telemetry::HopKind::Hairpin, config_.name, simulator_.now(),
+                    detail);
+    }
     encap_to(target, frame.vn, frame.source_group, frame.policy_applied, inner);
     return;
   }
@@ -151,14 +163,48 @@ void BorderRouter::receive_fabric_frame(const net::FabricFrame& frame_in) {
     if (!frame.policy_applied && !route->group.is_unknown() &&
         sgacl_.evaluate(frame.vn, frame.source_group, route->group) == policy::Action::Deny) {
       ++counters_.policy_drops;
+      if (tracer_) {
+        tracer_->note(frame.vn, frame.inner, telemetry::HopKind::SgaclDeny, config_.name,
+                      simulator_.now(), "border-egress");
+      }
       return;
     }
     ++counters_.external_out;
+    if (tracer_) {
+      tracer_->note(frame.vn, frame.inner, telemetry::HopKind::ExternalOut, config_.name,
+                    simulator_.now());
+    }
     if (deliver_external_) deliver_external_(destination, frame.inner);
     return;
   }
 
   ++counters_.no_route_drops;
+  if (tracer_) {
+    tracer_->note(frame.vn, frame.inner, telemetry::HopKind::Drop, config_.name,
+                  simulator_.now(), "no-route");
+  }
+}
+
+void BorderRouter::register_metrics(telemetry::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  const auto add = [&](const char* leaf, const std::uint64_t& field) {
+    registry.register_counter(telemetry::join(prefix, leaf), [&field] { return field; });
+  };
+  add("publishes_applied", counters_.publishes_applied);
+  add("withdrawals_applied", counters_.withdrawals_applied);
+  add("out_of_sequence", counters_.out_of_sequence);
+  add("resyncs_requested", counters_.resyncs_requested);
+  add("snapshots_applied", counters_.snapshots_applied);
+  add("hairpinned", counters_.hairpinned);
+  add("external_out", counters_.external_out);
+  add("external_in", counters_.external_in);
+  add("policy_drops", counters_.policy_drops);
+  add("no_route_drops", counters_.no_route_drops);
+  add("ttl_drops", counters_.ttl_drops);
+  add("group_rewrites", counters_.group_rewrites);
+  registry.register_gauge(telemetry::join(prefix, "fib_size"),
+                          [this] { return static_cast<double>(fib_size()); });
+  sgacl_.register_metrics(registry, telemetry::join(prefix, "sgacl"));
 }
 
 void BorderRouter::encap_to(net::Ipv4Address rloc, net::VnId vn, net::GroupId source_group,

@@ -19,8 +19,13 @@
 #include "net/packet.hpp"
 #include "net/prefix.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/path_trace.hpp"
 #include "trie/patricia.hpp"
 #include "underlay/topology.hpp"
+
+namespace sda::telemetry {
+class MetricsRegistry;
+}
 
 namespace sda::dataplane {
 
@@ -137,6 +142,14 @@ class BorderRouter {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Registers pull probes for every counter under `prefix` (e.g.
+  /// "border[0]") plus the embedded SGACL ("<prefix>.sgacl"). Probes
+  /// capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Attaches an opt-in packet path tracer (nullptr detaches).
+  void set_tracer(telemetry::PathTracer* tracer) { tracer_ = tracer; }
+
  private:
   struct ExternalRoute {
     net::GroupId group;
@@ -167,6 +180,7 @@ class BorderRouter {
   std::unordered_map<std::uint64_t, net::GroupId> group_rewrites_;
   Sgacl sgacl_;
   Counters counters_;
+  telemetry::PathTracer* tracer_ = nullptr;
 };
 
 }  // namespace sda::dataplane

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::dataplane {
 
 namespace {
@@ -215,10 +217,15 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
   }
 
   const net::VnEid destination{source->vn, frame.destination_eid()};
+  if (tracer_) tracer_->ingress(source->vn, frame, config_.name, simulator_.now());
 
   // Same-edge destination: run the egress pipeline directly.
   if (local_.lookup(destination) != nullptr) {
     ++counters_.locally_switched;
+    if (tracer_) {
+      tracer_->note(source->vn, frame, telemetry::HopKind::LocalSwitch, config_.name,
+                    simulator_.now());
+    }
     egress_deliver(destination, source->group, false, frame);
     return;
   }
@@ -228,6 +235,10 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
     // Mapping points at an RLOC the IGP says is gone (§5.1): bypass it and
     // ride the border default until the endpoint re-registers elsewhere.
     ++counters_.default_routed;
+    if (tracer_) {
+      tracer_->note(source->vn, frame, telemetry::HopKind::DefaultRoute, config_.name,
+                    simulator_.now(), "rloc-fallback");
+    }
     encap_to(config_.border_rloc, destination, source->group, false, frame);
     return;
   }
@@ -236,6 +247,10 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
       // §5.3 ablation: enforce here using the (possibly stale) cached group.
       if (sgacl_.evaluate(source->vn, source->group, entry->group) == policy::Action::Deny) {
         ++counters_.policy_drops;
+        if (tracer_) {
+          tracer_->note(source->vn, frame, telemetry::HopKind::SgaclDeny, config_.name,
+                        simulator_.now(), "ingress");
+        }
         return;
       }
       encap_to(entry->primary_rloc(), destination, source->group, true, frame);
@@ -250,10 +265,18 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
     // Classic LISP (§3.2.2 ablation): nothing to do with the packet until
     // the Map-Reply installs a mapping — the flow's first packets are lost.
     ++counters_.resolution_drops;
+    if (tracer_) {
+      tracer_->note(source->vn, frame, telemetry::HopKind::Drop, config_.name, simulator_.now(),
+                    "resolution-pending");
+    }
     return;
   }
   // Miss (or negative): default route to the border while resolution runs.
   ++counters_.default_routed;
+  if (tracer_) {
+    tracer_->note(source->vn, frame, telemetry::HopKind::DefaultRoute, config_.name,
+                  simulator_.now(), entry == nullptr ? "cache-miss" : "negative-entry");
+  }
   encap_to(config_.border_rloc, destination, source->group, false, frame);
 }
 
@@ -263,6 +286,10 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
 
 void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
   ++counters_.decapsulated;
+  if (tracer_ && !frame.inner.is_arp()) {
+    tracer_->note(frame.vn, frame.inner, telemetry::HopKind::Decap, config_.name,
+                  simulator_.now());
+  }
   if (frame.inner.is_arp()) {
     // Unicast-converted ARP from an L2 gateway: deliver to the target MAC.
     const net::VnEid mac_eid{frame.vn, net::Eid{frame.inner.destination_mac}};
@@ -290,6 +317,10 @@ void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
   net::OverlayFrame inner = frame.inner;
   if (inner.hop_limit() <= 1) {
     ++counters_.ttl_drops;  // transient edge<->border loop protection (§5.2)
+    if (tracer_) {
+      tracer_->note(frame.vn, inner, telemetry::HopKind::Drop, config_.name, simulator_.now(),
+                    "ttl");
+    }
     return;
   }
   inner.set_hop_limit(static_cast<std::uint8_t>(inner.hop_limit() - 1));
@@ -297,6 +328,10 @@ void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
   const lisp::MapCacheEntry* entry = cache_.lookup(destination, simulator_.now());
   if (entry != nullptr && !entry->negative() && entry->primary_rloc() != config_.rloc) {
     ++counters_.stale_forwards;
+    if (tracer_) {
+      tracer_->note(frame.vn, inner, telemetry::HopKind::StaleForward, config_.name,
+                    simulator_.now());
+    }
     encap_to(entry->primary_rloc(), destination, frame.source_group, frame.policy_applied,
              inner);
     return;
@@ -306,6 +341,10 @@ void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
     // Came *from* the border and we have no better idea: bouncing it back
     // would loop (§5.2); hold the line and drop after resolution kicks in.
     ++counters_.no_route_drops;
+    if (tracer_) {
+      tracer_->note(frame.vn, inner, telemetry::HopKind::Drop, config_.name, simulator_.now(),
+                    "no-route");
+    }
     return;
   }
   ++counters_.default_routed;
@@ -322,12 +361,24 @@ void EdgeRouter::egress_deliver(const net::VnEid& destination, net::GroupId sour
   if (!policy_already_applied &&
       sgacl_.evaluate(destination.vn, source_group, entry->group) == policy::Action::Deny) {
     ++counters_.policy_drops;
+    if (tracer_) {
+      tracer_->note(destination.vn, frame, telemetry::HopKind::SgaclDeny, config_.name,
+                    simulator_.now(), "stage2");
+    }
     return;
+  }
+  if (tracer_) {
+    tracer_->note(destination.vn, frame, telemetry::HopKind::SgaclPermit, config_.name,
+                  simulator_.now(), policy_already_applied ? "policy-bit" : "stage2");
   }
 
   const AttachedEndpoint* endpoint = find_endpoint(destination);
   assert(endpoint != nullptr);
   ++counters_.frames_delivered;
+  if (tracer_) {
+    tracer_->note(destination.vn, frame, telemetry::HopKind::Deliver, config_.name,
+                  simulator_.now());
+  }
   if (deliver_local_) {
     if (endpoint->vlan) {
       // Re-apply the destination port's access VLAN (§3.5 element i).
@@ -347,7 +398,12 @@ void EdgeRouter::egress_deliver(const net::VnEid& destination, net::GroupId sour
 void EdgeRouter::encap_to(net::Ipv4Address rloc, const net::VnEid& destination,
                           net::GroupId source_group, bool policy_applied,
                           const net::OverlayFrame& frame) {
-  (void)destination;
+  if (tracer_) {
+    std::string detail = "to ";
+    detail += rloc.to_string();
+    tracer_->note(destination.vn, frame, telemetry::HopKind::Encap, config_.name,
+                  simulator_.now(), detail);
+  }
   net::FabricFrame out;
   out.outer_source = config_.rloc;
   out.outer_destination = rloc;
@@ -636,6 +692,41 @@ void EdgeRouter::on_rloc_reachability(net::Ipv4Address rloc, bool reachable) {
 void EdgeRouter::install_rules(net::VnId vn, net::GroupId destination,
                                const std::vector<policy::Rule>& rules) {
   sgacl_.install_destination_rules(vn, destination, rules);
+}
+
+void EdgeRouter::register_metrics(telemetry::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  const auto add = [&](const char* leaf, const std::uint64_t& field) {
+    registry.register_counter(telemetry::join(prefix, leaf), [&field] { return field; });
+  };
+  add("frames_from_endpoints", counters_.frames_from_endpoints);
+  add("frames_delivered", counters_.frames_delivered);
+  add("encapsulated", counters_.encapsulated);
+  add("decapsulated", counters_.decapsulated);
+  add("locally_switched", counters_.locally_switched);
+  add("default_routed", counters_.default_routed);
+  add("map_requests_sent", counters_.map_requests_sent);
+  add("registers_sent", counters_.registers_sent);
+  add("smr_sent", counters_.smr_sent);
+  add("smr_received", counters_.smr_received);
+  add("stale_forwards", counters_.stale_forwards);
+  add("policy_drops", counters_.policy_drops);
+  add("ttl_drops", counters_.ttl_drops);
+  add("no_route_drops", counters_.no_route_drops);
+  add("rloc_fallbacks", counters_.rloc_fallbacks);
+  add("probes_sent", counters_.probes_sent);
+  add("probes_failed", counters_.probes_failed);
+  add("map_request_retries", counters_.map_request_retries);
+  add("map_register_retries", counters_.map_register_retries);
+  add("registers_acked", counters_.registers_acked);
+  add("resolution_drops", counters_.resolution_drops);
+  add("vlan_drops", counters_.vlan_drops);
+  registry.register_gauge(telemetry::join(prefix, "fib_size"),
+                          [this] { return static_cast<double>(fib_size()); });
+  registry.register_gauge(telemetry::join(prefix, "endpoints"),
+                          [this] { return static_cast<double>(endpoints_.size()); });
+  cache_.register_metrics(registry, telemetry::join(prefix, "map_cache"));
+  sgacl_.register_metrics(registry, telemetry::join(prefix, "sgacl"));
 }
 
 void EdgeRouter::reboot() {

@@ -29,7 +29,12 @@
 #include "policy/matrix.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/path_trace.hpp"
 #include "underlay/topology.hpp"
+
+namespace sda::telemetry {
+class MetricsRegistry;
+}
 
 namespace sda::dataplane {
 
@@ -234,6 +239,16 @@ class EdgeRouter {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Registers pull probes for every counter under `prefix` (e.g.
+  /// "edge[3]") and delegates to the embedded map cache ("<prefix>.map_cache")
+  /// and SGACL ("<prefix>.sgacl"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Attaches an opt-in packet path tracer (nullptr detaches). The tracer
+  /// records hop-by-hop transit for armed flows; when no flow is armed the
+  /// hooks reduce to a pointer test plus an empty-map check.
+  void set_tracer(telemetry::PathTracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Egress pipeline stage 1+2 for a frame that is local here.
   void egress_deliver(const net::VnEid& destination, net::GroupId source_group,
@@ -339,6 +354,7 @@ class EdgeRouter {
   BroadcastHandler broadcast_handler_;
 
   Counters counters_;
+  telemetry::PathTracer* tracer_ = nullptr;
 };
 
 }  // namespace sda::dataplane

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::dataplane {
 
 void Sgacl::install_destination_rules(net::VnId vn, net::GroupId destination,
@@ -42,6 +44,15 @@ policy::Action Sgacl::evaluate(net::VnId vn, net::GroupId source, net::GroupId d
 }
 
 std::size_t Sgacl::rule_count() const { return rules_.size(); }
+
+void Sgacl::register_metrics(telemetry::MetricsRegistry& registry,
+                             const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "permits"),
+                            [this] { return counters_.permits; });
+  registry.register_counter(telemetry::join(prefix, "drops"), [this] { return counters_.drops; });
+  registry.register_gauge(telemetry::join(prefix, "rules"),
+                          [this] { return static_cast<double>(rule_count()); });
+}
 
 void Sgacl::clear() { rules_.clear(); }
 

@@ -7,11 +7,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/types.hpp"
 #include "policy/matrix.hpp"
+
+namespace sda::telemetry {
+class MetricsRegistry;
+}
 
 namespace sda::dataplane {
 
@@ -53,6 +58,10 @@ class Sgacl {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
+
+  /// Registers pull probes for the counters and a rule-count gauge under
+  /// `prefix` (e.g. "edge[3].sgacl"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
   void clear();
 

@@ -89,6 +89,21 @@ struct FabricConfig {
   /// and decode it back, asserting equality — keeps the structured packet
   /// model honest with the VXLAN-GPO wire format. Costly; tests only.
   bool validate_wire_format = false;
+  /// Observability: own a telemetry::Telemetry (metrics registry + flight
+  /// recorder + path tracer) and register every subsystem's counters into
+  /// it at finalize(). The registry uses pull probes, so leaving this on
+  /// costs nothing on the hot path — snapshots sample on demand.
+  bool telemetry = true;
+  /// Flight-recorder ring capacity (control-plane events kept).
+  std::size_t flight_recorder_capacity = 2048;
+  /// Opt-in per-packet path tracing: arm a trace for the first packet of
+  /// every new (source, destination) flow sent via endpoint_send_udp, so
+  /// first-packet latency decomposes hop by hop. Off by default — tracing
+  /// touches the data path for armed flows only, but arming every flow has
+  /// bookkeeping cost.
+  bool trace_first_packets = false;
+  /// Completed path traces retained (FIFO).
+  std::size_t path_trace_keep = 256;
 };
 
 /// Declarative VN definition.

@@ -23,10 +23,14 @@ std::uint64_t frame_flow_hash(const net::FabricFrame& frame) {
 }  // namespace
 
 SdaFabric::SdaFabric(sim::Simulator& simulator, FabricConfig config)
-    : simulator_(simulator), config_(std::move(config)), rng_(config_.seed) {
+    : simulator_(simulator),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      telemetry_(config_.flight_recorder_capacity, config_.path_trace_keep) {
   underlay_ = std::make_unique<underlay::UnderlayNetwork>(simulator_, topology_,
                                                           config_.underlay);
   policy_cpu_free_.assign(std::max(1u, config_.timings.policy_workers), sim::SimTime::zero());
+  telemetry_.recorder.set_enabled(config_.telemetry);
 }
 
 sim::SimTime SdaFabric::reserve_policy_cpu(sim::Duration service) {
@@ -145,6 +149,13 @@ void SdaFabric::finalize() {
       publish.ttl_seconds = record->ttl_seconds;
     }
     publish.seq = ++publish_seq_;
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = publish.withdrawal() ? "withdraw " : "publish ";
+      detail += eid.to_string();
+      detail += " seq ";
+      detail += std::to_string(publish.seq);
+      record_event(telemetry::EventKind::Publish, "map_server", std::move(detail));
+    }
     for (const auto& name : border_order_) {
       BorderFeedState& feed = border_feeds_.at(name);
       if (!feed.connected) {
@@ -182,6 +193,13 @@ void SdaFabric::finalize() {
     if (it == edge_by_rloc_.end()) return;
     lisp::MapNotify notify{0, eid, record.rlocs};
     const std::string edge_name = it->second;
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = "move of ";
+      detail += eid.to_string();
+      detail += ", notify old edge ";
+      detail += edge_name;
+      record_event(telemetry::EventKind::MapNotify, "map_server", std::move(detail));
+    }
     control_send(map_server_rloc_, previous, lisp::message_wire_size(lisp::Message{notify}),
                  [this, edge_name, notify] { edges_.at(edge_name)->receive_map_notify(notify); });
   });
@@ -198,6 +216,14 @@ void SdaFabric::finalize() {
         const net::MacAddress mac = state.definition.mac;
         // CoA-style signal: one control message to the hosting edge.
         policy_server_.record_group_host(hosting.rloc(), policy.vn, policy.group);
+        if (telemetry_.recorder.enabled()) {
+          std::string detail = credential;
+          detail += " -> ";
+          detail += policy.group.to_string();
+          detail += " at ";
+          detail += state.edge;
+          record_event(telemetry::EventKind::GroupChange, "policy_server", std::move(detail));
+        }
         control_send(policy_server_rloc_, hosting.rloc(), 64,
                      [&hosting, mac, group = policy.group] {
                        hosting.retag_endpoint(mac, group);
@@ -210,6 +236,14 @@ void SdaFabric::finalize() {
     if (rules.empty()) return;
     const net::GroupId destination = rules.front().pair.destination;
     const std::string edge_name = it->second;
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = std::to_string(rules.size());
+      detail += " rules for ";
+      detail += destination.to_string();
+      detail += " -> ";
+      detail += edge_name;
+      record_event(telemetry::EventKind::PolicyPush, "policy_server", std::move(detail));
+    }
     control_send(policy_server_rloc_, edge_rloc, 64 + 8 * rules.size(),
                  [this, edge_name, vn, destination, rules] {
                    edges_.at(edge_name)->install_rules(vn, destination, rules);
@@ -255,6 +289,55 @@ void SdaFabric::finalize() {
       edge.on_rloc_reachability(rloc, reachable);
     });
   }
+
+  if (config_.telemetry) register_telemetry();
+}
+
+void SdaFabric::register_telemetry() {
+  telemetry::MetricsRegistry& reg = telemetry_.metrics;
+
+  map_server_.register_metrics(reg, "map_server");
+  for (std::size_t i = 0; i < replica_dbs_.size(); ++i) {
+    replica_dbs_[i]->register_metrics(reg, "map_server_replica[" + std::to_string(i + 1) + "]");
+  }
+  policy_server_.register_metrics(reg, "policy_server");
+  services_.register_metrics(reg, "services");
+  underlay_->register_metrics(reg, "underlay");
+  if (l2_gateway_) l2_gateway_->register_metrics(reg, "l2_gateway");
+
+  for (std::size_t i = 0; i < edge_order_.size(); ++i) {
+    dataplane::EdgeRouter& edge = *edges_.at(edge_order_[i]);
+    edge.register_metrics(reg, "edge[" + std::to_string(i) + "]");
+    edge.set_tracer(&telemetry_.tracer);
+  }
+  for (std::size_t i = 0; i < border_order_.size(); ++i) {
+    dataplane::BorderRouter& border = *borders_.at(border_order_[i]);
+    border.register_metrics(reg, "border[" + std::to_string(i) + "]");
+    border.set_tracer(&telemetry_.tracer);
+  }
+
+  // Fabric-level latency decomposition. Onboarding runs tens to hundreds of
+  // milliseconds (Fig. 3); first packets tens of microseconds to a few
+  // milliseconds depending on whether they hit the map-cache or ride the
+  // border default route.
+  onboard_ms_ = &reg.histogram("fabric.onboard_ms", {0.0, 500.0, 50});
+  roam_ms_ = &reg.histogram("fabric.roam_ms", {0.0, 500.0, 50});
+  first_packet_us_ = &reg.histogram("fabric.first_packet_us", {0.0, 20'000.0, 50});
+  telemetry_.tracer.set_completion_callback([this](const telemetry::PacketTrace& trace) {
+    if (!trace.delivered || first_packet_us_ == nullptr) return;
+    first_packet_us_->observe(
+        std::chrono::duration<double, std::micro>(trace.latency()).count());
+  });
+}
+
+void SdaFabric::record_event(telemetry::EventKind kind, const std::string& node,
+                             std::string detail) {
+  if (!telemetry_.recorder.enabled()) return;
+  telemetry_.recorder.record(simulator_.now(), kind, node, std::move(detail));
+}
+
+std::uint64_t SdaFabric::trace_flow(const net::VnEid& source, const net::VnEid& destination) {
+  return telemetry_.tracer.arm(source, destination);
 }
 
 void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
@@ -267,11 +350,22 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     // Each edge group queries its assigned routing server (§4.1).
     lisp::MapServerNode& node = *server_nodes_[request_server_of_.at(edge.rloc())];
     const net::Ipv4Address server_rloc = node.rloc();
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = "for ";
+      detail += request.eid.to_string();
+      record_event(telemetry::EventKind::MapRequest, edge.name(), std::move(detail));
+    }
     control_send(edge.rloc(), server_rloc, lisp::message_wire_size(lisp::Message{request}),
                  [this, &edge, &node, server_rloc, request] {
                    node.submit_request(
                        request,
                        [this, &edge, server_rloc](const lisp::MapReply& reply, sim::Duration) {
+                         if (telemetry_.recorder.enabled()) {
+                           std::string detail = reply.negative() ? "negative for " : "for ";
+                           detail += reply.eid.to_string();
+                           record_event(telemetry::EventKind::MapReply, edge.name(),
+                                        std::move(detail));
+                         }
                          control_send(server_rloc, edge.rloc(),
                                       lisp::message_wire_size(lisp::Message{reply}),
                                       [&edge, reply] { edge.receive_map_reply(reply); });
@@ -280,6 +374,11 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
   });
 
   edge.set_send_map_register([this, &edge](const lisp::MapRegister& registration) {
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = "for ";
+      detail += registration.eid.to_string();
+      record_event(telemetry::EventKind::MapRegister, edge.name(), std::move(detail));
+    }
     // Route updates go to *all* routing servers so replicas stay complete
     // (§4.1). Onboarding completion is tied to the primary's ack, which
     // also rides back to the edge as the reliable-registration Map-Notify.
@@ -310,10 +409,17 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     }
   });
 
-  edge.set_send_smr([this](net::Ipv4Address to, const lisp::SolicitMapRequest& smr) {
+  edge.set_send_smr([this, &edge](net::Ipv4Address to, const lisp::SolicitMapRequest& smr) {
     const auto it = edge_by_rloc_.find(to);
     if (it == edge_by_rloc_.end()) return;  // borders are pub/sub-fresh: no SMR needed
     const std::string target = it->second;
+    if (telemetry_.recorder.enabled()) {
+      std::string detail = "for ";
+      detail += smr.eid.to_string();
+      detail += " -> ";
+      detail += target;
+      record_event(telemetry::EventKind::Smr, edge.name(), std::move(detail));
+    }
     control_send(smr.source_rloc, to, lisp::message_wire_size(lisp::Message{smr}),
                  [this, target, smr] { edges_.at(target)->receive_smr(smr); });
   });
@@ -378,6 +484,13 @@ void SdaFabric::set_rule(const RuleDefinition& rule) {
 }
 
 void SdaFabric::update_rule(const RuleDefinition& rule) {
+  if (telemetry_.recorder.enabled()) {
+    std::string detail = rule.source.to_string();
+    detail += " -> ";
+    detail += rule.destination.to_string();
+    detail += rule.action == policy::Action::Allow ? " allow" : " deny";
+    record_event(telemetry::EventKind::RuleUpdate, "policy_server", std::move(detail));
+  }
   policy_server_.update_rule(rule.vn, rule.source, rule.destination, rule.action);
 }
 
@@ -499,7 +612,7 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
   const sim::SimTime auth_done = std::max(cpu_done, simulator_.now() + auth_client_delay);
 
   simulator_.schedule_at(auth_done, [this, &state, &edge, def, edge_name, port, started,
-                                     dhcp_delay, rules_delay, fail, callback] {
+                                     dhcp_delay, rules_delay, fail, callback, fast_reauth] {
     // Step 1-2: authenticate and fetch (VN, GroupId).
     policy::AccessRequest request;
     request.credential = def.credential;
@@ -514,7 +627,7 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
 
     simulator_.schedule_after(rules_delay + dhcp_delay, [this, &state, &edge, def, edge_name,
                                                          port, started, policy, callback,
-                                                         fail] {
+                                                         fail, fast_reauth] {
       // Step 3: DHCP address (sticky lease).
       const auto ip = dhcp_.acquire(policy->vn, def.mac);
       if (!ip) {
@@ -546,24 +659,40 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
         map_server_.bind_l2(net::VnEid{policy->vn, net::Eid{*ip}}, def.mac);
       }
 
-      if (callback) {
-        // Fire once the Map-Register completes at the routing server.
-        const net::VnEid ip_eid{policy->vn, net::Eid{*ip}};
-        pending_onboards_[ip_eid].push_back(
-            [this, def, edge_name, started, policy, ip = *ip, ipv6 = attached.ipv6, callback] {
-              OnboardResult result;
-              result.success = true;
-              result.credential = def.credential;
-              result.mac = def.mac;
-              result.ip = ip;
-              result.ipv6 = ipv6;
-              result.vn = policy->vn;
-              result.group = policy->group;
-              result.edge = edge_name;
-              result.elapsed = simulator_.now() - started;
-              callback(result);
-            });
-      }
+      // Fire once the Map-Register completes at the routing server. The
+      // waiter is always registered (not just when a callback was supplied):
+      // it also feeds the onboarding/roam latency histograms and the flight
+      // recorder, so passive observers see every arrival.
+      const net::VnEid ip_eid{policy->vn, net::Eid{*ip}};
+      pending_onboards_[ip_eid].push_back(
+          [this, def, edge_name, started, policy, ip = *ip, ipv6 = attached.ipv6, callback,
+           fast_reauth] {
+            const sim::Duration elapsed = simulator_.now() - started;
+            telemetry::LatencyHistogram* hist = fast_reauth ? roam_ms_ : onboard_ms_;
+            if (hist) {
+              hist->observe(std::chrono::duration<double, std::milli>(elapsed).count());
+            }
+            if (telemetry_.recorder.enabled()) {
+              std::string detail = def.credential;
+              detail += fast_reauth ? " roamed to " : " onboarded at ";
+              detail += edge_name;
+              record_event(
+                  fast_reauth ? telemetry::EventKind::Roam : telemetry::EventKind::Onboard,
+                  edge_name, std::move(detail));
+            }
+            if (!callback) return;
+            OnboardResult result;
+            result.success = true;
+            result.credential = def.credential;
+            result.mac = def.mac;
+            result.ip = ip;
+            result.ipv6 = ipv6;
+            result.vn = policy->vn;
+            result.group = policy->group;
+            result.edge = edge_name;
+            result.elapsed = simulator_.now() - started;
+            callback(result);
+          });
       edge.attach_endpoint(attached);
     });
   });
@@ -595,6 +724,19 @@ bool SdaFabric::endpoint_send_udp(const net::MacAddress& mac, net::Ipv4Address d
   dgram.destination_port = dport;
   dgram.payload_size = payload_bytes;
   frame.l3 = dgram;
+  if (config_.trace_first_packets) {
+    // Arm a path trace for the first packet of every new flow so the
+    // first-packet latency histogram decomposes hop by hop.
+    std::string key = attached->vn.to_string();
+    key += '|';
+    key += attached->ip.to_string();
+    key += '|';
+    key += destination.to_string();
+    if (traced_flows_.insert(std::move(key)).second) {
+      telemetry_.tracer.arm(net::VnEid{attached->vn, net::Eid{attached->ip}},
+                            net::VnEid{attached->vn, net::Eid{destination}});
+    }
+  }
   edge.endpoint_transmit(mac, frame);
   return true;
 }
@@ -733,6 +875,13 @@ void SdaFabric::set_link_state(const std::string& a, const std::string& b, bool 
     if (l.other(na) == nb) {
       topology_.set_link_state(id, up);
       underlay_->topology_changed();
+      if (telemetry_.recorder.enabled()) {
+        std::string detail = a;
+        detail += " <-> ";
+        detail += b;
+        detail += up ? " up" : " down";
+        record_event(telemetry::EventKind::LinkState, "fabric", std::move(detail));
+      }
       return;
     }
   }
@@ -741,6 +890,7 @@ void SdaFabric::set_link_state(const std::string& a, const std::string& b, bool 
 
 void SdaFabric::reboot_edge(const std::string& name, sim::Duration downtime) {
   dataplane::EdgeRouter& edge = *edges_.at(name);
+  record_event(telemetry::EventKind::Reboot, name, "down");
   edge.reboot();
   topology_.set_node_state(edge.config().node, false);
   underlay_->topology_changed();
@@ -757,6 +907,7 @@ void SdaFabric::reboot_edge(const std::string& name, sim::Duration downtime) {
 
   simulator_.schedule_after(downtime, [this, name, stranded] {
     dataplane::EdgeRouter& rebooted = *edges_.at(name);
+    record_event(telemetry::EventKind::Reboot, name, "up");
     topology_.set_node_state(rebooted.config().node, true);
     underlay_->topology_changed();
     for (const auto& credential : stranded) {
@@ -774,6 +925,8 @@ void SdaFabric::set_border_feed_connected(const std::string& border, bool connec
   BorderFeedState& feed = border_feeds_.at(border);
   if (feed.connected == connected) return;
   feed.connected = connected;
+  record_event(telemetry::EventKind::FeedState, border,
+               connected ? "connected" : "disconnected");
   // Reconnect: the border cannot know how many updates it missed, so it
   // always pulls a snapshot (gap detection would only catch the loss once
   // the *next* publish arrives — possibly much later).
@@ -790,6 +943,7 @@ std::uint64_t SdaFabric::border_publishes_dropped(const std::string& border) con
 
 void SdaFabric::resync_border(const std::string& name) {
   dataplane::BorderRouter& border = *borders_.at(name);
+  record_event(telemetry::EventKind::Resync, name, "snapshot requested");
   // Re-subscribe rides the control plane to the routing server; the
   // snapshot is captured when the request *arrives* and is paired with the
   // feed position the next publish will occupy, so replaying the sequenced
@@ -803,12 +957,19 @@ void SdaFabric::resync_border(const std::string& name) {
       entries->emplace_back(eid, record);
     });
     const std::uint64_t next_seq = publish_seq_ + 1;
-    dataplane::BorderRouter& border = *borders_.at(name);
-    control_send(map_server_rloc_, border.rloc(), 64 + 48 * entries->size(),
+    dataplane::BorderRouter& target = *borders_.at(name);
+    control_send(map_server_rloc_, target.rloc(), 64 + 48 * entries->size(),
                  [this, name, entries, next_seq] {
                    // A snapshot for a disconnected feed is lost like any
                    // other update; the border's retry timer re-requests.
                    if (!border_feeds_.at(name).connected) return;
+                   if (telemetry_.recorder.enabled()) {
+                     std::string detail = std::to_string(entries->size());
+                     detail += " entries, next seq ";
+                     detail += std::to_string(next_seq);
+                     record_event(telemetry::EventKind::SnapshotApplied, name,
+                                  std::move(detail));
+                   }
                    borders_.at(name)->apply_snapshot(*entries, next_seq);
                  });
   });
@@ -828,18 +989,30 @@ void SdaFabric::dispatch_fabric_frame(const net::FabricFrame& frame) {
     }
   }
   const underlay::NodeId from = node_of_rloc(frame.outer_source);
-  underlay_->deliver(from, frame.outer_destination, frame_flow_hash(frame), frame.wire_size(),
-                     [this, frame] {
-                       if (const auto e = edge_by_rloc_.find(frame.outer_destination);
-                           e != edge_by_rloc_.end()) {
-                         edges_.at(e->second)->receive_fabric_frame(frame);
-                         return;
-                       }
-                       if (const auto b = border_by_rloc_.find(frame.outer_destination);
-                           b != border_by_rloc_.end()) {
-                         borders_.at(b->second)->receive_fabric_frame(frame);
-                       }
-                     });
+  const bool delivered = underlay_->deliver(
+      from, frame.outer_destination, frame_flow_hash(frame), frame.wire_size(),
+      [this, frame] {
+        if (telemetry_.tracer.open_count() > 0) {
+          std::string via = frame.outer_source.to_string();
+          via += " -> ";
+          via += frame.outer_destination.to_string();
+          telemetry_.tracer.note(frame.vn, frame.inner, telemetry::HopKind::Transit, "underlay",
+                                 simulator_.now(), via);
+        }
+        if (const auto e = edge_by_rloc_.find(frame.outer_destination);
+            e != edge_by_rloc_.end()) {
+          edges_.at(e->second)->receive_fabric_frame(frame);
+          return;
+        }
+        if (const auto b = border_by_rloc_.find(frame.outer_destination);
+            b != border_by_rloc_.end()) {
+          borders_.at(b->second)->receive_fabric_frame(frame);
+        }
+      });
+  if (!delivered && telemetry_.tracer.open_count() > 0) {
+    telemetry_.tracer.note(frame.vn, frame.inner, telemetry::HopKind::Drop, "underlay",
+                           simulator_.now(), "unreachable-or-fault");
+  }
 }
 
 void SdaFabric::control_send(net::Ipv4Address from, net::Ipv4Address to, std::size_t bytes,

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dataplane/border_router.hpp"
@@ -34,6 +35,7 @@
 #include "policy/policy_server.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "underlay/network.hpp"
 #include "underlay/topology.hpp"
 
@@ -218,6 +220,24 @@ class SdaFabric {
 
   [[nodiscard]] const FabricConfig& config() const { return config_; }
 
+  // --- Telemetry (PR 3 observability) --------------------------------------
+
+  /// The fabric-wide telemetry bundle. The metrics registry is populated at
+  /// finalize() with every subsystem's counters under hierarchical names
+  /// ("edge[i].map_cache.miss", "map_server.requests", ...); the flight
+  /// recorder collects control-plane events; the path tracer holds armed /
+  /// completed per-packet traces.
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const { return telemetry_; }
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return telemetry_.metrics; }
+  [[nodiscard]] telemetry::FlightRecorder& flight_recorder() { return telemetry_.recorder; }
+  [[nodiscard]] telemetry::PathTracer& path_tracer() { return telemetry_.tracer; }
+
+  /// Arms a one-shot path trace for the next packet of (source ->
+  /// destination EID) in `vn`; completed traces land in path_tracer().
+  /// Returns the trace id.
+  std::uint64_t trace_flow(const net::VnEid& source, const net::VnEid& destination);
+
  private:
   struct EndpointState {
     EndpointDefinition definition;
@@ -228,6 +248,15 @@ class SdaFabric {
 
   void wire_edge(dataplane::EdgeRouter& edge);
   void wire_border(dataplane::BorderRouter& border);
+
+  /// Registers every subsystem's counters into the metrics registry and
+  /// attaches tracers; called once from finalize() when config_.telemetry.
+  void register_telemetry();
+
+  /// Records a flight-recorder event iff the recorder is enabled (callers
+  /// should build detail strings only on the enabled path).
+  void record_event(telemetry::EventKind kind, const std::string& node,
+                    std::string detail = {});
 
   /// Underlay control-plane delivery: edge/border RLOC -> action at dest.
   void control_send(net::Ipv4Address from, net::Ipv4Address to, std::size_t bytes,
@@ -291,6 +320,17 @@ class SdaFabric {
 
   std::uint32_t next_rloc_suffix_ = 1;
   bool finalized_ = false;
+
+  telemetry::Telemetry telemetry_;
+  /// Flows already traced by the first-packet tracer ("vn|src|dst" keys).
+  std::unordered_set<std::string> traced_flows_;
+  /// First-packet latency decomposition (microseconds), fed by completed
+  /// path traces when config_.trace_first_packets is on.
+  telemetry::LatencyHistogram* first_packet_us_ = nullptr;
+  /// Onboarding / roaming latency (milliseconds), fed by the Map-Register
+  /// completion waiters.
+  telemetry::LatencyHistogram* onboard_ms_ = nullptr;
+  telemetry::LatencyHistogram* roam_ms_ = nullptr;
 
   DeliveryListener delivery_listener_;
   BorderSyncListener border_sync_listener_;

@@ -69,9 +69,54 @@ std::string inspect(SdaFabric& fabric, const InspectOptions& options) {
     out += "mappings:\n";
     fabric.map_server().walk([&out](const net::VnEid& eid, const lisp::MappingRecord& record) {
       out += "  " + eid.to_string() + " -> " + record.primary_rloc().to_string();
-      if (!record.group.is_unknown()) out += " " + record.group.to_string();
+      if (!record.group.is_unknown()) {
+        out += ' ';
+        out += record.group.to_string();
+      }
       out += "\n";
     });
+  }
+
+  if (options.include_telemetry) {
+    const telemetry::Snapshot snap = fabric.telemetry().metrics.snapshot();
+    out += "telemetry: ";
+    out += std::to_string(snap.counters.size());
+    out += " counters, ";
+    out += std::to_string(snap.gauges.size());
+    out += " gauges, ";
+    out += std::to_string(snap.histograms.size());
+    out += " histograms\n";
+    for (const auto& [name, value] : snap.counters) {
+      if (value == 0) continue;  // idle counters are noise in a text report
+      out += "  ";
+      out += name;
+      out += " = ";
+      out += std::to_string(value);
+      out += "\n";
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      if (hist.total == 0) continue;
+      out += "  ";
+      out += name;
+      out += ": n=";
+      out += std::to_string(hist.total);
+      out += " mean=";
+      out += std::to_string(hist.mean());
+      out += " p95=";
+      out += std::to_string(hist.quantile(0.95));
+      out += "\n";
+    }
+    const auto& recorder = fabric.telemetry().recorder;
+    out += "flight recorder: ";
+    out += std::to_string(recorder.recorded());
+    out += " events (";
+    out += std::to_string(recorder.overwritten());
+    out += " overwritten), tail:\n";
+    for (const auto& event : recorder.tail(options.telemetry_events)) {
+      out += "  ";
+      out += event.to_string();
+      out += "\n";
+    }
   }
   return out;
 }

@@ -12,6 +12,8 @@ struct InspectOptions {
   bool include_routers = true;    // per-router FIB/VRF/counter lines
   bool include_mappings = false;  // full routing-server dump (can be large)
   bool include_policy = true;     // per-VN rule counts
+  bool include_telemetry = false;  // metrics-registry snapshot + flight-recorder tail
+  std::size_t telemetry_events = 20;  // recorder tail length when included
 };
 
 /// A multi-line text report of the fabric's current state: routers with

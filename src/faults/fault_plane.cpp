@@ -1,6 +1,11 @@
 #include "faults/fault_plane.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::faults {
 
@@ -49,11 +54,13 @@ void FaultPlane::flap_link(underlay::LinkId link, const FlapSchedule& schedule) 
       network_.topology().set_link_state(link, false);
       network_.topology_changed();
       ++counters_.link_transitions;
+      record_fault("link down", std::to_string(link));
     });
     simulator_.schedule_after(down_at + schedule.down_for, [this, link] {
       network_.topology().set_link_state(link, true);
       network_.topology_changed();
       ++counters_.link_transitions;
+      record_fault("link up", std::to_string(link));
     });
     down_at += period;
   }
@@ -68,11 +75,13 @@ void FaultPlane::flap_node(underlay::NodeId node, const FlapSchedule& schedule) 
       network_.topology().set_node_state(node, false);
       network_.topology_changed();
       ++counters_.node_transitions;
+      record_fault("node down", std::to_string(node));
     });
     simulator_.schedule_after(down_at + schedule.down_for, [this, node] {
       network_.topology().set_node_state(node, true);
       network_.topology_changed();
       ++counters_.node_transitions;
+      record_fault("node up", std::to_string(node));
     });
     down_at += period;
   }
@@ -100,14 +109,48 @@ std::vector<underlay::LinkId> FaultPlane::random_link_storm(unsigned count,
 
 void FaultPlane::server_outage(lisp::MapServerNode& node, sim::Duration at,
                                sim::Duration duration) {
-  simulator_.schedule_after(at, [&node] { node.set_online(false); });
-  simulator_.schedule_after(at + duration, [&node] { node.set_online(true); });
+  simulator_.schedule_after(at, [this, &node] {
+    node.set_online(false);
+    record_fault("server outage", node.rloc().to_string());
+  });
+  simulator_.schedule_after(at + duration, [this, &node] {
+    node.set_online(true);
+    record_fault("server restored", node.rloc().to_string());
+  });
 }
 
 void FaultPlane::server_crash(lisp::MapServerNode& node, sim::Duration at,
                               sim::Duration downtime, bool preserve_database) {
-  simulator_.schedule_after(at, [&node, preserve_database] { node.crash(preserve_database); });
-  simulator_.schedule_after(at + downtime, [&node] { node.set_online(true); });
+  simulator_.schedule_after(at, [this, &node, preserve_database] {
+    node.crash(preserve_database);
+    record_fault(preserve_database ? "server crash" : "server crash (db lost)", node.rloc().to_string());
+  });
+  simulator_.schedule_after(at + downtime, [this, &node] {
+    node.set_online(true);
+    record_fault("server restarted", node.rloc().to_string());
+  });
+}
+
+void FaultPlane::record_fault(const char* what, const std::string& subject) {
+  if (recorder_ == nullptr || !recorder_->enabled()) return;
+  std::string detail = what;
+  detail += ' ';
+  detail += subject;
+  recorder_->record(simulator_.now(), telemetry::EventKind::Fault, "faults", detail);
+}
+
+void FaultPlane::register_metrics(telemetry::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "data_drops"),
+                            [this] { return counters_.data_drops; });
+  registry.register_counter(telemetry::join(prefix, "control_drops"),
+                            [this] { return counters_.control_drops; });
+  registry.register_counter(telemetry::join(prefix, "delays_injected"),
+                            [this] { return counters_.delays_injected; });
+  registry.register_counter(telemetry::join(prefix, "link_transitions"),
+                            [this] { return counters_.link_transitions; });
+  registry.register_counter(telemetry::join(prefix, "node_transitions"),
+                            [this] { return counters_.node_transitions; });
 }
 
 }  // namespace sda::faults

@@ -26,6 +26,11 @@
 #include "underlay/network.hpp"
 #include "underlay/topology.hpp"
 
+namespace sda::telemetry {
+class FlightRecorder;
+class MetricsRegistry;
+}
+
 namespace sda::faults {
 
 /// Stochastic impairment model for one traffic class.
@@ -99,10 +104,22 @@ class FaultPlane {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Registers pull probes for the injection counters under `prefix`
+  /// (e.g. "faults"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Attaches a flight recorder (nullptr detaches): link/node transitions
+  /// and server outage/crash windows land in it as Fault events, so a
+  /// chaos run's event timeline can be replayed next to its metrics.
+  void set_recorder(telemetry::FlightRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] sim::Rng& rng() { return rng_; }
 
  private:
   [[nodiscard]] underlay::FaultDecision decide(std::uint32_t hops, underlay::TrafficClass cls);
+
+  /// Logs a Fault event on the attached recorder (no-op when detached).
+  void record_fault(const char* what, const std::string& subject);
 
   sim::Simulator& simulator_;
   underlay::UnderlayNetwork& network_;
@@ -110,6 +127,7 @@ class FaultPlane {
   LossModel data_;
   LossModel control_;
   Counters counters_;
+  telemetry::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sda::faults

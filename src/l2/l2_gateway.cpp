@@ -1,4 +1,6 @@
 #include "l2/l2_gateway.hpp"
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::l2 {
 
@@ -52,6 +54,20 @@ void L2Gateway::handle_broadcast(dataplane::EdgeRouter& router,
       }
     });
   });
+}
+
+void L2Gateway::register_metrics(telemetry::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "arp_requests"),
+                            [this] { return counters_.arp_requests; });
+  registry.register_counter(telemetry::join(prefix, "converted_unicast"),
+                            [this] { return counters_.converted_unicast; });
+  registry.register_counter(telemetry::join(prefix, "answered_locally"),
+                            [this] { return counters_.answered_locally; });
+  registry.register_counter(telemetry::join(prefix, "unknown_target"),
+                            [this] { return counters_.unknown_target; });
+  registry.register_counter(telemetry::join(prefix, "non_arp_broadcast"),
+                            [this] { return counters_.non_arp_broadcast; });
 }
 
 }  // namespace sda::l2

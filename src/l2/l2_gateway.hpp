@@ -17,6 +17,10 @@
 #include "dataplane/edge_router.hpp"
 #include "net/packet.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::l2 {
 
 class L2Gateway {
@@ -45,6 +49,10 @@ class L2Gateway {
     std::uint64_t non_arp_broadcast = 0; // absorbed, never forwarded
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Registers pull probes for the ARP-conversion counters under `prefix`
+  /// (e.g. "edge[3].l2_gateway"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   LookupMac lookup_mac_;

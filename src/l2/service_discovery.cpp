@@ -1,4 +1,6 @@
 #include "l2/service_discovery.hpp"
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::l2 {
 
@@ -107,6 +109,16 @@ std::size_t ServiceRegistry::size() const {
     for (const auto& [type, by_name] : by_type) total += by_name.size();
   }
   return total;
+}
+
+void ServiceRegistry::register_metrics(telemetry::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "advertisements"),
+                            [this] { return stats_.advertisements; });
+  registry.register_counter(telemetry::join(prefix, "withdrawals"),
+                            [this] { return stats_.withdrawals; });
+  registry.register_counter(telemetry::join(prefix, "queries"),
+                            [this] { return stats_.queries; });
 }
 
 }  // namespace sda::l2

@@ -20,6 +20,10 @@
 #include "net/mac_address.hpp"
 #include "net/types.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::l2 {
 
 /// One advertised service instance ("Alice's printer" offering _ipp._tcp).
@@ -77,6 +81,10 @@ class ServiceRegistry {
     std::uint64_t queries = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers pull probes for the registry stats under `prefix`
+  /// (e.g. "services"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   // vn -> (type -> (name -> instance)); std::map keeps answers ordered.

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::lisp {
 
 const MapCacheEntry* MapCache::lookup(const net::VnEid& eid, sim::SimTime now) {
@@ -103,6 +105,22 @@ void MapCache::evict_if_needed() {
     erase_iter(std::prev(lru_.end()));
     ++stats_.evictions;
   }
+}
+
+void MapCache::register_metrics(telemetry::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "hits"), [this] { return stats_.hits; });
+  registry.register_counter(telemetry::join(prefix, "misses"), [this] { return stats_.misses; });
+  registry.register_counter(telemetry::join(prefix, "expirations"),
+                            [this] { return stats_.expirations; });
+  registry.register_counter(telemetry::join(prefix, "evictions"),
+                            [this] { return stats_.evictions; });
+  registry.register_counter(telemetry::join(prefix, "installs"),
+                            [this] { return stats_.installs; });
+  registry.register_gauge(telemetry::join(prefix, "size"),
+                          [this] { return static_cast<double>(size()); });
+  registry.register_gauge(telemetry::join(prefix, "positive_size"),
+                          [this] { return static_cast<double>(positive_size()); });
 }
 
 }  // namespace sda::lisp

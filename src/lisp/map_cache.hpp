@@ -18,6 +18,10 @@
 #include "net/eid.hpp"
 #include "sim/time.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::lisp {
 
 struct MapCacheEntry {
@@ -76,6 +80,11 @@ class MapCache {
     std::uint64_t installs = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers pull probes for the stats fields and occupancy gauges under
+  /// `prefix` (e.g. "edge[3].map_cache"). Probes capture `this`: call
+  /// registry.unregister_prefix(prefix) before destroying this cache.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   using LruList = std::list<std::pair<net::VnEid, MapCacheEntry>>;

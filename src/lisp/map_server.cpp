@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::lisp {
 
 RegisterOutcome MapServer::register_mapping(const net::VnEid& eid, const MappingRecord& record) {
@@ -178,6 +180,25 @@ void MapServer::walk(
       visit(net::VnEid{vn_id, net::Eid{net::MacAddress{b}}}, record);
     });
   }
+}
+
+void MapServer::register_metrics(telemetry::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "registers"),
+                            [this] { return stats_.registers; });
+  registry.register_counter(telemetry::join(prefix, "moves"), [this] { return stats_.moves; });
+  registry.register_counter(telemetry::join(prefix, "deregisters"),
+                            [this] { return stats_.deregisters; });
+  registry.register_counter(telemetry::join(prefix, "requests"),
+                            [this] { return stats_.requests; });
+  registry.register_counter(telemetry::join(prefix, "negative_replies"),
+                            [this] { return stats_.negative_replies; });
+  registry.register_counter(telemetry::join(prefix, "expirations"),
+                            [this] { return stats_.expirations; });
+  registry.register_gauge(telemetry::join(prefix, "mappings"),
+                          [this] { return static_cast<double>(mapping_count()); });
+  registry.register_gauge(telemetry::join(prefix, "total_entries"),
+                          [this] { return static_cast<double>(total_entries()); });
 }
 
 }  // namespace sda::lisp

@@ -24,6 +24,10 @@
 #include "net/prefix.hpp"
 #include "trie/patricia.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::lisp {
 
 /// A stored mapping: the locator set serving an EID (or EID prefix).
@@ -133,6 +137,10 @@ class MapServer {
     std::uint64_t expirations = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers pull probes for the stats fields and database-footprint
+  /// gauges under `prefix` (e.g. "map_server"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct VnDatabase {

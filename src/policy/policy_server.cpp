@@ -1,4 +1,6 @@
 #include "policy/policy_server.hpp"
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::policy {
 
@@ -74,6 +76,22 @@ void PolicyServer::release_group(net::Ipv4Address edge_rloc, net::VnId vn, net::
   if (it == group_hosts_.end()) return;
   it->second.erase(edge_rloc);
   if (it->second.empty()) group_hosts_.erase(it);
+}
+
+void PolicyServer::register_metrics(telemetry::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "auth_accepts"),
+                            [this] { return stats_.auth_accepts; });
+  registry.register_counter(telemetry::join(prefix, "auth_rejects"),
+                            [this] { return stats_.auth_rejects; });
+  registry.register_counter(telemetry::join(prefix, "rule_downloads"),
+                            [this] { return stats_.rule_downloads; });
+  registry.register_counter(telemetry::join(prefix, "rule_push_messages"),
+                            [this] { return stats_.rule_push_messages; });
+  registry.register_counter(telemetry::join(prefix, "endpoint_change_signals"),
+                            [this] { return stats_.endpoint_change_signals; });
+  registry.register_gauge(telemetry::join(prefix, "endpoints"),
+                          [this] { return static_cast<double>(endpoint_count()); });
 }
 
 }  // namespace sda::policy

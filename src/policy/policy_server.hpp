@@ -25,6 +25,10 @@
 #include "policy/matrix.hpp"
 #include "policy/radius.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::policy {
 
 /// An endpoint's policy-plane identity.
@@ -102,6 +106,10 @@ class PolicyServer {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  /// Registers pull probes for the stats fields and an endpoint-count gauge
+  /// under `prefix` (e.g. "policy_server"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct Credential {

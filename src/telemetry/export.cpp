@@ -1,0 +1,181 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "stats/csv.hpp"
+
+namespace sda::telemetry {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else maps to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "sda_";
+  bool last_underscore = false;
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0;
+    if (ok) {
+      out += c;
+      last_underscore = false;
+    } else if (!last_underscore) {
+      out += '_';
+      last_underscore = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_text(const std::string& dir, const std::string& name, const std::string& extension,
+                const std::string& text) {
+  const std::string path = dir + "/" + name + extension;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fputs(text.c_str(), file) >= 0;
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = hist.underflow;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += prom + "_bucket{le=\"" +
+             format_double(hist.bucket_lo(i) + hist.bucket_width()) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist.total) + "\n";
+    out += prom + "_sum " + format_double(hist.sum) + "\n";
+    out += prom + "_count " + std::to_string(hist.total) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + format_double(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"lo\": " + format_double(hist.spec.lo) +
+           ", \"hi\": " + format_double(hist.spec.hi) + ", \"counts\": [";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(hist.counts[i]);
+    }
+    out += "], \"underflow\": " + std::to_string(hist.underflow) +
+           ", \"overflow\": " + std::to_string(hist.overflow) +
+           ", \"total\": " + std::to_string(hist.total) +
+           ", \"sum\": " + format_double(hist.sum) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_json(const std::string& dir, const std::string& name, const Snapshot& snapshot) {
+  return write_text(dir, name, ".json", to_json(snapshot));
+}
+
+bool write_prometheus(const std::string& dir, const std::string& name,
+                      const Snapshot& snapshot) {
+  return write_text(dir, name, ".prom", to_prometheus(snapshot));
+}
+
+bool write_timeseries_csv(const std::string& dir, const std::string& name,
+                          const std::vector<std::string>& value_columns,
+                          const std::vector<TimeseriesRow>& rows, std::uint64_t seed) {
+  std::vector<std::string> header;
+  header.reserve(value_columns.size() + 2);
+  header.push_back("time_s");
+  header.insert(header.end(), value_columns.begin(), value_columns.end());
+  header.push_back("seed");
+
+  const std::string seed_str = std::to_string(seed);
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(header.size());
+    line.push_back(format_double(row.time_s));
+    for (const double v : row.values) line.push_back(format_double(v));
+    line.push_back(seed_str);
+    cells.push_back(std::move(line));
+  }
+  return stats::write_csv(dir, name, header, cells);
+}
+
+bool write_xy_csv(const std::string& dir, const std::string& name, const std::string& x_label,
+                  const std::string& y_label,
+                  const std::vector<std::pair<double, double>>& series, std::uint64_t seed) {
+  const std::string seed_str = std::to_string(seed);
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(series.size());
+  for (const auto& [x, y] : series) {
+    cells.push_back({format_double(x), format_double(y), seed_str});
+  }
+  return stats::write_csv(dir, name, {x_label, y_label, "seed"}, cells);
+}
+
+}  // namespace sda::telemetry

@@ -1,0 +1,108 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace sda::telemetry {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::MapRequest: return "map-request";
+    case EventKind::MapReply: return "map-reply";
+    case EventKind::MapRegister: return "map-register";
+    case EventKind::MapNotify: return "map-notify";
+    case EventKind::Smr: return "smr";
+    case EventKind::Publish: return "publish";
+    case EventKind::Resync: return "resync";
+    case EventKind::SnapshotApplied: return "snapshot";
+    case EventKind::PolicyPush: return "policy-push";
+    case EventKind::GroupChange: return "group-change";
+    case EventKind::RuleUpdate: return "rule-update";
+    case EventKind::Onboard: return "onboard";
+    case EventKind::Roam: return "roam";
+    case EventKind::Disconnect: return "disconnect";
+    case EventKind::Reboot: return "reboot";
+    case EventKind::LinkState: return "link-state";
+    case EventKind::FeedState: return "feed-state";
+    case EventKind::Fault: return "fault";
+    case EventKind::Trace: return "trace";
+    case EventKind::Custom: return "custom";
+  }
+  return "unknown";
+}
+
+std::string FlightEvent::to_string() const {
+  std::string out = "[";
+  out += at.to_string();
+  out += "] ";
+  out += event_kind_name(kind);
+  if (!node.empty()) out += " " + node;
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  ring_.resize(std::max<std::size_t>(1, capacity));
+}
+
+void FlightRecorder::record(sim::SimTime at, EventKind kind, std::string node,
+                            std::string detail) {
+  if (!enabled_) return;
+  FlightEvent& slot = ring_[seq_ % ring_.size()];
+  slot.seq = ++seq_;
+  slot.at = at;
+  slot.kind = kind;
+  slot.node = std::move(node);
+  slot.detail = std::move(detail);
+}
+
+std::size_t FlightRecorder::size() const {
+  return static_cast<std::size_t>(std::min<std::uint64_t>(seq_, ring_.size()));
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const { return tail(ring_.size()); }
+
+std::vector<FlightEvent> FlightRecorder::tail(std::size_t n) const {
+  const std::size_t held = size();
+  n = std::min(n, held);
+  std::vector<FlightEvent> out;
+  out.reserve(n);
+  // seq_ is the seq of the newest event; walk the last n slots in order.
+  for (std::uint64_t s = seq_ - n; s < seq_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::for_node(const std::string& node) const {
+  std::vector<FlightEvent> out;
+  for (const auto& event : tail(ring_.size())) {
+    if (event.node == node) out.push_back(event);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(std::size_t max_events) const {
+  const auto held = tail(max_events);
+  std::string out;
+  if (overwritten() > 0) {
+    out += "(";
+    out += std::to_string(overwritten());
+    out += " earlier events overwritten)\n";
+  }
+  for (const auto& event : held) {
+    out += event.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (auto& slot : ring_) slot = FlightEvent{};
+  seq_ = 0;
+}
+
+}  // namespace sda::telemetry

@@ -1,0 +1,94 @@
+// Control-plane flight recorder: a bounded ring of timestamped events.
+//
+// Every interesting control-plane transition (Map-Request/Reply/Register/
+// Notify, SMR, pub/sub publish & resync, policy push, group change, fault
+// injections, feed/link state) is recorded with the simulated time, the
+// node it concerns, and a short free-form detail string. The ring is
+// bounded — old events are overwritten, the overwrite count is kept — so
+// it can stay enabled for the lifetime of a large run and still answer
+// "what were the last N control-plane actions before this went wrong".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sda::telemetry {
+
+enum class EventKind : std::uint8_t {
+  MapRequest,
+  MapReply,
+  MapRegister,
+  MapNotify,
+  Smr,
+  Publish,
+  Resync,
+  SnapshotApplied,
+  PolicyPush,
+  GroupChange,
+  RuleUpdate,
+  Onboard,
+  Roam,
+  Disconnect,
+  Reboot,
+  LinkState,
+  FeedState,
+  Fault,
+  Trace,
+  Custom,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // monotonic, starts at 1
+  sim::SimTime at;
+  EventKind kind = EventKind::Custom;
+  std::string node;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 2048);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Records one event (no-op while disabled). Callers on busy paths
+  /// should check enabled() first so detail strings are only built when
+  /// they will be kept.
+  void record(sim::SimTime at, EventKind kind, std::string node, std::string detail = {});
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever recorded.
+  [[nodiscard]] std::uint64_t recorded() const { return seq_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+  /// All held events, oldest -> newest.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// The newest `n` events, oldest -> newest.
+  [[nodiscard]] std::vector<FlightEvent> tail(std::size_t n) const;
+  /// Held events whose node matches, oldest -> newest (per-node scoping).
+  [[nodiscard]] std::vector<FlightEvent> for_node(const std::string& node) const;
+
+  /// Human-readable dump of the newest `max_events` events.
+  [[nodiscard]] std::string dump(std::size_t max_events = SIZE_MAX) const;
+
+  void clear();
+
+ private:
+  std::vector<FlightEvent> ring_;  // capacity slots; slot = (seq - 1) % capacity
+  std::uint64_t seq_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace sda::telemetry

@@ -1,0 +1,151 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace sda::telemetry {
+
+std::string join(const std::string& prefix, const std::string& leaf) {
+  if (prefix.empty()) return leaf;
+  if (leaf.empty()) return prefix;
+  return prefix + "." + leaf;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::bucket_width() const {
+  return counts.empty() ? 0.0 : (spec.hi - spec.lo) / static_cast<double>(counts.size());
+}
+
+double HistogramSnapshot::bucket_lo(std::size_t i) const {
+  return spec.lo + static_cast<double>(i) * bucket_width();
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return spec.lo;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = static_cast<double>(underflow);
+  if (target <= cumulative) return spec.lo;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (target <= next && counts[i] > 0) {
+      // Linear interpolation within the bucket.
+      const double frac = (target - cumulative) / static_cast<double>(counts[i]);
+      return bucket_lo(i) + frac * bucket_width();
+    }
+    cumulative = next;
+  }
+  return spec.hi;  // landed in overflow: clamp to the range edge
+}
+
+bool HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (spec != other.spec || counts.size() != other.counts.size()) return false;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  underflow += other.underflow;
+  overflow += other.overflow;
+  total += other.total;
+  sum += other.sum;
+  return true;
+}
+
+namespace {
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out = *this;
+  if (spec != earlier.spec || counts.size() != earlier.counts.size()) return out;
+  for (std::size_t i = 0; i < out.counts.size(); ++i) {
+    out.counts[i] = saturating_sub(out.counts[i], earlier.counts[i]);
+  }
+  out.underflow = saturating_sub(out.underflow, earlier.underflow);
+  out.overflow = saturating_sub(out.overflow, earlier.overflow);
+  out.total = saturating_sub(out.total, earlier.total);
+  out.sum = sum > earlier.sum ? sum - earlier.sum : 0.0;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+Snapshot Snapshot::delta(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (auto& [name, value] : out.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) value = saturating_sub(value, it->second);
+  }
+  for (auto& [name, hist] : out.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) hist = hist.delta(it->second);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name, HistogramSpec spec) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, LatencyHistogram{spec}).first->second;
+}
+
+void MetricsRegistry::register_counter(const std::string& name, CounterProbe probe) {
+  counter_probes_[name] = std::move(probe);
+}
+
+void MetricsRegistry::register_gauge(const std::string& name, GaugeProbe probe) {
+  gauge_probes_[name] = std::move(probe);
+}
+
+namespace {
+template <typename Map>
+std::size_t erase_prefix(Map& map, const std::string& prefix) {
+  std::size_t erased = 0;
+  for (auto it = map.lower_bound(prefix); it != map.end() && it->first.rfind(prefix, 0) == 0;) {
+    it = map.erase(it);
+    ++erased;
+  }
+  return erased;
+}
+}  // namespace
+
+std::size_t MetricsRegistry::unregister_prefix(const std::string& prefix) {
+  std::size_t erased = 0;
+  erased += erase_prefix(counters_, prefix);
+  erased += erase_prefix(gauges_, prefix);
+  erased += erase_prefix(histograms_, prefix);
+  erased += erase_prefix(counter_probes_, prefix);
+  erased += erase_prefix(gauge_probes_, prefix);
+  return erased;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_) snap.counters[name] = cell.value();
+  for (const auto& [name, cell] : gauges_) snap.gauges[name] = cell.value();
+  for (const auto& [name, probe] : counter_probes_) snap.counters[name] = probe();
+  for (const auto& [name, probe] : gauge_probes_) snap.gauges[name] = probe();
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.spec = cell.spec();
+    h.counts = cell.histogram().counts();
+    h.underflow = cell.histogram().underflow();
+    h.overflow = cell.histogram().overflow();
+    h.total = cell.histogram().total();
+    h.sum = cell.sum();
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size() + counter_probes_.size() +
+         gauge_probes_.size();
+}
+
+}  // namespace sda::telemetry

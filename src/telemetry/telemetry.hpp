@@ -1,0 +1,26 @@
+// The fabric-wide telemetry plane: one object bundling the three surfaces.
+//
+//  * metrics — MetricsRegistry federating every subsystem's counters;
+//  * recorder — control-plane flight recorder (bounded event ring);
+//  * tracer — opt-in per-packet path tracing.
+//
+// SdaFabric owns one; standalone subsystems (FaultPlane, WlanController,
+// RouteReflector) register into whichever instance the experiment uses.
+#pragma once
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/path_trace.hpp"
+
+namespace sda::telemetry {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  FlightRecorder recorder;
+  PathTracer tracer;
+
+  explicit Telemetry(std::size_t recorder_capacity = 2048, std::size_t trace_keep = 256)
+      : recorder(recorder_capacity), tracer(trace_keep) {}
+};
+
+}  // namespace sda::telemetry

@@ -1,6 +1,8 @@
 #include "underlay/linkstate.hpp"
 
 #include <algorithm>
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::underlay {
 
@@ -137,6 +139,18 @@ const SpfTable& LinkStateProtocol::view(NodeId who) { return nodes_.at(who).view
 bool LinkStateProtocol::view_reachable(NodeId who, NodeId target) {
   if (who == target) return topology_.node(who).up;
   return nodes_.at(who).view.reachable(target);
+}
+
+void LinkStateProtocol::register_metrics(telemetry::MetricsRegistry& registry,
+                                         const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "lsps_originated"),
+                            [this] { return stats_.lsps_originated; });
+  registry.register_counter(telemetry::join(prefix, "lsps_flooded"),
+                            [this] { return stats_.lsps_flooded; });
+  registry.register_counter(telemetry::join(prefix, "lsps_installed"),
+                            [this] { return stats_.lsps_installed; });
+  registry.register_counter(telemetry::join(prefix, "lsps_ignored"),
+                            [this] { return stats_.lsps_ignored; });
 }
 
 }  // namespace sda::underlay

@@ -19,6 +19,10 @@
 #include "underlay/spf.hpp"
 #include "underlay/topology.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::underlay {
 
 struct LinkStateConfig {
@@ -76,6 +80,10 @@ class LinkStateProtocol {
     std::uint64_t lsps_ignored = 0;    // stale/duplicate copies dropped
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers pull probes for the flooding stats under `prefix`
+  /// (e.g. "underlay.igp"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
   /// The LSDB of `who` (origin -> LSP), for tests/diagnostics.
   [[nodiscard]] const std::unordered_map<NodeId, Lsp>& lsdb(NodeId who) const {

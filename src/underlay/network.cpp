@@ -1,6 +1,8 @@
 #include "underlay/network.hpp"
 
 #include <cassert>
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::underlay {
 
@@ -112,6 +114,14 @@ void UnderlayNetwork::notify_watchers() {
       }
     }
   }
+}
+
+void UnderlayNetwork::register_metrics(telemetry::MetricsRegistry& registry,
+                                       const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "unreachable_drops"),
+                            [this] { return unreachable_drops_; });
+  registry.register_counter(telemetry::join(prefix, "fault_drops"),
+                            [this] { return fault_drops_; });
 }
 
 }  // namespace sda::underlay

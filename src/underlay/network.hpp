@@ -22,6 +22,10 @@
 #include "underlay/spf.hpp"
 #include "underlay/topology.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::underlay {
 
 struct UnderlayConfig {
@@ -97,6 +101,10 @@ class UnderlayNetwork {
 
   /// Total packets dropped in transit by the fault injector.
   [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
+
+  /// Registers pull probes for the drop counters under `prefix`
+  /// (e.g. "underlay"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct Watcher {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include "telemetry/metrics.hpp"
+
 
 namespace sda::wlan {
 
@@ -161,6 +163,20 @@ std::optional<std::string> WlanController::ap_of(const net::MacAddress& mac) con
   const auto it = stations_.find(mac);
   if (it == stations_.end()) return std::nullopt;
   return it->second.ap;
+}
+
+void WlanController::register_metrics(telemetry::MetricsRegistry& registry,
+                                      const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "associations"),
+                            [this] { return stats_.associations; });
+  registry.register_counter(telemetry::join(prefix, "roams"), [this] { return stats_.roams; });
+  registry.register_counter(telemetry::join(prefix, "frames_tunneled"),
+                            [this] { return stats_.frames_tunneled; });
+  registry.register_counter(telemetry::join(prefix, "bytes_tunneled"),
+                            [this] { return stats_.bytes_tunneled; });
+  registry.register_gauge(telemetry::join(prefix, "busy_seconds"), [this] {
+    return std::chrono::duration<double>(stats_.busy_time).count();
+  });
 }
 
 }  // namespace sda::wlan

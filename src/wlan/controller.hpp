@@ -23,6 +23,10 @@
 #include "fabric/fabric.hpp"
 #include "sim/random.hpp"
 
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
 namespace sda::wlan {
 
 enum class DataPlaneMode {
@@ -108,6 +112,10 @@ class WlanController {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] DataPlaneMode mode() const { return config_.mode; }
+
+  /// Registers pull probes for the stats fields (busy_time exported as a
+  /// busy_seconds gauge) under `prefix` (e.g. "wlan"). Probes capture `this`.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct Station {

@@ -35,6 +35,7 @@ stats::Summary WarehouseWorkload::run_reactive(std::size_t* moves_out) {
   config.timings = spec_.timings;
   config.l2_gateway = false;
   config.seed = spec_.seed ^ 0x3A;
+  config.trace_first_packets = spec_.trace_first_packets;
   fabric::SdaFabric fabric(sim, config);
 
   fabric.add_border("border-0");
@@ -151,6 +152,7 @@ stats::Summary WarehouseWorkload::run_reactive(std::size_t* moves_out) {
   sim.run_until(t_end + seconds_d(2.0));  // drain in-flight moves
 
   if (moves_out) *moves_out = completed;
+  if (spec_.inspect_reactive) spec_.inspect_reactive(fabric);
   return handovers;
 }
 

@@ -1,0 +1,108 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::telemetry {
+namespace {
+
+sim::SimTime at_ms(int ms) { return sim::SimTime{std::chrono::milliseconds{ms}}; }
+
+TEST(FlightRecorder, RecordsEventsInOrder) {
+  FlightRecorder recorder{16};
+  recorder.record(at_ms(1), EventKind::MapRequest, "edge-0", "for 10.1.0.5");
+  recorder.record(at_ms(2), EventKind::MapReply, "edge-0", "for 10.1.0.5");
+  recorder.record(at_ms(3), EventKind::Smr, "edge-1");
+
+  ASSERT_EQ(recorder.size(), 3u);
+  const auto events = recorder.events();
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, EventKind::MapRequest);
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(events[2].node, "edge-1");
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.overwritten(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapsAroundKeepingNewest) {
+  FlightRecorder recorder{4};
+  for (int i = 1; i <= 10; ++i) {
+    recorder.record(at_ms(i), EventKind::Publish, "map_server", std::to_string(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest -> newest: sequences 7, 8, 9, 10 survive.
+  EXPECT_EQ(events.front().seq, 7u);
+  EXPECT_EQ(events.back().seq, 10u);
+  EXPECT_EQ(events.back().detail, "10");
+}
+
+TEST(FlightRecorder, TailReturnsNewestN) {
+  FlightRecorder recorder{8};
+  for (int i = 1; i <= 5; ++i) recorder.record(at_ms(i), EventKind::Onboard, "e0");
+  const auto tail = recorder.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);
+  EXPECT_EQ(tail[1].seq, 5u);
+  // Asking for more than held clamps.
+  EXPECT_EQ(recorder.tail(100).size(), 5u);
+}
+
+TEST(FlightRecorder, ForNodeScopesTheTimeline) {
+  FlightRecorder recorder{8};
+  recorder.record(at_ms(1), EventKind::Roam, "edge-0");
+  recorder.record(at_ms(2), EventKind::Roam, "edge-1");
+  recorder.record(at_ms(3), EventKind::Onboard, "edge-0");
+  const auto scoped = recorder.for_node("edge-0");
+  ASSERT_EQ(scoped.size(), 2u);
+  EXPECT_EQ(scoped[0].kind, EventKind::Roam);
+  EXPECT_EQ(scoped[1].kind, EventKind::Onboard);
+}
+
+TEST(FlightRecorder, DisabledRecorderDropsEverything) {
+  FlightRecorder recorder{8};
+  recorder.set_enabled(false);
+  recorder.record(at_ms(1), EventKind::Fault, "faults", "link down");
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  recorder.set_enabled(true);
+  recorder.record(at_ms(2), EventKind::Fault, "faults", "link up");
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(FlightRecorder, DumpMentionsOverwritesKindsAndNodes) {
+  FlightRecorder recorder{2};
+  recorder.record(at_ms(1), EventKind::MapRegister, "edge-0", "10.1.0.5");
+  recorder.record(at_ms(2), EventKind::LinkState, "fabric", "e0 <-> b0 down");
+  recorder.record(at_ms(3), EventKind::Resync, "border-0");
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("(1 earlier events overwritten)"), std::string::npos);
+  EXPECT_NE(dump.find("link-state fabric: e0 <-> b0 down"), std::string::npos);
+  EXPECT_NE(dump.find("resync border-0"), std::string::npos);
+  EXPECT_EQ(dump.find("map-register"), std::string::npos);  // overwritten
+}
+
+TEST(FlightRecorder, ClearResetsRing) {
+  FlightRecorder recorder{4};
+  for (int i = 0; i < 6; ++i) recorder.record(at_ms(i), EventKind::Custom, "n");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.overwritten(), 0u);
+  recorder.record(at_ms(9), EventKind::Custom, "n");
+  EXPECT_EQ(recorder.events().front().seq, 1u);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder recorder{0};
+  recorder.record(at_ms(1), EventKind::Custom, "a");
+  recorder.record(at_ms(2), EventKind::Custom, "b");
+  EXPECT_EQ(recorder.capacity(), 1u);
+  EXPECT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.events().front().node, "b");
+}
+
+}  // namespace
+}  // namespace sda::telemetry

@@ -1,0 +1,153 @@
+#include "telemetry/path_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sda::telemetry {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr net::VnId kVn{7};
+
+net::OverlayFrame ip_frame(net::Ipv4Address source, net::Ipv4Address destination) {
+  net::OverlayFrame frame;
+  frame.source_mac = net::MacAddress::from_u64(0x02AA);
+  frame.destination_mac = net::MacAddress::from_u64(0x02BB);
+  net::Ipv4Datagram dgram;
+  dgram.source = source;
+  dgram.destination = destination;
+  dgram.payload_size = 100;
+  frame.l3 = dgram;
+  return frame;
+}
+
+net::VnEid eid(net::Ipv4Address ip) { return net::VnEid{kVn, net::Eid{ip}}; }
+
+TEST(PathTracer, ArmedFlowRecordsHopsUntilTerminal) {
+  PathTracer tracer;
+  const net::Ipv4Address src{10, 1, 0, 1};
+  const net::Ipv4Address dst{10, 1, 0, 2};
+  const std::uint64_t id = tracer.arm(eid(src), eid(dst));
+  EXPECT_FALSE(tracer.idle());
+
+  const net::OverlayFrame frame = ip_frame(src, dst);
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{1us});
+  EXPECT_EQ(tracer.open_count(), 1u);
+  EXPECT_EQ(tracer.armed_count(), 0u);
+  tracer.note(kVn, frame, HopKind::Encap, "edge-0", sim::SimTime{3us}, "to 192.168.0.2");
+  tracer.note(kVn, frame, HopKind::Transit, "underlay", sim::SimTime{53us});
+  tracer.note(kVn, frame, HopKind::Decap, "edge-1", sim::SimTime{55us});
+  tracer.note(kVn, frame, HopKind::SgaclPermit, "edge-1", sim::SimTime{56us});
+  tracer.note(kVn, frame, HopKind::Deliver, "edge-1", sim::SimTime{57us});
+
+  EXPECT_TRUE(tracer.idle());
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  const PacketTrace* trace = tracer.find_completed(id);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->done);
+  EXPECT_TRUE(trace->delivered);
+  ASSERT_EQ(trace->hops.size(), 6u);
+  EXPECT_EQ(trace->hops.front().kind, HopKind::Ingress);
+  EXPECT_EQ(trace->hops.back().kind, HopKind::Deliver);
+  EXPECT_EQ(trace->latency(), 56us);  // 1us ingress -> 57us deliver
+  // The rendering decomposes per-hop deltas.
+  const std::string text = trace->to_string();
+  EXPECT_NE(text.find("[delivered 56us]"), std::string::npos);
+  EXPECT_NE(text.find("encap @edge-0 (to 192.168.0.2)"), std::string::npos);
+}
+
+TEST(PathTracer, SgaclDenyIsTerminalAndNotDelivered) {
+  PathTracer tracer;
+  const net::Ipv4Address src{10, 1, 0, 1};
+  const net::Ipv4Address dst{10, 1, 0, 9};
+  tracer.arm(eid(src), eid(dst));
+  const net::OverlayFrame frame = ip_frame(src, dst);
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+  tracer.note(kVn, frame, HopKind::SgaclDeny, "edge-1", sim::SimTime{9us}, "sgt:10 -> sgt:20");
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  EXPECT_TRUE(tracer.completed().front().done);
+  EXPECT_FALSE(tracer.completed().front().delivered);
+  // Post-terminal notes for the same flow are ignored.
+  tracer.note(kVn, frame, HopKind::Deliver, "edge-1", sim::SimTime{10us});
+  EXPECT_EQ(tracer.completed().size(), 1u);
+}
+
+TEST(PathTracer, IdleHooksIgnoreUnmatchedTraffic) {
+  PathTracer tracer;
+  const net::OverlayFrame frame = ip_frame({10, 0, 0, 1}, {10, 0, 0, 2});
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+  tracer.note(kVn, frame, HopKind::Deliver, "edge-0", sim::SimTime{});
+  EXPECT_TRUE(tracer.idle());
+  EXPECT_TRUE(tracer.completed().empty());
+
+  // Armed for a different flow: unrelated frames still pass through.
+  tracer.arm(eid({10, 9, 9, 9}), eid({10, 9, 9, 8}));
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.armed_count(), 1u);
+}
+
+TEST(PathTracer, NonIpFramesNeverMatch) {
+  PathTracer tracer;
+  tracer.arm(eid({10, 1, 0, 1}), eid({10, 1, 0, 2}));
+  net::OverlayFrame arp;
+  arp.source_mac = net::MacAddress::from_u64(0x02AA);
+  arp.destination_mac = net::MacAddress::broadcast();
+  arp.l3 = net::ArpPacket{};
+  tracer.ingress(kVn, arp, "edge-0", sim::SimTime{});
+  EXPECT_EQ(tracer.open_count(), 0u);
+}
+
+TEST(PathTracer, ReArmingAbandonsTheOpenTrace) {
+  PathTracer tracer;
+  const net::Ipv4Address src{10, 1, 0, 1};
+  const net::Ipv4Address dst{10, 1, 0, 2};
+  tracer.arm(eid(src), eid(dst));
+  const net::OverlayFrame frame = ip_frame(src, dst);
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+  // The packet died silently (e.g. underlay loss); the flow is re-armed.
+  tracer.arm(eid(src), eid(dst));
+  EXPECT_EQ(tracer.abandoned(), 1u);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{2us});
+  tracer.note(kVn, frame, HopKind::Deliver, "edge-0", sim::SimTime{3us});
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  EXPECT_EQ(tracer.completed().front().started, sim::SimTime{2us});
+}
+
+TEST(PathTracer, CompletedTracesAreBounded) {
+  PathTracer tracer{2};
+  for (int i = 0; i < 5; ++i) {
+    const net::Ipv4Address src{10, 1, 0, static_cast<std::uint8_t>(10 + i)};
+    const net::Ipv4Address dst{10, 1, 0, 2};
+    tracer.arm(eid(src), eid(dst));
+    const net::OverlayFrame frame = ip_frame(src, dst);
+    tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+    tracer.note(kVn, frame, HopKind::Deliver, "edge-0", sim::SimTime{1us});
+  }
+  EXPECT_EQ(tracer.completed().size(), 2u);
+  // Oldest dropped: the survivors are the last two traces.
+  EXPECT_EQ(tracer.completed().front().source, eid({10, 1, 0, 13}));
+  EXPECT_EQ(tracer.completed().back().source, eid({10, 1, 0, 14}));
+}
+
+TEST(PathTracer, CompletionCallbackFires) {
+  PathTracer tracer;
+  int completions = 0;
+  bool delivered = false;
+  tracer.set_completion_callback([&](const PacketTrace& trace) {
+    ++completions;
+    delivered = trace.delivered;
+  });
+  const net::Ipv4Address src{10, 1, 0, 1};
+  const net::Ipv4Address dst{10, 1, 0, 2};
+  tracer.arm(eid(src), eid(dst));
+  const net::OverlayFrame frame = ip_frame(src, dst);
+  tracer.ingress(kVn, frame, "edge-0", sim::SimTime{});
+  tracer.note(kVn, frame, HopKind::ExternalOut, "border-0", sim::SimTime{4us});
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(delivered);  // ExternalOut counts as delivered
+}
+
+}  // namespace
+}  // namespace sda::telemetry
