@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Routing-server kill drill: assert the HA layer actually carries traffic
+# through a control-plane outage.
+#
+#   scripts/check_failover.sh [path/to/bench_chaos_convergence]
+#
+# Runs the bench's --drill mode (2 routing servers, border default route
+# off, server 0 killed for 3s while cold flows start from edges homed on
+# it) and checks that:
+#   * with HA on, the delivered fraction stays >= 99% and any residual
+#     loss re-converges within 500ms of the outage ending;
+#   * heartbeat failover and fail-back each fired exactly once, and
+#     anti-entropy repaired the registration the dead primary missed;
+#   * with HA off, the same kill is visible (fraction <= 97%, loss
+#     persisting past the outage) — i.e. the drill has teeth and the
+#     HA-on result is not an artifact of a toothless scenario.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/bench_chaos_convergence}"
+if [[ ! -x "$BENCH" ]]; then
+  echo "check_failover: bench_chaos_convergence binary not found at $BENCH" >&2
+  exit 1
+fi
+
+DRILL_OUT="$(mktemp)"
+trap 'rm -f "$DRILL_OUT"' EXIT
+"$BENCH" --drill >"$DRILL_OUT"
+
+python3 - "$DRILL_OUT" <<'PY'
+import sys
+
+runs = {}
+for line in open(sys.argv[1]):
+    fields = line.split()
+    if not fields or fields[0] != "drill":
+        continue
+    kv = dict(f.split("=", 1) for f in fields[1:])
+    mode = kv.pop("ha")
+    runs[mode] = {k: float(v) for k, v in kv.items()}
+
+assert set(runs) == {"on", "off"}, f"expected HA on+off drill lines, got {sorted(runs)}"
+on, off = runs["on"], runs["off"]
+
+assert on["sent"] > 0 and on["sent"] == off["sent"], \
+    f"drill runs diverged: sent {on['sent']} vs {off['sent']}"
+
+# HA on: the kill must be survivable...
+assert on["fraction"] >= 0.99, f"HA-on delivered fraction {on['fraction']:.4f} < 0.99"
+# ...and whatever blip remains must clear within 500ms of the outage end.
+assert on["reconv_ms"] <= 500, f"HA-on re-convergence {on['reconv_ms']:.0f}ms > 500ms"
+assert on["failovers"] >= 1, "heartbeat monitor never declared the server down"
+assert on["failbacks"] >= 1, "server never failed back after recovery"
+assert on["anti_entropy_repairs"] >= 1, \
+    "anti-entropy repaired nothing despite a mid-outage registration"
+
+# HA off: the same kill must hurt, or the drill proves nothing.
+assert off["fraction"] <= 0.97, \
+    f"HA-off delivered fraction {off['fraction']:.4f} > 0.97: outage not visible"
+assert off["reconv_ms"] > 0, "HA-off run shows no post-outage loss to recover from"
+assert off["fraction"] + 0.02 <= on["fraction"], \
+    "HA on/off fractions too close to attribute to failover"
+
+print(f"check_failover: OK (HA-on fraction {on['fraction']:.4f}, "
+      f"HA-off {off['fraction']:.4f}, HA-on reconv {on['reconv_ms']:.0f}ms, "
+      f"failovers {on['failovers']:.0f}, repairs {on['anti_entropy_repairs']:.0f})")
+PY

@@ -20,7 +20,9 @@ EdgeRouter::EdgeRouter(sim::Simulator& simulator, EdgeRouterConfig config)
       config_(std::move(config)),
       rng_(config_.seed ^ config_.rloc.value()),
       cache_(config_.map_cache_capacity),
-      sgacl_(config_.default_action) {}
+      sgacl_(config_.default_action) {
+  sgacl_.set_fail_mode(config_.policy_fail_mode);
+}
 
 // ---------------------------------------------------------------------------
 // Endpoint lifecycle
@@ -50,8 +52,7 @@ void EdgeRouter::attach_endpoint(const AttachedEndpoint& endpoint) {
   // Download the SGACL rules where this endpoint's group is the destination
   // (Fig. 3 step 2; egress enforcement needs only these, §5.3).
   if (++group_refcounts_[group_key(endpoint.vn, endpoint.group)] == 1 && download_rules_) {
-    sgacl_.install_destination_rules(endpoint.vn, endpoint.group,
-                                     download_rules_(endpoint.vn, endpoint.group));
+    try_download_rules(endpoint.vn, endpoint.group);
   }
 
   // Publish the endpoint's location (Fig. 3 step 4) — one route per
@@ -110,6 +111,7 @@ void EdgeRouter::detach_endpoint(const net::MacAddress& mac, bool deregister) {
   if (ref != group_refcounts_.end() && --ref->second == 0) {
     group_refcounts_.erase(ref);
     sgacl_.remove_destination_rules(endpoint.vn, endpoint.group);
+    pending_rule_downloads_.erase(group_key(endpoint.vn, endpoint.group));
     if (release_group_) release_group_(endpoint.vn, endpoint.group);
   }
 
@@ -147,6 +149,7 @@ bool EdgeRouter::retag_endpoint(const net::MacAddress& mac, net::GroupId new_gro
   if (ref != group_refcounts_.end() && --ref->second == 0) {
     group_refcounts_.erase(ref);
     sgacl_.remove_destination_rules(endpoint.vn, endpoint.group);
+    pending_rule_downloads_.erase(old_key);
     if (release_group_) release_group_(endpoint.vn, endpoint.group);
   }
 
@@ -161,11 +164,43 @@ bool EdgeRouter::retag_endpoint(const net::MacAddress& mac, net::GroupId new_gro
   }
 
   if (++group_refcounts_[group_key(endpoint.vn, new_group)] == 1 && download_rules_) {
-    sgacl_.install_destination_rules(endpoint.vn, new_group,
-                                     download_rules_(endpoint.vn, new_group));
+    try_download_rules(endpoint.vn, new_group);
   }
   register_eid(ip_eid, new_group);  // refresh the mapping's group tag
   return true;
+}
+
+void EdgeRouter::try_download_rules(net::VnId vn, net::GroupId group) {
+  if (!download_rules_) return;
+  if (const auto rules = download_rules_(vn, group)) {
+    sgacl_.install_destination_rules(vn, group, *rules);
+    pending_rule_downloads_.erase(group_key(vn, group));
+    return;
+  }
+  // Policy server unreachable: the group stays unprovisioned (the SGACL
+  // fail mode decides what its traffic gets) and a retry is booked.
+  ++counters_.rule_download_failures;
+  pending_rule_downloads_[group_key(vn, group)] = {vn, group};
+  maybe_schedule_rule_retry();
+}
+
+void EdgeRouter::maybe_schedule_rule_retry() {
+  if (config_.rule_retry_interval.count() == 0 || rule_retry_armed_) return;
+  if (pending_rule_downloads_.empty()) return;
+  rule_retry_armed_ = true;
+  simulator_.schedule_after(config_.rule_retry_interval, [this] {
+    rule_retry_armed_ = false;
+    const auto snapshot = pending_rule_downloads_;  // retries mutate the set
+    for (const auto& [key, pair] : snapshot) {
+      if (!group_refcounts_.contains(key)) {
+        pending_rule_downloads_.erase(key);  // group left while we waited
+        continue;
+      }
+      ++counters_.rule_download_retries;
+      try_download_rules(pair.first, pair.second);
+    }
+    maybe_schedule_rule_retry();  // re-arm while failures remain
+  });
 }
 
 const AttachedEndpoint* EdgeRouter::find_endpoint(const net::MacAddress& mac) const {
@@ -262,8 +297,18 @@ void EdgeRouter::endpoint_transmit(const net::MacAddress& source_mac,
 
   if (entry == nullptr) resolve(destination, false);
   if (!config_.default_route_fallback) {
-    // Classic LISP (§3.2.2 ablation): nothing to do with the packet until
-    // the Map-Reply installs a mapping — the flow's first packets are lost.
+    // Classic LISP (§3.2.2 ablation): nothing rides a default route while
+    // the Map-Reply is outstanding. With a pending-packet queue configured
+    // the flow's first packets wait for the reply instead of being lost;
+    // negative entries (the EID truly is unknown) still drop.
+    if (config_.pending_packet_limit > 0 && entry == nullptr) {
+      auto& queue = pending_l3_[destination];
+      if (queue.size() < config_.pending_packet_limit) {
+        ++counters_.packets_parked;
+        queue.emplace_back(source->group, frame);
+        return;
+      }
+    }
     ++counters_.resolution_drops;
     if (tracer_) {
       tracer_->note(source->vn, frame, telemetry::HopKind::Drop, config_.name, simulator_.now(),
@@ -337,8 +382,8 @@ void EdgeRouter::receive_fabric_frame(const net::FabricFrame& frame) {
     return;
   }
   if (entry == nullptr) resolve(destination, false);
-  if (frame.outer_source == config_.border_rloc) {
-    // Came *from* the border and we have no better idea: bouncing it back
+  if (is_border(frame.outer_source)) {
+    // Came *from* a border and we have no better idea: bouncing it back
     // would loop (§5.2); hold the line and drop after resolution kicks in.
     ++counters_.no_route_drops;
     if (tracer_) {
@@ -440,13 +485,14 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
   // later packet can retrigger resolution. Each retransmit backs off with
   // decorrelated jitter so loss-induced storms spread out.
   const std::uint64_t nonce = it->second.nonce;
-  simulator_.schedule_after(it->second.timeout, [this, eid, nonce] {
+  it->second.timer = simulator_.schedule_after(it->second.timeout, [this, eid, nonce] {
     const auto pending = pending_requests_.find(eid);
     if (pending == pending_requests_.end()) return;
     if (pending->second.nonce != nonce) return;  // superseded by a newer attempt
     if (pending->second.retries_left == 0) {
       // Out of retries: give up so a later packet can retrigger resolution.
       pending_requests_.erase(pending);
+      drop_parked(eid);
       return;
     }
     --pending->second.retries_left;
@@ -456,6 +502,45 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
     ++counters_.map_request_retries;
     transmit_map_request(eid);
   });
+}
+
+void EdgeRouter::receive_map_request_busy(const net::VnEid& eid, sim::Duration retry_after) {
+  const auto it = pending_requests_.find(eid);
+  if (it == pending_requests_.end()) return;  // answered (or given up) meanwhile
+  ++counters_.server_busy;
+  simulator_.cancel(it->second.timer);
+  if (it->second.retries_left == 0) {
+    pending_requests_.erase(it);
+    drop_parked(eid);
+    return;
+  }
+  --it->second.retries_left;
+  it->second.nonce = next_nonce_++;
+  // Honor the server's retry-after instead of the local RTO: the server
+  // knows its own backlog better than our backoff curve does.
+  it->second.timer =
+      simulator_.schedule_after(retry_after, [this, eid] { transmit_map_request(eid); });
+}
+
+void EdgeRouter::receive_map_register_busy(const net::VnEid& eid, sim::Duration retry_after) {
+  const auto it = pending_registers_.find(eid);
+  if (it == pending_registers_.end()) return;  // acked or abandoned meanwhile
+  ++counters_.server_busy;
+  simulator_.cancel(it->second.timer);
+  if (it->second.retries_left == 0) {
+    pending_registers_.erase(it);
+    return;
+  }
+  --it->second.retries_left;
+  it->second.timer =
+      simulator_.schedule_after(retry_after, [this, eid] { transmit_map_register(eid); });
+}
+
+void EdgeRouter::drop_parked(const net::VnEid& eid) {
+  const auto it = pending_l3_.find(eid);
+  if (it == pending_l3_.end()) return;
+  counters_.resolution_drops += it->second.size();
+  pending_l3_.erase(it);
 }
 
 void EdgeRouter::solicit(const net::VnEid& eid, net::Ipv4Address sender_rloc) {
@@ -588,9 +673,31 @@ void EdgeRouter::run_probe_sweep() {
 }
 
 void EdgeRouter::receive_map_reply(const lisp::MapReply& reply) {
-  pending_requests_.erase(reply.eid);
+  const auto pending = pending_requests_.find(reply.eid);
+  if (pending != pending_requests_.end()) {
+    simulator_.cancel(pending->second.timer);
+    pending_requests_.erase(pending);
+  }
   cache_.install(reply.eid, reply, simulator_.now());
   maybe_schedule_probe_sweep();
+
+  // Flush any L3 frames parked while this EID resolved (classic-LISP mode
+  // with a pending-packet queue). A negative reply drops them: the EID is
+  // genuinely unknown and the negative cache entry stops re-resolution.
+  const auto l3 = pending_l3_.find(reply.eid);
+  if (l3 != pending_l3_.end()) {
+    auto held = std::move(l3->second);
+    pending_l3_.erase(l3);
+    const lisp::MapCacheEntry* entry = cache_.lookup(reply.eid, simulator_.now());
+    if (entry != nullptr && !entry->negative()) {
+      for (const auto& [group, frame] : held) {
+        ++counters_.parked_flushed;
+        encap_to(entry->primary_rloc(), reply.eid, group, false, frame);
+      }
+    } else {
+      counters_.resolution_drops += held.size();
+    }
+  }
 
   // Flush any L2 frames parked on this EID.
   const auto parked = pending_l2_.find(reply.eid);
@@ -682,16 +789,51 @@ void EdgeRouter::receive_smr(const lisp::SolicitMapRequest& smr) {
 void EdgeRouter::on_rloc_reachability(net::Ipv4Address rloc, bool reachable) {
   if (reachable) {
     down_rlocs_.erase(rloc);
+    reselect_border();  // fail back once the primary border returns
     return;
   }
   down_rlocs_.insert(rloc);
   // §5.1: fall back to the border default route until the EIDs re-register.
   counters_.rloc_fallbacks += cache_.invalidate_rloc(rloc);
+  reselect_border();  // repoint the default route if a border just died
+}
+
+void EdgeRouter::set_border_rlocs(std::vector<net::Ipv4Address> rlocs) {
+  border_rlocs_ = std::move(rlocs);
+  if (!border_rlocs_.empty()) config_.border_rloc = border_rlocs_.front();
+  reselect_border();
+}
+
+void EdgeRouter::reselect_border() {
+  if (border_rlocs_.size() < 2) return;  // nothing to fail over to
+  // First live candidate wins; with everything down, stick to the primary
+  // (any choice blackholes equally, and this makes recovery deterministic).
+  net::Ipv4Address desired = border_rlocs_.front();
+  for (const net::Ipv4Address candidate : border_rlocs_) {
+    if (rloc_usable(candidate)) {
+      desired = candidate;
+      break;
+    }
+  }
+  if (desired == config_.border_rloc) return;
+  if (desired == border_rlocs_.front()) {
+    ++counters_.border_failbacks;
+  } else {
+    ++counters_.border_failovers;
+  }
+  config_.border_rloc = desired;
+}
+
+bool EdgeRouter::is_border(net::Ipv4Address rloc) const {
+  if (rloc == config_.border_rloc) return true;
+  return std::find(border_rlocs_.begin(), border_rlocs_.end(), rloc) != border_rlocs_.end();
 }
 
 void EdgeRouter::install_rules(net::VnId vn, net::GroupId destination,
                                const std::vector<policy::Rule>& rules) {
   sgacl_.install_destination_rules(vn, destination, rules);
+  // A server push satisfies any pending download retry for the group.
+  pending_rule_downloads_.erase(group_key(vn, destination));
 }
 
 void EdgeRouter::register_metrics(telemetry::MetricsRegistry& registry,
@@ -721,6 +863,13 @@ void EdgeRouter::register_metrics(telemetry::MetricsRegistry& registry,
   add("registers_acked", counters_.registers_acked);
   add("resolution_drops", counters_.resolution_drops);
   add("vlan_drops", counters_.vlan_drops);
+  add("server_busy", counters_.server_busy);
+  add("packets_parked", counters_.packets_parked);
+  add("parked_flushed", counters_.parked_flushed);
+  add("border_failovers", counters_.border_failovers);
+  add("border_failbacks", counters_.border_failbacks);
+  add("rule_download_failures", counters_.rule_download_failures);
+  add("rule_download_retries", counters_.rule_download_retries);
   registry.register_gauge(telemetry::join(prefix, "fib_size"),
                           [this] { return static_cast<double>(fib_size()); });
   registry.register_gauge(telemetry::join(prefix, "endpoints"),
@@ -736,11 +885,14 @@ void EdgeRouter::reboot() {
   endpoints_.clear();
   eid_to_mac_.clear();
   group_refcounts_.clear();
+  for (auto& [eid, pending] : pending_requests_) simulator_.cancel(pending.timer);
   pending_requests_.clear();
   for (auto& [eid, pending] : pending_registers_) simulator_.cancel(pending.timer);
   pending_registers_.clear();
   last_smr_.clear();
   pending_l2_.clear();
+  pending_l3_.clear();
+  pending_rule_downloads_.clear();
 }
 
 }  // namespace sda::dataplane

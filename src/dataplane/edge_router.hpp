@@ -88,6 +88,18 @@ struct EdgeRouterConfig {
   /// routing server answers. false models classic LISP behaviour — the
   /// first packets of a flow are dropped until the Map-Reply arrives.
   bool default_route_fallback = true;
+  /// Without the border default route, park up to this many frames per
+  /// unresolved EID instead of dropping them; parked frames flush when the
+  /// positive Map-Reply lands. 0 = classic drop-until-resolved.
+  std::size_t pending_packet_limit = 0;
+  /// What traffic gets when its destination group's SGACL rules have not
+  /// downloaded (policy-server outage): fall through (Open, legacy) or
+  /// deny until the rules arrive (Closed).
+  PolicyFailMode policy_fail_mode = PolicyFailMode::Open;
+  /// Retry cadence for rule downloads the policy server refused (outage).
+  /// The timer runs only while failed downloads are outstanding. 0 = never
+  /// retry (rules arrive only via a later attach or a server push).
+  sim::Duration rule_retry_interval = std::chrono::seconds{1};
 };
 
 /// A fully onboarded endpoint as the edge sees it.
@@ -119,9 +131,12 @@ class EdgeRouter {
   using SendSmr = std::function<void(net::Ipv4Address to, const lisp::SolicitMapRequest&)>;
   /// Local delivery: the frame reached its destination endpoint.
   using DeliverLocal = std::function<void(const AttachedEndpoint&, const net::OverlayFrame&)>;
-  /// Rule download from the policy server (onboarding step 2).
+  /// Rule download from the policy server (onboarding step 2). nullopt =
+  /// the server is unreachable; the edge books a retry and the SGACL fail
+  /// mode governs traffic in the meantime.
   using DownloadRules =
-      std::function<std::vector<policy::Rule>(net::VnId, net::GroupId destination)>;
+      std::function<std::optional<std::vector<policy::Rule>>(net::VnId,
+                                                             net::GroupId destination)>;
   /// Tell the policy server this edge no longer hosts a group.
   using ReleaseGroup = std::function<void(net::VnId, net::GroupId)>;
   /// L2 service hook: an ARP (or other broadcast) frame needs gateway help.
@@ -146,8 +161,16 @@ class EdgeRouter {
   [[nodiscard]] net::Ipv4Address rloc() const { return config_.rloc; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
 
-  /// Points the default route at a border (set late, once borders exist).
-  void set_border_rloc(net::Ipv4Address rloc) { config_.border_rloc = rloc; }
+  /// Points the default route at a single border (set late, once borders
+  /// exist). Equivalent to set_border_rlocs({rloc}).
+  void set_border_rloc(net::Ipv4Address rloc) { set_border_rlocs({rloc}); }
+
+  /// Ordered border candidates for the default route: the first is the
+  /// primary. Underlay reachability transitions repoint the default route
+  /// at the first live candidate (border failover, and fail-back when the
+  /// primary returns).
+  void set_border_rlocs(std::vector<net::Ipv4Address> rlocs);
+  [[nodiscard]] net::Ipv4Address active_border_rloc() const { return config_.border_rloc; }
 
   // --- Endpoint lifecycle (driven by the onboarding state machine) -------
 
@@ -190,6 +213,12 @@ class EdgeRouter {
   void receive_map_reply(const lisp::MapReply& reply);
   void receive_map_notify(const lisp::MapNotify& notify);
   void receive_smr(const lisp::SolicitMapRequest& smr);
+
+  /// The routing server shed our Map-Request (bounded admission): back off
+  /// for its retry-after instead of the local RTO.
+  void receive_map_request_busy(const net::VnEid& eid, sim::Duration retry_after);
+  /// Same for a shed Map-Register.
+  void receive_map_register_busy(const net::VnEid& eid, sim::Duration retry_after);
 
   /// Underlay reachability transition for a remote RLOC (§5.1).
   void on_rloc_reachability(net::Ipv4Address rloc, bool reachable);
@@ -236,6 +265,13 @@ class EdgeRouter {
     std::uint64_t registers_acked = 0;       // Map-Notify acks consumed
     std::uint64_t resolution_drops = 0;  // miss drops when no default route
     std::uint64_t vlan_drops = 0;        // access-VLAN mismatch at ingress (§3.5)
+    std::uint64_t server_busy = 0;       // control messages shed by admission
+    std::uint64_t packets_parked = 0;    // frames held while resolution runs
+    std::uint64_t parked_flushed = 0;    // parked frames sent after the reply
+    std::uint64_t border_failovers = 0;  // default route moved off the primary
+    std::uint64_t border_failbacks = 0;  // default route back on the primary
+    std::uint64_t rule_download_failures = 0;  // policy server unreachable
+    std::uint64_t rule_download_retries = 0;   // retry attempts booked
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -295,6 +331,18 @@ class EdgeRouter {
   [[nodiscard]] sim::Duration next_backoff(sim::Duration current, sim::Duration initial,
                                            sim::Duration cap);
 
+  /// Downloads (vn, group)'s rules; on refusal books the pair for retry.
+  void try_download_rules(net::VnId vn, net::GroupId group);
+  /// (Re)arms the rule-retry timer while refused downloads are outstanding.
+  void maybe_schedule_rule_retry();
+
+  /// Drops (and counts) every frame parked on `eid` — resolution failed.
+  void drop_parked(const net::VnEid& eid);
+
+  /// Repoints the default route at the first live border candidate.
+  void reselect_border();
+  [[nodiscard]] bool is_border(net::Ipv4Address rloc) const;
+
   sim::Simulator& simulator_;
   EdgeRouterConfig config_;
   sim::Rng rng_;
@@ -311,6 +359,9 @@ class EdgeRouter {
 
   std::unordered_map<net::MacAddress, AttachedEndpoint> endpoints_;
   std::unordered_set<net::Ipv4Address> down_rlocs_;
+  /// Ordered default-route candidates (front = primary); empty when the
+  /// edge was wired with a single static border_rloc only.
+  std::vector<net::Ipv4Address> border_rlocs_;
   std::unordered_map<net::VnEid, net::MacAddress> eid_to_mac_;
   // (vn, group) -> number of attached endpoints with that group.
   std::unordered_map<std::uint64_t, std::size_t> group_refcounts_;
@@ -319,6 +370,7 @@ class EdgeRouter {
     unsigned retries_left = 0;
     bool smr_invoked = false;
     sim::Duration timeout{0};  // current RTO (grows under backoff)
+    sim::EventHandle timer;    // armed retransmit (cancelled by busy/reply)
   };
   std::unordered_map<net::VnEid, PendingRequest> pending_requests_;
   /// Registrations awaiting their Map-Notify ack (reliable Map-Register);
@@ -338,10 +390,19 @@ class EdgeRouter {
   /// Frames parked while a MAC EID resolves (bounded per EID).
   std::unordered_map<net::VnEid, std::vector<std::pair<net::MacAddress, net::OverlayFrame>>>
       pending_l2_;
+  /// L3 frames parked while resolution runs (classic-LISP mode with
+  /// pending_packet_limit > 0); flushed on a positive Map-Reply, dropped
+  /// on a negative one or when resolution gives up.
+  std::unordered_map<net::VnEid, std::vector<std::pair<net::GroupId, net::OverlayFrame>>>
+      pending_l3_;
+  /// (vn, group) pairs whose rule download the policy server refused —
+  /// retried on a timer while the group is still hosted here.
+  std::unordered_map<std::uint64_t, std::pair<net::VnId, net::GroupId>> pending_rule_downloads_;
   std::uint64_t next_nonce_ = 1;
 
   bool probe_sweep_armed_ = false;
   bool register_refresh_armed_ = false;
+  bool rule_retry_armed_ = false;
 
   SendData send_data_;
   SendProbe send_probe_;

@@ -13,6 +13,7 @@ void Sgacl::install_destination_rules(net::VnId vn, net::GroupId destination,
     rules_[Key{vn.value(), rule.pair.source.value(), rule.pair.destination.value()}] =
         rule.action;
   }
+  provisioned_.insert(DestKey{vn.value(), destination.value()});
 }
 
 void Sgacl::remove_destination_rules(net::VnId vn, net::GroupId destination) {
@@ -21,6 +22,11 @@ void Sgacl::remove_destination_rules(net::VnId vn, net::GroupId destination) {
     if (key.vn == vn.value() && key.dst == destination.value()) doomed.push_back(key);
   }
   for (const auto& key : doomed) rules_.erase(key);
+  provisioned_.erase(DestKey{vn.value(), destination.value()});
+}
+
+bool Sgacl::provisioned(net::VnId vn, net::GroupId destination) const {
+  return provisioned_.contains(DestKey{vn.value(), destination.value()});
 }
 
 void Sgacl::install_rule(net::VnId vn, const policy::Rule& rule) {
@@ -33,7 +39,14 @@ policy::Action Sgacl::evaluate(net::VnId vn, net::GroupId source, net::GroupId d
     action = policy::Action::Allow;
   } else {
     const auto it = rules_.find(Key{vn.value(), source.value(), destination.value()});
-    if (it != rules_.end()) action = it->second;
+    if (it != rules_.end()) {
+      action = it->second;
+    } else if (fail_mode_ == PolicyFailMode::Closed && !provisioned(vn, destination)) {
+      // The destination group's rules never arrived (policy-server outage):
+      // fail closed rather than apply a default the operator never chose.
+      action = policy::Action::Deny;
+      ++counters_.fail_closed_drops;
+    }
   }
   if (action == policy::Action::Allow) {
     ++counters_.permits;
@@ -50,10 +63,15 @@ void Sgacl::register_metrics(telemetry::MetricsRegistry& registry,
   registry.register_counter(telemetry::join(prefix, "permits"),
                             [this] { return counters_.permits; });
   registry.register_counter(telemetry::join(prefix, "drops"), [this] { return counters_.drops; });
+  registry.register_counter(telemetry::join(prefix, "fail_closed_drops"),
+                            [this] { return counters_.fail_closed_drops; });
   registry.register_gauge(telemetry::join(prefix, "rules"),
                           [this] { return static_cast<double>(rule_count()); });
 }
 
-void Sgacl::clear() { rules_.clear(); }
+void Sgacl::clear() {
+  rules_.clear();
+  provisioned_.clear();
+}
 
 }  // namespace sda::dataplane

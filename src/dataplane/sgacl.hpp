@@ -9,6 +9,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/types.hpp"
@@ -19,6 +20,12 @@ class MetricsRegistry;
 }
 
 namespace sda::dataplane {
+
+/// What traffic gets when its destination group's rules have not been
+/// provisioned yet (policy-server outage, download still in flight).
+/// Open = fall through to the default action (availability over policy);
+/// Closed = deny until the rules actually arrive (policy over availability).
+enum class PolicyFailMode : std::uint8_t { Open, Closed };
 
 /// The SGACL of one router. Rules are installed per destination group as
 /// endpoints onboard (egress enforcement) or per source group (ingress
@@ -41,14 +48,28 @@ class Sgacl {
   void install_rule(net::VnId vn, const policy::Rule& rule);
 
   /// Evaluates the pipeline stage and bumps counters. Unknown groups pass.
+  /// Under PolicyFailMode::Closed, a miss for an unprovisioned destination
+  /// group denies instead of falling through to the default action.
   [[nodiscard]] policy::Action evaluate(net::VnId vn, net::GroupId source,
                                         net::GroupId destination);
+
+  /// Fail-open (default, legacy behavior) vs fail-closed for destination
+  /// groups whose rules never downloaded. Only meaningful for egress
+  /// enforcement, where install_destination_rules marks provisioning.
+  void set_fail_mode(PolicyFailMode mode) { fail_mode_ = mode; }
+  [[nodiscard]] PolicyFailMode fail_mode() const { return fail_mode_; }
+
+  /// True once install_destination_rules has run for (vn, destination)
+  /// and the rules have not been removed since.
+  [[nodiscard]] bool provisioned(net::VnId vn, net::GroupId destination) const;
 
   [[nodiscard]] std::size_t rule_count() const;
 
   struct Counters {
     std::uint64_t permits = 0;
     std::uint64_t drops = 0;
+    /// Subset of drops caused by fail-closed hitting an unprovisioned group.
+    std::uint64_t fail_closed_drops = 0;
     [[nodiscard]] std::uint64_t total() const { return permits + drops; }
     /// Drops per thousand evaluations (Fig. 12's permille metric).
     [[nodiscard]] double drop_permille() const {
@@ -77,9 +98,23 @@ class Sgacl {
       return (std::size_t{k.vn} << 32) ^ (std::size_t{k.src} << 16) ^ k.dst;
     }
   };
+  struct DestKey {
+    std::uint32_t vn;
+    std::uint16_t dst;
+    friend bool operator==(const DestKey&, const DestKey&) = default;
+  };
+  struct DestKeyHash {
+    std::size_t operator()(const DestKey& k) const noexcept {
+      return (std::size_t{k.vn} << 16) ^ k.dst;
+    }
+  };
 
   policy::Action default_action_;
+  PolicyFailMode fail_mode_ = PolicyFailMode::Open;
   std::unordered_map<Key, policy::Action, KeyHash> rules_;
+  // Destination groups whose rule download completed (even if the matrix
+  // row was empty) — distinguishes "no rule matched" from "rules missing".
+  std::unordered_set<DestKey, DestKeyHash> provisioned_;
   Counters counters_;
 };
 

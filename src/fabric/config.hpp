@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "dataplane/sgacl.hpp"
 #include "lisp/map_server_node.hpp"
 #include "net/prefix.hpp"
 #include "net/types.hpp"
@@ -40,6 +41,33 @@ struct FabricTimings {
   /// workers, so onboarding storms (mass arrivals, §Conclusion's "large
   /// gatherings") exhibit realistic queueing delay.
   unsigned policy_workers = 8;
+};
+
+/// Control-plane high-availability knobs (PR 4). All mechanisms default
+/// off so single-server fabrics and existing experiments are unchanged.
+struct HaConfig {
+  /// Enable heartbeat-driven server health tracking and failover: each
+  /// server group's lead edge probes its assigned routing server, and when
+  /// the server is declared down the group's Map-Requests and reliable-
+  /// register acks ride a live replica until fail-back. The heartbeat
+  /// timer keeps the event queue non-empty — drive such simulations with
+  /// run_until(), not run().
+  bool failover = false;
+  sim::Duration heartbeat_interval = std::chrono::milliseconds{200};
+  /// A heartbeat unanswered for this long counts as a miss (must exceed
+  /// the control-plane round trip to the server).
+  sim::Duration heartbeat_timeout = std::chrono::milliseconds{100};
+  /// Consecutive misses before the server is declared down.
+  unsigned down_after_misses = 3;
+  /// Consecutive answered heartbeats before a down server is trusted again
+  /// (fail-back hysteresis: one lucky ack must not flap traffic back).
+  unsigned up_after_acks = 4;
+  /// Periodic digest exchange between the primary and each replica
+  /// database, reconciling registrations a replica missed during an
+  /// outage window. 0 = disabled. Runs forever once armed: run_until().
+  sim::Duration anti_entropy_interval{0};
+  /// How long deletion tombstones are retained for anti-entropy.
+  sim::Duration tombstone_horizon = std::chrono::minutes{5};
 };
 
 struct FabricConfig {
@@ -79,6 +107,23 @@ struct FabricConfig {
   /// Map-Requests to its own routing server; Map-Registers fan out to all
   /// servers so every replica stays complete.
   unsigned routing_servers = 1;
+  /// Control-plane high availability: heartbeat failover and replica
+  /// anti-entropy (PR 4). Defaults entirely off.
+  HaConfig ha;
+  /// Without the border default route, park up to this many frames per
+  /// unresolved EID on the edge instead of dropping them (Map-Request
+  /// coalescing: one in-flight resolution, a bounded pending queue).
+  /// 0 = classic drop-until-resolved.
+  std::size_t pending_packet_limit = 0;
+  /// TTL of negative Map-Replies (the edge's negative map-cache horizon);
+  /// short TTLs re-probe unresolvable EIDs sooner after an outage heals.
+  std::uint32_t negative_ttl_seconds = 60;
+  /// What traffic gets while a destination group's SGACL rules have not
+  /// downloaded (policy-server outage): Open = fall through to the VN
+  /// default (availability), Closed = deny until rules arrive (security).
+  dataplane::PolicyFailMode policy_fail_mode = dataplane::PolicyFailMode::Open;
+  /// Retry cadence for rule downloads the policy server refused. 0 = never.
+  sim::Duration rule_retry_interval = std::chrono::seconds{1};
   /// Underlay timing model (per-hop processing, IGP convergence, §5.1).
   underlay::UnderlayConfig underlay;
   /// Per-VN default action for micro-segmentation.

@@ -90,6 +90,9 @@ void SdaFabric::add_edge(const std::string& name) {
   cfg.map_request_retries = config_.map_request_retries;
   cfg.map_register_retries = config_.map_register_retries;
   cfg.map_register_timeout = config_.map_register_timeout;
+  cfg.pending_packet_limit = config_.pending_packet_limit;
+  cfg.policy_fail_mode = config_.policy_fail_mode;
+  cfg.rule_retry_interval = config_.rule_retry_interval;
   cfg.seed = config_.seed;  // mixed with the RLOC inside the router
   // border_rloc is filled in finalize() once the borders exist.
   edges_[name] = std::make_unique<dataplane::EdgeRouter>(simulator_, cfg);
@@ -120,6 +123,7 @@ void SdaFabric::finalize() {
   policy_server_rloc_ = primary.rloc();
 
   const unsigned server_count = std::max(1u, config_.routing_servers);
+  map_server_.set_negative_ttl_seconds(config_.negative_ttl_seconds);
   for (unsigned i = 0; i < server_count; ++i) {
     lisp::MapServerNodeConfig ms_cfg = config_.map_server;
     ms_cfg.rloc = borders_.at(border_order_[i % border_order_.size()])->rloc();
@@ -127,6 +131,7 @@ void SdaFabric::finalize() {
     if (i > 0) {
       replica_dbs_.push_back(std::make_unique<lisp::MapServer>());
       database = replica_dbs_.back().get();
+      database->set_negative_ttl_seconds(config_.negative_ttl_seconds);
     }
     server_nodes_.push_back(std::make_unique<lisp::MapServerNode>(
         simulator_, *database, ms_cfg, config_.seed ^ (0x5D + i)));
@@ -134,6 +139,37 @@ void SdaFabric::finalize() {
   // Edge groups: round-robin assignment of Map-Request traffic.
   for (std::size_t e = 0; e < edge_order_.size(); ++e) {
     request_server_of_[edges_.at(edge_order_[e])->rloc()] = e % server_nodes_.size();
+  }
+
+  // Control-plane HA (PR 4): heartbeat failover and/or replica
+  // anti-entropy. Each server is probed from the lead edge of the group
+  // assigned to it, so health is judged from where the traffic originates
+  // (a partitioned-but-alive server is correctly treated as down).
+  if (config_.ha.failover ||
+      (config_.ha.anti_entropy_interval.count() > 0 && server_nodes_.size() > 1)) {
+    std::vector<lisp::MapServerNode*> nodes;
+    std::vector<lisp::MapServer*> databases;
+    nodes.push_back(server_nodes_.front().get());
+    databases.push_back(&map_server_);
+    for (std::size_t i = 1; i < server_nodes_.size(); ++i) {
+      nodes.push_back(server_nodes_[i].get());
+      databases.push_back(replica_dbs_[i - 1].get());
+    }
+    ha_ = std::make_unique<HaMonitor>(
+        simulator_, config_.ha, std::move(nodes), std::move(databases),
+        [this](net::Ipv4Address from, net::Ipv4Address to, std::size_t bytes,
+               std::function<void()> action) {
+          control_send(from, to, bytes, std::move(action));
+        },
+        [this](telemetry::EventKind kind, const std::string& node, std::string detail) {
+          record_event(kind, node, std::move(detail));
+        });
+    for (std::size_t e = 0; e < edge_order_.size(); ++e) {
+      const std::size_t server = e % server_nodes_.size();
+      if (e < server_nodes_.size()) {
+        ha_->set_probe_source(server, edges_.at(edge_order_[e])->rloc());
+      }
+    }
   }
 
   // Pub/sub: every border subscribes to the full feed (Fig. 1 "sync").
@@ -250,31 +286,50 @@ void SdaFabric::finalize() {
                  });
   });
 
-  // L2 gateway shared by all edges (stateless apart from counters).
+  // L2 gateway shared by all edges (stateless apart from counters). Both
+  // lookups route through the *requesting edge's* assigned routing server
+  // — and, with HA failover on, its current live replacement — instead of
+  // hardcoding the primary; each leg rides the control plane.
   if (config_.l2_gateway) {
     l2_gateway_ = std::make_unique<l2::L2Gateway>(
         // IP -> MAC lookup at the routing server (§3.5).
-        [this](const net::VnEid& ip_eid,
+        [this](net::Ipv4Address edge_rloc, const net::VnEid& ip_eid,
                std::function<void(std::optional<net::MacAddress>)> done) {
-          control_send(map_server_rloc_, map_server_rloc_, 64,
-                       [this, ip_eid, done = std::move(done)] {
-                         done(map_server_.lookup_mac(ip_eid));
+          lisp::MapServerNode& node = *server_nodes_[active_server_index(edge_rloc)];
+          const net::Ipv4Address server_rloc = node.rloc();
+          control_send(edge_rloc, server_rloc, 64,
+                       [this, &node, edge_rloc, server_rloc, ip_eid, done = std::move(done)] {
+                         if (!node.online()) return;  // edge re-ARPs later
+                         auto result = node.server().lookup_mac(ip_eid);
+                         control_send(server_rloc, edge_rloc, 64,
+                                      [done = std::move(done), result] { done(result); });
                        });
         },
         // MAC EID -> RLOC lookup.
-        [this](const net::VnEid& mac_eid,
+        [this](net::Ipv4Address edge_rloc, const net::VnEid& mac_eid,
                std::function<void(std::optional<net::Ipv4Address>)> done) {
+          lisp::MapServerNode& node = *server_nodes_[active_server_index(edge_rloc)];
+          const net::Ipv4Address server_rloc = node.rloc();
           lisp::MapRequest request;
           request.nonce = 0;
           request.eid = mac_eid;
-          request.itr_rloc = map_server_rloc_;
-          server_nodes_.front()->submit_request(
-              request, [done = std::move(done)](const lisp::MapReply& reply, sim::Duration) {
-                if (reply.negative()) {
-                  done(std::nullopt);
-                } else {
-                  done(reply.rlocs.front().address);
-                }
+          request.itr_rloc = edge_rloc;
+          control_send(
+              edge_rloc, server_rloc, lisp::message_wire_size(lisp::Message{request}),
+              [this, &node, edge_rloc, server_rloc, request, done = std::move(done)] {
+                node.submit_request(
+                    request, [this, edge_rloc, server_rloc, done](const lisp::MapReply& reply,
+                                                                  sim::Duration) {
+                      control_send(server_rloc, edge_rloc,
+                                   lisp::message_wire_size(lisp::Message{reply}),
+                                   [done, reply] {
+                                     if (reply.negative()) {
+                                       done(std::nullopt);
+                                     } else {
+                                       done(reply.rlocs.front().address);
+                                     }
+                                   });
+                    });
               });
         });
   }
@@ -291,6 +346,7 @@ void SdaFabric::finalize() {
   }
 
   if (config_.telemetry) register_telemetry();
+  if (ha_) ha_->start();
 }
 
 void SdaFabric::register_telemetry() {
@@ -300,6 +356,10 @@ void SdaFabric::register_telemetry() {
   for (std::size_t i = 0; i < replica_dbs_.size(); ++i) {
     replica_dbs_[i]->register_metrics(reg, "map_server_replica[" + std::to_string(i + 1) + "]");
   }
+  for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
+    server_nodes_[i]->register_metrics(reg, "routing_server[" + std::to_string(i) + "]");
+  }
+  if (ha_) ha_->register_metrics(reg, "ha");
   policy_server_.register_metrics(reg, "policy_server");
   services_.register_metrics(reg, "services");
   underlay_->register_metrics(reg, "underlay");
@@ -340,19 +400,35 @@ std::uint64_t SdaFabric::trace_flow(const net::VnEid& source, const net::VnEid& 
   return telemetry_.tracer.arm(source, destination);
 }
 
+std::size_t SdaFabric::active_server_index(net::Ipv4Address edge_rloc) const {
+  const auto it = request_server_of_.find(edge_rloc);
+  const std::size_t home = it == request_server_of_.end() ? 0 : it->second;
+  return ha_ ? ha_->active_server_for(home) : home;
+}
+
 void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
-  // Point the default route at the first border.
-  edge.set_border_rloc(borders_.at(border_order_.front())->rloc());
+  // Default route: every border is a candidate, primary first. The edge's
+  // underlay reachability watcher repoints the route when the primary
+  // border becomes unreachable (and back when it returns).
+  std::vector<net::Ipv4Address> border_rlocs;
+  border_rlocs.reserve(border_order_.size());
+  for (const auto& name : border_order_) border_rlocs.push_back(borders_.at(name)->rloc());
+  edge.set_border_rlocs(std::move(border_rlocs));
 
   edge.set_send_data([this](const net::FabricFrame& frame) { dispatch_fabric_frame(frame); });
 
   edge.set_send_map_request([this, &edge](const lisp::MapRequest& request) {
-    // Each edge group queries its assigned routing server (§4.1).
-    lisp::MapServerNode& node = *server_nodes_[request_server_of_.at(edge.rloc())];
+    // Each edge group queries its assigned routing server (§4.1) — or,
+    // with HA failover on and that server declared down, the next live
+    // replica. The choice is re-evaluated on every (re)transmit, so a
+    // retransmission after a failover rides the new server.
+    lisp::MapServerNode& node = *server_nodes_[active_server_index(edge.rloc())];
     const net::Ipv4Address server_rloc = node.rloc();
     if (telemetry_.recorder.enabled()) {
       std::string detail = "for ";
       detail += request.eid.to_string();
+      detail += " -> ";
+      detail += server_rloc.to_string();
       record_event(telemetry::EventKind::MapRequest, edge.name(), std::move(detail));
     }
     control_send(edge.rloc(), server_rloc, lisp::message_wire_size(lisp::Message{request}),
@@ -369,6 +445,22 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                          control_send(server_rloc, edge.rloc(),
                                       lisp::message_wire_size(lisp::Message{reply}),
                                       [&edge, reply] { edge.receive_map_reply(reply); });
+                       },
+                       // Bounded admission shed the request: an explicit
+                       // busy + retry-after rides back to the edge, which
+                       // backs off for the server's hint instead of its
+                       // local RTO.
+                       [this, &edge, server_rloc, eid = request.eid](sim::Duration retry_after) {
+                         if (telemetry_.recorder.enabled()) {
+                           std::string detail = "map-request for ";
+                           detail += eid.to_string();
+                           record_event(telemetry::EventKind::Shed, edge.name(),
+                                        std::move(detail));
+                         }
+                         control_send(server_rloc, edge.rloc(), 32,
+                                      [&edge, eid, retry_after] {
+                                        edge.receive_map_request_busy(eid, retry_after);
+                                      });
                        });
                  });
   });
@@ -380,20 +472,28 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
       record_event(telemetry::EventKind::MapRegister, edge.name(), std::move(detail));
     }
     // Route updates go to *all* routing servers so replicas stay complete
-    // (§4.1). Onboarding completion is tied to the primary's ack, which
-    // also rides back to the edge as the reliable-registration Map-Notify.
+    // (§4.1). Onboarding completion is tied to the acking server's
+    // Map-Notify, which also cancels the edge's reliable-registration
+    // retransmit. Without HA the primary always acks; with failover on,
+    // the edge's currently-active server does — so a registration issued
+    // while the primary is down still completes (and a retransmit after a
+    // failover re-picks the acker).
+    const std::size_t acker =
+        ha_ && ha_->failover_enabled()
+            ? ha_->active_server_for(request_server_of_.at(edge.rloc()))
+            : 0;
     for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
       lisp::MapServerNode& node = *server_nodes_[i];
-      const bool is_primary = i == 0;
+      const bool is_acker = i == acker;
       control_send(edge.rloc(), node.rloc(),
                    lisp::message_wire_size(lisp::Message{registration}),
-                   [this, &edge, &node, registration, is_primary] {
+                   [this, &edge, &node, registration, is_acker] {
                      node.submit_register(
                          registration,
-                         [this, &edge, &node, is_primary, eid = registration.eid](
+                         [this, &edge, &node, is_acker, eid = registration.eid](
                              const lisp::RegisterOutcome&, const lisp::MapNotify& notify,
                              sim::Duration) {
-                           if (!is_primary) return;
+                           if (!is_acker) return;
                            // Ack the registering edge (cancels its retransmit).
                            control_send(node.rloc(), edge.rloc(),
                                         lisp::message_wire_size(lisp::Message{notify}),
@@ -404,7 +504,26 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                            auto waiters = std::move(it->second);
                            pending_onboards_.erase(it);
                            for (auto& fire : waiters) fire();
-                         });
+                         },
+                         // Shed by bounded admission: only the acker
+                         // signals busy (the edge would otherwise hear N
+                         // conflicting hints for one fan-out).
+                         !is_acker ? lisp::MapServerNode::ShedCallback{}
+                                   : lisp::MapServerNode::ShedCallback{
+                                     [this, &edge, &node, eid = registration.eid](
+                                         sim::Duration retry_after) {
+                                       if (telemetry_.recorder.enabled()) {
+                                         std::string detail = "map-register for ";
+                                         detail += eid.to_string();
+                                         record_event(telemetry::EventKind::Shed, edge.name(),
+                                                      std::move(detail));
+                                       }
+                                       control_send(node.rloc(), edge.rloc(), 32,
+                                                    [&edge, eid, retry_after] {
+                                                      edge.receive_map_register_busy(
+                                                          eid, retry_after);
+                                                    });
+                                     }});
                    });
     }
   });
@@ -429,7 +548,11 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     if (delivery_listener_) delivery_listener_(endpoint, frame, simulator_.now());
   });
 
-  edge.set_download_rules([this](net::VnId vn, net::GroupId destination) {
+  edge.set_download_rules([this](net::VnId vn, net::GroupId destination)
+                              -> std::optional<std::vector<policy::Rule>> {
+    // A policy server in an outage window refuses downloads: the edge
+    // books a retry and its SGACL fail mode governs traffic meanwhile.
+    if (!policy_server_.online()) return std::nullopt;
     return policy_server_.download_rules(vn, destination);
   });
   edge.set_release_group([this, &edge](net::VnId vn, net::GroupId group) {
@@ -515,6 +638,9 @@ void SdaFabric::add_external_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
   record.group = group;
   record.ttl_seconds = ttl_seconds;
   map_server_.register_prefix(vn, prefix, record);
+  // Replicas must answer external prefixes too, or a failover turns every
+  // Internet destination into a negative mapping.
+  for (auto& replica : replica_dbs_) replica->register_prefix(vn, prefix, record);
 }
 
 // ---------------------------------------------------------------------------
@@ -656,7 +782,11 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
       state.definition.group = policy->group;
 
       if (def.l2_services) {
-        map_server_.bind_l2(net::VnEid{policy->vn, net::Eid{*ip}}, def.mac);
+        const net::VnEid l2_eid{policy->vn, net::Eid{*ip}};
+        map_server_.bind_l2(l2_eid, def.mac);
+        // Replicas answer L2 lookups after a failover, so the IP->MAC
+        // binding fans out like every registration.
+        for (auto& replica : replica_dbs_) replica->bind_l2(l2_eid, def.mac);
       }
 
       // Fire once the Map-Register completes at the routing server. The
@@ -778,6 +908,7 @@ void SdaFabric::add_external_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
   record.group = group;
   record.ttl_seconds = ttl_seconds;
   map_server_.register_prefix(vn, prefix, record);
+  for (auto& replica : replica_dbs_) replica->register_prefix(vn, prefix, record);
 }
 
 bool SdaFabric::endpoint_send_arp(const net::MacAddress& mac, net::Ipv4Address target) {

@@ -27,6 +27,7 @@
 #include "dataplane/border_router.hpp"
 #include "dataplane/edge_router.hpp"
 #include "fabric/config.hpp"
+#include "fabric/ha.hpp"
 #include "l2/dhcp.hpp"
 #include "l2/l2_gateway.hpp"
 #include "l2/service_discovery.hpp"
@@ -200,6 +201,11 @@ class SdaFabric {
   [[nodiscard]] const lisp::MapServer& map_server_replica(std::size_t i) const {
     return i == 0 ? map_server_ : *replica_dbs_[i - 1];
   }
+  /// The HA monitor (nullptr unless config().ha enables failover or
+  /// anti-entropy): server health, failover target selection, replica
+  /// reconciliation counters.
+  [[nodiscard]] HaMonitor* ha_monitor() { return ha_.get(); }
+  [[nodiscard]] const HaMonitor* ha_monitor() const { return ha_.get(); }
   [[nodiscard]] policy::PolicyServer& policy_server() { return policy_server_; }
   [[nodiscard]] l2::DhcpServer& dhcp_server() { return dhcp_; }
 
@@ -265,6 +271,11 @@ class SdaFabric {
   [[nodiscard]] underlay::NodeId node_of_rloc(net::Ipv4Address rloc) const;
   [[nodiscard]] net::Ipv4Address next_rloc();
 
+  /// The routing server `edge_rloc`'s group should use right now: its home
+  /// server, or — with HA failover on and the home declared down — the
+  /// next live replica.
+  [[nodiscard]] std::size_t active_server_index(net::Ipv4Address edge_rloc) const;
+
   /// The shared Fig. 3 onboarding flow. `fast_reauth` selects the roaming
   /// round-trip count.
   void onboard(EndpointState& state, const std::string& edge_name, dataplane::PortId port,
@@ -289,6 +300,8 @@ class SdaFabric {
   std::vector<std::unique_ptr<lisp::MapServerNode>> server_nodes_;
   /// Which server node an edge's Map-Requests go to (by edge RLOC).
   std::unordered_map<net::Ipv4Address, std::size_t> request_server_of_;
+  /// Health tracking / failover / anti-entropy (nullptr when disabled).
+  std::unique_ptr<HaMonitor> ha_;
   net::Ipv4Address map_server_rloc_;  // where the primary routing server lives
   policy::PolicyServer policy_server_;
   net::Ipv4Address policy_server_rloc_;

@@ -1,0 +1,164 @@
+#include "fabric/ha.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace sda::fabric {
+
+HaMonitor::HaMonitor(sim::Simulator& simulator, HaConfig config,
+                     std::vector<lisp::MapServerNode*> servers,
+                     std::vector<lisp::MapServer*> databases, ControlSend control_send,
+                     EventHook event_hook)
+    : simulator_(simulator),
+      config_(config),
+      servers_(std::move(servers)),
+      databases_(std::move(databases)),
+      control_send_(std::move(control_send)),
+      event_hook_(std::move(event_hook)) {
+  state_.resize(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    state_[i].probe_source = servers_[i]->rloc();
+  }
+}
+
+void HaMonitor::set_probe_source(std::size_t server, net::Ipv4Address edge_rloc) {
+  state_[server].probe_source = edge_rloc;
+}
+
+void HaMonitor::start() {
+  if (config_.failover) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      simulator_.schedule_after(config_.heartbeat_interval, [this, i] { heartbeat(i); });
+    }
+  }
+  if (config_.anti_entropy_interval.count() > 0 && databases_.size() > 1) {
+    simulator_.schedule_after(config_.anti_entropy_interval, [this] { anti_entropy_round(); });
+  }
+}
+
+std::size_t HaMonitor::active_server_for(std::size_t home) const {
+  if (!config_.failover || state_[home].up) return home;
+  const std::size_t n = state_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t candidate = (home + k) % n;
+    if (state_[candidate].up) return candidate;
+  }
+  return home;
+}
+
+void HaMonitor::heartbeat(std::size_t server) {
+  ServerState& st = state_[server];
+  ++counters_.heartbeats_sent;
+  // The probe and its ack each ride the control plane, so loss, extra
+  // delay, and partitions fail heartbeats exactly like Map-Requests. The
+  // verdict is decided once per heartbeat: whichever of {ack arrival,
+  // timeout} fires first wins (a late ack after the timeout is ignored,
+  // as the miss was already charged).
+  auto resolved = std::make_shared<bool>(false);
+  const net::Ipv4Address source = st.probe_source;
+  const net::Ipv4Address target = servers_[server]->rloc();
+  control_send_(source, target, 64, [this, server, source, target, resolved] {
+    if (!servers_[server]->online()) return;  // a down server never answers
+    control_send_(target, source, 64, [this, server, resolved] {
+      if (*resolved) return;
+      *resolved = true;
+      heartbeat_verdict(server, /*answered=*/true);
+    });
+  });
+  simulator_.schedule_after(config_.heartbeat_timeout, [this, server, resolved] {
+    if (*resolved) return;
+    *resolved = true;
+    heartbeat_verdict(server, /*answered=*/false);
+  });
+  simulator_.schedule_after(config_.heartbeat_interval, [this, server] { heartbeat(server); });
+}
+
+void HaMonitor::heartbeat_verdict(std::size_t server, bool answered) {
+  ServerState& st = state_[server];
+  if (answered) {
+    st.misses = 0;
+    if (!st.up && ++st.ack_streak >= config_.up_after_acks) {
+      st.up = true;
+      st.ack_streak = 0;
+      ++counters_.failbacks;
+      emit(telemetry::EventKind::Failback, server,
+           "restored after " + std::to_string(config_.up_after_acks) + " acks");
+    }
+    return;
+  }
+  ++counters_.heartbeat_misses;
+  st.ack_streak = 0;
+  if (st.up && ++st.misses >= config_.down_after_misses) {
+    st.up = false;
+    st.misses = 0;
+    ++counters_.failovers;
+    emit(telemetry::EventKind::Failover, server,
+         "declared down after " + std::to_string(config_.down_after_misses) + " misses");
+  }
+}
+
+void HaMonitor::anti_entropy_round() {
+  ++counters_.anti_entropy_rounds;
+  last_divergence_ = 0;
+  const net::Ipv4Address primary_rloc = servers_[0]->rloc();
+  if (servers_[0]->online()) {
+    for (std::size_t i = 1; i < databases_.size(); ++i) {
+      // Digest query out to the replica; only a live replica answers. The
+      // repair exchange is one more round trip carrying the differing
+      // entries (modeled as a single reconcile at arrival — both sides
+      // converge to the newest-registration-wins merge).
+      control_send_(primary_rloc, servers_[i]->rloc(), 72, [this, i, primary_rloc] {
+        if (!servers_[i]->online() || !servers_[0]->online()) return;
+        if (databases_[0]->digest() == databases_[i]->digest()) return;
+        ++counters_.digest_mismatches;
+        control_send_(servers_[i]->rloc(), primary_rloc, 256, [this, i] {
+          if (!servers_[i]->online() || !servers_[0]->online()) return;
+          const lisp::MapServer::ReconcileStats stats = databases_[0]->reconcile_with(
+              *databases_[i], simulator_.now(), config_.tombstone_horizon);
+          const std::uint64_t repaired = stats.total();
+          counters_.anti_entropy_repairs += repaired;
+          last_divergence_ += repaired;
+          if (repaired > 0) {
+            emit(telemetry::EventKind::AntiEntropy, i,
+                 "reconciled " + std::to_string(repaired) + " entries with primary");
+          }
+        });
+      });
+    }
+  }
+  simulator_.schedule_after(config_.anti_entropy_interval, [this] { anti_entropy_round(); });
+}
+
+void HaMonitor::emit(telemetry::EventKind kind, std::size_t server, std::string detail) {
+  if (!event_hook_) return;
+  event_hook_(kind, "routing_server[" + std::to_string(server) + "]", std::move(detail));
+}
+
+void HaMonitor::register_metrics(telemetry::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "heartbeats_sent"),
+                            [this] { return counters_.heartbeats_sent; });
+  registry.register_counter(telemetry::join(prefix, "heartbeat_misses"),
+                            [this] { return counters_.heartbeat_misses; });
+  registry.register_counter(telemetry::join(prefix, "failovers"),
+                            [this] { return counters_.failovers; });
+  registry.register_counter(telemetry::join(prefix, "failbacks"),
+                            [this] { return counters_.failbacks; });
+  registry.register_counter(telemetry::join(prefix, "anti_entropy_rounds"),
+                            [this] { return counters_.anti_entropy_rounds; });
+  registry.register_counter(telemetry::join(prefix, "digest_mismatches"),
+                            [this] { return counters_.digest_mismatches; });
+  registry.register_counter(telemetry::join(prefix, "anti_entropy_repairs"),
+                            [this] { return counters_.anti_entropy_repairs; });
+  registry.register_gauge(telemetry::join(prefix, "servers_up"), [this] {
+    std::size_t up = 0;
+    for (const ServerState& st : state_) up += st.up ? 1 : 0;
+    return static_cast<double>(up);
+  });
+  registry.register_gauge(telemetry::join(prefix, "replica_divergence"),
+                          [this] { return static_cast<double>(last_divergence_); });
+}
+
+}  // namespace sda::fabric

@@ -1,0 +1,120 @@
+// Control-plane high availability: server health tracking, failover, and
+// replica anti-entropy (PR 4).
+//
+// The paper's deployments run the routing server as a VM that can crash or
+// be partitioned away (§4.1 scale-out, §5 war stories). This monitor gives
+// each edge group a heartbeat on its assigned routing server: the group's
+// lead edge probes the server over the real (lossy, partitionable) control
+// plane, N consecutive misses declare it down, and Map-Requests plus
+// reliable-register acks fail over to the next live replica. Fail-back is
+// hysteretic — a recovering server must answer several consecutive
+// heartbeats before traffic returns, so a flapping VM cannot thrash the
+// edges.
+//
+// Replicas that were down (or partitioned) miss the registrations fanned
+// out during the outage window. The anti-entropy loop periodically
+// exchanges order-independent database digests between the primary and
+// each replica and reconciles divergent pairs (newest-registration-wins,
+// tombstones propagate deletions), so a healed replica converges without
+// replaying the feed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/config.hpp"
+#include "lisp/map_server.hpp"
+#include "lisp/map_server_node.hpp"
+#include "net/ip_address.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace sda::telemetry {
+class MetricsRegistry;
+}
+
+namespace sda::fabric {
+
+class HaMonitor {
+ public:
+  /// Control-plane delivery (edge RLOC <-> server RLOC); heartbeats and
+  /// digest exchanges ride the same lossy underlay as every other control
+  /// message, so partitions and loss fail them realistically.
+  using ControlSend = std::function<void(net::Ipv4Address from, net::Ipv4Address to,
+                                         std::size_t bytes, std::function<void()> action)>;
+  /// Flight-recorder hook (Failover / Failback / AntiEntropy events).
+  using EventHook = std::function<void(telemetry::EventKind kind, const std::string& node,
+                                       std::string detail)>;
+
+  /// `servers[i]` is routing server i's queueing front end and
+  /// `databases[i]` the MapServer behind it (index 0 = the primary).
+  HaMonitor(sim::Simulator& simulator, HaConfig config,
+            std::vector<lisp::MapServerNode*> servers,
+            std::vector<lisp::MapServer*> databases, ControlSend control_send,
+            EventHook event_hook);
+
+  /// Sets where server `i`'s heartbeats originate (normally the lead edge
+  /// of the group assigned to it). Defaults to the server's own RLOC.
+  void set_probe_source(std::size_t server, net::Ipv4Address edge_rloc);
+
+  /// Arms the heartbeat and anti-entropy timers. Both are perpetual —
+  /// drive the simulation with run_until(), not run().
+  void start();
+
+  [[nodiscard]] bool failover_enabled() const { return config_.failover; }
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  [[nodiscard]] bool server_up(std::size_t i) const { return state_[i].up; }
+
+  /// The server index a group homed on `home` should currently use: the
+  /// home server while it is believed up, otherwise the next live replica
+  /// (wrapping). With every server down — or failover disabled — the home
+  /// server is returned (keep trying; retransmission covers the gap).
+  [[nodiscard]] std::size_t active_server_for(std::size_t home) const;
+
+  struct Counters {
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeat_misses = 0;
+    std::uint64_t failovers = 0;   // servers declared down
+    std::uint64_t failbacks = 0;   // servers restored after hysteresis
+    std::uint64_t anti_entropy_rounds = 0;
+    std::uint64_t digest_mismatches = 0;
+    std::uint64_t anti_entropy_repairs = 0;  // entries pushed/pulled/removed
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Entries repaired by the most recent anti-entropy round — the
+  /// replica-divergence convergence metric (0 once replicas agree).
+  [[nodiscard]] std::uint64_t last_divergence() const { return last_divergence_; }
+
+  /// Pull probes under `prefix` (e.g. "ha"): counters above plus a
+  /// servers_up gauge and the last-round divergence gauge.
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
+
+ private:
+  struct ServerState {
+    net::Ipv4Address probe_source;
+    bool up = true;
+    unsigned misses = 0;      // consecutive unanswered heartbeats while up
+    unsigned ack_streak = 0;  // consecutive answered heartbeats while down
+  };
+
+  void heartbeat(std::size_t server);
+  void heartbeat_verdict(std::size_t server, bool answered);
+  void anti_entropy_round();
+  void emit(telemetry::EventKind kind, std::size_t server, std::string detail);
+
+  sim::Simulator& simulator_;
+  HaConfig config_;
+  std::vector<lisp::MapServerNode*> servers_;
+  std::vector<lisp::MapServer*> databases_;
+  ControlSend control_send_;
+  EventHook event_hook_;
+  std::vector<ServerState> state_;
+  Counters counters_;
+  std::uint64_t last_divergence_ = 0;
+};
+
+}  // namespace sda::fabric

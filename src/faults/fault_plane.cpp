@@ -131,6 +131,18 @@ void FaultPlane::server_crash(lisp::MapServerNode& node, sim::Duration at,
   });
 }
 
+void FaultPlane::policy_server_outage(policy::PolicyServer& server, sim::Duration at,
+                                      sim::Duration duration) {
+  simulator_.schedule_after(at, [this, &server] {
+    server.set_online(false);
+    record_fault("policy server outage", "policy");
+  });
+  simulator_.schedule_after(at + duration, [this, &server] {
+    server.set_online(true);
+    record_fault("policy server restored", "policy");
+  });
+}
+
 void FaultPlane::record_fault(const char* what, const std::string& subject) {
   if (recorder_ == nullptr || !recorder_->enabled()) return;
   std::string detail = what;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lisp/map_server_node.hpp"
+#include "policy/policy_server.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "underlay/network.hpp"
@@ -92,6 +93,12 @@ class FaultPlane {
   /// process restart in front of durable state.
   void server_crash(lisp::MapServerNode& node, sim::Duration at, sim::Duration downtime,
                     bool preserve_database);
+
+  /// Policy-server outage window [at, at + duration): authentications and
+  /// rule downloads fail until the server returns (edges retry downloads;
+  /// the SGACL fail mode governs traffic in between).
+  void policy_server_outage(policy::PolicyServer& server, sim::Duration at,
+                            sim::Duration duration);
 
   // --- Introspection ------------------------------------------------------
 

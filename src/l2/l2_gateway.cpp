@@ -27,8 +27,9 @@ void L2Gateway::handle_broadcast(dataplane::EdgeRouter& router,
   }
 
   const net::MacAddress source_mac = source.mac;
-  lookup_mac_(target_ip_eid, [this, &router, source_mac, frame,
-                              vn = source.vn](std::optional<net::MacAddress> mac) {
+  lookup_mac_(router.rloc(), target_ip_eid,
+              [this, &router, source_mac, frame,
+               vn = source.vn](std::optional<net::MacAddress> mac) {
     if (!mac) {
       ++counters_.unknown_target;  // no binding: silently absorbed
       return;
@@ -42,8 +43,8 @@ void L2Gateway::handle_broadcast(dataplane::EdgeRouter& router,
     ++counters_.converted_unicast;
 
     const net::VnEid mac_eid{vn, net::Eid{*mac}};
-    lookup_rloc_(mac_eid, [this, &router, source_mac,
-                           unicast](std::optional<net::Ipv4Address> rloc) {
+    lookup_rloc_(router.rloc(), mac_eid,
+                 [this, &router, source_mac, unicast](std::optional<net::Ipv4Address> rloc) {
       const dataplane::AttachedEndpoint* src = router.find_endpoint(source_mac);
       if (!src) return;  // source detached while resolving
       if (rloc) {

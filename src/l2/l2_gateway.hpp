@@ -27,10 +27,13 @@ class L2Gateway {
  public:
   /// Control-plane hook: resolve the MAC bound to an overlay IP. The
   /// callback may fire asynchronously (after control-plane latency).
-  using LookupMac = std::function<void(const net::VnEid& ip_eid,
+  /// `edge_rloc` identifies the requesting edge so the fabric can route
+  /// the query through that edge's assigned routing server (and its
+  /// failover path) instead of a hardcoded primary.
+  using LookupMac = std::function<void(net::Ipv4Address edge_rloc, const net::VnEid& ip_eid,
                                        std::function<void(std::optional<net::MacAddress>)>)>;
-  /// Control-plane hook: resolve the RLOC serving a MAC EID.
-  using LookupRloc = std::function<void(const net::VnEid& mac_eid,
+  /// Control-plane hook: resolve the RLOC serving a MAC EID (same routing).
+  using LookupRloc = std::function<void(net::Ipv4Address edge_rloc, const net::VnEid& mac_eid,
                                         std::function<void(std::optional<net::Ipv4Address>)>)>;
 
   L2Gateway(LookupMac lookup_mac, LookupRloc lookup_rloc)

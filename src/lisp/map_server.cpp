@@ -7,9 +7,14 @@
 
 namespace sda::lisp {
 
+bool equivalent(const MappingRecord& a, const MappingRecord& b) {
+  return a.rlocs == b.rlocs && a.ttl_seconds == b.ttl_seconds && a.group == b.group;
+}
+
 RegisterOutcome MapServer::register_mapping(const net::VnEid& eid, const MappingRecord& record) {
   assert(!record.rlocs.empty());
   ++stats_.registers;
+  tombstones_.erase(eid);
   auto& db = databases_[eid.vn].family(eid.eid.family());
   const trie::BitKey key = trie::BitKey::from_eid(eid.eid);
 
@@ -44,7 +49,7 @@ void MapServer::register_prefix(net::VnId vn, const net::Ipv6Prefix& prefix,
   databases_[vn].v6.insert(trie::BitKey::from_ipv6_prefix(prefix), record);
 }
 
-bool MapServer::deregister(const net::VnEid& eid, net::Ipv4Address owner) {
+bool MapServer::deregister(const net::VnEid& eid, net::Ipv4Address owner, sim::SimTime now) {
   const auto it = databases_.find(eid.vn);
   if (it == databases_.end()) return false;
   auto& db = it->second.family(eid.eid.family());
@@ -52,6 +57,7 @@ bool MapServer::deregister(const net::VnEid& eid, net::Ipv4Address owner) {
   const MappingRecord* existing = db.find_exact(key);
   if (!existing || existing->primary_rloc() != owner) return false;
   db.erase(key);
+  tombstones_[eid] = now;
   ++stats_.deregisters;
   publish(eid, nullptr);
   return true;
@@ -67,6 +73,7 @@ std::size_t MapServer::expire_registrations(sim::SimTime now) {
   for (const auto& eid : doomed) {
     auto& db = databases_[eid.vn].family(eid.eid.family());
     db.erase(trie::BitKey::from_eid(eid.eid));
+    tombstones_[eid] = now;
     ++stats_.expirations;
     publish(eid, nullptr);
   }
@@ -76,6 +83,7 @@ std::size_t MapServer::expire_registrations(sim::SimTime now) {
 void MapServer::clear() {
   databases_.clear();
   l2_bindings_.clear();
+  tombstones_.clear();  // a crashed server forgets its deletions too
 }
 
 std::optional<MappingRecord> MapServer::resolve(const net::VnEid& eid) const {
@@ -106,9 +114,100 @@ MapReply MapServer::answer(const MapRequest& request) const {
   } else {
     ++stats_.negative_replies;
     reply.action = MapReplyAction::NativelyForward;
-    reply.ttl_seconds = 60;  // short negative-cache TTL
+    reply.ttl_seconds = negative_ttl_seconds_;
   }
   return reply;
+}
+
+namespace {
+
+// splitmix64 finalizer: scrambles per-entry hashes before the XOR fold so
+// near-identical entries (adjacent EIDs, same RLOC) don't cancel out.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t entry_hash(const net::VnEid& eid, const MappingRecord& record) {
+  std::uint64_t h = std::hash<net::VnEid>{}(eid);
+  const auto fold = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001B3ull; };
+  for (const auto& rloc : record.rlocs) {
+    fold(rloc.address.value());
+    fold((std::uint64_t{rloc.priority} << 8) | std::uint64_t{rloc.weight});
+  }
+  fold(record.ttl_seconds);
+  fold(record.group.value());
+  return mix64(h);
+}
+
+}  // namespace
+
+std::uint64_t MapServer::digest() const {
+  std::uint64_t d = 0;
+  walk([&d](const net::VnEid& eid, const MappingRecord& record) {
+    d ^= entry_hash(eid, record);
+  });
+  return d;
+}
+
+MapServer::ReconcileStats MapServer::reconcile_with(MapServer& peer, sim::SimTime now,
+                                                    sim::Duration tombstone_horizon) {
+  ReconcileStats stats;
+  std::unordered_map<net::VnEid, MappingRecord> mine, theirs;
+  walk([&mine](const net::VnEid& eid, const MappingRecord& r) { mine.emplace(eid, r); });
+  peer.walk([&theirs](const net::VnEid& eid, const MappingRecord& r) { theirs.emplace(eid, r); });
+
+  for (const auto& [eid, record] : mine) {
+    const auto it = theirs.find(eid);
+    if (it != theirs.end()) {
+      if (equivalent(record, it->second)) continue;
+      // Both sides hold the EID with different contents: newest wins.
+      if (record.refreshed_at >= it->second.refreshed_at) {
+        peer.register_mapping(eid, record);
+        ++stats.pushed;
+      } else {
+        register_mapping(eid, it->second);
+        ++stats.pulled;
+      }
+      continue;
+    }
+    // Only we hold it. If the peer deleted it after our copy was last
+    // refreshed, the deletion wins; otherwise the peer simply missed it.
+    const auto peer_death = peer.tombstone(eid);
+    if (peer_death && *peer_death >= record.refreshed_at) {
+      deregister(eid, record.primary_rloc(), now);
+      ++stats.removed_here;
+    } else {
+      peer.register_mapping(eid, record);
+      ++stats.pushed;
+    }
+  }
+  for (const auto& [eid, record] : theirs) {
+    if (mine.contains(eid)) continue;  // handled above
+    const auto my_death = tombstone(eid);
+    if (my_death && *my_death >= record.refreshed_at) {
+      peer.deregister(eid, record.primary_rloc(), now);
+      ++stats.removed_peer;
+    } else {
+      register_mapping(eid, record);
+      ++stats.pulled;
+    }
+  }
+
+  const auto prune = [&](std::unordered_map<net::VnEid, sim::SimTime>& tombs) {
+    std::erase_if(tombs, [&](const auto& kv) { return now - kv.second > tombstone_horizon; });
+  };
+  prune(tombstones_);
+  prune(peer.tombstones_);
+  return stats;
+}
+
+std::optional<sim::SimTime> MapServer::tombstone(const net::VnEid& eid) const {
+  const auto it = tombstones_.find(eid);
+  if (it == tombstones_.end()) return std::nullopt;
+  return it->second;
 }
 
 void MapServer::bind_l2(const net::VnEid& ip_eid, const net::MacAddress& mac) {

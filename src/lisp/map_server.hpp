@@ -12,6 +12,7 @@
 // wraps it with the queueing/service-time front end used in simulations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -49,6 +50,11 @@ struct MappingRecord {
   friend bool operator==(const MappingRecord&, const MappingRecord&) = default;
 };
 
+/// Replica-comparison equality: locator set, TTL, and group — but not
+/// refreshed_at, which legitimately differs across replicas (each node
+/// stamps its own arrival time for the same fanned-out register).
+[[nodiscard]] bool equivalent(const MappingRecord& a, const MappingRecord& b);
+
 /// Outcome of a registration, including mobility detection.
 struct RegisterOutcome {
   bool created = false;  // first registration of this EID
@@ -78,7 +84,9 @@ class MapServer {
 
   /// Removes a host mapping, but only if `owner` still owns it (guards
   /// against a stale deregistration racing a re-registration elsewhere).
-  bool deregister(const net::VnEid& eid, net::Ipv4Address owner);
+  /// `now` timestamps the tombstone left behind so anti-entropy can tell a
+  /// deliberate deletion apart from a registration the peer never saw.
+  bool deregister(const net::VnEid& eid, net::Ipv4Address owner, sim::SimTime now = {});
 
   /// Soft-state aging: removes (and publishes withdrawals for) every host
   /// registration whose TTL elapsed since its last refresh. Prefix
@@ -101,6 +109,42 @@ class MapServer {
   /// Builds the MapReply for a request (positive, or negative with
   /// NativelyForward so the ITR keeps using the border default).
   [[nodiscard]] MapReply answer(const MapRequest& request) const;
+
+  /// TTL stamped on negative replies (the ITR's negative map-cache window:
+  /// how long a miss is remembered before the EID is re-resolved).
+  void set_negative_ttl_seconds(std::uint32_t ttl) { negative_ttl_seconds_ = ttl; }
+  [[nodiscard]] std::uint32_t negative_ttl_seconds() const { return negative_ttl_seconds_; }
+
+  // --- Replica anti-entropy (PR 4) ---------------------------------------
+
+  /// Order-independent digest over all host mappings (EID, locator set,
+  /// TTL, group — refreshed_at excluded, see equivalent()). Two replicas
+  /// with the same registration contents produce the same digest, so a
+  /// cheap digest exchange detects divergence without shipping the tables.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  struct ReconcileStats {
+    std::size_t pushed = 0;        // mappings copied into the peer
+    std::size_t pulled = 0;        // mappings copied from the peer
+    std::size_t removed_here = 0;  // deletions propagated from the peer
+    std::size_t removed_peer = 0;  // deletions propagated to the peer
+    [[nodiscard]] std::size_t total() const {
+      return pushed + pulled + removed_here + removed_peer;
+    }
+  };
+
+  /// Two-way newest-wins merge with `peer`: mappings only one side holds
+  /// are copied across unless the other side's tombstone proves a newer
+  /// deletion; mappings both hold converge on the later refreshed_at.
+  /// Writes go through register_mapping/deregister, so whichever side has
+  /// publish subscribers (the primary) notifies them of repairs. Tombstones
+  /// older than `tombstone_horizon` are pruned on both sides afterwards.
+  ReconcileStats reconcile_with(MapServer& peer, sim::SimTime now,
+                                sim::Duration tombstone_horizon = std::chrono::minutes{5});
+
+  /// Deletion marker left by deregister/expire, if one is still retained.
+  [[nodiscard]] std::optional<sim::SimTime> tombstone(const net::VnEid& eid) const;
+  [[nodiscard]] std::size_t tombstone_count() const { return tombstones_.size(); }
 
   void set_move_callback(MoveCallback cb) { on_move_ = std::move(cb); }
   void set_publish_callback(PublishCallback cb) { on_publish_ = std::move(cb); }
@@ -168,6 +212,10 @@ class MapServer {
   // std::map keeps VN iteration order deterministic for walk().
   std::map<net::VnId, VnDatabase> databases_;
   std::unordered_map<net::VnEid, net::MacAddress> l2_bindings_;
+  // Deletion markers (EID -> when removed) so reconcile_with can tell
+  // "peer deleted this" from "peer never heard of this". Crash-cleared.
+  std::unordered_map<net::VnEid, sim::SimTime> tombstones_;
+  std::uint32_t negative_ttl_seconds_ = 60;
   MoveCallback on_move_;
   PublishCallback on_publish_;
   mutable Stats stats_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+
 namespace sda::lisp {
 
 MapServerNode::MapServerNode(sim::Simulator& simulator, MapServer& server,
@@ -36,11 +38,20 @@ void MapServerNode::crash(bool preserve_database) {
   if (!preserve_database) server_.clear();
 }
 
-void MapServerNode::submit_request(const MapRequest& request, RequestCallback callback) {
+bool MapServerNode::admission_full(const ShedCallback& on_shed) {
+  if (config_.admission_limit == 0 || in_flight_ < config_.admission_limit) return false;
+  ++shed_submissions_;
+  if (on_shed) on_shed(config_.shed_retry_after);
+  return true;
+}
+
+void MapServerNode::submit_request(const MapRequest& request, RequestCallback callback,
+                                   ShedCallback on_shed) {
   if (!online_) {
     ++dropped_submissions_;
     return;
   }
+  if (admission_full(on_shed)) return;
   track_backlog();
   const sim::SimTime arrival = simulator_.now();
   const sim::SimTime done = reserve_worker(jittered(config_.request_service));
@@ -53,11 +64,13 @@ void MapServerNode::submit_request(const MapRequest& request, RequestCallback ca
   });
 }
 
-void MapServerNode::submit_register(const MapRegister& registration, RegisterCallback callback) {
+void MapServerNode::submit_register(const MapRegister& registration, RegisterCallback callback,
+                                    ShedCallback on_shed) {
   if (!online_) {
     ++dropped_submissions_;
     return;
   }
+  if (admission_full(on_shed)) return;
   track_backlog();
   assert(!registration.rlocs.empty());
   const sim::SimTime arrival = simulator_.now();
@@ -67,7 +80,8 @@ void MapServerNode::submit_register(const MapRegister& registration, RegisterCal
     RegisterOutcome outcome;
     if (registration.ttl_seconds == 0) {
       // Zero-TTL register is a withdrawal (clean endpoint departure).
-      server_.deregister(registration.eid, registration.rlocs.front().address);
+      server_.deregister(registration.eid, registration.rlocs.front().address,
+                         simulator_.now());
     } else {
       MappingRecord record;
       record.rlocs = registration.rlocs;
@@ -86,6 +100,20 @@ void MapServerNode::submit_register(const MapRegister& registration, RegisterCal
                                                    : registration.rlocs};
     if (cb) cb(outcome, notify, sojourn);
   });
+}
+
+void MapServerNode::register_metrics(telemetry::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+  registry.register_counter(telemetry::join(prefix, "dropped_submissions"),
+                            [this] { return dropped_submissions_; });
+  registry.register_counter(telemetry::join(prefix, "shed_submissions"),
+                            [this] { return shed_submissions_; });
+  registry.register_gauge(telemetry::join(prefix, "in_flight"),
+                          [this] { return static_cast<double>(in_flight_); });
+  registry.register_gauge(telemetry::join(prefix, "peak_backlog"),
+                          [this] { return static_cast<double>(peak_backlog_); });
+  registry.register_gauge(telemetry::join(prefix, "online"),
+                          [this] { return online_ ? 1.0 : 0.0; });
 }
 
 }  // namespace sda::lisp

@@ -24,6 +24,12 @@ struct MapServerNodeConfig {
   sim::Duration request_service = std::chrono::microseconds{25};
   sim::Duration register_service = std::chrono::microseconds{30};
   double jitter_sigma = 0.12;  // lognormal sigma on service time
+  /// Bounded admission: jobs beyond this many waiting-or-in-service are
+  /// shed with an explicit retry-after instead of queueing unboundedly
+  /// (onboarding-storm overload protection). 0 = unbounded (legacy).
+  std::size_t admission_limit = 0;
+  /// Retry-after hint handed to the shed callback.
+  sim::Duration shed_retry_after = std::chrono::milliseconds{200};
 };
 
 class MapServerNode {
@@ -31,6 +37,9 @@ class MapServerNode {
   using RequestCallback = std::function<void(const MapReply&, sim::Duration sojourn)>;
   using RegisterCallback =
       std::function<void(const RegisterOutcome&, const MapNotify&, sim::Duration sojourn)>;
+  /// Fired instead of the completion callback when bounded admission sheds
+  /// the job; carries the server's retry-after hint.
+  using ShedCallback = std::function<void(sim::Duration retry_after)>;
 
   MapServerNode(sim::Simulator& simulator, MapServer& server, MapServerNodeConfig config,
                 std::uint64_t seed = 1);
@@ -42,11 +51,16 @@ class MapServerNode {
   /// Enqueues a Map-Request; the callback fires when the server answers.
   /// While the node is offline the submission is silently dropped — exactly
   /// what a client of a crashed server observes (no error, no answer).
-  void submit_request(const MapRequest& request, RequestCallback callback);
+  /// When bounded admission is configured and the queue is full, `on_shed`
+  /// fires (synchronously) instead and the job is never enqueued.
+  void submit_request(const MapRequest& request, RequestCallback callback,
+                      ShedCallback on_shed = {});
 
   /// Enqueues a Map-Register; the callback fires with the outcome and the
-  /// acknowledging Map-Notify. Dropped silently while offline.
-  void submit_register(const MapRegister& registration, RegisterCallback callback);
+  /// acknowledging Map-Notify. Dropped silently while offline; shed like
+  /// submit_request when the admission queue is full.
+  void submit_register(const MapRegister& registration, RegisterCallback callback,
+                       ShedCallback on_shed = {});
 
   // --- Fault injection (outage windows, crash/restart) --------------------
 
@@ -63,6 +77,12 @@ class MapServerNode {
   /// Submissions swallowed while offline.
   [[nodiscard]] std::uint64_t dropped_submissions() const { return dropped_submissions_; }
 
+  /// Submissions shed by bounded admission (overload, not outage).
+  [[nodiscard]] std::uint64_t shed_submissions() const { return shed_submissions_; }
+
+  /// Jobs currently waiting or in service.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
   /// Sojourn-time samples (seconds) collected since construction.
   [[nodiscard]] const stats::Summary& request_sojourns() const { return request_sojourns_; }
   [[nodiscard]] const stats::Summary& register_sojourns() const { return register_sojourns_; }
@@ -70,7 +90,12 @@ class MapServerNode {
   /// Highest backlog observed (requests waiting or in service).
   [[nodiscard]] std::size_t peak_backlog() const { return peak_backlog_; }
 
+  /// Pull probes: drops/sheds/backlog under `prefix` (e.g. "routing_server[1]").
+  void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
+
  private:
+  /// True (and counted) when the job must be shed; fires on_shed.
+  bool admission_full(const ShedCallback& on_shed);
   /// Reserves the earliest-available worker from `now`, returning the
   /// completion time of a job with the given service time.
   sim::SimTime reserve_worker(sim::Duration service);
@@ -84,6 +109,7 @@ class MapServerNode {
   std::vector<sim::SimTime> worker_free_at_;
   bool online_ = true;
   std::uint64_t dropped_submissions_ = 0;
+  std::uint64_t shed_submissions_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t peak_backlog_ = 0;
   stats::Summary request_sojourns_;

@@ -48,6 +48,10 @@ void PolicyServer::update_rule(net::VnId vn, net::GroupId source, net::GroupId d
 
 std::optional<EndpointPolicy> PolicyServer::authenticate(const AccessRequest& request,
                                                          net::Ipv4Address edge_rloc) {
+  if (!online_) {
+    ++stats_.auth_unavailable;
+    return std::nullopt;
+  }
   const auto it = endpoints_.find(request.credential);
   if (it == endpoints_.end() || it->second.secret != request.secret) {
     ++stats_.auth_rejects;
@@ -84,6 +88,10 @@ void PolicyServer::register_metrics(telemetry::MetricsRegistry& registry,
                             [this] { return stats_.auth_accepts; });
   registry.register_counter(telemetry::join(prefix, "auth_rejects"),
                             [this] { return stats_.auth_rejects; });
+  registry.register_counter(telemetry::join(prefix, "auth_unavailable"),
+                            [this] { return stats_.auth_unavailable; });
+  registry.register_gauge(telemetry::join(prefix, "online"),
+                          [this] { return online_ ? 1.0 : 0.0; });
   registry.register_counter(telemetry::join(prefix, "rule_downloads"),
                             [this] { return stats_.rule_downloads; });
   registry.register_counter(telemetry::join(prefix, "rule_push_messages"),

@@ -76,8 +76,15 @@ class PolicyServer {
 
   /// Authenticates an endpoint. On success returns its policy and records
   /// that `edge_rloc` now hosts the endpoint's group (for rule pushes).
+  /// While the server is offline every attempt fails (counted separately
+  /// from credential rejects).
   [[nodiscard]] std::optional<EndpointPolicy> authenticate(const AccessRequest& request,
                                                            net::Ipv4Address edge_rloc);
+
+  /// Availability switch for fault injection: an offline policy server
+  /// refuses authentications and rule downloads until it comes back.
+  void set_online(bool online) { online_ = online; }
+  [[nodiscard]] bool online() const { return online_; }
 
   /// The SGACL rules an edge must hold for a locally attached destination
   /// group (downloaded during onboarding, Fig. 3 step 2).
@@ -99,6 +106,7 @@ class PolicyServer {
   struct Stats {
     std::uint64_t auth_accepts = 0;
     std::uint64_t auth_rejects = 0;
+    std::uint64_t auth_unavailable = 0;        // attempts while offline
     std::uint64_t rule_downloads = 0;
     std::uint64_t rule_push_messages = 0;      // rule-change fan-out count (§5.4)
     std::uint64_t endpoint_change_signals = 0; // group-move signal count (§5.4)
@@ -131,6 +139,7 @@ class PolicyServer {
   std::map<net::VnId, ConnectivityMatrix> matrices_;
   // (vn, destination group) -> edges currently hosting that group.
   std::unordered_map<VnGroup, std::unordered_set<net::Ipv4Address>, VnGroupHash> group_hosts_;
+  bool online_ = true;
   EndpointChangedCallback on_endpoint_changed_;
   RulesPushCallback on_rules_push_;
   mutable Stats stats_;  // counters tick inside const query paths too

@@ -25,6 +25,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::FeedState: return "feed-state";
     case EventKind::Fault: return "fault";
     case EventKind::Trace: return "trace";
+    case EventKind::Failover: return "failover";
+    case EventKind::Failback: return "failback";
+    case EventKind::AntiEntropy: return "anti-entropy";
+    case EventKind::Shed: return "shed";
     case EventKind::Custom: return "custom";
   }
   return "unknown";

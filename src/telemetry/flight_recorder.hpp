@@ -38,6 +38,10 @@ enum class EventKind : std::uint8_t {
   FeedState,
   Fault,
   Trace,
+  Failover,     // edge group's requests repointed at a replica server
+  Failback,     // hysteresis satisfied: back on the home server
+  AntiEntropy,  // replica digest exchange / reconciliation round
+  Shed,         // bounded admission shed a control message
   Custom,
 };
 

@@ -1,0 +1,347 @@
+// Control-plane high availability (PR 4), end to end on a real fabric:
+// heartbeat-driven routing-server failover with fail-back hysteresis,
+// replica anti-entropy after a cold crash, overload shedding under an
+// onboarding storm, and fail-open vs fail-closed policy during a
+// policy-server outage.
+//
+// The HA heartbeat and anti-entropy timers are perpetual, so every HA test
+// drives the clock with run_until() (never run(), which would spin).
+#include <gtest/gtest.h>
+
+#include "faults/fault_plane.hpp"
+#include "fabric/fabric.hpp"
+
+namespace sda::faults {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+constexpr VnId kCorp{100};
+constexpr GroupId kEmployees{10};
+constexpr GroupId kGuests{20};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+struct HaFixture : ::testing::Test {
+  void SetUp() override {
+    fabric::FabricConfig cfg;
+    cfg.routing_servers = 2;
+    cfg.ha.failover = true;
+    cfg.ha.heartbeat_interval = milliseconds{100};
+    cfg.ha.heartbeat_timeout = milliseconds{20};
+    cfg.ha.down_after_misses = 3;
+    cfg.ha.up_after_acks = 4;
+    cfg.ha.anti_entropy_interval = milliseconds{500};
+    cfg.map_request_retries = 8;
+    cfg.map_register_retries = 10;
+    configure(cfg);
+    fabric = std::make_unique<fabric::SdaFabric>(sim, cfg);
+    fabric->add_border("b0");
+    fabric->add_border("b1");
+    for (int e = 0; e < 4; ++e) {
+      const std::string name = "e" + std::to_string(e);
+      fabric->add_edge(name);
+      fabric->link(name, "b0");
+      fabric->link(name, "b1");
+    }
+    fabric->link("b0", "b1");
+    fabric->finalize();
+    fabric->define_vn({kCorp, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+    fabric->set_delivery_listener([this](const dataplane::AttachedEndpoint& e,
+                                         const net::OverlayFrame&, sim::SimTime) {
+      deliveries.push_back(e.credential);
+    });
+  }
+
+  virtual void configure(fabric::FabricConfig&) {}
+
+  void provision(const std::string& credential, MacAddress m,
+                 GroupId group = kEmployees) {
+    fabric::EndpointDefinition def;
+    def.credential = credential;
+    def.secret = "pw";
+    def.mac = m;
+    def.vn = kCorp;
+    def.group = group;
+    fabric->provision_endpoint(def);
+  }
+
+  fabric::OnboardResult connect(const std::string& credential, const std::string& edge) {
+    fabric::OnboardResult result;
+    fabric->connect_endpoint(credential, edge, 1,
+                             [&](const fabric::OnboardResult& r) { result = r; });
+    run_for(seconds{2});
+    return result;
+  }
+
+  void run_for(sim::Duration d) { sim.run_until(sim.now() + d); }
+
+  sim::Simulator sim;
+  std::unique_ptr<fabric::SdaFabric> fabric;
+  std::vector<std::string> deliveries;
+};
+
+TEST_F(HaFixture, FailoverAfterMissesAndFailBackWithHysteresis) {
+  ASSERT_NE(fabric->ha_monitor(), nullptr);
+  const auto* ha = fabric->ha_monitor();
+  run_for(seconds{1});
+  EXPECT_TRUE(ha->server_up(0));
+  EXPECT_TRUE(ha->server_up(1));
+  EXPECT_GT(ha->counters().heartbeats_sent, 0u);
+  EXPECT_EQ(ha->active_server_for(0), 0u);
+
+  // Server 0 goes dark (the probe already in flight counts as miss #1).
+  // Two misses are not enough...
+  fabric->map_server_node(0).set_online(false);
+  run_for(milliseconds{150});
+  EXPECT_TRUE(ha->server_up(0));
+  // ...the third is: declared down, requests repoint at the replica.
+  run_for(milliseconds{350});
+  EXPECT_FALSE(ha->server_up(0));
+  EXPECT_EQ(ha->counters().failovers, 1u);
+  EXPECT_EQ(ha->active_server_for(0), 1u);
+  EXPECT_EQ(ha->active_server_for(1), 1u);
+
+  // Recovery: a couple of answered heartbeats must NOT flap traffic back.
+  fabric->map_server_node(0).set_online(true);
+  run_for(milliseconds{150});
+  EXPECT_FALSE(ha->server_up(0));
+  // After up_after_acks consecutive answers, fail-back.
+  run_for(milliseconds{650});
+  EXPECT_TRUE(ha->server_up(0));
+  EXPECT_EQ(ha->counters().failbacks, 1u);
+  EXPECT_EQ(ha->active_server_for(0), 0u);
+}
+
+struct HaClassicLispFixture : HaFixture {
+  void configure(fabric::FabricConfig& cfg) override {
+    // No border default route: delivery requires an actual resolution, so
+    // a successful send proves the Map-Request found a live server.
+    cfg.default_route_fallback = false;
+    cfg.pending_packet_limit = 8;
+  }
+};
+
+TEST_F(HaClassicLispFixture, RequestsAndRegistrationsRideReplicaDuringOutage) {
+  provision("alice", mac(1));
+  provision("bob", mac(2));
+  provision("camera", mac(3));
+  const auto alice = connect("alice", "e0");  // e0's group is server 0's
+  const auto bob = connect("bob", "e1");
+  ASSERT_TRUE(alice.success && bob.success);
+
+  // Kill server 0 and wait for the heartbeat verdict.
+  fabric->map_server_node(0).set_online(false);
+  run_for(seconds{1});
+  ASSERT_FALSE(fabric->ha_monitor()->server_up(0));
+
+  // alice's edge is homed on the dead server; her first packet parks while
+  // the Map-Request rides the replica, then flushes on the Map-Reply.
+  fabric->endpoint_send_udp(mac(1), bob.ip, 443, 100);
+  run_for(seconds{1});
+  EXPECT_EQ(deliveries, std::vector<std::string>{"bob"});
+  EXPECT_GE(fabric->edge("e0").fib_size(), 1u);
+  EXPECT_GT(fabric->edge("e0").counters().packets_parked, 0u);
+  EXPECT_GT(fabric->edge("e0").counters().parked_flushed, 0u);
+
+  // A registration issued during the outage is acked by the replica, so
+  // onboarding completes while the primary is down.
+  const auto camera = connect("camera", "e0");
+  EXPECT_TRUE(camera.success);
+  EXPECT_EQ(fabric->map_server_replica(1).mapping_count(kCorp), 3u);
+}
+
+TEST_F(HaFixture, AntiEntropyRepairsReplicaAfterColdCrash) {
+  provision("alice", mac(1));
+  provision("bob", mac(2));
+  provision("camera", mac(3));
+  ASSERT_TRUE(connect("alice", "e0").success);
+  ASSERT_TRUE(connect("bob", "e1").success);
+
+  // Replica server crashes losing its database; a registration lands
+  // while it is down (the fan-out copy addressed to it is swallowed).
+  fabric->map_server_node(1).crash(/*preserve_database=*/false);
+  run_for(seconds{1});
+  ASSERT_TRUE(connect("camera", "e2").success);
+  EXPECT_EQ(fabric->map_server_replica(0).mapping_count(kCorp), 3u);
+  EXPECT_EQ(fabric->map_server_replica(1).mapping_count(kCorp), 0u);
+  EXPECT_NE(fabric->map_server_replica(0).digest(), fabric->map_server_replica(1).digest());
+
+  // Restart. The next anti-entropy round (every 500ms) must reconcile the
+  // replica back to entry-by-entry equality with the primary.
+  fabric->map_server_node(1).set_online(true);
+  run_for(seconds{1});
+  EXPECT_EQ(fabric->map_server_replica(1).mapping_count(kCorp), 3u);
+  EXPECT_EQ(fabric->map_server_replica(0).digest(), fabric->map_server_replica(1).digest());
+  fabric->map_server_replica(0).walk([&](const net::VnEid& eid,
+                                         const lisp::MappingRecord& rec) {
+    const auto mirrored = fabric->map_server_replica(1).resolve(eid);
+    ASSERT_TRUE(mirrored.has_value());
+    EXPECT_TRUE(lisp::equivalent(rec, *mirrored));
+  });
+
+  // Convergence is visible in telemetry: repairs counted, and the
+  // divergence gauge returns to zero once replicas agree again.
+  const auto snapshot = fabric->metrics().snapshot();
+  EXPECT_GE(snapshot.counters.at("ha.anti_entropy_repairs"), 3u);
+  EXPECT_GT(snapshot.counters.at("ha.anti_entropy_rounds"), 0u);
+  run_for(seconds{1});  // one more (clean) round
+  EXPECT_EQ(fabric->ha_monitor()->last_divergence(), 0u);
+}
+
+// --- Border default-route failover (underlay reachability, no HA timers) ---
+
+struct BorderFailoverFixture : HaFixture {
+  void configure(fabric::FabricConfig& cfg) override {
+    cfg.routing_servers = 1;
+    cfg.ha = fabric::HaConfig{};  // heartbeats off: plain run() works
+  }
+};
+
+TEST_F(BorderFailoverFixture, DefaultRouteRepointsToLiveBorderAndFailsBack) {
+  provision("alice", mac(1));
+  provision("bob", mac(2));
+  ASSERT_TRUE(connect("alice", "e0").success);
+  const auto bob = connect("bob", "e1");
+  ASSERT_TRUE(bob.success);
+  const auto b0_rloc = fabric->edge("e0").active_border_rloc();
+
+  // Primary border's node goes dark for 2s; the IGP reachability watcher
+  // tells every edge, which repoints its default route at the live border.
+  FaultPlane plane{sim, fabric->underlay(), 0xB0};
+  FlapSchedule schedule;
+  schedule.down_for = seconds{2};
+  const auto b0_node =
+      fabric->underlay().topology().node_by_loopback(fabric->border("b0").rloc());
+  ASSERT_TRUE(b0_node.has_value());
+  plane.flap_node(*b0_node, schedule);
+  run_for(seconds{1});
+  EXPECT_GE(fabric->edge("e0").counters().border_failovers, 1u);
+  EXPECT_NE(fabric->edge("e0").active_border_rloc(), b0_rloc);
+
+  // Cold traffic rides the surviving border's default route meanwhile.
+  fabric->endpoint_send_udp(mac(1), bob.ip, 443, 100);
+  run_for(milliseconds{500});
+  EXPECT_EQ(deliveries, std::vector<std::string>{"bob"});
+
+  // Border returns: deterministic fail-back to the primary.
+  run_for(seconds{2});
+  EXPECT_GE(fabric->edge("e0").counters().border_failbacks, 1u);
+  EXPECT_EQ(fabric->edge("e0").active_border_rloc(), b0_rloc);
+}
+
+// --- Overload-safe degradation (no HA timers: plain run() is fine) ---------
+
+struct StormFixture : HaFixture {
+  void configure(fabric::FabricConfig& cfg) override {
+    cfg.routing_servers = 1;
+    cfg.ha = fabric::HaConfig{};  // heartbeats off
+    cfg.map_server.workers = 1;
+    // Slow the server down so the storm actually builds a backlog: 24
+    // near-simultaneous registers against a 5ms service / 4-slot queue.
+    cfg.map_server.request_service = milliseconds{2};
+    cfg.map_server.register_service = milliseconds{5};
+    cfg.map_server.admission_limit = 4;
+    cfg.map_server.shed_retry_after = milliseconds{100};
+    cfg.map_register_retries = 12;
+  }
+};
+
+TEST_F(StormFixture, OnboardingStormShedsButEveryEndpointCompletes) {
+  constexpr int kHosts = 24;
+  for (int i = 0; i < kHosts; ++i) {
+    provision("h" + std::to_string(i), mac(static_cast<std::uint64_t>(i) + 1));
+  }
+  int succeeded = 0;
+  for (int i = 0; i < kHosts; ++i) {
+    fabric->connect_endpoint("h" + std::to_string(i), "e" + std::to_string(i % 4), 1,
+                             [&](const fabric::OnboardResult& r) {
+                               if (r.success) ++succeeded;
+                             });
+  }
+  sim.run();
+  // The storm hit the admission limit: registers were shed with explicit
+  // retry-after hints, the edges backed off and retried, and every single
+  // onboarding still completed.
+  EXPECT_EQ(succeeded, kHosts);
+  EXPECT_GT(fabric->map_server_node().shed_submissions(), 0u);
+  EXPECT_EQ(fabric->map_server().mapping_count(kCorp), static_cast<std::size_t>(kHosts));
+  std::uint64_t busy = 0;
+  for (const auto& name : fabric->edge_names()) {
+    busy += fabric->edge(name).counters().server_busy;
+  }
+  EXPECT_GT(busy, 0u);
+}
+
+// --- Policy-server outage: fail-open vs fail-closed ------------------------
+
+struct PolicyOutageFixture : HaFixture {
+  void configure(fabric::FabricConfig& cfg) override {
+    cfg.routing_servers = 1;
+    cfg.ha = fabric::HaConfig{};
+    cfg.rule_retry_interval = milliseconds{500};
+    cfg.policy_fail_mode = mode();
+  }
+  virtual dataplane::PolicyFailMode mode() const { return dataplane::PolicyFailMode::Open; }
+
+  /// Onboards alice/bob, then retags bob to kGuests while the policy
+  /// server is in an outage window — the hosting edge's rule download for
+  /// the new group is refused, so the SGACL fail mode decides bob's fate.
+  void retag_during_outage() {
+    provision("alice", mac(1));
+    provision("bob", mac(2));
+    fabric->set_rule({kCorp, kEmployees, kGuests, policy::Action::Allow});
+    alice = connect("alice", "e0");
+    bob = connect("bob", "e1");
+    ASSERT_TRUE(alice.success && bob.success);
+
+    plane = std::make_unique<FaultPlane>(sim, fabric->underlay(), 0xFA11);
+    plane->policy_server_outage(fabric->policy_server(), sim::Duration{0}, seconds{2});
+    run_for(milliseconds{10});
+    ASSERT_FALSE(fabric->policy_server().online());
+    ASSERT_TRUE(fabric->reassign_endpoint_group("bob", kGuests));
+    run_for(milliseconds{200});  // CoA + retag land; download refused
+    ASSERT_GT(fabric->edge("e1").counters().rule_download_failures, 0u);
+  }
+
+  fabric::OnboardResult alice, bob;
+  std::unique_ptr<FaultPlane> plane;
+};
+
+TEST_F(PolicyOutageFixture, FailOpenKeepsTrafficFlowing) {
+  retag_during_outage();
+  fabric->endpoint_send_udp(mac(1), bob.ip, 443, 100);
+  run_for(milliseconds{500});
+  EXPECT_EQ(deliveries, std::vector<std::string>{"bob"});
+  EXPECT_EQ(fabric->edge("e1").sgacl().counters().fail_closed_drops, 0u);
+}
+
+struct PolicyFailClosedFixture : PolicyOutageFixture {
+  dataplane::PolicyFailMode mode() const override {
+    return dataplane::PolicyFailMode::Closed;
+  }
+};
+
+TEST_F(PolicyFailClosedFixture, FailClosedDropsUntilRulesArrive) {
+  retag_during_outage();
+  fabric->endpoint_send_udp(mac(1), bob.ip, 443, 100);
+  run_for(milliseconds{500});
+  // Rules for bob's new group are missing (not merely unmatched): deny.
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_GT(fabric->edge("e1").sgacl().counters().fail_closed_drops, 0u);
+
+  // The outage heals; the edge's retry timer downloads the rules and the
+  // same traffic now passes.
+  run_for(seconds{3});
+  EXPECT_GT(fabric->edge("e1").counters().rule_download_retries, 0u);
+  fabric->endpoint_send_udp(mac(1), bob.ip, 443, 100);
+  run_for(milliseconds{500});
+  EXPECT_EQ(deliveries, std::vector<std::string>{"bob"});
+}
+
+}  // namespace
+}  // namespace sda::faults

@@ -1,0 +1,152 @@
+// Bounded admission on the routing-server front end (overload-safe
+// degradation): beyond the configured limit, submissions are shed with an
+// explicit retry-after instead of queueing unboundedly, so an onboarding
+// storm degrades into deferred work instead of unbounded sojourn times.
+#include <gtest/gtest.h>
+
+#include "lisp/map_server_node.hpp"
+
+namespace sda::lisp {
+namespace {
+
+using net::Eid;
+using net::Ipv4Address;
+using net::Rloc;
+using net::VnEid;
+using net::VnId;
+using std::chrono::milliseconds;
+
+VnEid eid(const char* ip) { return VnEid{VnId{1}, Eid{*Ipv4Address::parse(ip)}}; }
+
+struct AdmissionFixture : ::testing::Test {
+  AdmissionFixture() : node(sim, server, config(), 42) {}
+
+  static MapServerNodeConfig config() {
+    MapServerNodeConfig c;
+    c.rloc = *Ipv4Address::parse("10.0.0.1");
+    c.workers = 2;
+    c.request_service = std::chrono::microseconds{25};
+    c.register_service = std::chrono::microseconds{30};
+    c.jitter_sigma = 0.0;
+    c.admission_limit = 4;  // 2 in service + 2 waiting
+    c.shed_retry_after = milliseconds{150};
+    return c;
+  }
+
+  MapRequest request(const char* ip) {
+    MapRequest r;
+    r.nonce = nonce++;
+    r.eid = eid(ip);
+    return r;
+  }
+
+  sim::Simulator sim;
+  MapServer server;
+  MapServerNode node;
+  std::uint64_t nonce = 1;
+};
+
+TEST_F(AdmissionFixture, BurstBeyondLimitIsShedWithRetryAfter) {
+  int answered = 0;
+  int shed = 0;
+  sim::Duration hint{};
+  for (int i = 0; i < 10; ++i) {
+    node.submit_request(
+        request("10.9.9.9"), [&](const MapReply&, sim::Duration) { ++answered; },
+        [&](sim::Duration retry_after) {
+          ++shed;
+          hint = retry_after;
+        });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 4);
+  EXPECT_EQ(shed, 6);
+  EXPECT_EQ(hint, milliseconds{150});
+  EXPECT_EQ(node.shed_submissions(), 6u);
+  EXPECT_EQ(node.dropped_submissions(), 0u);  // shed != offline drop
+  // The backlog never grew past the admission limit.
+  EXPECT_LE(node.peak_backlog(), 4u);
+}
+
+TEST_F(AdmissionFixture, RegistersShedLikeRequests) {
+  int acked = 0;
+  int shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    MapRegister reg;
+    reg.nonce = nonce++;
+    reg.eid = eid("10.1.0.5");
+    reg.rlocs = {Rloc{*Ipv4Address::parse("10.0.0.2")}};
+    reg.ttl_seconds = 3600;
+    node.submit_register(
+        reg, [&](const RegisterOutcome&, const MapNotify&, sim::Duration) { ++acked; },
+        [&](sim::Duration) { ++shed; });
+  }
+  sim.run();
+  EXPECT_EQ(acked, 4);
+  EXPECT_EQ(shed, 4);
+}
+
+TEST_F(AdmissionFixture, SpacedLoadIsNeverShed) {
+  int answered = 0;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(sim::SimTime{milliseconds{i}}, [&, i] {
+      node.submit_request(
+          request("10.9.9.9"), [&](const MapReply&, sim::Duration) { ++answered; },
+          [&](sim::Duration) { ++shed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 10);
+  EXPECT_EQ(shed, 0);
+}
+
+TEST_F(AdmissionFixture, AdmissionDrainsAsWorkCompletes) {
+  // Fill the queue, let it drain, then a second burst is admitted again.
+  for (int i = 0; i < 4; ++i) node.submit_request(request("10.9.9.9"), {});
+  sim.run();
+  int answered = 0;
+  int shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    node.submit_request(
+        request("10.9.9.9"), [&](const MapReply&, sim::Duration) { ++answered; },
+        [&](sim::Duration) { ++shed; });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 4);
+  EXPECT_EQ(shed, 0);
+}
+
+TEST(AdmissionUnlimited, ZeroLimitNeverSheds) {
+  sim::Simulator sim;
+  MapServer server;
+  MapServerNodeConfig c;
+  c.rloc = *Ipv4Address::parse("10.0.0.1");
+  c.workers = 1;
+  c.jitter_sigma = 0.0;
+  MapServerNode node{sim, server, c, 42};
+  int shed = 0;
+  for (int i = 0; i < 100; ++i) {
+    MapRequest r;
+    r.eid = eid("10.9.9.9");
+    node.submit_request(r, {}, [&](sim::Duration) { ++shed; });
+  }
+  sim.run();
+  EXPECT_EQ(shed, 0);
+  EXPECT_EQ(node.peak_backlog(), 100u);
+}
+
+TEST_F(AdmissionFixture, OfflineDropsStillWinOverShedding) {
+  node.set_online(false);
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    node.submit_request(request("10.9.9.9"), {}, [&](sim::Duration) { ++shed; });
+  }
+  sim.run();
+  // A dead server cannot send busy signals: submissions vanish silently.
+  EXPECT_EQ(shed, 0);
+  EXPECT_EQ(node.dropped_submissions(), 10u);
+}
+
+}  // namespace
+}  // namespace sda::lisp

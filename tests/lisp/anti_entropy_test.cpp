@@ -1,0 +1,160 @@
+// Replica anti-entropy (PR 4): order-independent digests over MapServer
+// databases, two-way newest-wins reconciliation, and tombstone-backed
+// deletion propagation — how a replica that missed registrations during an
+// outage window converges back to the primary without replaying the feed.
+#include <gtest/gtest.h>
+
+#include "lisp/map_server.hpp"
+
+namespace sda::lisp {
+namespace {
+
+using net::Eid;
+using net::GroupId;
+using net::Ipv4Address;
+using net::Rloc;
+using net::VnEid;
+using net::VnId;
+using std::chrono::seconds;
+
+VnEid eid(const char* ip) { return VnEid{VnId{1}, Eid{*Ipv4Address::parse(ip)}}; }
+
+MappingRecord record(const char* rloc_ip, sim::SimTime refreshed = {},
+                     std::uint32_t ttl = 3600) {
+  MappingRecord r;
+  r.rlocs = {Rloc{*Ipv4Address::parse(rloc_ip)}};
+  r.ttl_seconds = ttl;
+  r.refreshed_at = refreshed;
+  return r;
+}
+
+sim::SimTime at(int s) { return sim::SimTime{seconds{s}}; }
+
+TEST(Digest, EmptyDatabasesAgree) {
+  MapServer a, b;
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Digest, OrderIndependent) {
+  MapServer a, b;
+  a.register_mapping(eid("10.1.0.1"), record("10.0.0.2"));
+  a.register_mapping(eid("10.1.0.2"), record("10.0.0.3"));
+  b.register_mapping(eid("10.1.0.2"), record("10.0.0.3"));
+  b.register_mapping(eid("10.1.0.1"), record("10.0.0.2"));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Digest, IgnoresRefreshTimestamps) {
+  // Replicas stamp their own arrival time for the same fanned-out
+  // register; that difference must not read as divergence.
+  MapServer a, b;
+  a.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  b.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(2)));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Digest, SensitiveToContent) {
+  MapServer a, b;
+  a.register_mapping(eid("10.1.0.1"), record("10.0.0.2"));
+  b.register_mapping(eid("10.1.0.1"), record("10.0.0.3"));  // different RLOC
+  EXPECT_NE(a.digest(), b.digest());
+  b.register_mapping(eid("10.1.0.1"), record("10.0.0.2"));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Reconcile, CopiesMissingEntriesBothWays) {
+  MapServer primary, replica;
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  replica.register_mapping(eid("10.1.0.9"), record("10.0.0.4", at(2)));
+
+  const auto stats = primary.reconcile_with(replica, at(10));
+  EXPECT_EQ(stats.pushed, 1u);
+  EXPECT_EQ(stats.pulled, 1u);
+  EXPECT_EQ(stats.removed_here, 0u);
+  EXPECT_EQ(stats.removed_peer, 0u);
+  EXPECT_EQ(primary.mapping_count(), 2u);
+  EXPECT_EQ(replica.mapping_count(), 2u);
+  EXPECT_EQ(primary.digest(), replica.digest());
+}
+
+TEST(Reconcile, NewestRegistrationWinsOnConflict) {
+  MapServer primary, replica;
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(5)));
+  replica.register_mapping(eid("10.1.0.1"), record("10.0.0.7", at(9)));  // newer
+
+  primary.reconcile_with(replica, at(10));
+  EXPECT_EQ(primary.resolve(eid("10.1.0.1"))->primary_rloc(),
+            *Ipv4Address::parse("10.0.0.7"));
+  EXPECT_EQ(primary.digest(), replica.digest());
+}
+
+TEST(Reconcile, TombstonePropagatesDeletion) {
+  // Both replicas held the mapping; the primary saw the deregistration
+  // while the replica was down. Without the tombstone the reconcile would
+  // resurrect the dead entry from the replica.
+  MapServer primary, replica;
+  const auto owner = *Ipv4Address::parse("10.0.0.2");
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  replica.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  ASSERT_TRUE(primary.deregister(eid("10.1.0.1"), owner, at(5)));
+  ASSERT_TRUE(primary.tombstone(eid("10.1.0.1")).has_value());
+
+  const auto stats = primary.reconcile_with(replica, at(10));
+  EXPECT_EQ(stats.removed_peer, 1u);
+  EXPECT_EQ(replica.mapping_count(), 0u);
+  EXPECT_EQ(primary.digest(), replica.digest());
+}
+
+TEST(Reconcile, ReRegistrationAfterDeletionSurvives) {
+  // deregister at t=5, endpoint re-registers on the replica at t=8: the
+  // newer registration must beat the older tombstone.
+  MapServer primary, replica;
+  const auto owner = *Ipv4Address::parse("10.0.0.2");
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  primary.deregister(eid("10.1.0.1"), owner, at(5));
+  replica.register_mapping(eid("10.1.0.1"), record("10.0.0.3", at(8)));
+
+  primary.reconcile_with(replica, at(10));
+  ASSERT_TRUE(primary.resolve(eid("10.1.0.1")).has_value());
+  EXPECT_EQ(primary.resolve(eid("10.1.0.1"))->primary_rloc(),
+            *Ipv4Address::parse("10.0.0.3"));
+  EXPECT_EQ(primary.digest(), replica.digest());
+}
+
+TEST(Reconcile, IdempotentOnceConverged) {
+  MapServer primary, replica;
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  primary.register_mapping(eid("10.1.0.2"), record("10.0.0.3", at(2)));
+
+  const auto first = primary.reconcile_with(replica, at(10));
+  EXPECT_EQ(first.total(), 2u);
+  const auto second = primary.reconcile_with(replica, at(11));
+  EXPECT_EQ(second.total(), 0u);
+}
+
+TEST(Reconcile, TombstonesPrunedPastHorizon) {
+  MapServer primary, replica;
+  const auto owner = *Ipv4Address::parse("10.0.0.2");
+  primary.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  primary.deregister(eid("10.1.0.1"), owner, at(5));
+  EXPECT_EQ(primary.tombstone_count(), 1u);
+
+  primary.reconcile_with(replica, at(100), /*tombstone_horizon=*/seconds{30});
+  EXPECT_EQ(primary.tombstone_count(), 0u);
+}
+
+TEST(Reconcile, RepairsFlowThroughPublishFeed) {
+  // The primary's pub/sub subscribers (borders) must hear about entries
+  // pulled in from the replica during a repair.
+  MapServer primary, replica;
+  int published = 0;
+  primary.set_publish_callback(
+      [&](const net::VnEid&, const MappingRecord*) { ++published; });
+  replica.register_mapping(eid("10.1.0.9"), record("10.0.0.4", at(2)));
+
+  primary.reconcile_with(replica, at(10));
+  EXPECT_EQ(published, 1);
+}
+
+}  // namespace
+}  // namespace sda::lisp
