@@ -12,11 +12,38 @@
 // packets, and exports metrics snapshots so scripts/check_metrics.sh can
 // validate the JSON schema and counter monotonicity cheaply (run with
 // --benchmark_filter=NothingMatches to skip the timing loops).
+//
+// When $SDA_BENCH_JSON is set, main also runs the perf-gate probes
+// (steady_clock-timed hot loops plus a global-new allocation counter) and
+// writes the machine-readable summary scripts/check_perf.sh diffs against
+// the committed baseline in bench/BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
+
+// Sanitized builds run the same probes but the numbers are meaningless for
+// regression gating; the JSON carries this flag so check_perf.sh can skip.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+#define SDA_BENCH_SANITIZED 1
+#endif
+#endif
+#if !defined(SDA_BENCH_SANITIZED) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#define SDA_BENCH_SANITIZED 1
+#endif
+#ifndef SDA_BENCH_SANITIZED
+#define SDA_BENCH_SANITIZED 0
+#endif
 
 #include "bgp/rib.hpp"
 #include "dataplane/sgacl.hpp"
@@ -34,6 +61,54 @@
 #include "telemetry_sink.hpp"
 #include "trie/patricia.hpp"
 #include "underlay/spf.hpp"
+
+// --- Counting allocator ---------------------------------------------------
+// Global operator new replacement that counts every heap allocation, so the
+// perf probe can assert the dispatch loop is allocation-free at steady
+// state. Frees are not counted (only allocation growth matters); all forms
+// forward to malloc/aligned_alloc so ASan interception still works.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t al) { return ::operator new(size, al); }
+
+// GCC pairs the replaced operator new with operator delete and warns when a
+// pointer it produced reaches std::free(); it cannot see that every form
+// above forwards to malloc/aligned_alloc, so the pairing is in fact exact.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -105,6 +180,20 @@ void BM_MapServerAnswer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MapServerAnswer)->Arg(100)->Arg(10000)->Arg(100000);
+
+void BM_SimulatorScheduleDispatch(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < 64; ++i) {
+      simulator.schedule_after(sim::Duration{i}, [&sink] { ++sink; });
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch);
 
 void BM_MapCacheHit(benchmark::State& state) {
   lisp::MapCache cache;
@@ -361,6 +450,207 @@ void export_schema_probe() {
               dir->c_str());
 }
 
+// --- Perf-gate probes -----------------------------------------------------
+// Fixed-iteration steady_clock loops (deliberately independent of the
+// google-benchmark runner so the JSON shape stays stable) measured per
+// batch; per-op p50/p99 come from the sorted batch samples. The committed
+// baseline lives in bench/BENCH_micro.json; scripts/check_perf.sh fails the
+// build on a >25% throughput regression or any steady-state allocation.
+
+struct ProbeResult {
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+template <typename Batch>
+ProbeResult run_probe(Batch&& batch, std::size_t ops_per_batch) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kWarmupBatches = 50;
+  constexpr int kMeasuredBatches = 400;
+  for (int i = 0; i < kWarmupBatches; ++i) batch();
+  std::vector<double> per_op_ns;
+  per_op_ns.reserve(kMeasuredBatches);
+  double total_ns = 0;
+  for (int i = 0; i < kMeasuredBatches; ++i) {
+    const auto begin = Clock::now();
+    batch();
+    const auto end = Clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(end - begin).count();
+    total_ns += ns;
+    per_op_ns.push_back(ns / static_cast<double>(ops_per_batch));
+  }
+  std::sort(per_op_ns.begin(), per_op_ns.end());
+  const auto percentile = [&per_op_ns](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(per_op_ns.size() - 1));
+    return per_op_ns[idx];
+  };
+  ProbeResult result;
+  result.ops_per_sec =
+      static_cast<double>(kMeasuredBatches) * static_cast<double>(ops_per_batch) * 1e9 / total_ns;
+  result.p50_ns = percentile(0.50);
+  result.p99_ns = percentile(0.99);
+  return result;
+}
+
+ProbeResult probe_schedule_dispatch() {
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  return run_probe(
+      [&] {
+        for (std::int64_t i = 0; i < 256; ++i) {
+          simulator.schedule_after(sim::Duration{i}, [&sink] { ++sink; });
+        }
+        simulator.run();
+        benchmark::DoNotOptimize(sink);
+      },
+      256);
+}
+
+ProbeResult probe_map_cache_hit() {
+  lisp::MapCache cache;
+  lisp::MapReply reply;
+  reply.rlocs = {net::Rloc{net::Ipv4Address{0xC0A80001u}}};
+  reply.ttl_seconds = 1 << 30;
+  for (std::uint32_t i = 0; i < 1000; ++i) cache.install(eid_of(i), reply, sim::SimTime{});
+  std::uint32_t q = 0;
+  return run_probe(
+      [&] {
+        for (int i = 0; i < 1024; ++i) {
+          const auto* entry = cache.lookup(eid_of(q++ % 1000), sim::SimTime{});
+          benchmark::DoNotOptimize(entry);
+        }
+      },
+      1024);
+}
+
+ProbeResult probe_sgacl_verdict() {
+  dataplane::Sgacl sgacl{policy::Action::Allow};
+  for (std::uint16_t s = 1; s <= 32; ++s) {
+    for (std::uint16_t d = 1; d <= 32; ++d) {
+      if ((s + d) % 4 == 0) {
+        sgacl.install_rule(net::VnId{1},
+                           {{net::GroupId{s}, net::GroupId{d}}, policy::Action::Deny});
+      }
+    }
+  }
+  std::uint16_t q = 0;
+  return run_probe(
+      [&] {
+        for (int i = 0; i < 1024; ++i) {
+          ++q;
+          const auto action =
+              sgacl.evaluate(net::VnId{1}, net::GroupId{static_cast<std::uint16_t>(1 + q % 32)},
+                             net::GroupId{static_cast<std::uint16_t>(1 + (q / 32) % 32)});
+          benchmark::DoNotOptimize(action);
+        }
+      },
+      1024);
+}
+
+/// Allocation count over 64 schedule+dispatch cycles after the scheduler's
+/// containers have reached their high-water marks. Must be zero: small
+/// callables live in the InlineAction SBO buffer and the queue/slot/free-
+/// list vectors plateau after warmup.
+std::uint64_t probe_dispatch_steady_state_allocs() {
+  sim::Simulator simulator;
+  std::uint64_t sink = 0;
+  const auto cycle = [&] {
+    for (std::int64_t i = 0; i < 256; ++i) {
+      simulator.schedule_after(sim::Duration{i}, [&sink] { ++sink; });
+    }
+    simulator.run();
+  };
+  for (int i = 0; i < 64; ++i) cycle();
+  const std::uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 64; ++i) cycle();
+  benchmark::DoNotOptimize(sink);
+  return g_heap_allocations.load(std::memory_order_relaxed) - before;
+}
+
+/// First-packet latency p50 (microseconds) from a deterministic two-edge
+/// fabric run — sim-time, so identical on every host; a regression here
+/// means the resolution pipeline itself got longer, not the machine slower.
+double probe_first_packet_p50_us() {
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = 0x5DA;
+  config.trace_first_packets = true;  // feeds fabric.first_packet_us
+  fabric::SdaFabric fabric{sim, config};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.add_edge("e1");
+  fabric.link("e0", "b0");
+  fabric.link("e1", "b0");
+  fabric.finalize();
+  fabric.define_vn({net::VnId{1}, "corp", *net::Ipv4Prefix::parse("10.1.0.0/16")});
+  std::array<net::Ipv4Address, 2> ips;
+  for (int i = 0; i < 2; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = "h" + std::to_string(i);
+    def.secret = "pw";
+    def.mac = net::MacAddress::from_u64(0x0400u + static_cast<std::uint64_t>(i));
+    def.vn = net::VnId{1};
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    fabric.connect_endpoint(def.credential, i == 0 ? "e0" : "e1", 1,
+                            [&ips, i](const fabric::OnboardResult& r) {
+                              ips[static_cast<std::size_t>(i)] = r.ip;
+                            });
+  }
+  sim.run();
+  fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0400u), ips[1], 443, 200);
+  fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0401u), ips[0], 443, 200);
+  sim.run();
+  const telemetry::Snapshot snap = fabric.telemetry().metrics.snapshot();
+  const auto it = snap.histograms.find("fabric.first_packet_us");
+  if (it == snap.histograms.end() || it->second.total == 0) return 0.0;
+  return it->second.quantile(0.5);
+}
+
+/// Runs every perf probe and writes the gate JSON to $SDA_BENCH_JSON.
+/// No-op when the variable is unset.
+void export_perf_probe() {
+  const char* path = std::getenv("SDA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+#if defined(NDEBUG)
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
+  const bool sanitized = SDA_BENCH_SANITIZED != 0;
+  const ProbeResult schedule = probe_schedule_dispatch();
+  const ProbeResult cache_hit = probe_map_cache_hit();
+  const ProbeResult sgacl = probe_sgacl_verdict();
+  const std::uint64_t allocs = probe_dispatch_steady_state_allocs();
+  const double first_packet_us = probe_first_packet_p50_us();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf probe: cannot open %s for writing\n", path);
+    return;
+  }
+  const auto metric = [f](const char* name, const ProbeResult& r, const char* trailer) {
+    std::fprintf(f, "    \"%s\": {\"ops_per_sec\": %.1f, \"p50_ns\": %.2f, \"p99_ns\": %.2f}%s\n",
+                 name, r.ops_per_sec, r.p50_ns, r.p99_ns, trailer);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sda-bench-micro-v1\",\n");
+  std::fprintf(f, "  \"optimized\": %s,\n", optimized ? "true" : "false");
+  std::fprintf(f, "  \"sanitized\": %s,\n", sanitized ? "true" : "false");
+  std::fprintf(f, "  \"metrics\": {\n");
+  metric("schedule_dispatch", schedule, ",");
+  metric("map_cache_hit", cache_hit, ",");
+  metric("sgacl_verdict", sgacl, "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fabric_first_packet_us_p50\": %.2f,\n", first_packet_us);
+  std::fprintf(f, "  \"dispatch_steady_state_allocs\": %llu\n",
+               static_cast<unsigned long long>(allocs));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("perf probe written to %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,5 +659,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   export_schema_probe();
+  export_perf_probe();
   return 0;
 }

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Tier-1 perf-regression gate over the bench_micro perf probes.
+#
+#   scripts/check_perf.sh [path/to/bench_micro] [path/to/baseline.json]
+#
+# Runs bench_micro's perf probes (the google-benchmark timing loops are
+# skipped via --benchmark_filter; the probes have their own fixed-iteration
+# timers) with SDA_BENCH_JSON pointed at a tmpfile, then diffs against the
+# committed baseline (bench/BENCH_micro.json by default):
+#   * FAIL if any probe's ops/sec drops more than 25% below baseline;
+#   * FAIL if the dispatch loop allocated at steady state (the InlineAction
+#     SBO + slot-recycling design makes it allocation-free);
+#   * FAIL if the deterministic fabric first-packet p50 grows >25%
+#     (sim-time, so this is pipeline work, not machine speed);
+#   * SKIP (exit 0, with a warning) when the baseline is absent or the
+#     binary is an unoptimized/sanitized build — sanitizer trees stay green.
+#
+# Wall-clock probes are best-of-3: a shared/loaded machine can halve a
+# single run's throughput, so only a slowdown that persists across three
+# attempts fails the gate. Genuine regressions fail every attempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/bench_micro}"
+BASELINE="${2:-bench/BENCH_micro.json}"
+ATTEMPTS="${CHECK_PERF_ATTEMPTS:-3}"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "check_perf: bench_micro binary not found at $BENCH" >&2
+  exit 1
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "check_perf: WARNING: baseline $BASELINE absent; skipping (regenerate" >&2
+  echo "check_perf: with SDA_BENCH_JSON=$BASELINE $BENCH" >&2
+  exit 0
+fi
+
+TMPDIR_RESULTS="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_RESULTS"' EXIT
+
+rc=0
+for attempt in $(seq 1 "$ATTEMPTS"); do
+  if [[ "$attempt" -gt 1 ]]; then
+    echo "check_perf: retrying (attempt $attempt/$ATTEMPTS; transient machine load?)"
+    sleep "$attempt"  # let whatever stole the CPU drain before re-measuring
+  fi
+  SDA_BENCH_JSON="$TMPDIR_RESULTS/BENCH_micro.json" "$BENCH" \
+    --benchmark_filter='NothingMatchesThis' >/dev/null
+
+  rc=0
+  python3 - "$TMPDIR_RESULTS/BENCH_micro.json" "$BASELINE" <<'PY' || rc=$?
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+
+if not current.get("optimized", False):
+    print("check_perf: SKIP (unoptimized build; numbers not comparable)")
+    sys.exit(0)
+if current.get("sanitized", False):
+    print("check_perf: SKIP (sanitized build; numbers not comparable)")
+    sys.exit(0)
+
+TOLERANCE = 0.75  # fail on >25% regression
+failures = []
+
+for name, base in baseline.get("metrics", {}).items():
+    probe = current.get("metrics", {}).get(name)
+    if probe is None:
+        failures.append(f"{name}: missing from current run")
+        continue
+    ratio = probe["ops_per_sec"] / base["ops_per_sec"]
+    marker = "FAIL" if ratio < TOLERANCE else "ok"
+    print(f"check_perf: {name}: {probe['ops_per_sec']:,.0f} ops/s "
+          f"(baseline {base['ops_per_sec']:,.0f}, {ratio:.2f}x, "
+          f"p50 {probe['p50_ns']:.0f}ns p99 {probe['p99_ns']:.0f}ns) [{marker}]")
+    if ratio < TOLERANCE:
+        failures.append(
+            f"{name}: {probe['ops_per_sec']:,.0f} ops/s is "
+            f"{(1 - ratio) * 100:.0f}% below baseline {base['ops_per_sec']:,.0f}")
+
+allocs = current.get("dispatch_steady_state_allocs")
+print(f"check_perf: dispatch_steady_state_allocs: {allocs}")
+if allocs != 0:
+    failures.append(f"dispatch loop allocated at steady state ({allocs} allocations)")
+
+base_fp = baseline.get("fabric_first_packet_us_p50", 0.0)
+cur_fp = current.get("fabric_first_packet_us_p50", 0.0)
+print(f"check_perf: fabric_first_packet_us_p50: {cur_fp:.1f}us (baseline {base_fp:.1f}us)")
+if base_fp > 0 and cur_fp > base_fp / TOLERANCE:
+    failures.append(
+        f"first-packet p50 {cur_fp:.1f}us regressed >25% over baseline {base_fp:.1f}us")
+
+if failures:
+    for failure in failures:
+        print(f"check_perf: FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print("check_perf: OK")
+PY
+  if [[ "$rc" -eq 0 ]]; then
+    exit 0
+  fi
+done
+exit "$rc"

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every paper table/figure.
 #
-#   scripts/run_all.sh [results-dir]
+#   scripts/run_all.sh [--release] [results-dir]
 #
 # With a results-dir argument, benches additionally dump raw CSV series
-# there (SDA_RESULTS_DIR).
+# there (SDA_RESULTS_DIR). --release builds -O3/NDEBUG into build-release/
+# (the default tree is RelWithDebInfo) — use it when regenerating the
+# perf-gate baseline or timing-sensitive figures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--release" ]]; then
+  BUILD_DIR=build-release
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -G Ninja "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 if [[ $# -ge 1 ]]; then
   mkdir -p "$1"
@@ -18,7 +28,7 @@ if [[ $# -ge 1 ]]; then
   echo "CSV results -> $SDA_RESULTS_DIR"
 fi
 
-for b in build/bench/bench_*; do
+for b in "$BUILD_DIR"/bench/bench_*; do
   echo
   echo "######## $b"
   "$b"

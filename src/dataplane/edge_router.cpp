@@ -485,7 +485,7 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
   // later packet can retrigger resolution. Each retransmit backs off with
   // decorrelated jitter so loss-induced storms spread out.
   const std::uint64_t nonce = it->second.nonce;
-  it->second.timer = simulator_.schedule_after(it->second.timeout, [this, eid, nonce] {
+  auto retransmit = [this, eid, nonce] {
     const auto pending = pending_requests_.find(eid);
     if (pending == pending_requests_.end()) return;
     if (pending->second.nonce != nonce) return;  // superseded by a newer attempt
@@ -501,7 +501,13 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
                                            config_.map_request_timeout_cap);
     ++counters_.map_request_retries;
     transmit_map_request(eid);
-  });
+  };
+  // Per-resolution timer: must stay in the scheduler's inline buffer. If a
+  // future capture (a Packet, a MapReply) pushes it past the SBO threshold,
+  // fail the build here instead of silently allocating per miss.
+  static_assert(sim::InlineAction::fits_inline<decltype(retransmit)>,
+                "map-request retransmit timer must not heap-allocate");
+  it->second.timer = simulator_.schedule_after(it->second.timeout, std::move(retransmit));
 }
 
 void EdgeRouter::receive_map_request_busy(const net::VnEid& eid, sim::Duration retry_after) {
@@ -602,7 +608,7 @@ void EdgeRouter::transmit_map_register(const net::VnEid& eid) {
   if (pending.ttl_seconds != 0) reg.group = pending.group.value();
   send_map_register_(reg);
 
-  pending.timer = simulator_.schedule_after(pending.timeout, [this, eid] {
+  auto retransmit = [this, eid] {
     const auto entry = pending_registers_.find(eid);
     if (entry == pending_registers_.end()) return;
     if (entry->second.retries_left == 0) {
@@ -616,7 +622,10 @@ void EdgeRouter::transmit_map_register(const net::VnEid& eid) {
                                          config_.map_register_timeout_cap);
     ++counters_.map_register_retries;
     transmit_map_register(eid);
-  });
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(retransmit)>,
+                "map-register retransmit timer must not heap-allocate");
+  pending.timer = simulator_.schedule_after(pending.timeout, std::move(retransmit));
 }
 
 void EdgeRouter::abandon_pending_register(const net::VnEid& eid) {

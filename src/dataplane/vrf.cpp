@@ -1,71 +1,123 @@
 #include "dataplane/vrf.hpp"
 
+#include <algorithm>
+
 namespace sda::dataplane {
 
+namespace {
+
+constexpr std::size_t kMinCapacity = 16;
+
+std::size_t probe_start(const net::VnEid& eid, std::size_t capacity) {
+  return std::hash<net::VnEid>{}(eid) & (capacity - 1);
+}
+
+}  // namespace
+
+std::size_t VrfSet::find_slot(const net::VnEid& eid) const {
+  if (slots_.empty()) return SIZE_MAX;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe_start(eid, slots_.size());
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.state == SlotState::Empty) return SIZE_MAX;
+    if (s.state == SlotState::Occupied && s.key == eid) return i;
+    i = (i + 1) & mask;  // tombstones keep the chain alive
+  }
+}
+
+void VrfSet::rehash(std::size_t min_capacity) {
+  std::size_t capacity = kMinCapacity;
+  while (capacity < min_capacity) capacity <<= 1;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  tombstones_ = 0;
+  const std::size_t mask = capacity - 1;
+  for (Slot& s : old) {
+    if (s.state != SlotState::Occupied) continue;
+    std::size_t i = probe_start(s.key, capacity);
+    while (slots_[i].state == SlotState::Occupied) i = (i + 1) & mask;
+    slots_[i] = std::move(s);
+  }
+}
+
 void VrfSet::install(const net::VnEid& eid, const LocalEntry& entry) {
-  vrfs_[eid.vn].family(eid.eid.family()).insert(trie::BitKey::from_eid(eid.eid), entry);
+  // Keep the table at most ~70% full (occupied + tombstones) so probe
+  // chains stay short; 2x headroom over live entries after a rehash.
+  if (slots_.empty() || (size_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
+    rehash(std::max<std::size_t>(kMinCapacity, (size_ + 1) * 2));
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe_start(eid, slots_.size());
+  std::size_t first_tombstone = SIZE_MAX;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.state == SlotState::Occupied && s.key == eid) {
+      s.value = entry;  // replace in place
+      return;
+    }
+    if (s.state == SlotState::Tombstone && first_tombstone == SIZE_MAX) first_tombstone = i;
+    if (s.state == SlotState::Empty) break;
+    i = (i + 1) & mask;
+  }
+  if (first_tombstone != SIZE_MAX) {
+    i = first_tombstone;
+    --tombstones_;
+  }
+  slots_[i] = Slot{eid, entry, SlotState::Occupied};
+  ++size_;
 }
 
 bool VrfSet::remove(const net::VnEid& eid) {
-  const auto it = vrfs_.find(eid.vn);
-  if (it == vrfs_.end()) return false;
-  return it->second.family(eid.eid.family()).erase(trie::BitKey::from_eid(eid.eid));
-}
-
-const LocalEntry* VrfSet::lookup(const net::VnEid& eid) const {
-  const auto it = vrfs_.find(eid.vn);
-  if (it == vrfs_.end()) return nullptr;
-  auto& tables = const_cast<Tables&>(it->second);
-  return tables.family(eid.eid.family()).find_exact(trie::BitKey::from_eid(eid.eid));
-}
-
-bool VrfSet::retag(const net::VnEid& eid, net::GroupId group) {
-  const auto it = vrfs_.find(eid.vn);
-  if (it == vrfs_.end()) return false;
-  LocalEntry* entry =
-      it->second.family(eid.eid.family()).find_exact(trie::BitKey::from_eid(eid.eid));
-  if (!entry) return false;
-  entry->group = group;
+  const std::size_t i = find_slot(eid);
+  if (i == SIZE_MAX) return false;
+  slots_[i] = Slot{};
+  slots_[i].state = SlotState::Tombstone;
+  --size_;
+  ++tombstones_;
   return true;
 }
 
-std::size_t VrfSet::size() const {
-  std::size_t total = 0;
-  for (const auto& [vn, tables] : vrfs_) {
-    total += tables.v4.size() + tables.v6.size() + tables.mac.size();
-  }
-  return total;
+const LocalEntry* VrfSet::lookup(const net::VnEid& eid) const {
+  const std::size_t i = find_slot(eid);
+  return i == SIZE_MAX ? nullptr : &slots_[i].value;
+}
+
+bool VrfSet::retag(const net::VnEid& eid, net::GroupId group) {
+  const std::size_t i = find_slot(eid);
+  if (i == SIZE_MAX) return false;
+  slots_[i].value.group = group;
+  return true;
 }
 
 std::size_t VrfSet::size(net::VnId vn) const {
-  const auto it = vrfs_.find(vn);
-  if (it == vrfs_.end()) return 0;
-  return it->second.v4.size() + it->second.v6.size() + it->second.mac.size();
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == SlotState::Occupied && s.key.vn == vn) ++n;
+  }
+  return n;
 }
 
 void VrfSet::walk(
     const std::function<void(const net::VnEid&, const LocalEntry&)>& visit) const {
-  for (const auto& [vn, tables] : vrfs_) {
-    const net::VnId vn_id = vn;
-    tables.v4.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
-      net::Ipv4Address a{(std::uint32_t{key.bytes()[0]} << 24) |
-                         (std::uint32_t{key.bytes()[1]} << 16) |
-                         (std::uint32_t{key.bytes()[2]} << 8) | key.bytes()[3]};
-      visit(net::VnEid{vn_id, net::Eid{a}}, entry);
-    });
-    tables.v6.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
-      net::Ipv6Address::Bytes b{};
-      std::copy_n(key.bytes().begin(), 16, b.begin());
-      visit(net::VnEid{vn_id, net::Eid{net::Ipv6Address{b}}}, entry);
-    });
-    tables.mac.walk([&](const trie::BitKey& key, const LocalEntry& entry) {
-      net::MacAddress::Bytes b{};
-      std::copy_n(key.bytes().begin(), 6, b.begin());
-      visit(net::VnEid{vn_id, net::Eid{net::MacAddress{b}}}, entry);
-    });
+  std::vector<const Slot*> ordered;
+  ordered.reserve(size_);
+  for (const Slot& s : slots_) {
+    if (s.state == SlotState::Occupied) ordered.push_back(&s);
   }
+  // Deterministic walk order regardless of hash layout: VN, then EID
+  // (families group together because Eid orders by family first).
+  std::sort(ordered.begin(), ordered.end(), [](const Slot* a, const Slot* b) {
+    if (a->key.vn != b->key.vn) return a->key.vn < b->key.vn;
+    return a->key.eid < b->key.eid;
+  });
+  for (const Slot* s : ordered) visit(s->key, s->value);
 }
 
-void VrfSet::clear() { vrfs_.clear(); }
+void VrfSet::clear() {
+  slots_.clear();
+  size_ = 0;
+  tombstones_ = 0;
+}
 
 }  // namespace sda::dataplane

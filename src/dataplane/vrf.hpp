@@ -6,16 +6,20 @@
 // pipeline's first stage resolves (paper Fig. 4). Entries are created by
 // host onboarding and removed on detach, which is what keeps the GroupId
 // fresh under egress enforcement (§5.3).
+//
+// Lookups are exact host matches, so the table is a single open-addressed
+// flat hash probed once on the combined (VN, EID) key — the previous
+// std::map<VnId, three Patricia tries> layout cost a red-black descent plus
+// a bit-trie walk per packet. Linear probing over a power-of-two slot
+// vector keeps the probe sequence in one or two cache lines.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <optional>
+#include <vector>
 
 #include "net/eid.hpp"
 #include "net/types.hpp"
-#include "trie/patricia.hpp"
 
 namespace sda::dataplane {
 
@@ -28,7 +32,8 @@ struct LocalEntry {
   friend bool operator==(const LocalEntry&, const LocalEntry&) = default;
 };
 
-/// All VRFs of one router, keyed by VN. IPv4/IPv6/MAC EIDs share a VRF.
+/// All VRFs of one router, keyed by (VN, EID). IPv4/IPv6/MAC EIDs share a
+/// VRF; VN isolation is part of the key, not a table-of-tables.
 class VrfSet {
  public:
   /// Installs (or replaces) a local endpoint entry.
@@ -37,37 +42,40 @@ class VrfSet {
   /// Removes an entry; true if present.
   bool remove(const net::VnEid& eid);
 
-  /// Exact host lookup within the VN.
+  /// Exact host lookup within the VN. The returned pointer is valid until
+  /// the next install/remove/clear.
   [[nodiscard]] const LocalEntry* lookup(const net::VnEid& eid) const;
 
   /// Updates just the GroupId of an existing entry (re-authentication after
   /// a policy change); true if the entry exists.
   bool retag(const net::VnEid& eid, net::GroupId group);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t size(net::VnId vn) const;
 
+  /// Visits every entry in deterministic (VN, family, EID) order.
   void walk(const std::function<void(const net::VnEid&, const LocalEntry&)>& visit) const;
 
   void clear();
 
  private:
-  struct Tables {
-    trie::PatriciaTrie<LocalEntry> v4;
-    trie::PatriciaTrie<LocalEntry> v6;
-    trie::PatriciaTrie<LocalEntry> mac;
+  enum class SlotState : std::uint8_t { Empty, Occupied, Tombstone };
 
-    [[nodiscard]] trie::PatriciaTrie<LocalEntry>& family(net::EidFamily f) {
-      switch (f) {
-        case net::EidFamily::Ipv4: return v4;
-        case net::EidFamily::Ipv6: return v6;
-        case net::EidFamily::Mac: return mac;
-      }
-      return v4;
-    }
+  struct Slot {
+    net::VnEid key;
+    LocalEntry value;
+    SlotState state = SlotState::Empty;
   };
 
-  std::map<net::VnId, Tables> vrfs_;
+  /// Probe for `eid`: index of its occupied slot, or SIZE_MAX.
+  [[nodiscard]] std::size_t find_slot(const net::VnEid& eid) const;
+
+  /// Grows (or compacts tombstones) to keep the probe chains short.
+  void rehash(std::size_t min_capacity);
+
+  std::vector<Slot> slots_;       // power-of-two length, empty until first insert
+  std::size_t size_ = 0;          // occupied
+  std::size_t tombstones_ = 0;    // deleted-but-not-reclaimed
 };
 
 }  // namespace sda::dataplane

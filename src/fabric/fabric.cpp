@@ -1120,6 +1120,11 @@ void SdaFabric::dispatch_fabric_frame(const net::FabricFrame& frame) {
     }
   }
   const underlay::NodeId from = node_of_rloc(frame.outer_source);
+  // Audited by-value capture: the frame must outlive dispatch (the caller's
+  // copy dies before arrival), so this callable exceeds the InlineAction SBO
+  // buffer and deliberately takes the heap-fallback path. Everything the
+  // per-event dispatch loop itself allocates stays at zero; this is the one
+  // per-frame allocation, equivalent to the old std::function behavior.
   const bool delivered = underlay_->deliver(
       from, frame.outer_destination, frame_flow_hash(frame), frame.wire_size(),
       [this, frame] {

@@ -1,27 +1,81 @@
 #include "lisp/map_cache.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
 
 namespace sda::lisp {
 
-const MapCacheEntry* MapCache::lookup(const net::VnEid& eid, sim::SimTime now) {
-  const auto it = index_.find(eid);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+MapCache::MapCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ != 0) {
+    // Bounded caches never grow past capacity: reserving up front keeps
+    // entry pointers stable and the steady state allocation-free. +1 because
+    // an install at capacity briefly holds the newcomer before evicting.
+    slots_.reserve(capacity_ + 1);
+    std::size_t table_size = 16;
+    while ((capacity_ + 1) * 10 > table_size * 7) table_size <<= 1;
+    index_rehash(table_size);
   }
-  if (it->second->second.expires_at <= now) {
-    erase_iter(it->second);
-    ++stats_.expirations;
-    ++stats_.misses;
-    return nullptr;
+}
+
+std::uint32_t MapCache::new_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t i = free_slots_.back();
+    free_slots_.pop_back();
+    return i;
   }
-  // Refresh LRU position.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return &lru_.front().second;
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void MapCache::index_rehash(std::size_t new_table_size) {
+  const std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(new_table_size, kNone);
+  table_mask_ = new_table_size - 1;
+  for (const std::uint32_t e : old) {
+    if (e == kNone) continue;
+    std::size_t idx = home_of(slots_[e].eid);
+    while (table_[idx] != kNone) idx = (idx + 1) & table_mask_;
+    table_[idx] = e;
+  }
+}
+
+void MapCache::index_insert(const net::VnEid& eid, std::uint32_t slot) {
+  // Keep the load factor under 70% so probe chains stay short.
+  if ((size_ + 1) * 10 > table_.size() * 7) {
+    index_rehash(std::max<std::size_t>(16, table_.size() * 2));
+  }
+  std::size_t idx = home_of(eid);
+  while (table_[idx] != kNone) idx = (idx + 1) & table_mask_;
+  table_[idx] = slot;
+  ++size_;
+}
+
+void MapCache::index_erase(const net::VnEid& eid) {
+  std::size_t i = home_of(eid);
+  while (true) {
+    const std::uint32_t e = table_[i];
+    if (e == kNone) return;  // not present
+    if (slots_[e].eid == eid) break;
+    i = (i + 1) & table_mask_;
+  }
+  --size_;
+  // Backward-shift deletion: pull cluster members whose home position lies
+  // at or before the hole back over it, instead of leaving a tombstone.
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & table_mask_;
+    const std::uint32_t e = table_[j];
+    if (e == kNone) break;
+    const std::size_t k = home_of(slots_[e].eid);
+    const bool home_between_hole_and_j = (i < j) ? (k > i && k <= j) : (k > i || k <= j);
+    if (!home_between_hole_and_j) {
+      table_[i] = e;
+      i = j;
+    }
+  }
+  table_[i] = kNone;
 }
 
 void MapCache::install(const net::VnEid& eid, const MapReply& reply, sim::SimTime now) {
@@ -32,17 +86,21 @@ void MapCache::install(const net::VnEid& eid, const MapReply& reply, sim::SimTim
   entry.group = net::GroupId{reply.group};
   ++stats_.installs;
 
-  const auto it = index_.find(eid);
-  if (it != index_.end()) {
-    if (!it->second->second.negative()) --positive_count_;
-    it->second->second = std::move(entry);
-    if (!it->second->second.negative()) ++positive_count_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const std::uint32_t existing = index_find(eid);
+  if (existing != kNone) {
+    Slot& s = slots_[existing];
+    if (!s.entry.negative()) --positive_count_;
+    s.entry = std::move(entry);
+    if (!s.entry.negative()) ++positive_count_;
+    touch(existing);
     return;
   }
-  lru_.emplace_front(eid, std::move(entry));
-  index_.emplace(eid, lru_.begin());
-  if (!lru_.front().second.negative()) ++positive_count_;
+  const std::uint32_t i = new_slot();
+  slots_[i].eid = eid;
+  slots_[i].entry = std::move(entry);
+  link_front(i);
+  index_insert(eid, i);
+  if (!slots_[i].entry.negative()) ++positive_count_;
   evict_if_needed();
 }
 
@@ -56,53 +114,63 @@ void MapCache::install(const net::VnEid& eid, std::vector<net::Rloc> rlocs,
 }
 
 bool MapCache::invalidate(const net::VnEid& eid) {
-  const auto it = index_.find(eid);
-  if (it == index_.end()) return false;
-  erase_iter(it->second);
+  const std::uint32_t i = index_find(eid);
+  if (i == kNone) return false;
+  erase_slot(i);
   return true;
 }
 
 std::size_t MapCache::invalidate_rloc(net::Ipv4Address rloc) {
-  std::vector<LruList::iterator> doomed;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    if (!it->second.negative() && it->second.primary_rloc() == rloc) doomed.push_back(it);
+  std::vector<std::uint32_t> doomed;
+  for (std::uint32_t i = head_; i != kNone; i = slots_[i].next) {
+    if (!slots_[i].entry.negative() && slots_[i].entry.primary_rloc() == rloc) {
+      doomed.push_back(i);
+    }
   }
-  for (auto it : doomed) erase_iter(it);
+  for (const std::uint32_t i : doomed) erase_slot(i);
   return doomed.size();
 }
 
 std::size_t MapCache::sweep(sim::SimTime now) {
-  std::vector<LruList::iterator> doomed;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    if (it->second.expires_at <= now) doomed.push_back(it);
+  std::vector<std::uint32_t> doomed;
+  for (std::uint32_t i = head_; i != kNone; i = slots_[i].next) {
+    if (slots_[i].entry.expires_at <= now) doomed.push_back(i);
   }
-  for (auto it : doomed) {
-    erase_iter(it);
+  for (const std::uint32_t i : doomed) {
+    erase_slot(i);
     ++stats_.expirations;
   }
   return doomed.size();
 }
 
 void MapCache::clear() {
-  lru_.clear();
-  index_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  table_.assign(table_.size(), kNone);
+  size_ = 0;
+  head_ = tail_ = kNone;
   positive_count_ = 0;
+  if (capacity_ != 0) slots_.reserve(capacity_ + 1);
 }
 
 void MapCache::walk(
     const std::function<void(const net::VnEid&, const MapCacheEntry&)>& visit) const {
-  for (const auto& [eid, entry] : lru_) visit(eid, entry);
+  for (std::uint32_t i = head_; i != kNone; i = slots_[i].next) {
+    visit(slots_[i].eid, slots_[i].entry);
+  }
 }
 
-void MapCache::erase_iter(LruList::iterator it) {
-  if (!it->second.negative()) --positive_count_;
-  index_.erase(it->first);
-  lru_.erase(it);
+void MapCache::erase_slot(std::uint32_t i) {
+  if (!slots_[i].entry.negative()) --positive_count_;
+  unlink(i);
+  index_erase(slots_[i].eid);
+  slots_[i].entry = MapCacheEntry{};  // release the rloc vector now
+  free_slots_.push_back(i);
 }
 
 void MapCache::evict_if_needed() {
-  while (capacity_ != 0 && lru_.size() > capacity_) {
-    erase_iter(std::prev(lru_.end()));
+  while (capacity_ != 0 && size_ > capacity_) {
+    erase_slot(tail_);
     ++stats_.evictions;
   }
 }

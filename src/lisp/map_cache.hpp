@@ -5,13 +5,21 @@
 // actively talking to (Fig. 9 counts exactly these entries). Entries carry
 // the Map-Reply TTL; negative replies are cached briefly; capacity is
 // bounded with LRU eviction to model small-FIB devices.
+//
+// Layout: entries live in a contiguous slot vector threaded by an intrusive
+// index-linked LRU list (head = most recently used). The key index is a
+// flat open-addressing table (power-of-two, linear probing, backward-shift
+// deletion — no tombstones, so churn never forces a rehash). A hit is one
+// flat-table probe plus four index writes to relink — no per-entry node
+// allocation and no pointer chasing, unlike the previous std::list +
+// std::unordered_map layout. Erased slots are recycled through a free list,
+// so a cache at steady state (hits, refreshes, installs and evictions at
+// capacity) performs no allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "lisp/messages.hpp"
@@ -39,11 +47,29 @@ struct MapCacheEntry {
 class MapCache {
  public:
   /// `capacity` bounds the number of entries (models FIB size); 0 = unbounded.
-  explicit MapCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// Bounded caches reserve their slots up front, so entry pointers stay
+  /// stable until the entry itself is evicted or invalidated.
+  explicit MapCache(std::size_t capacity = 0);
 
   /// Looks up `eid` at time `now`. Expired entries are removed and count as
-  /// misses. Hits refresh LRU position.
-  [[nodiscard]] const MapCacheEntry* lookup(const net::VnEid& eid, sim::SimTime now);
+  /// misses. Hits refresh LRU position. The returned pointer is valid until
+  /// the next mutating call (install/invalidate/sweep/clear).
+  [[nodiscard]] const MapCacheEntry* lookup(const net::VnEid& eid, sim::SimTime now) {
+    const std::uint32_t i = index_find(eid);
+    if (i == kNone) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    if (slots_[i].entry.expires_at <= now) {
+      erase_slot(i);
+      ++stats_.expirations;
+      ++stats_.misses;
+      return nullptr;
+    }
+    touch(i);
+    ++stats_.hits;
+    return &slots_[i].entry;
+  }
 
   /// Installs or replaces an entry from a Map-Reply.
   void install(const net::VnEid& eid, const MapReply& reply, sim::SimTime now);
@@ -65,11 +91,12 @@ class MapCache {
   /// Drops everything (router reboot, §5.2).
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Number of non-negative (i.e. FIB-occupying) entries.
   [[nodiscard]] std::size_t positive_size() const { return positive_count_; }
 
+  /// Visits entries in LRU order, most recently used first.
   void walk(const std::function<void(const net::VnEid&, const MapCacheEntry&)>& visit) const;
 
   struct Stats {
@@ -87,15 +114,86 @@ class MapCache {
   void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
-  using LruList = std::list<std::pair<net::VnEid, MapCacheEntry>>;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
-  void erase_iter(LruList::iterator it);
+  struct Slot {
+    net::VnEid eid;
+    MapCacheEntry entry;
+    std::uint32_t prev = kNone;  // towards MRU
+    std::uint32_t next = kNone;  // towards LRU
+  };
+
+  /// Unlinks `i` from the LRU chain (does not free the slot).
+  void unlink(std::uint32_t i) {
+    Slot& s = slots_[i];
+    if (s.prev != kNone) {
+      slots_[s.prev].next = s.next;
+    } else {
+      head_ = s.next;
+    }
+    if (s.next != kNone) {
+      slots_[s.next].prev = s.prev;
+    } else {
+      tail_ = s.prev;
+    }
+    s.prev = s.next = kNone;
+  }
+
+  /// Links `i` at the head (most recently used) of the chain.
+  void link_front(std::uint32_t i) {
+    Slot& s = slots_[i];
+    s.prev = kNone;
+    s.next = head_;
+    if (head_ != kNone) slots_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kNone) tail_ = i;
+  }
+
+  /// Unlink + link_front for a hit or refresh.
+  void touch(std::uint32_t i) {
+    if (head_ == i) return;
+    unlink(i);
+    link_front(i);
+  }
+
+  /// The key's home position in the probe table.
+  [[nodiscard]] std::size_t home_of(const net::VnEid& eid) const {
+    return std::hash<net::VnEid>{}(eid) & table_mask_;
+  }
+
+  /// Linear-probes the flat table; returns the slot index or kNone.
+  [[nodiscard]] std::uint32_t index_find(const net::VnEid& eid) const {
+    if (table_.empty()) return kNone;
+    std::size_t idx = home_of(eid);
+    while (true) {
+      const std::uint32_t e = table_[idx];
+      if (e == kNone) return kNone;
+      if (slots_[e].eid == eid) return e;
+      idx = (idx + 1) & table_mask_;
+    }
+  }
+
+  /// Inserts `slot` under `eid`; the key must not already be present.
+  void index_insert(const net::VnEid& eid, std::uint32_t slot);
+  /// Removes `eid` from the table with backward-shift compaction.
+  void index_erase(const net::VnEid& eid);
+  /// Rebuilds the probe table at `new_table_size` (a power of two).
+  void index_rehash(std::size_t new_table_size);
+  /// Removes the entry in slot `i` entirely and recycles the slot.
+  void erase_slot(std::uint32_t i);
   void evict_if_needed();
+  /// Allocates a slot (from the free list when possible).
+  std::uint32_t new_slot();
 
   std::size_t capacity_;
   std::size_t positive_count_ = 0;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<net::VnEid, LruList::iterator> index_;
+  std::size_t size_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t head_ = kNone;  // most recently used
+  std::uint32_t tail_ = kNone;  // least recently used
+  std::vector<std::uint32_t> table_;  // slot indices, kNone = empty
+  std::size_t table_mask_ = 0;
   Stats stats_;
 };
 

@@ -114,27 +114,46 @@ struct VnEid {
   friend constexpr auto operator<=>(const VnEid&, const VnEid&) = default;
 };
 
+/// 64-bit avalanche (splitmix64 finalizer): every input bit flips each
+/// output bit with ~1/2 probability, so nearby keys land in distant buckets.
+constexpr std::size_t hash_mix(std::size_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-sensitive combiner (boost-style, 64-bit constants). The previous
+/// `hash(vn) ^ (hash(eid) << 1)` collided systematically: both operands were
+/// structured multiplies, so related (VN, EID) pairs cancelled each other.
+constexpr std::size_t hash_combine(std::size_t seed, std::size_t value) noexcept {
+  return seed ^ (hash_mix(value) + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
 }  // namespace sda::net
 
 template <>
 struct std::hash<sda::net::Eid> {
   std::size_t operator()(const sda::net::Eid& e) const noexcept {
-    std::size_t h = static_cast<std::size_t>(e.family()) * 0x100000001b3ull;
+    const std::size_t family = static_cast<std::size_t>(e.family());
     switch (e.family()) {
       case sda::net::EidFamily::Ipv4:
-        return h ^ std::hash<sda::net::Ipv4Address>{}(e.ipv4());
+        return sda::net::hash_combine(family, std::hash<sda::net::Ipv4Address>{}(e.ipv4()));
       case sda::net::EidFamily::Ipv6:
-        return h ^ std::hash<sda::net::Ipv6Address>{}(e.ipv6());
+        return sda::net::hash_combine(family, std::hash<sda::net::Ipv6Address>{}(e.ipv6()));
       case sda::net::EidFamily::Mac:
-        return h ^ std::hash<sda::net::MacAddress>{}(e.mac());
+        return sda::net::hash_combine(family, std::hash<sda::net::MacAddress>{}(e.mac()));
     }
-    return h;
+    return sda::net::hash_mix(family);
   }
 };
 
 template <>
 struct std::hash<sda::net::VnEid> {
   std::size_t operator()(const sda::net::VnEid& v) const noexcept {
-    return std::hash<sda::net::VnId>{}(v.vn) ^ (std::hash<sda::net::Eid>{}(v.eid) << 1);
+    return sda::net::hash_combine(std::size_t{v.vn.value()},
+                                  std::hash<sda::net::Eid>{}(v.eid));
   }
 };

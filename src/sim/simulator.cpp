@@ -1,53 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-#include <utility>
-
 namespace sda::sim {
-
-EventHandle Simulator::schedule_at(SimTime when, Action action) {
-  assert(action);
-  if (when < now_) when = now_;  // no scheduling into the past
-  const std::uint64_t sequence = next_sequence_++;
-  queue_.push(Event{when, sequence, std::move(action)});
-  live_sequences_.insert(sequence);
-  return EventHandle{sequence};
-}
-
-bool Simulator::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  // Only a still-pending event can be cancelled: a handle whose event
-  // already executed (or was already cancelled) is no longer live, and
-  // cancelling it must be a counted-for no-op.
-  if (live_sequences_.erase(handle.sequence_) == 0) return false;
-  cancelled_sequences_.insert(handle.sequence_);
-  return true;
-}
-
-void Simulator::skip_cancelled() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_sequences_.find(queue_.top().sequence);
-    if (it == cancelled_sequences_.end()) return;
-    cancelled_sequences_.erase(it);
-    queue_.pop();
-  }
-}
-
-bool Simulator::step() {
-  skip_cancelled();
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the Event must be moved out via a
-  // const_cast-free copy of the action. Extract by re-popping.
-  Event event{queue_.top().when, queue_.top().sequence,
-              std::move(const_cast<Event&>(queue_.top()).action)};
-  queue_.pop();
-  live_sequences_.erase(event.sequence);
-  assert(event.when >= now_);
-  now_ = event.when;
-  ++executed_;
-  event.action();
-  return true;
-}
 
 std::size_t Simulator::run() {
   std::size_t n = 0;
@@ -59,7 +12,7 @@ std::size_t Simulator::run_until(SimTime until) {
   std::size_t n = 0;
   while (true) {
     skip_cancelled();
-    if (queue_.empty() || queue_.top().when > until) break;
+    if (heap_.empty() || heap_.front().when > until) break;
     step();
     ++n;
   }

@@ -34,42 +34,58 @@ bool UnderlayNetwork::reachable(NodeId node, net::Ipv4Address rloc) {
   return table(node).reachable(*dest);
 }
 
-std::optional<sim::Duration> UnderlayNetwork::transit_delay(NodeId from,
-                                                            net::Ipv4Address to_rloc,
-                                                            std::uint64_t flow_hash,
-                                                            std::size_t bytes) {
+std::optional<UnderlayNetwork::ResolvedRoute> UnderlayNetwork::resolve_route(
+    NodeId from, net::Ipv4Address to_rloc) {
   const auto dest = topology_.node_by_loopback(to_rloc);
   if (!dest) return std::nullopt;
-  if (*dest == from) return sim::Duration{0};
+  if (*dest == from) return ResolvedRoute{true, nullptr};
   const SpfRoute* route = table(from).route(*dest);
   if (!route) return std::nullopt;
-  (void)flow_hash;  // ECMP member choice does not change modeled latency
-                    // (equal-cost paths share the metric); the hash is kept
-                    // in the signature for per-flow pinning extensions.
-  sim::Duration delay = route->latency;
-  delay += config_.per_hop_processing * route->hop_count;
+  return ResolvedRoute{false, route};
+}
+
+sim::Duration UnderlayNetwork::modeled_delay(const ResolvedRoute& resolved,
+                                             std::size_t bytes) const {
+  if (resolved.self) return sim::Duration{0};
+  const SpfRoute& route = *resolved.route;
+  sim::Duration delay = route.latency;
+  delay += config_.per_hop_processing * route.hop_count;
   if (config_.model_serialization && bytes > 0) {
     // Serialize once per hop at 10 Gbps nominal: bytes * 8 / 10e9 seconds.
     const auto per_hop_ns = static_cast<std::int64_t>(static_cast<double>(bytes) * 8.0 / 10.0);
-    delay += sim::Duration{per_hop_ns * route->hop_count};
+    delay += sim::Duration{per_hop_ns * route.hop_count};
   }
   return delay;
 }
 
+std::optional<sim::Duration> UnderlayNetwork::transit_delay(NodeId from,
+                                                            net::Ipv4Address to_rloc,
+                                                            std::uint64_t flow_hash,
+                                                            std::size_t bytes) {
+  (void)flow_hash;  // ECMP member choice does not change modeled latency
+                    // (equal-cost paths share the metric); the hash is kept
+                    // in the signature for per-flow pinning extensions.
+  const auto resolved = resolve_route(from, to_rloc);
+  if (!resolved) return std::nullopt;
+  return modeled_delay(*resolved, bytes);
+}
+
 bool UnderlayNetwork::deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash,
-                              std::size_t bytes, std::function<void()> on_arrival,
+                              std::size_t bytes, sim::InlineAction on_arrival,
                               TrafficClass cls) {
-  const auto delay = transit_delay(from, to_rloc, flow_hash, bytes);
-  if (!delay) {
+  (void)flow_hash;
+  // Resolve the SPF route exactly once: the delay model and the fault
+  // injector's hop count used to each recompute it (up to three lookups
+  // per packet).
+  const auto resolved = resolve_route(from, to_rloc);
+  if (!resolved) {
     ++unreachable_drops_;
     return false;
   }
+  const sim::Duration delay = modeled_delay(*resolved, bytes);
   sim::Duration jitter{0};
   if (fault_injector_) {
-    std::uint32_t hops = 0;
-    if (const auto dest = topology_.node_by_loopback(to_rloc); dest && *dest != from) {
-      if (const SpfRoute* route = table(from).route(*dest)) hops = route->hop_count;
-    }
+    const std::uint32_t hops = resolved->self ? 0 : resolved->route->hop_count;
     const FaultDecision decision = fault_injector_(from, to_rloc, bytes, hops, cls);
     if (decision.drop) {
       ++fault_drops_;
@@ -77,7 +93,7 @@ bool UnderlayNetwork::deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64
     }
     jitter = decision.extra_delay;
   }
-  simulator_.schedule_after(*delay + jitter, std::move(on_arrival));
+  simulator_.schedule_after(delay + jitter, std::move(on_arrival));
   return true;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/ip_address.hpp"
+#include "sim/inline_action.hpp"
 #include "sim/simulator.hpp"
 #include "underlay/spf.hpp"
 #include "underlay/topology.hpp"
@@ -81,9 +82,10 @@ class UnderlayNetwork {
 
   /// Delivers after the transit delay; returns false (and drops) when the
   /// destination is unreachable at send time or a fault injector drops the
-  /// packet in transit.
+  /// packet in transit. The SPF route is resolved exactly once per call and
+  /// shared between the delay model and the fault injector's hop count.
   bool deliver(NodeId from, net::Ipv4Address to_rloc, std::uint64_t flow_hash, std::size_t bytes,
-               std::function<void()> on_arrival, TrafficClass cls = TrafficClass::Data);
+               sim::InlineAction on_arrival, TrafficClass cls = TrafficClass::Data);
 
   /// Installs (or clears, with nullptr) the fault interposer.
   void set_fault_injector(FaultInjector injector) { fault_injector_ = std::move(injector); }
@@ -112,6 +114,18 @@ class UnderlayNetwork {
     WatchCallback callback;
     std::unordered_map<net::Ipv4Address, bool> last_view;
   };
+
+  /// One-probe route resolution shared by transit_delay() and deliver():
+  /// `self` means from == destination node (zero-hop delivery); otherwise
+  /// `route` is the SPF route, or nullptr when unreachable.
+  struct ResolvedRoute {
+    bool self = false;
+    const SpfRoute* route = nullptr;
+  };
+  [[nodiscard]] std::optional<ResolvedRoute> resolve_route(NodeId from,
+                                                           net::Ipv4Address to_rloc);
+  [[nodiscard]] sim::Duration modeled_delay(const ResolvedRoute& resolved,
+                                            std::size_t bytes) const;
 
   void refresh(NodeId node);
   void notify_watchers();

@@ -88,7 +88,7 @@ TEST_P(MapCacheProperty, AgreesWithReferenceModel) {
   for (int op = 0; op < param.operations; ++op) {
     now += sim::Duration{std::chrono::seconds{rng.next_below(20)}};
     const auto eid = eid_of(static_cast<std::uint32_t>(rng.next_below(24)));  // dense keys
-    const int roll = static_cast<int>(rng.next_below(10));
+    const int roll = static_cast<int>(rng.next_below(11));
 
     if (roll < 4) {  // install
       MapReply reply;
@@ -120,9 +120,19 @@ TEST_P(MapCacheProperty, AgreesWithReferenceModel) {
         }
       }
       EXPECT_EQ(a, b);
-    } else {  // sweep
+    } else if (roll == 9) {  // sweep
       cache.sweep(now);
       reference.recency.remove_if([now](const auto& e) { return e.expires <= now; });
+    } else {  // invalidate_rloc (RLOC probe failure purge)
+      const auto rloc = Ipv4Address{0xC0A80000u + static_cast<std::uint32_t>(rng.next_below(4))};
+      const std::size_t purged = cache.invalidate_rloc(rloc);
+      std::size_t expected_purged = 0;
+      reference.recency.remove_if([rloc, &expected_purged](const auto& e) {
+        if (e.negative || e.rloc != rloc) return false;
+        ++expected_purged;
+        return true;
+      });
+      EXPECT_EQ(purged, expected_purged) << "op " << op;
     }
 
     ASSERT_EQ(cache.size(), reference.recency.size()) << "op " << op;

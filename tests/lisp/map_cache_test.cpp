@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace sda::lisp {
 namespace {
 
@@ -172,6 +174,38 @@ TEST(MapCache, WalkVisitsAll) {
   int count = 0;
   cache.walk([&](const VnEid&, const MapCacheEntry&) { ++count; });
   EXPECT_EQ(count, 2);
+}
+
+TEST(MapCache, WalkVisitsMruFirst) {
+  // The walk order is part of the contract (probe sweeps and inspect dumps
+  // rely on recency order): most recently used first.
+  MapCache cache;
+  cache.install(eid("10.1.0.1"), reply("10.0.0.2"), at_s(0));
+  cache.install(eid("10.1.0.2"), reply("10.0.0.3"), at_s(0));
+  cache.install(eid("10.1.0.3"), reply("10.0.0.4"), at_s(0));
+  // Touch .1: it becomes MRU ahead of .3 and .2.
+  EXPECT_NE(cache.lookup(eid("10.1.0.1"), at_s(1)), nullptr);
+  std::vector<VnEid> order;
+  cache.walk([&](const VnEid& key, const MapCacheEntry&) { order.push_back(key); });
+  EXPECT_EQ(order,
+            (std::vector<VnEid>{eid("10.1.0.1"), eid("10.1.0.3"), eid("10.1.0.2")}));
+}
+
+TEST(MapCache, SlotReuseChurnStaysConsistent) {
+  // Hammer install/invalidate cycles through the free list: recycled slots
+  // must never leak stale links into the LRU chain or the counters.
+  MapCache cache{4};
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const auto key =
+        VnEid{VnId{1}, Eid{Ipv4Address{0x0A010000u + static_cast<std::uint32_t>(cycle % 8)}}};
+    cache.install(key, reply("10.0.0.2"), at_s(cycle));
+    if (cycle % 3 == 0) cache.invalidate(key);
+    EXPECT_LE(cache.size(), 4u);
+    EXPECT_LE(cache.positive_size(), cache.size());
+  }
+  std::size_t walked = 0;
+  cache.walk([&](const VnEid&, const MapCacheEntry&) { ++walked; });
+  EXPECT_EQ(walked, cache.size());
 }
 
 TEST(MapCache, GroupTagCarriedFromReply) {

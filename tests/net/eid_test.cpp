@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 namespace sda::net {
 namespace {
@@ -66,6 +68,49 @@ TEST(Eid, HashSeparatesFamilies) {
   EXPECT_NE(v4, mac);
   std::unordered_set<Eid> set{v4, mac};
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(VnEid, HashDistributionOverDenseKeys) {
+  // The workload's keys are the worst case for a weak hash: sequential IPv4
+  // EIDs inside a handful of VNs (exactly what subnets produce). The old
+  // `hash(vn) ^ (hash(eid) << 1)` combiner collapsed these onto a few
+  // buckets; the mixed combiner must spread them like random keys.
+  constexpr std::size_t kVns = 4;
+  constexpr std::size_t kHosts = 4096;
+  constexpr std::size_t kBuckets = 1024;  // power of two, like the flat tables
+  std::vector<std::size_t> bucket_load(kBuckets, 0);
+  std::unordered_set<std::size_t> distinct;
+  for (std::uint32_t vn = 1; vn <= kVns; ++vn) {
+    for (std::uint32_t host = 0; host < kHosts; ++host) {
+      const VnEid key{VnId{vn}, Eid{Ipv4Address{0x0A000000u + host}}};
+      const std::size_t h = std::hash<VnEid>{}(key);
+      distinct.insert(h);
+      ++bucket_load[h & (kBuckets - 1)];
+    }
+  }
+  const std::size_t total = kVns * kHosts;
+  // No full-hash collisions across 16k structured keys (a weak combiner
+  // produced thousands here).
+  EXPECT_EQ(distinct.size(), total);
+  // Bucket loads stay near the mean: for 16k balls in 1k bins (mean 16),
+  // a healthy hash keeps every bin under ~3x the mean.
+  const std::size_t mean = total / kBuckets;
+  std::size_t worst = 0;
+  for (const std::size_t load : bucket_load) worst = std::max(worst, load);
+  EXPECT_LE(worst, mean * 3) << "hash clumps structured keys into few buckets";
+}
+
+TEST(Eid, HashDistributionAcrossFamilies) {
+  // MAC and IPv6 EIDs derived from the same counter must not collide with
+  // the IPv4 EIDs of that counter (shared low bytes are the common case:
+  // SLAAC addresses and locally administered MACs both embed small ints).
+  std::unordered_set<std::size_t> distinct;
+  constexpr std::size_t kPerFamily = 2048;
+  for (std::uint32_t i = 0; i < kPerFamily; ++i) {
+    distinct.insert(std::hash<Eid>{}(Eid{Ipv4Address{i}}));
+    distinct.insert(std::hash<Eid>{}(Eid{MacAddress::from_u64(i)}));
+  }
+  EXPECT_EQ(distinct.size(), 2 * kPerFamily);
 }
 
 TEST(Rloc, WireRoundTrip) {

@@ -210,6 +210,54 @@ TEST(Simulator, CancelExecutedHandleDoesNotEatPendingEvents) {
   EXPECT_TRUE(ran);
 }
 
+TEST(Simulator, StaleHandleAfterSlotReuseIsRejected) {
+  // The executed event's slot is recycled for the next schedule; the old
+  // handle must not be able to cancel the slot's new occupant (generation
+  // stamps tell them apart).
+  Simulator sim;
+  const EventHandle first = sim.schedule_at(SimTime{Duration{10}}, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule_at(SimTime{Duration{20}}, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(sim.cancel(first));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelledSlotReuseKeepsNewEventLive) {
+  // Same as above but the slot is freed by cancel() rather than execution,
+  // and the stale queue entry is still in the heap when the slot is reused.
+  Simulator sim;
+  bool first_ran = false;
+  bool second_ran = false;
+  const EventHandle first = sim.schedule_at(SimTime{Duration{10}}, [&] { first_ran = true; });
+  EXPECT_TRUE(sim.cancel(first));
+  const EventHandle second = sim.schedule_at(SimTime{Duration{10}}, [&] { second_ran = true; });
+  EXPECT_FALSE(sim.cancel(first));  // stale generation on the recycled slot
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(sim.cancel(second));  // executed
+}
+
+TEST(Simulator, ManyRecyclesKeepStaleHandlesInert) {
+  Simulator sim;
+  std::vector<EventHandle> stale;
+  int ran = 0;
+  for (int round = 0; round < 100; ++round) {
+    stale.push_back(sim.schedule_at(SimTime{Duration{round}}, [&] { ++ran; }));
+    sim.run();
+  }
+  EXPECT_EQ(ran, 100);
+  bool live_ran = false;
+  sim.schedule_at(SimTime{Duration{1000}}, [&] { live_ran = true; });
+  for (const EventHandle& h : stale) EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(live_ran);
+}
+
 TEST(SimTime, ArithmeticAndFormatting) {
   const SimTime t{std::chrono::seconds{3723} + std::chrono::milliseconds{45}};
   EXPECT_DOUBLE_EQ(t.seconds(), 3723.045);
