@@ -10,6 +10,7 @@
 //
 // Fully deterministic for a fixed seed: rerunning produces byte-identical
 // tables and CSV, so chaos results are comparable across code changes.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -373,6 +374,203 @@ DrillResult run_drill(bool ha_on) {
   return result;
 }
 
+// --- Election drill: kill the elected leader, resurrect it stale ------------
+//
+// Same scale-out fabric with leader election on: server 0 leads until it is
+// blacked out mid-run; the replica's watchdog opens a new term and takes
+// over the acking authority and the pub/sub feed (borders snapshot-resync
+// onto it). The dead ex-leader then returns still believing it leads — its
+// stale-term asserts/acks/pushes must all be fenced (zero stale accepts).
+
+struct ElectionDrillResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t term = 0;
+  std::size_t leader = 0;
+  std::uint64_t elections = 0;
+  std::uint64_t resyncs = 0;        // border snapshot pulls (feed re-homes)
+  std::uint64_t stale_rejects = 0;  // epoch-fenced messages, all receivers
+  std::uint64_t stale_accepts = 0;  // fence breaches (must be 0)
+  std::uint64_t min_feed_epoch = 0;
+
+  [[nodiscard]] double fraction() const {
+    return sent ? static_cast<double>(delivered) / static_cast<double>(sent) : 1.0;
+  }
+};
+
+ElectionDrillResult run_election_drill() {
+  constexpr int kDrillFlows = 12;
+  constexpr auto kDrillRun = seconds{9};
+  constexpr auto kKillAt = seconds{2};
+  constexpr auto kKillFor = seconds{3};  // resurrects at 5s, stale
+
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 2;
+  config.default_route_fallback = false;
+  config.pending_packet_limit = 8;
+  config.map_request_retries = 8;
+  config.map_register_retries = 10;
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.anti_entropy_interval = milliseconds{500};
+  config.ha.election = true;
+  config.ha.election_heartbeat_interval = milliseconds{100};
+  config.ha.election_timeout = milliseconds{400};
+  config.ha.election_claim_timeout = milliseconds{60};
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 6; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "b0");
+    fabric.link(edges.back(), "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  std::vector<net::Ipv4Address> ips(kDrillFlows + 1);
+  for (int i = 0; i < kDrillFlows + 1; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < kDrillFlows) {
+      fabric.connect_endpoint(
+          def.credential, edges[static_cast<std::size_t>(i) % edges.size()], 1,
+          [&ips, i](const fabric::OnboardResult& r) { ips[static_cast<std::size_t>(i)] = r.ip; });
+    }
+  }
+  sim.run_until(sim.now() + seconds{1});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.set_recorder(&fabric.flight_recorder());
+
+  ElectionDrillResult result;
+  const sim::SimTime t0 = sim.now();
+  fabric.set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++result.delivered;
+      });
+  const auto flow = [&](int from, int to, sim::Duration start) {
+    for (sim::Duration at = start + kSendGap * from / kDrillFlows; at < kDrillRun;
+         at += kSendGap) {
+      sim.schedule_at(t0 + at, [&, from, to] {
+        if (!fabric.endpoint_send_udp(mac(static_cast<std::uint64_t>(from)),
+                                      ips[static_cast<std::size_t>(to)], 443, 200)) {
+          return;
+        }
+        ++result.sent;
+      });
+    }
+  };
+  for (int i = 0; i < 6; ++i) flow(i, (i + 1) % 6, sim::Duration{0});
+  flow(6, 9, kKillAt + milliseconds{600});
+  flow(8, 11, kKillAt + milliseconds{600});
+
+  // Kill the leader; it resurrects at kKillAt + kKillFor still on its old
+  // term. A late endpoint onboards while the new leader runs the control
+  // plane — its registration is acked under the new term.
+  plane.server_outage(fabric.map_server_node(0), kKillAt, kKillFor);
+  sim.schedule_at(t0 + seconds{4}, [&] {
+    fabric.connect_endpoint(host(kDrillFlows), edges[1], 2,
+                            [&ips](const fabric::OnboardResult& r) { ips.back() = r.ip; });
+  });
+
+  sim.run_until(t0 + kDrillRun + seconds{2});
+
+  const fabric::HaMonitor& ha = *fabric.ha_monitor();
+  result.term = ha.epoch();
+  result.leader = ha.leader();
+  result.elections = ha.counters().elections_started;
+  result.stale_rejects = ha.counters().epoch_rejections;
+  result.stale_accepts = fabric.stale_epoch_acks_accepted();
+  result.min_feed_epoch = ~std::uint64_t{0};
+  for (const auto& name : fabric.border_names()) {
+    const auto& border = fabric.border(name);
+    result.resyncs += border.counters().snapshots_applied;
+    result.stale_rejects += border.counters().stale_epoch_rejected;
+    result.min_feed_epoch = std::min(result.min_feed_epoch, border.feed_epoch());
+  }
+  for (const auto& name : edges) {
+    result.stale_rejects += fabric.edge(name).counters().stale_epoch_rejected;
+  }
+  return result;
+}
+
+// --- Oscillation drill: flap dampening vs failover churn --------------------
+//
+// Server 0 oscillates at the miss/ack boundary (down long enough to be
+// declared dead, up long enough to pass fail-back hysteresis, three
+// times). Without dampening that is three full failover/failback churn
+// cycles; with it the penalty crosses the suppress threshold after the
+// first flap and the server is held down until the penalty decays.
+
+struct OscillationDrillResult {
+  std::uint64_t failovers = 0;
+  std::uint64_t failbacks = 0;
+  std::uint64_t suppressions = 0;
+  bool released = false;  // suppression lifted once the penalty decayed
+};
+
+OscillationDrillResult run_oscillation_drill(bool dampening_on) {
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 2;
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.dampening = dampening_on;
+  config.ha.dampening_penalty = 1000.0;
+  config.ha.dampening_suppress = 1500.0;
+  config.ha.dampening_reuse = 500.0;
+  config.ha.dampening_half_life = seconds{1};
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  for (int e = 0; e < 4; ++e) {
+    const std::string name = std::string{"e"} + std::to_string(e);
+    fabric.add_edge(name);
+    fabric.link(name, "b0");
+    fabric.link(name, "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  sim.run_until(sim.now() + milliseconds{500});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.server_oscillation(fabric.map_server_node(0), milliseconds{100},
+                           /*down_for=*/milliseconds{400}, /*up_for=*/milliseconds{600},
+                           /*cycles=*/3);
+  sim.run_until(sim.now() + seconds{8});  // oscillation + penalty decay
+
+  OscillationDrillResult result;
+  const fabric::HaMonitor& ha = *fabric.ha_monitor();
+  result.failovers = ha.counters().failovers;
+  result.failbacks = ha.counters().failbacks;
+  result.suppressions = ha.counters().suppressions;
+  result.released = !ha.suppressed(0) && ha.server_up(0);
+  return result;
+}
+
 void print_drill_line(const char* mode, const DrillResult& r) {
   std::printf(
       "drill ha=%s sent=%llu delivered=%llu fraction=%.4f reconv_ms=%.0f "
@@ -385,15 +583,39 @@ void print_drill_line(const char* mode, const DrillResult& r) {
       static_cast<unsigned long long>(r.request_retries));
 }
 
+void print_election_drill_line(const ElectionDrillResult& r) {
+  std::printf(
+      "edrill term=%llu leader=%llu elections=%llu resyncs=%llu stale_rejects=%llu "
+      "stale_accepts=%llu min_feed_epoch=%llu fraction=%.4f\n",
+      static_cast<unsigned long long>(r.term), static_cast<unsigned long long>(r.leader),
+      static_cast<unsigned long long>(r.elections),
+      static_cast<unsigned long long>(r.resyncs),
+      static_cast<unsigned long long>(r.stale_rejects),
+      static_cast<unsigned long long>(r.stale_accepts),
+      static_cast<unsigned long long>(r.min_feed_epoch), r.fraction());
+}
+
+void print_oscillation_drill_line(const char* mode, const OscillationDrillResult& r) {
+  std::printf(
+      "odrill dampening=%s failovers=%llu failbacks=%llu suppressions=%llu released=%d\n",
+      mode, static_cast<unsigned long long>(r.failovers),
+      static_cast<unsigned long long>(r.failbacks),
+      static_cast<unsigned long long>(r.suppressions), r.released ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool drill_only = argc > 1 && std::strcmp(argv[1], "--drill") == 0;
   if (drill_only) {
     // Machine-parseable mode for scripts/check_failover.sh: the server-kill
-    // drill with and without the HA layer, nothing else.
+    // drill with and without the HA layer, then the leader-election and
+    // flap-dampening drills, nothing else.
     print_drill_line("on", run_drill(true));
     print_drill_line("off", run_drill(false));
+    print_election_drill_line(run_election_drill());
+    print_oscillation_drill_line("on", run_oscillation_drill(true));
+    print_oscillation_drill_line("off", run_oscillation_drill(false));
     return 0;
   }
   std::printf("=== Chaos convergence: delivered traffic under a seeded fault storm ===\n");
@@ -449,6 +671,28 @@ int main(int argc, char** argv) {
   std::printf("%s\n", drill_table.render().c_str());
   std::printf("takeaway: without failover, flows homed on the dead server blackhole\n");
   std::printf("until it returns; with HA the same kill costs a sub-second blip and the\n");
-  std::printf("replica divergence is repaired by anti-entropy instead of staying stale.\n");
+  std::printf("replica divergence is repaired by anti-entropy instead of staying stale.\n\n");
+
+  std::printf("=== Election drill: leader killed, resurrected stale ===\n");
+  const ElectionDrillResult e = run_election_drill();
+  std::printf(
+      "term %llu, leader %llu after the kill; %llu border snapshot resyncs re-homed the\n"
+      "feed; %llu stale-epoch messages fenced, %llu accepted; delivered fraction %.4f.\n\n",
+      static_cast<unsigned long long>(e.term), static_cast<unsigned long long>(e.leader),
+      static_cast<unsigned long long>(e.resyncs),
+      static_cast<unsigned long long>(e.stale_rejects),
+      static_cast<unsigned long long>(e.stale_accepts), e.fraction());
+
+  std::printf("=== Oscillation drill: 3 down/up cycles on server 0 ===\n");
+  const OscillationDrillResult damped = run_oscillation_drill(true);
+  const OscillationDrillResult churn = run_oscillation_drill(false);
+  std::printf(
+      "dampening off: %llu failovers, %llu failbacks (full churn every cycle).\n"
+      "dampening on:  %llu failover, %llu suppression%s; server released after decay: %s.\n",
+      static_cast<unsigned long long>(churn.failovers),
+      static_cast<unsigned long long>(churn.failbacks),
+      static_cast<unsigned long long>(damped.failovers),
+      static_cast<unsigned long long>(damped.suppressions),
+      damped.suppressions == 1 ? "" : "s", damped.released ? "yes" : "no");
   return 0;
 }

@@ -14,6 +14,16 @@
 #   * with HA off, the same kill is visible (fraction <= 97%, loss
 #     persisting past the outage) — i.e. the drill has teeth and the
 #     HA-on result is not an artifact of a toothless scenario.
+#
+# Then the election drill (leader killed, resurrected stale) and the
+# oscillation drill (3 down/up cycles with/without flap dampening):
+#   * killing the elected leader opens a new term with a different leader,
+#     the pub/sub feed re-homes via border snapshot resyncs, and every
+#     stale-epoch message from the resurrected ex-leader is fenced —
+#     zero stale accepts;
+#   * an oscillating server causes at most one failover with dampening on
+#     (suppression holds it down until the penalty decays), versus churn
+#     on every cycle with dampening off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,13 +41,21 @@ python3 - "$DRILL_OUT" <<'PY'
 import sys
 
 runs = {}
+election = None
+oscillation = {}
 for line in open(sys.argv[1]):
     fields = line.split()
-    if not fields or fields[0] != "drill":
+    if not fields:
         continue
     kv = dict(f.split("=", 1) for f in fields[1:])
-    mode = kv.pop("ha")
-    runs[mode] = {k: float(v) for k, v in kv.items()}
+    if fields[0] == "drill":
+        mode = kv.pop("ha")
+        runs[mode] = {k: float(v) for k, v in kv.items()}
+    elif fields[0] == "edrill":
+        election = {k: float(v) for k, v in kv.items()}
+    elif fields[0] == "odrill":
+        mode = kv.pop("dampening")
+        oscillation[mode] = {k: float(v) for k, v in kv.items()}
 
 assert set(runs) == {"on", "off"}, f"expected HA on+off drill lines, got {sorted(runs)}"
 on, off = runs["on"], runs["off"]
@@ -61,7 +79,41 @@ assert off["reconv_ms"] > 0, "HA-off run shows no post-outage loss to recover fr
 assert off["fraction"] + 0.02 <= on["fraction"], \
     "HA on/off fractions too close to attribute to failover"
 
+# Election drill: the leader kill must open a new term under a new leader...
+assert election is not None, "no edrill line in drill output"
+assert election["term"] >= 2, f"leader kill never opened a new term (term {election['term']:.0f})"
+assert election["leader"] != 0, "dead server 0 still considered leader after the kill"
+assert election["elections"] >= 1, "no election was ever started"
+# ...the pub/sub feed must re-home onto the new leader via snapshot resync...
+assert election["resyncs"] >= 1, "no border snapshot resync: feed never re-homed"
+assert election["min_feed_epoch"] >= 2, \
+    f"a border is still on the old feed epoch ({election['min_feed_epoch']:.0f})"
+# ...and the resurrected stale leader must be fenced, never believed.
+assert election["stale_rejects"] >= 1, \
+    "resurrected ex-leader produced no fenced stale-epoch messages"
+assert election["stale_accepts"] == 0, \
+    f"{election['stale_accepts']:.0f} stale-epoch acks accepted: epoch fence leaked"
+assert election["fraction"] >= 0.97, \
+    f"election-drill delivered fraction {election['fraction']:.4f} < 0.97"
+
+# Oscillation drill: dampening must cap churn at one failover...
+assert set(oscillation) == {"on", "off"}, \
+    f"expected dampening on+off odrill lines, got {sorted(oscillation)}"
+damped, churn = oscillation["on"], oscillation["off"]
+assert damped["failovers"] == 1, \
+    f"oscillating server caused {damped['failovers']:.0f} failovers despite dampening"
+assert damped["suppressions"] >= 1, "dampening never suppressed the flapping server"
+assert damped["released"] == 1, "suppression never released after the penalty decayed"
+# ...and without dampening the same oscillation must churn, or the drill
+# proves nothing.
+assert churn["failovers"] >= 2, \
+    f"undamped oscillation caused only {churn['failovers']:.0f} failovers: no churn to damp"
+
 print(f"check_failover: OK (HA-on fraction {on['fraction']:.4f}, "
       f"HA-off {off['fraction']:.4f}, HA-on reconv {on['reconv_ms']:.0f}ms, "
-      f"failovers {on['failovers']:.0f}, repairs {on['anti_entropy_repairs']:.0f})")
+      f"failovers {on['failovers']:.0f}, repairs {on['anti_entropy_repairs']:.0f}; "
+      f"election term {election['term']:.0f} leader {election['leader']:.0f}, "
+      f"resyncs {election['resyncs']:.0f}, stale rejects {election['stale_rejects']:.0f}, "
+      f"stale accepts 0; damped failovers {damped['failovers']:.0f} "
+      f"vs undamped {churn['failovers']:.0f})")
 PY

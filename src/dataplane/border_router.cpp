@@ -1,5 +1,7 @@
 #include "dataplane/border_router.hpp"
 
+#include <algorithm>
+
 #include "telemetry/metrics.hpp"
 
 namespace sda::dataplane {
@@ -7,28 +9,51 @@ namespace sda::dataplane {
 BorderRouter::BorderRouter(sim::Simulator& simulator, BorderRouterConfig config)
     : simulator_(simulator), config_(std::move(config)), sgacl_(config_.default_action) {}
 
-void BorderRouter::receive_publish(const lisp::Publish& publish) {
+bool BorderRouter::receive_publish(const lisp::Publish& publish) {
+  // Split-brain fence: reject pushes from a deposed leader's epoch; a
+  // *newer* epoch means the feed re-homed to a freshly elected leader, so
+  // adopt it and pull a snapshot from the new authority (discarding this
+  // update — the snapshot supersedes it).
+  if (publish.epoch != 0) {
+    if (publish.epoch < feed_epoch_) {
+      ++counters_.stale_epoch_rejected;
+      return false;
+    }
+    if (publish.epoch > feed_epoch_) {
+      // First epoch observation (feed_epoch_ == 0) is the election layer
+      // coming up mid-stream: the feed is still the same continuous
+      // sequence, so adopt silently. A later term bump means the feed
+      // re-homed to a new leader — discard and pull its snapshot.
+      const bool rehomed = feed_epoch_ != 0;
+      feed_epoch_ = publish.epoch;
+      if (rehomed) {
+        request_resync();
+        return true;
+      }
+    }
+  }
   if (publish.seq != 0) {
     // While a snapshot is in flight, individual updates are discarded: the
     // snapshot supersedes them, and any update it misses re-surfaces as a
     // gap on the next sequenced publish.
-    if (resync_in_flight_) return;
+    if (resync_in_flight_) return true;
     if (publish.seq != next_publish_seq_) {
       ++counters_.out_of_sequence;
       request_resync();
-      return;
+      return true;
     }
     ++next_publish_seq_;
   }
   if (publish.withdrawal()) {
     if (synced_.erase(publish.eid) > 0) ++counters_.withdrawals_applied;
-    return;
+    return true;
   }
   lisp::MappingRecord record;
   record.rlocs = publish.rlocs;
   record.ttl_seconds = publish.ttl_seconds;
   synced_[publish.eid] = std::move(record);
   ++counters_.publishes_applied;
+  return true;
 }
 
 void BorderRouter::bootstrap_sync(const lisp::MapServer& server) {
@@ -40,10 +65,11 @@ void BorderRouter::bootstrap_sync(const lisp::MapServer& server) {
 
 void BorderRouter::apply_snapshot(
     const std::vector<std::pair<net::VnEid, lisp::MappingRecord>>& entries,
-    std::uint64_t next_seq) {
+    std::uint64_t next_seq, std::uint64_t epoch) {
   synced_.clear();
   for (const auto& [eid, record] : entries) synced_[eid] = record;
   next_publish_seq_ = next_seq;
+  feed_epoch_ = std::max(feed_epoch_, epoch);
   resync_in_flight_ = false;
   simulator_.cancel(resync_timer_);
   resync_timer_ = {};
@@ -202,6 +228,7 @@ void BorderRouter::register_metrics(telemetry::MetricsRegistry& registry,
   add("no_route_drops", counters_.no_route_drops);
   add("ttl_drops", counters_.ttl_drops);
   add("group_rewrites", counters_.group_rewrites);
+  add("stale_epoch_rejected", counters_.stale_epoch_rejected);
   registry.register_gauge(telemetry::join(prefix, "fib_size"),
                           [this] { return static_cast<double>(fib_size()); });
   sgacl_.register_metrics(registry, telemetry::join(prefix, "sgacl"));

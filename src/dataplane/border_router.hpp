@@ -63,8 +63,11 @@ class BorderRouter {
   /// Applies one published update (install or withdrawal). Sequenced
   /// publishes (seq != 0) are gap-checked: a missing update means the feed
   /// lost a message, so the update is discarded and a snapshot resync is
-  /// requested instead of silently diverging from the server.
-  void receive_publish(const lisp::Publish& publish);
+  /// requested instead of silently diverging from the server. Epoch-stamped
+  /// publishes (epoch != 0) are additionally fenced: a stale epoch is
+  /// rejected (returns false), a newer one re-homes the feed (snapshot pull
+  /// from the new leader).
+  bool receive_publish(const lisp::Publish& publish);
 
   /// Full-table bootstrap when (re)subscribing to the routing server.
   void bootstrap_sync(const lisp::MapServer& server);
@@ -72,8 +75,10 @@ class BorderRouter {
   /// Applies a full-state snapshot captured at feed position `next_seq`
   /// (the sequence number the *next* publish will carry). Replaces the
   /// synced table wholesale and re-arms in-order delivery from there.
+  /// `epoch` (when nonzero) advances the feed's split-brain fence to the
+  /// snapshotting leader's term.
   void apply_snapshot(const std::vector<std::pair<net::VnEid, lisp::MappingRecord>>& entries,
-                      std::uint64_t next_seq);
+                      std::uint64_t next_seq, std::uint64_t epoch = 0);
 
   /// Triggers the resync protocol (gap detected, or an operator-driven
   /// reconnect after a feed outage). Retries until a snapshot applies.
@@ -84,6 +89,9 @@ class BorderRouter {
 
   /// The feed sequence number expected on the next publish.
   [[nodiscard]] std::uint64_t next_expected_seq() const { return next_publish_seq_; }
+
+  /// Highest election epoch observed on the feed (0 until elections run).
+  [[nodiscard]] std::uint64_t feed_epoch() const { return feed_epoch_; }
 
   /// The synchronized table (for entry-by-entry verification in tests).
   [[nodiscard]] const std::unordered_map<net::VnEid, lisp::MappingRecord>& synced() const {
@@ -139,6 +147,7 @@ class BorderRouter {
     std::uint64_t no_route_drops = 0;
     std::uint64_t ttl_drops = 0;
     std::uint64_t group_rewrites = 0;  // service-insertion tag changes (§5.4)
+    std::uint64_t stale_epoch_rejected = 0;  // feed pushes fenced (split-brain)
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -172,6 +181,7 @@ class BorderRouter {
 
   std::unordered_map<net::VnEid, lisp::MappingRecord> synced_;
   std::uint64_t next_publish_seq_ = 1;
+  std::uint64_t feed_epoch_ = 0;  // split-brain fence for the pub/sub feed
   bool resync_in_flight_ = false;
   sim::EventHandle resync_timer_;
   std::unordered_map<std::uint32_t, trie::PatriciaTrie<ExternalRoute>> external_;     // by VN

@@ -637,16 +637,14 @@ void EdgeRouter::abandon_pending_register(const net::VnEid& eid) {
 
 sim::Duration EdgeRouter::next_backoff(sim::Duration current, sim::Duration initial,
                                        sim::Duration cap) {
-  double next_ns;
   if (config_.retransmit_jitter) {
     // Decorrelated jitter: grows on average, never below the initial RTO,
     // and desynchronizes retransmit storms across routers.
-    next_ns = rng_.uniform(static_cast<double>(initial.count()),
-                           3.0 * static_cast<double>(current.count()));
-  } else {
-    next_ns = static_cast<double>(current.count()) * config_.retransmit_backoff;
+    return sim::decorrelated_backoff(rng_, current, initial, cap);
   }
-  next_ns = std::min(next_ns, static_cast<double>(cap.count()));
+  const double next_ns = std::min(static_cast<double>(current.count()) *
+                                      config_.retransmit_backoff,
+                                  static_cast<double>(cap.count()));
   return sim::Duration{static_cast<std::int64_t>(next_ns)};
 }
 
@@ -763,7 +761,17 @@ void EdgeRouter::transmit_l2(const AttachedEndpoint& source, const net::OverlayF
   encap_to(target_rloc, destination, source.group, false, frame);
 }
 
-void EdgeRouter::receive_map_notify(const lisp::MapNotify& notify) {
+bool EdgeRouter::receive_map_notify(const lisp::MapNotify& notify) {
+  // Split-brain fence: a notify from an older election epoch comes from a
+  // deposed primary — neither its ack (the retransmit keeps running until
+  // the real leader answers) nor its mobility payload may be believed.
+  if (notify.epoch != 0) {
+    if (notify.epoch < control_epoch_) {
+      ++counters_.stale_epoch_rejected;
+      return false;
+    }
+    control_epoch_ = notify.epoch;
+  }
   // Reliable-registration ack: a notify whose nonce matches a pending
   // register acknowledges it — consume it, never install it as a mapping.
   const auto pending = pending_registers_.find(notify.eid);
@@ -771,21 +779,22 @@ void EdgeRouter::receive_map_notify(const lisp::MapNotify& notify) {
     simulator_.cancel(pending->second.timer);
     pending_registers_.erase(pending);
     ++counters_.registers_acked;
-    return;
+    return true;
   }
   // A duplicate ack for our *own* still-attached endpoint (retransmit
   // crossed the first ack on the wire) must not masquerade as a mobility
   // update either.
-  if (local_.lookup(notify.eid) != nullptr) return;
+  if (local_.lookup(notify.eid) != nullptr) return true;
 
   // Fig. 5 steps 2-3: the mapping moved; cache the new location so in-flight
   // traffic for the roamed endpoint is forwarded to its new edge.
   if (notify.rlocs.empty()) {
     cache_.invalidate(notify.eid);
-    return;
+    return true;
   }
   cache_.install(notify.eid, notify.rlocs, config_.register_ttl_seconds, simulator_.now());
   maybe_schedule_probe_sweep();
+  return true;
 }
 
 void EdgeRouter::receive_smr(const lisp::SolicitMapRequest& smr) {
@@ -879,6 +888,7 @@ void EdgeRouter::register_metrics(telemetry::MetricsRegistry& registry,
   add("border_failbacks", counters_.border_failbacks);
   add("rule_download_failures", counters_.rule_download_failures);
   add("rule_download_retries", counters_.rule_download_retries);
+  add("stale_epoch_rejected", counters_.stale_epoch_rejected);
   registry.register_gauge(telemetry::join(prefix, "fib_size"),
                           [this] { return static_cast<double>(fib_size()); });
   registry.register_gauge(telemetry::join(prefix, "endpoints"),

@@ -211,8 +211,19 @@ class EdgeRouter {
   // --- Control plane entry points ----------------------------------------
 
   void receive_map_reply(const lisp::MapReply& reply);
-  void receive_map_notify(const lisp::MapNotify& notify);
+  /// Returns false iff the notify carried a stale election epoch and was
+  /// fenced off (its ack/mobility payload was ignored).
+  bool receive_map_notify(const lisp::MapNotify& notify);
   void receive_smr(const lisp::SolicitMapRequest& smr);
+
+  /// Split-brain fence: the highest election epoch this edge has observed.
+  /// Map-Notifies from an older epoch are rejected (a deposed primary must
+  /// not ack registers). Advertised by the fabric on leader changes and
+  /// learned from any newer-epoch notify.
+  void observe_control_epoch(std::uint64_t epoch) {
+    control_epoch_ = std::max(control_epoch_, epoch);
+  }
+  [[nodiscard]] std::uint64_t control_epoch() const { return control_epoch_; }
 
   /// The routing server shed our Map-Request (bounded admission): back off
   /// for its retry-after instead of the local RTO.
@@ -272,6 +283,7 @@ class EdgeRouter {
     std::uint64_t border_failbacks = 0;  // default route back on the primary
     std::uint64_t rule_download_failures = 0;  // policy server unreachable
     std::uint64_t rule_download_retries = 0;   // retry attempts booked
+    std::uint64_t stale_epoch_rejected = 0;    // notifies fenced (split-brain)
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -399,6 +411,8 @@ class EdgeRouter {
   /// retried on a timer while the group is still hosted here.
   std::unordered_map<std::uint64_t, std::pair<net::VnId, net::GroupId>> pending_rule_downloads_;
   std::uint64_t next_nonce_ = 1;
+  /// Highest election epoch observed (0 until the fabric runs elections).
+  std::uint64_t control_epoch_ = 0;
 
   bool probe_sweep_armed_ = false;
   bool register_refresh_armed_ = false;

@@ -68,6 +68,37 @@ struct HaConfig {
   sim::Duration anti_entropy_interval{0};
   /// How long deletion tombstones are retained for anti-entropy.
   sim::Duration tombstone_horizon = std::chrono::minutes{5};
+
+  /// Leader election (PR 6): a bully-style election over the control legs
+  /// with monotonically increasing epochs, so any live replica — not just
+  /// server 0 — can assume the primary role: the anti-entropy driver, the
+  /// Map-Notify acking authority, and the sequenced pub/sub feed. Epoch
+  /// stamps on notifies, publishes, and digests fence out a deposed leader
+  /// (split-brain). Requires >= 2 routing servers; the election timers run
+  /// forever — drive such simulations with run_until().
+  bool election = false;
+  /// The leader asserts its term to every peer at this cadence.
+  sim::Duration election_heartbeat_interval = std::chrono::milliseconds{100};
+  /// Base follower watchdog: a replica that hears no leader assert for its
+  /// (decorrelated-jittered, per-node) timeout opens a new term. Must be a
+  /// few multiples of election_heartbeat_interval.
+  sim::Duration election_timeout = std::chrono::milliseconds{400};
+  /// How long a candidate waits for a lower-index live peer to object to
+  /// its claim before declaring itself leader.
+  sim::Duration election_claim_timeout = std::chrono::milliseconds{60};
+
+  /// BGP-style hold-down flap dampening: each up/down transition adds
+  /// `dampening_penalty` to the server's penalty, which decays
+  /// exponentially with `dampening_half_life`. At or above
+  /// `dampening_suppress` the server is suppressed — excluded from
+  /// active_server_for() and from election — until the penalty decays
+  /// below `dampening_reuse`. Kills failover/failback churn from a server
+  /// oscillating at the miss/ack boundary.
+  bool dampening = false;
+  double dampening_penalty = 1000.0;
+  double dampening_suppress = 1500.0;
+  double dampening_reuse = 500.0;
+  sim::Duration dampening_half_life = std::chrono::seconds{4};
 };
 
 struct FabricConfig {

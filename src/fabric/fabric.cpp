@@ -142,10 +142,12 @@ void SdaFabric::finalize() {
   }
 
   // Control-plane HA (PR 4): heartbeat failover and/or replica
-  // anti-entropy. Each server is probed from the lead edge of the group
-  // assigned to it, so health is judged from where the traffic originates
-  // (a partitioned-but-alive server is correctly treated as down).
-  if (config_.ha.failover ||
+  // anti-entropy; plus leader election with epoch fencing and flap
+  // dampening (PR 6). Each server is probed from the lead edge of the
+  // group assigned to it, so health is judged from where the traffic
+  // originates (a partitioned-but-alive server is correctly treated as
+  // down).
+  if (config_.ha.failover || (config_.ha.election && server_nodes_.size() > 1) ||
       (config_.ha.anti_entropy_interval.count() > 0 && server_nodes_.size() > 1)) {
     std::vector<lisp::MapServerNode*> nodes;
     std::vector<lisp::MapServer*> databases;
@@ -163,7 +165,11 @@ void SdaFabric::finalize() {
         },
         [this](telemetry::EventKind kind, const std::string& node, std::string detail) {
           record_event(kind, node, std::move(detail));
-        });
+        },
+        config_.seed);
+    ha_->set_leader_changed([this](std::size_t leader, std::uint64_t epoch) {
+      on_leader_changed(leader, epoch);
+    });
     for (std::size_t e = 0; e < edge_order_.size(); ++e) {
       const std::size_t server = e % server_nodes_.size();
       if (e < server_nodes_.size()) {
@@ -175,70 +181,91 @@ void SdaFabric::finalize() {
   // Pub/sub: every border subscribes to the full feed (Fig. 1 "sync").
   // Publishes carry a feed sequence number so subscribers detect losses
   // and pull a snapshot instead of silently diverging from the server.
+  // Every replica carries the publish hook, but only the current feed
+  // authority (server 0, or the elected leader) actually pushes — its term
+  // rides on each publish so a deposed leader's pushes are fenced at the
+  // borders instead of hardcoding index 0 as the forever-primary.
   for (const auto& name : border_order_) border_feeds_[name] = BorderFeedState{};
-  map_server_.set_publish_callback([this](const net::VnEid& eid,
-                                          const lisp::MappingRecord* record) {
-    lisp::Publish publish;
-    publish.eid = eid;
-    if (record) {
-      publish.rlocs = record->rlocs;
-      publish.ttl_seconds = record->ttl_seconds;
-    }
-    publish.seq = ++publish_seq_;
-    if (telemetry_.recorder.enabled()) {
-      std::string detail = publish.withdrawal() ? "withdraw " : "publish ";
-      detail += eid.to_string();
-      detail += " seq ";
-      detail += std::to_string(publish.seq);
-      record_event(telemetry::EventKind::Publish, "map_server", std::move(detail));
-    }
-    for (const auto& name : border_order_) {
-      BorderFeedState& feed = border_feeds_.at(name);
-      if (!feed.connected) {
-        ++feed.dropped_publishes;  // surfaces as a gap after reconnect
-        continue;
+  for (std::size_t srv = 0; srv < server_nodes_.size(); ++srv) {
+    lisp::MapServer& db = srv == 0 ? map_server_ : *replica_dbs_[srv - 1];
+    db.set_publish_callback([this, srv](const net::VnEid& eid,
+                                        const lisp::MappingRecord* record) {
+      if (!is_feed_authority(srv)) return;
+      lisp::Publish publish;
+      publish.eid = eid;
+      if (record) {
+        publish.rlocs = record->rlocs;
+        publish.ttl_seconds = record->ttl_seconds;
       }
-      dataplane::BorderRouter& border = *borders_.at(name);
-      control_send(map_server_rloc_, border.rloc(),
-                   lisp::message_wire_size(lisp::Message{publish}),
-                   [this, name, publish, &border] {
-                     if (!border_feeds_.at(name).connected) {
-                       ++border_feeds_.at(name).dropped_publishes;
-                       return;  // feed went down while the update was in flight
-                     }
-                     border.receive_publish(publish);
-                     if (border_sync_listener_) {
-                       const lisp::MappingRecord* rec = nullptr;
-                       lisp::MappingRecord tmp;
-                       if (!publish.withdrawal()) {
-                         tmp.rlocs = publish.rlocs;
-                         tmp.ttl_seconds = publish.ttl_seconds;
-                         rec = &tmp;
+      publish.seq = ++publish_seq_;
+      publish.epoch = control_epoch_of(srv);
+      const net::Ipv4Address feed_rloc = server_nodes_[srv]->rloc();
+      if (telemetry_.recorder.enabled()) {
+        std::string detail = publish.withdrawal() ? "withdraw " : "publish ";
+        detail += eid.to_string();
+        detail += " seq ";
+        detail += std::to_string(publish.seq);
+        record_event(telemetry::EventKind::Publish,
+                     srv == 0 ? "map_server" : "routing_server[" + std::to_string(srv) + "]",
+                     std::move(detail));
+      }
+      for (const auto& name : border_order_) {
+        BorderFeedState& feed = border_feeds_.at(name);
+        if (!feed.connected) {
+          ++feed.dropped_publishes;  // surfaces as a gap after reconnect
+          continue;
+        }
+        dataplane::BorderRouter& border = *borders_.at(name);
+        control_send(feed_rloc, border.rloc(),
+                     lisp::message_wire_size(lisp::Message{publish}),
+                     [this, name, publish, &border] {
+                       if (!border_feeds_.at(name).connected) {
+                         ++border_feeds_.at(name).dropped_publishes;
+                         return;  // feed went down while the update was in flight
                        }
-                       border_sync_listener_(name, publish.eid, rec);
-                     }
-                   });
-    }
-  });
+                       // A stale-epoch push (deposed leader) is fenced —
+                       // do not report it as an applied sync.
+                       if (!border.receive_publish(publish)) return;
+                       if (border_sync_listener_) {
+                         const lisp::MappingRecord* rec = nullptr;
+                         lisp::MappingRecord tmp;
+                         if (!publish.withdrawal()) {
+                           tmp.rlocs = publish.rlocs;
+                           tmp.ttl_seconds = publish.ttl_seconds;
+                           rec = &tmp;
+                         }
+                         border_sync_listener_(name, publish.eid, rec);
+                       }
+                     });
+      }
+    });
 
-  // Mobility: Map-Notify the previous edge so it forwards in-flight traffic
-  // to the new location (Fig. 5 steps 2-3).
-  map_server_.set_move_callback([this](const net::VnEid& eid, net::Ipv4Address previous,
-                                       const lisp::MappingRecord& record) {
-    const auto it = edge_by_rloc_.find(previous);
-    if (it == edge_by_rloc_.end()) return;
-    lisp::MapNotify notify{0, eid, record.rlocs};
-    const std::string edge_name = it->second;
-    if (telemetry_.recorder.enabled()) {
-      std::string detail = "move of ";
-      detail += eid.to_string();
-      detail += ", notify old edge ";
-      detail += edge_name;
-      record_event(telemetry::EventKind::MapNotify, "map_server", std::move(detail));
-    }
-    control_send(map_server_rloc_, previous, lisp::message_wire_size(lisp::Message{notify}),
-                 [this, edge_name, notify] { edges_.at(edge_name)->receive_map_notify(notify); });
-  });
+    // Mobility: Map-Notify the previous edge so it forwards in-flight
+    // traffic to the new location (Fig. 5 steps 2-3). Same authority
+    // filter and epoch stamp as the feed.
+    db.set_move_callback([this, srv](const net::VnEid& eid, net::Ipv4Address previous,
+                                     const lisp::MappingRecord& record) {
+      if (!is_feed_authority(srv)) return;
+      const auto it = edge_by_rloc_.find(previous);
+      if (it == edge_by_rloc_.end()) return;
+      lisp::MapNotify notify{0, eid, record.rlocs, control_epoch_of(srv)};
+      const std::string edge_name = it->second;
+      if (telemetry_.recorder.enabled()) {
+        std::string detail = "move of ";
+        detail += eid.to_string();
+        detail += ", notify old edge ";
+        detail += edge_name;
+        record_event(telemetry::EventKind::MapNotify,
+                     srv == 0 ? "map_server" : "routing_server[" + std::to_string(srv) + "]",
+                     std::move(detail));
+      }
+      control_send(server_nodes_[srv]->rloc(), previous,
+                   lisp::message_wire_size(lisp::Message{notify}),
+                   [this, edge_name, notify] {
+                     edges_.at(edge_name)->receive_map_notify(notify);
+                   });
+    });
+  }
 
   // Policy-server callbacks: group reassignment re-authenticates at the
   // hosting edge (§5.3); rule updates push to hosting edges (§5.4).
@@ -380,6 +407,8 @@ void SdaFabric::register_telemetry() {
   // milliseconds (Fig. 3); first packets tens of microseconds to a few
   // milliseconds depending on whether they hit the map-cache or ride the
   // border default route.
+  reg.register_counter("fabric.stale_epoch_acks_accepted",
+                       [this] { return stale_acks_accepted_; });
   onboard_ms_ = &reg.histogram("fabric.onboard_ms", {0.0, 500.0, 50});
   roam_ms_ = &reg.histogram("fabric.roam_ms", {0.0, 500.0, 50});
   first_packet_us_ = &reg.histogram("fabric.first_packet_us", {0.0, 20'000.0, 50});
@@ -477,28 +506,51 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     // retransmit. Without HA the primary always acks; with failover on,
     // the edge's currently-active server does — so a registration issued
     // while the primary is down still completes (and a retransmit after a
-    // failover re-picks the acker).
+    // failover re-picks the acker). With election on, the acking
+    // authority is re-evaluated when the registration *completes*: every
+    // node that believes it leads acks, with its term stamped on the
+    // Map-Notify — during split-brain both sides ack, and the edge fences
+    // out the deposed leader's stale epoch.
     const std::size_t acker =
-        ha_ && ha_->failover_enabled()
-            ? ha_->active_server_for(request_server_of_.at(edge.rloc()))
-            : 0;
+        ha_ && ha_->election_enabled()
+            ? control_leader()
+            : (ha_ && ha_->failover_enabled()
+                   ? ha_->active_server_for(request_server_of_.at(edge.rloc()))
+                   : 0);
     for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
       lisp::MapServerNode& node = *server_nodes_[i];
       const bool is_acker = i == acker;
       control_send(edge.rloc(), node.rloc(),
                    lisp::message_wire_size(lisp::Message{registration}),
-                   [this, &edge, &node, registration, is_acker] {
+                   [this, &edge, &node, registration, i, is_acker] {
                      node.submit_register(
                          registration,
-                         [this, &edge, &node, is_acker, eid = registration.eid](
+                         [this, &edge, &node, i, is_acker, eid = registration.eid](
                              const lisp::RegisterOutcome&, const lisp::MapNotify& notify,
                              sim::Duration) {
-                           if (!is_acker) return;
-                           // Ack the registering edge (cancels its retransmit).
+                           const bool acks_now =
+                               ha_ && ha_->election_enabled()
+                                   ? ha_->node_believes_leader(i)
+                                   : is_acker;
+                           if (!acks_now) return;
+                           // Ack the registering edge (cancels its
+                           // retransmit). The epoch stamp lets the edge
+                           // reject a deposed leader's ack.
+                           lisp::MapNotify ack = notify;
+                           ack.epoch = control_epoch_of(i);
                            control_send(node.rloc(), edge.rloc(),
-                                        lisp::message_wire_size(lisp::Message{notify}),
-                                        [&edge, notify] { edge.receive_map_notify(notify); });
-                           // Complete any onboarding waiting on this EID.
+                                        lisp::message_wire_size(lisp::Message{ack}),
+                                        [this, &edge, ack] {
+                                          const bool accepted = edge.receive_map_notify(ack);
+                                          if (accepted && ack.epoch != 0 && ha_ &&
+                                              ack.epoch < ha_->epoch()) {
+                                            ++stale_acks_accepted_;  // fence breach audit
+                                          }
+                                        });
+                           // Complete any onboarding waiting on this EID —
+                           // but never on a deposed leader's stale-term
+                           // completion (the live leader's ack fires them).
+                           if (ack.epoch != 0 && ha_ && ack.epoch < ha_->epoch()) return;
                            const auto it = pending_onboards_.find(eid);
                            if (it == pending_onboards_.end()) return;
                            auto waiters = std::move(it->second);
@@ -1075,22 +1127,29 @@ std::uint64_t SdaFabric::border_publishes_dropped(const std::string& border) con
 void SdaFabric::resync_border(const std::string& name) {
   dataplane::BorderRouter& border = *borders_.at(name);
   record_event(telemetry::EventKind::Resync, name, "snapshot requested");
-  // Re-subscribe rides the control plane to the routing server; the
+  // Re-subscribe rides the control plane to the current feed authority —
+  // server 0, or the elected leader — not a hardcoded primary; the
   // snapshot is captured when the request *arrives* and is paired with the
   // feed position the next publish will occupy, so replaying the sequenced
-  // feed from `next_seq` onward is gap-free by construction.
+  // feed from `next_seq` onward is gap-free by construction. The leader's
+  // term rides on the snapshot so the border's epoch fence advances.
+  const std::size_t leader = control_leader();
+  const net::Ipv4Address authority_rloc = server_nodes_[leader]->rloc();
   const lisp::Subscribe subscribe{border.rloc(), 0};
-  control_send(border.rloc(), map_server_rloc_,
-               lisp::message_wire_size(lisp::Message{subscribe}), [this, name] {
+  control_send(border.rloc(), authority_rloc,
+               lisp::message_wire_size(lisp::Message{subscribe}),
+               [this, name, leader, authority_rloc] {
     auto entries =
         std::make_shared<std::vector<std::pair<net::VnEid, lisp::MappingRecord>>>();
-    map_server_.walk([&entries](const net::VnEid& eid, const lisp::MappingRecord& record) {
+    const lisp::MapServer& db = leader == 0 ? map_server_ : *replica_dbs_[leader - 1];
+    db.walk([&entries](const net::VnEid& eid, const lisp::MappingRecord& record) {
       entries->emplace_back(eid, record);
     });
     const std::uint64_t next_seq = publish_seq_ + 1;
+    const std::uint64_t epoch = control_epoch_of(leader);
     dataplane::BorderRouter& target = *borders_.at(name);
-    control_send(map_server_rloc_, target.rloc(), 64 + 48 * entries->size(),
-                 [this, name, entries, next_seq] {
+    control_send(authority_rloc, target.rloc(), 64 + 48 * entries->size(),
+                 [this, name, entries, next_seq, epoch] {
                    // A snapshot for a disconnected feed is lost like any
                    // other update; the border's retry timer re-requests.
                    if (!border_feeds_.at(name).connected) return;
@@ -1101,9 +1160,35 @@ void SdaFabric::resync_border(const std::string& name) {
                      record_event(telemetry::EventKind::SnapshotApplied, name,
                                   std::move(detail));
                    }
-                   borders_.at(name)->apply_snapshot(*entries, next_seq);
+                   borders_.at(name)->apply_snapshot(*entries, next_seq, epoch);
                  });
   });
+}
+
+bool SdaFabric::is_feed_authority(std::size_t i) const {
+  return ha_ && ha_->election_enabled() ? ha_->node_believes_leader(i) : i == 0;
+}
+
+std::uint64_t SdaFabric::control_epoch_of(std::size_t i) const {
+  return ha_ && ha_->election_enabled() ? ha_->node_epoch(i) : 0;
+}
+
+std::size_t SdaFabric::control_leader() const {
+  return ha_ && ha_->election_enabled() ? ha_->leader() : 0;
+}
+
+void SdaFabric::on_leader_changed(std::size_t leader, std::uint64_t epoch) {
+  // A freshly elected leader re-homes the control plane: every border
+  // pulls a snapshot from the new authority (gap-free feed restart under
+  // the new term), and every edge learns the new epoch so a resurrected
+  // ex-leader's in-flight acks are fenced on arrival.
+  const net::Ipv4Address leader_rloc = server_nodes_[leader]->rloc();
+  for (const auto& name : border_order_) borders_.at(name)->request_resync();
+  for (const auto& name : edge_order_) {
+    dataplane::EdgeRouter& edge = *edges_.at(name);
+    control_send(leader_rloc, edge.rloc(), 32,
+                 [&edge, epoch] { edge.observe_control_epoch(epoch); });
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -179,6 +179,13 @@ class SdaFabric {
   [[nodiscard]] std::uint64_t border_publishes_dropped(const std::string& border) const;
   /// Current feed position (sequence number of the last publish).
   [[nodiscard]] std::uint64_t publish_seq() const { return publish_seq_; }
+  /// Audit counter for the split-brain fence: Map-Notify acks an edge
+  /// accepted although a newer election term was already established
+  /// cluster-wide. Must stay 0 — a nonzero value means a deposed leader's
+  /// ack slipped past the epoch fence. Used by the failover drill.
+  [[nodiscard]] std::uint64_t stale_epoch_acks_accepted() const {
+    return stale_acks_accepted_;
+  }
   /// Runs the snapshot pull for a border (normally triggered by the border
   /// itself on gap detection or by a feed reconnect).
   void resync_border(const std::string& border);
@@ -276,6 +283,21 @@ class SdaFabric {
   /// next live replica.
   [[nodiscard]] std::size_t active_server_index(net::Ipv4Address edge_rloc) const;
 
+  /// Whether server `i` currently drives the pub/sub feed and acks
+  /// reliable registrations: server 0 without election; with election on,
+  /// any node that *believes* it leads (split-brain faithful — a deposed
+  /// leader keeps publishing until it observes the newer term, and the
+  /// epoch fence rejects its messages at the receivers).
+  [[nodiscard]] bool is_feed_authority(std::size_t i) const;
+  /// The election epoch server `i` stamps on its publishes, notifies, and
+  /// snapshots (0 = unfenced, i.e. election disabled).
+  [[nodiscard]] std::uint64_t control_epoch_of(std::size_t i) const;
+  /// The cluster-consensus control-plane leader (0 without election).
+  [[nodiscard]] std::size_t control_leader() const;
+  /// HaMonitor leader-change hook: re-homes every border feed onto the new
+  /// leader (snapshot resync) and advertises the new epoch to every edge.
+  void on_leader_changed(std::size_t leader, std::uint64_t epoch);
+
   /// The shared Fig. 3 onboarding flow. `fast_reauth` selects the roaming
   /// round-trip count.
   void onboard(EndpointState& state, const std::string& edge_name, dataplane::PortId port,
@@ -324,6 +346,7 @@ class SdaFabric {
   };
   std::unordered_map<std::string, BorderFeedState> border_feeds_;
   std::uint64_t publish_seq_ = 0;  // sequence stamped on the last publish
+  std::uint64_t stale_acks_accepted_ = 0;  // epoch-fence audit (must stay 0)
   std::unique_ptr<l2::L2Gateway> l2_gateway_;
 
   std::unordered_map<std::string, EndpointState> endpoints_by_credential_;

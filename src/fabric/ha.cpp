@@ -1,5 +1,6 @@
 #include "fabric/ha.hpp"
 
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -10,7 +11,7 @@ namespace sda::fabric {
 HaMonitor::HaMonitor(sim::Simulator& simulator, HaConfig config,
                      std::vector<lisp::MapServerNode*> servers,
                      std::vector<lisp::MapServer*> databases, ControlSend control_send,
-                     EventHook event_hook)
+                     EventHook event_hook, std::uint64_t seed)
     : simulator_(simulator),
       config_(config),
       servers_(std::move(servers)),
@@ -18,8 +19,11 @@ HaMonitor::HaMonitor(sim::Simulator& simulator, HaConfig config,
       control_send_(std::move(control_send)),
       event_hook_(std::move(event_hook)) {
   state_.resize(servers_.size());
+  election_.resize(servers_.size());
+  node_rng_.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     state_[i].probe_source = servers_[i]->rloc();
+    node_rng_.emplace_back(seed ^ (0xE1EC7ull * (i + 1)));
   }
 }
 
@@ -36,21 +40,49 @@ void HaMonitor::start() {
   if (config_.anti_entropy_interval.count() > 0 && databases_.size() > 1) {
     simulator_.schedule_after(config_.anti_entropy_interval, [this] { anti_entropy_round(); });
   }
+  if (election_enabled()) {
+    const sim::SimTime now = simulator_.now();
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      election_[i].last_assert = now;
+      election_[i].watchdog_timeout = config_.election_timeout;
+      arm_watchdog(i);
+    }
+    simulator_.schedule_after(config_.election_heartbeat_interval, [this] { assert_tick(); });
+  }
 }
 
 std::size_t HaMonitor::active_server_for(std::size_t home) const {
-  if (!config_.failover || state_[home].up) return home;
+  if (!config_.failover) return home;
+  const auto usable = [this](std::size_t i) {
+    return state_[i].up && !(config_.dampening && state_[i].suppressed);
+  };
+  if (usable(home)) return home;
   const std::size_t n = state_.size();
   for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t candidate = (home + k) % n;
+    if (usable(candidate)) return candidate;
+  }
+  // Everything usable is gone; a merely-suppressed live server beats a
+  // dead one (traffic must go somewhere), and with all servers down the
+  // home is returned (keep trying; retransmission covers the gap).
+  for (std::size_t k = 0; k < n; ++k) {
     const std::size_t candidate = (home + k) % n;
     if (state_[candidate].up) return candidate;
   }
   return home;
 }
 
+// ---------------------------------------------------------------------------
+// Heartbeats and flap dampening
+// ---------------------------------------------------------------------------
+
 void HaMonitor::heartbeat(std::size_t server) {
   ServerState& st = state_[server];
   ++counters_.heartbeats_sent;
+  // Decay the dampening penalty on the heartbeat cadence so a suppressed
+  // server is released as soon as it drops below the reuse threshold —
+  // not only on its next transition.
+  refresh_dampening(server);
   // The probe and its ack each ride the control plane, so loss, extra
   // delay, and partitions fail heartbeats exactly like Map-Requests. The
   // verdict is decided once per heartbeat: whichever of {ack arrival,
@@ -82,6 +114,12 @@ void HaMonitor::heartbeat_verdict(std::size_t server, bool answered) {
     if (!st.up && ++st.ack_streak >= config_.up_after_acks) {
       st.up = true;
       st.ack_streak = 0;
+      if (config_.dampening) charge_flap(server);
+      if (st.suppressed) {
+        // Hold-down: the recovery is recorded, but traffic does not
+        // return until the penalty decays below reuse.
+        return;
+      }
       ++counters_.failbacks;
       emit(telemetry::EventKind::Failback, server,
            "restored after " + std::to_string(config_.up_after_acks) + " acks");
@@ -93,42 +131,263 @@ void HaMonitor::heartbeat_verdict(std::size_t server, bool answered) {
   if (st.up && ++st.misses >= config_.down_after_misses) {
     st.up = false;
     st.misses = 0;
+    const bool already_suppressed = st.suppressed;
+    if (config_.dampening) charge_flap(server);
+    if (already_suppressed) return;  // held down: nobody was routed here
     ++counters_.failovers;
     emit(telemetry::EventKind::Failover, server,
          "declared down after " + std::to_string(config_.down_after_misses) + " misses");
   }
 }
 
+double HaMonitor::decayed_penalty(const ServerState& st) const {
+  if (st.penalty <= 0.0) return 0.0;
+  const sim::Duration dt = simulator_.now() - st.penalty_at;
+  const double half_lives = static_cast<double>(dt.count()) /
+                            static_cast<double>(config_.dampening_half_life.count());
+  return st.penalty * std::exp2(-half_lives);
+}
+
+double HaMonitor::penalty(std::size_t i) const { return decayed_penalty(state_[i]); }
+
+void HaMonitor::charge_flap(std::size_t server) {
+  ServerState& st = state_[server];
+  st.penalty = decayed_penalty(st) + config_.dampening_penalty;
+  st.penalty_at = simulator_.now();
+  if (!st.suppressed && st.penalty >= config_.dampening_suppress) {
+    st.suppressed = true;
+    ++counters_.suppressions;
+    emit(telemetry::EventKind::ServerSuppressed, server,
+         "suppressed, penalty " + std::to_string(static_cast<long long>(st.penalty)));
+  }
+}
+
+void HaMonitor::refresh_dampening(std::size_t server) {
+  if (!config_.dampening) return;
+  ServerState& st = state_[server];
+  st.penalty = decayed_penalty(st);
+  st.penalty_at = simulator_.now();
+  if (st.suppressed && st.penalty < config_.dampening_reuse) {
+    st.suppressed = false;
+    emit(telemetry::EventKind::ServerSuppressed, server,
+         "released, penalty " + std::to_string(static_cast<long long>(st.penalty)));
+    if (st.up) {
+      // The deferred fail-back: the server recovered during the hold-down
+      // and only now rejoins the rotation.
+      ++counters_.failbacks;
+      emit(telemetry::EventKind::Failback, server, "dampening hold-down released");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leader election (bully-with-epochs over the control legs)
+// ---------------------------------------------------------------------------
+
+std::size_t HaMonitor::leader() const {
+  if (!election_enabled()) return 0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < election_.size(); ++i) {
+    if (election_[i].epoch > election_[best].epoch) best = i;
+  }
+  return election_[best].leader;
+}
+
+std::uint64_t HaMonitor::epoch() const {
+  if (!election_enabled()) return 0;
+  std::uint64_t best = 0;
+  for (const ElectionState& el : election_) best = std::max(best, el.epoch);
+  return best;
+}
+
+void HaMonitor::arm_watchdog(std::size_t node) {
+  ElectionState& el = election_[node];
+  // Decorrelated jitter de-synchronizes replicas that lose the leader at
+  // the same instant — without it, same-priority claims would tie on
+  // every round. Hearing an assert resets the base (receive_assert).
+  el.watchdog_timeout =
+      sim::decorrelated_backoff(node_rng_[node], el.watchdog_timeout,
+                                config_.election_timeout, config_.election_timeout * 3);
+  simulator_.schedule_after(el.watchdog_timeout, [this, node] {
+    const ElectionState& el = election_[node];
+    if (servers_[node]->online() && el.leader != node && !el.candidate &&
+        simulator_.now() - el.last_assert >= el.watchdog_timeout &&
+        !(config_.dampening && state_[node].suppressed)) {
+      start_election(node);
+    }
+    arm_watchdog(node);
+  });
+}
+
+void HaMonitor::assert_tick() {
+  // Every node that currently believes it leads asserts its term to every
+  // peer (normally exactly one node; during split-brain both sides do,
+  // and the epoch fence resolves the loser).
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (election_[i].leader != i) continue;
+    if (!servers_[i]->online()) continue;  // a dead leader asserts nothing
+    for (std::size_t j = 0; j < servers_.size(); ++j) {
+      if (j != i) send_assert(i, j);
+    }
+  }
+  simulator_.schedule_after(config_.election_heartbeat_interval, [this] { assert_tick(); });
+}
+
+void HaMonitor::send_assert(std::size_t from, std::size_t to) {
+  const std::uint64_t e = election_[from].epoch;
+  const std::size_t leader_hint = election_[from].leader;
+  control_send_(servers_[from]->rloc(), servers_[to]->rloc(), 48,
+                [this, from, to, e, leader_hint] {
+                  receive_assert(to, from, e, leader_hint);
+                });
+}
+
+void HaMonitor::start_election(std::size_t node) {
+  ElectionState& el = election_[node];
+  el.epoch += 1;
+  el.candidate = true;
+  ++counters_.elections_started;
+  emit(telemetry::EventKind::ElectionStarted, node,
+       "opened term " + std::to_string(el.epoch));
+  const std::uint64_t claim = el.epoch;
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (j == node) continue;
+    control_send_(servers_[node]->rloc(), servers_[j]->rloc(), 48,
+                  [this, node, j, claim] { receive_claim(j, node, claim); });
+  }
+  simulator_.schedule_after(config_.election_claim_timeout, [this, node, claim] {
+    ElectionState& el = election_[node];
+    // Unchallenged (no live lower-index peer objected with a newer term).
+    if (el.candidate && el.epoch == claim) become_leader(node);
+  });
+}
+
+void HaMonitor::receive_claim(std::size_t node, std::size_t from, std::uint64_t claim) {
+  if (!servers_[node]->online()) return;
+  ElectionState& el = election_[node];
+  if (claim < el.epoch) {
+    // Stale candidate (e.g. a healed partition replaying an old term):
+    // answer with the current term so it stands down.
+    ++counters_.epoch_rejections;
+    emit(telemetry::EventKind::EpochRejected, node,
+         "claim of term " + std::to_string(claim) + " from routing_server[" +
+             std::to_string(from) + "], current " + std::to_string(el.epoch));
+    send_assert(node, from);
+    return;
+  }
+  if (config_.dampening && state_[from].suppressed) return;  // dampened: not electable
+  // Bully objection: a live, unsuppressed lower-index node takes the
+  // leadership by opening a newer term; everyone else defers.
+  if (node < from && !(config_.dampening && state_[node].suppressed)) {
+    el.epoch = claim;  // the counter-claim must supersede
+    el.candidate = false;
+    start_election(node);
+    return;
+  }
+  el.epoch = claim;
+  el.candidate = false;  // a concurrent same-term claim from a better index
+  el.last_assert = simulator_.now();  // grant the candidate its claim window
+}
+
+void HaMonitor::receive_assert(std::size_t node, std::size_t from, std::uint64_t e,
+                               std::size_t leader_hint) {
+  if (!servers_[node]->online()) return;
+  ElectionState& el = election_[node];
+  if (e < el.epoch) {
+    // Split-brain fence: a resurrected stale leader asserts its old term;
+    // reject it and notify it of the current term so it steps down.
+    ++counters_.epoch_rejections;
+    emit(telemetry::EventKind::EpochRejected, node,
+         "assert of term " + std::to_string(e) + " from routing_server[" +
+             std::to_string(from) + "], current " + std::to_string(el.epoch));
+    if (leader_hint == from) send_assert(node, from);
+    return;
+  }
+  if (config_.dampening && state_[leader_hint].suppressed && leader_hint != node) {
+    // A dampened server's leadership is not honored: by ignoring the
+    // assert the watchdog expires and elects an unsuppressed replica.
+    return;
+  }
+  if (e > el.epoch) {
+    el.epoch = e;
+    el.candidate = false;
+    el.leader = leader_hint;  // also deposes this node if it believed it led
+  } else if (leader_hint < el.leader) {
+    el.leader = leader_hint;  // same-term tie-break: lowest index wins
+  } else if (leader_hint != el.leader) {
+    return;  // same-term higher-index pretender: ignore
+  }
+  el.last_assert = simulator_.now();
+  el.watchdog_timeout = config_.election_timeout;  // re-jitter from the base
+}
+
+void HaMonitor::become_leader(std::size_t node) {
+  if (!servers_[node]->online()) return;
+  ElectionState& el = election_[node];
+  el.candidate = false;
+  el.leader = node;
+  ++counters_.leaders_elected;
+  emit(telemetry::EventKind::LeaderElected, node, "term " + std::to_string(el.epoch));
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    if (j != node) send_assert(node, j);
+  }
+  // The fabric re-homes the pub/sub feed and the acking authority, and
+  // advertises the new epoch to the edges (stale-ack fence).
+  if (leader_changed_) leader_changed_(node, el.epoch);
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy (driven by whoever currently believes it leads)
+// ---------------------------------------------------------------------------
+
 void HaMonitor::anti_entropy_round() {
   ++counters_.anti_entropy_rounds;
   last_divergence_ = 0;
-  const net::Ipv4Address primary_rloc = servers_[0]->rloc();
-  if (servers_[0]->online()) {
-    for (std::size_t i = 1; i < databases_.size(); ++i) {
-      // Digest query out to the replica; only a live replica answers. The
-      // repair exchange is one more round trip carrying the differing
-      // entries (modeled as a single reconcile at arrival — both sides
-      // converge to the newest-registration-wins merge).
-      control_send_(primary_rloc, servers_[i]->rloc(), 72, [this, i, primary_rloc] {
-        if (!servers_[i]->online() || !servers_[0]->online()) return;
-        if (databases_[0]->digest() == databases_[i]->digest()) return;
-        ++counters_.digest_mismatches;
-        control_send_(servers_[i]->rloc(), primary_rloc, 256, [this, i] {
-          if (!servers_[i]->online() || !servers_[0]->online()) return;
-          const lisp::MapServer::ReconcileStats stats = databases_[0]->reconcile_with(
-              *databases_[i], simulator_.now(), config_.tombstone_horizon);
-          const std::uint64_t repaired = stats.total();
-          counters_.anti_entropy_repairs += repaired;
-          last_divergence_ += repaired;
-          if (repaired > 0) {
-            emit(telemetry::EventKind::AntiEntropy, i,
-                 "reconciled " + std::to_string(repaired) + " entries with primary");
-          }
-        });
-      });
+  for (std::size_t d = 0; d < servers_.size(); ++d) {
+    if (!node_believes_leader(d) || !servers_[d]->online()) continue;
+    for (std::size_t i = 0; i < databases_.size(); ++i) {
+      if (i != d) anti_entropy_with(d, i);
     }
   }
   simulator_.schedule_after(config_.anti_entropy_interval, [this] { anti_entropy_round(); });
+}
+
+void HaMonitor::anti_entropy_with(std::size_t driver, std::size_t replica) {
+  const net::Ipv4Address driver_rloc = servers_[driver]->rloc();
+  const std::uint64_t digest_epoch = node_epoch(driver);
+  // Digest query out to the replica; only a live replica answers. The
+  // repair exchange is one more round trip carrying the differing
+  // entries (modeled as a single reconcile at arrival — both sides
+  // converge to the newest-registration-wins merge).
+  control_send_(driver_rloc, servers_[replica]->rloc(),
+                72, [this, driver, replica, driver_rloc, digest_epoch] {
+    if (!servers_[replica]->online() || !servers_[driver]->online()) return;
+    if (digest_epoch != 0 && digest_epoch < election_[replica].epoch) {
+      // Split-brain fence: this replica has seen a newer term; the
+      // driver is deposed and must not reconcile state into us.
+      ++counters_.epoch_rejections;
+      emit(telemetry::EventKind::EpochRejected, replica,
+           "anti-entropy digest of term " + std::to_string(digest_epoch) +
+               " from routing_server[" + std::to_string(driver) + "], current " +
+               std::to_string(election_[replica].epoch));
+      return;
+    }
+    if (databases_[driver]->digest() == databases_[replica]->digest()) return;
+    ++counters_.digest_mismatches;
+    control_send_(servers_[replica]->rloc(), driver_rloc, 256, [this, driver, replica] {
+      if (!servers_[replica]->online() || !servers_[driver]->online()) return;
+      const lisp::MapServer::ReconcileStats stats = databases_[driver]->reconcile_with(
+          *databases_[replica], simulator_.now(), config_.tombstone_horizon);
+      const std::uint64_t repaired = stats.total();
+      counters_.anti_entropy_repairs += repaired;
+      last_divergence_ += repaired;
+      if (repaired > 0) {
+        emit(telemetry::EventKind::AntiEntropy, replica,
+             "reconciled " + std::to_string(repaired) + " entries with leader " +
+                 std::to_string(driver));
+      }
+    });
+  });
 }
 
 void HaMonitor::emit(telemetry::EventKind kind, std::size_t server, std::string detail) {
@@ -152,6 +411,14 @@ void HaMonitor::register_metrics(telemetry::MetricsRegistry& registry,
                             [this] { return counters_.digest_mismatches; });
   registry.register_counter(telemetry::join(prefix, "anti_entropy_repairs"),
                             [this] { return counters_.anti_entropy_repairs; });
+  registry.register_counter(telemetry::join(prefix, "elections_started"),
+                            [this] { return counters_.elections_started; });
+  registry.register_counter(telemetry::join(prefix, "leaders_elected"),
+                            [this] { return counters_.leaders_elected; });
+  registry.register_counter(telemetry::join(prefix, "epoch_rejections"),
+                            [this] { return counters_.epoch_rejections; });
+  registry.register_counter(telemetry::join(prefix, "suppressions"),
+                            [this] { return counters_.suppressions; });
   registry.register_gauge(telemetry::join(prefix, "servers_up"), [this] {
     std::size_t up = 0;
     for (const ServerState& st : state_) up += st.up ? 1 : 0;
@@ -159,6 +426,16 @@ void HaMonitor::register_metrics(telemetry::MetricsRegistry& registry,
   });
   registry.register_gauge(telemetry::join(prefix, "replica_divergence"),
                           [this] { return static_cast<double>(last_divergence_); });
+  registry.register_gauge(telemetry::join(prefix, "election.term"),
+                          [this] { return static_cast<double>(epoch()); });
+  registry.register_gauge(telemetry::join(prefix, "election.leader"), [this] {
+    return election_enabled() ? static_cast<double>(leader()) : -1.0;
+  });
+  registry.register_gauge(telemetry::join(prefix, "dampening.suppressed"), [this] {
+    std::size_t suppressed = 0;
+    for (const ServerState& st : state_) suppressed += st.suppressed ? 1 : 0;
+    return static_cast<double>(suppressed);
+  });
 }
 
 }  // namespace sda::fabric

@@ -1,5 +1,6 @@
-// Control-plane high availability: server health tracking, failover, and
-// replica anti-entropy (PR 4).
+// Control-plane high availability: server health tracking, failover,
+// replica anti-entropy (PR 4), and the elected-primary machinery (PR 6):
+// leader election, epoch fencing, and flap dampening.
 //
 // The paper's deployments run the routing server as a VM that can crash or
 // be partitioned away (§4.1 scale-out, §5 war stories). This monitor gives
@@ -13,10 +14,28 @@
 //
 // Replicas that were down (or partitioned) miss the registrations fanned
 // out during the outage window. The anti-entropy loop periodically
-// exchanges order-independent database digests between the primary and
-// each replica and reconciles divergent pairs (newest-registration-wins,
+// exchanges order-independent database digests between the leader and each
+// replica and reconciles divergent pairs (newest-registration-wins,
 // tombstones propagate deletions), so a healed replica converges without
 // replaying the feed.
+//
+// Leader election (bully-with-epochs): every replica runs a follower
+// watchdog with a decorrelated-jittered timeout; a replica that hears no
+// leader assert opens a new term (monotonic epoch) and claims it. A live,
+// unsuppressed lower-index peer objects by opening a yet-newer term, so
+// the lowest eligible index wins; an unchallenged candidate becomes
+// leader and takes over the Notify-acking authority, the pub/sub feed,
+// and the anti-entropy driver. Leadership is sticky: a recovered
+// ex-leader hears the newer term and stays a follower, so there is no
+// failback churn at the leadership layer. Epoch stamps on Map-Notifies,
+// publishes, and anti-entropy digests fence a deposed leader's messages
+// out (split-brain).
+//
+// Flap dampening (BGP-style hold-down): each up/down transition charges a
+// penalty that decays exponentially; above the suppress threshold the
+// server is excluded from active_server_for() and from election until the
+// penalty decays below reuse — a server oscillating at the miss/ack
+// boundary causes at most one failover.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +48,7 @@
 #include "lisp/map_server.hpp"
 #include "lisp/map_server_node.hpp"
 #include "net/ip_address.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/flight_recorder.hpp"
 
@@ -40,39 +60,78 @@ namespace sda::fabric {
 
 class HaMonitor {
  public:
-  /// Control-plane delivery (edge RLOC <-> server RLOC); heartbeats and
-  /// digest exchanges ride the same lossy underlay as every other control
-  /// message, so partitions and loss fail them realistically.
+  /// Control-plane delivery (edge RLOC <-> server RLOC); heartbeats,
+  /// election messages, and digest exchanges ride the same lossy underlay
+  /// as every other control message, so partitions and loss fail them
+  /// realistically.
   using ControlSend = std::function<void(net::Ipv4Address from, net::Ipv4Address to,
                                          std::size_t bytes, std::function<void()> action)>;
-  /// Flight-recorder hook (Failover / Failback / AntiEntropy events).
+  /// Flight-recorder hook (Failover / Failback / AntiEntropy / election
+  /// and dampening events).
   using EventHook = std::function<void(telemetry::EventKind kind, const std::string& node,
                                        std::string detail)>;
+  /// Fired when a node wins an election: (leader index, new epoch). The
+  /// fabric re-homes the pub/sub feed and advertises the epoch to edges.
+  using LeaderChangedHook = std::function<void(std::size_t leader, std::uint64_t epoch)>;
 
   /// `servers[i]` is routing server i's queueing front end and
-  /// `databases[i]` the MapServer behind it (index 0 = the primary).
+  /// `databases[i]` the MapServer behind it (index 0 = the initial
+  /// leader). `seed` derives the per-node election-timeout jitter.
   HaMonitor(sim::Simulator& simulator, HaConfig config,
             std::vector<lisp::MapServerNode*> servers,
             std::vector<lisp::MapServer*> databases, ControlSend control_send,
-            EventHook event_hook);
+            EventHook event_hook, std::uint64_t seed = 0x5DA);
 
   /// Sets where server `i`'s heartbeats originate (normally the lead edge
   /// of the group assigned to it). Defaults to the server's own RLOC.
   void set_probe_source(std::size_t server, net::Ipv4Address edge_rloc);
 
-  /// Arms the heartbeat and anti-entropy timers. Both are perpetual —
-  /// drive the simulation with run_until(), not run().
+  void set_leader_changed(LeaderChangedHook hook) { leader_changed_ = std::move(hook); }
+
+  /// Arms the heartbeat, anti-entropy, and election timers. All are
+  /// perpetual — drive the simulation with run_until(), not run().
   void start();
 
   [[nodiscard]] bool failover_enabled() const { return config_.failover; }
+  [[nodiscard]] bool election_enabled() const {
+    return config_.election && servers_.size() > 1;
+  }
+  [[nodiscard]] bool dampening_enabled() const { return config_.dampening; }
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
   [[nodiscard]] bool server_up(std::size_t i) const { return state_[i].up; }
 
   /// The server index a group homed on `home` should currently use: the
-  /// home server while it is believed up, otherwise the next live replica
-  /// (wrapping). With every server down — or failover disabled — the home
-  /// server is returned (keep trying; retransmission covers the gap).
+  /// home server while it is believed up and unsuppressed, otherwise the
+  /// next live unsuppressed replica (wrapping). With every server down —
+  /// or failover disabled — the home server is returned (keep trying;
+  /// retransmission covers the gap).
   [[nodiscard]] std::size_t active_server_for(std::size_t home) const;
+
+  // --- Election introspection ---------------------------------------------
+
+  /// Cluster-consensus view: the leader believed by the node holding the
+  /// highest epoch (initially 0). Meaningful only with election enabled.
+  [[nodiscard]] std::size_t leader() const;
+  /// The highest election epoch any node has opened (1 before the first
+  /// election; 0 when election is disabled).
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Node i's local term — stamped on its acks, publishes, and digests.
+  [[nodiscard]] std::uint64_t node_epoch(std::size_t i) const {
+    return election_enabled() ? election_[i].epoch : 0;
+  }
+  /// Whether node i currently believes it is the leader (split-brain
+  /// faithful: a partitioned ex-leader keeps believing until it observes
+  /// the newer term).
+  [[nodiscard]] bool node_believes_leader(std::size_t i) const {
+    return election_enabled() ? election_[i].leader == i : i == 0;
+  }
+
+  // --- Dampening introspection --------------------------------------------
+
+  /// Whether server i is currently held down by flap dampening.
+  [[nodiscard]] bool suppressed(std::size_t i) const { return state_[i].suppressed; }
+  /// Server i's current (decayed) dampening penalty.
+  [[nodiscard]] double penalty(std::size_t i) const;
 
   struct Counters {
     std::uint64_t heartbeats_sent = 0;
@@ -82,6 +141,10 @@ class HaMonitor {
     std::uint64_t anti_entropy_rounds = 0;
     std::uint64_t digest_mismatches = 0;
     std::uint64_t anti_entropy_repairs = 0;  // entries pushed/pulled/removed
+    std::uint64_t elections_started = 0;     // terms opened by a watchdog
+    std::uint64_t leaders_elected = 0;       // unchallenged claims won
+    std::uint64_t epoch_rejections = 0;      // stale-epoch messages fenced
+    std::uint64_t suppressions = 0;          // dampening hold-downs entered
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -89,8 +152,9 @@ class HaMonitor {
   /// replica-divergence convergence metric (0 once replicas agree).
   [[nodiscard]] std::uint64_t last_divergence() const { return last_divergence_; }
 
-  /// Pull probes under `prefix` (e.g. "ha"): counters above plus a
-  /// servers_up gauge and the last-round divergence gauge.
+  /// Pull probes under `prefix` (e.g. "ha"): counters above plus
+  /// servers_up / replica_divergence gauges and the election/dampening
+  /// gauges (ha.election.term, ha.election.leader, ha.dampening.suppressed).
   void register_metrics(telemetry::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
@@ -99,11 +163,40 @@ class HaMonitor {
     bool up = true;
     unsigned misses = 0;      // consecutive unanswered heartbeats while up
     unsigned ack_streak = 0;  // consecutive answered heartbeats while down
+    // Flap dampening (lazily decayed exponential penalty).
+    double penalty = 0.0;
+    sim::SimTime penalty_at{};
+    bool suppressed = false;
+  };
+
+  struct ElectionState {
+    std::uint64_t epoch = 1;   // highest term this node has seen
+    std::size_t leader = 0;    // who this node believes leads
+    bool candidate = false;    // claim outstanding
+    sim::SimTime last_assert{};       // when a leader assert was last heard
+    sim::Duration watchdog_timeout{}; // current jittered timeout
   };
 
   void heartbeat(std::size_t server);
   void heartbeat_verdict(std::size_t server, bool answered);
   void anti_entropy_round();
+  void anti_entropy_with(std::size_t driver, std::size_t replica);
+
+  // Election machinery (all node-local state; messages ride control_send_).
+  void arm_watchdog(std::size_t node);
+  void assert_tick();
+  void start_election(std::size_t node);
+  void receive_claim(std::size_t node, std::size_t from, std::uint64_t claim_epoch);
+  void receive_assert(std::size_t node, std::size_t from, std::uint64_t assert_epoch,
+                      std::size_t leader_hint);
+  void become_leader(std::size_t node);
+  void send_assert(std::size_t from, std::size_t to);
+
+  // Dampening: charge a transition / decay and release.
+  void charge_flap(std::size_t server);
+  void refresh_dampening(std::size_t server);
+  [[nodiscard]] double decayed_penalty(const ServerState& st) const;
+
   void emit(telemetry::EventKind kind, std::size_t server, std::string detail);
 
   sim::Simulator& simulator_;
@@ -112,7 +205,10 @@ class HaMonitor {
   std::vector<lisp::MapServer*> databases_;
   ControlSend control_send_;
   EventHook event_hook_;
+  LeaderChangedHook leader_changed_;
   std::vector<ServerState> state_;
+  std::vector<ElectionState> election_;
+  std::vector<sim::Rng> node_rng_;  // per-node timeout decorrelation
   Counters counters_;
   std::uint64_t last_divergence_ = 0;
 };

@@ -131,6 +131,32 @@ void FaultPlane::server_crash(lisp::MapServerNode& node, sim::Duration at,
   });
 }
 
+void FaultPlane::partition_node(underlay::NodeId node, sim::Duration at,
+                                sim::Duration duration) {
+  simulator_.schedule_after(at, [this, node] {
+    network_.topology().set_node_state(node, false);
+    network_.topology_changed();
+    ++counters_.node_transitions;
+    record_fault("node partitioned", std::to_string(node));
+  });
+  simulator_.schedule_after(at + duration, [this, node] {
+    network_.topology().set_node_state(node, true);
+    network_.topology_changed();
+    ++counters_.node_transitions;
+    record_fault("node partition healed", std::to_string(node));
+  });
+}
+
+void FaultPlane::server_oscillation(lisp::MapServerNode& node, sim::Duration at,
+                                    sim::Duration down_for, sim::Duration up_for,
+                                    unsigned cycles) {
+  sim::Duration down_at = at;
+  for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+    server_outage(node, down_at, down_for);
+    down_at += down_for + up_for;
+  }
+}
+
 void FaultPlane::policy_server_outage(policy::PolicyServer& server, sim::Duration at,
                                       sim::Duration duration) {
   simulator_.schedule_after(at, [this, &server] {

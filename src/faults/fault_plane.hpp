@@ -94,6 +94,20 @@ class FaultPlane {
   void server_crash(lisp::MapServerNode& node, sim::Duration at, sim::Duration downtime,
                     bool preserve_database);
 
+  /// Network partition of a node [at, at + duration): the node itself
+  /// stays up (its process keeps running and keeps believing whatever it
+  /// believed), but the underlay isolates it — the split-brain scenario
+  /// for a leader: it keeps asserting into the void while the majority
+  /// elects a successor, and its stale-epoch messages are fenced on heal.
+  void partition_node(underlay::NodeId node, sim::Duration at, sim::Duration duration);
+
+  /// A server oscillating at the miss/ack boundary: starting at `at`, the
+  /// server goes down for `down_for`, up for `up_for`, repeated `cycles`
+  /// times (ends up). The flap-dampening drill: without dampening every
+  /// cycle produces a failover/failback pair; with it, at most one.
+  void server_oscillation(lisp::MapServerNode& node, sim::Duration at, sim::Duration down_for,
+                          sim::Duration up_for, unsigned cycles);
+
   /// Policy-server outage window [at, at + duration): authentications and
   /// rule downloads fail until the server returns (edges retry downloads;
   /// the SGACL fail mode governs traffic in between).

@@ -90,6 +90,7 @@ void MapNotify::encode(net::ByteWriter& w) const {
   w.write_u64(nonce);
   eid.encode(w);
   encode_rlocs(w, rlocs);
+  w.write_u64(epoch);
 }
 
 std::optional<MapNotify> MapNotify::decode(net::ByteReader& r) {
@@ -98,8 +99,9 @@ std::optional<MapNotify> MapNotify::decode(net::ByteReader& r) {
   const auto eid = net::VnEid::decode(r);
   if (!eid) return std::nullopt;
   auto rlocs = decode_rlocs(r);
-  if (!rlocs) return std::nullopt;
-  return MapNotify{*nonce, *eid, std::move(*rlocs)};
+  const auto epoch = r.read_u64();
+  if (!rlocs || !epoch) return std::nullopt;
+  return MapNotify{*nonce, *eid, std::move(*rlocs), *epoch};
 }
 
 void SolicitMapRequest::encode(net::ByteWriter& w) const {
@@ -131,6 +133,7 @@ void Publish::encode(net::ByteWriter& w) const {
   encode_rlocs(w, rlocs);
   w.write_u32(ttl_seconds);
   w.write_u64(seq);
+  w.write_u64(epoch);
 }
 
 std::optional<Publish> Publish::decode(net::ByteReader& r) {
@@ -139,8 +142,9 @@ std::optional<Publish> Publish::decode(net::ByteReader& r) {
   auto rlocs = decode_rlocs(r);
   const auto ttl = r.read_u32();
   const auto seq = r.read_u64();
-  if (!rlocs || !ttl || !seq) return std::nullopt;
-  return Publish{*eid, std::move(*rlocs), *ttl, *seq};
+  const auto epoch = r.read_u64();
+  if (!rlocs || !ttl || !seq || !epoch) return std::nullopt;
+  return Publish{*eid, std::move(*rlocs), *ttl, *seq, *epoch};
 }
 
 std::vector<std::uint8_t> encode_message(const Message& message) {

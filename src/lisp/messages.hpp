@@ -80,6 +80,10 @@ struct MapNotify {
   std::uint64_t nonce = 0;
   net::VnEid eid;
   std::vector<net::Rloc> rlocs;  // the new locator set
+  /// Election epoch of the sending routing server (split-brain fence): a
+  /// receiver that has observed a newer epoch rejects the notify, so a
+  /// deposed primary cannot ack registers. 0 = unfenced (no election).
+  std::uint64_t epoch = 0;
 
   void encode(net::ByteWriter& w) const;
   [[nodiscard]] static std::optional<MapNotify> decode(net::ByteReader& r);
@@ -116,6 +120,10 @@ struct Publish {
   /// subscriber that observes a gap lost an update and must pull a
   /// snapshot. 0 = unsequenced (direct injection in tests).
   std::uint64_t seq = 0;
+  /// Election epoch of the publishing routing server (split-brain fence):
+  /// subscribers reject pushes from a stale epoch and re-home to the new
+  /// leader on a higher one. 0 = unfenced (no election).
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] bool withdrawal() const { return rlocs.empty(); }
 

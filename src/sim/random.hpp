@@ -5,6 +5,7 @@
 // Rng, so runs are reproducible bit-for-bit.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -123,6 +124,20 @@ class Rng {
 
   std::uint64_t state_[4] = {};
 };
+
+/// Decorrelated-jitter backoff (the "decorrelated jitter" scheme from the
+/// AWS architecture blog): the next delay is uniform in [initial,
+/// 3 * current], capped. Grows on average, never drops below the initial
+/// value, and desynchronizes timers that fired at the same instant — used
+/// for control-plane retransmits and for election timeouts, where replicas
+/// that lose the leader simultaneously must not perpetually tie.
+inline Duration decorrelated_backoff(Rng& rng, Duration current, Duration initial,
+                                     Duration cap) {
+  double next_ns = rng.uniform(static_cast<double>(initial.count()),
+                               3.0 * static_cast<double>(current.count()));
+  next_ns = std::min(next_ns, static_cast<double>(cap.count()));
+  return Duration{static_cast<std::int64_t>(next_ns)};
+}
 
 /// Precomputed-CDF Zipf sampler: O(n) setup, O(log n) per sample.
 class ZipfSampler {

@@ -29,6 +29,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::Failback: return "failback";
     case EventKind::AntiEntropy: return "anti-entropy";
     case EventKind::Shed: return "shed";
+    case EventKind::ElectionStarted: return "election-started";
+    case EventKind::LeaderElected: return "leader-elected";
+    case EventKind::EpochRejected: return "epoch-rejected";
+    case EventKind::ServerSuppressed: return "server-suppressed";
     case EventKind::Custom: return "custom";
   }
   return "unknown";

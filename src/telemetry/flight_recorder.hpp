@@ -42,6 +42,10 @@ enum class EventKind : std::uint8_t {
   Failback,     // hysteresis satisfied: back on the home server
   AntiEntropy,  // replica digest exchange / reconciliation round
   Shed,         // bounded admission shed a control message
+  ElectionStarted,   // a replica lost the leader and opened a new term
+  LeaderElected,     // a candidate won: new leader + epoch announced
+  EpochRejected,     // a stale-epoch message was fenced off (split-brain)
+  ServerSuppressed,  // flap dampening crossed the suppress/reuse threshold
   Custom,
 };
 

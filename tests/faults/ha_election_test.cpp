@@ -1,0 +1,375 @@
+// Elected-primary control plane (PR 6), end to end on a real fabric:
+// leader election converging after the leader crashes or is partitioned
+// away, epoch fencing rejecting a resurrected stale leader's acks and
+// feed pushes, BGP-style flap dampening holding an oscillating server
+// out of rotation, and seeded determinism of the whole machinery.
+//
+// Election, heartbeat, and anti-entropy timers are perpetual, so every
+// test here drives the clock with run_until() (never run()).
+#include <gtest/gtest.h>
+
+#include "faults/fault_plane.hpp"
+#include "fabric/fabric.hpp"
+
+namespace sda::faults {
+namespace {
+
+using net::GroupId;
+using net::MacAddress;
+using net::VnId;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+constexpr VnId kCorp{100};
+constexpr GroupId kEmployees{10};
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_u64(0x0200'0000'0000ull | i); }
+
+fabric::FabricConfig election_config() {
+  fabric::FabricConfig cfg;
+  cfg.routing_servers = 2;
+  cfg.ha.failover = true;
+  cfg.ha.heartbeat_interval = milliseconds{100};
+  cfg.ha.heartbeat_timeout = milliseconds{20};
+  cfg.ha.down_after_misses = 3;
+  cfg.ha.up_after_acks = 4;
+  cfg.ha.anti_entropy_interval = milliseconds{500};
+  cfg.ha.election = true;
+  cfg.ha.election_heartbeat_interval = milliseconds{100};
+  cfg.ha.election_timeout = milliseconds{400};
+  cfg.ha.election_claim_timeout = milliseconds{60};
+  cfg.map_request_retries = 8;
+  cfg.map_register_retries = 10;
+  return cfg;
+}
+
+struct ElectionFixture : ::testing::Test {
+  void SetUp() override {
+    fabric::FabricConfig cfg = election_config();
+    configure(cfg);
+    build(cfg);
+  }
+
+  void build(const fabric::FabricConfig& cfg) {
+    fabric = std::make_unique<fabric::SdaFabric>(sim, cfg);
+    fabric->add_border("b0");
+    fabric->add_border("b1");
+    for (int e = 0; e < 4; ++e) {
+      const std::string name = "e" + std::to_string(e);
+      fabric->add_edge(name);
+      fabric->link(name, "b0");
+      fabric->link(name, "b1");
+    }
+    fabric->link("b0", "b1");
+    fabric->finalize();
+    fabric->define_vn({kCorp, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  }
+
+  virtual void configure(fabric::FabricConfig&) {}
+
+  void provision(const std::string& credential, MacAddress m) {
+    fabric::EndpointDefinition def;
+    def.credential = credential;
+    def.secret = "pw";
+    def.mac = m;
+    def.vn = kCorp;
+    def.group = kEmployees;
+    fabric->provision_endpoint(def);
+  }
+
+  fabric::OnboardResult connect(const std::string& credential, const std::string& edge) {
+    fabric::OnboardResult result;
+    fabric->connect_endpoint(credential, edge, 1,
+                             [&](const fabric::OnboardResult& r) { result = r; });
+    run_for(seconds{2});
+    return result;
+  }
+
+  void run_for(sim::Duration d) { sim.run_until(sim.now() + d); }
+
+  sim::Simulator sim;
+  std::unique_ptr<fabric::SdaFabric> fabric;
+};
+
+TEST_F(ElectionFixture, LeaderCrashElectsReplicaAndControlPlaneResumes) {
+  ASSERT_NE(fabric->ha_monitor(), nullptr);
+  const auto* ha = fabric->ha_monitor();
+  ASSERT_TRUE(ha->election_enabled());
+
+  provision("alice", mac(1));
+  provision("bob", mac(2));
+  ASSERT_TRUE(connect("alice", "e0").success);
+  ASSERT_TRUE(connect("bob", "e1").success);
+
+  // Steady state: server 0 leads on the initial term, no elections yet.
+  EXPECT_EQ(ha->leader(), 0u);
+  EXPECT_EQ(ha->epoch(), 1u);
+  EXPECT_EQ(ha->counters().elections_started, 0u);
+
+  // Kill the leader. The follower watchdog (jittered around the 400ms
+  // election timeout) opens a new term and, unchallenged, wins it.
+  fabric->map_server_node(0).set_online(false);
+  run_for(seconds{3});
+  EXPECT_EQ(ha->leader(), 1u);
+  EXPECT_GE(ha->epoch(), 2u);
+  EXPECT_GE(ha->counters().elections_started, 1u);
+  EXPECT_GE(ha->counters().leaders_elected, 1u);
+
+  // The control plane resumes under the new term: registrations are acked
+  // by the new leader (onboarding completes), and its pub/sub feed carries
+  // the new mapping to every border under the new epoch.
+  provision("camera", mac(3));
+  ASSERT_TRUE(connect("camera", "e2").success);
+  EXPECT_EQ(fabric->map_server_replica(1).mapping_count(kCorp), 3u);
+  for (const auto& name : fabric->border_names()) {
+    const auto& border = fabric->border(name);
+    EXPECT_GE(border.feed_epoch(), 2u) << name;
+    EXPECT_EQ(border.fib_size(), 3u) << name;
+  }
+  EXPECT_EQ(fabric->stale_epoch_acks_accepted(), 0u);
+
+  // The election surfaces in telemetry.
+  const auto snapshot = fabric->metrics().snapshot();
+  EXPECT_GE(snapshot.gauges.at("ha.election.term"), 2.0);
+  EXPECT_EQ(snapshot.gauges.at("ha.election.leader"), 1.0);
+  EXPECT_GE(snapshot.counters.at("ha.leaders_elected"), 1u);
+}
+
+TEST_F(ElectionFixture, PartitionedLeaderIsDeposedAndFencedOnHeal) {
+  const auto* ha = fabric->ha_monitor();
+  provision("alice", mac(1));
+  provision("bob", mac(2));
+  ASSERT_TRUE(connect("alice", "e0").success);
+  ASSERT_TRUE(connect("bob", "e1").success);
+
+  // Partition the leader's node away: the process keeps running (and keeps
+  // believing it leads — split-brain), but its asserts stop arriving.
+  FaultPlane plane{sim, fabric->underlay(), 0xE1EC};
+  const auto b0_node =
+      fabric->underlay().topology().node_by_loopback(fabric->border("b0").rloc());
+  ASSERT_TRUE(b0_node.has_value());
+  plane.partition_node(*b0_node, sim::Duration{0}, seconds{3});
+  run_for(seconds{3});  // partition window: replica takes over
+  EXPECT_EQ(ha->leader(), 1u);
+  EXPECT_GE(ha->epoch(), 2u);
+  EXPECT_TRUE(ha->node_believes_leader(0));  // the stale side still believes
+
+  // Heal. The resurrected leader asserts its old term into the newer
+  // cluster: rejected (epoch fence), counter-asserted, and deposed — it
+  // adopts the new term instead of clawing leadership back (stickiness).
+  run_for(seconds{2});
+  EXPECT_FALSE(ha->node_believes_leader(0));
+  EXPECT_EQ(ha->leader(), 1u);
+  EXPECT_GE(ha->counters().epoch_rejections, 1u);
+  EXPECT_EQ(fabric->stale_epoch_acks_accepted(), 0u);
+
+  // Whatever the deposed leader pushed while stale was fenced or
+  // superseded: every border converged onto the new leader's feed.
+  for (const auto& name : fabric->border_names()) {
+    EXPECT_GE(fabric->border(name).feed_epoch(), 2u) << name;
+  }
+}
+
+// --- Flap dampening ---------------------------------------------------------
+
+struct DampeningFixture : ElectionFixture {
+  void configure(fabric::FabricConfig& cfg) override {
+    cfg.ha.election = false;  // isolate the dampening mechanism
+    cfg.ha.dampening = true;
+    cfg.ha.dampening_penalty = 1000.0;
+    cfg.ha.dampening_suppress = 1500.0;
+    cfg.ha.dampening_reuse = 500.0;
+    cfg.ha.dampening_half_life = seconds{1};
+  }
+};
+
+TEST_F(DampeningFixture, OscillatingServerCausesAtMostOneFailover) {
+  const auto* ha = fabric->ha_monitor();
+  run_for(milliseconds{500});
+  ASSERT_TRUE(ha->server_up(0));
+
+  // Oscillate server 0 at the miss/ack boundary: down long enough to be
+  // declared dead, up long enough to pass the fail-back hysteresis, thrice.
+  // Without dampening this is 3 failovers and 3 failbacks of churn.
+  FaultPlane plane{sim, fabric->underlay(), 0xDA};
+  plane.server_oscillation(fabric->map_server_node(0), milliseconds{100},
+                           /*down_for=*/milliseconds{400}, /*up_for=*/milliseconds{600},
+                           /*cycles=*/3);
+  run_for(seconds{4});
+
+  // One failover, then the hold-down absorbs the rest of the churn.
+  EXPECT_EQ(ha->counters().failovers, 1u);
+  EXPECT_GE(ha->counters().suppressions, 1u);
+  EXPECT_TRUE(ha->server_up(0));  // healthy again, but...
+  EXPECT_TRUE(ha->suppressed(0));  // ...held down until the penalty decays
+  EXPECT_EQ(ha->active_server_for(0), 1u);
+  EXPECT_EQ(ha->counters().failbacks, 0u);
+
+  const auto snapshot = fabric->metrics().snapshot();
+  EXPECT_EQ(snapshot.gauges.at("ha.dampening.suppressed"), 1.0);
+
+  // The penalty halves every second; once below reuse the server is
+  // released and the deferred fail-back finally returns traffic to it.
+  run_for(seconds{4});
+  EXPECT_FALSE(ha->suppressed(0));
+  EXPECT_EQ(ha->counters().failbacks, 1u);
+  EXPECT_EQ(ha->active_server_for(0), 0u);
+  EXPECT_EQ(ha->counters().failovers, 1u);  // still exactly one
+}
+
+// --- Epoch fencing unit coverage -------------------------------------------
+
+TEST(EpochFence, BorderRejectsStaleEpochAndRehomesOnNewer) {
+  sim::Simulator sim;
+  dataplane::BorderRouterConfig cfg;
+  cfg.name = "b";
+  cfg.rloc = net::Ipv4Address{10, 0, 0, 1};
+  dataplane::BorderRouter border{sim, cfg};
+
+  lisp::Publish publish;
+  publish.eid = net::VnEid{kCorp, net::Eid{net::Ipv4Address{10, 100, 0, 5}}};
+  publish.rlocs = {net::Rloc{net::Ipv4Address{10, 0, 0, 254}, 1, 1}};
+  publish.ttl_seconds = 60;
+
+  // First epoch observation adopts silently (election coming up
+  // mid-stream is not a re-home).
+  publish.seq = 1;
+  publish.epoch = 1;
+  EXPECT_TRUE(border.receive_publish(publish));
+  EXPECT_EQ(border.feed_epoch(), 1u);
+  EXPECT_EQ(border.fib_size(), 1u);
+  EXPECT_FALSE(border.resync_in_flight());
+
+  // Stale epoch (a deposed leader's push): rejected, FIB untouched.
+  lisp::Publish stale = publish;
+  stale.seq = 2;
+  stale.epoch = 0;  // unfenced still applies...
+  EXPECT_TRUE(border.receive_publish(stale));
+  stale.epoch = 1;
+  stale.seq = 3;
+  EXPECT_TRUE(border.receive_publish(stale));
+  border.apply_snapshot({}, 4, 5);  // feed now fenced at term 5
+  stale.epoch = 1;
+  stale.seq = 4;
+  EXPECT_FALSE(border.receive_publish(stale));
+  EXPECT_EQ(border.counters().stale_epoch_rejected, 1u);
+
+  // Newer epoch: the feed re-homed — discard the update, pull a snapshot.
+  lisp::Publish newer = publish;
+  newer.seq = 4;
+  newer.epoch = 7;
+  EXPECT_TRUE(border.receive_publish(newer));
+  EXPECT_EQ(border.feed_epoch(), 7u);
+  EXPECT_TRUE(border.resync_in_flight());
+}
+
+TEST(EpochFence, EdgeRejectsStaleEpochAcks) {
+  sim::Simulator sim;
+  dataplane::EdgeRouterConfig cfg;
+  cfg.name = "e";
+  cfg.rloc = net::Ipv4Address{10, 0, 0, 2};
+  dataplane::EdgeRouter edge{sim, cfg};
+
+  const net::VnEid eid{kCorp, net::Eid{net::Ipv4Address{10, 100, 0, 9}}};
+  lisp::MapNotify notify{1, eid, {net::Rloc{cfg.rloc, 1, 1}}, 3};
+  EXPECT_TRUE(edge.receive_map_notify(notify));
+  EXPECT_EQ(edge.control_epoch(), 3u);
+
+  // The cluster moves on to term 5 (leader announce); a term-4 ack from a
+  // deposed leader must be fenced, an unfenced (epoch 0) ack still works.
+  edge.observe_control_epoch(5);
+  lisp::MapNotify stale{2, eid, {net::Rloc{cfg.rloc, 1, 1}}, 4};
+  EXPECT_FALSE(edge.receive_map_notify(stale));
+  EXPECT_EQ(edge.counters().stale_epoch_rejected, 1u);
+  lisp::MapNotify unfenced{3, eid, {net::Rloc{cfg.rloc, 1, 1}}, 0};
+  EXPECT_TRUE(edge.receive_map_notify(unfenced));
+  lisp::MapNotify current{4, eid, {net::Rloc{cfg.rloc, 1, 1}}, 5};
+  EXPECT_TRUE(edge.receive_map_notify(current));
+  EXPECT_EQ(edge.control_epoch(), 5u);
+}
+
+TEST(EpochFence, MessagesCarryEpochOnTheWire) {
+  const net::VnEid eid{kCorp, net::Eid{net::Ipv4Address{10, 100, 0, 9}}};
+  const lisp::MapNotify notify{9, eid, {net::Rloc{net::Ipv4Address{10, 0, 0, 254}, 1, 1}}, 42};
+  const auto notify_decoded = lisp::decode_message(lisp::encode_message(lisp::Message{notify}));
+  ASSERT_TRUE(notify_decoded.has_value());
+  EXPECT_EQ(std::get<lisp::MapNotify>(*notify_decoded), notify);
+  EXPECT_EQ(std::get<lisp::MapNotify>(*notify_decoded).epoch, 42u);
+
+  lisp::Publish publish;
+  publish.eid = eid;
+  publish.rlocs = {net::Rloc{net::Ipv4Address{10, 0, 0, 254}, 1, 1}};
+  publish.ttl_seconds = 60;
+  publish.seq = 17;
+  publish.epoch = 6;
+  const auto publish_decoded = lisp::decode_message(lisp::encode_message(lisp::Message{publish}));
+  ASSERT_TRUE(publish_decoded.has_value());
+  EXPECT_EQ(std::get<lisp::Publish>(*publish_decoded), publish);
+  EXPECT_EQ(std::get<lisp::Publish>(*publish_decoded).epoch, 6u);
+}
+
+// --- Seeded determinism -----------------------------------------------------
+
+struct ElectionRunResult {
+  std::string flight_log;
+  std::uint64_t executed_events = 0;
+  std::uint64_t epoch = 0;
+  std::size_t leader = 0;
+  std::uint64_t elections = 0;
+};
+
+ElectionRunResult run_election_scenario(std::uint64_t seed) {
+  sim::Simulator sim;
+  fabric::FabricConfig cfg = election_config();
+  cfg.seed = seed;
+  fabric::SdaFabric fabric{sim, cfg};
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  for (int e = 0; e < 4; ++e) {
+    const std::string name = "e" + std::to_string(e);
+    fabric.add_edge(name);
+    fabric.link(name, "b0");
+    fabric.link(name, "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kCorp, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  for (int i = 0; i < 3; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = "h" + std::to_string(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i) + 1);
+    def.vn = kCorp;
+    def.group = kEmployees;
+    fabric.provision_endpoint(def);
+    fabric.connect_endpoint(def.credential, "e" + std::to_string(i % 4), 1);
+  }
+  sim.run_until(sim.now() + seconds{2});
+  fabric.map_server_node(0).set_online(false);  // kill the leader
+  sim.run_until(sim.now() + seconds{3});
+  fabric.map_server_node(0).set_online(true);  // stale resurrection
+  sim.run_until(sim.now() + seconds{2});
+
+  ElectionRunResult result;
+  result.flight_log = fabric.flight_recorder().dump();
+  result.executed_events = sim.executed_events();
+  result.epoch = fabric.ha_monitor()->epoch();
+  result.leader = fabric.ha_monitor()->leader();
+  result.elections = fabric.ha_monitor()->counters().elections_started;
+  return result;
+}
+
+TEST(ElectionDeterminism, SameSeedSameLeaderSameFlightLog) {
+  const ElectionRunResult a = run_election_scenario(1234);
+  const ElectionRunResult b = run_election_scenario(1234);
+  EXPECT_GE(a.epoch, 2u);
+  EXPECT_EQ(a.leader, 1u);
+  EXPECT_EQ(a.flight_log, b.flight_log);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.elections, b.elections);
+}
+
+}  // namespace
+}  // namespace sda::faults
