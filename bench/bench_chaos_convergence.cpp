@@ -571,6 +571,177 @@ OscillationDrillResult run_oscillation_drill(bool dampening_on) {
   return result;
 }
 
+// --- Assurance drill: the causal tracer + assurance engine end to end -------
+//
+// The election-drill fabric with causal tracing on: onboards open Register
+// operations, mid-run roams open Move and SmrFanout operations, and the
+// leader kill opens a FailoverRehome operation — so one run populates all
+// four assurance.* convergence histograms. At quiesce the engine audits the
+// continuous invariants (epoch fencing, replica convergence, packet/trace
+// leaks, pub/sub gap resolution) and the convergence SLOs. The breach mode
+// re-runs with an artificial 100ms SMR delay to prove a violated SLO is
+// actually caught, not vacuously green.
+
+struct AssureDrillResult {
+  std::uint64_t register_n = 0;
+  std::uint64_t move_n = 0;
+  std::uint64_t rehome_n = 0;
+  std::uint64_t smr_n = 0;
+  std::size_t open_ops = 0;
+  std::uint64_t abandoned = 0;
+  std::vector<telemetry::Verdict> invariants;
+  std::vector<telemetry::Verdict> slos;
+};
+
+AssureDrillResult run_assurance_drill(bool breach) {
+  constexpr int kDrillFlows = 12;
+  constexpr auto kDrillRun = seconds{9};
+  constexpr auto kKillAt = seconds{2};
+  constexpr auto kKillFor = seconds{3};
+
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 2;
+  config.default_route_fallback = false;
+  config.pending_packet_limit = 8;
+  config.map_request_retries = 8;
+  config.map_register_retries = 10;
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.anti_entropy_interval = milliseconds{500};
+  config.ha.election = true;
+  config.ha.election_heartbeat_interval = milliseconds{100};
+  config.ha.election_timeout = milliseconds{400};
+  config.ha.election_claim_timeout = milliseconds{60};
+  config.causal_tracing = true;
+  if (breach) config.smr_debug_delay = milliseconds{100};
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 6; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "b0");
+    fabric.link(edges.back(), "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  // Convergence SLOs. require_samples=true makes an unpopulated histogram a
+  // failure — the gate cannot go green because tracing silently broke.
+  telemetry::AssuranceEngine& assurance = fabric.telemetry().assurance;
+  assurance.add_slo({"smr-fanout-p95", "assurance.smr_fanout_us", 0.95, 20'000.0, true});
+  assurance.add_slo(
+      {"move-convergence-p95", "assurance.move_convergence_us", 0.95, 300'000.0, true});
+  assurance.add_slo({"register-rtt-p95", "assurance.register_rtt_us", 0.95, 250'000.0, true});
+  assurance.add_slo(
+      {"failover-rehome-p95", "assurance.failover_rehome_us", 0.95, 400'000.0, true});
+
+  std::vector<net::Ipv4Address> ips(kDrillFlows + 1);
+  for (int i = 0; i < kDrillFlows + 1; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < kDrillFlows) {
+      fabric.connect_endpoint(
+          def.credential, edges[static_cast<std::size_t>(i) % edges.size()], 1,
+          [&ips, i](const fabric::OnboardResult& r) { ips[static_cast<std::size_t>(i)] = r.ip; });
+    }
+  }
+  sim.run_until(sim.now() + seconds{1});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.set_recorder(&fabric.flight_recorder());
+
+  const sim::SimTime t0 = sim.now();
+  const auto flow = [&](int from, int to, sim::Duration start) {
+    for (sim::Duration at = start + kSendGap * from / kDrillFlows; at < kDrillRun;
+         at += kSendGap) {
+      sim.schedule_at(t0 + at, [&, from, to] {
+        fabric.endpoint_send_udp(mac(static_cast<std::uint64_t>(from)),
+                                 ips[static_cast<std::size_t>(to)], 443, 200);
+      });
+    }
+  };
+  for (int i = 0; i < 6; ++i) flow(i, (i + 1) % 6, sim::Duration{0});
+
+  // Roams bracket the outage (clean SMR timing on both sides of the kill —
+  // the old edge re-solicits once more ~1s after the roam, and that second
+  // SMR must also resolve before/after the kill window, not inside it):
+  // h1's peer h0 holds a stale cache entry each time and must be SMR'd.
+  sim.schedule_at(t0 + milliseconds{500}, [&] { fabric.roam_endpoint(mac(1), edges[4], 3); });
+  sim.schedule_at(t0 + milliseconds{6500}, [&] { fabric.roam_endpoint(mac(3), edges[5], 3); });
+
+  // Kill the elected leader: the replica's watchdog opens a new term and
+  // the borders re-home onto it (the FailoverRehome operation). A late
+  // endpoint registers under the new leader mid-outage.
+  plane.server_outage(fabric.map_server_node(0), kKillAt, kKillFor);
+  sim.schedule_at(t0 + seconds{4}, [&] {
+    fabric.connect_endpoint(host(kDrillFlows), edges[1], 2,
+                            [&ips](const fabric::OnboardResult& r) { ips.back() = r.ip; });
+  });
+
+  sim.run_until(t0 + kDrillRun + seconds{3});  // quiesce: every op must resolve
+
+  AssureDrillResult result;
+  const telemetry::Snapshot snap = fabric.telemetry().metrics.snapshot();
+  const auto hist_n = [&snap](const char* name) -> std::uint64_t {
+    const auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? 0 : it->second.total;
+  };
+  result.register_n = hist_n("assurance.register_rtt_us");
+  result.move_n = hist_n("assurance.move_convergence_us");
+  result.rehome_n = hist_n("assurance.failover_rehome_us");
+  result.smr_n = hist_n("assurance.smr_fanout_us");
+  result.open_ops = fabric.telemetry().causal.open_count();
+  result.abandoned = fabric.telemetry().causal.abandoned_count();
+  result.invariants = assurance.evaluate_invariants();
+  result.slos = assurance.evaluate_slos(snap);
+
+  if (!breach) {
+    // The span trees of the faithful run are the Chrome-trace artifact
+    // (chrome://tracing / Perfetto); the breach run is diagnostics only.
+    if (const auto dir = bench::results_dir()) {
+      if (fabric.telemetry().causal.write_chrome_trace(*dir, "assurance_causal_trace")) {
+        std::printf("chrome trace written to %s/assurance_causal_trace.json\n", dir->c_str());
+      }
+    }
+  }
+  return result;
+}
+
+void print_assure_lines(const char* mode, const AssureDrillResult& r) {
+  std::printf(
+      "assure mode=%s register_n=%llu move_n=%llu rehome_n=%llu smr_n=%llu "
+      "open_ops=%llu abandoned=%llu\n",
+      mode, static_cast<unsigned long long>(r.register_n),
+      static_cast<unsigned long long>(r.move_n),
+      static_cast<unsigned long long>(r.rehome_n),
+      static_cast<unsigned long long>(r.smr_n),
+      static_cast<unsigned long long>(r.open_ops),
+      static_cast<unsigned long long>(r.abandoned));
+  for (const auto& v : r.invariants) {
+    std::printf("averdict mode=%s name=%s pass=%d detail=%s\n", mode, v.name.c_str(),
+                v.pass ? 1 : 0, v.detail.c_str());
+  }
+  for (const auto& v : r.slos) {
+    std::printf("aslo mode=%s name=%s pass=%d detail=%s\n", mode, v.name.c_str(),
+                v.pass ? 1 : 0, v.detail.c_str());
+  }
+}
+
 void print_drill_line(const char* mode, const DrillResult& r) {
   std::printf(
       "drill ha=%s sent=%llu delivered=%llu fraction=%.4f reconv_ms=%.0f "
@@ -606,6 +777,16 @@ void print_oscillation_drill_line(const char* mode, const OscillationDrillResult
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool assure_only = argc > 1 && std::strcmp(argv[1], "--assure") == 0;
+  if (assure_only) {
+    // Machine-parseable mode for scripts/check_assurance.sh: the causal-
+    // tracing drill (all four convergence histograms + invariant audit),
+    // then the same drill with a deliberately slowed SMR path to prove the
+    // smr-fanout SLO breach is caught.
+    print_assure_lines("normal", run_assurance_drill(false));
+    print_assure_lines("breach", run_assurance_drill(true));
+    return 0;
+  }
   const bool drill_only = argc > 1 && std::strcmp(argv[1], "--drill") == 0;
   if (drill_only) {
     // Machine-parseable mode for scripts/check_failover.sh: the server-kill
@@ -694,5 +875,25 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(damped.failovers),
       static_cast<unsigned long long>(damped.suppressions),
       damped.suppressions == 1 ? "" : "s", damped.released ? "yes" : "no");
+
+  std::printf("\n=== Assurance drill: causal tracing + invariant audit ===\n");
+  const AssureDrillResult a = run_assurance_drill(false);
+  std::printf(
+      "operations traced: %llu registrations, %llu moves, %llu re-homes, %llu SMR\n"
+      "fan-outs; %llu open at quiesce, %llu abandoned.\n",
+      static_cast<unsigned long long>(a.register_n),
+      static_cast<unsigned long long>(a.move_n),
+      static_cast<unsigned long long>(a.rehome_n),
+      static_cast<unsigned long long>(a.smr_n),
+      static_cast<unsigned long long>(a.open_ops),
+      static_cast<unsigned long long>(a.abandoned));
+  for (const auto& v : a.invariants) {
+    std::printf("  [%s] %s: %s\n", v.pass ? "PASS" : "FAIL", v.name.c_str(),
+                v.detail.c_str());
+  }
+  for (const auto& v : a.slos) {
+    std::printf("  [%s] %s: %s\n", v.pass ? "PASS" : "FAIL", v.name.c_str(),
+                v.detail.c_str());
+  }
   return 0;
 }

@@ -412,6 +412,16 @@ void export_schema_probe() {
   config.l2_gateway = false;
   config.seed = 0x5DA;
   config.trace_first_packets = true;
+  // The probe's job is schema coverage: turn on every metric-bearing
+  // subsystem — scale-out routing servers, the full HA layer (failover,
+  // anti-entropy, election, dampening), and causal tracing — so the
+  // routing_server[i].*, ha.*, and assurance.* families are all present.
+  config.routing_servers = 2;
+  config.ha.failover = true;
+  config.ha.anti_entropy_interval = std::chrono::milliseconds{500};
+  config.ha.election = true;
+  config.ha.dampening = true;
+  config.causal_tracing = true;
   fabric::SdaFabric fabric{sim, config};
   fabric.add_border("b0");
   fabric.add_edge("e0");
@@ -435,16 +445,18 @@ void export_schema_probe() {
                               ips[static_cast<std::size_t>(i)] = r.ip;
                             });
   }
-  sim.run();
+  // The HA heartbeat/election timers never drain the queue: drive time
+  // explicitly. 3s covers the first election plus the acked registrations.
+  sim.run_until(sim.now() + std::chrono::seconds{3});
   fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0400u), ips[1], 443, 200);
-  sim.run();
+  sim.run_until(sim.now() + std::chrono::milliseconds{200});
   const telemetry::Snapshot first = fabric.telemetry().metrics.snapshot();
   telemetry::write_json(*dir, "bench_micro_metrics", first);
   telemetry::write_prometheus(*dir, "bench_micro_metrics", first);
   for (int i = 0; i < 8; ++i) {
     fabric.endpoint_send_udp(net::MacAddress::from_u64(0x0401u), ips[0], 443, 200);
   }
-  sim.run();
+  sim.run_until(sim.now() + std::chrono::milliseconds{200});
   telemetry::write_json(*dir, "bench_micro_metrics_2", fabric.telemetry().metrics.snapshot());
   std::printf("telemetry schema probes written to %s/bench_micro_metrics{,_2}.json\n",
               dir->c_str());
@@ -568,6 +580,60 @@ std::uint64_t probe_dispatch_steady_state_allocs() {
   return g_heap_allocations.load(std::memory_order_relaxed) - before;
 }
 
+/// Disabled causal tracer: the full per-hook call pattern the fabric pays
+/// when causal_tracing is off — an enabled() check guarding begin(), then
+/// span_begin/span_end/finish on the 0 trace id. Every call must early-out;
+/// this is the "tracing costs one predictable branch when off" claim,
+/// measured.
+ProbeResult probe_causal_idle() {
+  telemetry::CausalTracer tracer{16};  // disabled: set_enabled never called
+  const std::string node = "edge0";
+  const sim::SimTime now{};
+  std::uint64_t sink = 0;
+  return run_probe(
+      [&] {
+        for (int i = 0; i < 1024; ++i) {
+          std::uint64_t trace = 0;
+          if (tracer.enabled()) {
+            trace = tracer.begin(telemetry::OpKind::Register, node, now);
+          }
+          const std::uint64_t span = tracer.span_begin(trace, 0, "map-register", node, now);
+          tracer.span_end(trace, span, now);
+          tracer.finish(trace, now);
+          sink += trace + span;
+        }
+        benchmark::DoNotOptimize(sink);
+      },
+      1024);
+}
+
+/// Allocation count over the disabled-tracer call pattern. Must be zero:
+/// a disabled tracer that allocates would tax every control-plane hook in
+/// every untraced fabric.
+std::uint64_t probe_tracing_disabled_allocs() {
+  telemetry::CausalTracer tracer{16};
+  const std::string node = "edge0";
+  const sim::SimTime now{};
+  std::uint64_t sink = 0;
+  const auto cycle = [&] {
+    for (int i = 0; i < 1024; ++i) {
+      std::uint64_t trace = 0;
+      if (tracer.enabled()) {
+        trace = tracer.begin(telemetry::OpKind::Register, node, now);
+      }
+      const std::uint64_t span = tracer.span_begin(trace, 0, "map-register", node, now);
+      tracer.span_end(trace, span, now);
+      tracer.finish(trace, now);
+      sink += trace + span;
+    }
+  };
+  for (int i = 0; i < 8; ++i) cycle();
+  const std::uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 64; ++i) cycle();
+  benchmark::DoNotOptimize(sink);
+  return g_heap_allocations.load(std::memory_order_relaxed) - before;
+}
+
 /// First-packet latency p50 (microseconds) from a deterministic two-edge
 /// fabric run — sim-time, so identical on every host; a regression here
 /// means the resolution pipeline itself got longer, not the machine slower.
@@ -623,7 +689,9 @@ void export_perf_probe() {
   const ProbeResult schedule = probe_schedule_dispatch();
   const ProbeResult cache_hit = probe_map_cache_hit();
   const ProbeResult sgacl = probe_sgacl_verdict();
+  const ProbeResult causal_idle = probe_causal_idle();
   const std::uint64_t allocs = probe_dispatch_steady_state_allocs();
+  const std::uint64_t tracing_allocs = probe_tracing_disabled_allocs();
   const double first_packet_us = probe_first_packet_p50_us();
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -641,11 +709,14 @@ void export_perf_probe() {
   std::fprintf(f, "  \"metrics\": {\n");
   metric("schedule_dispatch", schedule, ",");
   metric("map_cache_hit", cache_hit, ",");
-  metric("sgacl_verdict", sgacl, "");
+  metric("sgacl_verdict", sgacl, ",");
+  metric("causal_idle", causal_idle, "");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fabric_first_packet_us_p50\": %.2f,\n", first_packet_us);
-  std::fprintf(f, "  \"dispatch_steady_state_allocs\": %llu\n",
+  std::fprintf(f, "  \"dispatch_steady_state_allocs\": %llu,\n",
                static_cast<unsigned long long>(allocs));
+  std::fprintf(f, "  \"tracing_disabled_allocs\": %llu\n",
+               static_cast<unsigned long long>(tracing_allocs));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("perf probe written to %s\n", path);

@@ -63,6 +63,44 @@ for expected in ("fabric.first_packet_us", "fabric.onboard_ms"):
     assert expected in first["histograms"], f"missing expected histogram {expected!r}"
 assert first["histograms"]["fabric.onboard_ms"]["total"] == 2, "probe onboarded 2 endpoints"
 
+# Scale-out routing-server family (PR 4): one front-end per server, each
+# with its own submission/occupancy metrics.
+for expected in ("routing_server[0].dropped_submissions",
+                 "routing_server[1].dropped_submissions",
+                 "routing_server[0].shed_submissions",
+                 "routing_server[1].shed_submissions"):
+    assert expected in first["counters"], f"missing expected counter {expected!r}"
+for expected in ("routing_server[0].online", "routing_server[1].in_flight"):
+    assert expected in first["gauges"], f"missing expected gauge {expected!r}"
+
+# HA family (PR 4/6): heartbeat failover, anti-entropy, leader election,
+# and flap dampening all export under the ha.* prefix.
+for expected in ("ha.heartbeats_sent", "ha.failovers", "ha.anti_entropy_rounds",
+                 "ha.elections_started", "ha.leaders_elected", "ha.epoch_rejections",
+                 "ha.suppressions"):
+    assert expected in first["counters"], f"missing expected counter {expected!r}"
+for expected in ("ha.servers_up", "ha.replica_divergence", "ha.election.term",
+                 "ha.election.leader", "ha.dampening.suppressed"):
+    assert expected in first["gauges"], f"missing expected gauge {expected!r}"
+# The probe runs long enough for the heartbeat/anti-entropy timers to have
+# fired. Fault-free, so no election runs — server 0 leads the implicit
+# first term — and nothing is suppressed or diverged.
+assert first["counters"]["ha.heartbeats_sent"] > 0, "HA heartbeats never fired"
+assert first["counters"]["ha.anti_entropy_rounds"] > 0, "anti-entropy never ran"
+assert first["gauges"]["ha.election.term"] >= 1, "election term still 0"
+assert first["gauges"]["ha.election.leader"] == 0, "fault-free probe should keep leader 0"
+assert first["gauges"]["ha.dampening.suppressed"] == 0, "phantom dampening suppression"
+assert first["gauges"]["ha.replica_divergence"] == 0, "replicas diverged in a fault-free probe"
+assert first["gauges"]["ha.servers_up"] == 2, "both routing servers should be up"
+
+# Assurance family (PR 8): the convergence histograms exist, and with
+# causal tracing on the probe's registrations populate register_rtt.
+for expected in ("assurance.register_rtt_us", "assurance.move_convergence_us",
+                 "assurance.failover_rehome_us", "assurance.smr_fanout_us"):
+    assert expected in first["histograms"], f"missing expected histogram {expected!r}"
+assert first["histograms"]["assurance.register_rtt_us"]["total"] >= 2, \
+    "causal tracing produced no completed registration operations"
+
 # Same schema in both snapshots, and counters never go backwards.
 assert set(first["counters"]) == set(second["counters"]), "counter sets diverged"
 assert set(first["histograms"]) == set(second["histograms"]), "histogram sets diverged"

@@ -10,6 +10,8 @@
 #   * FAIL if any probe's ops/sec drops more than 25% below baseline;
 #   * FAIL if the dispatch loop allocated at steady state (the InlineAction
 #     SBO + slot-recycling design makes it allocation-free);
+#   * FAIL if the disabled causal tracer's per-hook call pattern allocated
+#     (tracing off must cost one predictable branch, nothing more);
 #   * FAIL if the deterministic fabric first-packet p50 grows >25%
 #     (sim-time, so this is pipeline work, not machine speed);
 #   * SKIP (exit 0, with a warning) when the baseline is absent or the
@@ -86,6 +88,13 @@ allocs = current.get("dispatch_steady_state_allocs")
 print(f"check_perf: dispatch_steady_state_allocs: {allocs}")
 if allocs != 0:
     failures.append(f"dispatch loop allocated at steady state ({allocs} allocations)")
+
+tracing_allocs = current.get("tracing_disabled_allocs")
+print(f"check_perf: tracing_disabled_allocs: {tracing_allocs}")
+if tracing_allocs != 0:
+    failures.append(
+        f"disabled causal tracer allocated ({tracing_allocs} allocations); "
+        "the tracing-off hot path must be allocation-free")
 
 base_fp = baseline.get("fabric_first_packet_us_p50", 0.0)
 cur_fp = current.get("fabric_first_packet_us_p50", 0.0)

@@ -460,11 +460,11 @@ void EdgeRouter::encap_to(net::Ipv4Address rloc, const net::VnEid& destination,
   if (send_data_) send_data_(out);
 }
 
-void EdgeRouter::resolve(const net::VnEid& eid, bool smr_invoked) {
+void EdgeRouter::resolve(const net::VnEid& eid, bool smr_invoked, std::uint64_t trace) {
   if (!send_map_request_) return;
   if (pending_requests_.contains(eid)) return;
   pending_requests_[eid] = PendingRequest{next_nonce_++, config_.map_request_retries,
-                                          smr_invoked, config_.map_request_timeout};
+                                          smr_invoked, trace, config_.map_request_timeout};
   transmit_map_request(eid);
 }
 
@@ -477,6 +477,7 @@ void EdgeRouter::transmit_map_request(const net::VnEid& eid) {
   request.eid = eid;
   request.itr_rloc = config_.rloc;
   request.smr_invoked = it->second.smr_invoked;
+  request.trace = it->second.trace;
   ++counters_.map_requests_sent;
   send_map_request_(request);
 
@@ -801,7 +802,7 @@ void EdgeRouter::receive_smr(const lisp::SolicitMapRequest& smr) {
   // Our cached mapping for this EID is stale: drop it and re-resolve now.
   ++counters_.smr_received;
   cache_.invalidate(smr.eid);
-  resolve(smr.eid, true);
+  resolve(smr.eid, true, smr.trace);
 }
 
 void EdgeRouter::on_rloc_reachability(net::Ipv4Address rloc, bool reachable) {

@@ -297,6 +297,26 @@ class EdgeRouter {
   /// hooks reduce to a pointer test plus an empty-map check.
   void set_tracer(telemetry::PathTracer* tracer) { tracer_ = tracer; }
 
+  // --- Assurance-plane leak probes (quiesce invariants) -------------------
+
+  /// Frames currently parked awaiting resolution (L2 + L3 queues).
+  [[nodiscard]] std::size_t parked_frame_count() const {
+    std::size_t parked = 0;
+    for (const auto& [eid, frames] : pending_l2_) parked += frames.size();
+    for (const auto& [eid, frames] : pending_l3_) parked += frames.size();
+    return parked;
+  }
+  /// Map-Requests still awaiting a reply.
+  [[nodiscard]] std::size_t pending_request_count() const { return pending_requests_.size(); }
+  /// Registrations still awaiting their Map-Notify ack.
+  [[nodiscard]] std::size_t pending_register_count() const { return pending_registers_.size(); }
+  /// Causal trace id riding the in-flight resolution for `eid` (0 if none).
+  /// Lets the fabric tell whether an SMR's trace was adopted by the target.
+  [[nodiscard]] std::uint64_t pending_request_trace(const net::VnEid& eid) const {
+    const auto it = pending_requests_.find(eid);
+    return it == pending_requests_.end() ? 0 : it->second.trace;
+  }
+
  private:
   /// Egress pipeline stage 1+2 for a frame that is local here.
   void egress_deliver(const net::VnEid& destination, net::GroupId source_group,
@@ -306,8 +326,10 @@ class EdgeRouter {
   void encap_to(net::Ipv4Address rloc, const net::VnEid& destination, net::GroupId source_group,
                 bool policy_applied, const net::OverlayFrame& frame);
 
-  /// Issues a Map-Request for `eid` unless one is already pending.
-  void resolve(const net::VnEid& eid, bool smr_invoked);
+  /// Issues a Map-Request for `eid` unless one is already pending. A
+  /// nonzero `trace` attributes the resolution to a causal trace (e.g. the
+  /// SMR fan-out op that triggered it) and rides the Map-Request.
+  void resolve(const net::VnEid& eid, bool smr_invoked, std::uint64_t trace = 0);
 
   /// Sends (or resends) the Map-Request for a pending resolution and arms
   /// the retransmission timer.
@@ -381,6 +403,7 @@ class EdgeRouter {
     std::uint64_t nonce = 0;
     unsigned retries_left = 0;
     bool smr_invoked = false;
+    std::uint64_t trace = 0;   // causal trace id carried by the Map-Request
     sim::Duration timeout{0};  // current RTO (grows under backoff)
     sim::EventHandle timer;    // armed retransmit (cancelled by busy/reply)
   };

@@ -180,6 +180,19 @@ struct FabricConfig {
   bool trace_first_packets = false;
   /// Completed path traces retained (FIFO).
   std::size_t path_trace_keep = 256;
+  /// Assurance plane (PR 8): thread causal trace ids through the LISP
+  /// control messages and build a span tree per control-plane operation
+  /// (registration, move, SMR fan-out, failover re-home), feeding the
+  /// assurance.* convergence histograms. Off by default: disabled tracing
+  /// costs one predictable branch per control hook and leaves the wire
+  /// format byte-identical (the trace id is a trailing optional field).
+  bool causal_tracing = false;
+  /// Completed causal operations retained for export (FIFO).
+  std::size_t causal_trace_keep = 256;
+  /// Debug/chaos knob: artificial delay inserted before each SMR leaves
+  /// the old edge. Used by the assurance gate to inject a demonstrable
+  /// smr_fanout SLO breach; leave at 0 for faithful behaviour.
+  sim::Duration smr_debug_delay{0};
 };
 
 /// Declarative VN definition.

@@ -26,11 +26,13 @@ SdaFabric::SdaFabric(sim::Simulator& simulator, FabricConfig config)
     : simulator_(simulator),
       config_(std::move(config)),
       rng_(config_.seed),
-      telemetry_(config_.flight_recorder_capacity, config_.path_trace_keep) {
+      telemetry_(config_.flight_recorder_capacity, config_.path_trace_keep,
+                 config_.causal_trace_keep) {
   underlay_ = std::make_unique<underlay::UnderlayNetwork>(simulator_, topology_,
                                                           config_.underlay);
   policy_cpu_free_.assign(std::max(1u, config_.timings.policy_workers), sim::SimTime::zero());
   telemetry_.recorder.set_enabled(config_.telemetry);
+  telemetry_.causal.set_enabled(config_.causal_tracing);
 }
 
 sim::SimTime SdaFabric::reserve_policy_cpu(sim::Duration service) {
@@ -199,6 +201,13 @@ void SdaFabric::finalize() {
       }
       publish.seq = ++publish_seq_;
       publish.epoch = control_epoch_of(srv);
+      // A publish caused by a move rides the move's causal trace, so the
+      // border fan-out shows up as spans on the same tree.
+      if (telemetry_.causal.enabled()) {
+        if (const auto mt = move_trace_by_eid_.find(eid); mt != move_trace_by_eid_.end()) {
+          publish.trace = mt->second;
+        }
+      }
       const net::Ipv4Address feed_rloc = server_nodes_[srv]->rloc();
       if (telemetry_.recorder.enabled()) {
         std::string detail = publish.withdrawal() ? "withdraw " : "publish ";
@@ -216,9 +225,11 @@ void SdaFabric::finalize() {
           continue;
         }
         dataplane::BorderRouter& border = *borders_.at(name);
+        const std::uint64_t pub_span = telemetry_.causal.span_begin(
+            publish.trace, 0, "publish", name, simulator_.now());
         control_send(feed_rloc, border.rloc(),
                      lisp::message_wire_size(lisp::Message{publish}),
-                     [this, name, publish, &border] {
+                     [this, name, publish, pub_span, &border] {
                        if (!border_feeds_.at(name).connected) {
                          ++border_feeds_.at(name).dropped_publishes;
                          return;  // feed went down while the update was in flight
@@ -226,6 +237,7 @@ void SdaFabric::finalize() {
                        // A stale-epoch push (deposed leader) is fenced —
                        // do not report it as an applied sync.
                        if (!border.receive_publish(publish)) return;
+                       telemetry_.causal.span_end(publish.trace, pub_span, simulator_.now());
                        if (border_sync_listener_) {
                          const lisp::MappingRecord* rec = nullptr;
                          lisp::MappingRecord tmp;
@@ -249,6 +261,11 @@ void SdaFabric::finalize() {
       const auto it = edge_by_rloc_.find(previous);
       if (it == edge_by_rloc_.end()) return;
       lisp::MapNotify notify{0, eid, record.rlocs, control_epoch_of(srv)};
+      if (telemetry_.causal.enabled()) {
+        if (const auto mt = move_trace_by_eid_.find(eid); mt != move_trace_by_eid_.end()) {
+          notify.trace = mt->second;
+        }
+      }
       const std::string edge_name = it->second;
       if (telemetry_.recorder.enabled()) {
         std::string detail = "move of ";
@@ -259,10 +276,19 @@ void SdaFabric::finalize() {
                      srv == 0 ? "map_server" : "routing_server[" + std::to_string(srv) + "]",
                      std::move(detail));
       }
+      const std::uint64_t mv_span = telemetry_.causal.span_begin(
+          notify.trace, 0, "mobility-notify", edge_name, simulator_.now());
       control_send(server_nodes_[srv]->rloc(), previous,
                    lisp::message_wire_size(lisp::Message{notify}),
-                   [this, edge_name, notify] {
-                     edges_.at(edge_name)->receive_map_notify(notify);
+                   [this, edge_name, notify, mv_span] {
+                     const bool applied = edges_.at(edge_name)->receive_map_notify(notify);
+                     // The old edge applying the mobility notify is the
+                     // paper's move-convergence endpoint (Fig. 5 step 2).
+                     if (applied && notify.trace != 0) {
+                       telemetry_.causal.span_end(notify.trace, mv_span, simulator_.now());
+                       telemetry_.causal.finish(notify.trace, simulator_.now());
+                       move_trace_by_eid_.erase(notify.eid);
+                     }
                    });
     });
   }
@@ -417,6 +443,94 @@ void SdaFabric::register_telemetry() {
     first_packet_us_->observe(
         std::chrono::duration<double, std::micro>(trace.latency()).count());
   });
+
+  // Assurance plane (PR 8): every completed causal operation lands in the
+  // convergence histogram for its kind. The histograms exist even with
+  // tracing off (empty), so dashboards and SLO specs never dangle.
+  register_rtt_us_ = &reg.histogram("assurance.register_rtt_us", {0.0, 100'000.0, 50});
+  move_convergence_us_ = &reg.histogram("assurance.move_convergence_us", {0.0, 500'000.0, 50});
+  failover_rehome_us_ = &reg.histogram("assurance.failover_rehome_us", {0.0, 500'000.0, 50});
+  smr_fanout_us_ = &reg.histogram("assurance.smr_fanout_us", {0.0, 500'000.0, 50});
+  telemetry_.causal.set_completion_callback([this](const telemetry::Operation& op) {
+    telemetry::LatencyHistogram* hist = nullptr;
+    switch (op.kind) {
+      case telemetry::OpKind::Register: hist = register_rtt_us_; break;
+      case telemetry::OpKind::Move: hist = move_convergence_us_; break;
+      case telemetry::OpKind::SmrFanout: hist = smr_fanout_us_; break;
+      case telemetry::OpKind::FailoverRehome: hist = failover_rehome_us_; break;
+    }
+    if (hist) {
+      hist->observe(std::chrono::duration<double, std::micro>(op.duration()).count());
+    }
+  });
+
+  register_invariants();
+}
+
+void SdaFabric::register_invariants() {
+  // Continuous invariants: properties the fabric must satisfy whenever the
+  // event queue has quiesced, independent of workload. Each check is a
+  // closure over live fabric state, evaluated on demand by the engine.
+  telemetry::AssuranceEngine& eng = telemetry_.assurance;
+
+  // Epoch fencing is absolute: no edge or border may ever act on a deposed
+  // leader's ack or publish (split-brain audit, PR 6).
+  eng.add_invariant("zero-stale-epoch-accepts", [this] {
+    const std::uint64_t n = stale_acks_accepted_;
+    return std::make_pair(n == 0, "stale_epoch_acks_accepted=" + std::to_string(n));
+  });
+
+  // Anti-entropy must drive replica divergence back to zero once faults
+  // clear (PR 4); non-zero at quiesce means a repair never converged.
+  eng.add_invariant("replica-divergence-converged", [this] {
+    const std::uint64_t d = ha_ ? ha_->last_divergence() : 0;
+    return std::make_pair(d == 0, "replica_divergence=" + std::to_string(d));
+  });
+
+  // Frames parked for an unresolved EID must drain (forwarded or dropped
+  // by the resolution outcome) — a parked frame at quiesce is a leak.
+  eng.add_invariant("no-parked-packet-leak", [this] {
+    std::size_t parked = 0;
+    for (const auto& [name, edge] : edges_) parked += edge->parked_frame_count();
+    return std::make_pair(parked == 0, "parked_frames=" + std::to_string(parked));
+  });
+
+  // Every causal operation and armed packet trace must resolve: an open
+  // trace at quiesce means a control-plane flow started but never
+  // converged (or an instrumentation hook leaked its operation).
+  eng.add_invariant("no-pending-trace-leak", [this] {
+    const std::size_t open =
+        telemetry_.causal.open_count() + telemetry_.tracer.open_count();
+    std::string detail = "open_ops=" + std::to_string(telemetry_.causal.open_count());
+    detail += " open_packet_traces=" + std::to_string(telemetry_.tracer.open_count());
+    if (telemetry_.causal.open_count() > 0) {
+      detail += " [";
+      bool first = true;
+      for (const auto& label : telemetry_.causal.open_labels()) {
+        if (!first) detail += ", ";
+        detail += label;
+        first = false;
+      }
+      detail += "]";
+    }
+    return std::make_pair(open == 0, std::move(detail));
+  });
+
+  // A border that detected a pub/sub gap must have resolved it via resync
+  // within one round: at quiesce no resync may be in flight, and any
+  // sequence gap must be matched by at least one applied snapshot.
+  eng.add_invariant("pubsub-gap-resolved", [this] {
+    for (const auto& name : border_order_) {
+      const dataplane::BorderRouter& border = *borders_.at(name);
+      if (border.resync_in_flight()) {
+        return std::make_pair(false, name + " resync still in flight");
+      }
+      if (border.counters().out_of_sequence > 0 && border.counters().snapshots_applied == 0) {
+        return std::make_pair(false, name + " saw a feed gap but never resynced");
+      }
+    }
+    return std::make_pair(true, std::string{"all border feeds sequenced"});
+  });
 }
 
 void SdaFabric::record_event(telemetry::EventKind kind, const std::string& node,
@@ -460,20 +574,37 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
       detail += server_rloc.to_string();
       record_event(telemetry::EventKind::MapRequest, edge.name(), std::move(detail));
     }
+    const std::uint64_t rq_span = telemetry_.causal.span_begin(
+        request.trace, 0, "map-request", edge.name(), simulator_.now());
     control_send(edge.rloc(), server_rloc, lisp::message_wire_size(lisp::Message{request}),
-                 [this, &edge, &node, server_rloc, request] {
+                 [this, &edge, &node, server_rloc, request, rq_span] {
                    node.submit_request(
                        request,
-                       [this, &edge, server_rloc](const lisp::MapReply& reply, sim::Duration) {
+                       [this, &edge, server_rloc, rq_span](const lisp::MapReply& reply,
+                                                           sim::Duration) {
                          if (telemetry_.recorder.enabled()) {
                            std::string detail = reply.negative() ? "negative for " : "for ";
                            detail += reply.eid.to_string();
                            record_event(telemetry::EventKind::MapReply, edge.name(),
                                         std::move(detail));
                          }
+                         telemetry_.causal.span_end(reply.trace, rq_span, simulator_.now());
+                         const std::uint64_t rp_span = telemetry_.causal.span_begin(
+                             reply.trace, rq_span, "map-reply", edge.name(), simulator_.now());
                          control_send(server_rloc, edge.rloc(),
                                       lisp::message_wire_size(lisp::Message{reply}),
-                                      [&edge, reply] { edge.receive_map_reply(reply); });
+                                      [this, &edge, reply, rp_span] {
+                                        edge.receive_map_reply(reply);
+                                        // An SMR-invoked resolution landing
+                                        // at the stale sender closes the
+                                        // SMR fan-out operation.
+                                        if (reply.trace != 0) {
+                                          telemetry_.causal.span_end(reply.trace, rp_span,
+                                                                     simulator_.now());
+                                          telemetry_.causal.finish(reply.trace,
+                                                                   simulator_.now());
+                                        }
+                                      });
                        },
                        // Bounded admission shed the request: an explicit
                        // busy + retry-after rides back to the edge, which
@@ -494,7 +625,14 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                  });
   });
 
-  edge.set_send_map_register([this, &edge](const lisp::MapRegister& registration) {
+  edge.set_send_map_register([this, &edge](const lisp::MapRegister& reg_in) {
+    lisp::MapRegister registration = reg_in;
+    if (telemetry_.causal.enabled()) {
+      // One Register operation per EID; a retransmit re-enters the open op
+      // so retries accumulate on the same span tree.
+      registration.trace = telemetry_.causal.begin(
+          telemetry::OpKind::Register, registration.eid.to_string(), simulator_.now());
+    }
     if (telemetry_.recorder.enabled()) {
       std::string detail = "for ";
       detail += registration.eid.to_string();
@@ -520,14 +658,23 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     for (std::size_t i = 0; i < server_nodes_.size(); ++i) {
       lisp::MapServerNode& node = *server_nodes_[i];
       const bool is_acker = i == acker;
+      const std::uint64_t reg_span =
+          registration.trace == 0
+              ? 0
+              : telemetry_.causal.span_begin(
+                    registration.trace, 0, "map-register",
+                    "routing_server[" + std::to_string(i) + "]", simulator_.now());
       control_send(edge.rloc(), node.rloc(),
                    lisp::message_wire_size(lisp::Message{registration}),
-                   [this, &edge, &node, registration, i, is_acker] {
+                   [this, &edge, &node, registration, i, is_acker, reg_span] {
                      node.submit_register(
                          registration,
-                         [this, &edge, &node, i, is_acker, eid = registration.eid](
+                         [this, &edge, &node, i, is_acker, reg_span,
+                          eid = registration.eid](
                              const lisp::RegisterOutcome&, const lisp::MapNotify& notify,
                              sim::Duration) {
+                           telemetry_.causal.span_end(notify.trace, reg_span,
+                                                      simulator_.now());
                            const bool acks_now =
                                ha_ && ha_->election_enabled()
                                    ? ha_->node_believes_leader(i)
@@ -538,13 +685,27 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                            // reject a deposed leader's ack.
                            lisp::MapNotify ack = notify;
                            ack.epoch = control_epoch_of(i);
+                           const std::uint64_t ack_span =
+                               ack.trace == 0 ? 0
+                                              : telemetry_.causal.span_begin(
+                                                    ack.trace, reg_span, "notify-ack",
+                                                    edge.name(), simulator_.now());
                            control_send(node.rloc(), edge.rloc(),
                                         lisp::message_wire_size(lisp::Message{ack}),
-                                        [this, &edge, ack] {
+                                        [this, &edge, ack, ack_span] {
                                           const bool accepted = edge.receive_map_notify(ack);
                                           if (accepted && ack.epoch != 0 && ha_ &&
                                               ack.epoch < ha_->epoch()) {
                                             ++stale_acks_accepted_;  // fence breach audit
+                                          }
+                                          // An accepted ack completes the
+                                          // registration operation
+                                          // (register_rtt_us endpoint).
+                                          if (accepted && ack.trace != 0) {
+                                            telemetry_.causal.span_end(ack.trace, ack_span,
+                                                                       simulator_.now());
+                                            telemetry_.causal.finish(ack.trace,
+                                                                     simulator_.now());
                                           }
                                         });
                            // Complete any onboarding waiting on this EID —
@@ -580,10 +741,18 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
     }
   });
 
-  edge.set_send_smr([this, &edge](net::Ipv4Address to, const lisp::SolicitMapRequest& smr) {
+  edge.set_send_smr([this, &edge](net::Ipv4Address to, const lisp::SolicitMapRequest& smr_in) {
     const auto it = edge_by_rloc_.find(to);
     if (it == edge_by_rloc_.end()) return;  // borders are pub/sub-fresh: no SMR needed
     const std::string target = it->second;
+    lisp::SolicitMapRequest smr = smr_in;
+    if (telemetry_.causal.enabled()) {
+      // One SmrFanout operation per (EID, stale edge): the op closes when
+      // the SMR-invoked Map-Request's reply lands back on the target edge.
+      smr.trace = telemetry_.causal.begin(telemetry::OpKind::SmrFanout,
+                                          smr.eid.to_string() + "->" + target,
+                                          simulator_.now());
+    }
     if (telemetry_.recorder.enabled()) {
       std::string detail = "for ";
       detail += smr.eid.to_string();
@@ -591,8 +760,32 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
       detail += target;
       record_event(telemetry::EventKind::Smr, edge.name(), std::move(detail));
     }
-    control_send(smr.source_rloc, to, lisp::message_wire_size(lisp::Message{smr}),
-                 [this, target, smr] { edges_.at(target)->receive_smr(smr); });
+    const std::uint64_t smr_span =
+        smr.trace == 0 ? 0
+                       : telemetry_.causal.span_begin(smr.trace, 0, "smr", target,
+                                                      simulator_.now());
+    auto deliver = [this, to, target, smr, smr_span] {
+      control_send(smr.source_rloc, to, lisp::message_wire_size(lisp::Message{smr}),
+                   [this, target, smr, smr_span] {
+                     telemetry_.causal.span_end(smr.trace, smr_span, simulator_.now());
+                     dataplane::EdgeRouter& stale = *edges_.at(target);
+                     stale.receive_smr(smr);
+                     // If the target did not adopt the trace (it already had a
+                     // resolution in flight for this EID, or ignored the SMR),
+                     // the op would never finish — drop it now.
+                     if (smr.trace != 0 &&
+                         stale.pending_request_trace(smr.eid) != smr.trace) {
+                       telemetry_.causal.abandon(smr.trace);
+                     }
+                   });
+    };
+    // Chaos knob: artificially delay the SMR leaving the old edge so the
+    // assurance gate can demonstrate a caught smr_fanout SLO breach.
+    if (config_.smr_debug_delay.count() > 0) {
+      simulator_.schedule_after(config_.smr_debug_delay, std::move(deliver));
+    } else {
+      deliver();
+    }
   });
 
   edge.set_deliver_local([this](const dataplane::AttachedEndpoint& endpoint,
@@ -712,13 +905,20 @@ void SdaFabric::roam_endpoint(const net::MacAddress& mac, const std::string& new
   const auto cred = credential_by_mac_.find(mac);
   if (cred == credential_by_mac_.end()) throw std::invalid_argument("unknown endpoint MAC");
   EndpointState& state = endpoints_by_credential_.at(cred->second);
+  std::uint64_t move_trace = 0;
+  if (telemetry_.causal.enabled() && !state.edge.empty() && state.edge != new_edge) {
+    // A cross-edge roam is a Move operation: it spans re-auth, the fresh
+    // Map-Register, and the mobility Map-Notify converging the old edge.
+    move_trace =
+        telemetry_.causal.begin(telemetry::OpKind::Move, mac.to_string(), simulator_.now());
+  }
   if (!state.edge.empty() && state.edge != new_edge) {
     // Detach from the previous edge; its registration stays until the new
     // edge overwrites it (the old edge keeps forwarding via Map-Notify).
     edges_.at(state.edge)->detach_endpoint(mac, /*deregister=*/false);
     state.edge.clear();
   }
-  onboard(state, new_edge, port, /*fast_reauth=*/true, std::move(callback));
+  onboard(state, new_edge, port, /*fast_reauth=*/true, std::move(callback), move_trace);
 }
 
 void SdaFabric::disconnect_endpoint(const net::MacAddress& mac) {
@@ -732,7 +932,8 @@ void SdaFabric::disconnect_endpoint(const net::MacAddress& mac) {
 }
 
 void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
-                        dataplane::PortId port, bool fast_reauth, OnboardCallback callback) {
+                        dataplane::PortId port, bool fast_reauth, OnboardCallback callback,
+                        std::uint64_t move_trace) {
   assert(finalized_);
   // An endpoint can only be attached in one place: a fresh connect while
   // attached elsewhere behaves like an unplug + replug.
@@ -745,8 +946,9 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
   const EndpointDefinition def = state.definition;
   state.onboarding = true;
 
-  auto fail = [this, &state, def, edge_name, started, callback](const char*) {
+  auto fail = [this, &state, def, edge_name, started, callback, move_trace](const char*) {
     state.onboarding = false;
+    if (move_trace != 0) telemetry_.causal.abandon(move_trace);
     if (!callback) return;
     OnboardResult result;
     result.success = false;
@@ -790,7 +992,8 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
   const sim::SimTime auth_done = std::max(cpu_done, simulator_.now() + auth_client_delay);
 
   simulator_.schedule_at(auth_done, [this, &state, &edge, def, edge_name, port, started,
-                                     dhcp_delay, rules_delay, fail, callback, fast_reauth] {
+                                     dhcp_delay, rules_delay, fail, callback, fast_reauth,
+                                     move_trace] {
     // Step 1-2: authenticate and fetch (VN, GroupId).
     policy::AccessRequest request;
     request.credential = def.credential;
@@ -805,7 +1008,7 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
 
     simulator_.schedule_after(rules_delay + dhcp_delay, [this, &state, &edge, def, edge_name,
                                                          port, started, policy, callback,
-                                                         fail, fast_reauth] {
+                                                         fail, fast_reauth, move_trace] {
       // Step 3: DHCP address (sticky lease).
       const auto ip = dhcp_.acquire(policy->vn, def.mac);
       if (!ip) {
@@ -846,6 +1049,11 @@ void SdaFabric::onboard(EndpointState& state, const std::string& edge_name,
       // it also feeds the onboarding/roam latency histograms and the flight
       // recorder, so passive observers see every arrival.
       const net::VnEid ip_eid{policy->vn, net::Eid{*ip}};
+      if (move_trace != 0) {
+        // The mobility Map-Notify / Publish for this EID carries the Move
+        // trace; the op closes when the old edge applies the notify.
+        move_trace_by_eid_[ip_eid] = move_trace;
+      }
       pending_onboards_[ip_eid].push_back(
           [this, def, edge_name, started, policy, ip = *ip, ipv6 = attached.ipv6, callback,
            fast_reauth] {
@@ -1127,6 +1335,12 @@ std::uint64_t SdaFabric::border_publishes_dropped(const std::string& border) con
 void SdaFabric::resync_border(const std::string& name) {
   dataplane::BorderRouter& border = *borders_.at(name);
   record_event(telemetry::EventKind::Resync, name, "snapshot requested");
+  // While a leader-change re-home is open, each border's resync round trip
+  // is a span of the FailoverRehome op (retries open additional spans).
+  const std::uint64_t rh_span =
+      (rehome_trace_ != 0 && rehome_pending_.count(name) > 0)
+          ? telemetry_.causal.span_begin(rehome_trace_, 0, "resync", name, simulator_.now())
+          : 0;
   // Re-subscribe rides the control plane to the current feed authority —
   // server 0, or the elected leader — not a hardcoded primary; the
   // snapshot is captured when the request *arrives* and is paired with the
@@ -1138,7 +1352,7 @@ void SdaFabric::resync_border(const std::string& name) {
   const lisp::Subscribe subscribe{border.rloc(), 0};
   control_send(border.rloc(), authority_rloc,
                lisp::message_wire_size(lisp::Message{subscribe}),
-               [this, name, leader, authority_rloc] {
+               [this, name, leader, authority_rloc, rh_span] {
     auto entries =
         std::make_shared<std::vector<std::pair<net::VnEid, lisp::MappingRecord>>>();
     const lisp::MapServer& db = leader == 0 ? map_server_ : *replica_dbs_[leader - 1];
@@ -1149,7 +1363,7 @@ void SdaFabric::resync_border(const std::string& name) {
     const std::uint64_t epoch = control_epoch_of(leader);
     dataplane::BorderRouter& target = *borders_.at(name);
     control_send(authority_rloc, target.rloc(), 64 + 48 * entries->size(),
-                 [this, name, entries, next_seq, epoch] {
+                 [this, name, entries, next_seq, epoch, rh_span] {
                    // A snapshot for a disconnected feed is lost like any
                    // other update; the border's retry timer re-requests.
                    if (!border_feeds_.at(name).connected) return;
@@ -1161,6 +1375,15 @@ void SdaFabric::resync_border(const std::string& name) {
                                   std::move(detail));
                    }
                    borders_.at(name)->apply_snapshot(*entries, next_seq, epoch);
+                   // Applying the snapshot re-homes this border; the op
+                   // completes when the last pending border has re-homed.
+                   if (rehome_trace_ != 0 && rehome_pending_.erase(name) > 0) {
+                     telemetry_.causal.span_end(rehome_trace_, rh_span, simulator_.now());
+                     if (rehome_pending_.empty()) {
+                       telemetry_.causal.finish(rehome_trace_, simulator_.now());
+                       rehome_trace_ = 0;
+                     }
+                   }
                  });
   });
 }
@@ -1182,6 +1405,15 @@ void SdaFabric::on_leader_changed(std::size_t leader, std::uint64_t epoch) {
   // pulls a snapshot from the new authority (gap-free feed restart under
   // the new term), and every edge learns the new epoch so a resurrected
   // ex-leader's in-flight acks are fenced on arrival.
+  if (telemetry_.causal.enabled()) {
+    // A re-election mid-re-home supersedes the previous FailoverRehome op.
+    if (rehome_trace_ != 0) telemetry_.causal.abandon(rehome_trace_);
+    rehome_trace_ = telemetry_.causal.begin(telemetry::OpKind::FailoverRehome,
+                                            "epoch " + std::to_string(epoch),
+                                            simulator_.now());
+    rehome_pending_.clear();
+    for (const auto& name : border_order_) rehome_pending_.insert(name);
+  }
   const net::Ipv4Address leader_rloc = server_nodes_[leader]->rloc();
   for (const auto& name : border_order_) borders_.at(name)->request_resync();
   for (const auto& name : edge_order_) {

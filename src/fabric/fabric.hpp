@@ -266,6 +266,10 @@ class SdaFabric {
   /// attaches tracers; called once from finalize() when config_.telemetry.
   void register_telemetry();
 
+  /// Registers the default fabric invariants with the assurance engine
+  /// (stale-epoch audit, divergence, parked/pending leaks, pub/sub gaps).
+  void register_invariants();
+
   /// Records a flight-recorder event iff the recorder is enabled (callers
   /// should build detail strings only on the enabled path).
   void record_event(telemetry::EventKind kind, const std::string& node,
@@ -299,9 +303,11 @@ class SdaFabric {
   void on_leader_changed(std::size_t leader, std::uint64_t epoch);
 
   /// The shared Fig. 3 onboarding flow. `fast_reauth` selects the roaming
-  /// round-trip count.
+  /// round-trip count. A nonzero `move_trace` is the causal move operation
+  /// opened by roam_endpoint(); once the address is known it is indexed by
+  /// EID so the mobility Map-Notify can close it.
   void onboard(EndpointState& state, const std::string& edge_name, dataplane::PortId port,
-               bool fast_reauth, OnboardCallback callback);
+               bool fast_reauth, OnboardCallback callback, std::uint64_t move_trace = 0);
 
   /// Reserves policy-server CPU; returns when the work completes.
   sim::SimTime reserve_policy_cpu(sim::Duration service);
@@ -367,6 +373,20 @@ class SdaFabric {
   /// completion waiters.
   telemetry::LatencyHistogram* onboard_ms_ = nullptr;
   telemetry::LatencyHistogram* roam_ms_ = nullptr;
+  /// Assurance plane (PR 8): operation-level convergence histograms fed by
+  /// the causal tracer's completion callback (all in microseconds).
+  telemetry::LatencyHistogram* register_rtt_us_ = nullptr;
+  telemetry::LatencyHistogram* move_convergence_us_ = nullptr;
+  telemetry::LatencyHistogram* failover_rehome_us_ = nullptr;
+  telemetry::LatencyHistogram* smr_fanout_us_ = nullptr;
+  /// Open move operations keyed by the roaming endpoint's IP EID: indexed
+  /// when the roam attaches, consumed (finished) when the *old* edge
+  /// applies the mobility Map-Notify.
+  std::unordered_map<net::VnEid, std::uint64_t> move_trace_by_eid_;
+  /// The failover re-home operation in flight (0 = none) and the borders
+  /// whose snapshot is still outstanding under it.
+  std::uint64_t rehome_trace_ = 0;
+  std::unordered_set<std::string> rehome_pending_;
 
   DeliveryListener delivery_listener_;
   BorderSyncListener border_sync_listener_;

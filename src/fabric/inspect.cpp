@@ -118,6 +118,36 @@ std::string inspect(SdaFabric& fabric, const InspectOptions& options) {
       out += "\n";
     }
   }
+
+  if (options.include_assurance) {
+    telemetry::AssuranceEngine& assurance = fabric.telemetry().assurance;
+    const auto verdicts = assurance.evaluate(fabric.telemetry().metrics.snapshot());
+    out += "assurance: ";
+    out += std::to_string(assurance.invariant_count());
+    out += " invariants, ";
+    out += std::to_string(assurance.slo_count());
+    out += " SLOs, ";
+    out += telemetry::AssuranceEngine::all_pass(verdicts) ? "all PASS" : "FAILURES";
+    out += "\n";
+    for (const auto& v : verdicts) {
+      out += "  [";
+      out += v.pass ? "PASS" : "FAIL";
+      out += "] ";
+      out += v.name;
+      if (!v.detail.empty()) {
+        out += ": ";
+        out += v.detail;
+      }
+      out += "\n";
+    }
+    out += "causal traces: ";
+    out += std::to_string(fabric.telemetry().causal.completed_count());
+    out += " completed, ";
+    out += std::to_string(fabric.telemetry().causal.open_count());
+    out += " open, ";
+    out += std::to_string(fabric.telemetry().causal.abandoned_count());
+    out += " abandoned\n";
+  }
   return out;
 }
 

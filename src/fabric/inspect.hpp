@@ -14,6 +14,7 @@ struct InspectOptions {
   bool include_policy = true;     // per-VN rule counts
   bool include_telemetry = false;  // metrics-registry snapshot + flight-recorder tail
   std::size_t telemetry_events = 20;  // recorder tail length when included
+  bool include_assurance = false;  // invariant + SLO verdicts (assurance plane)
 };
 
 /// A multi-line text report of the fabric's current state: routers with

@@ -57,7 +57,8 @@ void MapServerNode::submit_request(const MapRequest& request, RequestCallback ca
   const sim::SimTime done = reserve_worker(jittered(config_.request_service));
   simulator_.schedule_at(done, [this, request, arrival, cb = std::move(callback)] {
     --in_flight_;
-    const MapReply reply = server_.answer(request);
+    MapReply reply = server_.answer(request);
+    reply.trace = request.trace;  // the reply stays on the requester's span tree
     const sim::Duration sojourn = simulator_.now() - arrival;
     request_sojourns_.add(static_cast<double>(sojourn.count()) / 1e9);
     if (cb) cb(reply, sojourn);
@@ -98,6 +99,7 @@ void MapServerNode::submit_register(const MapRegister& registration, RegisterCal
     MapNotify notify{registration.nonce, registration.eid,
                      registration.ttl_seconds == 0 ? std::vector<net::Rloc>{}
                                                    : registration.rlocs};
+    notify.trace = registration.trace;  // ack rides the registration's span tree
     if (cb) cb(outcome, notify, sojourn);
   });
 }

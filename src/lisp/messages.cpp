@@ -22,6 +22,18 @@ std::optional<std::vector<net::Rloc>> decode_rlocs(net::ByteReader& r) {
   return rlocs;
 }
 
+// The causal trace id is a *trailing optional* field: written only when
+// nonzero, so an untraced message is byte-identical to the pre-assurance
+// wire format, and a pre-assurance decoder simply ignores the extra tail.
+void encode_trace(net::ByteWriter& w, std::uint64_t trace) {
+  if (trace != 0) w.write_u64(trace);
+}
+
+std::uint64_t decode_trace(net::ByteReader& r) {
+  const auto trace = r.read_u64();
+  return trace ? *trace : 0;
+}
+
 }  // namespace
 
 void MapRequest::encode(net::ByteWriter& w) const {
@@ -29,6 +41,7 @@ void MapRequest::encode(net::ByteWriter& w) const {
   eid.encode(w);
   w.write_array(itr_rloc.bytes());
   w.write_u8(smr_invoked ? 1 : 0);
+  encode_trace(w, trace);
 }
 
 std::optional<MapRequest> MapRequest::decode(net::ByteReader& r) {
@@ -38,7 +51,8 @@ std::optional<MapRequest> MapRequest::decode(net::ByteReader& r) {
   const auto itr = r.read_array<4>();
   const auto smr = r.read_u8();
   if (!eid || !itr || !smr) return std::nullopt;
-  return MapRequest{*nonce, *eid, net::Ipv4Address::from_bytes(*itr), *smr != 0};
+  return MapRequest{*nonce, *eid, net::Ipv4Address::from_bytes(*itr), *smr != 0,
+                    decode_trace(r)};
 }
 
 void MapReply::encode(net::ByteWriter& w) const {
@@ -48,6 +62,7 @@ void MapReply::encode(net::ByteWriter& w) const {
   w.write_u8(static_cast<std::uint8_t>(action));
   w.write_u32(ttl_seconds);
   w.write_u16(group);
+  encode_trace(w, trace);
 }
 
 std::optional<MapReply> MapReply::decode(net::ByteReader& r) {
@@ -61,7 +76,7 @@ std::optional<MapReply> MapReply::decode(net::ByteReader& r) {
   const auto group = r.read_u16();
   if (!rlocs || !action || !ttl || !group || *action > 2) return std::nullopt;
   return MapReply{*nonce,        *eid, std::move(*rlocs), static_cast<MapReplyAction>(*action),
-                  *ttl,          *group};
+                  *ttl,          *group, decode_trace(r)};
 }
 
 void MapRegister::encode(net::ByteWriter& w) const {
@@ -71,6 +86,7 @@ void MapRegister::encode(net::ByteWriter& w) const {
   w.write_u32(ttl_seconds);
   w.write_u8(want_notify ? 1 : 0);
   w.write_u16(group);
+  encode_trace(w, trace);
 }
 
 std::optional<MapRegister> MapRegister::decode(net::ByteReader& r) {
@@ -83,7 +99,8 @@ std::optional<MapRegister> MapRegister::decode(net::ByteReader& r) {
   const auto notify = r.read_u8();
   const auto group = r.read_u16();
   if (!rlocs || !ttl || !notify || !group) return std::nullopt;
-  return MapRegister{*nonce, *eid, std::move(*rlocs), *ttl, *notify != 0, *group};
+  return MapRegister{*nonce, *eid, std::move(*rlocs), *ttl, *notify != 0, *group,
+                     decode_trace(r)};
 }
 
 void MapNotify::encode(net::ByteWriter& w) const {
@@ -91,6 +108,7 @@ void MapNotify::encode(net::ByteWriter& w) const {
   eid.encode(w);
   encode_rlocs(w, rlocs);
   w.write_u64(epoch);
+  encode_trace(w, trace);
 }
 
 std::optional<MapNotify> MapNotify::decode(net::ByteReader& r) {
@@ -101,19 +119,20 @@ std::optional<MapNotify> MapNotify::decode(net::ByteReader& r) {
   auto rlocs = decode_rlocs(r);
   const auto epoch = r.read_u64();
   if (!rlocs || !epoch) return std::nullopt;
-  return MapNotify{*nonce, *eid, std::move(*rlocs), *epoch};
+  return MapNotify{*nonce, *eid, std::move(*rlocs), *epoch, decode_trace(r)};
 }
 
 void SolicitMapRequest::encode(net::ByteWriter& w) const {
   eid.encode(w);
   w.write_array(source_rloc.bytes());
+  encode_trace(w, trace);
 }
 
 std::optional<SolicitMapRequest> SolicitMapRequest::decode(net::ByteReader& r) {
   const auto eid = net::VnEid::decode(r);
   const auto src = r.read_array<4>();
   if (!eid || !src) return std::nullopt;
-  return SolicitMapRequest{*eid, net::Ipv4Address::from_bytes(*src)};
+  return SolicitMapRequest{*eid, net::Ipv4Address::from_bytes(*src), decode_trace(r)};
 }
 
 void Subscribe::encode(net::ByteWriter& w) const {
@@ -134,6 +153,7 @@ void Publish::encode(net::ByteWriter& w) const {
   w.write_u32(ttl_seconds);
   w.write_u64(seq);
   w.write_u64(epoch);
+  encode_trace(w, trace);
 }
 
 std::optional<Publish> Publish::decode(net::ByteReader& r) {
@@ -144,7 +164,7 @@ std::optional<Publish> Publish::decode(net::ByteReader& r) {
   const auto seq = r.read_u64();
   const auto epoch = r.read_u64();
   if (!rlocs || !ttl || !seq || !epoch) return std::nullopt;
-  return Publish{*eid, std::move(*rlocs), *ttl, *seq, *epoch};
+  return Publish{*eid, std::move(*rlocs), *ttl, *seq, *epoch, decode_trace(r)};
 }
 
 std::vector<std::uint8_t> encode_message(const Message& message) {

@@ -40,6 +40,10 @@ struct MapRequest {
   net::VnEid eid;
   net::Ipv4Address itr_rloc;  // where to send the reply
   bool smr_invoked = false;   // set when triggered by an SMR
+  /// Causal trace id (assurance plane). Encoded as a trailing optional
+  /// field only when nonzero, so the wire format is unchanged when tracing
+  /// is off. 0 = untraced.
+  std::uint64_t trace = 0;
 
   void encode(net::ByteWriter& w) const;
   [[nodiscard]] static std::optional<MapRequest> decode(net::ByteReader& r);
@@ -53,6 +57,9 @@ struct MapReply {
   MapReplyAction action = MapReplyAction::NoAction;
   std::uint32_t ttl_seconds = 1440 * 60;
   std::uint16_t group = 0;  // destination SGT when distributed (§5.3 ablation)
+  /// Causal trace id, copied from the Map-Request being answered. Trailing
+  /// optional on the wire; 0 = untraced.
+  std::uint64_t trace = 0;
 
   [[nodiscard]] bool negative() const { return rlocs.empty(); }
 
@@ -68,6 +75,9 @@ struct MapRegister {
   std::uint32_t ttl_seconds = 1440 * 60;
   bool want_notify = true;
   std::uint16_t group = 0;  // endpoint SGT when distributed (§5.3 ablation)
+  /// Causal trace id of the registration operation. Trailing optional on
+  /// the wire; 0 = untraced.
+  std::uint64_t trace = 0;
 
   void encode(net::ByteWriter& w) const;
   [[nodiscard]] static std::optional<MapRegister> decode(net::ByteReader& r);
@@ -84,6 +94,9 @@ struct MapNotify {
   /// receiver that has observed a newer epoch rejects the notify, so a
   /// deposed primary cannot ack registers. 0 = unfenced (no election).
   std::uint64_t epoch = 0;
+  /// Causal trace id: the registration op being acked, or the move op for
+  /// a mobility notify. Trailing optional on the wire; 0 = untraced.
+  std::uint64_t trace = 0;
 
   void encode(net::ByteWriter& w) const;
   [[nodiscard]] static std::optional<MapNotify> decode(net::ByteReader& r);
@@ -95,6 +108,8 @@ struct MapNotify {
 struct SolicitMapRequest {
   net::VnEid eid;
   net::Ipv4Address source_rloc;  // who is soliciting
+  /// Causal trace id of the SMR fan-out op. Trailing optional; 0 = untraced.
+  std::uint64_t trace = 0;
 
   void encode(net::ByteWriter& w) const;
   [[nodiscard]] static std::optional<SolicitMapRequest> decode(net::ByteReader& r);
@@ -124,6 +139,9 @@ struct Publish {
   /// subscribers reject pushes from a stale epoch and re-home to the new
   /// leader on a higher one. 0 = unfenced (no election).
   std::uint64_t epoch = 0;
+  /// Causal trace id of the move op that produced this update. Trailing
+  /// optional on the wire; 0 = untraced.
+  std::uint64_t trace = 0;
 
   [[nodiscard]] bool withdrawal() const { return rlocs.empty(); }
 

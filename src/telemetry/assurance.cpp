@@ -1,0 +1,76 @@
+#include "telemetry/assurance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sda::telemetry {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void AssuranceEngine::add_invariant(const std::string& name, InvariantCheck check) {
+  for (auto& [existing, fn] : invariants_) {
+    if (existing == name) {
+      fn = std::move(check);
+      return;
+    }
+  }
+  invariants_.emplace_back(name, std::move(check));
+}
+
+std::vector<Verdict> AssuranceEngine::evaluate_invariants() const {
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(invariants_.size());
+  for (const auto& [name, check] : invariants_) {
+    auto [pass, detail] = check();
+    verdicts.push_back(Verdict{name, pass, std::move(detail)});
+  }
+  return verdicts;
+}
+
+std::vector<Verdict> AssuranceEngine::evaluate_slos(const Snapshot& snapshot) const {
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(slos_.size());
+  for (const SloSpec& slo : slos_) {
+    const auto it = snapshot.histograms.find(slo.histogram);
+    if (it == snapshot.histograms.end()) {
+      verdicts.push_back(Verdict{slo.name, false, "histogram " + slo.histogram + " not found"});
+      continue;
+    }
+    const HistogramSnapshot& hist = it->second;
+    if (hist.total == 0) {
+      verdicts.push_back(Verdict{slo.name, !slo.require_samples,
+                                 "no samples in " + slo.histogram});
+      continue;
+    }
+    const double observed = hist.quantile(slo.quantile);
+    const bool pass = observed <= slo.max_value;
+    std::string detail = "p" + format_value(slo.quantile * 100) + "=" + format_value(observed) +
+                         (pass ? " <= " : " > ") + format_value(slo.max_value) +
+                         ", n=" + std::to_string(hist.total);
+    verdicts.push_back(Verdict{slo.name, pass, std::move(detail)});
+  }
+  return verdicts;
+}
+
+std::vector<Verdict> AssuranceEngine::evaluate(const Snapshot& snapshot) const {
+  std::vector<Verdict> verdicts = evaluate_invariants();
+  std::vector<Verdict> slos = evaluate_slos(snapshot);
+  verdicts.insert(verdicts.end(), std::make_move_iterator(slos.begin()),
+                  std::make_move_iterator(slos.end()));
+  return verdicts;
+}
+
+bool AssuranceEngine::all_pass(const std::vector<Verdict>& verdicts) {
+  return std::all_of(verdicts.begin(), verdicts.end(),
+                     [](const Verdict& v) { return v.pass; });
+}
+
+}  // namespace sda::telemetry

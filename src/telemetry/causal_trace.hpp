@@ -1,0 +1,136 @@
+// CausalTracer: span trees for control-plane operations.
+//
+// The per-packet PathTracer answers "where did this packet go"; the causal
+// tracer answers "how long did this control-plane *operation* take, hop by
+// hop". An operation (a registration, a host move, an SMR fan-out, a
+// failover re-home) is opened with begin(), accumulates spans as its
+// messages traverse the fabric, and is closed with finish(). The trace id
+// rides inside the LISP messages themselves (a trailing optional field, so
+// the wire format is unchanged when the id is 0) — whoever receives the
+// message can attribute its hop to the right operation without any side
+// channel.
+//
+// Zero-cost when disabled: begin() returns 0 and every other entry point
+// early-outs on a 0 trace id, so an untraced fabric only ever pays one
+// predictable branch.
+//
+// Completed operations are retained in a bounded ring (oldest dropped) and
+// can be exported as Chrome trace-event JSON (chrome://tracing, Perfetto).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sda::telemetry {
+
+/// What kind of control-plane operation a trace covers. Drives which
+/// convergence histogram the completion feeds.
+enum class OpKind : std::uint8_t {
+  Register,       // Map-Register sent -> accepted Map-Notify ack
+  Move,           // roam start -> old edge applies the mobility Map-Notify
+  SmrFanout,      // SMR sent -> stale sender's cache refreshed by Map-Reply
+  FailoverRehome, // leader change -> every border re-homed via snapshot
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind kind);
+
+/// One hop (or one timed leg) inside an operation.
+struct Span {
+  std::uint64_t id = 0;      // unique within the tracer, never 0
+  std::uint64_t parent = 0;  // parent span id, 0 = direct child of the op
+  std::string name;          // e.g. "map-register", "notify-ack"
+  std::string node;          // which router/server the leg runs on/toward
+  sim::SimTime start{};
+  sim::SimTime end{};
+  bool open = true;
+};
+
+/// A control-plane operation: the root of one span tree.
+struct Operation {
+  std::uint64_t trace = 0;  // the id threaded through the messages
+  OpKind kind = OpKind::Register;
+  std::string label;        // human key, e.g. the EID or "epoch 3"
+  sim::SimTime start{};
+  sim::SimTime end{};
+  std::vector<Span> spans;
+
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+class CausalTracer {
+ public:
+  using CompletionCallback = std::function<void(const Operation&)>;
+
+  explicit CausalTracer(std::size_t keep = 256) : keep_(keep) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Invoked (synchronously) whenever an operation finishes.
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Opens an operation and returns its trace id (0 when disabled). If an
+  /// operation with the same (kind, label) is already open — e.g. a
+  /// retransmitted registration — the existing id is returned, so retries
+  /// accumulate into one span tree.
+  std::uint64_t begin(OpKind kind, const std::string& label, sim::SimTime now);
+
+  /// The open operation for (kind, label), or 0.
+  [[nodiscard]] std::uint64_t find_open(OpKind kind, const std::string& label) const;
+
+  /// Opens a span under `trace`. Returns the span id (0 when the trace is
+  /// unknown/0, which makes chained calls on untraced ops free).
+  std::uint64_t span_begin(std::uint64_t trace, std::uint64_t parent, const char* name,
+                           const std::string& node, sim::SimTime now);
+
+  /// Closes a span. Unknown ids are ignored.
+  void span_end(std::uint64_t trace, std::uint64_t span, sim::SimTime now);
+
+  /// Completes the operation: stamps the end time, fires the completion
+  /// callback, and retires it into the bounded completed ring. Still-open
+  /// spans are clamped to the operation end. No-op for unknown ids (so a
+  /// second ack finishing an already-finished op is harmless).
+  void finish(std::uint64_t trace, sim::SimTime now);
+
+  /// Drops an open operation without completing it (no callback, no
+  /// retention). Used when the op can provably never finish.
+  void abandon(std::uint64_t trace);
+
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+  [[nodiscard]] std::uint64_t completed_count() const { return completed_count_; }
+  [[nodiscard]] std::uint64_t abandoned_count() const { return abandoned_count_; }
+  [[nodiscard]] const std::deque<Operation>& completed() const { return completed_; }
+
+  /// Labels of the operations still open (for leak diagnostics).
+  [[nodiscard]] std::vector<std::string> open_labels() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events, one
+  /// per operation and one per span; ts/dur in microseconds of sim time).
+  /// Deterministic for a fixed seed. Load in chrome://tracing or Perfetto.
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+  /// Writes to_chrome_trace() to `<dir>/<name>.json`.
+  bool write_chrome_trace(const std::string& dir, const std::string& name) const;
+
+ private:
+  [[nodiscard]] static std::string key_of(OpKind kind, const std::string& label);
+
+  bool enabled_ = false;
+  std::size_t keep_;
+  std::uint64_t next_id_ = 1;  // shared by traces and spans
+  std::unordered_map<std::uint64_t, Operation> open_;
+  std::unordered_map<std::string, std::uint64_t> open_by_key_;
+  std::deque<Operation> completed_;
+  std::uint64_t completed_count_ = 0;
+  std::uint64_t abandoned_count_ = 0;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace sda::telemetry

@@ -1,13 +1,17 @@
-// The fabric-wide telemetry plane: one object bundling the three surfaces.
+// The fabric-wide telemetry plane: one object bundling the five surfaces.
 //
 //  * metrics — MetricsRegistry federating every subsystem's counters;
 //  * recorder — control-plane flight recorder (bounded event ring);
-//  * tracer — opt-in per-packet path tracing.
+//  * tracer — opt-in per-packet path tracing;
+//  * causal — opt-in control-plane span trees (operation-level tracing);
+//  * assurance — declarative SLOs and continuous invariants over the rest.
 //
 // SdaFabric owns one; standalone subsystems (FaultPlane, WlanController,
 // RouteReflector) register into whichever instance the experiment uses.
 #pragma once
 
+#include "telemetry/assurance.hpp"
+#include "telemetry/causal_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/path_trace.hpp"
@@ -18,9 +22,12 @@ struct Telemetry {
   MetricsRegistry metrics;
   FlightRecorder recorder;
   PathTracer tracer;
+  CausalTracer causal;
+  AssuranceEngine assurance;
 
-  explicit Telemetry(std::size_t recorder_capacity = 2048, std::size_t trace_keep = 256)
-      : recorder(recorder_capacity), tracer(trace_keep) {}
+  explicit Telemetry(std::size_t recorder_capacity = 2048, std::size_t trace_keep = 256,
+                     std::size_t causal_keep = 256)
+      : recorder(recorder_capacity), tracer(trace_keep), causal(causal_keep) {}
 };
 
 }  // namespace sda::telemetry

@@ -38,6 +38,36 @@ TEST(Inspect, ReportsRoutersServersAndMappings) {
   EXPECT_NE(full.find(ip.to_string()), std::string::npos);
 }
 
+TEST(Inspect, AssuranceSectionOnRequest) {
+  sim::Simulator sim;
+  FabricConfig config;
+  config.causal_tracing = true;
+  SdaFabric fabric{sim, config};
+  fabric.add_border("b0");
+  fabric.add_edge("e0");
+  fabric.link("e0", "b0");
+  fabric.finalize();
+  fabric.define_vn({VnId{100}, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+  fabric.provision_endpoint(
+      {"alice", "pw", MacAddress::from_u64(0x02AA), VnId{100}, GroupId{10}});
+  fabric.connect_endpoint("alice", "e0", 1, [](const OnboardResult&) {});
+  sim.run();
+
+  // Off by default.
+  EXPECT_EQ(inspect(fabric).find("assurance:"), std::string::npos);
+
+  InspectOptions options;
+  options.include_assurance = true;
+  const std::string report = inspect(fabric, options);
+  EXPECT_NE(report.find("assurance:"), std::string::npos);
+  EXPECT_NE(report.find("all PASS"), std::string::npos) << report;
+  EXPECT_NE(report.find("[PASS] no-pending-trace-leak"), std::string::npos) << report;
+  // The quiesced onboard completed its registration trace.
+  EXPECT_NE(report.find("causal traces:"), std::string::npos);
+  EXPECT_EQ(fabric.telemetry().causal.open_count(), 0u);
+  EXPECT_GE(fabric.telemetry().causal.completed_count(), 1u);
+}
+
 TEST(Inspect, MentionsReplicasWhenScaledOut) {
   sim::Simulator sim;
   FabricConfig config;

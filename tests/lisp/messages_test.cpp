@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace sda::lisp {
 namespace {
 
@@ -154,6 +156,67 @@ TEST(Messages, WireSizeMatchesEncoding) {
   m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 9}}};
   const Message msg{m};
   EXPECT_EQ(message_wire_size(msg), encode_message(msg).size());
+}
+
+TEST(Messages, TraceIdRoundTripsOnEveryCarryingMessage) {
+  // The causal trace id is a trailing optional on all six control messages
+  // that carry it; a nonzero id must survive encode/decode exactly.
+  constexpr std::uint64_t kTrace = 0xFEEDFACE00C0FFEEull;
+
+  MapRequest req{1, sample_eid(), Ipv4Address{10, 0, 0, 5}, false};
+  req.trace = kTrace;
+  EXPECT_EQ(std::get<MapRequest>(*decode_message(encode_message(Message{req}))).trace, kTrace);
+
+  MapReply rep;
+  rep.eid = sample_eid();
+  rep.trace = kTrace;
+  EXPECT_EQ(std::get<MapReply>(*decode_message(encode_message(Message{rep}))).trace, kTrace);
+
+  MapRegister reg;
+  reg.eid = sample_eid();
+  reg.rlocs = {Rloc{Ipv4Address{10, 0, 0, 9}}};
+  reg.trace = kTrace;
+  EXPECT_EQ(std::get<MapRegister>(*decode_message(encode_message(Message{reg}))).trace, kTrace);
+
+  MapNotify notify{3, sample_eid(), {Rloc{Ipv4Address{10, 0, 0, 4}}}};
+  notify.epoch = 5;  // trace rides after the epoch fence field
+  notify.trace = kTrace;
+  const auto dn = std::get<MapNotify>(*decode_message(encode_message(Message{notify})));
+  EXPECT_EQ(dn.trace, kTrace);
+  EXPECT_EQ(dn.epoch, 5u);
+
+  SolicitMapRequest smr{sample_eid(), Ipv4Address{10, 0, 0, 6}};
+  smr.trace = kTrace;
+  EXPECT_EQ(std::get<SolicitMapRequest>(*decode_message(encode_message(Message{smr}))).trace,
+            kTrace);
+
+  Publish pub;
+  pub.eid = sample_eid();
+  pub.rlocs = {Rloc{Ipv4Address{10, 0, 0, 2}}};
+  pub.trace = kTrace;
+  EXPECT_EQ(std::get<Publish>(*decode_message(encode_message(Message{pub}))).trace, kTrace);
+}
+
+TEST(Messages, ZeroTraceKeepsPreTraceWireFormat) {
+  // trace == 0 must encode to exactly the pre-assurance byte stream: the
+  // optional field is simply absent, so untraced fabrics interoperate with
+  // recordings made before the field existed.
+  MapRegister m;
+  m.eid = sample_eid();
+  m.rlocs = {Rloc{Ipv4Address{10, 0, 0, 9}}};
+  const auto untraced = encode_message(Message{m});
+  m.trace = 1;
+  const auto traced = encode_message(Message{m});
+  EXPECT_EQ(traced.size(), untraced.size() + 8);  // one trailing u64
+  // The traced encoding is a strict extension: shared prefix is identical.
+  EXPECT_TRUE(std::equal(untraced.begin(), untraced.end(), traced.begin()));
+  // Decoding the untraced bytes yields trace == 0, not garbage.
+  EXPECT_EQ(std::get<MapRegister>(*decode_message(untraced)).trace, 0u);
+  // wire_size accounting agrees in both shapes.
+  m.trace = 0;
+  EXPECT_EQ(message_wire_size(Message{m}), untraced.size());
+  m.trace = 1;
+  EXPECT_EQ(message_wire_size(Message{m}), traced.size());
 }
 
 TEST(Messages, TypeNames) {

@@ -1,0 +1,102 @@
+#include "telemetry/assurance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace sda::telemetry {
+namespace {
+
+Snapshot snapshot_with_latency(int fast, int slow) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("assurance.smr_fanout_us", HistogramSpec{0.0, 100'000.0, 50});
+  for (int i = 0; i < fast; ++i) hist.observe(1'000.0);
+  for (int i = 0; i < slow; ++i) hist.observe(90'000.0);
+  return reg.snapshot();
+}
+
+TEST(Assurance, SloPassesUnderThreshold) {
+  AssuranceEngine engine;
+  engine.add_slo({"smr-fanout-p95", "assurance.smr_fanout_us", 0.95, 20'000.0, true});
+  const auto verdicts = engine.evaluate_slos(snapshot_with_latency(100, 0));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].pass);
+  EXPECT_EQ(verdicts[0].name, "smr-fanout-p95");
+  EXPECT_NE(verdicts[0].detail.find("n="), std::string::npos);
+}
+
+TEST(Assurance, SloFailsWhenQuantileExceedsThreshold) {
+  AssuranceEngine engine;
+  engine.add_slo({"smr-fanout-p95", "assurance.smr_fanout_us", 0.95, 20'000.0, true});
+  // 10% slow samples push p95 into the 90ms bucket.
+  const auto verdicts = engine.evaluate_slos(snapshot_with_latency(90, 10));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].pass);
+  // A median SLO on the same data still holds — quantile is respected.
+  AssuranceEngine median;
+  median.add_slo({"smr-fanout-p50", "assurance.smr_fanout_us", 0.50, 20'000.0, true});
+  EXPECT_TRUE(median.evaluate_slos(snapshot_with_latency(90, 10))[0].pass);
+}
+
+TEST(Assurance, MissingHistogramFails) {
+  AssuranceEngine engine;
+  engine.add_slo({"ghost-p95", "assurance.does_not_exist", 0.95, 1.0, false});
+  const auto verdicts = engine.evaluate_slos(Snapshot{});
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].pass);
+}
+
+TEST(Assurance, EmptyHistogramPassesVacuouslyUnlessSamplesRequired) {
+  AssuranceEngine engine;
+  engine.add_slo({"lenient", "assurance.smr_fanout_us", 0.95, 1.0, false});
+  engine.add_slo({"strict", "assurance.smr_fanout_us", 0.95, 1.0, true});
+  const auto verdicts = engine.evaluate_slos(snapshot_with_latency(0, 0));
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].pass) << verdicts[0].detail;
+  EXPECT_FALSE(verdicts[1].pass) << verdicts[1].detail;
+}
+
+TEST(Assurance, InvariantReplaceByName) {
+  AssuranceEngine engine;
+  engine.add_invariant("no-leak", [] { return std::make_pair(false, "leaking"); });
+  engine.add_invariant("no-leak", [] { return std::make_pair(true, "clean"); });
+  EXPECT_EQ(engine.invariant_count(), 1u);
+  const auto verdicts = engine.evaluate_invariants();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].pass);
+  EXPECT_EQ(verdicts[0].detail, "clean");
+}
+
+TEST(Assurance, EvaluateCombinesInvariantsThenSlos) {
+  AssuranceEngine engine;
+  engine.add_invariant("always-true", [] { return std::make_pair(true, "ok"); });
+  engine.add_slo({"smr-fanout-p95", "assurance.smr_fanout_us", 0.95, 20'000.0, true});
+  const auto verdicts = engine.evaluate(snapshot_with_latency(10, 0));
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].name, "always-true");
+  EXPECT_EQ(verdicts[1].name, "smr-fanout-p95");
+  EXPECT_TRUE(AssuranceEngine::all_pass(verdicts));
+}
+
+TEST(Assurance, AllPassDetectsAnyFailure) {
+  std::vector<Verdict> verdicts{{"a", true, ""}, {"b", false, "bad"}, {"c", true, ""}};
+  EXPECT_FALSE(AssuranceEngine::all_pass(verdicts));
+  verdicts[1].pass = true;
+  EXPECT_TRUE(AssuranceEngine::all_pass(verdicts));
+  EXPECT_TRUE(AssuranceEngine::all_pass({}));
+}
+
+TEST(Assurance, EmptyEngineEvaluatesToNothing) {
+  AssuranceEngine engine;
+  EXPECT_TRUE(engine.empty());
+  EXPECT_TRUE(engine.evaluate(Snapshot{}).empty());
+  engine.add_slo({"x", "h", 0.95, 1.0, false});
+  EXPECT_FALSE(engine.empty());
+  engine.clear_slos();
+  EXPECT_TRUE(engine.empty());
+}
+
+}  // namespace
+}  // namespace sda::telemetry

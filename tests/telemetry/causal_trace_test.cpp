@@ -1,0 +1,162 @@
+#include "telemetry/causal_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sda::telemetry {
+namespace {
+
+sim::SimTime at_us(int us) { return sim::SimTime{} + std::chrono::microseconds{us}; }
+
+TEST(CausalTracer, DisabledTracerIsInert) {
+  CausalTracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.begin(OpKind::Register, "10.0.0.1", at_us(0)), 0u);
+  // Every entry point early-outs on trace 0 — the untraced hot-path pattern.
+  EXPECT_EQ(tracer.span_begin(0, 0, "map-register", "rs0", at_us(1)), 0u);
+  tracer.span_end(0, 0, at_us(2));
+  tracer.finish(0, at_us(3));
+  tracer.abandon(0);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.completed_count(), 0u);
+}
+
+TEST(CausalTracer, BeginDedupsByKindAndLabel) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  const auto t1 = tracer.begin(OpKind::Register, "10.0.0.1", at_us(0));
+  ASSERT_NE(t1, 0u);
+  // A retransmitted registration reuses the open op; a different label or
+  // kind opens a fresh one.
+  EXPECT_EQ(tracer.begin(OpKind::Register, "10.0.0.1", at_us(5)), t1);
+  EXPECT_NE(tracer.begin(OpKind::Register, "10.0.0.2", at_us(5)), t1);
+  EXPECT_NE(tracer.begin(OpKind::Move, "10.0.0.1", at_us(5)), t1);
+  EXPECT_EQ(tracer.open_count(), 3u);
+  EXPECT_EQ(tracer.find_open(OpKind::Register, "10.0.0.1"), t1);
+  EXPECT_EQ(tracer.find_open(OpKind::SmrFanout, "10.0.0.1"), 0u);
+}
+
+TEST(CausalTracer, SpanLifecycleAndNesting) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  const auto trace = tracer.begin(OpKind::Move, "02:00:00:00:00:01", at_us(0));
+  const auto outer = tracer.span_begin(trace, 0, "mobility-notify", "edge[0]", at_us(10));
+  ASSERT_NE(outer, 0u);
+  const auto inner = tracer.span_begin(trace, outer, "notify-ack", "edge[1]", at_us(20));
+  ASSERT_NE(inner, 0u);
+  tracer.span_end(trace, inner, at_us(30));
+  tracer.span_end(trace, outer, at_us(40));
+  tracer.finish(trace, at_us(50));
+
+  ASSERT_EQ(tracer.completed().size(), 1u);
+  const Operation& op = tracer.completed().back();
+  EXPECT_EQ(op.kind, OpKind::Move);
+  EXPECT_EQ(op.duration(), std::chrono::microseconds{50});
+  ASSERT_EQ(op.spans.size(), 2u);
+  EXPECT_EQ(op.spans[0].parent, 0u);
+  EXPECT_EQ(op.spans[1].parent, outer);
+  EXPECT_EQ(op.spans[1].node, "edge[1]");
+  EXPECT_FALSE(op.spans[0].open);
+  EXPECT_FALSE(op.spans[1].open);
+}
+
+TEST(CausalTracer, FinishClampsOpenSpansAndIsIdempotent) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  const auto trace = tracer.begin(OpKind::SmrFanout, "10.0.0.1->edge[2]", at_us(0));
+  tracer.span_begin(trace, 0, "smr", "edge[2]", at_us(5));  // never ended
+  tracer.finish(trace, at_us(40));
+  tracer.finish(trace, at_us(99));  // second ack: harmless no-op
+  EXPECT_EQ(tracer.completed_count(), 1u);
+  const Operation& op = tracer.completed().back();
+  EXPECT_EQ(op.end, at_us(40));
+  ASSERT_EQ(op.spans.size(), 1u);
+  // The dangling span is clamped to the operation end, not left open.
+  EXPECT_EQ(op.spans[0].end, at_us(40));
+  EXPECT_FALSE(op.spans[0].open);
+  // Spans on a finished trace are ignored.
+  EXPECT_EQ(tracer.span_begin(trace, 0, "late", "edge[2]", at_us(50)), 0u);
+}
+
+TEST(CausalTracer, AbandonDropsWithoutCallbackOrRetention) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  int completions = 0;
+  tracer.set_completion_callback([&](const Operation&) { ++completions; });
+  const auto trace = tracer.begin(OpKind::Register, "10.0.0.9", at_us(0));
+  tracer.abandon(trace);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.completed_count(), 0u);
+  EXPECT_EQ(tracer.abandoned_count(), 1u);
+  EXPECT_EQ(completions, 0);
+  // The (kind, label) key is released: a new begin opens a distinct op.
+  EXPECT_NE(tracer.begin(OpKind::Register, "10.0.0.9", at_us(10)), trace);
+}
+
+TEST(CausalTracer, CompletedRingIsBounded) {
+  CausalTracer tracer{3};
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    const auto trace = tracer.begin(OpKind::Register, "eid-" + std::to_string(i), at_us(i));
+    tracer.finish(trace, at_us(i + 1));
+  }
+  EXPECT_EQ(tracer.completed_count(), 10u);  // lifetime count keeps counting
+  ASSERT_EQ(tracer.completed().size(), 3u);  // retention drops the oldest
+  EXPECT_EQ(tracer.completed().front().label, "eid-7");
+  EXPECT_EQ(tracer.completed().back().label, "eid-9");
+}
+
+TEST(CausalTracer, CompletionCallbackFiresWithFinalOp) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  std::vector<OpKind> seen;
+  sim::Duration last_duration{};
+  tracer.set_completion_callback([&](const Operation& op) {
+    seen.push_back(op.kind);
+    last_duration = op.duration();
+  });
+  const auto trace = tracer.begin(OpKind::FailoverRehome, "epoch 2", at_us(100));
+  tracer.finish(trace, at_us(350));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], OpKind::FailoverRehome);
+  EXPECT_EQ(last_duration, std::chrono::microseconds{250});
+}
+
+TEST(CausalTracer, OpenLabelsReportLeaks) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  tracer.begin(OpKind::Register, "10.0.0.1", at_us(0));
+  tracer.begin(OpKind::Move, "02:aa", at_us(0));
+  const auto labels = tracer.open_labels();
+  ASSERT_EQ(labels.size(), 2u);
+  // Labels are prefixed with the op kind for diagnostics.
+  bool saw_register = false, saw_move = false;
+  for (const auto& l : labels) {
+    if (l.find("10.0.0.1") != std::string::npos) saw_register = true;
+    if (l.find("02:aa") != std::string::npos) saw_move = true;
+  }
+  EXPECT_TRUE(saw_register);
+  EXPECT_TRUE(saw_move);
+}
+
+TEST(CausalTracer, ChromeTraceJsonShape) {
+  CausalTracer tracer;
+  tracer.set_enabled(true);
+  const auto trace = tracer.begin(OpKind::Register, "10.0.0.1", at_us(0));
+  const auto span = tracer.span_begin(trace, 0, "map-register", "routing_server[0]", at_us(2));
+  tracer.span_end(trace, span, at_us(8));
+  tracer.finish(trace, at_us(10));
+
+  const std::string json = tracer.to_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete events
+  EXPECT_NE(json.find("\"map-register\""), std::string::npos);
+  EXPECT_NE(json.find("10.0.0.1"), std::string::npos);
+  // Deterministic: same tracer renders the same bytes.
+  EXPECT_EQ(json, tracer.to_chrome_trace());
+}
+
+}  // namespace
+}  // namespace sda::telemetry

@@ -95,6 +95,67 @@ TEST(FlightRecorder, ClearResetsRing) {
   EXPECT_EQ(recorder.events().front().seq, 1u);
 }
 
+TEST(FlightRecorder, ForNodeSurvivesWraparound) {
+  // Per-node scoping must read through the ring, not a side index: after a
+  // wrap, for_node returns exactly the surviving events for that node, in
+  // order, with their original sequence numbers.
+  FlightRecorder recorder{6};
+  for (int i = 1; i <= 12; ++i) {
+    const std::string node = (i % 2 == 0) ? "routing_server[0]" : "routing_server[1]";
+    recorder.record(at_ms(i), EventKind::FeedState, node, "seq " + std::to_string(i));
+  }
+  // Sequences 7..12 survive; three of them (8, 10, 12) belong to server 0.
+  const auto scoped = recorder.for_node("routing_server[0]");
+  ASSERT_EQ(scoped.size(), 3u);
+  EXPECT_EQ(scoped[0].seq, 8u);
+  EXPECT_EQ(scoped[1].seq, 10u);
+  EXPECT_EQ(scoped[2].seq, 12u);
+  EXPECT_EQ(scoped[2].detail, "seq 12");
+  // A node fully rotated out of the ring scopes to nothing.
+  EXPECT_TRUE(recorder.for_node("edge-gone").empty());
+}
+
+TEST(FlightRecorder, DeposedLeaderEventsStayAttributedThroughChurn) {
+  // Election-churn timeline: the old leader's events keep their node
+  // attribution after it is deposed and the fabric re-homes — the recorder
+  // never rewrites history, so post-mortems can see both reigns.
+  FlightRecorder recorder{16};
+  recorder.record(at_ms(10), EventKind::FeedState, "routing_server[0]", "leader epoch 1");
+  recorder.record(at_ms(20), EventKind::Publish, "routing_server[0]", "10.1.0.5");
+  recorder.record(at_ms(30), EventKind::Fault, "routing_server[0]", "killed");
+  recorder.record(at_ms(40), EventKind::FeedState, "routing_server[1]", "leader epoch 2");
+  recorder.record(at_ms(41), EventKind::Resync, "border-0", "re-home epoch 2");
+  recorder.record(at_ms(42), EventKind::SnapshotApplied, "border-0", "epoch 2");
+  recorder.record(at_ms(50), EventKind::Publish, "routing_server[1]", "10.1.0.5");
+
+  const auto deposed = recorder.for_node("routing_server[0]");
+  ASSERT_EQ(deposed.size(), 3u);
+  EXPECT_EQ(deposed.back().kind, EventKind::Fault);
+  EXPECT_EQ(deposed.back().detail, "killed");
+
+  const auto elected = recorder.for_node("routing_server[1]");
+  ASSERT_EQ(elected.size(), 2u);
+  EXPECT_EQ(elected.front().detail, "leader epoch 2");
+
+  // The global timeline interleaves both reigns in seq order.
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 7u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  // Churn long enough to wrap the ring still keeps attribution straight:
+  // flood epoch-3 events from server 0 (re-elected) until the epoch-2
+  // history rotates out.
+  for (int i = 0; i < 20; ++i) {
+    recorder.record(at_ms(100 + i), EventKind::Publish, "routing_server[0]", "epoch 3");
+  }
+  EXPECT_EQ(recorder.size(), recorder.capacity());
+  EXPECT_TRUE(recorder.for_node("routing_server[1]").empty());
+  for (const auto& e : recorder.for_node("routing_server[0]")) {
+    EXPECT_EQ(e.detail, "epoch 3");
+  }
+}
+
 TEST(FlightRecorder, ZeroCapacityClampsToOne) {
   FlightRecorder recorder{0};
   recorder.record(at_ms(1), EventKind::Custom, "a");
