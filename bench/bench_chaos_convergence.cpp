@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -571,6 +572,374 @@ OscillationDrillResult run_oscillation_drill(bool dampening_on) {
   return result;
 }
 
+// --- Quorum drill: minority partition must elect NO leader ------------------
+//
+// Three routing servers (one per border) with quorum elections on. Border
+// b2 — hosting replica 2 — is partitioned off: the minority side loses the
+// leader's asserts, opens term after term, and every candidacy must stall
+// leaderless (no majority reachable) while the two-node majority keeps
+// leader 0 and serves onboards normally. On heal the minority's inflated
+// term forces one quorate re-election and the cluster reconverges.
+
+struct QuorumDrillResult {
+  std::uint64_t stalls = 0;
+  std::uint64_t minority_led_samples = 0;  // minority believed it led (must be 0)
+  std::uint64_t minority_wins = 0;         // breach-audit counter (must be 0)
+  long long mid_leader = -2;               // majority consensus mid-partition
+  long long final_leader = -2;
+  std::uint64_t term = 0;
+  bool quorum_dipped = false;    // the quorum gauge went 0 during the partition
+  bool quorum_held_at_end = false;
+  bool onboard_ok = false;
+  std::uint64_t stale_accepts = 0;
+  bool invariant_pass = false;  // no-minority-leader at quiesce
+};
+
+long long leader_as_int(std::size_t leader) {
+  return leader == fabric::HaMonitor::kNoLeader ? -1 : static_cast<long long>(leader);
+}
+
+QuorumDrillResult run_quorum_drill() {
+  constexpr auto kPartitionAt = seconds{2};
+  constexpr auto kPartitionFor = seconds{3};
+  constexpr auto kDrillRun = seconds{9};
+
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 3;
+  config.map_request_retries = 8;
+  config.map_register_retries = 10;
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.anti_entropy_interval = milliseconds{500};
+  config.ha.election = true;
+  config.ha.election_heartbeat_interval = milliseconds{100};
+  config.ha.election_timeout = milliseconds{400};
+  config.ha.election_claim_timeout = milliseconds{60};
+  config.ha.election_quorum = true;
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  fabric.add_border("b2");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 6; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "b0");
+    fabric.link(edges.back(), "b1");
+    fabric.link(edges.back(), "b2");
+  }
+  fabric.link("b0", "b1");
+  fabric.link("b1", "b2");
+  fabric.link("b0", "b2");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  for (int i = 0; i < 7; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < 6) {
+      fabric.connect_endpoint(def.credential, edges[static_cast<std::size_t>(i)], 1,
+                              [](const fabric::OnboardResult&) {});
+    }
+  }
+  sim.run_until(sim.now() + seconds{1});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.set_recorder(&fabric.flight_recorder());
+
+  const sim::SimTime t0 = sim.now();
+  // Partition replica 2's hosting border: the one-node minority side.
+  const auto minority_node =
+      fabric.underlay().topology().node_by_loopback(fabric.border("b2").rloc());
+  plane.partition_node(*minority_node, kPartitionAt, kPartitionFor);
+
+  QuorumDrillResult result;
+  const fabric::HaMonitor& ha = *fabric.ha_monitor();
+  // Sample the minority's self-belief through the partition window: with
+  // quorum elections it must never assert leadership, and the quorum gauge
+  // must dip while its candidacies stall.
+  for (auto at = kPartitionAt + milliseconds{50}; at < kPartitionAt + kPartitionFor;
+       at += milliseconds{100}) {
+    sim.schedule_at(t0 + at, [&] {
+      if (ha.node_believes_leader(2)) ++result.minority_led_samples;
+      if (ha.quorum_lost()) result.quorum_dipped = true;
+    });
+  }
+  sim.schedule_at(t0 + kPartitionAt + milliseconds{2500},
+                  [&] { result.mid_leader = leader_as_int(ha.leader()); });
+  // The majority keeps serving: an onboard mid-partition completes normally.
+  sim.schedule_at(t0 + kPartitionAt + milliseconds{1500}, [&] {
+    fabric.connect_endpoint(host(6), edges[1], 2,
+                            [&result](const fabric::OnboardResult&) { result.onboard_ok = true; });
+  });
+
+  sim.run_until(t0 + kDrillRun);
+
+  result.stalls = ha.counters().quorum_stalls;
+  result.minority_wins = ha.counters().minority_leaders;
+  result.final_leader = leader_as_int(ha.leader());
+  result.term = ha.epoch();
+  result.quorum_held_at_end = !ha.quorum_lost();
+  result.stale_accepts = fabric.stale_epoch_acks_accepted();
+  for (const auto& v : fabric.telemetry().assurance.evaluate_invariants()) {
+    if (v.name == "no-minority-leader") result.invariant_pass = v.pass;
+  }
+  return result;
+}
+
+// --- Catch-up drill: log replay vs snapshot resync --------------------------
+//
+// Two routing servers; replica 1 reboots (database preserved) for 2s while
+// a dozen endpoints onboard — a lag only anti-entropy can repair. Three
+// arms by catchup_log_capacity: a roomy log repairs by delta replay (far
+// fewer control bytes than a table exchange), capacity 0 is the legacy
+// snapshot-only path, and a log smaller than the missed delta has its
+// horizon passed and must fall back to the snapshot exchange.
+
+struct CatchupDrillResult {
+  std::size_t capacity = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t replay_bytes = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t catchup_n = 0;  // assurance.catchup_convergence_us samples
+  bool converged = false;
+};
+
+CatchupDrillResult run_catchup_drill(std::size_t log_capacity) {
+  constexpr int kBaseline = 40;
+  constexpr int kDelta = 12;
+  constexpr auto kOutageAt = seconds{2};
+  constexpr auto kOutageFor = seconds{2};
+  constexpr auto kDrillRun = seconds{8};
+
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 2;
+  config.map_register_retries = 10;
+  config.causal_tracing = true;  // populates assurance.catchup_convergence_us
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.anti_entropy_interval = milliseconds{500};
+  config.ha.catchup_log_capacity = log_capacity;
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 4; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "b0");
+    fabric.link(edges.back(), "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  for (int i = 0; i < kBaseline + kDelta; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < kBaseline) {
+      fabric.connect_endpoint(def.credential, edges[static_cast<std::size_t>(i) % edges.size()],
+                              1, [](const fabric::OnboardResult&) {});
+    }
+  }
+  // Baseline settles and at least one anti-entropy round records the
+  // replica as caught up with the leader's log position.
+  sim.run_until(sim.now() + seconds{1});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.set_recorder(&fabric.flight_recorder());
+
+  const sim::SimTime t0 = sim.now();
+  const fabric::HaMonitor& ha = *fabric.ha_monitor();
+  plane.server_outage(fabric.map_server_node(1), kOutageAt, kOutageFor);
+  // Counters at outage start: the drill reports outage-repair deltas so
+  // baseline-propagation noise cannot pollute the traffic comparison.
+  auto before = std::make_shared<fabric::HaMonitor::Counters>();
+  sim.schedule_at(t0 + kOutageAt, [&ha, before] { *before = ha.counters(); });
+  // The delta the rebooting replica misses.
+  sim.schedule_at(t0 + kOutageAt + milliseconds{300}, [&] {
+    for (int i = kBaseline; i < kBaseline + kDelta; ++i) {
+      fabric.connect_endpoint(host(i), edges[static_cast<std::size_t>(i) % edges.size()], 2,
+                              [](const fabric::OnboardResult&) {});
+    }
+  });
+
+  sim.run_until(t0 + kDrillRun);
+
+  const fabric::HaMonitor::Counters& after = ha.counters();
+  CatchupDrillResult result;
+  result.capacity = log_capacity;
+  result.replays = after.catchup_replays - before->catchup_replays;
+  result.entries = after.catchup_entries_replayed - before->catchup_entries_replayed;
+  result.fallbacks = after.catchup_snapshot_fallbacks - before->catchup_snapshot_fallbacks;
+  result.replay_bytes = after.catchup_replay_bytes - before->catchup_replay_bytes;
+  result.snapshot_bytes = after.snapshot_bytes - before->snapshot_bytes;
+  const telemetry::Snapshot snap = fabric.telemetry().metrics.snapshot();
+  const auto it = snap.histograms.find("assurance.catchup_convergence_us");
+  result.catchup_n = it == snap.histograms.end() ? 0 : it->second.total;
+  result.converged = ha.last_divergence() == 0;
+  return result;
+}
+
+// --- Stampede drill: post-election admission ramp sheds the re-register rush
+
+struct StampedeDrillResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t ramp_sheds = 0;
+  std::uint64_t sheds = 0;
+  std::size_t peak_backlog = 0;
+  std::size_t limit = 0;
+  int onboards_done = 0;
+  int onboards_asked = 0;
+  std::size_t parked = 0;
+  long long leader = -2;
+  bool ramp_ended = false;
+
+  [[nodiscard]] double fraction() const {
+    return sent ? static_cast<double>(delivered) / static_cast<double>(sent) : 1.0;
+  }
+};
+
+StampedeDrillResult run_stampede_drill() {
+  constexpr int kWarm = 6;
+  constexpr int kBurst = 16;
+  constexpr auto kKillAt = seconds{2};
+  constexpr auto kKillFor = seconds{4};  // dead through the whole stampede
+  constexpr auto kDrillRun = seconds{10};
+
+  sim::Simulator sim;
+  fabric::FabricConfig config;
+  config.l2_gateway = false;
+  config.seed = kSeed;
+  config.routing_servers = 2;
+  config.map_request_retries = 8;
+  config.map_register_retries = 10;
+  // Slow registers + a tight admission bound make the burst visible: the
+  // just-elected leader must shed, not queue, the re-registration rush.
+  config.map_server.register_service = milliseconds{20};
+  config.map_server.admission_limit = 4;
+  config.map_server.shed_retry_after = milliseconds{100};
+  config.ha.failover = true;
+  config.ha.heartbeat_interval = milliseconds{100};
+  config.ha.heartbeat_timeout = milliseconds{30};
+  config.ha.down_after_misses = 3;
+  config.ha.up_after_acks = 4;
+  config.ha.anti_entropy_interval = milliseconds{500};
+  config.ha.election = true;
+  config.ha.election_heartbeat_interval = milliseconds{100};
+  config.ha.election_timeout = milliseconds{400};
+  config.ha.election_claim_timeout = milliseconds{60};
+  config.ha.post_election_ramp = seconds{2};
+  fabric::SdaFabric fabric{sim, config};
+
+  fabric.add_border("b0");
+  fabric.add_border("b1");
+  std::vector<std::string> edges;
+  for (int e = 0; e < 6; ++e) {
+    edges.push_back(std::string{"e"} + std::to_string(e));
+    fabric.add_edge(edges.back());
+    fabric.link(edges.back(), "b0");
+    fabric.link(edges.back(), "b1");
+  }
+  fabric.link("b0", "b1");
+  fabric.finalize();
+  fabric.define_vn({kVn, "corp", *net::Ipv4Prefix::parse("10.100.0.0/16")});
+
+  std::vector<net::Ipv4Address> ips(kWarm);
+  for (int i = 0; i < kWarm + kBurst; ++i) {
+    fabric::EndpointDefinition def;
+    def.credential = host(i);
+    def.secret = "pw";
+    def.mac = mac(static_cast<std::uint64_t>(i));
+    def.vn = kVn;
+    def.group = net::GroupId{10};
+    fabric.provision_endpoint(def);
+    if (i < kWarm) {
+      // Staggered so the bounded admission queue never sheds the warm-up.
+      sim.schedule_at(sim.now() + milliseconds{80} * i, [&fabric, &ips, &edges, i] {
+        fabric.connect_endpoint(
+            host(i), edges[static_cast<std::size_t>(i)], 1,
+            [&ips, i](const fabric::OnboardResult& r) { ips[static_cast<std::size_t>(i)] = r.ip; });
+      });
+    }
+  }
+  sim.run_until(sim.now() + seconds{1});
+
+  faults::FaultPlane plane{sim, fabric.underlay(), kSeed};
+  plane.set_recorder(&fabric.flight_recorder());
+
+  StampedeDrillResult result;
+  result.onboards_asked = kBurst;
+  result.limit = config.map_server.admission_limit;
+  const sim::SimTime t0 = sim.now();
+  fabric.set_delivery_listener(
+      [&](const dataplane::AttachedEndpoint&, const net::OverlayFrame&, sim::SimTime) {
+        ++result.delivered;
+      });
+  // Background traffic across the failover so a stampede mishap (a parked
+  // frame leak, a starved resolution) would surface in the data plane.
+  for (int i = 0; i < kWarm; ++i) {
+    const auto peer = static_cast<std::size_t>((i + 1) % kWarm);
+    for (sim::Duration at = kSendGap * i / kWarm; at < kDrillRun; at += kSendGap) {
+      sim.schedule_at(t0 + at, [&, i, peer] {
+        if (ips[peer].is_unspecified()) return;
+        if (!fabric.endpoint_send_udp(mac(static_cast<std::uint64_t>(i)), ips[peer], 443, 200)) {
+          return;
+        }
+        ++result.sent;
+      });
+    }
+  }
+
+  // Kill the leader; the replica wins the term and opens its ramp window.
+  plane.server_outage(fabric.map_server_node(0), kKillAt, kKillFor);
+  // The stampede: a burst of onboards lands mid-ramp on the fresh leader.
+  sim.schedule_at(t0 + kKillAt + milliseconds{1500}, [&] {
+    for (int i = kWarm; i < kWarm + kBurst; ++i) {
+      fabric.connect_endpoint(host(i), edges[static_cast<std::size_t>(i) % edges.size()], 2,
+                              [&result](const fabric::OnboardResult&) { ++result.onboards_done; });
+    }
+  });
+
+  sim.run_until(t0 + kDrillRun + seconds{2});
+
+  const lisp::MapServerNode& fresh = fabric.map_server_node(1);
+  result.ramp_sheds = fresh.ramp_shed_submissions();
+  result.sheds = fresh.shed_submissions();
+  result.peak_backlog = fresh.peak_backlog();
+  for (const auto& name : edges) result.parked += fabric.edge(name).parked_frame_count();
+  result.leader = leader_as_int(fabric.ha_monitor()->leader());
+  result.ramp_ended = !fresh.ramp_active();
+  return result;
+}
+
 // --- Assurance drill: the causal tracer + assurance engine end to end -------
 //
 // The election-drill fabric with causal tracing on: onboards open Register
@@ -774,6 +1143,44 @@ void print_oscillation_drill_line(const char* mode, const OscillationDrillResult
       static_cast<unsigned long long>(r.suppressions), r.released ? 1 : 0);
 }
 
+void print_quorum_drill_line(const QuorumDrillResult& r) {
+  std::printf(
+      "qdrill stalls=%llu minority_led=%llu minority_wins=%llu mid_leader=%lld "
+      "final_leader=%lld term=%llu quorum_dipped=%d quorum_held=%d onboard_ok=%d "
+      "stale_accepts=%llu invariant=%d\n",
+      static_cast<unsigned long long>(r.stalls),
+      static_cast<unsigned long long>(r.minority_led_samples),
+      static_cast<unsigned long long>(r.minority_wins), r.mid_leader, r.final_leader,
+      static_cast<unsigned long long>(r.term), r.quorum_dipped ? 1 : 0,
+      r.quorum_held_at_end ? 1 : 0, r.onboard_ok ? 1 : 0,
+      static_cast<unsigned long long>(r.stale_accepts), r.invariant_pass ? 1 : 0);
+}
+
+void print_catchup_drill_line(const char* arm, const CatchupDrillResult& r) {
+  std::printf(
+      "cdrill arm=%s capacity=%llu replays=%llu entries=%llu fallbacks=%llu "
+      "replay_bytes=%llu snapshot_bytes=%llu catchup_n=%llu converged=%d\n",
+      arm, static_cast<unsigned long long>(r.capacity),
+      static_cast<unsigned long long>(r.replays),
+      static_cast<unsigned long long>(r.entries),
+      static_cast<unsigned long long>(r.fallbacks),
+      static_cast<unsigned long long>(r.replay_bytes),
+      static_cast<unsigned long long>(r.snapshot_bytes),
+      static_cast<unsigned long long>(r.catchup_n), r.converged ? 1 : 0);
+}
+
+void print_stampede_drill_line(const StampedeDrillResult& r) {
+  std::printf(
+      "sdrill ramp_sheds=%llu sheds=%llu peak=%llu limit=%llu onboards=%d asked=%d "
+      "parked=%llu leader=%lld ramp_ended=%d fraction=%.4f\n",
+      static_cast<unsigned long long>(r.ramp_sheds),
+      static_cast<unsigned long long>(r.sheds),
+      static_cast<unsigned long long>(r.peak_backlog),
+      static_cast<unsigned long long>(r.limit), r.onboards_done, r.onboards_asked,
+      static_cast<unsigned long long>(r.parked), r.leader, r.ramp_ended ? 1 : 0,
+      r.fraction());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -797,6 +1204,14 @@ int main(int argc, char** argv) {
     print_election_drill_line(run_election_drill());
     print_oscillation_drill_line("on", run_oscillation_drill(true));
     print_oscillation_drill_line("off", run_oscillation_drill(false));
+    print_quorum_drill_line(run_quorum_drill());
+    // Catch-up arms: a roomy log (delta replay), no log (snapshot-only
+    // legacy path), and a log smaller than the missed delta (horizon passed
+    // -> snapshot fallback).
+    print_catchup_drill_line("log", run_catchup_drill(4096));
+    print_catchup_drill_line("snap", run_catchup_drill(0));
+    print_catchup_drill_line("horizon", run_catchup_drill(8));
+    print_stampede_drill_line(run_stampede_drill());
     return 0;
   }
   std::printf("=== Chaos convergence: delivered traffic under a seeded fault storm ===\n");

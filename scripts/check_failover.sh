@@ -24,6 +24,19 @@
 #   * an oscillating server causes at most one failover with dampening on
 #     (suppression holds it down until the penalty decays), versus churn
 #     on every cycle with dampening off.
+#
+# Then the partition-tolerance drills:
+#   * quorum drill: a partitioned one-node minority never asserts
+#     leadership (every candidacy stalls on a failed quorum), the two-node
+#     majority keeps its leader and serves onboards, and on heal the
+#     cluster reconverges quorate under the original leader;
+#   * catch-up drill: a rebooted replica that missed a dozen onboards
+#     repairs by bounded-log delta replay with measurably fewer control
+#     bytes than the snapshot table exchange, falls back to the snapshot
+#     when the log horizon has passed, and converges on every arm;
+#   * stampede drill: a freshly elected leader sheds the re-registration
+#     rush while its admission ramp opens — bounded backlog, no parked
+#     frames, every onboard completing via jittered retry-after.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +56,9 @@ import sys
 runs = {}
 election = None
 oscillation = {}
+quorum = None
+catchup = {}
+stampede = None
 for line in open(sys.argv[1]):
     fields = line.split()
     if not fields:
@@ -56,6 +72,13 @@ for line in open(sys.argv[1]):
     elif fields[0] == "odrill":
         mode = kv.pop("dampening")
         oscillation[mode] = {k: float(v) for k, v in kv.items()}
+    elif fields[0] == "qdrill":
+        quorum = {k: float(v) for k, v in kv.items()}
+    elif fields[0] == "cdrill":
+        arm = kv.pop("arm")
+        catchup[arm] = {k: float(v) for k, v in kv.items()}
+    elif fields[0] == "sdrill":
+        stampede = {k: float(v) for k, v in kv.items()}
 
 assert set(runs) == {"on", "off"}, f"expected HA on+off drill lines, got {sorted(runs)}"
 on, off = runs["on"], runs["off"]
@@ -109,11 +132,73 @@ assert damped["released"] == 1, "suppression never released after the penalty de
 assert churn["failovers"] >= 2, \
     f"undamped oscillation caused only {churn['failovers']:.0f} failovers: no churn to damp"
 
+# Quorum drill: the partitioned minority must stall leaderless...
+assert quorum is not None, "no qdrill line in drill output"
+assert quorum["stalls"] >= 1, "minority candidacies never stalled on a failed quorum"
+assert quorum["minority_led"] == 0, \
+    f"minority believed it led in {quorum['minority_led']:.0f} samples: quorum gate leaked"
+assert quorum["minority_wins"] == 0, \
+    f"{quorum['minority_wins']:.0f} minority-quorum leaderships asserted"
+assert quorum["quorum_dipped"] == 1, "ha.election.quorum gauge never dipped mid-partition"
+# ...while the majority keeps a leader and keeps serving...
+assert quorum["mid_leader"] == 0, \
+    f"majority lost its leader mid-partition (leader {quorum['mid_leader']:.0f})"
+assert quorum["onboard_ok"] == 1, "mid-partition onboard on the majority side never completed"
+assert quorum["stale_accepts"] == 0, \
+    f"{quorum['stale_accepts']:.0f} stale-epoch acks accepted during the partition"
+# ...and heal reconverges quorate with the invariant green.
+assert quorum["final_leader"] == 0, \
+    f"cluster did not reconverge on leader 0 after heal (leader {quorum['final_leader']:.0f})"
+assert quorum["quorum_held"] == 1, "quorum gauge still reads lost after reconvergence"
+assert quorum["invariant"] == 1, "no-minority-leader invariant failed"
+
+# Catch-up drill: delta replay must beat the snapshot exchange...
+assert set(catchup) == {"log", "snap", "horizon"}, \
+    f"expected log+snap+horizon cdrill lines, got {sorted(catchup)}"
+log, snap, horizon = catchup["log"], catchup["snap"], catchup["horizon"]
+assert log["replays"] >= 1, "roomy-log arm never repaired by delta replay"
+assert log["entries"] >= 1, "delta replay carried no log entries"
+assert log["fallbacks"] == 0, "roomy-log arm fell back to a snapshot"
+assert snap["replays"] == 0, "log-disabled arm somehow replayed a log"
+assert snap["snapshot_bytes"] > 0, "log-disabled arm moved no snapshot bytes"
+assert 0 < log["replay_bytes"] < snap["snapshot_bytes"], \
+    (f"delta replay ({log['replay_bytes']:.0f}B) not cheaper than the snapshot "
+     f"exchange ({snap['snapshot_bytes']:.0f}B)")
+# ...a lag past the log horizon must fall back to the snapshot...
+assert horizon["fallbacks"] >= 1, "horizon-passed arm never fell back to a snapshot"
+assert horizon["snapshot_bytes"] > 0, "horizon fallback moved no snapshot bytes"
+# ...and every arm converges, with the catch-up histogram populated.
+for arm, r in catchup.items():
+    assert r["converged"] == 1, f"catch-up arm {arm} did not converge"
+    assert r["catchup_n"] >= 1, \
+        f"assurance.catchup_convergence_us empty in arm {arm}"
+
+# Stampede drill: the fresh leader's ramp must shed the rush, not queue it...
+assert stampede is not None, "no sdrill line in drill output"
+assert stampede["ramp_sheds"] >= 1, "admission ramp never shed a post-election register"
+assert stampede["peak"] <= stampede["limit"], \
+    (f"backlog peaked at {stampede['peak']:.0f} > admission limit "
+     f"{stampede['limit']:.0f}: in-flight not bounded")
+# ...and every shed onboard must complete via its jittered retry-after.
+assert stampede["onboards"] == stampede["asked"], \
+    f"only {stampede['onboards']:.0f}/{stampede['asked']:.0f} stampede onboards completed"
+assert stampede["parked"] == 0, \
+    f"{stampede['parked']:.0f} frames left parked after the stampede: packet leak"
+assert stampede["leader"] == 1, \
+    f"replica 1 did not hold leadership through the stampede (leader {stampede['leader']:.0f})"
+assert stampede["ramp_ended"] == 1, "ramp window never closed"
+assert stampede["fraction"] >= 0.97, \
+    f"stampede-drill delivered fraction {stampede['fraction']:.4f} < 0.97"
+
 print(f"check_failover: OK (HA-on fraction {on['fraction']:.4f}, "
       f"HA-off {off['fraction']:.4f}, HA-on reconv {on['reconv_ms']:.0f}ms, "
       f"failovers {on['failovers']:.0f}, repairs {on['anti_entropy_repairs']:.0f}; "
       f"election term {election['term']:.0f} leader {election['leader']:.0f}, "
       f"resyncs {election['resyncs']:.0f}, stale rejects {election['stale_rejects']:.0f}, "
       f"stale accepts 0; damped failovers {damped['failovers']:.0f} "
-      f"vs undamped {churn['failovers']:.0f})")
+      f"vs undamped {churn['failovers']:.0f}; quorum stalls {quorum['stalls']:.0f} "
+      f"minority wins 0; replay {log['replay_bytes']:.0f}B vs snapshot "
+      f"{snap['snapshot_bytes']:.0f}B, horizon fallbacks {horizon['fallbacks']:.0f}; "
+      f"ramp sheds {stampede['ramp_sheds']:.0f}, "
+      f"stampede onboards {stampede['onboards']:.0f}/{stampede['asked']:.0f})")
 PY

@@ -93,10 +93,26 @@ assert first["gauges"]["ha.dampening.suppressed"] == 0, "phantom dampening suppr
 assert first["gauges"]["ha.replica_divergence"] == 0, "replicas diverged in a fault-free probe"
 assert first["gauges"]["ha.servers_up"] == 2, "both routing servers should be up"
 
+# Partition-tolerance family (PR 9): quorum elections, log-based catch-up,
+# and the post-election admission ramp all export their instrumentation.
+for expected in ("ha.quorum_stalls", "ha.minority_leaders", "ha.catchup.replays",
+                 "ha.catchup.entries_replayed", "ha.catchup.snapshot_fallbacks",
+                 "ha.catchup.replay_bytes", "ha.catchup.snapshot_bytes",
+                 "routing_server[0].ramp_sheds", "routing_server[1].ramp_sheds"):
+    assert expected in first["counters"], f"missing expected counter {expected!r}"
+for expected in ("ha.election.quorum", "routing_server[0].admission_ramp"):
+    assert expected in first["gauges"], f"missing expected gauge {expected!r}"
+# Fault-free probe: no candidacy ever stalls, no minority leads, and the
+# quorum gauge reads healthy.
+assert first["counters"]["ha.quorum_stalls"] == 0, "phantom quorum stall in a fault-free probe"
+assert first["counters"]["ha.minority_leaders"] == 0, "minority leadership in a fault-free probe"
+assert first["gauges"]["ha.election.quorum"] == 1, "fault-free probe should hold quorum"
+
 # Assurance family (PR 8): the convergence histograms exist, and with
 # causal tracing on the probe's registrations populate register_rtt.
 for expected in ("assurance.register_rtt_us", "assurance.move_convergence_us",
-                 "assurance.failover_rehome_us", "assurance.smr_fanout_us"):
+                 "assurance.failover_rehome_us", "assurance.smr_fanout_us",
+                 "assurance.catchup_convergence_us"):
     assert expected in first["histograms"], f"missing expected histogram {expected!r}"
 assert first["histograms"]["assurance.register_rtt_us"]["total"] >= 2, \
     "causal tracing produced no completed registration operations"

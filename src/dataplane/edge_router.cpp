@@ -523,10 +523,11 @@ void EdgeRouter::receive_map_request_busy(const net::VnEid& eid, sim::Duration r
   }
   --it->second.retries_left;
   it->second.nonce = next_nonce_++;
-  // Honor the server's retry-after instead of the local RTO: the server
-  // knows its own backlog better than our backoff curve does.
-  it->second.timer =
-      simulator_.schedule_after(retry_after, [this, eid] { transmit_map_request(eid); });
+  // Honor the server's retry-after instead of the local RTO — but jitter
+  // it: every shed client hears the same hint, and retrying at the exact
+  // deadline re-synchronizes the stampede the shed was deflecting.
+  it->second.timer = simulator_.schedule_after(jittered_retry_after(retry_after),
+                                               [this, eid] { transmit_map_request(eid); });
 }
 
 void EdgeRouter::receive_map_register_busy(const net::VnEid& eid, sim::Duration retry_after) {
@@ -539,8 +540,15 @@ void EdgeRouter::receive_map_register_busy(const net::VnEid& eid, sim::Duration 
     return;
   }
   --it->second.retries_left;
-  it->second.timer =
-      simulator_.schedule_after(retry_after, [this, eid] { transmit_map_register(eid); });
+  it->second.timer = simulator_.schedule_after(jittered_retry_after(retry_after),
+                                               [this, eid] { transmit_map_register(eid); });
+}
+
+sim::Duration EdgeRouter::jittered_retry_after(sim::Duration retry_after) {
+  if (!config_.retransmit_jitter) return retry_after;
+  // Uniform in [retry_after, 3*retry_after): never earlier than the
+  // server's hint, spread enough that shed peers do not re-collide.
+  return sim::decorrelated_backoff(rng_, retry_after, retry_after, retry_after * 3);
 }
 
 void EdgeRouter::drop_parked(const net::VnEid& eid) {

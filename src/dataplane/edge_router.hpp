@@ -365,6 +365,11 @@ class EdgeRouter {
   [[nodiscard]] sim::Duration next_backoff(sim::Duration current, sim::Duration initial,
                                            sim::Duration cap);
 
+  /// A shed server's retry-after hint, de-synchronized: uniform in
+  /// [retry_after, 3*retry_after) so the deflected stampede does not
+  /// re-collide at the exact deadline. Identity with jitter disabled.
+  [[nodiscard]] sim::Duration jittered_retry_after(sim::Duration retry_after);
+
   /// Downloads (vn, group)'s rules; on refusal books the pair for retry.
   void try_download_rules(net::VnId vn, net::GroupId group);
   /// (Re)arms the rule-retry timer while refused downloads are outstanding.

@@ -86,6 +86,25 @@ struct HaConfig {
   /// How long a candidate waits for a lower-index live peer to object to
   /// its claim before declaring itself leader.
   sim::Duration election_claim_timeout = std::chrono::milliseconds{60};
+  /// Quorum-aware elections (partition safety): a candidate must collect
+  /// acks from a strict majority of the *configured* replicas before it
+  /// may assert leadership. A minority partition therefore stalls
+  /// leaderless (edges ride the existing retransmit/parking valves)
+  /// instead of electing a split-brain leader. Requires >= 3 replicas to
+  /// survive a single failure (majority of 2 is 2).
+  bool election_quorum = false;
+  /// Log-style catch-up: every replica database keeps a bounded sequenced
+  /// ring of its recent mutations (registers, moves, tombstones). A
+  /// rejoining replica whose digest lags replays just the delta from the
+  /// leader's log; only when the log horizon has passed does it fall back
+  /// to the full snapshot reconcile. 0 = disabled (always snapshot).
+  std::size_t catchup_log_capacity = 0;
+  /// Election-aware admission shedding: a just-elected leader ramps its
+  /// admission limit from a quarter of the configured value back to full
+  /// over this window, shedding the post-election re-registration
+  /// stampede with retry-after instead of queueing it. 0 = no ramp.
+  /// Only meaningful with a bounded `map_server.admission_limit`.
+  sim::Duration post_election_ramp{0};
 
   /// BGP-style hold-down flap dampening: each up/down transition adds
   /// `dampening_penalty` to the server's penalty, which decays

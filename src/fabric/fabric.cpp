@@ -172,6 +172,22 @@ void SdaFabric::finalize() {
     ha_->set_leader_changed([this](std::size_t leader, std::uint64_t epoch) {
       on_leader_changed(leader, epoch);
     });
+    // Catch-up convergence tracing (PR 9): a replica's lag window — from
+    // the first mismatched digest to digests agreeing again — is one
+    // Catchup operation feeding assurance.catchup_convergence_us.
+    ha_->set_catchup_hooks(
+        [this](std::size_t replica) {
+          if (!telemetry_.causal.enabled()) return;
+          catchup_trace_by_replica_[replica] = telemetry_.causal.begin(
+              telemetry::OpKind::Catchup,
+              "routing_server[" + std::to_string(replica) + "]", simulator_.now());
+        },
+        [this](std::size_t replica, bool /*via_snapshot*/) {
+          const auto it = catchup_trace_by_replica_.find(replica);
+          if (it == catchup_trace_by_replica_.end()) return;
+          telemetry_.causal.finish(it->second, simulator_.now());
+          catchup_trace_by_replica_.erase(it);
+        });
     for (std::size_t e = 0; e < edge_order_.size(); ++e) {
       const std::size_t server = e % server_nodes_.size();
       if (e < server_nodes_.size()) {
@@ -451,6 +467,9 @@ void SdaFabric::register_telemetry() {
   move_convergence_us_ = &reg.histogram("assurance.move_convergence_us", {0.0, 500'000.0, 50});
   failover_rehome_us_ = &reg.histogram("assurance.failover_rehome_us", {0.0, 500'000.0, 50});
   smr_fanout_us_ = &reg.histogram("assurance.smr_fanout_us", {0.0, 500'000.0, 50});
+  // Catch-up windows span replica outages, so the range is seconds.
+  catchup_convergence_us_ =
+      &reg.histogram("assurance.catchup_convergence_us", {0.0, 5'000'000.0, 50});
   telemetry_.causal.set_completion_callback([this](const telemetry::Operation& op) {
     telemetry::LatencyHistogram* hist = nullptr;
     switch (op.kind) {
@@ -458,6 +477,7 @@ void SdaFabric::register_telemetry() {
       case telemetry::OpKind::Move: hist = move_convergence_us_; break;
       case telemetry::OpKind::SmrFanout: hist = smr_fanout_us_; break;
       case telemetry::OpKind::FailoverRehome: hist = failover_rehome_us_; break;
+      case telemetry::OpKind::Catchup: hist = catchup_convergence_us_; break;
     }
     if (hist) {
       hist->observe(std::chrono::duration<double, std::micro>(op.duration()).count());
@@ -478,6 +498,14 @@ void SdaFabric::register_invariants() {
   eng.add_invariant("zero-stale-epoch-accepts", [this] {
     const std::uint64_t n = stale_acks_accepted_;
     return std::make_pair(n == 0, "stale_epoch_acks_accepted=" + std::to_string(n));
+  });
+
+  // Quorum elections are absolute: no node may ever win a term without
+  // confirming a strict majority of the configured replicas — a minority
+  // partition must stall leaderless instead (PR 9 partition-safety audit).
+  eng.add_invariant("no-minority-leader", [this] {
+    const std::uint64_t n = ha_ ? ha_->counters().minority_leaders : 0;
+    return std::make_pair(n == 0, "minority_leaders=" + std::to_string(n));
   });
 
   // Anti-entropy must drive replica divergence back to zero once faults
@@ -695,7 +723,7 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                                         [this, &edge, ack, ack_span] {
                                           const bool accepted = edge.receive_map_notify(ack);
                                           if (accepted && ack.epoch != 0 && ha_ &&
-                                              ack.epoch < ha_->epoch()) {
+                                              ack.epoch < ha_->leadership_epoch()) {
                                             ++stale_acks_accepted_;  // fence breach audit
                                           }
                                           // An accepted ack completes the
@@ -711,7 +739,13 @@ void SdaFabric::wire_edge(dataplane::EdgeRouter& edge) {
                            // Complete any onboarding waiting on this EID —
                            // but never on a deposed leader's stale-term
                            // completion (the live leader's ack fires them).
-                           if (ack.epoch != 0 && ha_ && ack.epoch < ha_->epoch()) return;
+                           // Fenced on leadership_epoch, not epoch: a
+                           // quorum-stalled candidacy's inflated term must
+                           // not gag the standing majority leader.
+                           if (ack.epoch != 0 && ha_ &&
+                               ack.epoch < ha_->leadership_epoch()) {
+                             return;
+                           }
                            const auto it = pending_onboards_.find(eid);
                            if (it == pending_onboards_.end()) return;
                            auto waiters = std::move(it->second);
@@ -1334,6 +1368,10 @@ std::uint64_t SdaFabric::border_publishes_dropped(const std::string& border) con
 
 void SdaFabric::resync_border(const std::string& name) {
   dataplane::BorderRouter& border = *borders_.at(name);
+  // Leaderless window (open election, or a quorum-stalled minority): there
+  // is no authority to snapshot from. The border's resync retry timer
+  // re-requests until a quorate leader exists.
+  if (control_leader() == HaMonitor::kNoLeader) return;
   record_event(telemetry::EventKind::Resync, name, "snapshot requested");
   // While a leader-change re-home is open, each border's resync round trip
   // is a span of the FailoverRehome op (retries open additional spans).
@@ -1401,6 +1439,10 @@ std::size_t SdaFabric::control_leader() const {
 }
 
 void SdaFabric::on_leader_changed(std::size_t leader, std::uint64_t epoch) {
+  // Election-aware shedding (PR 9): the fresh leader absorbs the fabric's
+  // re-registration stampede behind a ramped admission limit instead of
+  // queueing it unboundedly.
+  server_nodes_[leader]->begin_admission_ramp(config_.ha.post_election_ramp);
   // A freshly elected leader re-homes the control plane: every border
   // pulls a snapshot from the new authority (gap-free feed restart under
   // the new term), and every edge learns the new epoch so a resurrected

@@ -379,6 +379,10 @@ class SdaFabric {
   telemetry::LatencyHistogram* move_convergence_us_ = nullptr;
   telemetry::LatencyHistogram* failover_rehome_us_ = nullptr;
   telemetry::LatencyHistogram* smr_fanout_us_ = nullptr;
+  telemetry::LatencyHistogram* catchup_convergence_us_ = nullptr;
+  /// Open replica catch-up operations (PR 9), keyed by replica index:
+  /// opened when a digest lag is first seen, finished when digests agree.
+  std::unordered_map<std::size_t, std::uint64_t> catchup_trace_by_replica_;
   /// Open move operations keyed by the roaming endpoint's IP EID: indexed
   /// when the roam attaches, consumed (finished) when the *old* edge
   /// applies the mobility Map-Notify.

@@ -20,10 +20,16 @@ HaMonitor::HaMonitor(sim::Simulator& simulator, HaConfig config,
       event_hook_(std::move(event_hook)) {
   state_.resize(servers_.size());
   election_.resize(servers_.size());
+  sync_.resize(servers_.size());
   node_rng_.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     state_[i].probe_source = servers_[i]->rloc();
     node_rng_.emplace_back(seed ^ (0xE1EC7ull * (i + 1)));
+  }
+  if (config_.catchup_log_capacity > 0) {
+    // Every replica keeps the bounded mutation log so any node can serve
+    // delta replay when it drives anti-entropy (leadership moves).
+    for (lisp::MapServer* db : databases_) db->set_log_capacity(config_.catchup_log_capacity);
   }
 }
 
@@ -186,17 +192,33 @@ void HaMonitor::refresh_dampening(std::size_t server) {
 
 std::size_t HaMonitor::leader() const {
   if (!election_enabled()) return 0;
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < election_.size(); ++i) {
-    if (election_[i].epoch > election_[best].epoch) best = i;
+  // Consensus view: the belief of the highest-epoch *online* node that
+  // believes any leader exists. Offline nodes are skipped so a crashed
+  // ex-leader's stale belief cannot fill the gap before the next win, and
+  // leaderless beliefs (candidates mid-claim, quorum-stalled minorities)
+  // never mask a still-working majority leader at a lower term.
+  std::size_t best = kNoLeader;
+  for (std::size_t i = 0; i < election_.size(); ++i) {
+    if (!servers_[i]->online() || election_[i].leader == kNoLeader) continue;
+    if (best == kNoLeader || election_[i].epoch > election_[best].epoch) best = i;
   }
-  return election_[best].leader;
+  return best == kNoLeader ? kNoLeader : election_[best].leader;
 }
 
 std::uint64_t HaMonitor::epoch() const {
   if (!election_enabled()) return 0;
   std::uint64_t best = 0;
   for (const ElectionState& el : election_) best = std::max(best, el.epoch);
+  return best;
+}
+
+std::uint64_t HaMonitor::leadership_epoch() const {
+  if (!election_enabled()) return 0;
+  std::uint64_t best = 0;
+  for (const ElectionState& el : election_) {
+    if (el.leader == kNoLeader) continue;  // a stalled candidacy is not leadership
+    best = std::max(best, el.epoch);
+  }
   return best;
 }
 
@@ -246,6 +268,11 @@ void HaMonitor::start_election(std::size_t node) {
   ElectionState& el = election_[node];
   el.epoch += 1;
   el.candidate = true;
+  el.votes = 0;
+  // A candidacy is leaderless: the node that opens a term has given up on
+  // the old leader. A sitting leader restating its own claim (objection
+  // path) keeps its authority until actually deposed.
+  if (el.leader != node) el.leader = kNoLeader;
   ++counters_.elections_started;
   emit(telemetry::EventKind::ElectionStarted, node,
        "opened term " + std::to_string(el.epoch));
@@ -258,7 +285,23 @@ void HaMonitor::start_election(std::size_t node) {
   simulator_.schedule_after(config_.election_claim_timeout, [this, node, claim] {
     ElectionState& el = election_[node];
     // Unchallenged (no live lower-index peer objected with a newer term).
-    if (el.candidate && el.epoch == claim) become_leader(node);
+    if (!el.candidate || el.epoch != claim) return;
+    if (config_.election_quorum && !quorum_reached(el)) {
+      // Quorum elections: a candidate that cannot confirm a strict
+      // majority of the configured replicas (a minority partition) stalls
+      // leaderless instead of asserting — the watchdog retries with a
+      // fresh term until the partition heals.
+      el.candidate = false;
+      el.leader = kNoLeader;
+      quorum_lost_ = true;
+      ++counters_.quorum_stalls;
+      emit(telemetry::EventKind::QuorumLost, node,
+           "term " + std::to_string(claim) + " stalled with " +
+               std::to_string(el.votes + 1) + "/" + std::to_string(servers_.size()) +
+               " replicas");
+      return;
+    }
+    become_leader(node);
   });
 }
 
@@ -286,7 +329,23 @@ void HaMonitor::receive_claim(std::size_t node, std::size_t from, std::uint64_t 
   }
   el.epoch = claim;
   el.candidate = false;  // a concurrent same-term claim from a better index
+  el.leader = kNoLeader;  // the old leader timed out somewhere; await the assert
   el.last_assert = simulator_.now();  // grant the candidate its claim window
+  if (config_.election_quorum) {
+    // Quorum vote: ack the deferral so the candidate can count a majority.
+    control_send_(servers_[node]->rloc(), servers_[from]->rloc(), 24,
+                  [this, node, from, claim] { receive_vote(from, node, claim); });
+  }
+}
+
+void HaMonitor::receive_vote(std::size_t candidate, std::size_t /*from*/,
+                             std::uint64_t claim) {
+  if (!servers_[candidate]->online()) return;
+  ElectionState& el = election_[candidate];
+  // Stale ballots (a newer term opened, or the claim already resolved)
+  // must not count toward the live candidacy.
+  if (!el.candidate || el.epoch != claim) return;
+  ++el.votes;
 }
 
 void HaMonitor::receive_assert(std::size_t node, std::size_t from, std::uint64_t e,
@@ -303,7 +362,8 @@ void HaMonitor::receive_assert(std::size_t node, std::size_t from, std::uint64_t
     if (leader_hint == from) send_assert(node, from);
     return;
   }
-  if (config_.dampening && state_[leader_hint].suppressed && leader_hint != node) {
+  if (leader_hint != kNoLeader && config_.dampening && state_[leader_hint].suppressed &&
+      leader_hint != node) {
     // A dampened server's leadership is not honored: by ignoring the
     // assert the watchdog expires and elects an unsuppressed replica.
     return;
@@ -324,10 +384,17 @@ void HaMonitor::receive_assert(std::size_t node, std::size_t from, std::uint64_t
 void HaMonitor::become_leader(std::size_t node) {
   if (!servers_[node]->online()) return;
   ElectionState& el = election_[node];
+  // Breach audit for the no-minority-leader invariant: with quorum
+  // elections on, every win must have confirmed a strict majority.
+  if (config_.election_quorum && !quorum_reached(el)) ++counters_.minority_leaders;
   el.candidate = false;
   el.leader = node;
   ++counters_.leaders_elected;
   emit(telemetry::EventKind::LeaderElected, node, "term " + std::to_string(el.epoch));
+  if (quorum_lost_) {
+    quorum_lost_ = false;
+    emit(telemetry::EventKind::QuorumRegained, node, "term " + std::to_string(el.epoch));
+  }
   for (std::size_t j = 0; j < servers_.size(); ++j) {
     if (j != node) send_assert(node, j);
   }
@@ -372,9 +439,66 @@ void HaMonitor::anti_entropy_with(std::size_t driver, std::size_t replica) {
                std::to_string(election_[replica].epoch));
       return;
     }
-    if (databases_[driver]->digest() == databases_[replica]->digest()) return;
+    if (databases_[driver]->digest() == databases_[replica]->digest()) {
+      // In sync: note how far this replica tracks the driver's log so a
+      // later lag can be repaired by delta replay, and close any catch-up
+      // operation that was converging.
+      note_synced(driver, replica);
+      close_catchup(replica);
+      return;
+    }
     ++counters_.digest_mismatches;
-    control_send_(servers_[replica]->rloc(), driver_rloc, 256, [this, driver, replica] {
+    open_catchup(replica);
+    lisp::MapServer& db = *databases_[driver];
+    const SyncState& sync = sync_[replica];
+    const std::uint64_t resume = sync.applied_seq + 1;
+    // Delta replay is possible when the replica was last synced against
+    // this driver's log, has not cold-restarted since (generation), and
+    // the bounded log still covers the suffix it missed.
+    const bool replayable = config_.catchup_log_capacity > 0 && sync.driver == driver &&
+                            sync.generation == databases_[replica]->generation() &&
+                            db.log_covers(resume) && resume < db.log_next_seq();
+    if (replayable) {
+      // Ship only the log suffix the replica missed instead of exchanging
+      // full tables (the catchup_vs_snapshot drill measures the saving).
+      auto entries = std::make_shared<std::vector<lisp::MapServer::LogEntry>>();
+      db.replay_log(resume, [&entries](const lisp::MapServer::LogEntry& e) {
+        entries->push_back(e);
+      });
+      const std::uint64_t tail = db.log_next_seq() - 1;
+      const std::size_t bytes = 64 + 40 * entries->size();
+      counters_.catchup_replay_bytes += bytes;
+      control_send_(driver_rloc, servers_[replica]->rloc(), bytes,
+                    [this, driver, replica, entries, tail] {
+        if (!servers_[replica]->online() || !servers_[driver]->online()) return;
+        for (const lisp::MapServer::LogEntry& e : *entries) {
+          databases_[replica]->apply_log_entry(e);
+        }
+        sync_[replica].applied_seq = tail;
+        sync_[replica].via_snapshot = false;
+        ++counters_.catchup_replays;
+        counters_.catchup_entries_replayed += entries->size();
+        counters_.anti_entropy_repairs += entries->size();
+        last_divergence_ += entries->size();
+        emit(telemetry::EventKind::AntiEntropy, replica,
+             "replayed " + std::to_string(entries->size()) + " log entries from leader " +
+                 std::to_string(driver));
+        // If the digests still disagree (the replica holds state this log
+        // never saw), the next round falls back to the snapshot exchange.
+        if (databases_[driver]->digest() == databases_[replica]->digest()) {
+          close_catchup(replica);
+        }
+      });
+      return;
+    }
+    if (config_.catchup_log_capacity > 0) ++counters_.catchup_snapshot_fallbacks;
+    // Snapshot exchange: the replica ships its full table for diffing and
+    // the repairs come back — billed as both tables in flight, which is
+    // what makes delta replay measurably cheaper.
+    const std::size_t bytes =
+        64 + 48 * (databases_[driver]->mapping_count() + databases_[replica]->mapping_count());
+    counters_.snapshot_bytes += bytes;
+    control_send_(servers_[replica]->rloc(), driver_rloc, bytes, [this, driver, replica] {
       if (!servers_[replica]->online() || !servers_[driver]->online()) return;
       const lisp::MapServer::ReconcileStats stats = databases_[driver]->reconcile_with(
           *databases_[replica], simulator_.now(), config_.tombstone_horizon);
@@ -386,8 +510,35 @@ void HaMonitor::anti_entropy_with(std::size_t driver, std::size_t replica) {
              "reconciled " + std::to_string(repaired) + " entries with leader " +
                  std::to_string(driver));
       }
+      note_synced(driver, replica);
+      sync_[replica].via_snapshot = true;
+      if (databases_[driver]->digest() == databases_[replica]->digest()) {
+        close_catchup(replica);
+      }
     });
   });
+}
+
+void HaMonitor::note_synced(std::size_t driver, std::size_t replica) {
+  SyncState& sync = sync_[replica];
+  sync.driver = driver;
+  sync.applied_seq = databases_[driver]->log_next_seq() - 1;
+  sync.generation = databases_[replica]->generation();
+}
+
+void HaMonitor::open_catchup(std::size_t replica) {
+  SyncState& sync = sync_[replica];
+  if (sync.open) return;
+  sync.open = true;
+  sync.via_snapshot = false;
+  if (catchup_begin_) catchup_begin_(replica);
+}
+
+void HaMonitor::close_catchup(std::size_t replica) {
+  SyncState& sync = sync_[replica];
+  if (!sync.open) return;
+  sync.open = false;
+  if (catchup_end_) catchup_end_(replica, sync.via_snapshot);
 }
 
 void HaMonitor::emit(telemetry::EventKind kind, std::size_t server, std::string detail) {
@@ -419,6 +570,20 @@ void HaMonitor::register_metrics(telemetry::MetricsRegistry& registry,
                             [this] { return counters_.epoch_rejections; });
   registry.register_counter(telemetry::join(prefix, "suppressions"),
                             [this] { return counters_.suppressions; });
+  registry.register_counter(telemetry::join(prefix, "quorum_stalls"),
+                            [this] { return counters_.quorum_stalls; });
+  registry.register_counter(telemetry::join(prefix, "minority_leaders"),
+                            [this] { return counters_.minority_leaders; });
+  registry.register_counter(telemetry::join(prefix, "catchup.replays"),
+                            [this] { return counters_.catchup_replays; });
+  registry.register_counter(telemetry::join(prefix, "catchup.entries_replayed"),
+                            [this] { return counters_.catchup_entries_replayed; });
+  registry.register_counter(telemetry::join(prefix, "catchup.snapshot_fallbacks"),
+                            [this] { return counters_.catchup_snapshot_fallbacks; });
+  registry.register_counter(telemetry::join(prefix, "catchup.replay_bytes"),
+                            [this] { return counters_.catchup_replay_bytes; });
+  registry.register_counter(telemetry::join(prefix, "catchup.snapshot_bytes"),
+                            [this] { return counters_.snapshot_bytes; });
   registry.register_gauge(telemetry::join(prefix, "servers_up"), [this] {
     std::size_t up = 0;
     for (const ServerState& st : state_) up += st.up ? 1 : 0;
@@ -429,7 +594,13 @@ void HaMonitor::register_metrics(telemetry::MetricsRegistry& registry,
   registry.register_gauge(telemetry::join(prefix, "election.term"),
                           [this] { return static_cast<double>(epoch()); });
   registry.register_gauge(telemetry::join(prefix, "election.leader"), [this] {
-    return election_enabled() ? static_cast<double>(leader()) : -1.0;
+    if (!election_enabled()) return -1.0;
+    const std::size_t l = leader();
+    return l == kNoLeader ? -1.0 : static_cast<double>(l);  // -1: leaderless
+  });
+  registry.register_gauge(telemetry::join(prefix, "election.quorum"), [this] {
+    if (!election_enabled()) return -1.0;
+    return quorum_lost_ ? 0.0 : 1.0;
   });
   registry.register_gauge(telemetry::join(prefix, "dampening.suppressed"), [this] {
     std::size_t suppressed = 0;

@@ -73,6 +73,16 @@ class HaMonitor {
   /// Fired when a node wins an election: (leader index, new epoch). The
   /// fabric re-homes the pub/sub feed and advertises the epoch to edges.
   using LeaderChangedHook = std::function<void(std::size_t leader, std::uint64_t epoch)>;
+  /// Catch-up trace hooks (PR 9): `begin` fires when a replica's digest is
+  /// first seen lagging, `end` when its digests agree again — the fabric
+  /// wires these to a CausalTracer Catchup operation feeding the
+  /// assurance.catchup_convergence_us histogram.
+  using CatchupBeginHook = std::function<void(std::size_t replica)>;
+  using CatchupEndHook = std::function<void(std::size_t replica, bool via_snapshot)>;
+
+  /// Sentinel for "no leader": returned by leader() while the cluster is
+  /// genuinely leaderless (mid-election, or quorum-stalled).
+  static constexpr std::size_t kNoLeader = static_cast<std::size_t>(-1);
 
   /// `servers[i]` is routing server i's queueing front end and
   /// `databases[i]` the MapServer behind it (index 0 = the initial
@@ -87,6 +97,10 @@ class HaMonitor {
   void set_probe_source(std::size_t server, net::Ipv4Address edge_rloc);
 
   void set_leader_changed(LeaderChangedHook hook) { leader_changed_ = std::move(hook); }
+  void set_catchup_hooks(CatchupBeginHook begin, CatchupEndHook end) {
+    catchup_begin_ = std::move(begin);
+    catchup_end_ = std::move(end);
+  }
 
   /// Arms the heartbeat, anti-entropy, and election timers. All are
   /// perpetual — drive the simulation with run_until(), not run().
@@ -109,12 +123,31 @@ class HaMonitor {
 
   // --- Election introspection ---------------------------------------------
 
-  /// Cluster-consensus view: the leader believed by the node holding the
-  /// highest epoch (initially 0). Meaningful only with election enabled.
+  /// Cluster-consensus view: the leader believed by the highest-epoch
+  /// *online* node that believes any leader exists (initially 0), or
+  /// kNoLeader while the cluster is leaderless — a deposed/crashed
+  /// leader's stale belief does not fill the gap, and a quorum-stalled
+  /// minority candidate's (leaderless) higher term does not mask a
+  /// still-working majority leader. Meaningful only with election enabled.
   [[nodiscard]] std::size_t leader() const;
+  /// False while leaderless (the ha.election.leader gauge reports -1).
+  [[nodiscard]] bool has_leader() const { return leader() != kNoLeader; }
+  /// Whether elections require a strict majority of configured replicas.
+  [[nodiscard]] bool quorum_enabled() const {
+    return election_enabled() && config_.election_quorum;
+  }
+  /// True while some candidacy has stalled on a failed quorum and no
+  /// quorate leader has been elected since (the ha.election.quorum gauge).
+  [[nodiscard]] bool quorum_lost() const { return quorum_lost_; }
   /// The highest election epoch any node has opened (1 before the first
   /// election; 0 when election is disabled).
   [[nodiscard]] std::uint64_t epoch() const;
+  /// The highest epoch at which some node actually holds a leader belief —
+  /// unlike epoch(), a quorum-stalled candidacy's inflated term does not
+  /// count. This is the fence for "stale leadership": an ack or publish
+  /// stamped below it came from a deposed leader, whereas one merely below
+  /// a failed candidacy's term is still the standing leader's word.
+  [[nodiscard]] std::uint64_t leadership_epoch() const;
   /// Node i's local term — stamped on its acks, publishes, and digests.
   [[nodiscard]] std::uint64_t node_epoch(std::size_t i) const {
     return election_enabled() ? election_[i].epoch : 0;
@@ -145,6 +178,15 @@ class HaMonitor {
     std::uint64_t leaders_elected = 0;       // unchallenged claims won
     std::uint64_t epoch_rejections = 0;      // stale-epoch messages fenced
     std::uint64_t suppressions = 0;          // dampening hold-downs entered
+    // Quorum elections (PR 9).
+    std::uint64_t quorum_stalls = 0;     // candidacies that failed majority
+    std::uint64_t minority_leaders = 0;  // breach audit: wins without quorum (must stay 0)
+    // Log-style catch-up (PR 9).
+    std::uint64_t catchup_replays = 0;            // delta replays from the leader log
+    std::uint64_t catchup_entries_replayed = 0;   // log entries shipped by replays
+    std::uint64_t catchup_snapshot_fallbacks = 0; // log enabled but horizon passed
+    std::uint64_t catchup_replay_bytes = 0;       // control bytes of replay legs
+    std::uint64_t snapshot_bytes = 0;             // control bytes of table-exchange legs
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -171,10 +213,20 @@ class HaMonitor {
 
   struct ElectionState {
     std::uint64_t epoch = 1;   // highest term this node has seen
-    std::size_t leader = 0;    // who this node believes leads
+    std::size_t leader = 0;    // who this node believes leads (kNoLeader = none)
     bool candidate = false;    // claim outstanding
+    std::uint64_t votes = 0;   // quorum acks collected for the open claim
     sim::SimTime last_assert{};       // when a leader assert was last heard
     sim::Duration watchdog_timeout{}; // current jittered timeout
+  };
+
+  /// Per-replica catch-up bookkeeping held by the anti-entropy driver.
+  struct SyncState {
+    std::size_t driver = kNoLeader;  // whose log applied_seq refers to
+    std::uint64_t applied_seq = 0;   // driver-log seq the replica has applied
+    std::uint64_t generation = 0;    // replica DB generation when last noted
+    bool open = false;               // a catch-up operation is in progress
+    bool via_snapshot = false;       // last repair path taken
   };
 
   void heartbeat(std::size_t server);
@@ -187,10 +239,20 @@ class HaMonitor {
   void assert_tick();
   void start_election(std::size_t node);
   void receive_claim(std::size_t node, std::size_t from, std::uint64_t claim_epoch);
+  void receive_vote(std::size_t candidate, std::size_t from, std::uint64_t claim_epoch);
   void receive_assert(std::size_t node, std::size_t from, std::uint64_t assert_epoch,
                       std::size_t leader_hint);
   void become_leader(std::size_t node);
   void send_assert(std::size_t from, std::size_t to);
+  /// Strict majority of *configured* replicas, counting the candidate.
+  [[nodiscard]] bool quorum_reached(const ElectionState& el) const {
+    return el.votes + 1 > servers_.size() / 2;
+  }
+
+  // Catch-up repair legs and trace-op bookkeeping.
+  void note_synced(std::size_t driver, std::size_t replica);
+  void open_catchup(std::size_t replica);
+  void close_catchup(std::size_t replica);
 
   // Dampening: charge a transition / decay and release.
   void charge_flap(std::size_t server);
@@ -206,11 +268,15 @@ class HaMonitor {
   ControlSend control_send_;
   EventHook event_hook_;
   LeaderChangedHook leader_changed_;
+  CatchupBeginHook catchup_begin_;
+  CatchupEndHook catchup_end_;
   std::vector<ServerState> state_;
   std::vector<ElectionState> election_;
+  std::vector<SyncState> sync_;
   std::vector<sim::Rng> node_rng_;  // per-node timeout decorrelation
   Counters counters_;
   std::uint64_t last_divergence_ = 0;
+  bool quorum_lost_ = false;
 };
 
 }  // namespace sda::fabric

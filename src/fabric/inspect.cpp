@@ -55,6 +55,19 @@ std::string inspect(SdaFabric& fabric, const InspectOptions& options) {
   }
   out += "\n";
 
+  if (const HaMonitor* ha = fabric.ha_monitor(); ha != nullptr && ha->election_enabled()) {
+    const std::size_t leader = ha->leader();
+    out += "control plane: leader ";
+    out += leader == HaMonitor::kNoLeader ? std::string{"none"} : std::to_string(leader);
+    out += ", term " + std::to_string(ha->epoch());
+    if (ha->quorum_enabled()) {
+      out += ha->quorum_lost() ? ", quorum LOST" : ", quorum held";
+      out += " (" + std::to_string(ha->counters().quorum_stalls) + " stalls)";
+    }
+    out += ", " + std::to_string(ha->counters().leaders_elected) + " elections won, " +
+           std::to_string(ha->counters().epoch_rejections) + " stale terms fenced\n";
+  }
+
   if (options.include_policy) {
     const auto& ps = fabric.policy_server().stats();
     out += "policy server: " + std::to_string(fabric.policy_server().endpoint_count()) +

@@ -26,6 +26,7 @@ RegisterOutcome MapServer::register_mapping(const net::VnEid& eid, const Mapping
       ++stats_.moves;
     }
     *existing = record;
+    log_append(eid, &record, record.refreshed_at);
     if (outcome.moved) {
       if (on_move_) on_move_(eid, outcome.previous_rloc, record);
       publish(eid, &record);
@@ -35,8 +36,68 @@ RegisterOutcome MapServer::register_mapping(const net::VnEid& eid, const Mapping
 
   db.insert(key, record);
   outcome.created = true;
+  log_append(eid, &record, record.refreshed_at);
   publish(eid, &record);
   return outcome;
+}
+
+void MapServer::log_append(const net::VnEid& eid, const MappingRecord* record,
+                           sim::SimTime stamped) {
+  if (log_capacity_ == 0) return;
+  LogEntry& slot = log_[(log_next_seq_ - 1) % log_capacity_];
+  slot.seq = log_next_seq_++;
+  slot.eid = eid;
+  slot.tombstone = record == nullptr;
+  slot.record = record ? *record : MappingRecord{};
+  slot.stamped = stamped;
+  log_size_ = std::min(log_size_ + 1, log_capacity_);
+}
+
+void MapServer::set_log_capacity(std::size_t capacity) {
+  log_capacity_ = capacity;
+  log_.assign(capacity, LogEntry{});
+  log_size_ = 0;
+}
+
+std::uint64_t MapServer::log_horizon_seq() const { return log_next_seq_ - log_size_; }
+
+bool MapServer::log_covers(std::uint64_t from_seq) const {
+  if (log_capacity_ == 0) return from_seq >= log_next_seq_;
+  return from_seq >= log_horizon_seq();
+}
+
+std::size_t MapServer::replay_log(std::uint64_t from_seq,
+                                  const std::function<void(const LogEntry&)>& visit) const {
+  if (log_capacity_ == 0 || !log_covers(from_seq)) return 0;
+  std::size_t visited = 0;
+  for (std::uint64_t s = std::max(from_seq, log_horizon_seq()); s < log_next_seq_; ++s) {
+    visit(log_[(s - 1) % log_capacity_]);
+    ++visited;
+  }
+  return visited;
+}
+
+void MapServer::apply_log_entry(const LogEntry& entry) {
+  const MappingRecord* existing = find_host(entry.eid);
+  if (entry.tombstone) {
+    if (existing) {
+      // The leader deleted it; a newer local refresh wins (same rule as
+      // reconcile_with).
+      if (entry.stamped >= existing->refreshed_at) {
+        deregister(entry.eid, existing->primary_rloc(), entry.stamped);
+      }
+    } else {
+      // Nothing to delete, but remember the deletion so a later reconcile
+      // doesn't resurrect the EID from a third replica.
+      tombstones_[entry.eid] = entry.stamped;
+    }
+    return;
+  }
+  if (existing && existing->refreshed_at > entry.record.refreshed_at) return;
+  if (const auto death = tombstone(entry.eid); death && *death >= entry.record.refreshed_at) {
+    return;  // locally deleted after the leader's copy was refreshed
+  }
+  register_mapping(entry.eid, entry.record);
 }
 
 void MapServer::register_prefix(net::VnId vn, const net::Ipv4Prefix& prefix,
@@ -59,6 +120,7 @@ bool MapServer::deregister(const net::VnEid& eid, net::Ipv4Address owner, sim::S
   db.erase(key);
   tombstones_[eid] = now;
   ++stats_.deregisters;
+  log_append(eid, nullptr, now);
   publish(eid, nullptr);
   return true;
 }
@@ -75,6 +137,7 @@ std::size_t MapServer::expire_registrations(sim::SimTime now) {
     db.erase(trie::BitKey::from_eid(eid.eid));
     tombstones_[eid] = now;
     ++stats_.expirations;
+    log_append(eid, nullptr, now);
     publish(eid, nullptr);
   }
   return doomed.size();
@@ -84,6 +147,9 @@ void MapServer::clear() {
   databases_.clear();
   l2_bindings_.clear();
   tombstones_.clear();  // a crashed server forgets its deletions too
+  log_.assign(log_capacity_, LogEntry{});
+  log_size_ = 0;  // the retained window is gone; log_next_seq_ stays monotonic
+  ++generation_;  // a peer's replay bookkeeping for us is now meaningless
 }
 
 std::optional<MappingRecord> MapServer::resolve(const net::VnEid& eid) const {

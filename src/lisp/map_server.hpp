@@ -146,6 +146,54 @@ class MapServer {
   [[nodiscard]] std::optional<sim::SimTime> tombstone(const net::VnEid& eid) const;
   [[nodiscard]] std::size_t tombstone_count() const { return tombstones_.size(); }
 
+  // --- Log-style catch-up (PR 9) -----------------------------------------
+
+  /// One sequenced mutation in the catch-up log: a register / refresh /
+  /// move (tombstone == false, `record` valid) or a deletion (tombstone ==
+  /// true). `stamped` is the refresh or deletion time — replays resolve
+  /// newest-wins against local state exactly like reconcile_with.
+  struct LogEntry {
+    std::uint64_t seq = 0;
+    net::VnEid eid;
+    bool tombstone = false;
+    MappingRecord record;
+    sim::SimTime stamped{};
+  };
+
+  /// Arms the bounded mutation log: a ring of `capacity` entries appended
+  /// on every host-mapping mutation (prefix registrations are operator
+  /// state and not logged, matching digest()). Old entries fall off the
+  /// horizon as the ring wraps. 0 disables the log (snapshot-only).
+  void set_log_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t log_capacity() const { return log_capacity_; }
+
+  /// The sequence the next mutation will take (starts at 1; monotonic
+  /// across clear()). The newest retained entry is log_next_seq() - 1.
+  [[nodiscard]] std::uint64_t log_next_seq() const { return log_next_seq_; }
+
+  /// The oldest sequence the ring still holds (== log_next_seq() when
+  /// empty or disabled).
+  [[nodiscard]] std::uint64_t log_horizon_seq() const;
+
+  /// Whether every entry in [from_seq, log_next_seq()) is still retained —
+  /// i.e. a replica that applied everything below `from_seq` can catch up
+  /// by replay instead of a full snapshot reconcile.
+  [[nodiscard]] bool log_covers(std::uint64_t from_seq) const;
+
+  /// Visits the retained entries with seq in [from_seq, log_next_seq())
+  /// in sequence order; returns the number visited.
+  std::size_t replay_log(std::uint64_t from_seq,
+                         const std::function<void(const LogEntry&)>& visit) const;
+
+  /// Applies one replayed leader-log entry with the same newest-wins /
+  /// tombstone rules as reconcile_with, so replaying a delta converges to
+  /// the same state a snapshot reconcile would.
+  void apply_log_entry(const LogEntry& entry);
+
+  /// Bumped by clear(): lets a peer tell a cold restart (replay seq state
+  /// is meaningless, take the snapshot path) from plain lag.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
   void set_move_callback(MoveCallback cb) { on_move_ = std::move(cb); }
   void set_publish_callback(PublishCallback cb) { on_publish_ = std::move(cb); }
 
@@ -209,12 +257,20 @@ class MapServer {
     if (on_publish_) on_publish_(eid, record);
   }
 
+  void log_append(const net::VnEid& eid, const MappingRecord* record, sim::SimTime stamped);
+
   // std::map keeps VN iteration order deterministic for walk().
   std::map<net::VnId, VnDatabase> databases_;
   std::unordered_map<net::VnEid, net::MacAddress> l2_bindings_;
   // Deletion markers (EID -> when removed) so reconcile_with can tell
   // "peer deleted this" from "peer never heard of this". Crash-cleared.
   std::unordered_map<net::VnEid, sim::SimTime> tombstones_;
+  // Catch-up log ring: slot (seq - 1) % capacity holds the seq'th mutation.
+  std::vector<LogEntry> log_;
+  std::size_t log_capacity_ = 0;
+  std::size_t log_size_ = 0;  // entries retained (<= capacity)
+  std::uint64_t log_next_seq_ = 1;
+  std::uint64_t generation_ = 0;
   std::uint32_t negative_ttl_seconds_ = 60;
   MoveCallback on_move_;
   PublishCallback on_publish_;

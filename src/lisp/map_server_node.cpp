@@ -38,9 +38,28 @@ void MapServerNode::crash(bool preserve_database) {
   if (!preserve_database) server_.clear();
 }
 
+void MapServerNode::begin_admission_ramp(sim::Duration window) {
+  if (config_.admission_limit == 0 || window.count() <= 0) return;
+  ramp_start_ = simulator_.now();
+  ramp_until_ = ramp_start_ + window;
+}
+
+bool MapServerNode::ramp_active() const { return simulator_.now() < ramp_until_; }
+
+std::size_t MapServerNode::effective_admission_limit() const {
+  const std::size_t limit = config_.admission_limit;
+  if (limit == 0 || !ramp_active()) return limit;
+  const std::size_t floor = std::max<std::size_t>(1, limit / 4);
+  const double frac = static_cast<double>((simulator_.now() - ramp_start_).count()) /
+                      static_cast<double>((ramp_until_ - ramp_start_).count());
+  return floor + static_cast<std::size_t>(static_cast<double>(limit - floor) * frac);
+}
+
 bool MapServerNode::admission_full(const ShedCallback& on_shed) {
-  if (config_.admission_limit == 0 || in_flight_ < config_.admission_limit) return false;
+  const std::size_t limit = effective_admission_limit();
+  if (limit == 0 || in_flight_ < limit) return false;
   ++shed_submissions_;
+  if (ramp_active() && in_flight_ < config_.admission_limit) ++ramp_shed_submissions_;
   if (on_shed) on_shed(config_.shed_retry_after);
   return true;
 }
@@ -110,6 +129,10 @@ void MapServerNode::register_metrics(telemetry::MetricsRegistry& registry,
                             [this] { return dropped_submissions_; });
   registry.register_counter(telemetry::join(prefix, "shed_submissions"),
                             [this] { return shed_submissions_; });
+  registry.register_counter(telemetry::join(prefix, "ramp_sheds"),
+                            [this] { return ramp_shed_submissions_; });
+  registry.register_gauge(telemetry::join(prefix, "admission_ramp"),
+                          [this] { return ramp_active() ? 1.0 : 0.0; });
   registry.register_gauge(telemetry::join(prefix, "in_flight"),
                           [this] { return static_cast<double>(in_flight_); });
   registry.register_gauge(telemetry::join(prefix, "peak_backlog"),

@@ -80,6 +80,24 @@ class MapServerNode {
   /// Submissions shed by bounded admission (overload, not outage).
   [[nodiscard]] std::uint64_t shed_submissions() const { return shed_submissions_; }
 
+  // --- Election-aware shedding (PR 9) -------------------------------------
+
+  /// Opens a post-election ramp window: for the next `window` the
+  /// effective admission limit climbs linearly from a quarter of the
+  /// configured limit back to full, shedding the re-registration stampede
+  /// a just-elected leader absorbs with retry-after instead of queueing
+  /// it. No-op when admission is unbounded or `window` is zero.
+  void begin_admission_ramp(sim::Duration window);
+
+  /// The admission limit currently in force: the configured limit, scaled
+  /// down while a ramp window is active (0 = unbounded).
+  [[nodiscard]] std::size_t effective_admission_limit() const;
+  [[nodiscard]] bool ramp_active() const;
+
+  /// Submissions shed specifically because a ramp window lowered the limit
+  /// (subset of shed_submissions()).
+  [[nodiscard]] std::uint64_t ramp_shed_submissions() const { return ramp_shed_submissions_; }
+
   /// Jobs currently waiting or in service.
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
 
@@ -108,8 +126,11 @@ class MapServerNode {
   sim::Rng rng_;
   std::vector<sim::SimTime> worker_free_at_;
   bool online_ = true;
+  sim::SimTime ramp_start_{};
+  sim::SimTime ramp_until_{};
   std::uint64_t dropped_submissions_ = 0;
   std::uint64_t shed_submissions_ = 0;
+  std::uint64_t ramp_shed_submissions_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t peak_backlog_ = 0;
   stats::Summary request_sojourns_;

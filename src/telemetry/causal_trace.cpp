@@ -55,6 +55,7 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::Move: return "move";
     case OpKind::SmrFanout: return "smr-fanout";
     case OpKind::FailoverRehome: return "failover-rehome";
+    case OpKind::Catchup: return "catchup";
   }
   return "unknown";
 }

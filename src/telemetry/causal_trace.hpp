@@ -37,6 +37,8 @@ enum class OpKind : std::uint8_t {
   Move,           // roam start -> old edge applies the mobility Map-Notify
   SmrFanout,      // SMR sent -> stale sender's cache refreshed by Map-Reply
   FailoverRehome, // leader change -> every border re-homed via snapshot
+  Catchup,        // replica lag detected -> digests agree again (replay or
+                  // snapshot fallback)
 };
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);

@@ -33,6 +33,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::LeaderElected: return "leader-elected";
     case EventKind::EpochRejected: return "epoch-rejected";
     case EventKind::ServerSuppressed: return "server-suppressed";
+    case EventKind::QuorumLost: return "quorum-lost";
+    case EventKind::QuorumRegained: return "quorum-regained";
     case EventKind::Custom: return "custom";
   }
   return "unknown";

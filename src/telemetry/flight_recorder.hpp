@@ -46,6 +46,8 @@ enum class EventKind : std::uint8_t {
   LeaderElected,     // a candidate won: new leader + epoch announced
   EpochRejected,     // a stale-epoch message was fenced off (split-brain)
   ServerSuppressed,  // flap dampening crossed the suppress/reuse threshold
+  QuorumLost,        // a candidacy failed its majority ack count (stalled)
+  QuorumRegained,    // a leader was elected with quorum after a stall
   Custom,
 };
 

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
 namespace sda::dataplane {
 namespace {
 
@@ -504,6 +510,96 @@ TEST_F(EdgeFixture, NegativeCacheEntryStillDefaultRoutes) {
   ASSERT_EQ(sent.size(), 1u);
   EXPECT_EQ(sent[0].outer_destination, *Ipv4Address::parse("10.0.0.1"));
   EXPECT_TRUE(requests.empty());  // negative entry suppresses re-resolution
+}
+
+TEST(RetryJitter, ShedRetriesSpreadAcrossEdges) {
+  // Eight edges shed at the same instant with the same retry-after hint
+  // must not retry in lockstep — the whole point of shedding was to break
+  // up the stampede, and synchronized retries would rebuild it. The
+  // decorrelated jitter spreads retransmits across [hint, 3*hint), never
+  // earlier than the server asked.
+  sim::Simulator sim;
+  constexpr auto kHint = std::chrono::milliseconds{100};
+  constexpr int kEdges = 8;
+  std::vector<std::unique_ptr<EdgeRouter>> routers;
+  std::vector<int> sends(kEdges, 0);
+  std::vector<sim::SimTime> retry_at(kEdges);
+  for (int i = 0; i < kEdges; ++i) {
+    EdgeRouterConfig cfg;
+    cfg.name = "edge-" + std::to_string(i);
+    cfg.rloc = *Ipv4Address::parse(("10.0.0." + std::to_string(10 + i)).c_str());
+    cfg.border_rloc = *Ipv4Address::parse("10.0.0.1");
+    cfg.map_register_retries = 3;
+    auto r = std::make_unique<EdgeRouter>(sim, cfg);
+    r->set_send_data([](const net::FabricFrame&) {});
+    r->set_send_map_register([&sim, &sends, &retry_at, i](const lisp::MapRegister&) {
+      if (++sends[static_cast<std::size_t>(i)] == 2) {
+        retry_at[static_cast<std::size_t>(i)] = sim.now();  // the jittered retry
+      }
+    });
+    r->set_download_rules([](VnId, GroupId) { return std::vector<policy::Rule>{}; });
+    routers.push_back(std::move(r));
+  }
+  for (int i = 0; i < kEdges; ++i) {
+    AttachedEndpoint e;
+    e.mac = MacAddress::from_u64(static_cast<std::uint64_t>(i + 1));
+    e.ip = *Ipv4Address::parse(("10.1.0." + std::to_string(i + 1)).c_str());
+    e.vn = kVn;
+    e.group = GroupId{10};
+    e.port = 1;
+    e.credential = "ep-" + std::to_string(i);
+    routers[static_cast<std::size_t>(i)]->attach_endpoint(e);
+    // The fanned-out shed: every edge hears the same retry-after at t=0.
+    routers[static_cast<std::size_t>(i)]->receive_map_register_busy(
+        VnEid{kVn, net::Eid{e.ip}}, kHint);
+  }
+  sim.run_until(sim.now() + std::chrono::seconds{1});
+
+  std::set<sim::SimTime> distinct;
+  for (int i = 0; i < kEdges; ++i) {
+    ASSERT_GE(sends[static_cast<std::size_t>(i)], 2) << "edge " << i << " never retried";
+    const auto delay = retry_at[static_cast<std::size_t>(i)] - sim::SimTime{};
+    EXPECT_GE(delay, sim::Duration{kHint}) << "edge " << i << " retried before the hint";
+    EXPECT_LT(delay, sim::Duration{kHint} * 3) << "edge " << i << " over-delayed";
+    distinct.insert(retry_at[static_cast<std::size_t>(i)]);
+  }
+  // Spread, not lockstep: the retry instants must actually differ.
+  EXPECT_GE(distinct.size(), 4u) << "shed retries re-synchronized";
+}
+
+TEST(RetryJitter, DisabledJitterHonorsExactHint) {
+  // With retransmit_jitter off the retry fires exactly at the server's
+  // hint — the deterministic baseline older tests and reproductions rely
+  // on.
+  sim::Simulator sim;
+  EdgeRouterConfig cfg;
+  cfg.name = "edge-0";
+  cfg.rloc = *Ipv4Address::parse("10.0.0.10");
+  cfg.border_rloc = *Ipv4Address::parse("10.0.0.1");
+  cfg.map_register_retries = 3;
+  cfg.retransmit_jitter = false;
+  EdgeRouter router{sim, cfg};
+  int sends = 0;
+  sim::SimTime retry_at;
+  router.set_send_data([](const net::FabricFrame&) {});
+  router.set_send_map_register([&](const lisp::MapRegister&) {
+    if (++sends == 2) retry_at = sim.now();
+  });
+  router.set_download_rules([](VnId, GroupId) { return std::vector<policy::Rule>{}; });
+
+  AttachedEndpoint e;
+  e.mac = MacAddress::from_u64(1);
+  e.ip = *Ipv4Address::parse("10.1.0.5");
+  e.vn = kVn;
+  e.group = GroupId{10};
+  e.port = 1;
+  e.credential = "ep-1";
+  router.attach_endpoint(e);
+  router.receive_map_register_busy(VnEid{kVn, net::Eid{e.ip}},
+                                   std::chrono::milliseconds{100});
+  sim.run_until(sim.now() + std::chrono::seconds{1});
+  ASSERT_EQ(sends, 2);
+  EXPECT_EQ(retry_at - sim::SimTime{}, sim::Duration{std::chrono::milliseconds{100}});
 }
 
 }  // namespace

@@ -148,5 +148,66 @@ TEST_F(AdmissionFixture, OfflineDropsStillWinOverShedding) {
   EXPECT_EQ(node.dropped_submissions(), 10u);
 }
 
+// --- Post-election admission ramp (PR 9) ------------------------------------
+
+TEST_F(AdmissionFixture, RampClimbsFromQuarterFloorToFullLimit) {
+  // A fresh leader opens at a quarter of its admission limit and climbs
+  // linearly back to full over the window, so the re-registration rush
+  // right after an election is shed instead of queued.
+  EXPECT_EQ(node.effective_admission_limit(), 4u);
+  EXPECT_FALSE(node.ramp_active());
+
+  node.begin_admission_ramp(milliseconds{1000});
+  EXPECT_TRUE(node.ramp_active());
+  EXPECT_EQ(node.effective_admission_limit(), 1u);  // floor: limit / 4
+
+  std::size_t mid = 0;
+  std::size_t end = 0;
+  bool active_mid = false;
+  bool active_end = true;
+  sim.schedule_after(milliseconds{500}, [&] {
+    mid = node.effective_admission_limit();
+    active_mid = node.ramp_active();
+  });
+  sim.schedule_after(milliseconds{1100}, [&] {
+    end = node.effective_admission_limit();
+    active_end = node.ramp_active();
+  });
+  sim.run();
+
+  EXPECT_TRUE(active_mid);
+  EXPECT_GT(mid, 1u);
+  EXPECT_LT(mid, 4u);
+  EXPECT_FALSE(active_end);
+  EXPECT_EQ(end, 4u);  // window closed: full limit restored
+}
+
+TEST_F(AdmissionFixture, RampShedsAreCountedSeparately) {
+  // Sheds caused by the lowered ramp limit (in-flight below the configured
+  // limit) are attributed to the ramp, so telemetry can tell election
+  // stampede deflection from plain overload.
+  node.begin_admission_ramp(milliseconds{1000});
+  ASSERT_EQ(node.effective_admission_limit(), 1u);
+
+  int answered = 0;
+  int shed = 0;
+  for (int i = 0; i < 3; ++i) {
+    node.submit_request(
+        request("10.9.9.9"), [&](const MapReply&, sim::Duration) { ++answered; },
+        [&](sim::Duration) { ++shed; });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 1);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(node.shed_submissions(), 2u);
+  EXPECT_EQ(node.ramp_shed_submissions(), 2u);  // below the configured limit
+}
+
+TEST_F(AdmissionFixture, ZeroWindowOrUnboundedNodeNeverRamps) {
+  node.begin_admission_ramp(milliseconds{0});
+  EXPECT_FALSE(node.ramp_active());
+  EXPECT_EQ(node.effective_admission_limit(), 4u);
+}
+
 }  // namespace
 }  // namespace sda::lisp

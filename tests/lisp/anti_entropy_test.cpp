@@ -4,6 +4,9 @@
 // outage window converges back to the primary without replaying the feed.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "lisp/map_server.hpp"
 
 namespace sda::lisp {
@@ -141,6 +144,113 @@ TEST(Reconcile, TombstonesPrunedPastHorizon) {
 
   primary.reconcile_with(replica, at(100), /*tombstone_horizon=*/seconds{30});
   EXPECT_EQ(primary.tombstone_count(), 0u);
+}
+
+TEST(CatchupLog, AppendsMutationsInSequence) {
+  MapServer db;
+  db.set_log_capacity(8);
+  EXPECT_EQ(db.log_next_seq(), 1u);
+  EXPECT_EQ(db.log_horizon_seq(), 1u);
+
+  db.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  db.register_mapping(eid("10.1.0.2"), record("10.0.0.3", at(2)));
+  db.deregister(eid("10.1.0.1"), *Ipv4Address::parse("10.0.0.2"), at(3));
+  EXPECT_EQ(db.log_next_seq(), 4u);
+
+  std::vector<MapServer::LogEntry> seen;
+  EXPECT_EQ(db.replay_log(1, [&](const MapServer::LogEntry& e) { seen.push_back(e); }), 3u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].seq, 1u);
+  EXPECT_EQ(seen[0].eid, eid("10.1.0.1"));
+  EXPECT_FALSE(seen[0].tombstone);
+  EXPECT_EQ(seen[2].seq, 3u);
+  EXPECT_TRUE(seen[2].tombstone);  // the deregister
+}
+
+TEST(CatchupLog, WraparoundMovesHorizonAndStaysOrdered) {
+  // A ring of 4 holding 10 appends: seqs 1..6 fell off the horizon, the
+  // ring holds exactly [7, 10], and replay still visits in seq order
+  // across the physical wrap point.
+  MapServer db;
+  db.set_log_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    db.register_mapping(eid(("10.1.0." + std::to_string(i + 1)).c_str()),
+                        record("10.0.0.2", at(i)));
+  }
+  EXPECT_EQ(db.log_next_seq(), 11u);
+  EXPECT_EQ(db.log_horizon_seq(), 7u);
+  EXPECT_FALSE(db.log_covers(6));
+  EXPECT_TRUE(db.log_covers(7));
+  EXPECT_TRUE(db.log_covers(11));  // nothing to replay is still "covered"
+
+  std::vector<std::uint64_t> seqs;
+  EXPECT_EQ(db.replay_log(7, [&](const MapServer::LogEntry& e) { seqs.push_back(e.seq); }),
+            4u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{7, 8, 9, 10}));
+  // Replaying from below the horizon yields nothing: entries 3..6 are
+  // gone, so a partial replay would silently skip mutations — the caller
+  // must check log_covers and take the snapshot path instead.
+  EXPECT_EQ(db.replay_log(3, [](const MapServer::LogEntry&) {}), 0u);
+}
+
+TEST(CatchupLog, ReplayConvergesLaggingReplica) {
+  // Delta replay must land the replica on the exact state a snapshot
+  // reconcile would: registers, a refresh conflict, and a deletion.
+  MapServer leader, replica;
+  leader.set_log_capacity(64);
+  leader.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  leader.register_mapping(eid("10.1.0.2"), record("10.0.0.3", at(2)));
+  leader.register_mapping(eid("10.1.0.1"), record("10.0.0.7", at(5)));  // move
+  leader.deregister(eid("10.1.0.2"), *Ipv4Address::parse("10.0.0.3"), at(6));
+
+  leader.replay_log(1, [&](const MapServer::LogEntry& e) { replica.apply_log_entry(e); });
+  EXPECT_EQ(replica.digest(), leader.digest());
+  EXPECT_EQ(replica.mapping_count(), 1u);
+
+  // Replay is idempotent: applying the same delta again changes nothing.
+  leader.replay_log(1, [&](const MapServer::LogEntry& e) { replica.apply_log_entry(e); });
+  EXPECT_EQ(replica.digest(), leader.digest());
+}
+
+TEST(CatchupLog, ClearBumpsGenerationAndKeepsSeqMonotonic) {
+  // A cold restart must be distinguishable from plain lag: the generation
+  // changes and the next sequence never goes backwards, so a peer's stale
+  // replay cursor can be rejected in favor of the snapshot path.
+  MapServer db;
+  db.set_log_capacity(4);
+  db.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  const std::uint64_t gen = db.generation();
+  const std::uint64_t seq = db.log_next_seq();
+  db.clear();
+  EXPECT_EQ(db.generation(), gen + 1);
+  EXPECT_GE(db.log_next_seq(), seq);
+}
+
+TEST(Reconcile, RejoinPastHorizonConvergesViaSnapshot) {
+  // A replica that rejoins after the leader's log horizon has passed (and
+  // after tombstones were pruned) cannot replay — but the snapshot
+  // reconcile still converges it, including the deletion it slept through.
+  MapServer leader, replica;
+  leader.set_log_capacity(2);
+  leader.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  replica.register_mapping(eid("10.1.0.1"), record("10.0.0.2", at(1)));
+  const std::uint64_t replica_cursor = leader.log_next_seq() - 1;
+
+  // The replica sleeps through a deletion and a burst of registrations
+  // that wraps the tiny log past its cursor.
+  leader.deregister(eid("10.1.0.1"), *Ipv4Address::parse("10.0.0.2"), at(2));
+  for (int i = 0; i < 4; ++i) {
+    leader.register_mapping(eid(("10.1.1." + std::to_string(i + 1)).c_str()),
+                            record("10.0.0.2", at(3 + i)));
+  }
+  EXPECT_FALSE(leader.log_covers(replica_cursor + 1));
+
+  // Snapshot path: a full reconcile (with the deletion's tombstone still
+  // within the horizon) converges the rejoiner.
+  leader.reconcile_with(replica, at(20), /*tombstone_horizon=*/seconds{3600});
+  EXPECT_EQ(replica.digest(), leader.digest());
+  EXPECT_EQ(replica.mapping_count(), 4u);
+  EXPECT_EQ(replica.find_host(eid("10.1.0.1")), nullptr);  // the slept-through deletion
 }
 
 TEST(Reconcile, RepairsFlowThroughPublishFeed) {
