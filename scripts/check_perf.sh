@@ -14,6 +14,10 @@
 #     (tracing off must cost one predictable branch, nothing more);
 #   * FAIL if the deterministic fabric first-packet p50 grows >25%
 #     (sim-time, so this is pipeline work, not machine speed);
+#   * FAIL if the sharded core's flight-log digest differs across worker
+#     counts, if any cross-shard event lands late, or — on machines with
+#     >= 4 hardware threads — if 4 workers deliver < 1.5x the events/s of
+#     one (the speedup floor is skipped, with a note, on smaller boxes);
 #   * SKIP (exit 0, with a warning) when the baseline is absent or the
 #     binary is an unoptimized/sanitized build — sanitizer trees stay green.
 #
@@ -95,6 +99,38 @@ if tracing_allocs != 0:
     failures.append(
         f"disabled causal tracer allocated ({tracing_allocs} allocations); "
         "the tracing-off hot path must be allocation-free")
+
+# Sharded-core gate. Determinism and conservatism are hard requirements on
+# any machine: a seeded run must hash identically at 1 vs 4 workers, and no
+# cross-shard event may ever arrive below its target shard's clock. The
+# 1.5x speedup floor only binds where the hardware can actually run 4
+# workers in parallel; on smaller boxes it is reported but not enforced.
+sharded = current.get("sharded_scaling")
+if sharded is None:
+    failures.append("sharded_scaling: missing from current run")
+else:
+    eps = sharded.get("events_per_sec", {})
+    hw = sharded.get("hardware_threads", 0)
+    speedup = sharded.get("speedup4", 0.0)
+    print(f"check_perf: sharded_scaling: w1 {eps.get('workers1', 0):,.0f} ev/s, "
+          f"w2 {eps.get('workers2', 0):,.0f} ev/s, w4 {eps.get('workers4', 0):,.0f} ev/s "
+          f"(speedup4 {speedup:.2f}x, {hw} hardware threads)")
+    if not sharded.get("deterministic", False):
+        failures.append(
+            "sharded_scaling: flight-log digest differs across worker counts; "
+            "the sharded core must be byte-deterministic")
+    if sharded.get("late_posts", 1) != 0:
+        failures.append(
+            f"sharded_scaling: {sharded.get('late_posts')} cross-shard events "
+            "arrived below their target shard's clock (lookahead violated)")
+    if hw >= 4:
+        if speedup < 1.5:
+            failures.append(
+                f"sharded_scaling: speedup4 {speedup:.2f}x below the 1.5x floor "
+                f"on a {hw}-thread machine")
+    else:
+        print(f"check_perf: sharded_scaling: SKIP speedup floor "
+              f"({hw} hardware threads < 4; scaling not measurable here)")
 
 base_fp = baseline.get("fabric_first_packet_us_p50", 0.0)
 cur_fp = current.get("fabric_first_packet_us_p50", 0.0)

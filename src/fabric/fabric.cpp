@@ -143,6 +143,21 @@ void SdaFabric::finalize() {
     request_server_of_[edges_.at(edge_order_[e])->rloc()] = e % server_nodes_.size();
   }
 
+  // Shard plan: home edge groups onto event lanes, control legs (the
+  // borders carrying the routing/policy servers) onto lane 0, and derive
+  // the conservative lookahead from the underlay. The plan is exported via
+  // shard_plan() / sharding.* gauges; LaneFabric executes such plans on a
+  // multi-worker ShardedSimulator.
+  {
+    const std::size_t lanes = config_.sharding.lanes != 0 ? config_.sharding.lanes
+                                                          : config_.sharding.workers;
+    std::vector<underlay::NodeId> edge_nodes;
+    std::vector<underlay::NodeId> control_nodes;
+    for (const auto& name : edge_order_) edge_nodes.push_back(nodes_by_name_.at(name));
+    for (const auto& name : border_order_) control_nodes.push_back(nodes_by_name_.at(name));
+    shard_plan_ = compute_edge_group_plan(topology_, lanes, edge_nodes, control_nodes);
+  }
+
   // Control-plane HA (PR 4): heartbeat failover and/or replica
   // anti-entropy; plus leader election with epoch fencing and flap
   // dampening (PR 6). Each server is probed from the lead edge of the
@@ -429,6 +444,16 @@ void SdaFabric::register_telemetry() {
     server_nodes_[i]->register_metrics(reg, "routing_server[" + std::to_string(i) + "]");
   }
   if (ha_) ha_->register_metrics(reg, "ha");
+  reg.register_gauge("sharding.lanes",
+                     [this] { return static_cast<double>(shard_plan_.shards); });
+  reg.register_gauge("sharding.workers", [this] {
+    return static_cast<double>(config_.sharding.workers);
+  });
+  reg.register_gauge("sharding.cross_links",
+                     [this] { return static_cast<double>(shard_plan_.cross_links); });
+  reg.register_gauge("sharding.lookahead_us", [this] {
+    return static_cast<double>(shard_plan_.lookahead.count()) / 1000.0;
+  });
   policy_server_.register_metrics(reg, "policy_server");
   services_.register_metrics(reg, "services");
   underlay_->register_metrics(reg, "underlay");

@@ -28,6 +28,7 @@
 #include "dataplane/edge_router.hpp"
 #include "fabric/config.hpp"
 #include "fabric/ha.hpp"
+#include "fabric/sharding.hpp"
 #include "l2/dhcp.hpp"
 #include "l2/l2_gateway.hpp"
 #include "l2/service_discovery.hpp"
@@ -233,6 +234,15 @@ class SdaFabric {
 
   [[nodiscard]] const FabricConfig& config() const { return config_; }
 
+  /// The shard plan computed at finalize() from `config().sharding`: edge
+  /// groups distributed over event lanes, control nodes (borders hosting
+  /// the routing/policy servers) homed to lane 0, and the conservative
+  /// lookahead bound (minimum cross-lane link latency). A default
+  /// single-lane config yields a trivial one-shard plan. The plan is the
+  /// contract between this fabric's layout and the sharded simulator core
+  /// (sim::ShardedSimulator / fabric::LaneFabric execute such plans).
+  [[nodiscard]] const ShardPlan& shard_plan() const { return shard_plan_; }
+
   // --- Telemetry (PR 3 observability) --------------------------------------
 
   /// The fabric-wide telemetry bundle. The metrics registry is populated at
@@ -330,6 +340,8 @@ class SdaFabric {
   std::unordered_map<net::Ipv4Address, std::size_t> request_server_of_;
   /// Health tracking / failover / anti-entropy (nullptr when disabled).
   std::unique_ptr<HaMonitor> ha_;
+  /// Edge-group → event-lane homing, computed at finalize().
+  ShardPlan shard_plan_;
   net::Ipv4Address map_server_rloc_;  // where the primary routing server lives
   policy::PolicyServer policy_server_;
   net::Ipv4Address policy_server_rloc_;

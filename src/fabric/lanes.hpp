@@ -1,0 +1,115 @@
+// LaneFabric: a synthetic per-edge-group sharded fabric for scaling and
+// determinism work.
+//
+// Builds a hub-and-spoke topology per lane (one hub router, N edge routers
+// at local link latency) with the hubs fully meshed at a higher cross-lane
+// latency, then homes each lane onto one shard of a ShardedSimulator. Every
+// lane owns the full per-shard state the real fabric would: its own
+// UnderlayNetwork view (lazy per-lane SPF tables over the shared topology),
+// its own MapCache (pre-populated EID->RLOC for every edge, so the hot
+// lookup path runs for real), its own Rng, metrics registry, and flight
+// log. Packets bounce edge-to-edge for a configured hop budget; a
+// configurable fraction of hops crosses lanes, exercising the SPSC rings
+// and the lookahead barrier. Because the only cross-lane links are the
+// hub-hub mesh, the plan's lookahead equals the cross-link latency.
+//
+// This is the workload behind the bench_micro multi-shard scaling probe,
+// the workers=1-vs-4 determinism test, and the TSan chaos drill.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/sharding.hpp"
+#include "lisp/map_cache.hpp"
+#include "sim/random.hpp"
+#include "sim/sharded.hpp"
+#include "telemetry/metrics.hpp"
+#include "underlay/network.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::fabric {
+
+struct LaneFabricConfig {
+  std::size_t lanes = 4;
+  std::size_t workers = 1;
+  std::size_t edges_per_lane = 16;
+  /// Remaining forward hops per packet when it enters the fabric; each
+  /// arrival burns one.
+  std::uint32_t hops_per_packet = 32;
+  std::size_t packets_per_edge = 1;
+  /// Probability (per hop) that the next destination lives on another lane.
+  double cross_lane_fraction = 0.25;
+  std::uint64_t seed = 42;
+  sim::Duration local_link_latency = std::chrono::microseconds{20};
+  sim::Duration cross_link_latency = std::chrono::microseconds{200};
+  /// Per-lane random in-transit drops, per million deliveries (chaos mode).
+  std::uint32_t fault_drop_per_million = 0;
+  /// Record a per-arrival flight log (the byte-identical determinism
+  /// oracle). Off for throughput runs.
+  bool record_log = false;
+  std::size_t ring_capacity = 8192;
+};
+
+class LaneFabric {
+ public:
+  explicit LaneFabric(LaneFabricConfig config);
+
+  /// Injects packets_per_edge packets at every edge (deterministic stagger)
+  /// and runs to completion. Returns events executed by this call.
+  std::uint64_t run();
+
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] sim::ShardedSimulator& core() { return *core_; }
+  [[nodiscard]] std::size_t edge_count() const { return edge_nodes_.size(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return core_->executed_events(); }
+  [[nodiscard]] std::uint64_t hops_delivered() const;
+  [[nodiscard]] std::uint64_t cross_lane_posts() const { return core_->cross_posts(); }
+  [[nodiscard]] std::uint64_t late_posts() const { return core_->late_posts(); }
+  [[nodiscard]] std::uint64_t fault_drops() const;
+
+  /// Order-insensitive-across-lanes, order-sensitive-within-lane digest of
+  /// every arrival: equal digests mean equal per-lane timelines. Cheap
+  /// enough to leave on for throughput runs.
+  [[nodiscard]] std::uint64_t log_digest() const;
+
+  /// The full merged flight log (requires record_log): one line per
+  /// arrival, globally sorted by (time, lane, per-lane position). Byte
+  /// identical across worker counts for a fixed seed and lane count.
+  [[nodiscard]] std::string flight_log() const;
+
+  /// Per-lane registries folded into one fabric-wide snapshot via
+  /// telemetry::Snapshot::merge.
+  [[nodiscard]] telemetry::Snapshot merged_metrics() const;
+
+ private:
+  struct Lane {
+    std::unique_ptr<underlay::UnderlayNetwork> underlay;
+    telemetry::MetricsRegistry metrics;
+    sim::Rng rng{0};
+    lisp::MapCache cache{0};
+    std::vector<std::uint64_t> log;  // packed arrival records (record_log)
+    std::uint64_t delivered = 0;
+    std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  };
+
+  void arrive(std::uint32_t edge, std::uint32_t from_edge, std::uint32_t hop);
+  [[nodiscard]] std::uint32_t lane_of_edge(std::uint32_t edge) const {
+    return static_cast<std::uint32_t>(edge / config_.edges_per_lane);
+  }
+
+  LaneFabricConfig config_;
+  std::uint64_t cross_ppm_ = 0;  // cross_lane_fraction, in parts-per-million
+  underlay::Topology topology_;
+  ShardPlan plan_;
+  std::unique_ptr<sim::ShardedSimulator> core_;
+  std::vector<underlay::NodeId> hub_nodes_;    // per lane
+  std::vector<underlay::NodeId> edge_nodes_;   // global edge index -> node
+  std::vector<net::Ipv4Address> edge_rlocs_;   // global edge index -> RLOC
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace sda::fabric

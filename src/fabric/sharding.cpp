@@ -1,0 +1,46 @@
+#include "fabric/sharding.hpp"
+
+#include <algorithm>
+
+namespace sda::fabric {
+
+ShardPlan compute_shard_plan(const underlay::Topology& topology,
+                             const std::vector<std::vector<underlay::NodeId>>& groups) {
+  ShardPlan plan;
+  plan.shards = std::max<std::size_t>(1, groups.size());
+  plan.node_shard.assign(topology.node_count(), 0);
+  plan.members.resize(plan.shards);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    for (const underlay::NodeId n : groups[s]) {
+      plan.node_shard[n] = static_cast<std::uint32_t>(s);
+    }
+  }
+  for (underlay::NodeId n = 0; n < topology.node_count(); ++n) {
+    plan.members[plan.node_shard[n]].push_back(n);
+  }
+  bool first = true;
+  for (underlay::LinkId l = 0; l < topology.link_count(); ++l) {
+    const underlay::Link& link = topology.link(l);
+    if (plan.node_shard[link.a] == plan.node_shard[link.b]) continue;
+    ++plan.cross_links;
+    if (first || link.latency < plan.lookahead) plan.lookahead = link.latency;
+    first = false;
+  }
+  return plan;
+}
+
+ShardPlan compute_edge_group_plan(const underlay::Topology& topology, std::size_t lanes,
+                                  const std::vector<underlay::NodeId>& edges,
+                                  const std::vector<underlay::NodeId>& control_nodes) {
+  lanes = std::max<std::size_t>(1, std::min(lanes, std::max<std::size_t>(1, edges.size())));
+  std::vector<std::vector<underlay::NodeId>> groups(lanes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    groups[i * lanes / edges.size()].push_back(edges[i]);
+  }
+  // Control legs are chatty and all-to-all; homing the servers/borders with
+  // the first edge group keeps the single-server case entirely lane-local.
+  for (const underlay::NodeId n : control_nodes) groups[0].push_back(n);
+  return compute_shard_plan(topology, groups);
+}
+
+}  // namespace sda::fabric

@@ -1,0 +1,58 @@
+// Shard planning: partitioning a fabric's underlay nodes into per-edge-group
+// event lanes and deriving the conservative lookahead the sharded simulator
+// needs (the minimum latency of any link whose endpoints land in different
+// lanes).
+//
+// The plan is pure data — which shard each node is homed to, plus the
+// lookahead bound — so it can drive both the full LaneFabric harness (each
+// lane owns a Simulator, an UnderlayNetwork view, and a MapCache) and the
+// SdaFabric integration (edge groups and control legs annotated with their
+// home lane for telemetry / future lane execution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "underlay/topology.hpp"
+
+namespace sda::fabric {
+
+struct ShardPlan {
+  std::size_t shards = 1;
+  /// Home shard per NodeId (indexed by node id; sized to the topology).
+  std::vector<std::uint32_t> node_shard;
+  /// Member nodes per shard, in node-id order.
+  std::vector<std::vector<underlay::NodeId>> members;
+  /// Minimum latency over links that cross a shard boundary — the largest
+  /// window the sharded core may conservatively advance without merging.
+  /// Zero when no link crosses (one shard, or disconnected lanes).
+  sim::Duration lookahead{0};
+  /// Links whose endpoints live in different shards.
+  std::size_t cross_links = 0;
+
+  [[nodiscard]] std::uint32_t shard_of(underlay::NodeId node) const {
+    return node < node_shard.size() ? node_shard[node] : 0;
+  }
+};
+
+/// Builds a plan from explicit shard membership: `groups[s]` lists the nodes
+/// homed to shard `s`; nodes missing from every group land on shard 0 (the
+/// control lane). Lookahead is the minimum latency over links that end up
+/// crossing shards — any cross-shard delivery path traverses at least one
+/// such link, so its delay is >= this bound.
+[[nodiscard]] ShardPlan compute_shard_plan(
+    const underlay::Topology& topology,
+    const std::vector<std::vector<underlay::NodeId>>& groups);
+
+/// Convenience for the SdaFabric layout: distributes `edges` over `lanes`
+/// shards contiguously in construction order (edge group i -> lane
+/// i*lanes/n_edges), homing `control_nodes` (borders, routing/policy
+/// servers, WLCs) to lane 0 alongside the first edge group so control legs
+/// never cross for the common single-server case.
+[[nodiscard]] ShardPlan compute_edge_group_plan(
+    const underlay::Topology& topology, std::size_t lanes,
+    const std::vector<underlay::NodeId>& edges,
+    const std::vector<underlay::NodeId>& control_nodes);
+
+}  // namespace sda::fabric

@@ -1,0 +1,224 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sda::sim {
+
+ShardedSimulator::ShardedSimulator(ShardedConfig config) {
+  const std::size_t shards = config.shards == 0 ? 1 : config.shards;
+  sims_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  workers_ = std::clamp<std::size_t>(config.workers, 1, shards);
+  lookahead_ = config.lookahead;
+  if (shards > 1) {
+    assert(lookahead_.count() > 0 && "multi-shard cores need a positive lookahead");
+    mail_.resize(shards * shards);
+    for (std::size_t from = 0; from < shards; ++from) {
+      for (std::size_t to = 0; to < shards; ++to) {
+        if (from == to) continue;
+        mailbox(from, to).ring =
+            std::make_unique<SpscRing<CrossEvent>>(config.ring_capacity);
+      }
+    }
+    merge_scratch_.resize(shards);
+  }
+  if (shards > 1 && workers_ > 1) {
+    threads_.reserve(workers_ - 1);
+    for (std::size_t w = 1; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void ShardedSimulator::post(std::size_t from, std::size_t to, SimTime when,
+                            InlineAction action) {
+  assert(to < sims_.size());
+  if (to == from || mail_.empty()) {
+    // Local (or single-shard) post: straight onto the target heap. This is
+    // the `shards = 1` hot path — no ring, no ordering metadata.
+    sims_[to]->schedule_at(when, std::move(action));
+    return;
+  }
+  assert(from < sims_.size());
+  Mailbox& m = mailbox(from, to);
+  CrossEvent ev{when, ++m.seq, std::move(action)};
+  if (!m.ring->try_push(std::move(ev))) {
+    // Ring full: spill to the producer-owned overflow, drained at the same
+    // barrier. Ordering is preserved because the merge replays ring first,
+    // overflow second, and seq numbers are monotone across both.
+    m.overflow.push_back(std::move(ev));
+    ++m.spilled;
+  }
+}
+
+void ShardedSimulator::merge_all() {
+  const std::size_t shards = sims_.size();
+  for (std::size_t to = 0; to < shards; ++to) {
+    std::vector<MergeItem>& scratch = merge_scratch_[to];
+    scratch.clear();
+    for (std::size_t from = 0; from < shards; ++from) {
+      if (from == to) continue;
+      Mailbox& m = mailbox(from, to);
+      CrossEvent ev;
+      while (m.ring->try_pop(ev)) {
+        scratch.push_back(
+            MergeItem{ev.when, static_cast<std::uint32_t>(from), ev.seq,
+                      std::move(ev.action)});
+      }
+      for (CrossEvent& spilled : m.overflow) {
+        scratch.push_back(
+            MergeItem{spilled.when, static_cast<std::uint32_t>(from),
+                      spilled.seq, std::move(spilled.action)});
+      }
+      m.overflow.clear();
+    }
+    if (scratch.empty()) continue;
+    // Deterministic injection order: timestamp, then producing shard, then
+    // the producer's own sequence. The tuple is unique per event and
+    // independent of worker count, so the target heap's insertion-sequence
+    // tie-break comes out identical for every schedule of the same run.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const MergeItem& a, const MergeItem& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.from != b.from) return a.from < b.from;
+                return a.seq < b.seq;
+              });
+    Simulator& target = *sims_[to];
+    for (MergeItem& item : scratch) {
+      if (item.when < target.now()) ++late_posts_;  // clamped by schedule_at
+      target.schedule_at(item.when, std::move(item.action));
+    }
+    scratch.clear();
+  }
+}
+
+std::optional<SimTime> ShardedSimulator::next_event_time_all() {
+  std::optional<SimTime> earliest;
+  for (auto& sim : sims_) {
+    const std::optional<SimTime> t = sim->next_event_time();
+    if (t && (!earliest || *t < *earliest)) earliest = t;
+  }
+  return earliest;
+}
+
+void ShardedSimulator::advance_range(std::size_t worker, SimTime horizon) {
+  const std::size_t shards = sims_.size();
+  for (std::size_t s = worker; s < shards; s += workers_) {
+    sims_[s]->run_until(horizon);
+  }
+}
+
+void ShardedSimulator::advance_parallel(SimTime horizon) {
+  if (threads_.empty()) {
+    advance_range(0, horizon);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    horizon_ = horizon;
+    running_workers_ = threads_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  advance_range(0, horizon);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return running_workers_ == 0; });
+}
+
+void ShardedSimulator::worker_loop(std::size_t worker) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    SimTime horizon{};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      horizon = horizon_;
+    }
+    advance_range(worker, horizon);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --running_workers_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+std::uint64_t ShardedSimulator::run_windows(std::optional<SimTime> until) {
+  const std::uint64_t before = executed_events();
+  while (true) {
+    // Barrier point: all workers quiescent, so draining the rings here is
+    // race-free and sees everything the previous window produced.
+    merge_all();
+    const std::optional<SimTime> next = next_event_time_all();
+    if (!next) break;                 // drained (merge above ran first)
+    if (until && *next > *until) break;
+    SimTime horizon = *next + lookahead_;
+    if (until && *until < horizon) horizon = *until;
+    if (horizon < fence_) horizon = fence_;  // clamped late post
+    advance_parallel(horizon);
+    fence_ = horizon;
+    ++windows_;
+  }
+  if (until) {
+    // Advance every shard clock to `until` even if its queue drained early
+    // (mirrors Simulator::run_until semantics).
+    for (auto& sim : sims_) sim->run_until(*until);
+    if (fence_ < *until) fence_ = *until;
+  }
+  return executed_events() - before;
+}
+
+std::uint64_t ShardedSimulator::run() {
+  if (mail_.empty()) {  // single shard: the existing hot path, verbatim
+    const std::uint64_t n = sims_[0]->run();
+    fence_ = sims_[0]->now();
+    return n;
+  }
+  return run_windows(std::nullopt);
+}
+
+std::uint64_t ShardedSimulator::run_until(SimTime until) {
+  if (mail_.empty()) {
+    const std::uint64_t n = sims_[0]->run_until(until);
+    fence_ = sims_[0]->now();
+    return n;
+  }
+  return run_windows(until);
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->executed_events();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::cross_posts() const {
+  std::uint64_t total = 0;
+  for (const Mailbox& m : mail_) total += m.seq;
+  return total;
+}
+
+std::uint64_t ShardedSimulator::overflow_posts() const {
+  std::uint64_t total = 0;
+  for (const Mailbox& m : mail_) total += m.spilled;
+  return total;
+}
+
+}  // namespace sda::sim

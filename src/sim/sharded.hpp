@@ -1,0 +1,174 @@
+// Sharded parallel event loop: per-shard Simulators advanced by a fixed
+// worker pool under conservative lookahead synchronization.
+//
+// The fabric is partitioned into shards (per-edge-group event lanes); each
+// shard owns a plain sim::Simulator and all the state homed to it, so
+// intra-window execution needs no locks. Workers advance their shards to a
+// shared window horizon
+//
+//   horizon = (earliest pending event anywhere) + lookahead
+//
+// where `lookahead` is the minimum latency of any cross-shard link in the
+// underlay: an event executing inside the window can only produce remote
+// work at or beyond the horizon, so shards never need to peek at each
+// other mid-window. Cross-shard events travel through bounded SPSC rings
+// (one per ordered shard pair) and are drained at the window barrier in a
+// deterministic merge order — (timestamp, producing shard, per-pair
+// sequence) — so a seeded run produces byte-identical timelines regardless
+// of how many workers execute it. Worker count changes wall-clock time,
+// never results.
+//
+// Single-shard configurations skip the windowing entirely: run()/run_until()
+// delegate straight to the inner Simulator and post() is a plain
+// schedule_at, so `shards = 1` is the existing single-threaded hot path
+// (no rings, no barriers, no threads, zero new steady-state allocations).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/inline_action.hpp"
+#include "sim/simulator.hpp"
+#include "sim/spsc_ring.hpp"
+#include "sim/time.hpp"
+
+namespace sda::sim {
+
+struct ShardedConfig {
+  /// Event lanes. 1 = the plain single-threaded Simulator.
+  std::size_t shards = 1;
+  /// Worker threads driving the lanes (clamped to [1, shards]). Shard i is
+  /// pinned to worker i % workers for the lifetime of the run.
+  std::size_t workers = 1;
+  /// Conservative window: must be at most the minimum cross-shard delivery
+  /// latency (derive it with fabric::compute_shard_plan / the min
+  /// cross-shard link latency). Required > 0 when shards > 1.
+  Duration lookahead{0};
+  /// Per ordered shard pair; rounded up to a power of two. A full ring
+  /// spills to a producer-local overflow vector (still deterministic, may
+  /// allocate), so this bounds steady-state memory, not correctness.
+  std::size_t ring_capacity = 4096;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedConfig config);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Shard-local event loop. Outside run()/run_until() any shard may be
+  /// touched; during a run, only events executing on shard i (i.e. on its
+  /// worker) may use shard(i).
+  [[nodiscard]] Simulator& shard(std::size_t i) { return *sims_[i]; }
+
+  /// The global fence: every shard has fully executed all events strictly
+  /// necessary up to this time.
+  [[nodiscard]] SimTime now() const { return fence_; }
+
+  /// Schedules `action` on shard `to` at absolute time `when`. `from` must
+  /// be the shard of the calling context (the shard whose event is
+  /// executing, or any value outside a run). Local posts (from == to, or a
+  /// single-shard core) schedule directly; remote posts ride the SPSC ring
+  /// and are merged into the target at the next window barrier. For
+  /// conservative correctness `when` must be >= the sending event's time +
+  /// lookahead; a message that arrives below the target clock is clamped
+  /// by the target (counted in late_posts(), which a correctly derived
+  /// lookahead keeps at zero).
+  void post(std::size_t from, std::size_t to, SimTime when, InlineAction action);
+
+  /// Runs every shard until all queues and rings drain. Returns events
+  /// executed by this call across all shards.
+  std::uint64_t run();
+
+  /// Runs every shard through all events with time <= `until` (inclusive);
+  /// later events stay queued and every shard clock advances to `until`.
+  std::uint64_t run_until(SimTime until);
+
+  [[nodiscard]] std::uint64_t executed_events() const;
+  /// Cross-shard events ever posted (ring + overflow).
+  [[nodiscard]] std::uint64_t cross_posts() const;
+  /// Merged events that arrived below their target shard's clock (clamped
+  /// forward). Nonzero means the configured lookahead overshot the real
+  /// minimum cross-shard latency.
+  [[nodiscard]] std::uint64_t late_posts() const { return late_posts_; }
+  /// Ring-full spills into the overflow vectors (allocation pressure, not
+  /// an error).
+  [[nodiscard]] std::uint64_t overflow_posts() const;
+  /// Lookahead windows executed so far.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  /// What crosses a shard boundary: the action plus enough ordering state
+  /// to merge deterministically.
+  struct CrossEvent {
+    SimTime when;
+    std::uint64_t seq = 0;  // per-(from,to) pair, assigned by the producer
+    InlineAction action;
+  };
+  /// One per ordered (from, to) shard pair. Everything here is touched by
+  /// the producing worker during a window and by the merging thread only
+  /// at barriers (the join synchronizes).
+  struct Mailbox {
+    std::unique_ptr<SpscRing<CrossEvent>> ring;
+    std::vector<CrossEvent> overflow;
+    std::uint64_t seq = 0;
+    std::uint64_t spilled = 0;
+  };
+  struct MergeItem {
+    SimTime when;
+    std::uint32_t from = 0;
+    std::uint64_t seq = 0;
+    InlineAction action;
+  };
+
+  [[nodiscard]] Mailbox& mailbox(std::size_t from, std::size_t to) {
+    return mail_[from * sims_.size() + to];
+  }
+  [[nodiscard]] const Mailbox& mailbox(std::size_t from, std::size_t to) const {
+    return mail_[from * sims_.size() + to];
+  }
+
+  std::uint64_t run_windows(std::optional<SimTime> until);
+  /// Drains every mailbox into its target shard in deterministic
+  /// (when, from, seq) order. Caller must hold all workers quiescent.
+  void merge_all();
+  [[nodiscard]] std::optional<SimTime> next_event_time_all();
+  /// Runs one window on all shards: worker w advances shards w, w+W, ...
+  void advance_parallel(SimTime horizon);
+  void advance_range(std::size_t worker, SimTime horizon);
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::size_t workers_ = 1;
+  Duration lookahead_{0};
+  std::vector<Mailbox> mail_;                      // shards x shards, row = from
+  std::vector<std::vector<MergeItem>> merge_scratch_;  // per target shard
+  SimTime fence_{};
+  std::uint64_t windows_ = 0;
+  std::uint64_t late_posts_ = 0;
+
+  // Worker pool (spawned only when shards > 1 and workers > 1). The caller
+  // of run() acts as worker 0; threads_ hold workers 1..W-1. One
+  // condition-variable round trip per window: blocked waits, not spins, so
+  // oversubscribed machines degrade gracefully.
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t running_workers_ = 0;
+  SimTime horizon_{};
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sda::sim

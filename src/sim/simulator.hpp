@@ -19,6 +19,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/inline_action.hpp"
@@ -117,6 +118,15 @@ class Simulator {
     ++executed_;
     action();
     return true;
+  }
+
+  /// Time of the earliest pending (non-cancelled) event, or nullopt when
+  /// the queue is empty. Pops cancelled tombstones as a side effect, the
+  /// same work step() would do first anyway.
+  [[nodiscard]] std::optional<SimTime> next_event_time() {
+    skip_cancelled();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.front().when;
   }
 
   [[nodiscard]] std::size_t pending_events() const { return live_; }

@@ -1,0 +1,92 @@
+// Bounded single-producer/single-consumer ring.
+//
+// The sharded simulator exchanges cross-shard events through one of these
+// per ordered worker pair, so every ring has exactly one producing thread
+// (the sending shard's worker) and one consuming thread (whoever drains the
+// receiving shard at a window barrier). That restriction buys a lock-free
+// design with two monotonically increasing indices: the producer owns
+// tail_, the consumer owns head_, and each side caches the other's index so
+// the common push/pop touches one shared cache line only when its cached
+// view says the ring might be full/empty. Slots are preallocated at
+// construction — steady-state push/pop performs no heap allocation.
+//
+// Modeled on the per-lcore RX/worker/TX rings of the daqswitch exemplar
+// (SNIPPETS.md): pin a pipeline stage per core, exchange packets through
+// SPSC rings, never lock on the packet path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sda::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full (the value is left
+  /// untouched so the caller can spill it elsewhere).
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (exact once the producer is quiescent,
+  /// e.g. at a window barrier; otherwise a lower bound).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
+  }
+
+  /// Elements currently queued, observed from the consumer side.
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer line: the producer writes tail_ and keeps its stale view of
+  // head_ alongside it; padding keeps the consumer's line out of the way.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+  // Consumer line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace sda::sim

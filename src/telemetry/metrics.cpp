@@ -84,6 +84,15 @@ Snapshot Snapshot::delta(const Snapshot& earlier) const {
   return out;
 }
 
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    const auto [it, inserted] = histograms.try_emplace(name, hist);
+    if (!inserted) it->second.merge(hist);  // spec mismatch: local wins
+  }
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------

@@ -1,0 +1,112 @@
+#include "sim/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace sda::sim {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, EmptyPopFails) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRingTest, PushPopFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, FullPushFailsAndLeavesValueUsable) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto spill = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(spill)));
+  // A rejected push must not consume the value — callers spill it.
+  ASSERT_NE(spill, nullptr);
+  EXPECT_EQ(*spill, 3);
+}
+
+TEST(SpscRingTest, WraparoundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);  // tiny, so indices wrap constantly
+  std::uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (ring.try_push(std::uint64_t{next_in})) ++next_in;
+    EXPECT_EQ(ring.size(), ring.capacity());
+    std::uint64_t out;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_out);
+      ++next_out;
+    }
+    EXPECT_TRUE(ring.empty());
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_EQ(next_in, 1000u * ring.capacity());
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+// Two-thread stress: one producer, one consumer, a deliberately tiny ring
+// so both the full and empty paths (and the cached-index refreshes) are hit
+// constantly. Every value must come out exactly once, in order.
+TEST(SpscRingStressTest, ProducerConsumerInOrder) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+  std::uint64_t bad_order = 0;
+
+  std::thread consumer([&ring, &bad_order] {
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+      std::uint64_t out;
+      if (ring.try_pop(out)) {
+        if (out != expected) ++bad_order;
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount;) {
+    if (ring.try_push(std::uint64_t{i})) {
+      ++i;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(bad_order, 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace sda::sim

@@ -160,5 +160,42 @@ TEST(Exporters, JsonAndPrometheusRenderSnapshot) {
   EXPECT_NE(prom.find("_bucket{le=\"+Inf\"} 1"), std::string::npos);
 }
 
+TEST(SnapshotMergeTest, SumsCountersGaugesAndHistogramsAcrossShards) {
+  MetricsRegistry shard0;
+  shard0.counter("lane.delivered").inc(10);
+  shard0.gauge("lane.depth").set(2);
+  shard0.histogram("lane.latency_us", {0.0, 100.0, 4}).observe(10.0);
+  shard0.counter("lane.only_on_0").inc(1);
+
+  MetricsRegistry shard1;
+  shard1.counter("lane.delivered").inc(5);
+  shard1.gauge("lane.depth").set(3);
+  shard1.histogram("lane.latency_us", {0.0, 100.0, 4}).observe(60.0);
+  shard1.counter("lane.only_on_1").inc(2);
+
+  Snapshot merged = shard0.snapshot();
+  merged.merge(shard1.snapshot());
+
+  EXPECT_EQ(merged.counters.at("lane.delivered"), 15u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("lane.depth"), 5.0);
+  EXPECT_EQ(merged.histograms.at("lane.latency_us").total, 2u);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("lane.latency_us").sum, 70.0);
+  // Names union: metrics present on only one shard survive the fold.
+  EXPECT_EQ(merged.counters.at("lane.only_on_0"), 1u);
+  EXPECT_EQ(merged.counters.at("lane.only_on_1"), 2u);
+}
+
+TEST(SnapshotMergeTest, SpecMismatchKeepsLocalHistogram) {
+  MetricsRegistry a;
+  a.histogram("h", {0.0, 100.0, 4}).observe(10.0);
+  MetricsRegistry b;
+  b.histogram("h", {0.0, 200.0, 8}).observe(10.0);
+
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.histograms.at("h").total, 1u);  // local wins, no mixing
+  EXPECT_EQ(merged.histograms.at("h").spec.buckets, 4u);
+}
+
 }  // namespace
 }  // namespace sda::telemetry
